@@ -1,0 +1,260 @@
+//! Iterative radix-2 complex FFT, written from scratch.
+//!
+//! Sizes must be powers of two; [`next_pow2_len`] plus zero-padding covers
+//! everything else. The 3D transform applies the 1D kernel along each axis.
+//! Accuracy is the usual O(ε·log n) of Cooley–Tukey with precomputed
+//! twiddles, ample for power-spectrum work.
+
+/// A complex number (f64 re/im).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2_len(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place forward FFT (no normalization).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (normalized by 1/n).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.re /= n;
+        c.im /= n;
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies with per-stage twiddle recurrence.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2_len(signal.len().max(1));
+    let mut buf = vec![Complex::default(); n];
+    for (i, &v) in signal.iter().enumerate() {
+        buf[i].re = v;
+    }
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// In-place 3D FFT over a row-major `(n0, n1, n2)` cube; every extent must
+/// be a power of two.
+pub fn fft3_in_place(data: &mut [Complex], dims: [usize; 3]) {
+    let [n0, n1, n2] = dims;
+    assert_eq!(data.len(), n0 * n1 * n2, "buffer/dims mismatch");
+    assert!(
+        n0.is_power_of_two() && n1.is_power_of_two() && n2.is_power_of_two(),
+        "fft3 dims must be powers of two"
+    );
+    // Axis 2 (contiguous rows).
+    let mut row = vec![Complex::default(); n2];
+    for base in (0..data.len()).step_by(n2) {
+        row.copy_from_slice(&data[base..base + n2]);
+        fft_in_place(&mut row);
+        data[base..base + n2].copy_from_slice(&row);
+    }
+    // Axis 1.
+    let mut col = vec![Complex::default(); n1];
+    for i0 in 0..n0 {
+        for i2 in 0..n2 {
+            for i1 in 0..n1 {
+                col[i1] = data[(i0 * n1 + i1) * n2 + i2];
+            }
+            fft_in_place(&mut col);
+            for i1 in 0..n1 {
+                data[(i0 * n1 + i1) * n2 + i2] = col[i1];
+            }
+        }
+    }
+    // Axis 0.
+    let mut pil = vec![Complex::default(); n0];
+    for i1 in 0..n1 {
+        for i2 in 0..n2 {
+            for i0 in 0..n0 {
+                pil[i0] = data[(i0 * n1 + i1) * n2 + i2];
+            }
+            fft_in_place(&mut pil);
+            for i0 in 0..n0 {
+                data[(i0 * n1 + i1) * n2 + i2] = pil[i0];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut d = vec![Complex::default(); 8];
+        d[0].re = 1.0;
+        fft_in_place(&mut d);
+        for c in &d {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k = 5;
+        let sig: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos()).collect();
+        let spec = fft_real(&sig);
+        let mags: Vec<f64> = spec.iter().map(|c| c.norm_sq().sqrt()).collect();
+        let peak = mags.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert!(peak == k || peak == n - k, "peak at {peak}");
+        assert!((mags[k] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_inverse() {
+        let n = 128;
+        let mut d: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let orig = d.clone();
+        fft_in_place(&mut d);
+        ifft_in_place(&mut d);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let sig: Vec<f64> = (0..256).map(|i| (i as f64 * 0.71).sin() * 2.0).collect();
+        let spec = fft_real(&sig);
+        let time_energy: f64 = sig.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 2.0).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 3.0 * x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fsum = fft_real(&sum);
+        for i in 0..32 {
+            assert!((fsum[i].re - (3.0 * fa[i].re + fb[i].re)).abs() < 1e-9);
+            assert!((fsum[i].im - (3.0 * fa[i].im + fb[i].im)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft3_impulse_flat() {
+        let dims = [4, 4, 4];
+        let mut d = vec![Complex::default(); 64];
+        d[0].re = 1.0;
+        fft3_in_place(&mut d, dims);
+        for c in &d {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft3_separable_tone() {
+        // A plane wave along axis 2 peaks at (0, 0, k).
+        let dims = [4, 4, 16];
+        let k = 3usize;
+        let mut d = vec![Complex::default(); 4 * 4 * 16];
+        for i0 in 0..4 {
+            for i1 in 0..4 {
+                for i2 in 0..16 {
+                    d[(i0 * 4 + i1) * 16 + i2].re =
+                        (2.0 * std::f64::consts::PI * k as f64 * i2 as f64 / 16.0).cos();
+                }
+            }
+        }
+        fft3_in_place(&mut d, dims);
+        let mag_at = |i0: usize, i1: usize, i2: usize| d[(i0 * 4 + i1) * 16 + i2].norm_sq().sqrt();
+        assert!(mag_at(0, 0, k) > 100.0);
+        assert!(mag_at(1, 2, 5) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pow2_rejected() {
+        let mut d = vec![Complex::default(); 12];
+        fft_in_place(&mut d);
+    }
+}

@@ -1,0 +1,225 @@
+//! Halo counting — the cosmology-specific post-hoc analysis of the
+//! paper's §III-D4 (after Jin et al., HPDC'20 [23]).
+//!
+//! A "halo" here is a connected component (6-connectivity in 3D) of cells
+//! whose density exceeds a threshold, a standard simplification of
+//! friends-of-friends halo finding on gridded density fields. Compression
+//! error perturbs cells near the threshold, which can split, merge, create
+//! or destroy components; [`flip_fraction_model`] propagates an error
+//! distribution through the threshold test exactly the way the paper's
+//! guideline prescribes (inject the estimated error distribution into the
+//! analysis computation).
+
+use rq_grid::{NdArray, Scalar};
+
+/// Result of a halo count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HaloCount {
+    /// Number of connected components above threshold.
+    pub halos: usize,
+    /// Number of cells above threshold.
+    pub cells: usize,
+}
+
+/// Count connected components of cells with `value > threshold`
+/// (6-connectivity in 3D, 2·ndim-connectivity generally). Components
+/// smaller than `min_cells` are ignored (noise suppression, as halo
+/// finders do).
+pub fn halo_count<T: Scalar>(field: &NdArray<T>, threshold: f64, min_cells: usize) -> HaloCount {
+    let shape = field.shape();
+    let nd = shape.ndim();
+    let n = shape.len();
+    let above: Vec<bool> = field.as_slice().iter().map(|v| v.to_f64() > threshold).collect();
+    let mut visited = vec![false; n];
+    let strides = shape.strides();
+
+    let mut halos = 0usize;
+    let mut cells = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if !above[start] || visited[start] {
+            continue;
+        }
+        // Flood fill one component.
+        let mut size = 0usize;
+        visited[start] = true;
+        stack.push(start);
+        while let Some(lin) = stack.pop() {
+            size += 1;
+            let idx = shape.unoffset(lin);
+            for a in 0..nd {
+                // Backward neighbor.
+                if idx[a] > 0 {
+                    let nb = lin - strides[a];
+                    if above[nb] && !visited[nb] {
+                        visited[nb] = true;
+                        stack.push(nb);
+                    }
+                }
+                // Forward neighbor.
+                if idx[a] + 1 < shape.dim(a) {
+                    let nb = lin + strides[a];
+                    if above[nb] && !visited[nb] {
+                        visited[nb] = true;
+                        stack.push(nb);
+                    }
+                }
+            }
+        }
+        if size >= min_cells {
+            halos += 1;
+            cells += size;
+        }
+    }
+    HaloCount { halos, cells }
+}
+
+/// Model of the fraction of cells whose threshold test flips under an
+/// error distribution with standard deviation `sigma` (uniform on
+/// `[-√3σ, √3σ]`, matching the paper's Eq. 10 parameterization):
+/// a cell at distance `δ` from the threshold flips with probability
+/// `max(0, 1/2 − δ/(2√3σ))`; summing over the sampled near-threshold
+/// density histogram gives the expected flip fraction.
+///
+/// `densities` is a (sample of) the field's values; the return value is
+/// the expected fraction of *all* cells that flip side.
+pub fn flip_fraction_model(densities: &[f64], threshold: f64, sigma: f64) -> f64 {
+    if densities.is_empty() || sigma <= 0.0 {
+        return 0.0;
+    }
+    let half_width = (3.0f64).sqrt() * sigma; // uniform error support
+    let mut flips = 0.0;
+    for &d in densities {
+        let delta = (d - threshold).abs();
+        if delta < half_width {
+            flips += 0.5 * (1.0 - delta / half_width);
+        }
+    }
+    flips / densities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+
+    /// A field with `k` well-separated spherical blobs.
+    fn blobs(k: usize) -> NdArray<f64> {
+        let shape = Shape::d3(32, 32, 32);
+        let centers: Vec<[f64; 3]> = (0..k)
+            .map(|i| {
+                let t = i as f64 / k as f64 * std::f64::consts::TAU;
+                [16.0 + 10.0 * t.cos(), 16.0 + 10.0 * t.sin(), 16.0]
+            })
+            .collect();
+        NdArray::from_fn(shape, |ix| {
+            let p = [ix[0] as f64, ix[1] as f64, ix[2] as f64];
+            centers
+                .iter()
+                .map(|c| {
+                    let r2: f64 = (0..3).map(|a| (p[a] - c[a]).powi(2)).sum();
+                    (-r2 / 4.0).exp()
+                })
+                .sum::<f64>()
+        })
+    }
+
+    #[test]
+    fn counts_separated_blobs() {
+        for k in [1usize, 3, 5] {
+            let f = blobs(k);
+            let c = halo_count(&f, 0.5, 1);
+            assert_eq!(c.halos, k, "k = {k}");
+            assert!(c.cells > 0);
+        }
+    }
+
+    #[test]
+    fn threshold_above_max_gives_zero() {
+        let f = blobs(3);
+        assert_eq!(halo_count(&f, 10.0, 1).halos, 0);
+    }
+
+    #[test]
+    fn min_cells_filters_specks() {
+        // One big blob plus a single hot cell.
+        let mut f = blobs(1);
+        let idx = [2usize, 2, 2];
+        f.set(&idx, 5.0);
+        assert_eq!(halo_count(&f, 0.5, 1).halos, 2);
+        assert_eq!(halo_count(&f, 0.5, 4).halos, 1);
+    }
+
+    #[test]
+    fn connectivity_merges_touching_blobs() {
+        // Two overlapping gaussians = one component at a low threshold.
+        let shape = Shape::d3(16, 16, 16);
+        let f = NdArray::from_fn(shape, |ix| {
+            let p = [ix[0] as f64, ix[1] as f64, ix[2] as f64];
+            let g = |c: [f64; 3]| {
+                let r2: f64 = (0..3).map(|a| (p[a] - c[a]).powi(2)).sum();
+                (-r2 / 8.0).exp()
+            };
+            g([7.0, 4.0, 8.0]) + g([7.0, 12.0, 8.0])
+        });
+        assert_eq!(halo_count(&f, 0.1, 1).halos, 1);
+        // Higher threshold separates the two cores.
+        assert_eq!(halo_count(&f, 0.8, 1).halos, 2);
+    }
+
+    #[test]
+    fn flip_model_basics() {
+        // Cells far from the threshold never flip.
+        let far = vec![10.0; 100];
+        assert_eq!(flip_fraction_model(&far, 0.0, 0.1), 0.0);
+        // Cells exactly at the threshold flip half the time.
+        let at = vec![0.0; 100];
+        let f = flip_fraction_model(&at, 0.0, 0.1);
+        assert!((f - 0.5).abs() < 1e-12);
+        // More error, more flips.
+        let mixed: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let lo = flip_fraction_model(&mixed, 0.5, 0.01);
+        let hi = flip_fraction_model(&mixed, 0.5, 0.1);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn flip_model_tracks_measured_flips() {
+        // Inject uniform noise and compare measured flip fraction with the
+        // model on a smooth density ramp.
+        let n = 200_000;
+        let densities: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let threshold = 0.5;
+        let e = 0.02;
+        let sigma = e / (3.0f64).sqrt();
+        let mut s = 11u64;
+        let mut measured = 0usize;
+        for &d in &densities {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+            let noisy = d + u * e;
+            if (d > threshold) != (noisy > threshold) {
+                measured += 1;
+            }
+        }
+        let measured_frac = measured as f64 / n as f64;
+        let model = flip_fraction_model(&densities, threshold, sigma);
+        assert!(
+            (measured_frac - model).abs() < 0.1 * model.max(1e-9),
+            "measured {measured_frac} model {model}"
+        );
+    }
+
+    #[test]
+    fn count_is_exact_on_1d_runs() {
+        let f = NdArray::from_vec(
+            Shape::d1(10),
+            vec![0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        );
+        let c = halo_count(&f, 0.5, 1);
+        assert_eq!(c.halos, 3);
+        assert_eq!(c.cells, 6);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pointwise distortion metrics.
+
+use rq_grid::{NdArray, Scalar};
+
+/// Mean squared error between two equal-shape fields.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn mse<T: Scalar>(a: &NdArray<T>, b: &NdArray<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse needs equal shapes");
+    let n = a.len() as f64;
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB (paper Eq. 14):
+/// `10·log10(range² / MSE)` with `range = max(a) − min(a)`.
+///
+/// Returns `f64::INFINITY` for identical fields.
+pub fn psnr<T: Scalar>(a: &NdArray<T>, b: &NdArray<T>) -> f64 {
+    let range = a.value_range();
+    let m = mse(a, b);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (range * range / m).log10()
+}
+
+/// Root-mean-square error normalized by the value range of `a`.
+pub fn nrmse<T: Scalar>(a: &NdArray<T>, b: &NdArray<T>) -> f64 {
+    let range = a.value_range();
+    if range == 0.0 {
+        return 0.0;
+    }
+    mse(a, b).sqrt() / range
+}
+
+/// Maximum pointwise absolute error — the quantity an error-bounded
+/// compressor guarantees.
+pub fn max_abs_error<T: Scalar>(a: &NdArray<T>, b: &NdArray<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "max_abs_error needs equal shapes");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+
+    fn ramp() -> NdArray<f64> {
+        NdArray::from_fn(Shape::d1(100), |ix| ix[0] as f64)
+    }
+
+    #[test]
+    fn identical_fields() {
+        let a = ramp();
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+        assert_eq!(nrmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn constant_offset() {
+        let a = ramp();
+        let b = NdArray::from_fn(Shape::d1(100), |ix| ix[0] as f64 + 0.5);
+        assert!((mse(&a, &b) - 0.25).abs() < 1e-12);
+        assert!((max_abs_error(&a, &b) - 0.5).abs() < 1e-12);
+        // range = 99, psnr = 10 log10(99²/0.25)
+        let expect = 10.0 * (99.0f64 * 99.0 / 0.25).log10();
+        assert!((psnr(&a, &b) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_uniform_noise_matches_theory() {
+        // Uniform(-e, e) noise has variance e²/3 (paper Eq. 10): check the
+        // measured PSNR lands on 20log10(range) - 10log10(e²/3).
+        let e = 0.01;
+        let n = 200_000;
+        let mut state = 42u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let a = NdArray::from_fn(Shape::d1(n), |ix| (ix[0] % 1000) as f64 / 1000.0);
+        let b = NdArray::from_fn(Shape::d1(n), |ix| {
+            a.as_slice()[ix[0]] + (next() * 2.0 - 1.0) * e
+        });
+        let range = a.value_range();
+        let theory = 20.0 * range.log10() - 10.0 * (e * e / 3.0).log10();
+        assert!((psnr(&a, &b) - theory).abs() < 0.2, "psnr {} theory {theory}", psnr(&a, &b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = ramp();
+        let b = NdArray::<f64>::zeros(Shape::d1(50));
+        let _ = mse(&a, &b);
+    }
+}

@@ -1,0 +1,220 @@
+//! Power spectra and the spectrum-ratio quality metric (paper §III-D4,
+//! Fig. 8).
+//!
+//! The Nyx-style FFT analysis compares the power spectrum of reconstructed
+//! data against the original: quality is the per-wavenumber ratio
+//! `P'(k) / P(k)`, ideally 1 for all `k`. Compression noise adds an
+//! (approximately flat) noise floor `σ_E²` to the spectrum, which is
+//! exactly what the paper's error-distribution model predicts.
+
+use crate::fft::{fft3_in_place, fft_real, Complex};
+use rq_grid::{NdArray, Scalar};
+
+/// One radial spectrum bin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectrumBin {
+    /// Representative wavenumber (bin center, in grid units).
+    pub k: f64,
+    /// Mean power in the bin, normalized per element.
+    pub power: f64,
+    /// Number of Fourier modes averaged.
+    pub modes: usize,
+}
+
+/// 1D power spectrum: `|F(k)|² / n` for `k = 0..n/2`.
+pub fn power_spectrum_1d<T: Scalar>(field: &NdArray<T>) -> Vec<SpectrumBin> {
+    let sig: Vec<f64> = field.as_slice().iter().map(|v| v.to_f64()).collect();
+    let spec = fft_real(&sig);
+    let n = spec.len();
+    (0..n / 2)
+        .map(|k| SpectrumBin { k: k as f64, power: spec[k].norm_sq() / n as f64, modes: 1 })
+        .collect()
+}
+
+/// Radially binned 3D power spectrum.
+///
+/// Every dimension extent must be a power of two (use a pow-2 generator or
+/// crop first). Modes are binned by `|k| = sqrt(k0² + k1² + k2²)` with unit
+/// bin width, wavenumbers folded to the symmetric range.
+///
+/// # Panics
+/// Panics if the field is not 3-dimensional with power-of-two extents.
+pub fn power_spectrum_3d<T: Scalar>(field: &NdArray<T>) -> Vec<SpectrumBin> {
+    let shape = field.shape();
+    assert_eq!(shape.ndim(), 3, "power_spectrum_3d needs a 3D field");
+    let dims = [shape.dim(0), shape.dim(1), shape.dim(2)];
+    let mut buf: Vec<Complex> =
+        field.as_slice().iter().map(|v| Complex::new(v.to_f64(), 0.0)).collect();
+    fft3_in_place(&mut buf, dims);
+
+    let n_total = (dims[0] * dims[1] * dims[2]) as f64;
+    let kmax = ((dims[0] / 2).pow(2) + (dims[1] / 2).pow(2) + (dims[2] / 2).pow(2)) as f64;
+    let nbins = kmax.sqrt().ceil() as usize + 1;
+    let mut power = vec![0f64; nbins];
+    let mut modes = vec![0usize; nbins];
+
+    let fold = |i: usize, n: usize| -> f64 {
+        let k = if i <= n / 2 { i as isize } else { i as isize - n as isize };
+        k as f64
+    };
+    for i0 in 0..dims[0] {
+        let k0 = fold(i0, dims[0]);
+        for i1 in 0..dims[1] {
+            let k1 = fold(i1, dims[1]);
+            for i2 in 0..dims[2] {
+                let k2 = fold(i2, dims[2]);
+                let kr = (k0 * k0 + k1 * k1 + k2 * k2).sqrt();
+                let bin = kr.round() as usize;
+                if bin < nbins {
+                    power[bin] += buf[(i0 * dims[1] + i1) * dims[2] + i2].norm_sq() / n_total;
+                    modes[bin] += 1;
+                }
+            }
+        }
+    }
+    (0..nbins)
+        .filter(|&b| modes[b] > 0)
+        .map(|b| SpectrumBin { k: b as f64, power: power[b] / modes[b] as f64, modes: modes[b] })
+        .collect()
+}
+
+/// Per-bin spectrum ratio `P_distorted(k) / P_reference(k)` — the Fig. 8
+/// quality curve. Bins with (near-)zero reference power are skipped.
+pub fn spectrum_ratio<T: Scalar>(
+    reference: &NdArray<T>,
+    distorted: &NdArray<T>,
+) -> Vec<(f64, f64)> {
+    assert_eq!(reference.shape(), distorted.shape(), "spectrum_ratio needs equal shapes");
+    let (pr, pd) = if reference.shape().ndim() == 3 {
+        (power_spectrum_3d(reference), power_spectrum_3d(distorted))
+    } else {
+        (power_spectrum_1d(reference), power_spectrum_1d(distorted))
+    };
+    pr.iter()
+        .zip(&pd)
+        .filter(|(r, _)| r.power > 1e-300)
+        .map(|(r, d)| (r.k, d.power / r.power))
+        .collect()
+}
+
+/// Scalar FFT-quality summary: maximum relative spectrum deviation
+/// `max_k |P'(k)/P(k) − 1|` over bins up to `k_frac` of the Nyquist limit.
+///
+/// The cosmology acceptance criterion in the paper's references is of the
+/// form "spectrum ratio within 1 % up to some k"; this is that statistic.
+pub fn spectrum_max_deviation<T: Scalar>(
+    reference: &NdArray<T>,
+    distorted: &NdArray<T>,
+    k_frac: f64,
+) -> f64 {
+    let ratios = spectrum_ratio(reference, distorted);
+    if ratios.is_empty() {
+        return 0.0;
+    }
+    let k_max = ratios.last().unwrap().0 * k_frac;
+    ratios
+        .iter()
+        .filter(|&&(k, _)| k > 0.0 && k <= k_max)
+        .map(|&(_, r)| (r - 1.0).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+
+    fn white_noise_1d(n: usize, amp: f64, seed: u64) -> NdArray<f64> {
+        let mut s = seed;
+        NdArray::from_fn(Shape::d1(n), |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * amp
+        })
+    }
+
+    #[test]
+    fn tone_spectrum_peaks_correctly() {
+        let n = 256;
+        let k = 17;
+        let a = NdArray::from_fn(Shape::d1(n), |ix| {
+            (2.0 * std::f64::consts::PI * k as f64 * ix[0] as f64 / n as f64).sin()
+        });
+        let spec = power_spectrum_1d(&a);
+        let peak = spec.iter().max_by(|x, y| x.power.total_cmp(&y.power)).unwrap();
+        assert_eq!(peak.k, k as f64);
+    }
+
+    #[test]
+    fn identical_fields_ratio_one() {
+        let a = white_noise_1d(512, 1.0, 3);
+        for (_, r) in spectrum_ratio(&a, &a) {
+            assert!((r - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(spectrum_max_deviation(&a, &a, 1.0), 0.0);
+    }
+
+    #[test]
+    fn white_noise_spectrum_is_flat() {
+        let a = white_noise_1d(1 << 14, 1.0, 11);
+        let spec = power_spectrum_1d(&a);
+        // Uniform(-1,1) has variance 1/3; the mean spectral power per mode
+        // should approach it.
+        let mean: f64 =
+            spec.iter().skip(1).map(|b| b.power).sum::<f64>() / (spec.len() - 1) as f64;
+        assert!((mean - 1.0 / 3.0).abs() < 0.05, "mean power {mean}");
+    }
+
+    #[test]
+    fn additive_noise_raises_high_k_ratio() {
+        // A red (smooth) signal plus white noise: the ratio deviates most at
+        // high k where the signal has least power — the Fig. 8 shape.
+        let n = 1 << 12;
+        let sig = NdArray::from_fn(Shape::d1(n), |ix| {
+            let t = ix[0] as f64 / n as f64;
+            (2.0 * std::f64::consts::PI * 3.0 * t).sin() * 10.0
+                + (2.0 * std::f64::consts::PI * 7.0 * t).cos() * 5.0
+        });
+        let noise = white_noise_1d(n, 0.05, 5);
+        let noisy = NdArray::from_fn(Shape::d1(n), |ix| {
+            sig.get(&ix[..1]) + noise.get(&ix[..1])
+        });
+        let low = spectrum_max_deviation(&sig, &noisy, 0.01);
+        let high = spectrum_max_deviation(&sig, &noisy, 1.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn spectrum_3d_white_noise_flat() {
+        let mut s = 77u64;
+        let a = NdArray::from_fn(Shape::d3(16, 16, 16), |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        });
+        let spec = power_spectrum_3d(&a);
+        let total_modes: usize = spec.iter().map(|b| b.modes).sum();
+        assert_eq!(total_modes, 16 * 16 * 16);
+        let mean: f64 = spec.iter().skip(1).map(|b| b.power).sum::<f64>() / (spec.len() - 1) as f64;
+        assert!((mean - 1.0 / 3.0).abs() < 0.12, "mean 3d power {mean}");
+    }
+
+    #[test]
+    fn parseval_3d() {
+        // Total spectral power equals the field's mean square value.
+        let mut s = 13u64;
+        let a = NdArray::from_fn(Shape::d3(8, 8, 8), |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        });
+        let spec = power_spectrum_3d(&a);
+        let total: f64 = spec.iter().map(|b| b.power * b.modes as f64).sum();
+        let msq: f64 =
+            a.as_slice().iter().map(|v| v * v).sum::<f64>();
+        assert!((total - msq).abs() < 1e-6 * msq, "total {total} msq {msq}");
+    }
+}

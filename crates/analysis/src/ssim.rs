@@ -1,0 +1,234 @@
+//! Structural similarity (SSIM).
+//!
+//! Two flavours:
+//! * [`global_ssim`] — the single-window SSIM of the paper's Eq. 16, the
+//!   quantity its analytical model (Eq. 15) predicts;
+//! * [`windowed_ssim`] — the conventional mean-of-local-windows SSIM,
+//!   provided because domain tools usually report this one.
+//!
+//! Constants follow the standard parameterization: `C_mean = (0.01·L)²`
+//! (paired with the luminance/mean term; the paper's `C4`) and
+//! `C_var = (0.03·L)²` (paired with the contrast/structure term; the
+//! paper's `C3`), with `L` the value range of the reference field.
+
+use rq_grid::stats::{covariance, Moments};
+use rq_grid::{NdArray, Scalar, MAX_DIMS};
+
+/// SSIM constants derived from the reference field's value range.
+#[derive(Clone, Copy, Debug)]
+pub struct SsimConstants {
+    /// Stabilizer for the mean (luminance) term — the paper's C4.
+    pub c_mean: f64,
+    /// Stabilizer for the variance (contrast) term — the paper's C3.
+    pub c_var: f64,
+}
+
+impl SsimConstants {
+    /// Standard constants for a field with value range `l`.
+    pub fn for_range(l: f64) -> Self {
+        let l = if l > 0.0 { l } else { 1.0 };
+        SsimConstants { c_mean: (0.01 * l).powi(2), c_var: (0.03 * l).powi(2) }
+    }
+}
+
+fn ssim_from_stats(
+    mu_a: f64,
+    mu_b: f64,
+    var_a: f64,
+    var_b: f64,
+    cov: f64,
+    c: SsimConstants,
+) -> f64 {
+    let lum = (2.0 * mu_a * mu_b + c.c_mean) / (mu_a * mu_a + mu_b * mu_b + c.c_mean);
+    let con = (2.0 * cov + c.c_var) / (var_a + var_b + c.c_var);
+    lum * con
+}
+
+/// Single-window SSIM over the whole field (paper Eq. 16).
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn global_ssim<T: Scalar>(reference: &NdArray<T>, distorted: &NdArray<T>) -> f64 {
+    assert_eq!(reference.shape(), distorted.shape(), "ssim needs equal shapes");
+    let c = SsimConstants::for_range(reference.value_range());
+    let ma = Moments::from_slice(reference.as_slice());
+    let mb = Moments::from_slice(distorted.as_slice());
+    let cov = covariance(reference.as_slice(), distorted.as_slice());
+    ssim_from_stats(ma.mean, mb.mean, ma.variance(), mb.variance(), cov, c)
+}
+
+/// Mean SSIM over non-overlapping hyper-cubic windows of side `window`.
+///
+/// Windows are clipped at the boundary; every element participates in
+/// exactly one window. Typical window side: 8.
+///
+/// # Panics
+/// Panics if the shapes differ or `window == 0`.
+pub fn windowed_ssim<T: Scalar>(
+    reference: &NdArray<T>,
+    distorted: &NdArray<T>,
+    window: usize,
+) -> f64 {
+    assert_eq!(reference.shape(), distorted.shape(), "ssim needs equal shapes");
+    assert!(window > 0, "window must be positive");
+    let shape = reference.shape();
+    let c = SsimConstants::for_range(reference.value_range());
+    let strides = shape.strides();
+    let nd = shape.ndim();
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for block in rq_grid::BlockIter::new(shape, window) {
+        let mut ma = Moments::new();
+        let mut mb = Moments::new();
+        // First pass: means/variances; gather linear indices for covariance.
+        let mut cov_acc = 0.0;
+        let mut vals = Vec::with_capacity(block.len());
+        let mut local = [0usize; MAX_DIMS];
+        loop {
+            let mut lin = 0usize;
+            for a in 0..nd {
+                lin += (block.origin[a] + local[a]) * strides[a];
+            }
+            let x = reference.as_slice()[lin].to_f64();
+            let y = distorted.as_slice()[lin].to_f64();
+            ma.push(x);
+            mb.push(y);
+            vals.push((x, y));
+            let mut axis = nd;
+            let mut done = false;
+            loop {
+                if axis == 0 {
+                    done = true;
+                    break;
+                }
+                axis -= 1;
+                local[axis] += 1;
+                if local[axis] < block.size[axis] {
+                    break;
+                }
+                local[axis] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        for &(x, y) in &vals {
+            cov_acc += (x - ma.mean) * (y - mb.mean);
+        }
+        let cov = cov_acc / vals.len() as f64;
+        total += ssim_from_stats(ma.mean, mb.mean, ma.variance(), mb.variance(), cov, c);
+        count += 1;
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+
+    fn field(shape: Shape) -> NdArray<f64> {
+        NdArray::from_fn(shape, |ix| {
+            (ix[0] as f64 * 0.17).sin() * 4.0 + ix.get(1).map_or(0.0, |&j| j as f64 * 0.02)
+        })
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let a = field(Shape::d2(32, 32));
+        assert!((global_ssim(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((windowed_ssim(&a, &a, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_noise_lower_ssim() {
+        let a = field(Shape::d2(64, 64));
+        let noisy = |amp: f64| {
+            let mut s = 7u64;
+            NdArray::from_fn(a.shape(), |ix| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+                a.get(&ix[..2]) + (u * 2.0 - 1.0) * amp
+            })
+        };
+        let small = global_ssim(&a, &noisy(0.01));
+        let large = global_ssim(&a, &noisy(0.5));
+        assert!(small > large, "small-noise {small} vs large-noise {large}");
+        assert!(small > 0.99);
+        assert!((0.0..=1.0 + 1e-12).contains(&large));
+    }
+
+    #[test]
+    fn global_matches_paper_model_on_pure_noise() {
+        // For zero-mean additive noise E with small amplitude the paper's
+        // Eq. 15 predicts SSIM ≈ (2σ_D² + C3) / (2σ_D² + C3 + σ_E²).
+        let a = field(Shape::d1(100_000));
+        let e = 0.05;
+        let mut s = 99u64;
+        let b = NdArray::from_fn(a.shape(), |ix| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+            a.get(&ix[..1]) + (u * 2.0 - 1.0) * e
+        });
+        let measured = global_ssim(&a, &b);
+        let var_d = Moments::from_slice(a.as_slice()).variance();
+        let c3 = SsimConstants::for_range(a.value_range()).c_var;
+        let var_e = e * e / 3.0;
+        let model = (2.0 * var_d + c3) / (2.0 * var_d + c3 + var_e);
+        assert!(
+            (measured - model).abs() < 2e-4,
+            "measured {measured} model {model}"
+        );
+    }
+
+    #[test]
+    fn windowed_decreases_with_noise() {
+        let a = field(Shape::d2(64, 64));
+        let noisy = |amp: f64| {
+            let mut s = 21u64;
+            NdArray::from_fn(a.shape(), |ix| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+                a.get(&ix[..2]) + (u * 2.0 - 1.0) * amp
+            })
+        };
+        let small = windowed_ssim(&a, &noisy(0.01), 8);
+        let large = windowed_ssim(&a, &noisy(0.5), 8);
+        assert!(small > large, "small {small} large {large}");
+        assert!(small <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn windowed_detects_local_structure_loss() {
+        // Flattening one window to its mean destroys local structure; the
+        // damaged window's contribution must drop the windowed mean below
+        // the all-windows-perfect value of 1.
+        let a = field(Shape::d2(64, 64));
+        let mut b = a.clone();
+        let mean: f64 = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .map(|(i, j)| a.get(&[i, j]))
+            .sum::<f64>()
+            / 64.0;
+        for i in 0..8 {
+            for j in 0..8 {
+                b.set(&[i, j], mean);
+            }
+        }
+        let w = windowed_ssim(&a, &b, 8);
+        assert!(w < 0.999, "windowed {w}");
+    }
+
+    #[test]
+    fn constant_fields() {
+        let a = NdArray::<f64>::from_fn(Shape::d1(50), |_| 2.0);
+        assert!((global_ssim(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the ratio-quality model itself: the
+//! build (sampling) cost vs the per-estimate cost, and the trial-and-error
+//! alternative for context. This is the Fig. 9 asymmetry in microbenchmark
+//! form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rq_compress::{compress, CompressorConfig};
+use rq_core::RqModel;
+use rq_grid::{NdArray, Shape};
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+fn bench_field() -> NdArray<f32> {
+    let mut state = 0x0defu64;
+    NdArray::from_fn(Shape::d3(48, 48, 48), |ix| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        ((ix[0] as f64 * 0.09).cos() * 3.0 + noise * 0.2) as f32
+    })
+}
+
+fn model_build(c: &mut Criterion) {
+    let field = bench_field();
+    let mut g = c.benchmark_group("model_build");
+    g.throughput(Throughput::Bytes((field.len() * 4) as u64));
+    g.sample_size(10);
+    for kind in [PredictorKind::Lorenzo, PredictorKind::Interpolation, PredictorKind::Regression]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| RqModel::build(&field, kind, 0.01, 1))
+        });
+    }
+    g.finish();
+}
+
+fn model_estimate(c: &mut Criterion) {
+    let field = bench_field();
+    let model = RqModel::build(&field, PredictorKind::Lorenzo, 0.01, 1);
+    let mut g = c.benchmark_group("model_estimate");
+    g.bench_function("single_eb", |b| b.iter(|| model.estimate(1e-3)));
+    g.bench_function("invert_bit_rate", |b| b.iter(|| model.error_bound_for_bit_rate(2.0)));
+    g.bench_function("invert_psnr", |b| b.iter(|| model.error_bound_for_psnr(60.0)));
+    g.finish();
+}
+
+fn trial_and_error_alternative(c: &mut Criterion) {
+    let field = bench_field();
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+    let mut g = c.benchmark_group("tae_single_trial");
+    g.throughput(Throughput::Bytes((field.len() * 4) as u64));
+    g.sample_size(10);
+    g.bench_function("one_compression", |b| b.iter(|| compress(&field, &cfg).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, model_build, model_estimate, trial_and_error_alternative);
+criterion_main!(benches);

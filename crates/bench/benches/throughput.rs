@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks: compressor throughput per predictor plus
+//! the entropy-coding substrate — backing the paper's "low computational
+//! overhead" claims with wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_encoding::HuffmanCodec;
+use rq_grid::{NdArray, Shape};
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+fn bench_field() -> NdArray<f32> {
+    let mut state = 0xBE7Cu64;
+    NdArray::from_fn(Shape::d3(48, 48, 48), |ix| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        ((ix[0] as f64 * 0.1).sin() * 4.0 + noise * 0.1) as f32
+    })
+}
+
+fn compressor_throughput(c: &mut Criterion) {
+    let field = bench_field();
+    let bytes = (field.len() * 4) as u64;
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for kind in PredictorKind::all() {
+        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(1e-3));
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cfg, |b, cfg| {
+            b.iter(|| compress(&field, cfg).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for kind in PredictorKind::all() {
+        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(1e-3));
+        let out = compress(&field, &cfg).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &out.bytes, |b, bytes| {
+            b.iter(|| decompress::<f32>(bytes).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn huffman_throughput(c: &mut Criterion) {
+    // Zero-dominated symbol stream like real quantization codes.
+    let symbols: Vec<u32> = (0..1_000_000u32)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56;
+            match h {
+                0..=200 => 100,
+                201..=228 => 99,
+                229..=250 => 101,
+                _ => (h % 32) as u32 + 84,
+            }
+        })
+        .collect();
+    let mut counts = vec![0u64; 200];
+    for &s in &symbols {
+        counts[s as usize] += 1;
+    }
+    let codec = HuffmanCodec::from_counts(&counts).unwrap();
+    let encoded = codec.encode(&symbols).unwrap();
+
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.sample_size(10);
+    g.bench_function("encode_1M", |b| b.iter(|| codec.encode(&symbols).unwrap()));
+    g.bench_function("decode_1M", |b| {
+        b.iter(|| codec.decode(&encoded, symbols.len()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, compressor_throughput, huffman_throughput);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation/extension: SZ-style (prediction-based) vs ZFP-style
+//! (transform-based) rate-distortion, the comparison behind the paper's
+//! reference [11] (automatic online selection between SZ and ZFP) and its
+//! stated future work (extending the model to transform-based codecs).
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin ablation_sz_vs_zfp
+//! ```
+
+use rq_analysis::psnr;
+use rq_bench::{eb_grid, f, Table};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+use rq_zfp::{zfp_compress, zfp_decompress};
+
+fn main() {
+    println!("# Ablation — prediction-based (SZ-style) vs transform-based (ZFP-style)\n");
+    let fields = [
+        ("Hurricane-like U (3D)", rq_datagen::fields::hurricane_u()),
+        ("CESM-like TS (2D)", rq_datagen::fields::cesm_ts()),
+        ("RTM-like snapshot (3D)", rq_datagen::fields::rtm_snapshot(300)),
+    ];
+    for (name, field) in &fields {
+        println!("## {name} {:?}", field.shape());
+        let range = field.value_range();
+        let mut t = Table::new(&[
+            "eb/range",
+            "SZ bits",
+            "SZ PSNR",
+            "ZFP bits",
+            "ZFP PSNR",
+            "winner@rate",
+        ]);
+        for eb in eb_grid(range, 1e-5, 1e-2, if rq_bench::quick() { 4 } else { 6 }) {
+            let cfg =
+                CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+            let sz = compress(field, &cfg).expect("sz compress");
+            let sz_back = decompress::<f32>(&sz.bytes).expect("sz decompress");
+            let zf = zfp_compress(field, eb).expect("zfp compress");
+            let zf_back = zfp_decompress::<f32>(&zf).expect("zfp decompress");
+            let sz_bits = sz.bit_rate();
+            let zf_bits = zf.len() as f64 * 8.0 / field.len() as f64;
+            let (sp, zp) = (psnr(field, &sz_back), psnr(field, &zf_back));
+            // Same bound: compare bits (quality is comparable by construction).
+            let winner = if sz_bits <= zf_bits { "SZ" } else { "ZFP" };
+            t.row(&[
+                format!("{:.1e}", eb / range),
+                f(sz_bits, 3),
+                f(sp, 1),
+                f(zf_bits, 3),
+                f(zp, 1),
+                winner.into(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "Expected shape (literature, e.g. Tao et al. TPDS'19): the prediction-based\n\
+         compressor wins on most structured scientific fields at equal bounds, the\n\
+         transform-based codec narrows the gap (or wins) on smooth low-rate data —\n\
+         which is exactly why the paper's model-driven *selection* is valuable."
+    );
+}

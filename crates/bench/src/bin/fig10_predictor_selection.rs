@@ -1,0 +1,77 @@
+//! Fig. 10: rate-distortion curves per predictor on an RTM-like snapshot —
+//! estimated curves vs measured points, the predictor crossover bit-rate,
+//! and the optimization-overhead comparison against per-bound sampling.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin fig10_predictor_selection
+//! ```
+
+use rq_analysis::psnr;
+use rq_bench::{eb_grid, f, Table};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_core::usecases::PredictorSelector;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+use std::time::Instant;
+
+fn main() {
+    let field = rq_datagen::fields::rtm_snapshot(300);
+    let range = field.value_range();
+    println!("# Fig. 10 — predictor selection via estimated rate-distortion curves");
+    println!("field: RTM-like snapshot {:?}\n", field.shape());
+
+    let candidates =
+        [PredictorKind::Lorenzo, PredictorKind::Interpolation, PredictorKind::Regression];
+    let t0 = Instant::now();
+    let selector = PredictorSelector::build(&field, &candidates, 0.01, 3);
+    let build_time = t0.elapsed();
+
+    let ebs = eb_grid(range, 1e-6, 1e-2, if rq_bench::quick() { 5 } else { 8 });
+    let mut t =
+        Table::new(&["predictor", "eb/range", "est bits", "est PSNR", "meas bits", "meas PSNR"]);
+    for kind in candidates {
+        let model = selector.models().iter().find(|m| m.predictor() == kind).unwrap();
+        for &eb in &ebs {
+            let est = model.estimate(eb);
+            let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb));
+            let out = compress(&field, &cfg).expect("compress");
+            let back = decompress::<f32>(&out.bytes).expect("decompress");
+            t.row(&[
+                kind.name().into(),
+                format!("{:.1e}", eb / range),
+                f(est.bit_rate, 3),
+                f(est.psnr, 1),
+                f(out.bit_rate(), 3),
+                f(psnr(&field, &back), 1),
+            ]);
+        }
+    }
+    t.print();
+
+    // Crossover scan (the paper finds Lorenzo→interpolation at ≈1.89 bits).
+    let grid: Vec<f64> = (2..=48).map(|i| i as f64 * 0.25).collect();
+    println!("\nestimated best-predictor transitions:");
+    for (b, winner) in selector.crossovers(&grid) {
+        println!("  from {b:>5.2} bits/value → {}", winner.name());
+    }
+
+    // Overhead vs the trial-per-bound baseline (sample compression at every
+    // candidate bound, as existing selectors do).
+    let t0 = Instant::now();
+    for kind in candidates {
+        for &eb in &ebs {
+            // Baseline pre-compresses a structured sample (~5%) per bound.
+            let block = field.extract_block(&[0, 0, 0], &[22, 64, 64]);
+            let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb));
+            let _ = compress(&block, &cfg).expect("compress");
+        }
+    }
+    let baseline = t0.elapsed();
+    println!(
+        "\noptimization overhead: model {:.1} ms vs per-bound sampling {:.1} ms ({:.1}x)",
+        build_time.as_secs_f64() * 1e3,
+        baseline.as_secs_f64() * 1e3,
+        baseline.as_secs_f64() / build_time.as_secs_f64()
+    );
+    println!("(paper: 21.8x, overhead reduced from 109.97% to 5.04% of compression time)");
+}

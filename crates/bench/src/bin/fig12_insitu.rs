@@ -1,0 +1,185 @@
+//! Fig. 12: fine-grained per-timestep error-bound optimization for the RTM
+//! stacked-image analysis — tuned bounds per timestep, plus the headline
+//! "extra ratio at equal quality / extra quality at equal ratio" numbers.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin fig12_insitu
+//! ```
+
+use rq_bench::{f, Table};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_core::usecases::{optimize_partitions, uniform_eb_for_target};
+use rq_core::RqModel;
+use rq_datagen::RtmSimulator;
+use rq_grid::NdArray;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+/// Measured aggregate (stacked-image) PSNR and mean bit-rate for a
+/// per-partition bound assignment.
+fn measure(snapshots: &[NdArray<f32>], ebs: &[f64], range: f64) -> (f64, f64) {
+    let mut bytes = 0usize;
+    let mut sq = 0.0f64;
+    let mut n = 0usize;
+    for (snap, &eb) in snapshots.iter().zip(ebs) {
+        let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+        let out = compress(snap, &cfg).expect("compress");
+        let back = decompress::<f32>(&out.bytes).expect("decompress");
+        bytes += out.bytes.len();
+        for (&a, &b) in snap.as_slice().iter().zip(back.as_slice()) {
+            sq += ((a - b) as f64).powi(2);
+        }
+        n += snap.len();
+    }
+    let psnr = 20.0 * range.log10() - 10.0 * (sq / n as f64).log10();
+    (bytes as f64 * 8.0 / n as f64, psnr)
+}
+
+fn main() {
+    println!("# Fig. 12 — per-timestep error-bound optimization (RTM stacked image)\n");
+    let mut sim = RtmSimulator::new([48, 48, 48]);
+    let n_steps = if rq_bench::quick() { 5 } else { 10 };
+    let steps: Vec<usize> = (1..=n_steps).map(|i| i * 45).collect();
+    let snapshots: Vec<_> = steps.iter().map(|&s| sim.snapshot_at(s)).collect();
+    let range = snapshots.iter().map(|s| s.value_range()).fold(0.0f64, f64::max);
+
+    let models: Vec<RqModel> = snapshots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| RqModel::build(s, PredictorKind::Interpolation, 0.01, 12 + i as u64))
+        .collect();
+    let sizes: Vec<usize> = snapshots.iter().map(|s| s.len()).collect();
+
+    let target = 66.0;
+    let plan = optimize_partitions(&models, &sizes, range, target, 48);
+    let (uni_eb, _) = uniform_eb_for_target(&models, &sizes, range, target);
+
+    let mut t = Table::new(&["timestep", "tuned eb", "uniform eb", "tuned/uniform"]);
+    for (i, &s) in steps.iter().enumerate() {
+        t.row(&[
+            s.to_string(),
+            format!("{:.3e}", plan.ebs[i]),
+            format!("{uni_eb:.3e}"),
+            f(plan.ebs[i] / uni_eb, 2),
+        ]);
+    }
+    t.print();
+
+    // Measure both assignments for real. Model estimation error means the
+    // two land at different delivered PSNRs, so trace the uniform
+    // rate-quality curve and interpolate its bits at the tuned PSNR for an
+    // equal-quality comparison.
+    let (tuned_bits, tuned_psnr) = measure(&snapshots, &plan.ebs, range);
+    let (uni_bits, uni_psnr) = measure(&snapshots, &vec![uni_eb; snapshots.len()], range);
+    println!("\nmeasured   tuned: {tuned_bits:.3} bits/value, aggregate PSNR {tuned_psnr:.2} dB");
+    println!("measured uniform: {uni_bits:.3} bits/value, aggregate PSNR {uni_psnr:.2} dB");
+
+    let mut curve: Vec<(f64, f64)> = [0.25, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&scale| {
+            let (bits, q) = measure(&snapshots, &vec![uni_eb * scale; snapshots.len()], range);
+            (q, bits)
+        })
+        .collect();
+    curve.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let uni_bits_at_tuned_q = {
+        let mut v = curve.last().unwrap().1;
+        for w in curve.windows(2) {
+            if tuned_psnr >= w[0].0 && tuned_psnr <= w[1].0 {
+                let t = (tuned_psnr - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+                v = w[0].1 + t * (w[1].1 - w[0].1);
+                break;
+            }
+        }
+        if tuned_psnr < curve[0].0 {
+            v = curve[0].1;
+        }
+        v
+    };
+    println!(
+        "uniform bits at the tuned quality ({tuned_psnr:.2} dB): {uni_bits_at_tuned_q:.3}"
+    );
+    println!(
+        "\nequal-quality ratio gain: {:+.1}% (paper: +13% extra compression ratio,\n\
+         or +31% extra quality at equal ratio, vs one bound for all timesteps)",
+        (uni_bits_at_tuned_q / tuned_bits - 1.0) * 100.0
+    );
+    println!(
+        "\nNote: once sparsity is modelled, quiescent snapshots cost ≈0 bits under\n\
+         any bound, which flattens the exploitable heterogeneity of a clean\n\
+         wavefield series. Scenario 2 adds per-timestep sensor noise (growing\n\
+         with acquisition time, as in field data), restoring the paper's regime.\n"
+    );
+
+    // ---- Scenario 2: snapshots with heterogeneous instrument noise ----
+    println!("## Scenario 2 — snapshots with per-timestep sensor noise\n");
+    let mut state = 0xF12_5EEDu64;
+    let noisy: Vec<NdArray<f32>> = snapshots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let amp = 1e-4 * 3f64.powi(i as i32 % 4); // 1e-4 .. 2.7e-3
+            let shape = s.shape();
+            let data: Vec<f32> = s
+                .as_slice()
+                .iter()
+                .map(|&v| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                    v + (u * amp) as f32
+                })
+                .collect();
+            NdArray::from_vec(shape, data)
+        })
+        .collect();
+    let range2 = noisy.iter().map(|s| s.value_range()).fold(0.0f64, f64::max);
+    let models2: Vec<RqModel> = noisy
+        .iter()
+        .enumerate()
+        .map(|(i, s)| RqModel::build(s, PredictorKind::Interpolation, 0.01, 300 + i as u64))
+        .collect();
+    let sizes2: Vec<usize> = noisy.iter().map(|s| s.len()).collect();
+    let target2 = 66.0;
+    let plan2 = optimize_partitions(&models2, &sizes2, range2, target2, 48);
+    let (uni_eb2, _) = uniform_eb_for_target(&models2, &sizes2, range2, target2);
+    let (tuned_bits2, tuned_psnr2) = measure(&noisy, &plan2.ebs, range2);
+    let (uni_bits2, uni_psnr2) = measure(&noisy, &vec![uni_eb2; noisy.len()], range2);
+    println!("tuned ebs: {:?}", plan2.ebs.iter().map(|e| format!("{e:.2e}")).collect::<Vec<_>>());
+    println!("uniform eb: {uni_eb2:.2e}");
+    println!("measured   tuned: {tuned_bits2:.3} bits/value, PSNR {tuned_psnr2:.2} dB");
+    println!("measured uniform: {uni_bits2:.3} bits/value, PSNR {uni_psnr2:.2} dB");
+    let mut curve2: Vec<(f64, f64)> = [0.25, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&scale| {
+            let (bits, q) = measure(&noisy, &vec![uni_eb2 * scale; noisy.len()], range2);
+            (q, bits)
+        })
+        .collect();
+    curve2.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let uni_at_q = {
+        let mut v = curve2.last().unwrap().1;
+        for w in curve2.windows(2) {
+            if tuned_psnr2 >= w[0].0 && tuned_psnr2 <= w[1].0 {
+                let t = (tuned_psnr2 - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+                v = w[0].1 + t * (w[1].1 - w[0].1);
+                break;
+            }
+        }
+        if tuned_psnr2 < curve2[0].0 {
+            v = curve2[0].1;
+        }
+        v
+    };
+    println!("uniform bits at the tuned quality ({tuned_psnr2:.2} dB): {uni_at_q:.3}");
+    println!(
+        "equal-quality ratio gain: {:+.1}%\n\n\
+         See EXPERIMENTS.md for the honest deviation discussion: with synthetic\n\
+         wavefields and sparsity-aware modelling, the per-timestep gain over a\n\
+         uniform bound is smaller than the paper's +13% (the uniform baseline is\n\
+         already sparsity-adaptive); the mechanism — one-shot per-partition bounds\n\
+         meeting an aggregate quality floor — is reproduced.",
+        (uni_at_q / tuned_bits2 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 6: PSNR estimation accuracy — uniform (Eq. 10) vs refined (Eq. 11)
+//! error distributions, on a Nyx-like dark-matter field with both the
+//! interpolation and Lorenzo predictors.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin fig6_psnr_model
+//! ```
+
+use rq_analysis::psnr;
+use rq_bench::{eb_grid, f, Table};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_core::RqModel;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+fn main() {
+    let field = rq_datagen::fields::nyx_dark_matter();
+    let range = field.value_range();
+    println!("# Fig. 6 — PSNR estimation: uniform vs refined error distribution");
+    println!("field: Nyx-like dark-matter {:?}\n", field.shape());
+
+    for kind in [PredictorKind::Interpolation, PredictorKind::Lorenzo] {
+        println!("## predictor: {}", kind.name());
+        let model = RqModel::build(&field, kind, 0.01, 17);
+        let mut t = Table::new(&[
+            "eb/range",
+            "measured PSNR",
+            "est (refined)",
+            "est (uniform)",
+            "p0",
+        ]);
+        for eb in eb_grid(range, 1e-5, 1e-1, if rq_bench::quick() { 5 } else { 8 }) {
+            let est = model.estimate(eb);
+            let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb));
+            let out = compress(&field, &cfg).expect("compress");
+            let back = decompress::<f32>(&out.bytes).expect("decompress");
+            t.row(&[
+                format!("{:.1e}", eb / range),
+                f(psnr(&field, &back), 2),
+                f(est.psnr, 2),
+                f(est.psnr_uniform, 2),
+                f(est.p0, 4),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 6): both estimates agree at low bounds; once\n\
+         p0 → 1 the refined (Eq. 11) curve follows the measurements while the\n\
+         uniform (Eq. 10) curve keeps falling. Paper: 97.3% average PSNR accuracy."
+    );
+}

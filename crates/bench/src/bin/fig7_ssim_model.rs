@@ -1,0 +1,47 @@
+//! Fig. 7: SSIM estimation accuracy (plotted as 1−SSIM, log scale in the
+//! paper) on a CESM-like 2D field and an RTM-like 3D snapshot.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin fig7_ssim_model
+//! ```
+
+use rq_analysis::global_ssim;
+use rq_bench::{eb_grid, Table};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_core::RqModel;
+use rq_grid::NdArray;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+fn run(label: &str, field: &NdArray<f32>) {
+    let range = field.value_range();
+    println!("## {label} {:?}", field.shape());
+    let model = RqModel::build(field, PredictorKind::Interpolation, 0.01, 7);
+    let mut t = Table::new(&["eb/range", "1-SSIM measured", "1-SSIM est", "est SSIM"]);
+    for eb in eb_grid(range, 1e-5, 3e-2, if rq_bench::quick() { 5 } else { 8 }) {
+        let est = model.estimate(eb);
+        let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+        let out = compress(field, &cfg).expect("compress");
+        let back = decompress::<f32>(&out.bytes).expect("decompress");
+        let measured = global_ssim(field, &back);
+        t.row(&[
+            format!("{:.1e}", eb / range),
+            format!("{:.3e}", 1.0 - measured),
+            format!("{:.3e}", 1.0 - est.ssim),
+            format!("{:.6}", est.ssim),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn main() {
+    println!("# Fig. 7 — SSIM estimation accuracy\n");
+    run("CESM-like TS (2D)", &rq_datagen::fields::cesm_ts());
+    run("RTM-like snapshot (3D)", &rq_datagen::fields::rtm_snapshot(300));
+    println!(
+        "Expected shape (paper Fig. 7): estimates track 1−SSIM over orders of\n\
+         magnitude, degrading slightly at the very-low and very-high ends\n\
+         (the paper's Eq. 17–19 approximations). Paper: 94.4% average accuracy."
+    );
+}

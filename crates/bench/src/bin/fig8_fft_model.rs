@@ -1,0 +1,66 @@
+//! Fig. 8: FFT power-spectrum quality degradation — model (uniform vs
+//! refined error distribution) against measurement, on a Nyx-like
+//! temperature field at a high absolute bound (the paper uses ABS 500).
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin fig8_fft_model
+//! ```
+
+use rq_analysis::spectrum::power_spectrum_3d;
+use rq_analysis::spectrum_ratio;
+use rq_bench::{f, Table};
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_core::quality::spectrum_ratio_model;
+use rq_core::RqModel;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+fn main() {
+    let field = rq_datagen::fields::nyx_temperature();
+    println!("# Fig. 8 — FFT power-spectrum quality degradation");
+    println!("field: Nyx-like temperature {:?}", field.shape());
+
+    // The paper evaluates ABS 500 on Nyx temperature (range ~10^4-10^5);
+    // scale equivalently to our synthetic range.
+    let eb = field.value_range() * 0.012;
+    println!("error bound: {eb:.1} (≈1.2% of range, the paper's ABS 500 regime)\n");
+
+    let model = RqModel::build(&field, PredictorKind::Interpolation, 0.01, 5);
+    let est = model.estimate(eb);
+
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+    let out = compress(&field, &cfg).expect("compress");
+    let back = decompress::<f32>(&out.bytes).expect("decompress");
+
+    let reference: Vec<(f64, f64)> =
+        power_spectrum_3d(&field).iter().map(|b| (b.k, b.power)).collect();
+    let measured = spectrum_ratio(&field, &back);
+    let model_refined = spectrum_ratio_model(&reference, est.sigma2);
+    let model_uniform = spectrum_ratio_model(&reference, est.sigma2_uniform);
+
+    let mut t = Table::new(&["k", "P'(k)/P(k) measured", "model refined", "model uniform"]);
+    let step = (measured.len() / 14).max(1);
+    for i in (0..measured.len()).step_by(step) {
+        t.row(&[
+            f(measured[i].0, 0),
+            f(measured[i].1, 4),
+            f(model_refined[i].1, 4),
+            f(model_uniform[i].1, 4),
+        ]);
+    }
+    t.print();
+
+    let score = |m: &[(f64, f64)]| -> f64 {
+        measured
+            .iter()
+            .zip(m)
+            .map(|(a, b)| (a.1 - b.1).abs())
+            .sum::<f64>()
+            / measured.len() as f64
+    };
+    println!("\nmean |Δratio| — refined: {:.4}, uniform: {:.4}", score(&model_refined), score(&model_uniform));
+    println!(
+        "\nExpected shape (paper Fig. 8): compression noise lifts the ratio at high k;\n\
+         the refined error distribution tracks the lift more closely than uniform."
+    );
+}

@@ -1,0 +1,139 @@
+//! Table II: per-field model accuracy — sampling error, Huffman bit-rate
+//! error, lossless-stage error, overall (Huffman+LL) error, PSNR error and
+//! SSIM error, each via the paper's Eq. 20 statistic over an error-bound
+//! sweep.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin table2_accuracy
+//! ```
+
+use rq_analysis::{global_ssim, psnr};
+use rq_bench::{eb_grid, eq20_error, pct, quick, Table};
+use rq_compress::{compress_with_report, decompress, CompressorConfig};
+use rq_core::{sample_errors, RqModel};
+use rq_datagen::all_datasets;
+use rq_grid::NdArray;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+struct RowAcc {
+    sample_err: f64,
+    huff: Vec<(f64, f64)>,
+    lossless: Vec<(f64, f64)>,
+    overall: Vec<(f64, f64)>,
+    psnr_pairs: Vec<(f64, f64)>,
+    ssim_pairs: Vec<(f64, f64)>,
+}
+
+fn eval_field(field: &NdArray<f32>, kind: PredictorKind) -> RowAcc {
+    let range = field.value_range();
+    // Sampling error: |sampled std − full std| / range (paper §V-B1).
+    let full = sample_errors(field, kind, 1.0, 0).weighted_std();
+    let sampled = sample_errors(field, kind, 0.01, 1).weighted_std();
+    let sample_err = (sampled - full).abs() / range.max(f64::MIN_POSITIVE);
+
+    let model = RqModel::build(field, kind, 0.01, 2);
+    let points = if quick() { 4 } else { 6 };
+    let mut acc = RowAcc {
+        sample_err,
+        huff: Vec::new(),
+        lossless: Vec::new(),
+        overall: Vec::new(),
+        psnr_pairs: Vec::new(),
+        ssim_pairs: Vec::new(),
+    };
+    for eb in eb_grid(range, 1e-5, 1e-2, points) {
+        let est = model.estimate(eb);
+        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb));
+        let (out, rep) = compress_with_report(field, &cfg).expect("compress");
+        acc.huff.push((rep.huffman_bit_rate(), est.bit_rate_huffman));
+        // Lossless column: the extra ratio delivered by the optional stage.
+        let meas_extra = rep.huffman_bytes as f64 / rep.encoded_bytes.max(1) as f64;
+        let est_extra = (est.bit_rate_huffman / est.bit_rate).max(1.0);
+        acc.lossless.push((meas_extra, est_extra));
+        acc.overall.push((out.bit_rate(), est.bit_rate));
+        let back = decompress::<f32>(&out.bytes).expect("decompress");
+        acc.psnr_pairs.push((psnr(field, &back), est.psnr));
+        if field.shape().ndim() >= 2 {
+            acc.ssim_pairs.push((global_ssim(field, &back), est.ssim));
+        }
+    }
+    acc
+}
+
+fn main() {
+    println!("# Table II — per-field model accuracy (Eq. 20 error rates)\n");
+    let mut t = Table::new(&[
+        "Field",
+        "Dim",
+        "Sample Err",
+        "Huff Err",
+        "Lossless Err",
+        "Huff+LL Err",
+        "PSNR Err",
+        "SSIM Err",
+    ]);
+    let mut totals: Vec<f64> = vec![0.0; 6];
+    let mut counts: Vec<usize> = vec![0; 6];
+    for ds in all_datasets() {
+        for fs in &ds.fields {
+            let field = fs.generate();
+            let kind = if field.shape().ndim() == 1 {
+                PredictorKind::Lorenzo
+            } else {
+                PredictorKind::Interpolation
+            };
+            let acc = eval_field(&field, kind);
+            let dims: Vec<String> =
+                field.shape().dims().iter().map(|d| d.to_string()).collect();
+            let cols = [
+                acc.sample_err,
+                eq20_error(&acc.huff),
+                eq20_error(&acc.lossless),
+                eq20_error(&acc.overall),
+                eq20_error(&acc.psnr_pairs),
+                if acc.ssim_pairs.is_empty() {
+                    f64::NAN
+                } else {
+                    eq20_error(&acc.ssim_pairs)
+                },
+            ];
+            for (i, &c) in cols.iter().enumerate() {
+                if c.is_finite() {
+                    totals[i] += c;
+                    counts[i] += 1;
+                }
+            }
+            t.row(&[
+                fs.label(),
+                dims.join("x"),
+                pct(cols[0]),
+                pct(cols[1]),
+                pct(cols[2]),
+                pct(cols[3]),
+                pct(cols[4]),
+                if cols[5].is_finite() { pct(cols[5]) } else { "-".into() },
+            ]);
+        }
+    }
+    let avg: Vec<String> = totals
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { pct(s / c as f64) } else { "-".into() })
+        .collect();
+    t.row(&[
+        "Average".into(),
+        "-".into(),
+        avg[0].clone(),
+        avg[1].clone(),
+        avg[2].clone(),
+        avg[3].clone(),
+        avg[4].clone(),
+        avg[5].clone(),
+    ]);
+    t.print();
+    println!(
+        "\nPaper reference averages: sample 0.12%, Huffman 5.16%, lossless 6.21%,\n\
+         Huffman+LL 6.53%, PSNR 2.72%, SSIM 5.59% (Table II)."
+    );
+}

@@ -1,0 +1,154 @@
+//! Minimal hand-rolled argument parsing (no external dependency).
+
+use rq_grid::Shape;
+use rq_predict::PredictorKind;
+
+/// A parsed `--key value` option set plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs (last occurrence wins).
+    pairs: Vec<(String, String)>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (program name excluded).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name".into());
+                }
+                // `--key=value` or `--key value` or bare flag.
+                if let Some((k, v)) = key.split_once('=') {
+                    out.pairs.push((k.to_string(), v.to_string()));
+                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    out.pairs.push((key.to_string(), it.next().unwrap()));
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Look up an option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Required option with a descriptive error.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parse a `--shape 64x64x64` option.
+    pub fn shape(&self) -> Result<Shape, String> {
+        let raw = self.require("shape")?;
+        parse_shape(raw)
+    }
+
+    /// Parse `--predictor lorenzo|lorenzo2|interpolation|regression`
+    /// (default interpolation).
+    pub fn predictor(&self) -> Result<PredictorKind, String> {
+        match self.get("predictor").unwrap_or("interpolation") {
+            "lorenzo" => Ok(PredictorKind::Lorenzo),
+            "lorenzo2" => Ok(PredictorKind::Lorenzo2),
+            "interpolation" | "interp" => Ok(PredictorKind::Interpolation),
+            "regression" => Ok(PredictorKind::Regression),
+            other => Err(format!("unknown predictor '{other}'")),
+        }
+    }
+
+    /// Parse a float option.
+    pub fn float(&self, key: &str) -> Result<Option<f64>, String> {
+        self.get(key)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("--{key}: '{v}' is not a number")))
+            .transpose()
+    }
+}
+
+/// Parse `"64x64x64"` into a [`Shape`].
+pub fn parse_shape(raw: &str) -> Result<Shape, String> {
+    let dims: Result<Vec<usize>, _> = raw.split('x').map(|p| p.parse::<usize>()).collect();
+    let dims = dims.map_err(|_| format!("bad shape '{raw}' (want e.g. 64x64x64)"))?;
+    if dims.is_empty() || dims.len() > rq_grid::MAX_DIMS || dims.contains(&0) {
+        return Err(format!("bad shape '{raw}': need 1-4 positive extents"));
+    }
+    Ok(Shape::new(&dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let a = parse(&["compress", "in.raw", "--shape", "4x5", "out.rqc", "--abs", "1e-3"]);
+        assert_eq!(a.positional, vec!["compress", "in.raw", "out.rqc"]);
+        assert_eq!(a.get("shape"), Some("4x5"));
+        assert_eq!(a.float("abs").unwrap(), Some(1e-3));
+    }
+
+    #[test]
+    fn equals_form_and_flags() {
+        let a = parse(&["x", "--abs=0.5", "--huffman-only"]);
+        assert_eq!(a.get("abs"), Some("0.5"));
+        assert!(a.flag("huffman-only"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let a = parse(&["--abs", "1", "--abs", "2"]);
+        assert_eq!(a.get("abs"), Some("2"));
+    }
+
+    #[test]
+    fn shape_parsing() {
+        assert_eq!(parse_shape("64").unwrap().dims(), &[64]);
+        assert_eq!(parse_shape("4x5x6").unwrap().dims(), &[4, 5, 6]);
+        assert!(parse_shape("4x0").is_err());
+        assert!(parse_shape("4xx5").is_err());
+        assert!(parse_shape("1x2x3x4x5").is_err());
+    }
+
+    #[test]
+    fn predictor_parsing() {
+        let a = parse(&["--predictor", "lorenzo"]);
+        assert_eq!(a.predictor().unwrap(), PredictorKind::Lorenzo);
+        let d = parse(&[]);
+        assert_eq!(d.predictor().unwrap(), PredictorKind::Interpolation);
+        let bad = parse(&["--predictor", "dct"]);
+        assert!(bad.predictor().is_err());
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = parse(&[]);
+        assert!(a.require("shape").is_err());
+        assert!(a.shape().is_err());
+    }
+
+    #[test]
+    fn bad_float_is_error() {
+        let a = parse(&["--abs", "xyz"]);
+        assert!(a.float("abs").is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Raw little-endian f32 file I/O.
+
+use rq_grid::{NdArray, Shape};
+
+/// Read a raw little-endian `f32` file into a field of the given shape.
+pub fn read_raw_f32(path: &str, shape: Shape) -> Result<NdArray<f32>, String> {
+    let bytes = read_bytes(path)?;
+    let expect = shape.len() * 4;
+    if bytes.len() != expect {
+        return Err(format!(
+            "{path}: {} bytes but shape {:?} needs {expect}",
+            bytes.len(),
+            shape.dims()
+        ));
+    }
+    let values: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(NdArray::from_vec(shape, values))
+}
+
+/// Write a field as raw little-endian `f32`.
+pub fn write_raw_f32(path: &str, field: &NdArray<f32>) -> Result<(), String> {
+    let mut out = Vec::with_capacity(field.len() * 4);
+    for &v in field.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    write_bytes(path, &out)
+}
+
+/// Read a whole file.
+pub fn read_bytes(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Write a whole file.
+pub fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let dir = std::env::temp_dir().join("rqm_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.f32");
+        let f = NdArray::<f32>::from_fn(Shape::d1(10), |ix| ix[0] as f32 * 1.5);
+        write_raw_f32(p.to_str().unwrap(), &f).unwrap();
+        let g = read_raw_f32(p.to_str().unwrap(), Shape::d1(10)).unwrap();
+        assert_eq!(f.as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        let dir = std::env::temp_dir().join("rqm_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("s.f32");
+        write_bytes(p.to_str().unwrap(), &[0u8; 12]).unwrap();
+        assert!(read_raw_f32(p.to_str().unwrap(), Shape::d1(10)).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        assert!(read_bytes("/definitely/not/here").is_err());
+    }
+}

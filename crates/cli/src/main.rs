@@ -1,0 +1,296 @@
+//! `rqm` — command-line front end for the compressor and the model.
+//!
+//! ```text
+//! rqm compress   <in.f32> <out.rqc> --shape 64x64x64 --abs 1e-3
+//!                [--predictor interpolation|lorenzo|lorenzo2|regression]
+//!                [--rel 1e-3] [--huffman-only] [--codec sz|zfp]
+//! rqm decompress <in.rqc> <out.f32>
+//! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
+//!                [--predictor …]           # model-only, no compression
+//! rqm info       <in.rqc>
+//! ```
+//!
+//! Raw inputs are little-endian `f32` streams in row-major order.
+
+mod args;
+mod io;
+
+use args::Args;
+use rq_compress::{compress_with_report, container::peek_header, decompress, CompressorConfig};
+use rq_core::RqModel;
+use rq_grid::NdArray;
+use rq_quant::ErrorBoundMode;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rqm: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  rqm compress   <in.f32> <out.rqc> --shape NxNxN --abs EB [--rel R]
+                 [--predictor interpolation|lorenzo|lorenzo2|regression]
+                 [--huffman-only] [--codec sz|zfp]
+  rqm decompress <in.rqc> <out.f32>
+  rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
+  rqm info       <in.rqc>";
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "compress" => cmd_compress(&args),
+        "decompress" => cmd_decompress(&args),
+        "estimate" => cmd_estimate(&args),
+        "info" => cmd_info(&args),
+        "" => Err("no command given".into()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn bound_from(args: &Args) -> Result<ErrorBoundMode, String> {
+    match (args.float("abs")?, args.float("rel")?) {
+        (Some(eb), None) => Ok(ErrorBoundMode::Abs(eb)),
+        (None, Some(r)) => Ok(ErrorBoundMode::ValueRangeRelative(r)),
+        (Some(_), Some(_)) => Err("--abs and --rel are mutually exclusive".into()),
+        (None, None) => Err("need an error bound: --abs EB or --rel R".into()),
+    }
+}
+
+fn cmd_compress(args: &Args) -> Result<(), String> {
+    let [_, input, output] = positional::<3>(args)?;
+    let shape = args.shape()?;
+    let field = io::read_raw_f32(&input, shape)?;
+    let bound = bound_from(args)?;
+
+    let codec = args.get("codec").unwrap_or("sz");
+    let (bytes, summary) = match codec {
+        "sz" => {
+            let mut cfg = CompressorConfig::new(args.predictor()?, bound);
+            if args.flag("huffman-only") {
+                cfg = cfg.huffman_only();
+            }
+            let (out, rep) = compress_with_report(&field, &cfg)
+                .map_err(|e| format!("compression failed: {e}"))?;
+            let s = format!(
+                "predictor {}, ratio {:.2}, {:.3} bits/value, p0 {:.3}",
+                cfg.predictor.name(),
+                out.ratio(),
+                out.bit_rate(),
+                rep.p0()
+            );
+            (out.bytes, s)
+        }
+        "zfp" => {
+            let eb = match bound {
+                ErrorBoundMode::Abs(e) => e,
+                _ => bound.absolute(field.value_range()),
+            };
+            let bytes =
+                rq_zfp::zfp_compress(&field, eb).map_err(|e| format!("zfp failed: {e}"))?;
+            let ratio = (field.len() * 4) as f64 / bytes.len() as f64;
+            (bytes, format!("zfp, ratio {ratio:.2}"))
+        }
+        other => return Err(format!("unknown codec '{other}' (sz|zfp)")),
+    };
+    io::write_bytes(&output, &bytes)?;
+    println!("{input} -> {output}: {} -> {} bytes ({summary})", field.len() * 4, bytes.len());
+    Ok(())
+}
+
+fn cmd_decompress(args: &Args) -> Result<(), String> {
+    let [_, input, output] = positional::<3>(args)?;
+    let bytes = io::read_bytes(&input)?;
+    let field: NdArray<f32> = if bytes.starts_with(b"RQZF") {
+        rq_zfp::zfp_decompress(&bytes).map_err(|e| format!("zfp decompression failed: {e}"))?
+    } else {
+        decompress(&bytes).map_err(|e| format!("decompression failed: {e}"))?
+    };
+    io::write_raw_f32(&output, &field)?;
+    println!(
+        "{input} -> {output}: {:?}, {} values",
+        field.shape(),
+        field.len()
+    );
+    Ok(())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), String> {
+    let [_, input] = positional::<2>(args)?;
+    let shape = args.shape()?;
+    let field = io::read_raw_f32(&input, shape)?;
+    let rate = args.float("rate")?.unwrap_or(0.01);
+    let predictor = args.predictor()?;
+    let model = RqModel::build(&field, predictor, rate, 42);
+    println!(
+        "model: {} predictor, {} samples in {:?}",
+        predictor.name(),
+        model.sample().len(),
+        model.build_time()
+    );
+    let range = field.value_range();
+    let ebs: Vec<f64> = match args.float("abs")? {
+        Some(eb) => vec![eb],
+        None => (0..6).map(|i| range * 1e-6 * 10f64.powi(i)).collect(),
+    };
+    println!(
+        "{:>12} {:>10} {:>8} {:>9} {:>9} {:>9}",
+        "error bound", "bits/val", "ratio", "PSNR(dB)", "SSIM", "p0"
+    );
+    for eb in ebs {
+        let est = model.estimate(eb);
+        println!(
+            "{eb:>12.3e} {:>10.3} {:>8.2} {:>9.2} {:>9.5} {:>9.4}",
+            est.bit_rate, est.ratio, est.psnr, est.ssim, est.p0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let [_, input] = positional::<2>(args)?;
+    let bytes = io::read_bytes(&input)?;
+    if bytes.starts_with(b"RQZF") {
+        println!("{input}: RQZF transform-codec stream, {} bytes", bytes.len());
+        return Ok(());
+    }
+    let h = peek_header(&bytes).map_err(|e| format!("not a compressed container: {e}"))?;
+    println!("{input}: RQMC container, {} bytes", bytes.len());
+    println!("  shape:      {:?}", h.shape);
+    println!("  scalar:     {}", if h.scalar_tag == 0x04 { "f32" } else { "f64" });
+    println!("  predictor:  {}", h.predictor.name());
+    println!("  abs bound:  {:.6e}", h.abs_eb);
+    println!("  radius:     {}", h.radius);
+    println!("  lossless:   {:?}", h.lossless);
+    println!("  log xform:  {}", h.log_transform);
+    let ratio = (h.shape.len() * if h.scalar_tag == 0x04 { 4 } else { 8 }) as f64
+        / bytes.len() as f64;
+    println!("  ratio:      {ratio:.2}");
+    Ok(())
+}
+
+/// Exactly `N` positional arguments (including the command) or an error.
+fn positional<const N: usize>(args: &Args) -> Result<[String; N], String> {
+    if args.positional.len() != N {
+        return Err(format!(
+            "expected {} positional arguments, got {}",
+            N - 1,
+            args.positional.len() - 1
+        ));
+    }
+    Ok(std::array::from_fn(|i| args.positional[i].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rqm_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_args(v: &[&str]) -> Result<(), String> {
+        run(v.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn write_field(path: &std::path::Path) -> NdArray<f32> {
+        let f = NdArray::<f32>::from_fn(Shape::d2(20, 30), |ix| {
+            ((ix[0] as f32) * 0.3).sin() + ix[1] as f32 * 0.05
+        });
+        io::write_raw_f32(path.to_str().unwrap(), &f).unwrap();
+        f
+    }
+
+    #[test]
+    fn compress_decompress_cycle() {
+        let raw = tmp("a.f32");
+        let rqc = tmp("a.rqc");
+        let back = tmp("a.out.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+        ])
+        .unwrap();
+        run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.001);
+        }
+    }
+
+    #[test]
+    fn zfp_codec_cycle() {
+        let raw = tmp("z.f32");
+        let rqz = tmp("z.rqz");
+        let back = tmp("z.out.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqz.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-2",
+            "--codec",
+            "zfp",
+        ])
+        .unwrap();
+        run_args(&["decompress", rqz.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() <= 1e-2 * 1.001);
+        }
+    }
+
+    #[test]
+    fn estimate_and_info_run() {
+        let raw = tmp("e.f32");
+        let rqc = tmp("e.rqc");
+        write_field(&raw);
+        run_args(&["estimate", raw.to_str().unwrap(), "--shape", "20x30"]).unwrap();
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+            "--predictor",
+            "lorenzo",
+        ])
+        .unwrap();
+        run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(run_args(&[]).is_err());
+        assert!(run_args(&["frobnicate"]).is_err());
+        assert!(run_args(&["compress", "a", "b", "--shape", "4x4"]).is_err(), "no bound");
+        assert!(
+            run_args(&["compress", "a", "b", "--shape", "4x4", "--abs", "1", "--rel", "1"])
+                .is_err(),
+            "conflicting bounds"
+        );
+        assert!(run_args(&["decompress", "/nonexistent/x", "/tmp/y"]).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Compressor configuration.
+
+use rq_predict::PredictorKind;
+use rq_quant::{ErrorBoundMode, DEFAULT_RADIUS};
+
+/// Whether the optional lossless stage runs after Huffman coding.
+///
+/// The paper's Fig. 3 separates "Huffman only" from "Huffman + lossless";
+/// both configurations are first-class here so the model's two accuracy
+/// columns (Table II "Huff Err" vs "Huff+LL Err") can each be measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LosslessStage {
+    /// Huffman output stored as-is.
+    None,
+    /// Huffman output further compressed with zero-RLE + LZSS
+    /// (the Zstandard stand-in).
+    RleLzss,
+}
+
+/// Full configuration of one compression run.
+#[derive(Clone, Copy, Debug)]
+pub struct CompressorConfig {
+    /// Prediction method.
+    pub predictor: PredictorKind,
+    /// User error-bound mode.
+    pub bound: ErrorBoundMode,
+    /// Quantization code radius.
+    pub radius: u32,
+    /// Optional lossless stage.
+    pub lossless: LosslessStage,
+}
+
+impl CompressorConfig {
+    /// Config with the default radius and the lossless stage enabled.
+    pub fn new(predictor: PredictorKind, bound: ErrorBoundMode) -> Self {
+        CompressorConfig { predictor, bound, radius: DEFAULT_RADIUS, lossless: LosslessStage::RleLzss }
+    }
+
+    /// Disable the optional lossless stage (Huffman only).
+    pub fn huffman_only(mut self) -> Self {
+        self.lossless = LosslessStage::None;
+        self
+    }
+
+    /// Override the quantization radius.
+    pub fn with_radius(mut self, radius: u32) -> Self {
+        self.radius = radius;
+        self
+    }
+
+    /// Replace the error bound, keeping everything else.
+    pub fn with_bound(mut self, bound: ErrorBoundMode) -> Self {
+        self.bound = bound;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(0.5))
+            .huffman_only()
+            .with_radius(128);
+        assert_eq!(cfg.lossless, LosslessStage::None);
+        assert_eq!(cfg.radius, 128);
+        assert_eq!(cfg.predictor, PredictorKind::Interpolation);
+    }
+
+    #[test]
+    fn with_bound_swaps_only_bound() {
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+            .with_bound(ErrorBoundMode::Abs(2.0));
+        assert!(matches!(cfg.bound, ErrorBoundMode::Abs(e) if e == 2.0));
+        assert_eq!(cfg.predictor, PredictorKind::Lorenzo);
+    }
+}

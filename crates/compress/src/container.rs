@@ -1,0 +1,353 @@
+//! On-disk container format for compressed fields.
+//!
+//! Layout (all integers little-endian or LEB128 varints):
+//!
+//! ```text
+//! magic    "RQMC" (4 bytes)
+//! version  u8
+//! scalar   u8   (Scalar::TAG)
+//! pred     u8   (PredictorKind::tag)
+//! flags    u8   bit0 = lossless stage applied, bit1 = log transform
+//! ndim     u8
+//! dims     varint × ndim
+//! eb       f64  absolute error bound actually used (post-resolution)
+//! radius   varint
+//! sections, each varint-length-prefixed:
+//!   codebook | payload | verbatim values | side channel
+//! ```
+//!
+//! "Verbatim values" holds unpredictable escapes and interpolation anchors
+//! in traversal order, stored as raw scalars so they round-trip exactly.
+
+use crate::config::LosslessStage;
+use rq_encoding::varint::{get_uvarint, put_uvarint};
+use rq_grid::{Scalar, Shape, MAX_DIMS};
+use rq_predict::PredictorKind;
+
+pub(crate) const MAGIC: &[u8; 4] = b"RQMC";
+pub(crate) const VERSION: u8 = 1;
+pub(crate) const FLAG_LOSSLESS: u8 = 0b01;
+pub(crate) const FLAG_LOG: u8 = 0b10;
+
+/// Errors produced while compressing.
+#[derive(Debug)]
+pub enum CompressError {
+    /// The resolved error bound was invalid (e.g. relative bound on a
+    /// constant field).
+    InvalidBound(String),
+    /// Entropy-coding failure (internal invariant violation).
+    Encoding(rq_encoding::HuffmanError),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::InvalidBound(m) => write!(f, "invalid error bound: {m}"),
+            CompressError::Encoding(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<rq_encoding::HuffmanError> for CompressError {
+    fn from(e: rq_encoding::HuffmanError) -> Self {
+        CompressError::Encoding(e)
+    }
+}
+
+/// Errors produced while decompressing.
+#[derive(Debug)]
+pub enum DecompressError {
+    /// The buffer does not start with the container magic/version.
+    NotAContainer,
+    /// Scalar type mismatch between the container and the requested type.
+    ScalarMismatch { expected: u8, found: u8 },
+    /// Structural corruption.
+    Corrupt(&'static str),
+    /// Huffman decode failure.
+    Encoding(rq_encoding::HuffmanError),
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::NotAContainer => write!(f, "not an RQMC container"),
+            DecompressError::ScalarMismatch { expected, found } => {
+                write!(f, "scalar tag mismatch: expected {expected:#x}, found {found:#x}")
+            }
+            DecompressError::Corrupt(what) => write!(f, "corrupt container: {what}"),
+            DecompressError::Encoding(e) => write!(f, "huffman decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+impl From<rq_encoding::HuffmanError> for DecompressError {
+    fn from(e: rq_encoding::HuffmanError) -> Self {
+        DecompressError::Encoding(e)
+    }
+}
+
+/// Parsed container header.
+#[derive(Debug, Clone)]
+pub struct Header {
+    /// Scalar tag of the stored field.
+    pub scalar_tag: u8,
+    /// Predictor the stream was produced with.
+    pub predictor: PredictorKind,
+    /// Whether the payload went through the optional lossless stage.
+    pub lossless: LosslessStage,
+    /// Whether data was log-transformed (point-wise relative mode).
+    pub log_transform: bool,
+    /// Field shape.
+    pub shape: Shape,
+    /// Absolute error bound used by the quantizer.
+    pub abs_eb: f64,
+    /// Quantizer radius.
+    pub radius: u32,
+}
+
+/// Serialize a header followed by the four sections.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_container<T: Scalar>(
+    header: &Header,
+    codebook: &[u8],
+    payload: &[u8],
+    verbatim: &[T],
+    side: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + codebook.len() + verbatim.len() * T::BYTES + side.len() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(T::TAG);
+    out.push(header.predictor.tag());
+    let mut flags = 0u8;
+    if header.lossless == LosslessStage::RleLzss {
+        flags |= FLAG_LOSSLESS;
+    }
+    if header.log_transform {
+        flags |= FLAG_LOG;
+    }
+    out.push(flags);
+    out.push(header.shape.ndim() as u8);
+    for &d in header.shape.dims() {
+        put_uvarint(&mut out, d as u64);
+    }
+    out.extend_from_slice(&header.abs_eb.to_le_bytes());
+    put_uvarint(&mut out, header.radius as u64);
+
+    put_uvarint(&mut out, codebook.len() as u64);
+    out.extend_from_slice(codebook);
+    put_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_uvarint(&mut out, verbatim.len() as u64);
+    for &v in verbatim {
+        v.write_le(&mut out);
+    }
+    put_uvarint(&mut out, side.len() as u64);
+    out.extend_from_slice(side);
+    out
+}
+
+/// Parsed sections of a container.
+pub(crate) struct Sections<T> {
+    pub header: Header,
+    pub codebook: Vec<u8>,
+    pub payload: Vec<u8>,
+    pub verbatim: Vec<T>,
+    pub side: Vec<u8>,
+}
+
+/// Parse a container produced by [`write_container`].
+pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, DecompressError> {
+    if bytes.len() < 9 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
+        return Err(DecompressError::NotAContainer);
+    }
+    let scalar_tag = bytes[5];
+    if scalar_tag != T::TAG {
+        return Err(DecompressError::ScalarMismatch { expected: T::TAG, found: scalar_tag });
+    }
+    let predictor = PredictorKind::from_tag(bytes[6])
+        .ok_or(DecompressError::Corrupt("unknown predictor tag"))?;
+    let flags = bytes[7];
+    let ndim = bytes[8] as usize;
+    if ndim == 0 || ndim > MAX_DIMS {
+        return Err(DecompressError::Corrupt("bad ndim"));
+    }
+    let mut pos = 9;
+    let mut dims = [0usize; MAX_DIMS];
+    for d in dims.iter_mut().take(ndim) {
+        *d = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("dims"))? as usize;
+        if *d == 0 || *d > (1 << 32) {
+            return Err(DecompressError::Corrupt("bad dim extent"));
+        }
+    }
+    let shape = Shape::new(&dims[..ndim]);
+    if pos + 8 > bytes.len() {
+        return Err(DecompressError::Corrupt("eb"));
+    }
+    let abs_eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    pos += 8;
+    if !(abs_eb.is_finite() && abs_eb > 0.0) {
+        return Err(DecompressError::Corrupt("non-positive eb"));
+    }
+    let radius = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("radius"))? as u32;
+    if radius == 0 {
+        return Err(DecompressError::Corrupt("zero radius"));
+    }
+
+    let take_section = |pos: &mut usize| -> Result<Vec<u8>, DecompressError> {
+        let len =
+            get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("section len"))? as usize;
+        if *pos + len > bytes.len() {
+            return Err(DecompressError::Corrupt("section overruns buffer"));
+        }
+        let s = bytes[*pos..*pos + len].to_vec();
+        *pos += len;
+        Ok(s)
+    };
+
+    let codebook = take_section(&mut pos)?;
+    let payload = take_section(&mut pos)?;
+    let n_verbatim =
+        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("verbatim count"))? as usize;
+    if pos + n_verbatim * T::BYTES > bytes.len() {
+        return Err(DecompressError::Corrupt("verbatim overruns buffer"));
+    }
+    let mut verbatim = Vec::with_capacity(n_verbatim);
+    for _ in 0..n_verbatim {
+        verbatim.push(T::read_le(&bytes[pos..]));
+        pos += T::BYTES;
+    }
+    let side = take_section(&mut pos)?;
+
+    let lossless =
+        if flags & FLAG_LOSSLESS != 0 { LosslessStage::RleLzss } else { LosslessStage::None };
+    Ok(Sections {
+        header: Header {
+            scalar_tag,
+            predictor,
+            lossless,
+            log_transform: flags & FLAG_LOG != 0,
+            shape,
+            abs_eb,
+            radius,
+        },
+        codebook,
+        payload,
+        verbatim,
+        side,
+    })
+}
+
+/// Parse only the header of a container (cheap inspection).
+pub fn peek_header(bytes: &[u8]) -> Result<Header, DecompressError> {
+    // Scalar type does not matter for header fields; parse manually.
+    if bytes.len() < 9 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
+        return Err(DecompressError::NotAContainer);
+    }
+    let scalar_tag = bytes[5];
+    let predictor = PredictorKind::from_tag(bytes[6])
+        .ok_or(DecompressError::Corrupt("unknown predictor tag"))?;
+    let flags = bytes[7];
+    let ndim = bytes[8] as usize;
+    if ndim == 0 || ndim > MAX_DIMS {
+        return Err(DecompressError::Corrupt("bad ndim"));
+    }
+    let mut pos = 9;
+    let mut dims = [0usize; MAX_DIMS];
+    for d in dims.iter_mut().take(ndim) {
+        *d = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("dims"))? as usize;
+        if *d == 0 {
+            return Err(DecompressError::Corrupt("bad dim extent"));
+        }
+    }
+    if pos + 8 > bytes.len() {
+        return Err(DecompressError::Corrupt("eb"));
+    }
+    let abs_eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    pos += 8;
+    let radius = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("radius"))? as u32;
+    Ok(Header {
+        scalar_tag,
+        predictor,
+        lossless: if flags & FLAG_LOSSLESS != 0 {
+            LosslessStage::RleLzss
+        } else {
+            LosslessStage::None
+        },
+        log_transform: flags & FLAG_LOG != 0,
+        shape: Shape::new(&dims[..ndim]),
+        abs_eb,
+        radius,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            scalar_tag: <f32 as Scalar>::TAG,
+            predictor: PredictorKind::Lorenzo,
+            lossless: LosslessStage::RleLzss,
+            log_transform: false,
+            shape: Shape::d3(10, 20, 30),
+            abs_eb: 1e-4,
+            radius: 1 << 15,
+        }
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let h = sample_header();
+        let bytes =
+            write_container::<f32>(&h, &[1, 2, 3], &[9, 8, 7, 6], &[1.5f32, -2.5], &[0xAB]);
+        let s = read_container::<f32>(&bytes).unwrap();
+        assert_eq!(s.codebook, vec![1, 2, 3]);
+        assert_eq!(s.payload, vec![9, 8, 7, 6]);
+        assert_eq!(s.verbatim, vec![1.5f32, -2.5]);
+        assert_eq!(s.side, vec![0xAB]);
+        assert_eq!(s.header.shape.dims(), &[10, 20, 30]);
+        assert_eq!(s.header.abs_eb, 1e-4);
+        assert_eq!(s.header.predictor, PredictorKind::Lorenzo);
+        assert_eq!(s.header.lossless, LosslessStage::RleLzss);
+    }
+
+    #[test]
+    fn scalar_mismatch_detected() {
+        let h = sample_header();
+        let bytes = write_container::<f32>(&h, &[], &[], &[], &[]);
+        assert!(matches!(
+            read_container::<f64>(&bytes),
+            Err(DecompressError::ScalarMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(read_container::<f32>(b"NOPE....."), Err(DecompressError::NotAContainer)));
+        assert!(matches!(read_container::<f32>(&[]), Err(DecompressError::NotAContainer)));
+    }
+
+    #[test]
+    fn truncated_section_rejected() {
+        let h = sample_header();
+        let bytes = write_container::<f32>(&h, &[1, 2, 3], &[9; 100], &[], &[]);
+        let r = read_container::<f32>(&bytes[..bytes.len() - 50]);
+        assert!(matches!(r, Err(DecompressError::Corrupt(_))));
+    }
+
+    #[test]
+    fn peek_header_matches() {
+        let h = sample_header();
+        let bytes = write_container::<f32>(&h, &[], &[], &[], &[]);
+        let p = peek_header(&bytes).unwrap();
+        assert_eq!(p.shape.dims(), h.shape.dims());
+        assert_eq!(p.predictor, h.predictor);
+        assert_eq!(p.abs_eb, h.abs_eb);
+    }
+}

@@ -1,0 +1,34 @@
+//! SZ3-style prediction-based error-bounded lossy compressor.
+//!
+//! The pipeline matches the three-stage structure the paper models
+//! (§II-B): **prediction** (Lorenzo / multi-level interpolation / block
+//! regression, from [`rq_predict`]), **linear-scaling quantization**
+//! ([`rq_quant`]) and **encoding** (canonical Huffman plus an optional
+//! lossless stage, from [`rq_encoding`]).
+//!
+//! ```
+//! use rq_compress::{compress, decompress, CompressorConfig};
+//! use rq_grid::{NdArray, Shape};
+//! use rq_predict::PredictorKind;
+//! use rq_quant::ErrorBoundMode;
+//!
+//! let field = NdArray::<f32>::from_fn(Shape::d2(64, 64), |ix| {
+//!     ((ix[0] as f32) * 0.1).sin() + (ix[1] as f32) * 0.01
+//! });
+//! let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+//! let compressed = compress(&field, &cfg).unwrap();
+//! let restored = decompress::<f32>(&compressed.bytes).unwrap();
+//! for (a, b) in field.as_slice().iter().zip(restored.as_slice()) {
+//!     assert!((a - b).abs() <= 1e-3 * 1.0001);
+//! }
+//! ```
+
+pub mod config;
+pub mod container;
+pub mod pipeline;
+pub mod report;
+
+pub use config::{CompressorConfig, LosslessStage};
+pub use container::{CompressError, DecompressError, Header};
+pub use pipeline::{compress, compress_with_report, decompress};
+pub use report::{CompressedOutput, CompressionReport};

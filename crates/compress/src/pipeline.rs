@@ -1,0 +1,728 @@
+//! The compression/decompression pipeline.
+//!
+//! Compression walks the field in the predictor's causal traversal order,
+//! quantizing each prediction error (paper §II-B). The *reconstructed*
+//! value — exactly what the decompressor will later see, including the
+//! rounding to the target scalar type — is written back into the traversal
+//! buffer so compressor and decompressor predictions never diverge.
+//!
+//! Point-wise relative bounds are realized by a log transform
+//! (Liang et al. [35]): values are compressed as `ln(v)` under an absolute
+//! bound of `ln(1 + ratio)`; non-positive values take the verbatim escape
+//! path since the transform is undefined there.
+
+use crate::config::{CompressorConfig, LosslessStage};
+use crate::container::{read_container, write_container, CompressError, DecompressError, Header};
+use crate::report::{CompressedOutput, CompressionReport};
+use rq_encoding::{lossless_compress, lossless_decompress, HuffmanCodec};
+use rq_grid::{BlockIter, NdArray, Scalar, Shape, MAX_DIMS};
+use rq_predict::interp::{anchors, for_each_stencil};
+use rq_predict::lorenzo::LorenzoStencil;
+use rq_predict::regression::{fit_block, BlockCoeffs, REGRESSION_BLOCK_SIDE};
+use rq_predict::PredictorKind;
+use rq_quant::LinearQuantizer;
+
+/// Stand-in reconstruction value (log domain) for non-positive values in
+/// point-wise relative mode; only used for predicting neighbors.
+const LOG_FLOOR: f64 = -745.0; // ≈ ln(f64::MIN_POSITIVE)
+
+/// Value-domain transform applied before quantization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Transform {
+    Identity,
+    /// `ln(v)`; `ratio` retained for the final bound check.
+    Log { ratio: f64 },
+}
+
+impl Transform {
+    #[inline]
+    fn forward(self, v: f64) -> f64 {
+        match self {
+            Transform::Identity => v,
+            Transform::Log { .. } => {
+                if v > 0.0 {
+                    v.ln()
+                } else {
+                    LOG_FLOOR
+                }
+            }
+        }
+    }
+}
+
+/// Shared quantize-and-collect state for the compression passes.
+struct QuantEncoder<T: Scalar> {
+    quantizer: LinearQuantizer,
+    transform: Transform,
+    escape_symbol: u32,
+    symbols: Vec<u32>,
+    verbatim: Vec<T>,
+    histogram: Vec<u64>,
+    n_escapes: usize,
+}
+
+impl<T: Scalar> QuantEncoder<T> {
+    fn new(quantizer: LinearQuantizer, transform: Transform, n_hint: usize) -> Self {
+        let alphabet = quantizer.alphabet_size() + 1;
+        QuantEncoder {
+            quantizer,
+            transform,
+            escape_symbol: quantizer.alphabet_size() as u32,
+            symbols: Vec::with_capacity(n_hint),
+            verbatim: Vec::new(),
+            histogram: vec![0u64; alphabet],
+            n_escapes: 0,
+        }
+    }
+
+    /// Store `original` verbatim (anchor or forced escape) and return the
+    /// working-domain reconstruction.
+    fn store_verbatim(&mut self, original: T) -> f64 {
+        self.verbatim.push(original);
+        self.transform.forward(original.to_f64())
+    }
+
+    /// Escape through the symbol stream (records the escape symbol too).
+    fn escape(&mut self, original: T) -> f64 {
+        self.symbols.push(self.escape_symbol);
+        self.histogram[self.escape_symbol as usize] += 1;
+        self.n_escapes += 1;
+        self.store_verbatim(original)
+    }
+
+    /// Quantize one point. Returns the working-domain reconstruction that
+    /// the decompressor will reproduce bit-for-bit.
+    #[inline]
+    fn encode_point(&mut self, original: T, work: f64, predicted: f64) -> f64 {
+        // Non-positive values cannot live in the log domain.
+        if matches!(self.transform, Transform::Log { .. }) && original.to_f64() <= 0.0 {
+            return self.escape(original);
+        }
+        let Some((code, recon_work)) = self.quantizer.quantize_value(work, predicted) else {
+            return self.escape(original);
+        };
+        let (ok, recon_stored) = match self.transform {
+            Transform::Identity => {
+                // The decompressor rounds through T; verify with that value.
+                let stored = T::from_f64(recon_work).to_f64();
+                ((work - stored).abs() <= self.quantizer.error_bound() * (1.0 + 1e-9), stored)
+            }
+            Transform::Log { ratio } => {
+                let out = T::from_f64(recon_work.exp()).to_f64();
+                let orig = original.to_f64();
+                ((out - orig).abs() <= ratio * orig.abs() * (1.0 + 1e-6), recon_work)
+            }
+        };
+        if !ok {
+            return self.escape(original);
+        }
+        let sym = self.quantizer.code_to_symbol(code);
+        self.symbols.push(sym);
+        self.histogram[sym as usize] += 1;
+        recon_stored
+    }
+}
+
+/// Decode-side mirror of [`QuantEncoder`].
+struct QuantDecoder<'a, T: Scalar> {
+    quantizer: LinearQuantizer,
+    transform: Transform,
+    escape_symbol: u32,
+    symbols: std::slice::Iter<'a, u32>,
+    verbatim: std::slice::Iter<'a, T>,
+    /// Output values in the original domain.
+    out: Vec<T>,
+}
+
+impl<'a, T: Scalar> QuantDecoder<'a, T> {
+    fn take_verbatim(&mut self, lin: usize) -> Result<f64, DecompressError> {
+        let v = *self
+            .verbatim
+            .next()
+            .ok_or(DecompressError::Corrupt("verbatim stream exhausted"))?;
+        self.out[lin] = v;
+        Ok(self.transform.forward(v.to_f64()))
+    }
+
+    /// Replay one point: consume a symbol, produce the output value and
+    /// the working-domain reconstruction for future predictions.
+    #[inline]
+    fn decode_point(&mut self, lin: usize, predicted: f64) -> Result<f64, DecompressError> {
+        let &sym = self
+            .symbols
+            .next()
+            .ok_or(DecompressError::Corrupt("symbol stream exhausted"))?;
+        if sym == self.escape_symbol {
+            return self.take_verbatim(lin);
+        }
+        if sym >= self.escape_symbol {
+            return Err(DecompressError::Corrupt("symbol out of alphabet"));
+        }
+        let code = self.quantizer.symbol_to_code(sym);
+        let recon_work = predicted + self.quantizer.reconstruct(code);
+        Ok(match self.transform {
+            Transform::Identity => {
+                let t = T::from_f64(recon_work);
+                self.out[lin] = t;
+                t.to_f64()
+            }
+            Transform::Log { .. } => {
+                self.out[lin] = T::from_f64(recon_work.exp());
+                recon_work
+            }
+        })
+    }
+}
+
+/// Row-major Lorenzo traversal shared by the compressor and decompressor.
+/// `visit(lin, predicted)` returns the reconstruction to store.
+fn traverse_lorenzo(
+    shape: Shape,
+    order: usize,
+    mut visit: impl FnMut(usize, f64) -> Result<f64, DecompressError>,
+) -> Result<Vec<f64>, DecompressError> {
+    let stencil = LorenzoStencil::new(shape.ndim(), order);
+    let mut recon = vec![0f64; shape.len()];
+    let nd = shape.ndim();
+    let mut idx = [0usize; MAX_DIMS];
+    let mut lin = 0usize;
+    loop {
+        let pred = stencil.predict(&recon, shape, &idx[..nd]);
+        recon[lin] = visit(lin, pred)?;
+        lin += 1;
+        // Odometer advance, last axis fastest (matches linear order).
+        let mut axis = nd;
+        loop {
+            if axis == 0 {
+                return Ok(recon);
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < shape.dim(axis) {
+                break;
+            }
+            idx[axis] = 0;
+        }
+    }
+}
+
+/// Interpolation traversal over non-anchor points. The caller must have
+/// already written the anchor reconstructions into `recon`.
+fn traverse_interp_points(
+    shape: Shape,
+    recon: &mut [f64],
+    mut visit: impl FnMut(usize, f64) -> Result<f64, DecompressError>,
+) -> Result<(), DecompressError> {
+    let mut err = None;
+    for_each_stencil(shape, |t| {
+        if err.is_some() {
+            return;
+        }
+        let pred = t.predict(recon);
+        match visit(t.target, pred) {
+            Ok(v) => recon[t.target] = v,
+            Err(e) => err = Some(e),
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Iterate the elements of one block in row-major (block-local) order.
+fn for_each_in_block(
+    shape: Shape,
+    block: &rq_grid::BlockSpec,
+    mut f: impl FnMut(usize, &[usize]),
+) {
+    let strides = shape.strides();
+    let nd = block.ndim;
+    let mut local = [0usize; MAX_DIMS];
+    loop {
+        let mut lin = 0usize;
+        for a in 0..nd {
+            lin += (block.origin[a] + local[a]) * strides[a];
+        }
+        f(lin, &local[..nd]);
+        let mut axis = nd;
+        loop {
+            if axis == 0 {
+                return;
+            }
+            axis -= 1;
+            local[axis] += 1;
+            if local[axis] < block.size[axis] {
+                break;
+            }
+            local[axis] = 0;
+        }
+    }
+}
+
+/// Compress `field` under `cfg`.
+pub fn compress<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+) -> Result<CompressedOutput, CompressError> {
+    compress_with_report(field, cfg).map(|(out, _)| out)
+}
+
+/// Compress and return the per-stage measurements alongside the output.
+pub fn compress_with_report<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+) -> Result<(CompressedOutput, CompressionReport), CompressError> {
+    let shape = field.shape();
+    let n = shape.len();
+    let value_range = field.value_range();
+    let abs_eb = std::panic::catch_unwind(|| cfg.bound.absolute(value_range))
+        .map_err(|_| CompressError::InvalidBound(format!("{:?} on range {value_range}", cfg.bound)))?;
+    let transform = if cfg.bound.needs_log_transform() {
+        let ratio = match cfg.bound {
+            rq_quant::ErrorBoundMode::PointwiseRelative(r) => r,
+            _ => unreachable!(),
+        };
+        Transform::Log { ratio }
+    } else {
+        Transform::Identity
+    };
+
+    // Working-domain originals.
+    let work: Vec<f64> =
+        field.as_slice().iter().map(|&v| transform.forward(v.to_f64())).collect();
+    let orig = field.as_slice();
+
+    let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
+    let mut enc = QuantEncoder::<T>::new(quantizer, transform, n);
+    let mut side = Vec::new();
+    let mut n_anchors = 0usize;
+
+    match cfg.predictor {
+        PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => {
+            let order = if cfg.predictor == PredictorKind::Lorenzo { 1 } else { 2 };
+            traverse_lorenzo(shape, order, |lin, pred| {
+                Ok(enc.encode_point(orig[lin], work[lin], pred))
+            })
+            .expect("compression traversal cannot fail");
+        }
+        PredictorKind::Interpolation => {
+            let mut recon = vec![0f64; n];
+            for a in anchors(shape) {
+                n_anchors += 1;
+                recon[a] = enc.store_verbatim(orig[a]);
+            }
+            traverse_interp_points(shape, &mut recon, |lin, pred| {
+                Ok(enc.encode_point(orig[lin], work[lin], pred))
+            })
+            .expect("compression traversal cannot fail");
+        }
+        PredictorKind::Regression => {
+            for block in BlockIter::new(shape, REGRESSION_BLOCK_SIDE) {
+                let coeffs = fit_block(&work, shape, &block);
+                coeffs.write(&mut side);
+                for_each_in_block(shape, &block, |lin, local| {
+                    let pred = coeffs.predict(local);
+                    enc.encode_point(orig[lin], work[lin], pred);
+                });
+            }
+        }
+    }
+
+    // Entropy coding.
+    let (codebook, huffman_payload) = if enc.symbols.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        let codec = HuffmanCodec::from_counts(&enc.histogram)?;
+        (codec.serialize_codebook(), codec.encode(&enc.symbols)?)
+    };
+    let huffman_bytes = huffman_payload.len();
+    let (payload, lossless_applied) = match cfg.lossless {
+        LosslessStage::None => (huffman_payload, LosslessStage::None),
+        LosslessStage::RleLzss => {
+            let ll = lossless_compress(&huffman_payload);
+            if ll.len() < huffman_bytes {
+                (ll, LosslessStage::RleLzss)
+            } else {
+                (huffman_payload, LosslessStage::None)
+            }
+        }
+    };
+
+    let header = Header {
+        scalar_tag: T::TAG,
+        predictor: cfg.predictor,
+        lossless: lossless_applied,
+        log_transform: transform != Transform::Identity,
+        shape,
+        abs_eb,
+        radius: cfg.radius,
+    };
+    let encoded_bytes = payload.len();
+    let bytes = write_container::<T>(&header, &codebook, &payload, &enc.verbatim, &side);
+    let container_bytes = bytes.len();
+
+    let report = CompressionReport {
+        n_quantized: enc.symbols.len() - enc.n_escapes,
+        symbol_histogram: {
+            let mut h = enc.histogram;
+            h.truncate(quantizer.alphabet_size()); // drop the escape bin
+            h
+        },
+        n_unpredictable: enc.n_escapes,
+        n_anchors,
+        huffman_bytes,
+        encoded_bytes,
+        codebook_bytes: codebook.len(),
+        side_bytes: side.len(),
+        container_bytes,
+        n_elements: n,
+        original_bits: T::BITS,
+    };
+    Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
+}
+
+/// Decompress a container produced by [`compress`].
+pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError> {
+    let sections = read_container::<T>(bytes)?;
+    let header = sections.header;
+    let shape = header.shape;
+    let n = shape.len();
+
+    let transform = if header.log_transform {
+        Transform::Log { ratio: f64::NAN } // ratio only needed when encoding
+    } else {
+        Transform::Identity
+    };
+    let quantizer = LinearQuantizer::new(header.abs_eb, header.radius);
+
+    let n_anchors = if header.predictor == PredictorKind::Interpolation {
+        anchors(shape).len()
+    } else {
+        0
+    };
+    let n_symbols = n - n_anchors;
+
+    let symbols: Vec<u32> = if n_symbols == 0 {
+        Vec::new()
+    } else {
+        let payload = if header.lossless == LosslessStage::RleLzss {
+            lossless_decompress(&sections.payload)
+                .ok_or(DecompressError::Corrupt("lossless stage"))?
+        } else {
+            sections.payload.clone()
+        };
+        let (codec, _) = HuffmanCodec::deserialize_codebook(&sections.codebook)?;
+        codec.decode(&payload, n_symbols)?
+    };
+
+    let mut dec = QuantDecoder::<T> {
+        quantizer,
+        transform,
+        escape_symbol: quantizer.alphabet_size() as u32,
+        symbols: symbols.iter(),
+        verbatim: sections.verbatim.iter(),
+        out: vec![T::zero(); n],
+    };
+
+    match header.predictor {
+        PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => {
+            let order = if header.predictor == PredictorKind::Lorenzo { 1 } else { 2 };
+            traverse_lorenzo(shape, order, |lin, pred| dec.decode_point(lin, pred))?;
+        }
+        PredictorKind::Interpolation => {
+            let mut recon = vec![0f64; n];
+            for a in anchors(shape) {
+                recon[a] = dec.take_verbatim(a)?;
+            }
+            traverse_interp_points(shape, &mut recon, |lin, pred| dec.decode_point(lin, pred))?;
+        }
+        PredictorKind::Regression => {
+            let nd = shape.ndim();
+            let mut side_pos = 0usize;
+            for block in BlockIter::new(shape, REGRESSION_BLOCK_SIDE) {
+                let (coeffs, used) = BlockCoeffs::read(&sections.side[side_pos..], nd)
+                    .ok_or(DecompressError::Corrupt("regression side channel"))?;
+                side_pos += used;
+                let mut err = None;
+                for_each_in_block(shape, &block, |lin, local| {
+                    if err.is_some() {
+                        return;
+                    }
+                    let pred = coeffs.predict(local);
+                    if let Err(e) = dec.decode_point(lin, pred) {
+                        err = Some(e);
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    Ok(NdArray::from_vec(shape, dec.out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_quant::ErrorBoundMode;
+
+    fn wavy(shape: Shape) -> NdArray<f32> {
+        // Smooth multi-frequency base plus deterministic fine-scale
+        // "turbulence" so prediction residuals are real signal, not just
+        // quantization feedback.
+        let mut lin = 0u64;
+        NdArray::from_fn(shape, |ix| {
+            let mut v = 0.0f64;
+            for (a, &c) in ix.iter().enumerate() {
+                v += ((c as f64) * 0.11 * (a + 1) as f64).sin() * (10.0 / (a + 1) as f64);
+            }
+            lin += 1;
+            // murmur3 finalizer: proper avalanche, unlike a Weyl sequence
+            // (which is locally linear and thus invisible to Lorenzo).
+            let mut h = lin;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            v += ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.04;
+            v as f32
+        })
+    }
+
+    fn assert_bounded(orig: &NdArray<f32>, recon: &NdArray<f32>, eb: f64) {
+        for (i, (&a, &b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+            let err = (a as f64 - b as f64).abs();
+            assert!(err <= eb * (1.0 + 1e-6), "element {i}: |{a} - {b}| = {err} > {eb}");
+        }
+    }
+
+    fn roundtrip(pred: PredictorKind, shape: Shape, eb: f64) {
+        let field = wavy(shape);
+        let cfg = CompressorConfig::new(pred, ErrorBoundMode::Abs(eb));
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_eq!(back.shape().dims(), shape.dims());
+        assert_bounded(&field, &back, eb);
+    }
+
+    #[test]
+    fn lorenzo_roundtrip_1d_2d_3d() {
+        roundtrip(PredictorKind::Lorenzo, Shape::d1(1000), 1e-3);
+        roundtrip(PredictorKind::Lorenzo, Shape::d2(37, 53), 1e-3);
+        roundtrip(PredictorKind::Lorenzo, Shape::d3(20, 25, 30), 1e-2);
+    }
+
+    #[test]
+    fn lorenzo2_roundtrip() {
+        roundtrip(PredictorKind::Lorenzo2, Shape::d2(40, 40), 1e-3);
+        roundtrip(PredictorKind::Lorenzo2, Shape::d3(16, 16, 16), 1e-2);
+    }
+
+    #[test]
+    fn interpolation_roundtrip() {
+        roundtrip(PredictorKind::Interpolation, Shape::d1(777), 1e-3);
+        roundtrip(PredictorKind::Interpolation, Shape::d2(33, 65), 1e-3);
+        roundtrip(PredictorKind::Interpolation, Shape::d3(17, 20, 23), 1e-2);
+    }
+
+    #[test]
+    fn regression_roundtrip() {
+        roundtrip(PredictorKind::Regression, Shape::d2(40, 41), 1e-2);
+        roundtrip(PredictorKind::Regression, Shape::d3(13, 14, 15), 1e-2);
+    }
+
+    #[test]
+    fn four_dimensional_field() {
+        roundtrip(PredictorKind::Lorenzo, Shape::d4(6, 7, 8, 9), 1e-2);
+        roundtrip(PredictorKind::Interpolation, Shape::d4(6, 7, 8, 9), 1e-2);
+    }
+
+    #[test]
+    fn value_range_relative_bound() {
+        let field = wavy(Shape::d2(50, 50));
+        let cfg = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::ValueRangeRelative(1e-3),
+        );
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        let abs = 1e-3 * field.value_range();
+        assert_bounded(&field, &back, abs);
+    }
+
+    #[test]
+    fn pointwise_relative_bound_positive_data() {
+        let field = NdArray::<f32>::from_fn(Shape::d2(40, 40), |ix| {
+            (1.0 + (ix[0] as f64 * 0.2).sin().abs() * 100.0 + ix[1] as f64) as f32
+        });
+        let ratio = 1e-3;
+        let cfg =
+            CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::PointwiseRelative(ratio));
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            let rel = ((a - b).abs() as f64) / (a.abs() as f64);
+            assert!(rel <= ratio * (1.0 + 1e-5), "rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn pointwise_relative_with_nonpositive_values() {
+        // Zeros and negatives must round-trip exactly (escape path).
+        let field = NdArray::<f32>::from_fn(Shape::d1(200), |ix| {
+            let i = ix[0] as i64;
+            if i % 7 == 0 {
+                0.0
+            } else if i % 5 == 0 {
+                -(i as f32)
+            } else {
+                i as f32
+            }
+        });
+        let cfg = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::PointwiseRelative(1e-2),
+        );
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            if a <= 0.0 {
+                assert_eq!(a, b, "non-positive values must be exact");
+            } else {
+                assert!(((a - b).abs() / a.abs()) <= 1e-2 * 1.00001);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let field = NdArray::<f64>::from_fn(Shape::d2(30, 30), |ix| {
+            (ix[0] as f64 * 0.3).cos() * 5.0 + ix[1] as f64 * 0.01
+        });
+        let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1e-6));
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f64>(&out.bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-6 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn smooth_fields_compress_well() {
+        let field = wavy(Shape::d3(32, 32, 32));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-2));
+        let out = compress(&field, &cfg).unwrap();
+        assert!(out.ratio() > 8.0, "ratio {}", out.ratio());
+    }
+
+    #[test]
+    fn higher_eb_gives_higher_ratio() {
+        // On a small field the fixed container overhead caps the ratio at
+        // very high bounds, so monotonicity is only asserted over the range
+        // where the payload dominates.
+        let field = wavy(Shape::d3(24, 24, 24));
+        let ratio_at = |eb: f64| {
+            let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb));
+            compress(&field, &cfg).unwrap().ratio()
+        };
+        let mut prev_ratio = 0.0;
+        for eb in [1e-5, 1e-4, 1e-3, 1e-2] {
+            let r = ratio_at(eb);
+            assert!(r >= prev_ratio * 0.95, "eb {eb}: ratio {r} < prev {prev_ratio}");
+            prev_ratio = r;
+        }
+        assert!(ratio_at(1e-1) > ratio_at(1e-5));
+    }
+
+    #[test]
+    fn report_is_self_consistent() {
+        let field = wavy(Shape::d2(64, 64));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(2e-2));
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert_eq!(rep.n_elements, 64 * 64);
+        assert_eq!(rep.container_bytes, out.bytes.len());
+        assert_eq!(rep.n_quantized + rep.n_unpredictable, rep.n_elements);
+        let hist_total: u64 = rep.symbol_histogram.iter().sum();
+        assert_eq!(hist_total as usize, rep.n_quantized);
+        assert!(rep.p0() > 0.1);
+        assert!(rep.encoded_bytes <= rep.huffman_bytes);
+    }
+
+    #[test]
+    fn constant_field_compresses_extremely() {
+        let field = NdArray::<f32>::from_fn(Shape::d2(100, 100), |_| 3.25);
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-5));
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert!(out.ratio() > 100.0, "ratio {}", out.ratio());
+        assert!(rep.p0() > 0.99);
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_bounded(&field, &back, 1e-5);
+    }
+
+    #[test]
+    fn random_noise_survives_roundtrip() {
+        // Worst case: codes spread over many bins, many escapes possible.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 1e4
+        };
+        let field = NdArray::<f32>::from_fn(Shape::d1(5000), |_| next() as f32);
+        for pred in PredictorKind::all() {
+            let cfg = CompressorConfig::new(pred, ErrorBoundMode::Abs(0.5));
+            let out = compress(&field, &cfg).unwrap();
+            let back = decompress::<f32>(&out.bytes).unwrap();
+            assert_bounded(&field, &back, 0.5);
+        }
+    }
+
+    #[test]
+    fn tiny_fields() {
+        for pred in PredictorKind::all() {
+            roundtrip(pred, Shape::d1(1), 1e-3);
+            roundtrip(pred, Shape::d1(2), 1e-3);
+            roundtrip(pred, Shape::d2(1, 3), 1e-3);
+            roundtrip(pred, Shape::d3(2, 1, 2), 1e-3);
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_is_error_not_panic() {
+        let field = wavy(Shape::d2(20, 20));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        let out = compress(&field, &cfg).unwrap();
+        for cut in [10, out.bytes.len() / 2, out.bytes.len() - 3] {
+            let _ = decompress::<f32>(&out.bytes[..cut]); // must not panic
+        }
+        let mut mangled = out.bytes.clone();
+        let mid = mangled.len() / 2;
+        mangled[mid] ^= 0xff;
+        let _ = decompress::<f32>(&mangled); // must not panic
+    }
+
+    #[test]
+    fn wrong_scalar_type_rejected() {
+        let field = wavy(Shape::d2(10, 10));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        let out = compress(&field, &cfg).unwrap();
+        assert!(matches!(
+            decompress::<f64>(&out.bytes),
+            Err(DecompressError::ScalarMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn huffman_only_mode_no_lossless_flag() {
+        let field = wavy(Shape::d2(50, 50));
+        let cfg =
+            CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-1)).huffman_only();
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert_eq!(rep.huffman_bytes, rep.encoded_bytes);
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_bounded(&field, &back, 1e-1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Compression outcome descriptors.
+
+/// The compressed bytes plus summary metrics.
+#[derive(Clone, Debug)]
+pub struct CompressedOutput {
+    /// The self-describing container.
+    pub bytes: Vec<u8>,
+    /// Number of elements in the original field.
+    pub n_elements: usize,
+    /// Bits of the original scalar type.
+    pub original_bits: u32,
+}
+
+impl CompressedOutput {
+    /// Compression ratio = original size / compressed size.
+    pub fn ratio(&self) -> f64 {
+        (self.n_elements as f64 * self.original_bits as f64 / 8.0) / self.bytes.len() as f64
+    }
+
+    /// Bit-rate = average compressed bits per element — the x-axis of the
+    /// paper's rate-distortion plots.
+    pub fn bit_rate(&self) -> f64 {
+        self.bytes.len() as f64 * 8.0 / self.n_elements as f64
+    }
+}
+
+/// Detailed per-stage measurements used to validate the analytical model.
+///
+/// The paper's model predicts each of these quantities *without* running
+/// compression; this struct is the ground truth it is scored against
+/// (Table II).
+#[derive(Clone, Debug)]
+pub struct CompressionReport {
+    /// Histogram of quantization symbols (index = shifted code).
+    pub symbol_histogram: Vec<u64>,
+    /// Number of quantized elements (excludes verbatim escapes/anchors).
+    pub n_quantized: usize,
+    /// Number of unpredictable (escape) values.
+    pub n_unpredictable: usize,
+    /// Number of verbatim anchors (interpolation only).
+    pub n_anchors: usize,
+    /// Huffman payload size in bytes (before the optional lossless stage).
+    pub huffman_bytes: usize,
+    /// Payload size after the optional lossless stage (equals
+    /// `huffman_bytes` when the stage is disabled or not profitable).
+    pub encoded_bytes: usize,
+    /// Serialized codebook size in bytes.
+    pub codebook_bytes: usize,
+    /// Side-channel size in bytes (regression coefficients).
+    pub side_bytes: usize,
+    /// Total container size in bytes.
+    pub container_bytes: usize,
+    /// Number of elements in the field.
+    pub n_elements: usize,
+    /// Bits of the original scalar type.
+    pub original_bits: u32,
+}
+
+impl CompressionReport {
+    /// Bit-rate after Huffman only (excluding the lossless stage but
+    /// including codebook, verbatim and side-channel overheads) — the
+    /// quantity of the paper's Fig. 5 "Huffman" series.
+    pub fn huffman_bit_rate(&self) -> f64 {
+        let verbatim = (self.n_unpredictable + self.n_anchors) * self.original_bits as usize / 8;
+        let total = self.huffman_bytes + self.codebook_bytes + self.side_bytes + verbatim;
+        total as f64 * 8.0 / self.n_elements as f64
+    }
+
+    /// Overall container bit-rate (lossless stage included).
+    pub fn overall_bit_rate(&self) -> f64 {
+        self.container_bytes as f64 * 8.0 / self.n_elements as f64
+    }
+
+    /// Overall compression ratio.
+    pub fn overall_ratio(&self) -> f64 {
+        (self.n_elements as f64 * self.original_bits as f64 / 8.0) / self.container_bytes as f64
+    }
+
+    /// Fraction of quantized elements that landed in the zero bin — the
+    /// model's `p0`.
+    pub fn p0(&self) -> f64 {
+        if self.n_quantized == 0 {
+            return 0.0;
+        }
+        let zero_idx = (self.symbol_histogram.len() - 1) / 2;
+        self.symbol_histogram[zero_idx] as f64 / self.n_quantized as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bit_rate_consistent() {
+        let out = CompressedOutput { bytes: vec![0; 1000], n_elements: 4000, original_bits: 32 };
+        assert!((out.ratio() - 16.0).abs() < 1e-12);
+        assert!((out.bit_rate() - 2.0).abs() < 1e-12);
+        assert!((out.ratio() * out.bit_rate() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p0_reads_central_bin() {
+        let mut hist = vec![0u64; 5];
+        hist[2] = 75;
+        hist[1] = 15;
+        hist[3] = 10;
+        let rep = CompressionReport {
+            symbol_histogram: hist,
+            n_quantized: 100,
+            n_unpredictable: 0,
+            n_anchors: 0,
+            huffman_bytes: 10,
+            encoded_bytes: 10,
+            codebook_bytes: 2,
+            side_bytes: 0,
+            container_bytes: 20,
+            n_elements: 100,
+            original_bits: 32,
+        };
+        assert!((rep.p0() - 0.75).abs() < 1e-12);
+    }
+}

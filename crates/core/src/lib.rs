@@ -1,0 +1,42 @@
+//! Analytical ratio-quality model for prediction-based lossy compression.
+//!
+//! This crate is the paper's primary contribution (§III): given **one**
+//! cheap sampling pass over a field (default 1 % of points), it predicts —
+//! for *any* error bound, without compressing —
+//!
+//! * the Huffman bit-rate (Eq. 1) and the optional-lossless ratio via the
+//!   RLE model (Eq. 4), hence the overall compression ratio,
+//! * the inverse mappings error-bound ← target bit-rate (Eq. 2, with
+//!   anchor-point interpolation once `p0 > 0.5`) and ← target ratio (Eq. 8),
+//! * the reconstruction-error distribution (Eq. 10 uniform, Eq. 11
+//!   refined), and from it PSNR (Eq. 12), SSIM (Eq. 15) and FFT
+//!   power-spectrum degradation (§III-D4).
+//!
+//! ```
+//! use rq_core::RqModel;
+//! use rq_datagen::fields;
+//! use rq_predict::PredictorKind;
+//!
+//! let field = fields::qmcpack_einspline();
+//! let model = RqModel::build(&field, PredictorKind::Lorenzo, 0.01, 42);
+//! let est = model.estimate(1e-3);
+//! println!("predicted bit-rate {:.2}, PSNR {:.1} dB", est.bit_rate, est.psnr);
+//! // Invert: which error bound hits 2 bits/value?
+//! let eb = model.error_bound_for_bit_rate(2.0);
+//! assert!((model.estimate(eb).bit_rate - 2.0).abs() < 0.5);
+//! ```
+//!
+//! The three use-cases of §IV live in [`usecases`]: best-predictor
+//! selection, fixed-footprint memory compression and in-situ per-partition
+//! error-bound optimization.
+
+pub mod histogram;
+pub mod model;
+pub mod quality;
+pub mod ratio;
+pub mod sampling;
+pub mod usecases;
+
+pub use histogram::EstimatedHistogram;
+pub use model::{Estimate, RqModel};
+pub use sampling::{sample_errors, ErrorSample};

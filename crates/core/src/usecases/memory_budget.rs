@@ -1,0 +1,140 @@
+//! Use-case 2 (§IV-B): memory compression with a target footprint.
+//!
+//! The model picks the error bound whose *estimated* size is a safety
+//! margin below the assigned space (the paper targets 80 % of the budget),
+//! compresses once, and only in the rare overflow case re-optimizes with a
+//! proportionally lowered target and recompresses — the second-round
+//! strategy of §IV-B.
+
+use crate::model::RqModel;
+use rq_compress::{compress, CompressError, CompressedOutput, CompressorConfig};
+use rq_grid::{NdArray, Scalar};
+use rq_quant::ErrorBoundMode;
+
+/// What happened during budgeted compression.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct BudgetOutcome {
+    /// The byte budget that had to be respected.
+    pub budget_bytes: usize,
+    /// Error bound chosen in each round (1 or 2 entries).
+    pub rounds: Vec<f64>,
+    /// Final compressed size.
+    pub final_bytes: usize,
+    /// Whether the final size fits the budget.
+    pub fits: bool,
+    /// Final size as a fraction of the budget (the y-axis of Fig. 11).
+    pub utilization: f64,
+}
+
+/// Compress `field` so the output fits in `budget_bytes`, using the model
+/// with the given safety `margin` (0.2 ⇒ aim at 80 % of the budget).
+///
+/// `strict` enables the second-round recompression guarantee: if the first
+/// attempt overflows, the target is scaled down by the observed ratio and
+/// compression retried once.
+pub fn compress_with_budget<T: Scalar>(
+    field: &NdArray<T>,
+    model: &RqModel,
+    base_cfg: CompressorConfig,
+    budget_bytes: usize,
+    margin: f64,
+    strict: bool,
+) -> Result<(CompressedOutput, BudgetOutcome), CompressError> {
+    assert!(budget_bytes > 0, "budget must be positive");
+    assert!((0.0..1.0).contains(&margin), "margin must be in [0, 1)");
+    let n = field.len();
+    let target_bits = budget_bytes as f64 * 8.0 / n as f64 * (1.0 - margin);
+
+    let mut rounds = Vec::new();
+    let eb = model.error_bound_for_bit_rate(target_bits);
+    rounds.push(eb);
+    let mut out = compress(field, &base_cfg.with_bound(ErrorBoundMode::Abs(eb)))?;
+
+    if strict && out.bytes.len() > budget_bytes {
+        // Second round: shrink the target by the observed overshoot plus
+        // the same margin.
+        let overshoot = out.bytes.len() as f64 / budget_bytes as f64;
+        let eb2 = model.error_bound_for_bit_rate(target_bits / overshoot);
+        // Never *raise* the bound in a corrective round.
+        let eb2 = eb2.max(eb);
+        rounds.push(eb2);
+        out = compress(field, &base_cfg.with_bound(ErrorBoundMode::Abs(eb2)))?;
+    }
+
+    let final_bytes = out.bytes.len();
+    let outcome = BudgetOutcome {
+        budget_bytes,
+        rounds,
+        final_bytes,
+        fits: final_bytes <= budget_bytes,
+        utilization: final_bytes as f64 / budget_bytes as f64,
+    };
+    Ok((out, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+    use rq_predict::PredictorKind;
+
+    fn field() -> NdArray<f32> {
+        let mut state = 0x5EEDu64;
+        NdArray::from_fn(Shape::d2(128, 128), |ix| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            ((ix[0] as f64 * 0.15).sin() * 4.0 + noise * 0.5) as f32
+        })
+    }
+
+    #[test]
+    fn fits_generous_budget() {
+        let f = field();
+        let model = RqModel::build(&f, PredictorKind::Lorenzo, 0.1, 1);
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0));
+        // Budget = 4 bits/value, easily reachable.
+        let budget = f.len() / 2;
+        let (_, outcome) =
+            compress_with_budget(&f, &model, cfg, budget, 0.2, true).unwrap();
+        assert!(outcome.fits, "utilization {}", outcome.utilization);
+        assert!(outcome.rounds.len() <= 2);
+    }
+
+    #[test]
+    fn utilization_near_but_below_one_for_tight_budget() {
+        let f = field();
+        let model = RqModel::build(&f, PredictorKind::Lorenzo, 0.1, 2);
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0));
+        // 2.2 bits/value.
+        let budget = (f.len() as f64 * 2.2 / 8.0) as usize;
+        let (_, outcome) =
+            compress_with_budget(&f, &model, cfg, budget, 0.2, true).unwrap();
+        assert!(outcome.fits);
+        assert!(outcome.utilization > 0.3, "wastes the budget: {}", outcome.utilization);
+    }
+
+    #[test]
+    fn strict_mode_never_overflows_across_budgets() {
+        let f = field();
+        let model = RqModel::build(&f, PredictorKind::Interpolation, 0.1, 3);
+        let cfg =
+            CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1.0));
+        for bits in [1.5, 2.0, 3.0, 6.0] {
+            let budget = (f.len() as f64 * bits / 8.0) as usize;
+            let (_, outcome) =
+                compress_with_budget(&f, &model, cfg, budget, 0.2, true).unwrap();
+            assert!(outcome.fits, "{bits} bits/value: utilization {}", outcome.utilization);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_rejected() {
+        let f = field();
+        let model = RqModel::build(&f, PredictorKind::Lorenzo, 0.1, 4);
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0));
+        let _ = compress_with_budget(&f, &model, cfg, 0, 0.2, true);
+    }
+}

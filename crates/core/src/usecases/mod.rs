@@ -1,0 +1,9 @@
+//! The paper's three use-cases of the ratio-quality model (§IV).
+
+pub mod insitu;
+pub mod memory_budget;
+pub mod predictor_select;
+
+pub use insitu::{optimize_partitions, uniform_eb_for_target, PartitionPlan};
+pub use memory_budget::{compress_with_budget, BudgetOutcome};
+pub use predictor_select::PredictorSelector;

@@ -1,0 +1,186 @@
+//! The dataset registry mirroring the paper's Table I.
+
+use crate::fields;
+use rq_grid::NdArray;
+
+/// One evaluated field of a dataset (a row of the paper's Table II).
+#[derive(Clone, Copy, Debug)]
+pub struct FieldSpec {
+    /// Dataset name (Table I "Name").
+    pub dataset: &'static str,
+    /// Field name (Table II "Field").
+    pub field: &'static str,
+    /// Generator.
+    gen: fn() -> NdArray<f32>,
+}
+
+impl FieldSpec {
+    /// Generate the synthetic field (deterministic).
+    pub fn generate(&self) -> NdArray<f32> {
+        (self.gen)()
+    }
+
+    /// `dataset/field` label used in benchmark tables.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.dataset, self.field)
+    }
+}
+
+/// One dataset of Table I.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Short description (Table I "Description").
+    pub description: &'static str,
+    /// Dimensionality label (Table I "Dim").
+    pub dim: &'static str,
+    /// Original on-disk format noted in Table I.
+    pub format: &'static str,
+    /// The evaluated fields.
+    pub fields: Vec<FieldSpec>,
+}
+
+fn rtm_1000() -> NdArray<f32> {
+    fields::rtm_snapshot(150)
+}
+fn rtm_2000() -> NdArray<f32> {
+    fields::rtm_snapshot(300)
+}
+fn rtm_3000() -> NdArray<f32> {
+    fields::rtm_snapshot(450)
+}
+
+/// The full Table I registry: 10 datasets, 17 fields.
+pub fn all_datasets() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "RTM",
+            description: "Reverse time migration wavefield",
+            dim: "3D",
+            format: "HDF5",
+            fields: vec![
+                FieldSpec { dataset: "RTM", field: "snapshot-1000", gen: rtm_1000 },
+                FieldSpec { dataset: "RTM", field: "snapshot-2000", gen: rtm_2000 },
+                FieldSpec { dataset: "RTM", field: "snapshot-3000", gen: rtm_3000 },
+            ],
+        },
+        DatasetSpec {
+            name: "CESM",
+            description: "Climate simulation",
+            dim: "2D",
+            format: "NetCDF",
+            fields: vec![
+                FieldSpec { dataset: "CESM", field: "TS", gen: fields::cesm_ts },
+                FieldSpec { dataset: "CESM", field: "TROP_Z", gen: fields::cesm_trop_z },
+            ],
+        },
+        DatasetSpec {
+            name: "Hurricane",
+            description: "Weather simulation",
+            dim: "3D",
+            format: "Binary",
+            fields: vec![
+                FieldSpec { dataset: "Hurricane", field: "U", gen: fields::hurricane_u },
+                FieldSpec { dataset: "Hurricane", field: "TC", gen: fields::hurricane_tc },
+            ],
+        },
+        DatasetSpec {
+            name: "Nyx",
+            description: "Cosmology simulation",
+            dim: "3D",
+            format: "HDF5",
+            fields: vec![
+                FieldSpec { dataset: "Nyx", field: "dark-matter", gen: fields::nyx_dark_matter },
+                FieldSpec { dataset: "Nyx", field: "temperature", gen: fields::nyx_temperature },
+                FieldSpec { dataset: "Nyx", field: "velocity-z", gen: fields::nyx_velocity_z },
+            ],
+        },
+        DatasetSpec {
+            name: "HACC",
+            description: "Cosmology particle simulation",
+            dim: "1D",
+            format: "GIO",
+            fields: vec![
+                FieldSpec { dataset: "HACC", field: "xx", gen: fields::hacc_xx },
+                FieldSpec { dataset: "HACC", field: "vx", gen: fields::hacc_vx },
+            ],
+        },
+        DatasetSpec {
+            name: "Brown",
+            description: "Synthetic Brownian data",
+            dim: "1D",
+            format: "Binary",
+            fields: vec![FieldSpec {
+                dataset: "Brown",
+                field: "pressure",
+                gen: fields::brown_pressure,
+            }],
+        },
+        DatasetSpec {
+            name: "Miranda",
+            description: "Turbulence simulation",
+            dim: "3D",
+            format: "Binary",
+            fields: vec![FieldSpec { dataset: "Miranda", field: "vx", gen: fields::miranda_vx }],
+        },
+        DatasetSpec {
+            name: "QMCPACK",
+            description: "Atomic structure (Quantum Monte Carlo)",
+            dim: "3D",
+            format: "HDF5",
+            fields: vec![FieldSpec {
+                dataset: "QMCPACK",
+                field: "einspline",
+                gen: fields::qmcpack_einspline,
+            }],
+        },
+        DatasetSpec {
+            name: "SCALE",
+            description: "Climate simulation (SCALE-LETKF)",
+            dim: "3D",
+            format: "NetCDF",
+            fields: vec![FieldSpec { dataset: "SCALE", field: "PRES", gen: fields::scale_pres }],
+        },
+        DatasetSpec {
+            name: "EXAFEL",
+            description: "Instrument imaging (LCLS-II)",
+            dim: "4D",
+            format: "HDF5",
+            fields: vec![FieldSpec { dataset: "EXAFEL", field: "raw", gen: fields::exafel_raw }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_fields_across_ten_datasets() {
+        let ds = all_datasets();
+        assert_eq!(ds.len(), 10);
+        let nfields: usize = ds.iter().map(|d| d.fields.len()).sum();
+        assert_eq!(nfields, 17);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let ds = all_datasets();
+        let labels: std::collections::HashSet<String> =
+            ds.iter().flat_map(|d| d.fields.iter().map(|f| f.label())).collect();
+        assert_eq!(labels.len(), 17);
+    }
+
+    #[test]
+    fn small_fields_generate() {
+        // Only generate the cheap ones here; heavyweights have their own
+        // tests in `fields`.
+        let ds = all_datasets();
+        let qmc =
+            ds.iter().find(|d| d.name == "QMCPACK").unwrap().fields[0].generate();
+        assert_eq!(qmc.shape().dims(), &[69, 69, 115]);
+        let cesm = ds.iter().find(|d| d.name == "CESM").unwrap().fields[0].generate();
+        assert!(cesm.value_range() > 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! MSB-first bit-level I/O over byte buffers.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits currently staged in `acc` (0..8).
+    nbits: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `len` bits of `code`, most significant first.
+    ///
+    /// # Panics
+    /// Panics (debug) if `len > 64`.
+    #[inline]
+    pub fn put_bits(&mut self, code: u64, len: u32) {
+        debug_assert!(len <= 64);
+        // Feed from the top of the value down.
+        let mut remaining = len;
+        while remaining > 0 {
+            let room = 8 - self.nbits;
+            let take = room.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((code >> shift) & ((1u64 << take) - 1)) as u8;
+            self.acc = (((self.acc as u16) << take) as u8) | chunk;
+            self.nbits += take;
+            remaining -= take;
+            if self.nbits == 8 {
+                self.buf.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.put_bits(bit as u64, 1);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.buf.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Pad the final partial byte with zeros and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.buf.push(self.acc);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Total bits available.
+    pub fn bit_len(&self) -> u64 {
+        self.buf.len() as u64 * 8
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Read `len` bits MSB-first; `None` if the buffer is exhausted.
+    #[inline]
+    pub fn get_bits(&mut self, len: u32) -> Option<u64> {
+        debug_assert!(len <= 64);
+        if self.pos + len as u64 > self.bit_len() {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut remaining = len;
+        while remaining > 0 {
+            let byte = self.buf[(self.pos / 8) as usize];
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take as u64;
+            remaining -= take;
+        }
+        Some(out)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn get_bit(&mut self) -> Option<bool> {
+        self.get_bits(1).map(|b| b == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_varied_widths() {
+        let mut w = BitWriter::new();
+        let items: Vec<(u64, u32)> =
+            vec![(1, 1), (0b101, 3), (0xdead, 16), (0, 5), (u64::MAX >> 3, 61), (0b11, 2)];
+        for &(v, l) in &items {
+            w.put_bits(v, l);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, l) in &items {
+            assert_eq!(r.get_bits(l), Some(v), "width {l}");
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        w.put_bits(0b1010, 4);
+        assert_eq!(w.bit_len(), 5);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 1);
+        // 1 1010 padded with three zeros => 0b11010000
+        assert_eq!(bytes[0], 0b1101_0000);
+    }
+
+    #[test]
+    fn reader_exhaustion() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(8), Some(0xff));
+        assert_eq!(r.get_bits(1), None);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..13 {
+            w.put_bit(i % 3 == 0);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..13 {
+            assert_eq!(r.get_bit(), Some(i % 3 == 0));
+        }
+    }
+
+    #[test]
+    fn sixty_four_bit_value() {
+        let mut w = BitWriter::new();
+        w.put_bits(u64::MAX, 64);
+        w.put_bits(0, 64);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(64), Some(u64::MAX));
+        assert_eq!(r.get_bits(64), Some(0));
+    }
+}

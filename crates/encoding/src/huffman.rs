@@ -1,0 +1,428 @@
+//! Canonical Huffman codec over `u32` symbol alphabets.
+//!
+//! The compressor encodes quantization codes (a dense alphabet of
+//! `2 * radius + 1` symbols) with this codec; the analytical model predicts
+//! its output bit-rate from the symbol histogram alone (paper Eq. 1).
+//!
+//! Codes are canonical, so the serialized codebook is just the code length
+//! of each symbol (zero-RLE compressed), independent of tree construction
+//! order. Maximum code length is capped at [`MAX_CODE_LEN`]; if the optimal
+//! tree exceeds it (possible only for astronomically skewed histograms) the
+//! histogram is repeatedly square-rooted until the cap holds, which costs a
+//! negligible fraction of a bit per symbol.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{get_uvarint, put_uvarint};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Longest admissible canonical code, in bits.
+pub const MAX_CODE_LEN: u32 = 32;
+
+/// Errors surfaced by [`HuffmanCodec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The input histogram had no nonzero counts.
+    EmptyHistogram,
+    /// A symbol outside the codebook was passed to `encode`.
+    UnknownSymbol(u32),
+    /// The compressed stream was truncated or corrupt.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::EmptyHistogram => write!(f, "empty symbol histogram"),
+            HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} has no code"),
+            HuffmanError::Corrupt(what) => write!(f, "corrupt huffman stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// A built canonical Huffman code: encode and decode tables.
+#[derive(Clone, Debug)]
+pub struct HuffmanCodec {
+    /// Code length per symbol; 0 = symbol absent.
+    lengths: Vec<u32>,
+    /// Canonical code value per symbol (valid where `lengths > 0`).
+    codes: Vec<u64>,
+    /// Decode acceleration: symbols sorted by (length, symbol).
+    sorted_symbols: Vec<u32>,
+    /// `first_code[l]` = canonical code value of the first code of length l.
+    first_code: Vec<u64>,
+    /// `first_index[l]` = index into `sorted_symbols` of that first code.
+    first_index: Vec<usize>,
+    /// `len_count[l]` = number of codes of exact length l.
+    len_count: Vec<usize>,
+}
+
+impl HuffmanCodec {
+    /// Build a codec from per-symbol counts (`counts[s]` = frequency of
+    /// symbol `s`).
+    pub fn from_counts(counts: &[u64]) -> Result<Self, HuffmanError> {
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        if nonzero == 0 {
+            return Err(HuffmanError::EmptyHistogram);
+        }
+        let mut scaled: Vec<u64> = counts.to_vec();
+        loop {
+            let lengths = build_code_lengths(&scaled);
+            let max = lengths.iter().copied().max().unwrap_or(0);
+            if max <= MAX_CODE_LEN {
+                return Ok(Self::from_lengths(lengths));
+            }
+            // Flatten the histogram: sqrt keeps ordering but halves depth.
+            for c in &mut scaled {
+                if *c > 0 {
+                    *c = (*c as f64).sqrt().ceil() as u64;
+                }
+            }
+        }
+    }
+
+    /// Reconstruct a codec from per-symbol canonical code lengths.
+    fn from_lengths(lengths: Vec<u32>) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        let mut sorted_symbols: Vec<u32> = (0..lengths.len() as u32)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
+
+        let mut codes = vec![0u64; lengths.len()];
+        let mut first_code = vec![0u64; max_len + 2];
+        let mut first_index = vec![0usize; max_len + 2];
+        let mut len_count = vec![0usize; max_len + 2];
+        for &s in &sorted_symbols {
+            len_count[lengths[s as usize] as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        for (i, &s) in sorted_symbols.iter().enumerate() {
+            let len = lengths[s as usize];
+            code <<= len - prev_len;
+            if len != prev_len || i == 0 {
+                first_code[len as usize] = code;
+                first_index[len as usize] = i;
+            }
+            codes[s as usize] = code;
+            code += 1;
+            prev_len = len;
+        }
+        HuffmanCodec { lengths, codes, sorted_symbols, first_code, first_index, len_count }
+    }
+
+    /// Number of symbols with a code.
+    pub fn distinct_symbols(&self) -> usize {
+        self.sorted_symbols.len()
+    }
+
+    /// Code length of `symbol` in bits (0 if absent).
+    pub fn code_len(&self, symbol: u32) -> u32 {
+        self.lengths.get(symbol as usize).copied().unwrap_or(0)
+    }
+
+    /// Exact encoded payload size in bits for a histogram (excludes the
+    /// codebook); the ground truth the model's Eq. 1 approximates.
+    pub fn payload_bits(&self, counts: &[u64]) -> u64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| c * self.code_len(s as u32) as u64)
+            .sum()
+    }
+
+    /// Encode a symbol stream. The output does **not** include the codebook;
+    /// call [`Self::serialize_codebook`] separately (the container stores
+    /// them in distinct sections so the model can reason about each).
+    pub fn encode(&self, symbols: &[u32]) -> Result<Vec<u8>, HuffmanError> {
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            let len = self.code_len(s);
+            if len == 0 {
+                return Err(HuffmanError::UnknownSymbol(s));
+            }
+            w.put_bits(self.codes[s as usize], len);
+        }
+        Ok(w.finish())
+    }
+
+    /// Decode exactly `n` symbols from `bytes`.
+    pub fn decode(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, HuffmanError> {
+        let mut r = BitReader::new(bytes);
+        let mut out = Vec::with_capacity(n);
+        // Degenerate single-symbol alphabet: every code is 1 bit.
+        for _ in 0..n {
+            let mut code = 0u64;
+            let mut len = 0u32;
+            loop {
+                let bit =
+                    r.get_bit().ok_or(HuffmanError::Corrupt("truncated payload"))? as u64;
+                code = (code << 1) | bit;
+                len += 1;
+                if len as usize >= self.first_code.len() {
+                    return Err(HuffmanError::Corrupt("code longer than any in book"));
+                }
+                let fc = self.first_code[len as usize];
+                let fi = self.first_index[len as usize];
+                let count = self.len_count[len as usize];
+                if count > 0 && code >= fc && code < fc + count as u64 {
+                    out.push(self.sorted_symbols[fi + (code - fc) as usize]);
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialize the codebook as zero-RLE'd code lengths.
+    pub fn serialize_codebook(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_uvarint(&mut out, self.lengths.len() as u64);
+        let mut i = 0;
+        while i < self.lengths.len() {
+            if self.lengths[i] == 0 {
+                let start = i;
+                while i < self.lengths.len() && self.lengths[i] == 0 {
+                    i += 1;
+                }
+                // 0 tag then run length.
+                put_uvarint(&mut out, 0);
+                put_uvarint(&mut out, (i - start) as u64);
+            } else {
+                put_uvarint(&mut out, self.lengths[i] as u64);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::serialize_codebook`]. Returns the codec and the
+    /// number of bytes consumed.
+    pub fn deserialize_codebook(bytes: &[u8]) -> Result<(Self, usize), HuffmanError> {
+        let mut pos = 0;
+        let n = get_uvarint(bytes, &mut pos)
+            .ok_or(HuffmanError::Corrupt("codebook header"))? as usize;
+        if n > (1 << 28) {
+            return Err(HuffmanError::Corrupt("absurd alphabet size"));
+        }
+        let mut lengths = Vec::with_capacity(n);
+        while lengths.len() < n {
+            let tag =
+                get_uvarint(bytes, &mut pos).ok_or(HuffmanError::Corrupt("codebook entry"))?;
+            if tag == 0 {
+                let run = get_uvarint(bytes, &mut pos)
+                    .ok_or(HuffmanError::Corrupt("codebook run"))? as usize;
+                if lengths.len() + run > n {
+                    return Err(HuffmanError::Corrupt("codebook run overflow"));
+                }
+                lengths.extend(std::iter::repeat_n(0, run));
+            } else {
+                if tag > MAX_CODE_LEN as u64 {
+                    return Err(HuffmanError::Corrupt("code length too large"));
+                }
+                lengths.push(tag as u32);
+            }
+        }
+        if lengths.iter().all(|&l| l == 0) {
+            return Err(HuffmanError::Corrupt("all-zero codebook"));
+        }
+        Ok((Self::from_lengths(lengths), pos))
+    }
+}
+
+/// Package a histogram into optimal prefix-free code lengths (classic
+/// two-queue/heap Huffman). Single-symbol alphabets get length 1.
+fn build_code_lengths(counts: &[u64]) -> Vec<u32> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.weight, self.id).cmp(&(other.weight, other.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let symbols: Vec<usize> =
+        (0..counts.len()).filter(|&s| counts[s] > 0).collect();
+    let mut lengths = vec![0u32; counts.len()];
+    if symbols.len() == 1 {
+        lengths[symbols[0]] = 1;
+        return lengths;
+    }
+    // parent[i] for internal tree nodes; leaves are 0..nsym.
+    let nsym = symbols.len();
+    let mut parent = vec![usize::MAX; 2 * nsym - 1];
+    let mut heap: BinaryHeap<Reverse<Node>> = symbols
+        .iter()
+        .enumerate()
+        .map(|(leaf, &s)| Reverse(Node { weight: counts[s], id: leaf }))
+        .collect();
+    let mut next_id = nsym;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap().0;
+        let b = heap.pop().unwrap().0;
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Reverse(Node { weight: a.weight + b.weight, id: next_id }));
+        next_id += 1;
+    }
+    for (leaf, &s) in symbols.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[s] = depth;
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(symbols: &[u32], alphabet: usize) -> Vec<u64> {
+        let mut h = vec![0u64; alphabet];
+        for &s in symbols {
+            h[s as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn roundtrip_skewed_stream() {
+        // Zero-dominated stream like real quantization codes.
+        let mut symbols = Vec::new();
+        for i in 0..10_000u32 {
+            symbols.push(match i % 100 {
+                0..=79 => 50,
+                80..=89 => 49,
+                90..=95 => 51,
+                _ => i % 7,
+            });
+        }
+        let h = histogram(&symbols, 101);
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let bytes = codec.encode(&symbols).unwrap();
+        let back = codec.decode(&bytes, symbols.len()).unwrap();
+        assert_eq!(back, symbols);
+        // Skewed stream must compress well below 8 bits/symbol.
+        assert!((bytes.len() as f64) < symbols.len() as f64);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let h = histogram(&[7, 7, 7, 7], 8);
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        assert_eq!(codec.code_len(7), 1);
+        let bytes = codec.encode(&[7, 7, 7]).unwrap();
+        assert_eq!(codec.decode(&bytes, 3).unwrap(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let h = histogram(&[0, 0, 0, 1], 2);
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        assert_eq!(codec.code_len(0), 1);
+        assert_eq!(codec.code_len(1), 1);
+    }
+
+    #[test]
+    fn empty_histogram_rejected() {
+        assert_eq!(HuffmanCodec::from_counts(&[0, 0]).unwrap_err(), HuffmanError::EmptyHistogram);
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let codec = HuffmanCodec::from_counts(&[5, 5]).unwrap();
+        assert!(matches!(codec.encode(&[3]), Err(HuffmanError::UnknownSymbol(3))));
+    }
+
+    #[test]
+    fn codebook_roundtrip() {
+        let mut h = vec![0u64; 1000];
+        h[0] = 100_000;
+        h[499] = 50;
+        h[500] = 10_000;
+        h[501] = 49;
+        h[999] = 1;
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let book = codec.serialize_codebook();
+        let (codec2, used) = HuffmanCodec::deserialize_codebook(&book).unwrap();
+        assert_eq!(used, book.len());
+        for s in 0..1000 {
+            assert_eq!(codec.code_len(s), codec2.code_len(s), "symbol {s}");
+        }
+        // Codebook of a mostly-empty alphabet must be tiny thanks to RLE.
+        assert!(book.len() < 40, "codebook {} bytes", book.len());
+    }
+
+    #[test]
+    fn decode_with_deserialized_book() {
+        let symbols: Vec<u32> = (0..500).map(|i| (i * i) % 37).collect();
+        let h = histogram(&symbols, 37);
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let bytes = codec.encode(&symbols).unwrap();
+        let (codec2, _) = HuffmanCodec::deserialize_codebook(&codec.serialize_codebook()).unwrap();
+        assert_eq!(codec2.decode(&bytes, symbols.len()).unwrap(), symbols);
+    }
+
+    #[test]
+    fn payload_bits_matches_actual() {
+        let symbols: Vec<u32> = (0..2000).map(|i| if i % 10 == 0 { 1 } else { 0 }).collect();
+        let h = histogram(&symbols, 2);
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let bytes = codec.encode(&symbols).unwrap();
+        let bits = codec.payload_bits(&h);
+        assert_eq!(bits.div_ceil(8), bytes.len() as u64);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        // Random-ish histogram: code lengths must satisfy Kraft equality.
+        let h: Vec<u64> = (0..200).map(|i| ((i * 7919) % 997 + 1) as u64).collect();
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let kraft: f64 =
+            (0..200).map(|s| 2f64.powi(-(codec.code_len(s) as i32))).sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn optimality_beats_entropy_bound_within_one_bit() {
+        let h: Vec<u64> = vec![900, 50, 25, 15, 10];
+        let n: u64 = h.iter().sum();
+        let entropy: f64 = h
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                -p * p.log2()
+            })
+            .sum();
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let avg = codec.payload_bits(&h) as f64 / n as f64;
+        assert!(avg >= entropy - 1e-9);
+        assert!(avg < entropy + 1.0);
+    }
+
+    #[test]
+    fn truncated_stream_is_error_not_panic() {
+        let symbols: Vec<u32> = (0..100).map(|i| i % 5).collect();
+        let h = histogram(&symbols, 5);
+        let codec = HuffmanCodec::from_counts(&h).unwrap();
+        let bytes = codec.encode(&symbols).unwrap();
+        let r = codec.decode(&bytes[..bytes.len() / 2], symbols.len());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Entropy/dictionary coding substrate for the SZ3-style compressor.
+//!
+//! The paper's encoding stage (§II-B, §III-B) is a Huffman coder over
+//! quantization codes followed by an *optional* lossless coder (Zstandard in
+//! the paper). This crate implements, from scratch:
+//!
+//! * [`bitio`] — MSB-first bit-level reader/writer,
+//! * [`varint`] — LEB128 unsigned varints used by container headers,
+//! * [`huffman`] — canonical Huffman codec with a compact serialized
+//!   codebook (code lengths only),
+//! * [`rle`] — run-length coding of the dominant (zero) symbol, the
+//!   mechanism the paper models in Eq. 4–8,
+//! * [`lzss`] — an LZ77-family dictionary coder with hash-chain match
+//!   search; combined with the zero-RLE pass it stands in for Zstandard
+//!   (see DESIGN.md §4 for why this substitution preserves behaviour).
+
+pub mod bitio;
+pub mod huffman;
+pub mod lossless;
+pub mod lzss;
+pub mod rle;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use huffman::{HuffmanCodec, HuffmanError};
+pub use lossless::{lossless_compress, lossless_decompress};

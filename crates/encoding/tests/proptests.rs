@@ -1,0 +1,89 @@
+//! Property-based round-trip tests for every coder in the crate: the
+//! invariants that must hold for arbitrary inputs, not just the unit-test
+//! vectors.
+
+use proptest::prelude::*;
+use rq_encoding::lzss::{lzss_compress, lzss_decompress};
+use rq_encoding::rle::{rle_compress, rle_decompress};
+use rq_encoding::varint::{get_uvarint, put_uvarint};
+use rq_encoding::{lossless_compress, lossless_decompress, HuffmanCodec};
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn rle_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2000), marker in any::<u8>()) {
+        let c = rle_compress(&data, marker);
+        prop_assert_eq!(rle_decompress(&c, marker), Some(data));
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        let c = lzss_compress(&data);
+        prop_assert_eq!(lzss_decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn lzss_roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = lzss_compress(&data);
+        prop_assert_eq!(lzss_decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn lossless_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let c = lossless_compress(&data);
+        prop_assert_eq!(lossless_decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn lossless_decompress_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let _ = lossless_decompress(&garbage); // may be None, must not panic
+    }
+
+    #[test]
+    fn huffman_roundtrip(
+        symbols in proptest::collection::vec(0u32..64, 1..3000),
+    ) {
+        let mut counts = vec![0u64; 64];
+        for &s in &symbols {
+            counts[s as usize] += 1;
+        }
+        let codec = HuffmanCodec::from_counts(&counts).unwrap();
+        let bytes = codec.encode(&symbols).unwrap();
+        prop_assert_eq!(codec.decode(&bytes, symbols.len()).unwrap(), symbols);
+    }
+
+    #[test]
+    fn huffman_codebook_roundtrip(
+        counts in proptest::collection::vec(0u64..10_000, 1..300),
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let codec = HuffmanCodec::from_counts(&counts).unwrap();
+        let book = codec.serialize_codebook();
+        let (codec2, used) = HuffmanCodec::deserialize_codebook(&book).unwrap();
+        prop_assert_eq!(used, book.len());
+        for s in 0..counts.len() as u32 {
+            prop_assert_eq!(codec.code_len(s), codec2.code_len(s));
+        }
+    }
+
+    #[test]
+    fn huffman_decode_garbage_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 1..200),
+        n in 1usize..100,
+    ) {
+        let codec = HuffmanCodec::from_counts(&[10, 5, 3, 1]).unwrap();
+        let _ = codec.decode(&garbage, n); // may error, must not panic
+    }
+}

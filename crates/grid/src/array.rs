@@ -1,0 +1,224 @@
+//! Owning dense N-dimensional array.
+
+use crate::scalar::Scalar;
+use crate::shape::{Shape, MAX_DIMS};
+
+/// A dense, row-major, owning N-dimensional array.
+///
+/// This is the common currency between the data generators, predictors,
+/// compressor and analysis kernels. It deliberately stays small: data plus
+/// shape, with cartesian/block access helpers. All per-element hot loops in
+/// the workspace operate on the raw slice (`as_slice`) with precomputed
+/// strides rather than through bounds-checked multi-index calls.
+#[derive(Clone, PartialEq)]
+pub struct NdArray<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> std::fmt::Debug for NdArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NdArray<{}B>{:?}", T::BYTES, self.shape.dims())
+    }
+}
+
+impl<T: Scalar> NdArray<T> {
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape.dims()
+        );
+        NdArray { shape, data }
+    }
+
+    /// A zero-filled array.
+    pub fn zeros(shape: Shape) -> Self {
+        NdArray { shape, data: vec![T::zero(); shape.len()] }
+    }
+
+    /// Build an array by evaluating `f` at every multi-index (row-major).
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in shape.indices() {
+            data.push(f(&idx[..shape.ndim()]));
+        }
+        NdArray { shape, data }
+    }
+
+    /// The array's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major element slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw mutable row-major element slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Set the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// (min, max) over all elements, ignoring NaNs.
+    ///
+    /// Returns `(0, 0)` if every element is NaN.
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.data {
+            let v = v.to_f64();
+            if v.is_nan() {
+                continue;
+            }
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// `max - min`; the `minmax` term of the paper's PSNR definition
+    /// (Eq. 12).
+    pub fn value_range(&self) -> f64 {
+        let (lo, hi) = self.min_max();
+        hi - lo
+    }
+
+    /// Reinterpret with a new shape of identical length.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(self, shape: Shape) -> Self {
+        assert_eq!(self.len(), shape.len(), "reshape length mismatch");
+        NdArray { shape, data: self.data }
+    }
+
+    /// Copy a rectangular region starting at `origin` with extents `size`
+    /// into a new contiguous array. The region is clipped to the array
+    /// bounds, so the result may be smaller than `size`.
+    pub fn extract_block(&self, origin: &[usize], size: &[usize]) -> NdArray<T> {
+        let nd = self.shape.ndim();
+        assert_eq!(origin.len(), nd);
+        assert_eq!(size.len(), nd);
+        let mut ext = [1usize; MAX_DIMS];
+        for a in 0..nd {
+            assert!(origin[a] < self.shape.dim(a), "block origin out of bounds");
+            ext[a] = size[a].min(self.shape.dim(a) - origin[a]);
+        }
+        let bshape = Shape::new(&ext[..nd]);
+        let mut out = Vec::with_capacity(bshape.len());
+        let mut idx = [0usize; MAX_DIMS];
+        for b in bshape.indices() {
+            for a in 0..nd {
+                idx[a] = origin[a] + b[a];
+            }
+            out.push(self.get(&idx[..nd]));
+        }
+        NdArray::from_vec(bshape, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_row_major() {
+        let a = NdArray::<f64>::from_fn(Shape::d2(2, 3), |ix| (ix[0] * 10 + ix[1]) as f64);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(a.get(&[1, 2]), 12.0);
+    }
+
+    #[test]
+    fn set_get() {
+        let mut a = NdArray::<f32>::zeros(Shape::d3(2, 2, 2));
+        a.set(&[1, 0, 1], 5.0);
+        assert_eq!(a.get(&[1, 0, 1]), 5.0);
+        assert_eq!(a.as_slice()[5], 5.0);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let a = NdArray::from_vec(Shape::d1(4), vec![f32::NAN, 2.0, -1.0, 0.5]);
+        assert_eq!(a.min_max(), (-1.0, 2.0));
+        assert_eq!(a.value_range(), 3.0);
+    }
+
+    #[test]
+    fn min_max_all_nan() {
+        let a = NdArray::from_vec(Shape::d1(2), vec![f32::NAN, f32::NAN]);
+        assert_eq!(a.min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn extract_block_interior() {
+        let a = NdArray::<f64>::from_fn(Shape::d2(4, 4), |ix| (ix[0] * 4 + ix[1]) as f64);
+        let b = a.extract_block(&[1, 1], &[2, 2]);
+        assert_eq!(b.shape().dims(), &[2, 2]);
+        assert_eq!(b.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn extract_block_clipped_at_edge() {
+        let a = NdArray::<f64>::from_fn(Shape::d2(4, 4), |ix| (ix[0] * 4 + ix[1]) as f64);
+        let b = a.extract_block(&[3, 2], &[3, 3]);
+        assert_eq!(b.shape().dims(), &[1, 2]);
+        assert_eq!(b.as_slice(), &[14.0, 15.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = NdArray::from_vec(Shape::d1(6), vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.reshape(Shape::d2(2, 3));
+        assert_eq!(b.get(&[1, 0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_mismatch() {
+        let _ = NdArray::from_vec(Shape::d1(3), vec![1.0f32]);
+    }
+}

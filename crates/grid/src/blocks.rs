@@ -1,0 +1,157 @@
+//! Block decomposition of an N-d shape.
+//!
+//! The regression predictor and the model's block-sampling strategy both
+//! partition a field into fixed-size blocks (6×6×6 in SZ3). [`BlockIter`]
+//! enumerates those blocks in row-major order, clipping the trailing blocks
+//! at the array boundary.
+
+use crate::shape::{Shape, MAX_DIMS};
+
+/// One block of a partition: origin plus (clipped) extents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Multi-index of the block's first element.
+    pub origin: [usize; MAX_DIMS],
+    /// Clipped extent per dimension.
+    pub size: [usize; MAX_DIMS],
+    /// Number of dimensions in use.
+    pub ndim: usize,
+}
+
+impl BlockSpec {
+    /// Element count of the (clipped) block.
+    pub fn len(&self) -> usize {
+        self.size[..self.ndim].iter().product()
+    }
+
+    /// Whether the block is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Origin as a slice of the active dimensions.
+    pub fn origin_slice(&self) -> &[usize] {
+        &self.origin[..self.ndim]
+    }
+
+    /// Size as a slice of the active dimensions.
+    pub fn size_slice(&self) -> &[usize] {
+        &self.size[..self.ndim]
+    }
+}
+
+/// Iterator over the blocks of `shape` with edge length `side` per
+/// dimension.
+pub struct BlockIter {
+    shape: Shape,
+    side: usize,
+    /// Block-grid coordinates of the next block; `None` when exhausted.
+    next: Option<[usize; MAX_DIMS]>,
+    /// Number of blocks along each dimension.
+    counts: [usize; MAX_DIMS],
+}
+
+impl BlockIter {
+    /// Partition `shape` into blocks of `side^ndim` elements.
+    ///
+    /// # Panics
+    /// Panics if `side == 0`.
+    pub fn new(shape: Shape, side: usize) -> Self {
+        assert!(side > 0, "block side must be positive");
+        let mut counts = [1usize; MAX_DIMS];
+        for a in 0..shape.ndim() {
+            counts[a] = shape.dim(a).div_ceil(side);
+        }
+        BlockIter { shape, side, next: Some([0; MAX_DIMS]), counts }
+    }
+
+    /// Total number of blocks the iterator will yield.
+    pub fn block_count(&self) -> usize {
+        self.counts[..self.shape.ndim()].iter().product()
+    }
+}
+
+impl Iterator for BlockIter {
+    type Item = BlockSpec;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cur = self.next?;
+        let nd = self.shape.ndim();
+        let mut origin = [0usize; MAX_DIMS];
+        let mut size = [1usize; MAX_DIMS];
+        for a in 0..nd {
+            origin[a] = cur[a] * self.side;
+            size[a] = self.side.min(self.shape.dim(a) - origin[a]);
+        }
+        // Odometer advance over block-grid coordinates.
+        let mut nxt = cur;
+        let mut axis = nd;
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            nxt[axis] += 1;
+            if nxt[axis] < self.counts[axis] {
+                self.next = Some(nxt);
+                break;
+            }
+            nxt[axis] = 0;
+        }
+        Some(BlockSpec { origin, size, ndim: nd })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition() {
+        let blocks: Vec<_> = BlockIter::new(Shape::d2(6, 6), 3).collect();
+        assert_eq!(blocks.len(), 4);
+        assert!(blocks.iter().all(|b| b.len() == 9));
+    }
+
+    #[test]
+    fn clipped_tail_blocks() {
+        let blocks: Vec<_> = BlockIter::new(Shape::d2(7, 5), 3).collect();
+        assert_eq!(blocks.len(), 3 * 2);
+        let last = blocks.last().unwrap();
+        assert_eq!(last.origin_slice(), &[6, 3]);
+        assert_eq!(last.size_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn covers_every_element_once() {
+        let shape = Shape::d3(5, 7, 4);
+        let mut seen = vec![0u8; shape.len()];
+        for b in BlockIter::new(shape, 3) {
+            for i0 in 0..b.size[0] {
+                for i1 in 0..b.size[1] {
+                    for i2 in 0..b.size[2] {
+                        let idx = [b.origin[0] + i0, b.origin[1] + i1, b.origin[2] + i2];
+                        seen[shape.offset(&idx)] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn block_count_matches_iteration() {
+        let it = BlockIter::new(Shape::d3(10, 11, 12), 6);
+        let n = it.block_count();
+        assert_eq!(n, BlockIter::new(Shape::d3(10, 11, 12), 6).count());
+        assert_eq!(n, 2 * 2 * 2);
+    }
+
+    #[test]
+    fn single_block_when_side_exceeds_shape() {
+        let blocks: Vec<_> = BlockIter::new(Shape::d1(4), 100).collect();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].size_slice(), &[4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Element-type abstraction over `f32` and `f64`.
+
+/// A floating-point element type usable throughout the compression pipeline.
+///
+/// The pipeline needs exact byte-level round-tripping (for the
+/// unpredictable-value escape path), `f64` promotion (all model arithmetic
+/// is done in `f64`), and a handful of constants.
+pub trait Scalar: Copy + PartialOrd + std::fmt::Debug + Send + Sync + 'static {
+    /// Number of bytes in the on-disk representation.
+    const BYTES: usize;
+    /// Bits per value before compression (32 or 64); the paper's bit-rate
+    /// baseline.
+    const BITS: u32;
+    /// Short type tag stored in container headers.
+    const TAG: u8;
+
+    /// Promote to `f64` (lossless for both supported types).
+    fn to_f64(self) -> f64;
+    /// Demote from `f64` (rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Little-endian byte serialization.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Little-endian byte deserialization.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is shorter than [`Self::BYTES`].
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Additive identity.
+    fn zero() -> Self;
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const BITS: u32 = 32;
+    const TAG: u8 = 0x04;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes[..4].try_into().expect("need 4 bytes"))
+    }
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const BITS: u32 = 64;
+    const TAG: u8 = 0x08;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes[..8].try_into().expect("need 8 bytes"))
+    }
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(f32::read_le(&buf), 1.5);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf = Vec::new();
+        (-std::f64::consts::PI).write_le(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_le(&buf), -std::f64::consts::PI);
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let v = f32::from_bits(0x7fc0_1234);
+        let mut buf = Vec::new();
+        v.write_le(&mut buf);
+        assert_eq!(f32::read_le(&buf).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn tags_distinct() {
+        assert_ne!(<f32 as Scalar>::TAG, <f64 as Scalar>::TAG);
+    }
+}

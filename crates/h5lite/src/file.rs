@@ -1,0 +1,303 @@
+//! Single-file writer/reader for the container.
+
+use crate::filter::Filter;
+use crate::format::{DatasetMeta, H5Error, MAGIC, VERSION};
+use rq_encoding::varint::{get_uvarint, put_uvarint};
+use rq_grid::{NdArray, Scalar, Shape, MAX_DIMS};
+use std::io::Write;
+use std::path::Path;
+
+/// Default rows (axis-0 hyperplanes) per chunk.
+pub const DEFAULT_SLAB_ROWS: usize = 16;
+
+/// Builds a container in memory and writes it out in one pass.
+pub struct H5LiteWriter {
+    datasets: Vec<DatasetMeta>,
+    payload: Vec<u8>,
+}
+
+impl Default for H5LiteWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl H5LiteWriter {
+    /// Start an empty container.
+    pub fn new() -> Self {
+        H5LiteWriter { datasets: Vec::new(), payload: Vec::new() }
+    }
+
+    /// Add a dataset, chunked into `slab_rows`-row slabs along axis 0 and
+    /// passed through `filter`.
+    ///
+    /// Returns the stored (compressed) byte count.
+    pub fn add_dataset<T: Scalar>(
+        &mut self,
+        name: &str,
+        field: &NdArray<T>,
+        slab_rows: usize,
+        filter: Filter,
+    ) -> Result<usize, H5Error> {
+        assert!(slab_rows > 0, "slab_rows must be positive");
+        if self.datasets.iter().any(|d| d.name == name) {
+            return Err(H5Error::Filter(format!("duplicate dataset name {name}")));
+        }
+        let shape = field.shape();
+        let n0 = shape.dim(0);
+        let mut chunks = Vec::new();
+        let mut stored = 0usize;
+        let mut row = 0usize;
+        while row < n0 {
+            let rows = slab_rows.min(n0 - row);
+            let chunk = slab(field, row, rows);
+            let bytes = filter.encode(&chunk)?;
+            stored += bytes.len();
+            chunks.push((rows, bytes.len()));
+            self.payload.extend_from_slice(&bytes);
+            row += rows;
+        }
+        self.datasets.push(DatasetMeta {
+            name: name.to_string(),
+            scalar_tag: T::TAG,
+            filter_tag: filter.tag(),
+            shape,
+            slab_rows,
+            chunks,
+        });
+        Ok(stored)
+    }
+
+    /// Serialize the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 256);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        put_uvarint(&mut out, self.datasets.len() as u64);
+        for d in &self.datasets {
+            d.write(&mut out);
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Write the container to `path`.
+    pub fn write_to(&self, path: &Path) -> Result<usize, H5Error> {
+        let bytes = self.to_bytes();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+        Ok(bytes.len())
+    }
+}
+
+/// Extract `rows` axis-0 hyperplanes starting at `row0` (contiguous copy).
+fn slab<T: Scalar>(field: &NdArray<T>, row0: usize, rows: usize) -> NdArray<T> {
+    let shape = field.shape();
+    let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+    let mut dims = [0usize; MAX_DIMS];
+    dims[..shape.ndim()].copy_from_slice(shape.dims());
+    dims[0] = rows;
+    let sub = Shape::new(&dims[..shape.ndim()]);
+    let start = row0 * row_elems;
+    NdArray::from_vec(sub, field.as_slice()[start..start + rows * row_elems].to_vec())
+}
+
+/// Reads containers produced by [`H5LiteWriter`].
+pub struct H5LiteReader {
+    datasets: Vec<DatasetMeta>,
+    /// Payload offset of each dataset's first chunk.
+    offsets: Vec<usize>,
+    payload: Vec<u8>,
+}
+
+impl H5LiteReader {
+    /// Parse a container from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, H5Error> {
+        if bytes.len() < 5 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
+            return Err(H5Error::Corrupt("bad superblock"));
+        }
+        let mut pos = 5;
+        let n = get_uvarint(bytes, &mut pos).ok_or(H5Error::Corrupt("dataset count"))? as usize;
+        if n > (1 << 20) {
+            return Err(H5Error::Corrupt("dataset count range"));
+        }
+        let mut datasets = Vec::with_capacity(n);
+        for _ in 0..n {
+            datasets.push(DatasetMeta::read(bytes, &mut pos)?);
+        }
+        let payload = bytes[pos..].to_vec();
+        let mut offsets = Vec::with_capacity(n);
+        let mut off = 0usize;
+        for d in &datasets {
+            offsets.push(off);
+            off += d.stored_bytes();
+        }
+        if off > payload.len() {
+            return Err(H5Error::Corrupt("payload shorter than chunk table"));
+        }
+        Ok(H5LiteReader { datasets, offsets, payload })
+    }
+
+    /// Open a container file.
+    pub fn open(path: &Path) -> Result<Self, H5Error> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Dataset metadata, in storage order.
+    pub fn datasets(&self) -> &[DatasetMeta] {
+        &self.datasets
+    }
+
+    /// Look up a dataset by name.
+    pub fn meta(&self, name: &str) -> Result<&DatasetMeta, H5Error> {
+        self.datasets
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| H5Error::NoSuchDataset(name.to_string()))
+    }
+
+    /// Read and reassemble a whole dataset.
+    pub fn read_dataset<T: Scalar>(&self, name: &str) -> Result<NdArray<T>, H5Error> {
+        let (i, meta) = self
+            .datasets
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name == name)
+            .ok_or_else(|| H5Error::NoSuchDataset(name.to_string()))?;
+        if meta.scalar_tag != T::TAG {
+            return Err(H5Error::Corrupt("scalar tag mismatch"));
+        }
+        let shape = meta.shape;
+        let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+        let mut values: Vec<T> = Vec::with_capacity(shape.len());
+        let mut off = self.offsets[i];
+        let mut dims = [0usize; MAX_DIMS];
+        dims[..shape.ndim()].copy_from_slice(shape.dims());
+        for &(rows, nbytes) in &meta.chunks {
+            if off + nbytes > self.payload.len() {
+                return Err(H5Error::Corrupt("chunk overruns payload"));
+            }
+            dims[0] = rows;
+            let sub = Shape::new(&dims[..shape.ndim()]);
+            let chunk =
+                Filter::decode_tagged::<T>(meta.filter_tag, &self.payload[off..off + nbytes], sub)?;
+            values.extend_from_slice(chunk.as_slice());
+            off += nbytes;
+        }
+        if values.len() != shape.len() {
+            return Err(H5Error::Corrupt("row total mismatch"));
+        }
+        let _ = row_elems;
+        Ok(NdArray::from_vec(shape, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_compress::CompressorConfig;
+    use rq_predict::PredictorKind;
+    use rq_quant::ErrorBoundMode;
+
+    fn field(seed: f32) -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(20, 16, 16), |ix| {
+            seed + ((ix[0] + 2 * ix[1]) as f32 * 0.1).sin() + ix[2] as f32 * 0.01
+        })
+    }
+
+    #[test]
+    fn raw_container_roundtrip() {
+        let f = field(1.0);
+        let mut w = H5LiteWriter::new();
+        w.add_dataset("a", &f, 7, Filter::None).unwrap();
+        let r = H5LiteReader::from_bytes(&w.to_bytes()).unwrap();
+        let back = r.read_dataset::<f32>("a").unwrap();
+        assert_eq!(back.as_slice(), f.as_slice());
+        // 20 rows in 7-row slabs → 3 chunks (7, 7, 6).
+        assert_eq!(r.meta("a").unwrap().chunks.len(), 3);
+    }
+
+    #[test]
+    fn lossy_container_respects_bound() {
+        let f = field(0.0);
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        let mut w = H5LiteWriter::new();
+        let stored = w.add_dataset("s", &f, 8, Filter::Lossy(cfg)).unwrap();
+        assert!(stored < f.len() * 4, "no compression achieved");
+        let r = H5LiteReader::from_bytes(&w.to_bytes()).unwrap();
+        let back = r.read_dataset::<f32>("s").unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.0001);
+        }
+    }
+
+    #[test]
+    fn multiple_datasets() {
+        let mut w = H5LiteWriter::new();
+        let f1 = field(1.0);
+        let f2 = field(2.0);
+        w.add_dataset("one", &f1, 16, Filter::None).unwrap();
+        w.add_dataset(
+            "two",
+            &f2,
+            16,
+            Filter::Lossy(CompressorConfig::new(
+                PredictorKind::Interpolation,
+                ErrorBoundMode::Abs(1e-2),
+            )),
+        )
+        .unwrap();
+        let r = H5LiteReader::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(r.datasets().len(), 2);
+        assert_eq!(r.read_dataset::<f32>("one").unwrap().as_slice(), f1.as_slice());
+        assert!(r.read_dataset::<f32>("two").is_ok());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut w = H5LiteWriter::new();
+        let f = field(0.0);
+        w.add_dataset("dup", &f, 16, Filter::None).unwrap();
+        assert!(w.add_dataset("dup", &f, 16, Filter::None).is_err());
+    }
+
+    #[test]
+    fn missing_dataset_and_wrong_type() {
+        let mut w = H5LiteWriter::new();
+        w.add_dataset("a", &field(0.0), 16, Filter::None).unwrap();
+        let r = H5LiteReader::from_bytes(&w.to_bytes()).unwrap();
+        assert!(matches!(r.read_dataset::<f32>("nope"), Err(H5Error::NoSuchDataset(_))));
+        assert!(r.read_dataset::<f64>("a").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("rq_h5lite_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.h5l");
+        let f = field(3.0);
+        let mut w = H5LiteWriter::new();
+        w.add_dataset("d", &f, 16, Filter::None).unwrap();
+        let written = w.write_to(&path).unwrap();
+        assert!(written > 0);
+        let r = H5LiteReader::open(&path).unwrap();
+        assert_eq!(r.read_dataset::<f32>("d").unwrap().as_slice(), f.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_superblock_rejected() {
+        assert!(H5LiteReader::from_bytes(b"NOTH5").is_err());
+        assert!(H5LiteReader::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn one_dimensional_dataset() {
+        let f = NdArray::<f32>::from_fn(Shape::d1(1000), |ix| ix[0] as f32);
+        let mut w = H5LiteWriter::new();
+        w.add_dataset("v", &f, 128, Filter::None).unwrap();
+        let r = H5LiteReader::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(r.read_dataset::<f32>("v").unwrap().as_slice(), f.as_slice());
+    }
+}

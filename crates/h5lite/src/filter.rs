@@ -1,0 +1,125 @@
+//! The filter pipeline: how a chunk's values become stored bytes.
+//!
+//! Mirrors HDF5's dynamically loaded filters (the paper's H5Z-SZ): a chunk
+//! either passes through raw, or runs through the error-bounded lossy
+//! compressor. The filter tag is stored per dataset so readers
+//! self-configure.
+
+use crate::format::H5Error;
+use rq_compress::{compress, decompress, CompressorConfig};
+use rq_grid::{NdArray, Scalar};
+
+/// A chunk filter.
+#[derive(Clone, Copy, Debug)]
+pub enum Filter {
+    /// Raw little-endian values.
+    None,
+    /// Error-bounded lossy compression with this configuration.
+    Lossy(CompressorConfig),
+}
+
+impl Filter {
+    /// Stable tag stored in dataset metadata.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Filter::None => 0,
+            Filter::Lossy(_) => 1,
+        }
+    }
+
+    /// Encode one chunk.
+    pub fn encode<T: Scalar>(&self, chunk: &NdArray<T>) -> Result<Vec<u8>, H5Error> {
+        match self {
+            Filter::None => {
+                let mut out = Vec::with_capacity(chunk.len() * T::BYTES);
+                for &v in chunk.as_slice() {
+                    v.write_le(&mut out);
+                }
+                Ok(out)
+            }
+            Filter::Lossy(cfg) => compress(chunk, cfg)
+                .map(|o| o.bytes)
+                .map_err(|e| H5Error::Filter(e.to_string())),
+        }
+    }
+
+    /// Decode one chunk. `filter_tag` comes from the dataset metadata;
+    /// `shape` is the chunk's logical shape (needed for the raw path).
+    pub fn decode_tagged<T: Scalar>(
+        filter_tag: u8,
+        bytes: &[u8],
+        shape: rq_grid::Shape,
+    ) -> Result<NdArray<T>, H5Error> {
+        match filter_tag {
+            0 => {
+                if bytes.len() != shape.len() * T::BYTES {
+                    return Err(H5Error::Corrupt("raw chunk size mismatch"));
+                }
+                let mut vals = Vec::with_capacity(shape.len());
+                for i in 0..shape.len() {
+                    vals.push(T::read_le(&bytes[i * T::BYTES..]));
+                }
+                Ok(NdArray::from_vec(shape, vals))
+            }
+            1 => {
+                let arr =
+                    decompress::<T>(bytes).map_err(|e| H5Error::Filter(e.to_string()))?;
+                if arr.shape() != shape {
+                    return Err(H5Error::Corrupt("lossy chunk shape mismatch"));
+                }
+                Ok(arr)
+            }
+            _ => Err(H5Error::Corrupt("unknown filter tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+    use rq_predict::PredictorKind;
+    use rq_quant::ErrorBoundMode;
+
+    fn chunk() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d2(16, 32), |ix| {
+            ((ix[0] as f32) * 0.3).sin() + ix[1] as f32 * 0.1
+        })
+    }
+
+    #[test]
+    fn raw_roundtrip_exact() {
+        let c = chunk();
+        let bytes = Filter::None.encode(&c).unwrap();
+        assert_eq!(bytes.len(), c.len() * 4);
+        let back = Filter::decode_tagged::<f32>(0, &bytes, c.shape()).unwrap();
+        assert_eq!(back.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn lossy_roundtrip_bounded() {
+        let c = chunk();
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        let f = Filter::Lossy(cfg);
+        let bytes = f.encode(&c).unwrap();
+        assert!(bytes.len() < c.len() * 4);
+        let back = Filter::decode_tagged::<f32>(1, &bytes, c.shape()).unwrap();
+        for (&a, &b) in c.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.0001);
+        }
+    }
+
+    #[test]
+    fn wrong_tag_is_error() {
+        let c = chunk();
+        let bytes = Filter::None.encode(&c).unwrap();
+        assert!(Filter::decode_tagged::<f32>(7, &bytes, c.shape()).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        let c = chunk();
+        let bytes = Filter::None.encode(&c).unwrap();
+        assert!(Filter::decode_tagged::<f32>(0, &bytes[..10], c.shape()).is_err());
+    }
+}

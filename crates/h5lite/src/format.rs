@@ -1,0 +1,180 @@
+//! On-disk layout of the container.
+//!
+//! ```text
+//! superblock:  magic "H5LT" | version u8 | dataset-count varint
+//! per dataset: name (varint len + utf8)
+//!              scalar tag u8 | filter tag u8
+//!              ndim u8 | dims varint×ndim | slab_rows varint
+//!              chunk count varint
+//!              per chunk: raw_rows varint | byte length varint
+//! data:        chunk payloads, in dataset/chunk order
+//! ```
+//!
+//! The whole header is written after the payload sizes are known, so files
+//! are written in one pass and read with two small scans.
+
+use rq_encoding::varint::{get_uvarint, put_uvarint};
+use rq_grid::{Shape, MAX_DIMS};
+
+pub(crate) const MAGIC: &[u8; 4] = b"H5LT";
+pub(crate) const VERSION: u8 = 1;
+
+/// Errors for container operations.
+#[derive(Debug)]
+pub enum H5Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural corruption or version mismatch.
+    Corrupt(&'static str),
+    /// Requested dataset does not exist.
+    NoSuchDataset(String),
+    /// A filter failed to encode/decode a chunk.
+    Filter(String),
+}
+
+impl std::fmt::Display for H5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H5Error::Io(e) => write!(f, "i/o error: {e}"),
+            H5Error::Corrupt(w) => write!(f, "corrupt container: {w}"),
+            H5Error::NoSuchDataset(n) => write!(f, "no such dataset: {n}"),
+            H5Error::Filter(m) => write!(f, "filter error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Io(e)
+    }
+}
+
+/// Metadata of one stored dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetMeta {
+    /// Dataset name (unique within a file).
+    pub name: String,
+    /// Scalar type tag (`Scalar::TAG`).
+    pub scalar_tag: u8,
+    /// Filter tag (see [`crate::filter::Filter`]).
+    pub filter_tag: u8,
+    /// Logical shape.
+    pub shape: Shape,
+    /// Rows (axis-0 hyperplanes) per chunk.
+    pub slab_rows: usize,
+    /// Per chunk: (rows in this chunk, stored byte length).
+    pub chunks: Vec<(usize, usize)>,
+}
+
+impl DatasetMeta {
+    /// Total stored bytes across chunks.
+    pub fn stored_bytes(&self) -> usize {
+        self.chunks.iter().map(|&(_, b)| b).sum()
+    }
+
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+        out.push(self.scalar_tag);
+        out.push(self.filter_tag);
+        out.push(self.shape.ndim() as u8);
+        for &d in self.shape.dims() {
+            put_uvarint(out, d as u64);
+        }
+        put_uvarint(out, self.slab_rows as u64);
+        put_uvarint(out, self.chunks.len() as u64);
+        for &(rows, bytes) in &self.chunks {
+            put_uvarint(out, rows as u64);
+            put_uvarint(out, bytes as u64);
+        }
+    }
+
+    pub(crate) fn read(buf: &[u8], pos: &mut usize) -> Result<Self, H5Error> {
+        let nlen = get_uvarint(buf, pos).ok_or(H5Error::Corrupt("name len"))? as usize;
+        if *pos + nlen > buf.len() || nlen > 4096 {
+            return Err(H5Error::Corrupt("name"));
+        }
+        let name = std::str::from_utf8(&buf[*pos..*pos + nlen])
+            .map_err(|_| H5Error::Corrupt("name utf8"))?
+            .to_string();
+        *pos += nlen;
+        let scalar_tag = *buf.get(*pos).ok_or(H5Error::Corrupt("scalar tag"))?;
+        let filter_tag = *buf.get(*pos + 1).ok_or(H5Error::Corrupt("filter tag"))?;
+        let ndim = *buf.get(*pos + 2).ok_or(H5Error::Corrupt("ndim"))? as usize;
+        *pos += 3;
+        if ndim == 0 || ndim > MAX_DIMS {
+            return Err(H5Error::Corrupt("ndim range"));
+        }
+        let mut dims = [0usize; MAX_DIMS];
+        for d in dims.iter_mut().take(ndim) {
+            *d = get_uvarint(buf, pos).ok_or(H5Error::Corrupt("dims"))? as usize;
+            if *d == 0 {
+                return Err(H5Error::Corrupt("zero dim"));
+            }
+        }
+        let slab_rows =
+            get_uvarint(buf, pos).ok_or(H5Error::Corrupt("slab rows"))? as usize;
+        let n_chunks = get_uvarint(buf, pos).ok_or(H5Error::Corrupt("chunk count"))? as usize;
+        if n_chunks > (1 << 30) {
+            return Err(H5Error::Corrupt("chunk count range"));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let rows = get_uvarint(buf, pos).ok_or(H5Error::Corrupt("chunk rows"))? as usize;
+            let bytes = get_uvarint(buf, pos).ok_or(H5Error::Corrupt("chunk bytes"))? as usize;
+            chunks.push((rows, bytes));
+        }
+        Ok(DatasetMeta {
+            name,
+            scalar_tag,
+            filter_tag,
+            shape: Shape::new(&dims[..ndim]),
+            slab_rows,
+            chunks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = DatasetMeta {
+            name: "snapshot-42".into(),
+            scalar_tag: 0x04,
+            filter_tag: 1,
+            shape: Shape::d3(20, 30, 40),
+            slab_rows: 8,
+            chunks: vec![(8, 1000), (8, 900), (4, 333)],
+        };
+        let mut buf = Vec::new();
+        m.write(&mut buf);
+        let mut pos = 0;
+        let m2 = DatasetMeta::read(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(m, m2);
+        assert_eq!(m2.stored_bytes(), 2233);
+    }
+
+    #[test]
+    fn truncated_meta_is_error() {
+        let m = DatasetMeta {
+            name: "x".into(),
+            scalar_tag: 0x04,
+            filter_tag: 0,
+            shape: Shape::d1(5),
+            slab_rows: 5,
+            chunks: vec![(5, 20)],
+        };
+        let mut buf = Vec::new();
+        m.write(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(DatasetMeta::read(&buf[..cut], &mut pos).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Miniature HDF5-like chunked scientific data container (paper §II-A,
+//! §V-F).
+//!
+//! The paper's data-management experiments run parallel HDF5 with an SZ
+//! compression filter on a Lustre file system. This crate reproduces the
+//! pieces of that stack the experiments exercise:
+//!
+//! * [`format`]/[`file`] — a self-describing container with named, chunked,
+//!   filtered datasets (chunks are axis-0 slabs, the common HDF5 layout for
+//!   timestep snapshots),
+//! * [`filter`] — the dynamically-selected filter pipeline: none, or the
+//!   error-bounded lossy compressor (the H5Z-SZ analogue),
+//! * [`parallel`] — a multi-rank parallel writer where threads stand in for
+//!   MPI ranks, with a configurable aggregate-bandwidth I/O model standing
+//!   in for the parallel file system (DESIGN.md §4).
+
+pub mod file;
+pub mod filter;
+pub mod format;
+pub mod parallel;
+
+pub use file::{H5LiteReader, H5LiteWriter};
+pub use filter::Filter;
+pub use format::{DatasetMeta, H5Error};
+pub use parallel::{DumpReport, IoModel, ParallelDump};

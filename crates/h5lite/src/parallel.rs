@@ -1,0 +1,309 @@
+//! Multi-rank parallel snapshot dumping (paper §V-F, Fig. 14).
+//!
+//! Threads stand in for MPI ranks: each rank holds a portion of the
+//! snapshot, compresses it independently (real, wall-clock timed), and the
+//! compressed chunks are gathered into one container. The time to push the
+//! bytes through the parallel file system is *modelled* with a configurable
+//! aggregate bandwidth plus per-rank latency — a local NVMe cannot imitate
+//! Lustre, but the Comp/IO/Op decomposition of the paper's Fig. 14 only
+//! needs the bandwidth model (DESIGN.md §4). The container bytes are still
+//! produced for real, so correctness is testable end to end.
+
+use crate::file::H5LiteWriter;
+use crate::filter::Filter;
+use parking_lot::Mutex;
+use rq_grid::{NdArray, Scalar};
+use std::time::{Duration, Instant};
+
+/// The parallel-file-system model.
+#[derive(Clone, Copy, Debug)]
+pub struct IoModel {
+    /// Aggregate write bandwidth shared by all ranks, bytes/second.
+    pub aggregate_bandwidth: f64,
+    /// Fixed per-write latency per rank (metadata round trip).
+    pub per_rank_latency: Duration,
+}
+
+impl IoModel {
+    /// The model used for the Fig. 14 reproduction. The paper's testbed
+    /// dumps a raw snapshot in 29.4 s while compressing it takes a few
+    /// seconds — a ~10:1 I/O-to-compute ratio. Our snapshots are ~1 MiB
+    /// and compress in ~10 ms, so the bandwidth is scaled to preserve that
+    /// ratio (the Fig. 14 breakdown only depends on it, not on absolute
+    /// seconds; see DESIGN.md §4).
+    pub fn paper_like() -> Self {
+        IoModel {
+            aggregate_bandwidth: 8.0e6,
+            per_rank_latency: Duration::from_millis(1),
+        }
+    }
+
+    /// Modelled time to write `bytes` from `ranks` concurrent writers:
+    /// a shared-bandwidth term plus one metadata round trip (ranks issue
+    /// their metadata operations concurrently).
+    pub fn write_time(&self, bytes: usize, ranks: usize) -> Duration {
+        let _ = ranks;
+        let bw = Duration::from_secs_f64(bytes as f64 / self.aggregate_bandwidth);
+        bw + self.per_rank_latency
+    }
+}
+
+/// Outcome of one parallel dump.
+#[derive(Clone, Debug)]
+pub struct DumpReport {
+    /// Wall-clock time of the slowest rank's compression.
+    pub comp_time: Duration,
+    /// Modelled parallel-file-system write time.
+    pub io_time: Duration,
+    /// Extra optimization time spent before compression (error-bound
+    /// tuning); filled in by the caller.
+    pub opt_time: Duration,
+    /// Total bytes written.
+    pub bytes_written: usize,
+    /// Raw (uncompressed) bytes across ranks.
+    pub bytes_raw: usize,
+    /// Number of ranks.
+    pub ranks: usize,
+}
+
+impl DumpReport {
+    /// Total dump time (the Fig. 14 bar height).
+    pub fn total(&self) -> Duration {
+        self.comp_time + self.io_time + self.opt_time
+    }
+
+    /// Achieved compression ratio.
+    pub fn ratio(&self) -> f64 {
+        self.bytes_raw as f64 / self.bytes_written.max(1) as f64
+    }
+}
+
+/// A parallel dumper with a fixed rank count and I/O model.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelDump {
+    /// Number of worker ranks.
+    pub ranks: usize,
+    /// The file-system model.
+    pub io: IoModel,
+}
+
+impl ParallelDump {
+    /// Create a dumper.
+    pub fn new(ranks: usize, io: IoModel) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        ParallelDump { ranks, io }
+    }
+
+    /// Dump `portions` (one field per rank; lengths may differ) through
+    /// `filter` into a single container. Returns the container bytes and
+    /// the timing report (with `opt_time` zero — the caller adds it).
+    pub fn dump<T: Scalar>(
+        &self,
+        portions: &[NdArray<T>],
+        filter: Filter,
+        slab_rows: usize,
+    ) -> Result<(Vec<u8>, DumpReport), crate::format::H5Error> {
+        assert_eq!(portions.len(), self.ranks, "one portion per rank");
+        let results: Mutex<Vec<Option<(usize, Vec<u8>, Duration)>>> =
+            Mutex::new((0..self.ranks).map(|_| None).collect());
+        let err: Mutex<Option<crate::format::H5Error>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for (rank, portion) in portions.iter().enumerate() {
+                let results = &results;
+                let err = &err;
+                scope.spawn(move |_| {
+                    let t0 = Instant::now();
+                    let mut w = H5LiteWriter::new();
+                    match w.add_dataset(&format!("rank-{rank}"), portion, slab_rows, filter) {
+                        Ok(_) => {
+                            let bytes = w.to_bytes();
+                            results.lock()[rank] = Some((rank, bytes, t0.elapsed()));
+                        }
+                        Err(e) => {
+                            *err.lock() = Some(e);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("rank thread panicked");
+
+        if let Some(e) = err.into_inner() {
+            return Err(e);
+        }
+        let collected = results.into_inner();
+        let mut comp_time = Duration::ZERO;
+        // Gather: concatenate per-rank containers into one archive with a
+        // tiny index (rank containers are self-describing).
+        let mut archive = Vec::new();
+        rq_encoding::varint::put_uvarint(&mut archive, self.ranks as u64);
+        let mut bodies = Vec::with_capacity(self.ranks);
+        for slot in collected {
+            let (_, bytes, t) = slot.expect("all ranks completed");
+            comp_time = comp_time.max(t);
+            bodies.push(bytes);
+        }
+        for b in &bodies {
+            rq_encoding::varint::put_uvarint(&mut archive, b.len() as u64);
+        }
+        for b in &bodies {
+            archive.extend_from_slice(b);
+        }
+
+        let bytes_raw: usize = portions.iter().map(|p| p.len() * T::BYTES).sum();
+        let report = DumpReport {
+            comp_time,
+            io_time: self.io.write_time(archive.len(), self.ranks),
+            opt_time: Duration::ZERO,
+            bytes_written: archive.len(),
+            bytes_raw,
+            ranks: self.ranks,
+        };
+        Ok((archive, report))
+    }
+
+    /// Split one snapshot into per-rank axis-0 slabs (the paper's "each
+    /// process holding a portion of each snapshot"). Rows are distributed
+    /// as evenly as possible.
+    ///
+    /// # Panics
+    /// Panics if the snapshot has fewer axis-0 rows than ranks.
+    pub fn split_snapshot<T: Scalar>(&self, snapshot: &NdArray<T>) -> Vec<NdArray<T>> {
+        let n0 = snapshot.shape().dim(0);
+        assert!(n0 >= self.ranks, "{n0} rows cannot feed {} ranks", self.ranks);
+        let row_elems: usize =
+            snapshot.shape().dims()[1..].iter().product::<usize>().max(1);
+        let base = n0 / self.ranks;
+        let rem = n0 % self.ranks;
+        let mut out = Vec::with_capacity(self.ranks);
+        let mut row = 0usize;
+        for rank in 0..self.ranks {
+            let rows = base + usize::from(rank < rem);
+            let mut dims = [0usize; rq_grid::MAX_DIMS];
+            dims[..snapshot.shape().ndim()].copy_from_slice(snapshot.shape().dims());
+            dims[0] = rows;
+            let sub = rq_grid::Shape::new(&dims[..snapshot.shape().ndim()]);
+            let start = row * row_elems;
+            out.push(NdArray::from_vec(
+                sub,
+                snapshot.as_slice()[start..start + rows * row_elems].to_vec(),
+            ));
+            row += rows;
+        }
+        out
+    }
+}
+
+/// Parse an archive produced by [`ParallelDump::dump`] back into per-rank
+/// container bytes.
+pub fn split_archive(archive: &[u8]) -> Result<Vec<&[u8]>, crate::format::H5Error> {
+    use crate::format::H5Error;
+    let mut pos = 0usize;
+    let n = rq_encoding::varint::get_uvarint(archive, &mut pos)
+        .ok_or(H5Error::Corrupt("archive rank count"))? as usize;
+    if n > (1 << 16) {
+        return Err(H5Error::Corrupt("archive rank range"));
+    }
+    let mut lens = Vec::with_capacity(n);
+    for _ in 0..n {
+        lens.push(
+            rq_encoding::varint::get_uvarint(archive, &mut pos)
+                .ok_or(H5Error::Corrupt("archive body len"))? as usize,
+        );
+    }
+    let mut out = Vec::with_capacity(n);
+    for len in lens {
+        if pos + len > archive.len() {
+            return Err(H5Error::Corrupt("archive body overrun"));
+        }
+        out.push(&archive[pos..pos + len]);
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::H5LiteReader;
+    use rq_compress::CompressorConfig;
+    use rq_grid::Shape;
+    use rq_predict::PredictorKind;
+    use rq_quant::ErrorBoundMode;
+
+    fn snapshot() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(32, 24, 24), |ix| {
+            ((ix[0] * 3 + ix[1]) as f32 * 0.05).sin() * 2.0 + ix[2] as f32 * 0.01
+        })
+    }
+
+    #[test]
+    fn parallel_dump_roundtrip() {
+        let snap = snapshot();
+        let dumper = ParallelDump::new(4, IoModel::paper_like());
+        let portions = dumper.split_snapshot(&snap);
+        assert_eq!(portions.len(), 4);
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        let (archive, report) = dumper.dump(&portions, Filter::Lossy(cfg), 8).unwrap();
+        assert!(report.ratio() > 1.0);
+        assert!(report.comp_time > Duration::ZERO);
+        // Read every rank back and verify the bound.
+        let bodies = split_archive(&archive).unwrap();
+        assert_eq!(bodies.len(), 4);
+        for (rank, body) in bodies.iter().enumerate() {
+            let r = H5LiteReader::from_bytes(body).unwrap();
+            let back = r.read_dataset::<f32>(&format!("rank-{rank}")).unwrap();
+            for (&a, &b) in portions[rank].as_slice().iter().zip(back.as_slice()) {
+                assert!((a - b).abs() <= 1e-3 * 1.0001);
+            }
+        }
+    }
+
+    #[test]
+    fn io_model_scales_with_bytes() {
+        let io = IoModel { aggregate_bandwidth: 1e6, per_rank_latency: Duration::ZERO };
+        assert_eq!(io.write_time(1_000_000, 8), Duration::from_secs(1));
+        assert!(io.write_time(2_000_000, 8) > io.write_time(1_000_000, 8));
+    }
+
+    #[test]
+    fn compressed_dump_faster_io_than_raw() {
+        let snap = snapshot();
+        let dumper = ParallelDump::new(2, IoModel::paper_like());
+        let portions = dumper.split_snapshot(&snap);
+        let (_, raw) = dumper.dump(&portions, Filter::None, 8).unwrap();
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-2));
+        let (_, lossy) = dumper.dump(&portions, Filter::Lossy(cfg), 8).unwrap();
+        assert!(lossy.bytes_written < raw.bytes_written);
+        assert!(lossy.io_time < raw.io_time);
+    }
+
+    #[test]
+    fn split_covers_all_rows_when_divisible() {
+        let snap = snapshot(); // 32 rows
+        let dumper = ParallelDump::new(4, IoModel::paper_like());
+        let portions = dumper.split_snapshot(&snap);
+        let rows: usize = portions.iter().map(|p| p.shape().dim(0)).sum();
+        assert_eq!(rows, 32);
+        // Contents match slab-by-slab.
+        let all: Vec<f32> =
+            portions.iter().flat_map(|p| p.as_slice().iter().copied()).collect();
+        assert_eq!(all, snap.as_slice());
+    }
+
+    #[test]
+    fn report_total_includes_opt() {
+        let mut r = DumpReport {
+            comp_time: Duration::from_millis(10),
+            io_time: Duration::from_millis(20),
+            opt_time: Duration::ZERO,
+            bytes_written: 100,
+            bytes_raw: 1000,
+            ranks: 1,
+        };
+        let base = r.total();
+        r.opt_time = Duration::from_millis(5);
+        assert_eq!(r.total(), base + Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,309 @@
+//! Multi-level interpolation predictor (Zhao et al., ICDE'21 [36]).
+//!
+//! The field is refined level by level. At each level with stride `s` the
+//! lattice of known points has spacing `2s`; one pass per dimension
+//! predicts the points whose coordinate along that dimension is an odd
+//! multiple of `s`, from their neighbors at `±s` (and `±3s` for the cubic
+//! stencil) along the same line. After the `s = 1` level every point has
+//! been visited exactly once.
+//!
+//! The traversal is exposed as a deterministic *stencil plan*
+//! ([`for_each_stencil`]): the compressor consumes it writing reconstructed
+//! values, the decompressor replays it, and the analytical model samples it
+//! level-by-level (paper §III-C2: "the sampling data in the current level
+//! is 2⁻ⁿ of the previous level").
+
+use rq_grid::{Shape, MAX_DIMS};
+
+/// How a target point is predicted from its along-axis neighbors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StencilKind {
+    /// Cubic: neighbors at −3s, −s, +s, +3s with weights (−1, 9, 9, −1)/16.
+    Cubic([usize; 4]),
+    /// Linear: neighbors at −s, +s with weights (1/2, 1/2).
+    Linear([usize; 2]),
+    /// Copy the single in-range neighbor at −s.
+    CopyLeft(usize),
+}
+
+/// One interpolation target: where, from what, at which level.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpTarget {
+    /// Linear (row-major) index of the predicted point.
+    pub target: usize,
+    /// Stencil (linear indices of source points).
+    pub kind: StencilKind,
+    /// Level stride `s` (power of two, 1 = finest level).
+    pub stride: usize,
+    /// Axis along which this point is interpolated.
+    pub axis: usize,
+}
+
+impl InterpTarget {
+    /// Evaluate the prediction against `buf`.
+    #[inline]
+    pub fn predict(&self, buf: &[f64]) -> f64 {
+        match self.kind {
+            StencilKind::Cubic([a, b, c, d]) => {
+                (-buf[a] + 9.0 * buf[b] + 9.0 * buf[c] - buf[d]) / 16.0
+            }
+            StencilKind::Linear([a, b]) => 0.5 * (buf[a] + buf[b]),
+            StencilKind::CopyLeft(a) => buf[a],
+        }
+    }
+}
+
+/// The anchor stride: the smallest power of two ≥ every dimension extent.
+/// Anchor points (all coordinates multiples of this) are stored verbatim.
+pub fn anchor_stride(shape: Shape) -> usize {
+    let max_extent = shape.dims().iter().copied().max().unwrap_or(1);
+    max_extent.next_power_of_two().max(2)
+}
+
+/// Linear indices of the anchor points, in row-major order.
+pub fn anchors(shape: Shape) -> Vec<usize> {
+    let a = anchor_stride(shape);
+    let nd = shape.ndim();
+    let mut out = Vec::new();
+    let mut idx = [0usize; MAX_DIMS];
+    collect_lattice(shape, &mut idx, 0, a, nd, &mut out);
+    out
+}
+
+fn collect_lattice(
+    shape: Shape,
+    idx: &mut [usize; MAX_DIMS],
+    axis: usize,
+    step: usize,
+    nd: usize,
+    out: &mut Vec<usize>,
+) {
+    if axis == nd {
+        out.push(shape.offset(&idx[..nd]));
+        return;
+    }
+    let mut c = 0;
+    while c < shape.dim(axis) {
+        idx[axis] = c;
+        collect_lattice(shape, idx, axis + 1, step, nd, out);
+        c += step;
+    }
+}
+
+/// Walk every interpolation target in causal order, invoking `f` for each.
+///
+/// The order is: levels from coarsest (`stride = anchor_stride / 2`) to
+/// finest (`stride = 1`); within a level one pass per axis (axis 0 first);
+/// within a pass, row-major order of targets. Every non-anchor point is
+/// visited exactly once, and every stencil source is either an anchor or a
+/// target of an earlier step.
+pub fn for_each_stencil(shape: Shape, mut f: impl FnMut(InterpTarget)) {
+    let nd = shape.ndim();
+    let strides = shape.strides();
+    let mut s = anchor_stride(shape) / 2;
+    while s >= 1 {
+        for axis in 0..nd {
+            // Spacing of the known lattice along each axis during this pass:
+            //   axes < axis  → s (already refined this level)
+            //   axis         → targets at odd multiples of s
+            //   axes > axis  → 2s (not yet refined this level)
+            let mut idx = [0usize; MAX_DIMS];
+            walk_pass(shape, &strides, &mut idx, 0, axis, s, nd, &mut f);
+        }
+        s /= 2;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_pass(
+    shape: Shape,
+    strides: &[usize; MAX_DIMS],
+    idx: &mut [usize; MAX_DIMS],
+    depth: usize,
+    axis: usize,
+    s: usize,
+    nd: usize,
+    f: &mut impl FnMut(InterpTarget),
+) {
+    if depth == nd {
+        let extent = shape.dim(axis);
+        let t = idx[axis];
+        let lin: usize = (0..nd).map(|a| idx[a] * strides[a]).sum();
+        let stride_lin = strides[axis];
+        // Neighbors along `axis` at ±s and ±3s (in elements of that axis).
+        let left1 = lin - s * stride_lin; // t >= s always holds
+        let kind = if t + s < extent {
+            let right1 = lin + s * stride_lin;
+            if t >= 3 * s && t + 3 * s < extent {
+                StencilKind::Cubic([
+                    lin - 3 * s * stride_lin,
+                    left1,
+                    right1,
+                    lin + 3 * s * stride_lin,
+                ])
+            } else {
+                StencilKind::Linear([left1, right1])
+            }
+        } else {
+            StencilKind::CopyLeft(left1)
+        };
+        f(InterpTarget { target: lin, kind, stride: s, axis });
+        return;
+    }
+    let extent = shape.dim(depth);
+    if depth == axis {
+        // Odd multiples of s.
+        let mut c = s;
+        while c < extent {
+            idx[depth] = c;
+            walk_pass(shape, strides, idx, depth + 1, axis, s, nd, f);
+            c += 2 * s;
+        }
+    } else {
+        let step = if depth < axis { s } else { 2 * s };
+        let mut c = 0;
+        while c < extent {
+            idx[depth] = c;
+            walk_pass(shape, strides, idx, depth + 1, axis, s, nd, f);
+            c += step;
+        }
+    }
+}
+
+/// Number of targets per level stride, used by the model's level-aware
+/// sampling. Returns `(stride, count)` pairs from coarsest to finest.
+pub fn level_sizes(shape: Shape) -> Vec<(usize, usize)> {
+    let mut sizes = Vec::new();
+    let mut cur_stride = 0usize;
+    let mut count = 0usize;
+    for_each_stencil(shape, |t| {
+        if t.stride != cur_stride {
+            if cur_stride != 0 {
+                sizes.push((cur_stride, count));
+            }
+            cur_stride = t.stride;
+            count = 0;
+        }
+        count += 1;
+    });
+    if cur_stride != 0 {
+        sizes.push((cur_stride, count));
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::NdArray;
+
+    #[test]
+    fn anchor_stride_is_pow2_covering() {
+        assert_eq!(anchor_stride(Shape::d1(512)), 512);
+        assert_eq!(anchor_stride(Shape::d1(513)), 1024);
+        assert_eq!(anchor_stride(Shape::d3(100, 500, 20)), 512);
+        assert_eq!(anchor_stride(Shape::d1(1)), 2);
+    }
+
+    #[test]
+    fn every_point_visited_exactly_once() {
+        for shape in [Shape::d1(37), Shape::d2(16, 16), Shape::d2(17, 9), Shape::d3(13, 8, 21)] {
+            let mut seen = vec![0u32; shape.len()];
+            for &a in &anchors(shape) {
+                seen[a] += 1;
+            }
+            for_each_stencil(shape, |t| seen[t.target] += 1);
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "shape {:?}: min {:?} max {:?}",
+                shape.dims(),
+                seen.iter().min(),
+                seen.iter().max()
+            );
+        }
+    }
+
+    #[test]
+    fn causality_sources_precede_targets() {
+        // Every stencil source must already be known (anchor or earlier
+        // target) when its target is visited.
+        let shape = Shape::d3(9, 14, 6);
+        let mut known = vec![false; shape.len()];
+        for &a in &anchors(shape) {
+            known[a] = true;
+        }
+        for_each_stencil(shape, |t| {
+            let sources: Vec<usize> = match t.kind {
+                StencilKind::Cubic(s) => s.to_vec(),
+                StencilKind::Linear(s) => s.to_vec(),
+                StencilKind::CopyLeft(s) => vec![s],
+            };
+            for src in sources {
+                assert!(known[src], "target {} uses unknown source {}", t.target, src);
+            }
+            assert!(!known[t.target], "target {} visited twice", t.target);
+            known[t.target] = true;
+        });
+        assert!(known.iter().all(|&k| k));
+    }
+
+    #[test]
+    fn linear_field_predicted_exactly() {
+        // On a linear ramp both cubic and linear stencils are exact, so all
+        // prediction errors are 0 (except copy-left boundaries).
+        let shape = Shape::d2(16, 16);
+        let a = NdArray::<f64>::from_fn(shape, |ix| ix[0] as f64 + 2.0 * ix[1] as f64);
+        for_each_stencil(shape, |t| {
+            if matches!(t.kind, StencilKind::CopyLeft(_)) {
+                return;
+            }
+            let p = t.predict(a.as_slice());
+            let actual = a.as_slice()[t.target];
+            assert!((p - actual).abs() < 1e-9, "target {} {:?}", t.target, t.kind);
+        });
+    }
+
+    #[test]
+    fn cubic_exact_on_cubic_polynomial() {
+        // Cubic interpolation reproduces cubics along the axis exactly.
+        let shape = Shape::d1(64);
+        let f = |x: f64| 0.5 * x * x * x - 2.0 * x * x + x - 3.0;
+        let a = NdArray::<f64>::from_fn(shape, |ix| f(ix[0] as f64));
+        for_each_stencil(shape, |t| {
+            if let StencilKind::Cubic(_) = t.kind {
+                let p = t.predict(a.as_slice());
+                assert!(
+                    (p - a.as_slice()[t.target]).abs() < 1e-6,
+                    "target {} stride {}",
+                    t.target,
+                    t.stride
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn level_sizes_sum_to_non_anchor_count() {
+        let shape = Shape::d3(20, 20, 20);
+        let total: usize = level_sizes(shape).iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, shape.len() - anchors(shape).len());
+    }
+
+    #[test]
+    fn finer_levels_have_more_points() {
+        let sizes = level_sizes(Shape::d2(64, 64));
+        for w in sizes.windows(2) {
+            assert!(w[0].0 > w[1].0, "strides must decrease");
+            assert!(w[0].1 < w[1].1, "counts must increase");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let shape = Shape::d1(1);
+        assert_eq!(anchors(shape), vec![0]);
+        let mut n = 0;
+        for_each_stencil(shape, |_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Predictors for prediction-based lossy compression (paper §II-B, §III-C).
+//!
+//! Three predictor families, matching the three the paper models for SZ3:
+//!
+//! * [`lorenzo`] — the Lorenzo predictor (order 1 and 2), a finite-difference
+//!   extrapolation from the already-visited corner neighborhood,
+//! * [`interp`] — the dynamic multi-level spline interpolation predictor of
+//!   Zhao et al. (ICDE'21), enumerated as a deterministic *stencil plan* so
+//!   the compressor, decompressor and the analytical model all walk the
+//!   identical traversal,
+//! * [`regression`] — the block-wise linear regression predictor of
+//!   Liang et al. (SZ2), fitting a hyperplane per 6^d block.
+//!
+//! All predictions operate on an `f64` working buffer; the compressor
+//! promotes `f32` fields on entry (cost: one extra buffer, benefit: one
+//! code path whose arithmetic matches the model's derivations exactly).
+
+pub mod interp;
+pub mod lorenzo;
+pub mod regression;
+
+/// Which predictor a pipeline uses. Serialized into container headers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Order-1 Lorenzo.
+    Lorenzo,
+    /// Order-2 Lorenzo.
+    Lorenzo2,
+    /// Multi-level cubic/linear interpolation.
+    Interpolation,
+    /// Block-wise linear regression.
+    Regression,
+}
+
+impl PredictorKind {
+    /// Stable one-byte tag for container headers.
+    pub fn tag(self) -> u8 {
+        match self {
+            PredictorKind::Lorenzo => 0,
+            PredictorKind::Lorenzo2 => 1,
+            PredictorKind::Interpolation => 2,
+            PredictorKind::Regression => 3,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => PredictorKind::Lorenzo,
+            1 => PredictorKind::Lorenzo2,
+            2 => PredictorKind::Interpolation,
+            3 => PredictorKind::Regression,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Lorenzo => "lorenzo",
+            PredictorKind::Lorenzo2 => "lorenzo2",
+            PredictorKind::Interpolation => "interpolation",
+            PredictorKind::Regression => "regression",
+        }
+    }
+
+    /// All predictor kinds, in tag order.
+    pub fn all() -> [PredictorKind; 4] {
+        [
+            PredictorKind::Lorenzo,
+            PredictorKind::Lorenzo2,
+            PredictorKind::Interpolation,
+            PredictorKind::Regression,
+        ]
+    }
+
+    /// The `C2` bin-transfer constant of the paper's Eq. 9 (§III-C4):
+    /// 0.2 for Lorenzo, 0.1 for interpolation, 0 otherwise (regression
+    /// predicts from original values so no correction is needed).
+    pub fn bin_transfer_c2(self) -> f64 {
+        match self {
+            PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => 0.2,
+            PredictorKind::Interpolation => 0.1,
+            PredictorKind::Regression => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for k in PredictorKind::all() {
+            assert_eq!(PredictorKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(PredictorKind::from_tag(9), None);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names: std::collections::HashSet<_> =
+            PredictorKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn c2_constants_match_paper() {
+        assert_eq!(PredictorKind::Lorenzo.bin_transfer_c2(), 0.2);
+        assert_eq!(PredictorKind::Interpolation.bin_transfer_c2(), 0.1);
+    }
+}

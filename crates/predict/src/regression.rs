@@ -1,0 +1,225 @@
+//! Block-wise linear regression predictor (Liang et al., SZ2 [33]).
+//!
+//! The field is partitioned into blocks of side [`REGRESSION_BLOCK_SIDE`]
+//! (6, as in SZ) and a hyperplane `f(x) = b0 + Σ_a b_a · x_a` is fitted to
+//! each block by least squares. On the regular grid the centered regressors
+//! are mutually orthogonal, so each slope is an independent
+//! covariance/variance ratio — no matrix solve required.
+//!
+//! Coefficients are stored in a side channel as `f32` (4·(ndim+1) bytes per
+//! block, ≲ 0.2 bits/value for 3D), and prediction during decompression
+//! uses those quantized-to-f32 coefficients, so compression must predict
+//! with the *stored* coefficients too — otherwise the error bound would be
+//! violated by the coefficient rounding.
+
+use rq_grid::{BlockSpec, Shape, MAX_DIMS};
+
+/// Block side length used by the regression predictor.
+pub const REGRESSION_BLOCK_SIDE: usize = 6;
+
+/// Fitted (and f32-rounded) hyperplane coefficients for one block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockCoeffs {
+    /// Intercept at the block-local origin.
+    pub b0: f32,
+    /// Slope per dimension (block-local coordinates).
+    pub slopes: [f32; MAX_DIMS],
+    /// Dimensions in use.
+    pub ndim: usize,
+}
+
+impl BlockCoeffs {
+    /// Predict the value at block-local coordinates `local`.
+    #[inline]
+    pub fn predict(&self, local: &[usize]) -> f64 {
+        let mut v = self.b0 as f64;
+        for a in 0..self.ndim {
+            v += self.slopes[a] as f64 * local[a] as f64;
+        }
+        v
+    }
+
+    /// Serialize as little-endian f32 words: `b0`, then one slope per dim.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.b0.to_le_bytes());
+        for a in 0..self.ndim {
+            out.extend_from_slice(&self.slopes[a].to_le_bytes());
+        }
+    }
+
+    /// Deserialize; returns the coefficients and bytes consumed.
+    pub fn read(bytes: &[u8], ndim: usize) -> Option<(Self, usize)> {
+        let need = 4 * (ndim + 1);
+        if bytes.len() < need {
+            return None;
+        }
+        let b0 = f32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let mut slopes = [0f32; MAX_DIMS];
+        for (a, s) in slopes.iter_mut().take(ndim).enumerate() {
+            let off = 4 + 4 * a;
+            *s = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        }
+        Some((BlockCoeffs { b0, slopes, ndim }, need))
+    }
+
+    /// Serialized size in bytes for `ndim` dimensions.
+    pub fn byte_len(ndim: usize) -> usize {
+        4 * (ndim + 1)
+    }
+}
+
+/// Least-squares fit of a hyperplane to the block of `data` described by
+/// `block`. `data` is the full field (row-major, shape `shape`).
+pub fn fit_block(data: &[f64], shape: Shape, block: &BlockSpec) -> BlockCoeffs {
+    let nd = block.ndim;
+    let strides = shape.strides();
+    let n = block.len() as f64;
+
+    // Per-axis mean of local coordinates and their centered sum of squares.
+    let mut coord_mean = [0f64; MAX_DIMS];
+    let mut coord_ss = [0f64; MAX_DIMS];
+    for a in 0..nd {
+        let ext = block.size[a] as f64;
+        coord_mean[a] = (ext - 1.0) / 2.0;
+        // Σ (x - mean)² over 0..ext, times the number of repetitions of
+        // each coordinate (= n / ext).
+        let mut ss = 0.0;
+        for x in 0..block.size[a] {
+            ss += (x as f64 - coord_mean[a]).powi(2);
+        }
+        coord_ss[a] = ss * (n / ext);
+    }
+
+    // Single pass over the block: value mean and per-axis covariances.
+    let mut f_sum = 0.0;
+    let mut cov = [0f64; MAX_DIMS];
+    let mut local = [0usize; MAX_DIMS];
+    loop {
+        let mut lin = 0usize;
+        for a in 0..nd {
+            lin += (block.origin[a] + local[a]) * strides[a];
+        }
+        let v = data[lin];
+        f_sum += v;
+        for a in 0..nd {
+            cov[a] += (local[a] as f64 - coord_mean[a]) * v;
+        }
+        // Odometer.
+        let mut axis = nd;
+        let mut done = false;
+        loop {
+            if axis == 0 {
+                done = true;
+                break;
+            }
+            axis -= 1;
+            local[axis] += 1;
+            if local[axis] < block.size[axis] {
+                break;
+            }
+            local[axis] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+
+    let f_mean = f_sum / n;
+    let mut slopes = [0f32; MAX_DIMS];
+    let mut b0 = f_mean;
+    for a in 0..nd {
+        let slope = if coord_ss[a] > 0.0 { cov[a] / coord_ss[a] } else { 0.0 };
+        slopes[a] = slope as f32;
+        b0 -= slopes[a] as f64 * coord_mean[a];
+    }
+    BlockCoeffs { b0: b0 as f32, slopes, ndim: nd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::{BlockIter, NdArray};
+
+    fn full_block(shape: Shape) -> BlockSpec {
+        BlockIter::new(shape, usize::MAX >> 1).next().unwrap()
+    }
+
+    #[test]
+    fn exact_on_planar_field() {
+        let shape = Shape::d2(6, 6);
+        let a = NdArray::<f64>::from_fn(shape, |ix| 2.0 + 3.0 * ix[0] as f64 - ix[1] as f64);
+        let c = fit_block(a.as_slice(), shape, &full_block(shape));
+        assert!((c.b0 as f64 - 2.0).abs() < 1e-5);
+        assert!((c.slopes[0] as f64 - 3.0).abs() < 1e-5);
+        assert!((c.slopes[1] as f64 + 1.0).abs() < 1e-5);
+        for ix in shape.indices() {
+            let p = c.predict(&ix[..2]);
+            assert!((p - a.get(&ix[..2])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_field_gives_zero_slopes() {
+        let shape = Shape::d3(6, 6, 6);
+        let a = NdArray::<f64>::from_fn(shape, |_| 7.5);
+        let c = fit_block(a.as_slice(), shape, &full_block(shape));
+        assert!((c.b0 - 7.5).abs() < 1e-6);
+        assert!(c.slopes[..3].iter().all(|&s| s.abs() < 1e-6));
+    }
+
+    #[test]
+    fn fit_minimizes_residual_vs_perturbed() {
+        // The LS fit must beat any perturbed coefficient set.
+        let shape = Shape::d2(6, 6);
+        let a = NdArray::<f64>::from_fn(shape, |ix| {
+            1.0 + 0.5 * ix[0] as f64 + 2.0 * ix[1] as f64
+                + 0.3 * ((ix[0] * 7 + ix[1] * 13) as f64).sin()
+        });
+        let block = full_block(shape);
+        let c = fit_block(a.as_slice(), shape, &block);
+        let sse = |c: &BlockCoeffs| -> f64 {
+            shape
+                .indices()
+                .map(|ix| (c.predict(&ix[..2]) - a.get(&ix[..2])).powi(2))
+                .sum()
+        };
+        let base = sse(&c);
+        for da in [-0.05f32, 0.05] {
+            let mut pert = c;
+            pert.slopes[0] += da;
+            assert!(sse(&pert) >= base - 1e-9);
+            let mut pert = c;
+            pert.b0 += da;
+            assert!(sse(&pert) >= base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn clipped_block_at_boundary() {
+        let shape = Shape::d2(7, 7);
+        let a = NdArray::<f64>::from_fn(shape, |ix| ix[0] as f64 + ix[1] as f64);
+        // Take the bottom-right 1x1 clipped block from a 6-side partition.
+        let blocks: Vec<_> = BlockIter::new(shape, 6).collect();
+        let last = blocks.last().unwrap();
+        assert_eq!(last.size_slice(), &[1, 1]);
+        let c = fit_block(a.as_slice(), shape, last);
+        // Single point: intercept = value, slopes irrelevant (0).
+        assert!((c.predict(&[0, 0]) - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn coeffs_serialization_roundtrip() {
+        let c = BlockCoeffs { b0: 1.5, slopes: [0.25, -3.75, 100.0, 0.0], ndim: 3 };
+        let mut buf = Vec::new();
+        c.write(&mut buf);
+        assert_eq!(buf.len(), BlockCoeffs::byte_len(3));
+        let (c2, used) = BlockCoeffs::read(&buf, 3).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn truncated_coeffs_is_none() {
+        assert!(BlockCoeffs::read(&[0u8; 7], 1).is_none());
+    }
+}

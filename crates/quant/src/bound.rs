@@ -1,0 +1,89 @@
+//! User-facing error-bound modes and their resolution to an absolute bound.
+
+/// How the user expresses the error tolerance (paper §II-B).
+///
+/// All modes resolve to a point-wise absolute bound before quantization;
+/// the point-wise *relative* mode does so in the logarithmic domain (the
+/// compressor applies a log transform first, per Liang et al. [35], which
+/// the paper's model handles as "pre-compression transformation").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ErrorBoundMode {
+    /// Point-wise absolute error bound: `|v - v'| <= eb`.
+    Abs(f64),
+    /// Bound expressed as a fraction of the global value range:
+    /// `|v - v'| <= ratio * (max - min)`.
+    ValueRangeRelative(f64),
+    /// Point-wise relative bound: `|v - v'| <= ratio * |v|`, implemented by
+    /// an absolute bound of `ln(1 + ratio)` in log space.
+    PointwiseRelative(f64),
+}
+
+impl ErrorBoundMode {
+    /// Resolve to the absolute bound used by the quantizer.
+    ///
+    /// `value_range` is `max - min` of the field being compressed (ignored
+    /// for [`ErrorBoundMode::Abs`]). For the point-wise relative mode the
+    /// returned bound applies to the log-transformed data.
+    ///
+    /// # Panics
+    /// Panics if the configured bound is not strictly positive and finite.
+    pub fn absolute(&self, value_range: f64) -> f64 {
+        let eb = match *self {
+            ErrorBoundMode::Abs(eb) => eb,
+            ErrorBoundMode::ValueRangeRelative(r) => r * value_range,
+            ErrorBoundMode::PointwiseRelative(r) => (1.0 + r).ln(),
+        };
+        assert!(
+            eb.is_finite() && eb > 0.0,
+            "error bound must be positive and finite, got {eb} from {self:?}"
+        );
+        eb
+    }
+
+    /// Whether compression must log-transform the data first.
+    pub fn needs_log_transform(&self) -> bool {
+        matches!(self, ErrorBoundMode::PointwiseRelative(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_passthrough() {
+        assert_eq!(ErrorBoundMode::Abs(1e-3).absolute(100.0), 1e-3);
+    }
+
+    #[test]
+    fn range_relative_scales() {
+        let eb = ErrorBoundMode::ValueRangeRelative(1e-2).absolute(50.0);
+        assert!((eb - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pointwise_relative_uses_log() {
+        let eb = ErrorBoundMode::PointwiseRelative(0.1).absolute(1.0);
+        assert!((eb - 1.1f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn log_transform_flag() {
+        assert!(!ErrorBoundMode::Abs(1.0).needs_log_transform());
+        assert!(!ErrorBoundMode::ValueRangeRelative(0.1).needs_log_transform());
+        assert!(ErrorBoundMode::PointwiseRelative(0.1).needs_log_transform());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_rejected() {
+        let _ = ErrorBoundMode::Abs(0.0).absolute(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_range_relative_rejected() {
+        // Constant field => zero range => zero absolute bound.
+        let _ = ErrorBoundMode::ValueRangeRelative(0.1).absolute(0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Linear-scaling error-bounded quantization (paper §II-B).
+//!
+//! Prediction-based compressors quantize each *prediction error* to an
+//! integer code on a uniform grid of bin size `2 × error_bound`; the
+//! reconstruction `prediction + code × 2eb` is then guaranteed to be within
+//! `error_bound` of the original value. Codes outside a bounded radius are
+//! rejected and the value stored verbatim (the "unpredictable" escape path).
+
+pub mod bound;
+pub mod quantizer;
+
+pub use bound::ErrorBoundMode;
+pub use quantizer::{LinearQuantizer, DEFAULT_RADIUS};

@@ -1,0 +1,187 @@
+//! The linear-scaling quantizer itself.
+
+/// Default code radius: codes live in `[-radius, radius]`, giving the
+/// 2¹⁶ + 1 quantization bins SZ uses by default.
+pub const DEFAULT_RADIUS: u32 = 1 << 15;
+
+/// Linear-scaling quantizer with bin width `2 × eb` (paper §II-B).
+///
+/// Symbols for the entropy coder are the shifted codes
+/// `(code + radius) as u32`, so the zero code (perfect prediction) maps to
+/// symbol `radius` and the alphabet size is `2 * radius + 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearQuantizer {
+    eb: f64,
+    radius: u32,
+}
+
+impl LinearQuantizer {
+    /// Create a quantizer for absolute error bound `eb`.
+    ///
+    /// # Panics
+    /// Panics if `eb` is not strictly positive and finite, or `radius == 0`.
+    pub fn new(eb: f64, radius: u32) -> Self {
+        assert!(eb.is_finite() && eb > 0.0, "invalid error bound {eb}");
+        assert!(radius > 0, "radius must be positive");
+        LinearQuantizer { eb, radius }
+    }
+
+    /// Quantizer with the default radius.
+    pub fn with_default_radius(eb: f64) -> Self {
+        Self::new(eb, DEFAULT_RADIUS)
+    }
+
+    /// The absolute error bound.
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// The code radius.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Number of distinct symbols (`2 * radius + 1`).
+    pub fn alphabet_size(&self) -> usize {
+        2 * self.radius as usize + 1
+    }
+
+    /// Quantize a prediction error to a code, or `None` if out of range
+    /// (the caller must then store the value verbatim).
+    #[inline]
+    pub fn quantize(&self, prediction_error: f64) -> Option<i32> {
+        if !prediction_error.is_finite() {
+            return None;
+        }
+        let code = (prediction_error / (2.0 * self.eb)).round();
+        if code.abs() > self.radius as f64 {
+            None
+        } else {
+            Some(code as i32)
+        }
+    }
+
+    /// Reconstruction offset of a code: `code × 2eb`.
+    #[inline]
+    pub fn reconstruct(&self, code: i32) -> f64 {
+        code as f64 * 2.0 * self.eb
+    }
+
+    /// Quantize against an original value and return the reconstructed
+    /// value along with the code; `None` when unpredictable.
+    ///
+    /// Guarantees `|original - reconstructed| <= eb * (1 + 1e-9)` (the tiny
+    /// slack absorbs one floating-point rounding).
+    #[inline]
+    pub fn quantize_value(&self, original: f64, predicted: f64) -> Option<(i32, f64)> {
+        let code = self.quantize(original - predicted)?;
+        let recon = predicted + self.reconstruct(code);
+        // Guard against cancellation on extreme magnitudes: if the bound is
+        // violated after rounding, treat as unpredictable.
+        if (original - recon).abs() > self.eb * (1.0 + 1e-9) {
+            return None;
+        }
+        Some((code, recon))
+    }
+
+    /// Shift a code into the entropy-coder symbol space.
+    #[inline]
+    pub fn code_to_symbol(&self, code: i32) -> u32 {
+        (code + self.radius as i32) as u32
+    }
+
+    /// Inverse of [`Self::code_to_symbol`].
+    #[inline]
+    pub fn symbol_to_code(&self, symbol: u32) -> i32 {
+        symbol as i32 - self.radius as i32
+    }
+
+    /// Symbol of the zero code (perfect prediction) — the `p0` bin of the
+    /// paper's model.
+    pub fn zero_symbol(&self) -> u32 {
+        self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_error_is_zero_code() {
+        let q = LinearQuantizer::new(0.5, 10);
+        assert_eq!(q.quantize(0.0), Some(0));
+        assert_eq!(q.quantize(0.49), Some(0));
+        assert_eq!(q.quantize(0.51), Some(1));
+        assert_eq!(q.quantize(-0.51), Some(-1));
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let q = LinearQuantizer::new(0.5, 4);
+        assert_eq!(q.quantize(4.0), Some(4));
+        assert_eq!(q.quantize(4.6), None);
+        assert_eq!(q.quantize(f64::INFINITY), None);
+        assert_eq!(q.quantize(f64::NAN), None);
+    }
+
+    #[test]
+    fn reconstruction_bound_holds() {
+        let q = LinearQuantizer::with_default_radius(1e-3);
+        for i in -1000..1000 {
+            let orig = i as f64 * 0.01;
+            let pred = orig + (i as f64 * 0.37).sin() * 0.02;
+            if let Some((_, recon)) = q.quantize_value(orig, pred) {
+                assert!((orig - recon).abs() <= 1e-3 * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_mapping_roundtrip() {
+        let q = LinearQuantizer::new(1.0, 100);
+        for code in -100..=100 {
+            let s = q.code_to_symbol(code);
+            assert!(s < q.alphabet_size() as u32);
+            assert_eq!(q.symbol_to_code(s), code);
+        }
+        assert_eq!(q.zero_symbol(), 100);
+    }
+
+    #[test]
+    fn bin_width_is_twice_eb() {
+        // Values separated by exactly 2eb land in adjacent codes.
+        let q = LinearQuantizer::new(0.25, 1000);
+        let c0 = q.quantize(0.1).unwrap();
+        let c1 = q.quantize(0.1 + 0.5).unwrap();
+        assert_eq!(c1 - c0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bound_invariant(
+            orig in -1e6f64..1e6,
+            pred_offset in -1e3f64..1e3,
+            eb in 1e-6f64..1e3,
+        ) {
+            let q = LinearQuantizer::with_default_radius(eb);
+            let pred = orig + pred_offset;
+            if let Some((code, recon)) = q.quantize_value(orig, pred) {
+                prop_assert!((orig - recon).abs() <= eb * (1.0 + 1e-9));
+                prop_assert!(code.unsigned_abs() <= q.radius());
+            }
+        }
+
+        #[test]
+        fn prop_quantize_reconstruct_within_half_bin(
+            err in -1e4f64..1e4,
+            eb in 1e-4f64..1e2,
+        ) {
+            let q = LinearQuantizer::with_default_radius(eb);
+            if let Some(code) = q.quantize(err) {
+                prop_assert!((q.reconstruct(code) - err).abs() <= eb * (1.0 + 1e-9));
+            }
+        }
+    }
+}

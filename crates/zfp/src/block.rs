@@ -1,0 +1,210 @@
+//! Block extraction / block-floating-point conversion.
+//!
+//! Each 4^d block shares one exponent: values are scaled by `2^(Q − e)`
+//! where `e` is the block's maximum exponent and `Q` the fixed-point
+//! precision, then rounded to integers. Edge blocks are padded by
+//! replicating the last layer (as libzfp does), which keeps the transform
+//! smooth across the pad.
+
+use rq_grid::{NdArray, Scalar, MAX_DIMS};
+
+/// Fixed-point fractional precision (bits below the block's max exponent).
+pub const Q_BITS: i32 = 40;
+
+/// Side length of a codec block.
+pub const BLOCK_SIDE: usize = 4;
+
+/// Extract the block at `origin` (block-aligned), replicate-padding past
+/// the boundary, as `f64` values in row-major 4^ndim order.
+pub fn extract_padded<T: Scalar>(field: &NdArray<T>, origin: &[usize]) -> Vec<f64> {
+    let shape = field.shape();
+    let nd = shape.ndim();
+    let n = BLOCK_SIDE.pow(nd as u32);
+    let mut out = Vec::with_capacity(n);
+    let mut local = [0usize; MAX_DIMS];
+    let mut idx = [0usize; MAX_DIMS];
+    loop {
+        for a in 0..nd {
+            // Clamp = replicate padding.
+            idx[a] = (origin[a] + local[a]).min(shape.dim(a) - 1);
+        }
+        out.push(field.get(&idx[..nd]).to_f64());
+        let mut axis = nd;
+        let mut done = false;
+        loop {
+            if axis == 0 {
+                done = true;
+                break;
+            }
+            axis -= 1;
+            local[axis] += 1;
+            if local[axis] < BLOCK_SIDE {
+                break;
+            }
+            local[axis] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+    out
+}
+
+/// Write a decoded block back, ignoring padded lanes.
+pub fn store_block<T: Scalar>(
+    field: &mut NdArray<T>,
+    origin: &[usize],
+    values: &[f64],
+) {
+    let shape = field.shape();
+    let nd = shape.ndim();
+    let mut local = [0usize; MAX_DIMS];
+    let mut idx = [0usize; MAX_DIMS];
+    let mut pos = 0usize;
+    loop {
+        let mut in_range = true;
+        for a in 0..nd {
+            let c = origin[a] + local[a];
+            if c >= shape.dim(a) {
+                in_range = false;
+                break;
+            }
+            idx[a] = c;
+        }
+        if in_range {
+            field.set(&idx[..nd], T::from_f64(values[pos]));
+        }
+        pos += 1;
+        let mut axis = nd;
+        let mut done = false;
+        loop {
+            if axis == 0 {
+                done = true;
+                break;
+            }
+            axis -= 1;
+            local[axis] += 1;
+            if local[axis] < BLOCK_SIDE {
+                break;
+            }
+            local[axis] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// Shared-exponent fixed-point encoding of a block.
+///
+/// Returns `(e_max, ints)` with `ints[i] = round(v[i] · 2^(Q − e_max))`;
+/// an all-zero/non-finite block returns `e_max = i32::MIN` and zeros.
+pub fn to_fixed_point(values: &[f64]) -> (i32, Vec<i64>) {
+    let mut e_max = i32::MIN;
+    for &v in values {
+        if v != 0.0 && v.is_finite() {
+            let (_, e) = frexp(v.abs());
+            e_max = e_max.max(e);
+        }
+    }
+    if e_max == i32::MIN {
+        return (e_max, vec![0; values.len()]);
+    }
+    let scale = exp2i(Q_BITS - e_max);
+    let ints = values
+        .iter()
+        .map(|&v| {
+            if v.is_finite() {
+                (v * scale).round() as i64
+            } else {
+                0
+            }
+        })
+        .collect();
+    (e_max, ints)
+}
+
+/// Inverse of [`to_fixed_point`].
+pub fn from_fixed_point(e_max: i32, ints: &[i64]) -> Vec<f64> {
+    if e_max == i32::MIN {
+        return vec![0.0; ints.len()];
+    }
+    let scale = exp2i(e_max - Q_BITS);
+    ints.iter().map(|&i| i as f64 * scale).collect()
+}
+
+/// `2^k` as f64 for |k| within f64 range.
+fn exp2i(k: i32) -> f64 {
+    f64::from_bits((((1023 + k.clamp(-1022, 1023)) as u64) << 52).max(1))
+}
+
+/// Binary exponent of a positive finite f64 (`v = m·2^e`, `m ∈ [0.5, 1)`).
+fn frexp(v: f64) -> (f64, i32) {
+    let bits = v.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0 {
+        // Subnormal: normalize by multiplying up.
+        let scaled = v * exp2i(64);
+        let (m, e) = frexp(scaled);
+        return (m, e - 64);
+    }
+    let e = raw_exp - 1022;
+    let m = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+    (m, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_grid::Shape;
+
+    #[test]
+    fn frexp_basics() {
+        assert_eq!(frexp(1.0), (0.5, 1));
+        assert_eq!(frexp(0.5), (0.5, 0));
+        assert_eq!(frexp(3.0), (0.75, 2));
+        let (m, e) = frexp(1e-300);
+        assert!((m * exp2i(e) - 1e-300).abs() < 1e-310);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_within_half_ulp() {
+        let vals = vec![1.0, -0.5, 0.25, 3.999, 0.0, -2.5e-3, 1.75];
+        let (e, ints) = to_fixed_point(&vals);
+        let back = from_fixed_point(e, &ints);
+        let tol = exp2i(e - Q_BITS);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let (e, ints) = to_fixed_point(&[0.0; 16]);
+        assert_eq!(e, i32::MIN);
+        assert!(ints.iter().all(|&i| i == 0));
+        assert!(from_fixed_point(e, &ints).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn extract_and_store_roundtrip_with_padding() {
+        // 5x6 field: edge blocks need padding.
+        let field = NdArray::<f32>::from_fn(Shape::d2(5, 6), |ix| (ix[0] * 10 + ix[1]) as f32);
+        let mut out = NdArray::<f32>::zeros(Shape::d2(5, 6));
+        for b0 in (0..5).step_by(4) {
+            for b1 in (0..6).step_by(4) {
+                let vals = extract_padded(&field, &[b0, b1]);
+                assert_eq!(vals.len(), 16);
+                store_block(&mut out, &[b0, b1], &vals);
+            }
+        }
+        assert_eq!(out.as_slice(), field.as_slice());
+    }
+
+    #[test]
+    fn padding_replicates_edge() {
+        let field = NdArray::<f32>::from_fn(Shape::d1(5), |ix| ix[0] as f32);
+        let vals = extract_padded(&field, &[4]);
+        assert_eq!(vals, vec![4.0, 4.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,409 @@
+//! The embedded bitplane coder and the public compress/decompress API.
+//!
+//! Coefficients are coded in sign–magnitude form, one bitplane at a time
+//! from the most significant plane down: a coefficient that becomes
+//! significant at plane `k` emits a 1-flag plus its sign; already
+//! significant coefficients emit their plane-`k` bit; insignificant ones a
+//! 0-flag. Coding stops at the plane where the truncation error — after
+//! worst-case amplification through the inverse transform — is below the
+//! requested absolute bound, which is what makes the codec error-bounded.
+
+use crate::block::{
+    extract_padded, from_fixed_point, store_block, to_fixed_point, BLOCK_SIDE, Q_BITS,
+};
+use crate::transform::{fwd_transform, inv_transform, sequency_order};
+use rq_encoding::varint::{get_uvarint, put_uvarint};
+use rq_encoding::{BitReader, BitWriter};
+use rq_grid::{NdArray, Scalar, Shape, MAX_DIMS};
+
+const MAGIC: &[u8; 4] = b"RQZF";
+
+/// Worst-case log2 amplification of a truncation error through the
+/// inverse transform, per dimension. The lifting steps at most double an
+/// error per axis pass plus carry mixing; 2 bits/dimension is conservative
+/// (validated by the error-bound tests and proptests).
+const GAIN_BITS_PER_DIM: i32 = 2;
+
+/// Errors surfaced by the codec.
+#[derive(Debug)]
+pub enum ZfpError {
+    /// The tolerance is not positive/finite.
+    BadTolerance(f64),
+    /// The buffer is not an RQZF container or is corrupt.
+    Corrupt(&'static str),
+    /// Scalar type mismatch.
+    ScalarMismatch,
+}
+
+impl std::fmt::Display for ZfpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZfpError::BadTolerance(t) => write!(f, "bad tolerance {t}"),
+            ZfpError::Corrupt(w) => write!(f, "corrupt zfp stream: {w}"),
+            ZfpError::ScalarMismatch => write!(f, "scalar tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ZfpError {}
+
+/// Compress `field` under a point-wise absolute error bound `tolerance`.
+pub fn zfp_compress<T: Scalar>(
+    field: &NdArray<T>,
+    tolerance: f64,
+) -> Result<Vec<u8>, ZfpError> {
+    if !(tolerance.is_finite() && tolerance > 0.0) {
+        return Err(ZfpError::BadTolerance(tolerance));
+    }
+    let shape = field.shape();
+    let nd = shape.ndim();
+    let perm = sequency_order(nd);
+    let gain_bits = GAIN_BITS_PER_DIM * nd as i32;
+
+    let mut header = Vec::new();
+    header.extend_from_slice(MAGIC);
+    header.push(T::TAG);
+    header.push(nd as u8);
+    for &d in shape.dims() {
+        put_uvarint(&mut header, d as u64);
+    }
+    header.extend_from_slice(&tolerance.to_le_bytes());
+
+    let mut w = BitWriter::new();
+    for origin in block_origins(shape) {
+        let values = extract_padded(field, &origin[..nd]);
+        let (e_max, mut ints) = to_fixed_point(&values);
+        if e_max == i32::MIN {
+            w.put_bit(false); // empty-block flag
+            continue;
+        }
+        w.put_bit(true);
+        // Biased exponent in 12 bits covers f64's range.
+        w.put_bits((e_max + 1100) as u64, 12);
+        fwd_transform(&mut ints, nd);
+        let coeffs: Vec<i64> = perm.iter().map(|&i| ints[i]).collect();
+
+        // Plane range: from the top set bit down to the tolerance floor.
+        let max_mag = coeffs.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        let top = 63 - max_mag.max(1).leading_zeros() as i32;
+        // tol_fixed = tolerance · 2^(Q − e_max); keep planes ≥ k_min where
+        // 2^k_min · 2^gain ≤ tol_fixed.
+        let tol_log = (tolerance.log2() + (Q_BITS - e_max) as f64).floor() as i32;
+        let k_min = (tol_log - gain_bits).max(0);
+        let top = top.max(k_min); // ensure a valid (possibly empty) range
+        w.put_bits(top as u64, 7);
+        w.put_bits(k_min as u64, 7);
+
+        let mut significant = vec![false; coeffs.len()];
+        let mut k = top;
+        while k >= k_min {
+            // Refinement pass: one bit per already-significant coefficient.
+            for (i, &c) in coeffs.iter().enumerate() {
+                if significant[i] {
+                    w.put_bit((c.unsigned_abs() >> k) & 1 == 1);
+                }
+            }
+            // Significance pass: event-coded over the (sequency-ordered)
+            // insignificant tail — one flag per event plus a binary offset,
+            // so quiet planes cost a single bit.
+            let insig: Vec<usize> =
+                (0..coeffs.len()).filter(|&i| !significant[i]).collect();
+            let mut start = 0usize;
+            loop {
+                let remaining = insig.len() - start;
+                if remaining == 0 {
+                    break;
+                }
+                let next = insig[start..]
+                    .iter()
+                    .position(|&i| (coeffs[i].unsigned_abs() >> k) & 1 == 1);
+                match next {
+                    None => {
+                        w.put_bit(false);
+                        break;
+                    }
+                    Some(off) => {
+                        w.put_bit(true);
+                        let width = ceil_log2(remaining);
+                        w.put_bits(off as u64, width);
+                        let idx = insig[start + off];
+                        significant[idx] = true;
+                        w.put_bit(coeffs[idx] < 0);
+                        start += off + 1;
+                    }
+                }
+            }
+            k -= 1;
+        }
+    }
+    let payload = w.finish();
+    put_uvarint(&mut header, payload.len() as u64);
+    header.extend_from_slice(&payload);
+    Ok(header)
+}
+
+/// Decompress an RQZF stream.
+pub fn zfp_decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, ZfpError> {
+    if bytes.len() < 6 || &bytes[..4] != MAGIC {
+        return Err(ZfpError::Corrupt("magic"));
+    }
+    if bytes[4] != T::TAG {
+        return Err(ZfpError::ScalarMismatch);
+    }
+    let nd = bytes[5] as usize;
+    if nd == 0 || nd > MAX_DIMS {
+        return Err(ZfpError::Corrupt("ndim"));
+    }
+    let mut pos = 6;
+    let mut dims = [0usize; MAX_DIMS];
+    for d in dims.iter_mut().take(nd) {
+        *d = get_uvarint(bytes, &mut pos).ok_or(ZfpError::Corrupt("dims"))? as usize;
+        if *d == 0 {
+            return Err(ZfpError::Corrupt("zero dim"));
+        }
+    }
+    let shape = Shape::new(&dims[..nd]);
+    if pos + 8 > bytes.len() {
+        return Err(ZfpError::Corrupt("tolerance"));
+    }
+    let _tolerance = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    pos += 8;
+    let plen = get_uvarint(bytes, &mut pos).ok_or(ZfpError::Corrupt("payload len"))? as usize;
+    if pos + plen > bytes.len() {
+        return Err(ZfpError::Corrupt("payload"));
+    }
+    let mut r = BitReader::new(&bytes[pos..pos + plen]);
+
+    let perm = sequency_order(nd);
+    let block_len = BLOCK_SIDE.pow(nd as u32);
+    let mut out = NdArray::<T>::zeros(shape);
+    for origin in block_origins(shape) {
+        let nonempty = r.get_bit().ok_or(ZfpError::Corrupt("block flag"))?;
+        if !nonempty {
+            continue; // zeros already in place
+        }
+        let e_max = r.get_bits(12).ok_or(ZfpError::Corrupt("e_max"))? as i32 - 1100;
+        let top = r.get_bits(7).ok_or(ZfpError::Corrupt("top"))? as i32;
+        let k_min = r.get_bits(7).ok_or(ZfpError::Corrupt("k_min"))? as i32;
+        if top > 62 || k_min > top {
+            return Err(ZfpError::Corrupt("plane range"));
+        }
+        let mut mags = vec![0u64; block_len];
+        let mut neg = vec![false; block_len];
+        let mut significant = vec![false; block_len];
+        let mut k = top;
+        while k >= k_min {
+            for i in 0..block_len {
+                if significant[i] {
+                    let bit = r.get_bit().ok_or(ZfpError::Corrupt("refinement bit"))?;
+                    if bit {
+                        mags[i] |= 1u64 << k;
+                    }
+                }
+            }
+            let insig: Vec<usize> = (0..block_len).filter(|&i| !significant[i]).collect();
+            let mut start = 0usize;
+            loop {
+                let remaining = insig.len() - start;
+                if remaining == 0 {
+                    break;
+                }
+                let more = r.get_bit().ok_or(ZfpError::Corrupt("event flag"))?;
+                if !more {
+                    break;
+                }
+                let width = ceil_log2(remaining);
+                let off = r.get_bits(width).ok_or(ZfpError::Corrupt("event offset"))? as usize;
+                if off >= remaining {
+                    return Err(ZfpError::Corrupt("event offset range"));
+                }
+                let idx = insig[start + off];
+                significant[idx] = true;
+                mags[idx] |= 1u64 << k;
+                neg[idx] = r.get_bit().ok_or(ZfpError::Corrupt("sign bit"))?;
+                start += off + 1;
+            }
+            k -= 1;
+        }
+        let mut coeffs = vec![0i64; block_len];
+        for i in 0..block_len {
+            // Mid-point reconstruction of the truncated tail halves the
+            // expected truncation error.
+            let mut m = mags[i] as i64;
+            if significant[i] && k_min > 0 {
+                m += 1i64 << (k_min - 1);
+            }
+            coeffs[i] = if neg[i] { -m } else { m };
+        }
+        // Undo the sequency permutation, then the transform.
+        let mut ints = vec![0i64; block_len];
+        for (i, &p) in perm.iter().enumerate() {
+            ints[p] = coeffs[i];
+        }
+        inv_transform(&mut ints, nd);
+        let values = from_fixed_point(e_max, &ints);
+        store_block(&mut out, &origin[..nd], &values);
+    }
+    Ok(out)
+}
+
+/// Bits needed to encode an offset in `0..n` (0 when `n == 1`).
+#[inline]
+fn ceil_log2(n: usize) -> u32 {
+    debug_assert!(n >= 1);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Block-aligned origins covering `shape`, row-major.
+fn block_origins(shape: Shape) -> Vec<[usize; MAX_DIMS]> {
+    let nd = shape.ndim();
+    let mut out = Vec::new();
+    let mut origin = [0usize; MAX_DIMS];
+    loop {
+        out.push(origin);
+        let mut axis = nd;
+        loop {
+            if axis == 0 {
+                return out;
+            }
+            axis -= 1;
+            origin[axis] += BLOCK_SIDE;
+            if origin[axis] < shape.dim(axis) {
+                break;
+            }
+            origin[axis] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn smooth(shape: Shape) -> NdArray<f32> {
+        NdArray::from_fn(shape, |ix| {
+            let mut v = 0.0f64;
+            for (a, &c) in ix.iter().enumerate() {
+                v += ((c as f64) * 0.17 * (a + 1) as f64).sin() * 3.0 / (a + 1) as f64;
+            }
+            v as f32
+        })
+    }
+
+    fn check_bound(a: &NdArray<f32>, b: &NdArray<f32>, tol: f64) {
+        for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                ((x - y).abs() as f64) <= tol,
+                "element {i}: |{x} - {y}| > {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d_2d_3d_within_bound() {
+        for (shape, tol) in [
+            (Shape::d1(100), 1e-3),
+            (Shape::d2(33, 47), 1e-3),
+            (Shape::d3(20, 17, 25), 1e-2),
+        ] {
+            let f = smooth(shape);
+            let bytes = zfp_compress(&f, tol).unwrap();
+            let back = zfp_decompress::<f32>(&bytes).unwrap();
+            assert_eq!(back.shape().dims(), shape.dims());
+            check_bound(&f, &back, tol);
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let f = smooth(Shape::d3(32, 32, 32));
+        let bytes = zfp_compress(&f, 1e-3).unwrap();
+        let ratio = (f.len() * 4) as f64 / bytes.len() as f64;
+        assert!(ratio > 3.0, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn tighter_tolerance_bigger_stream() {
+        let f = smooth(Shape::d2(64, 64));
+        let loose = zfp_compress(&f, 1e-1).unwrap().len();
+        let tight = zfp_compress(&f, 1e-5).unwrap().len();
+        assert!(tight > loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn all_zero_field_is_tiny() {
+        let f = NdArray::<f32>::zeros(Shape::d3(16, 16, 16));
+        let bytes = zfp_compress(&f, 1e-6).unwrap();
+        assert!(bytes.len() < 64, "{} bytes", bytes.len());
+        let back = zfp_decompress::<f32>(&bytes).unwrap();
+        assert!(back.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let f = NdArray::<f64>::from_fn(Shape::d2(20, 20), |ix| {
+            (ix[0] as f64 * 0.3).cos() * 7.0 + ix[1] as f64 * 1e-3
+        });
+        let bytes = zfp_compress(&f, 1e-6).unwrap();
+        let back = zfp_decompress::<f64>(&bytes).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_are_errors_not_panics() {
+        let f = smooth(Shape::d2(16, 16));
+        let bytes = zfp_compress(&f, 1e-3).unwrap();
+        for cut in [3, 10, bytes.len() / 2] {
+            assert!(zfp_decompress::<f32>(&bytes[..cut]).is_err());
+        }
+        assert!(zfp_decompress::<f64>(&bytes).is_err(), "scalar mismatch");
+        assert!(zfp_decompress::<f32>(b"NOTZ").is_err());
+    }
+
+    #[test]
+    fn extreme_magnitudes() {
+        let f = NdArray::<f32>::from_fn(Shape::d1(64), |ix| {
+            if ix[0] % 2 == 0 {
+                1e30
+            } else {
+                1e30 + 1e24
+            }
+        });
+        let tol = 1e24;
+        let bytes = zfp_compress(&f, tol).unwrap();
+        let back = zfp_decompress::<f32>(&bytes).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(back.as_slice()) {
+            assert!(((a - b).abs() as f64) <= tol * 1.001);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn prop_error_bound_holds(
+            d0 in 1usize..30,
+            d1 in 1usize..20,
+            tol_exp in -5f64..0.0,
+            seed in any::<u64>(),
+        ) {
+            let tol = 10f64.powf(tol_exp);
+            let mut s = seed | 1;
+            let f = NdArray::<f32>::from_fn(Shape::d2(d0, d1), |_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0) as f32
+            });
+            let bytes = zfp_compress(&f, tol).unwrap();
+            let back = zfp_decompress::<f32>(&bytes).unwrap();
+            for (&a, &b) in f.as_slice().iter().zip(back.as_slice()) {
+                prop_assert!(((a - b).abs() as f64) <= tol,
+                    "|{} - {}| > {}", a, b, tol);
+            }
+        }
+    }
+}

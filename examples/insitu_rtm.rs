@@ -1,0 +1,73 @@
+//! Use-case 3 (paper §IV-C / Fig. 12): fine-grained per-timestep error
+//! bounds for an RTM snapshot series, versus one uniform bound.
+//!
+//! ```sh
+//! cargo run --release --example insitu_rtm
+//! ```
+
+use rqm::core_model::usecases::{optimize_partitions, uniform_eb_for_target};
+use rqm::datagen::RtmSimulator;
+use rqm::prelude::*;
+
+fn main() {
+    // Eight snapshots of the evolving wavefield: early ones are quiet,
+    // late ones are dense with reflections.
+    let mut sim = RtmSimulator::new([48, 48, 48]);
+    let steps: Vec<usize> = (1..=8).map(|i| i * 60).collect();
+    let snapshots: Vec<NdArray<f32>> =
+        steps.iter().map(|&s| sim.snapshot_at(s)).collect();
+
+    let value_range =
+        snapshots.iter().map(|s| s.value_range()).fold(0.0f64, f64::max);
+    println!("{} snapshots of {:?}, combined range {value_range:.3e}\n", steps.len(), [48, 48, 48]);
+
+    // One model per partition (timestep).
+    let models: Vec<RqModel> = snapshots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| RqModel::build(s, PredictorKind::Interpolation, 0.01, 50 + i as u64))
+        .collect();
+    let sizes: Vec<usize> = snapshots.iter().map(|s| s.len()).collect();
+
+    let target_psnr = 70.0;
+    let plan = optimize_partitions(&models, &sizes, value_range, target_psnr, 40);
+    let (uni_eb, uniform) = uniform_eb_for_target(&models, &sizes, value_range, target_psnr);
+
+    println!("target aggregate PSNR: {target_psnr} dB");
+    println!("{:>6} {:>12} {:>12}", "step", "tuned eb", "uniform eb");
+    for (i, &step) in steps.iter().enumerate() {
+        println!("{:>6} {:>12.3e} {:>12.3e}", step, plan.ebs[i], uni_eb);
+    }
+    println!(
+        "\nestimated bit-rate: tuned {:.3} vs uniform {:.3} ({:+.1}% bits)",
+        plan.est_bit_rate,
+        uniform.est_bit_rate,
+        (plan.est_bit_rate / uniform.est_bit_rate - 1.0) * 100.0
+    );
+    println!(
+        "estimated PSNR:     tuned {:.1} dB vs uniform {:.1} dB",
+        plan.est_psnr, uniform.est_psnr
+    );
+
+    // Verify with real compression: aggregate measured PSNR + bits.
+    let mut tuned_bytes = 0usize;
+    let mut sq_err = 0.0f64;
+    let mut n_total = 0usize;
+    for (snap, &eb) in snapshots.iter().zip(&plan.ebs) {
+        let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+        let out = compress(snap, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        tuned_bytes += out.bytes.len();
+        for (&a, &b) in snap.as_slice().iter().zip(back.as_slice()) {
+            sq_err += ((a - b) as f64).powi(2);
+        }
+        n_total += snap.len();
+    }
+    let measured_psnr =
+        20.0 * value_range.log10() - 10.0 * (sq_err / n_total as f64).log10();
+    println!(
+        "\nmeasured (tuned): {:.3} bits/value, aggregate PSNR {:.1} dB",
+        tuned_bytes as f64 * 8.0 / n_total as f64,
+        measured_psnr
+    );
+}

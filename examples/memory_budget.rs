@@ -1,0 +1,40 @@
+//! Use-case 2 (paper §IV-B / Fig. 11): compress into a fixed memory
+//! budget, aiming at 80 % utilization with a second-round guarantee.
+//!
+//! ```sh
+//! cargo run --release --example memory_budget
+//! ```
+
+use rqm::prelude::*;
+
+fn main() {
+    let field = rqm::datagen::fields::miranda_vx();
+    let raw = field.len() * 4;
+    println!("Miranda-like turbulence field: {:?} ({} MiB raw)\n", field.shape(), raw >> 20);
+
+    let model = RqModel::build(&field, PredictorKind::Interpolation, 0.01, 3);
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1.0));
+
+    println!(
+        "{:>12} {:>12} {:>11} {:>8} {:>6}",
+        "budget", "final bytes", "utilization", "rounds", "fits"
+    );
+    for ratio in [8.0, 16.0, 32.0, 64.0] {
+        let budget = (raw as f64 / ratio) as usize;
+        let (_, outcome) = compress_with_budget(&field, &model, cfg, budget, 0.2, true)
+            .expect("budgeted compression failed");
+        println!(
+            "{:>12} {:>12} {:>10.1}% {:>8} {:>6}",
+            outcome.budget_bytes,
+            outcome.final_bytes,
+            outcome.utilization * 100.0,
+            outcome.rounds.len(),
+            outcome.fits
+        );
+    }
+
+    println!(
+        "\nAll budgets satisfied with ≤2 compression rounds — the trial-and-error\n\
+         alternative would need one compression per candidate bound per budget."
+    );
+}

@@ -1,0 +1,61 @@
+//! Use-case 1 (paper §IV-A / Fig. 10): pick the best-fit predictor for a
+//! seismic RTM snapshot from estimated rate-distortion curves, and locate
+//! the bit-rate at which the winner changes.
+//!
+//! ```sh
+//! cargo run --release --example predictor_selection
+//! ```
+
+use rqm::prelude::*;
+
+fn main() {
+    // A mid-simulation RTM wavefield snapshot: rich reflections, the
+    // workload of the paper's Fig. 10.
+    let field = rqm::datagen::fields::rtm_snapshot(300);
+    println!("RTM snapshot: {:?}, range {:.3e}\n", field.shape(), field.value_range());
+
+    let candidates =
+        [PredictorKind::Lorenzo, PredictorKind::Interpolation, PredictorKind::Regression];
+    let selector = PredictorSelector::build(&field, &candidates, 0.01, 7);
+
+    // Estimated rate-distortion curves (Fig. 10's solid lines).
+    let range = field.value_range();
+    let ebs: Vec<f64> = (0..10).map(|i| range * 1e-6 * 4f64.powi(i)).collect();
+    println!("estimated rate-distortion (bit-rate @ PSNR):");
+    for (kind, curve) in selector.rate_distortion_curves(&ebs) {
+        print!("{:>14}:", kind.name());
+        for est in &curve {
+            print!(" {:5.2}b/{:5.1}dB", est.bit_rate, est.psnr);
+        }
+        println!();
+    }
+
+    // Winner per target bit-rate and the crossover point.
+    let grid: Vec<f64> = (1..=32).map(|i| i as f64 * 0.25).collect();
+    println!("\nbest predictor by target bit-rate:");
+    for (b, winner) in selector.crossovers(&grid) {
+        println!("  from {b:>5.2} bits/value → {}", winner.name());
+    }
+
+    // Verify the selection at one bit-rate by really compressing.
+    let target = 2.0;
+    let (winner, eb, est) = selector.best_for_bit_rate(target);
+    println!(
+        "\nat {target} bits/value the model picks {} (eb {eb:.3e}, est PSNR {:.1} dB)",
+        winner.name(),
+        est.psnr
+    );
+    for kind in candidates {
+        let model = selector.models().iter().find(|m| m.predictor() == kind).unwrap();
+        let eb_k = model.error_bound_for_bit_rate(target);
+        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb_k));
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        println!(
+            "  measured {:>14}: {:.2} bits/value, PSNR {:.1} dB",
+            kind.name(),
+            out.bit_rate(),
+            psnr(&field, &back)
+        );
+    }
+}

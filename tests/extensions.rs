@@ -1,0 +1,104 @@
+//! Integration tests for the extension systems: the ZFP-style comparator
+//! codec and the halo-count post-hoc analysis, exercised end-to-end
+//! against the model and the SZ-style compressor.
+
+use rqm::analysis::halo::{flip_fraction_model, halo_count};
+use rqm::prelude::*;
+use rqm::quant::ErrorBoundMode as EB;
+use rq_zfp::{zfp_compress, zfp_decompress};
+
+#[test]
+fn zfp_respects_bound_on_catalog_field() {
+    let field = rqm::datagen::fields::qmcpack_einspline();
+    let tol = field.value_range() * 1e-4;
+    let bytes = zfp_compress(&field, tol).unwrap();
+    let back = zfp_decompress::<f32>(&bytes).unwrap();
+    for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+        assert!(((a - b).abs() as f64) <= tol, "|{a} - {b}| > {tol}");
+    }
+    let ratio = (field.len() * 4) as f64 / bytes.len() as f64;
+    assert!(ratio > 2.0, "zfp ratio {ratio:.2}");
+}
+
+#[test]
+fn sz_beats_zfp_on_structured_field_at_equal_bound() {
+    // The literature result the model-driven selector exploits.
+    let field = rqm::datagen::fields::rtm_snapshot(250);
+    let eb = field.value_range() * 1e-3;
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, EB::Abs(eb));
+    let sz = compress(&field, &cfg).unwrap().bytes.len();
+    let zf = zfp_compress(&field, eb).unwrap().len();
+    assert!(sz < zf, "sz {sz} vs zfp {zf}");
+}
+
+#[test]
+fn halo_count_stable_under_bounded_compression() {
+    // Compress dark matter tightly: the halo census must survive.
+    let field = rqm::datagen::fields::nyx_dark_matter();
+    let threshold = {
+        // ~97th percentile as the halo threshold.
+        let mut v: Vec<f32> = field.as_slice().to_vec();
+        v.sort_by(f32::total_cmp);
+        v[v.len() * 97 / 100] as f64
+    };
+    let before = halo_count(&field, threshold, 4);
+    assert!(before.halos > 3, "need a real halo population, got {}", before.halos);
+
+    let eb = field.value_range() * 1e-5;
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, EB::Abs(eb));
+    let back = decompress::<f32>(&compress(&field, &cfg).unwrap().bytes).unwrap();
+    let after = halo_count(&back, threshold, 4);
+    let rel = (after.halos as f64 - before.halos as f64).abs() / before.halos as f64;
+    assert!(rel <= 0.02, "halo count {} -> {} under tight bound", before.halos, after.halos);
+}
+
+#[test]
+fn flip_model_predicts_compression_flips() {
+    // The §III-D4 guideline end-to-end: predict threshold flips from the
+    // model's error variance, compare with measured flips.
+    let field = rqm::datagen::fields::nyx_temperature();
+    let threshold = {
+        let mut v: Vec<f32> = field.as_slice().to_vec();
+        v.sort_by(f32::total_cmp);
+        v[v.len() / 2] as f64 // median: plenty of near-threshold cells
+    };
+    let eb = field.value_range() * 2e-3;
+    let model = RqModel::build(&field, PredictorKind::Interpolation, 0.02, 3);
+    let est = model.estimate(eb);
+
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, EB::Abs(eb));
+    let back = decompress::<f32>(&compress(&field, &cfg).unwrap().bytes).unwrap();
+    let measured_flips = field
+        .as_slice()
+        .iter()
+        .zip(back.as_slice())
+        .filter(|(&a, &b)| ((a as f64) > threshold) != ((b as f64) > threshold))
+        .count() as f64
+        / field.len() as f64;
+
+    let densities: Vec<f64> = field.as_slice().iter().map(|&v| v as f64).collect();
+    let predicted = flip_fraction_model(&densities, threshold, est.sigma2.sqrt());
+    // Same order of magnitude is the useful property (the paper's own
+    // FFT/halo models are order-of-magnitude tools at high bounds).
+    assert!(
+        predicted > measured_flips / 5.0 && predicted < measured_flips * 5.0 + 1e-9,
+        "predicted {predicted:.2e} vs measured {measured_flips:.2e}"
+    );
+}
+
+#[test]
+fn model_guides_codec_choice() {
+    // Put the pieces together: the model picks a bound for a PSNR target,
+    // both codecs honor it, and the SZ-style pipeline (which the model
+    // describes) lands closer to the target bit budget.
+    let field = rqm::datagen::fields::miranda_vx();
+    let model = RqModel::build(&field, PredictorKind::Interpolation, 0.01, 4);
+    let eb = model.error_bound_for_psnr(70.0);
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, EB::Abs(eb));
+    let out = compress(&field, &cfg).unwrap();
+    let back = decompress::<f32>(&out.bytes).unwrap();
+    assert!(psnr(&field, &back) >= 68.5);
+    let zf = zfp_compress(&field, eb).unwrap();
+    let zback = zfp_decompress::<f32>(&zf).unwrap();
+    assert!(psnr(&field, &zback) >= 68.5, "zfp also bounded => PSNR floor holds");
+}

@@ -1,0 +1,103 @@
+//! Cross-crate round-trip tests: generator → compressor → container →
+//! reader → analysis, for every predictor and several catalog stand-ins.
+
+use rqm::h5lite::{Filter, H5LiteReader, H5LiteWriter};
+use rqm::prelude::*;
+
+fn check_bound(orig: &NdArray<f32>, recon: &NdArray<f32>, eb: f64) {
+    for (i, (&a, &b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+        assert!(
+            ((a - b).abs() as f64) <= eb * (1.0 + 1e-6),
+            "element {i}: |{a} - {b}| > {eb}"
+        );
+    }
+}
+
+#[test]
+fn every_predictor_roundtrips_qmcpack() {
+    let field = rqm::datagen::fields::qmcpack_einspline();
+    let eb = field.value_range() * 1e-4;
+    for kind in PredictorKind::all() {
+        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb));
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        check_bound(&field, &back, eb);
+        assert!(out.ratio() > 1.5, "{}: ratio {:.2}", kind.name(), out.ratio());
+    }
+}
+
+#[test]
+fn rtm_snapshot_compresses_well() {
+    // Wavefields are smooth: expect strong ratios at a modest bound.
+    let field = rqm::datagen::fields::rtm_snapshot(200);
+    let eb = field.value_range() * 1e-3;
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+    let out = compress(&field, &cfg).unwrap();
+    assert!(out.ratio() > 10.0, "ratio {:.1}", out.ratio());
+    let back = decompress::<f32>(&out.bytes).unwrap();
+    check_bound(&field, &back, eb);
+    assert!(psnr(&field, &back) > 55.0);
+}
+
+#[test]
+fn container_pipeline_preserves_analysis_quality() {
+    let field = rqm::datagen::fields::rtm_snapshot(150);
+    let eb = field.value_range() * 1e-4;
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb));
+
+    let mut w = H5LiteWriter::new();
+    w.add_dataset("snap", &field, 16, Filter::Lossy(cfg)).unwrap();
+    let bytes = w.to_bytes();
+    assert!(bytes.len() < field.len() * 4);
+
+    let r = H5LiteReader::from_bytes(&bytes).unwrap();
+    let back = r.read_dataset::<f32>("snap").unwrap();
+    check_bound(&field, &back, eb);
+    assert!(global_ssim(&field, &back) > 0.999);
+}
+
+#[test]
+fn brown_1d_matches_paper_expectations() {
+    // Brownian data is the classic SZ-friendly workload: Lorenzo order 1
+    // turns it into iid increments.
+    let field = rqm::datagen::fields::brown_pressure();
+    let eb = field.value_range() * 1e-3;
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb));
+    let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+    assert!(out.ratio() > 8.0, "ratio {:.1}", out.ratio());
+    assert!(rep.p0() > 0.5, "p0 {:.2}", rep.p0());
+    let back = decompress::<f32>(&out.bytes).unwrap();
+    check_bound(&field, &back, eb);
+}
+
+#[test]
+fn exafel_4d_roundtrips() {
+    let field = rqm::datagen::fields::exafel_raw();
+    let eb = 1.0; // detector counts; absolute bound of 1 ADU
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb));
+    let out = compress(&field, &cfg).unwrap();
+    let back = decompress::<f32>(&out.bytes).unwrap();
+    check_bound(&field, &back, eb);
+}
+
+#[test]
+fn model_guided_container_write_hits_quality_target() {
+    // The full Fig. 13 loop for one snapshot: model picks eb for a PSNR
+    // floor, compression goes through the container, measured PSNR
+    // respects the floor.
+    let field = rqm::datagen::fields::rtm_snapshot(250);
+    let model = RqModel::build(&field, PredictorKind::Interpolation, 0.01, 9);
+    let target = 56.0;
+    let eb = model.error_bound_for_psnr(target);
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb));
+
+    let mut w = H5LiteWriter::new();
+    w.add_dataset("s", &field, 16, Filter::Lossy(cfg)).unwrap();
+    let r = H5LiteReader::from_bytes(&w.to_bytes()).unwrap();
+    let back = r.read_dataset::<f32>("s").unwrap();
+    let measured = psnr(&field, &back);
+    assert!(
+        measured >= target - 1.5,
+        "target {target} dB, measured {measured:.1} dB (eb {eb:.3e})"
+    );
+}
