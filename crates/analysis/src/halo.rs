@@ -1,5 +1,5 @@
 //! Halo counting — the cosmology-specific post-hoc analysis of the
-//! paper's §III-D4 (after Jin et al., HPDC'20 [23]).
+//! paper's §III-D4 (after Jin et al., HPDC'20 \[23\]).
 //!
 //! A "halo" here is a connected component (6-connectivity in 3D) of cells
 //! whose density exceeds a threshold, a standard simplification of

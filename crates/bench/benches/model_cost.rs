@@ -1,14 +1,21 @@
-//! Criterion micro-benchmarks for the ratio-quality model itself: the
-//! build (sampling) cost vs the per-estimate cost, and the trial-and-error
+//! Micro-benchmarks for the ratio-quality model itself: the build
+//! (sampling) cost vs the per-estimate cost, and the trial-and-error
 //! alternative for context. This is the Fig. 9 asymmetry in microbenchmark
 //! form.
+//!
+//! A plain `main` with wall-clock timing rather than a criterion harness
+//! (the offline build cannot fetch criterion).
+//!
+//! ```sh
+//! cargo bench -p rq-bench --bench model_cost
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rq_compress::{compress, CompressorConfig};
 use rq_core::RqModel;
 use rq_grid::{NdArray, Shape};
 use rq_predict::PredictorKind;
 use rq_quant::ErrorBoundMode;
+use std::time::Instant;
 
 fn bench_field() -> NdArray<f32> {
     let mut state = 0x0defu64;
@@ -21,39 +28,47 @@ fn bench_field() -> NdArray<f32> {
     })
 }
 
-fn model_build(c: &mut Criterion) {
-    let field = bench_field();
-    let mut g = c.benchmark_group("model_build");
-    g.throughput(Throughput::Bytes((field.len() * 4) as u64));
-    g.sample_size(10);
-    for kind in [PredictorKind::Lorenzo, PredictorKind::Interpolation, PredictorKind::Regression]
-    {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| RqModel::build(&field, kind, 0.01, 1))
-        });
+/// Mean wall-clock seconds over `reps` runs (after one warm-up).
+fn time_mean(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
     }
-    g.finish();
+    t0.elapsed().as_secs_f64() / reps as f64
 }
 
-fn model_estimate(c: &mut Criterion) {
+fn main() {
     let field = bench_field();
+    let field_mb = (field.len() * 4) as f64 / (1024.0 * 1024.0);
+
+    println!("== model build (1% sampling pass, {:.1} MiB field) ==", field_mb);
+    for kind in [PredictorKind::Lorenzo, PredictorKind::Interpolation, PredictorKind::Regression] {
+        let t = time_mean(10, || {
+            let _ = RqModel::build(&field, kind, 0.01, 1);
+        });
+        println!("{:<16} {:>9.3} ms  ({:>7.1} MiB/s)", kind.name(), t * 1e3, field_mb / t);
+    }
+
+    println!("\n== per-estimate cost (model already built) ==");
     let model = RqModel::build(&field, PredictorKind::Lorenzo, 0.01, 1);
-    let mut g = c.benchmark_group("model_estimate");
-    g.bench_function("single_eb", |b| b.iter(|| model.estimate(1e-3)));
-    g.bench_function("invert_bit_rate", |b| b.iter(|| model.error_bound_for_bit_rate(2.0)));
-    g.bench_function("invert_psnr", |b| b.iter(|| model.error_bound_for_psnr(60.0)));
-    g.finish();
-}
+    let t = time_mean(10_000, || {
+        let _ = model.estimate(1e-3);
+    });
+    println!("estimate(eb)          {:>9.2} µs", t * 1e6);
+    let t = time_mean(1_000, || {
+        let _ = model.error_bound_for_bit_rate(2.0);
+    });
+    println!("invert bit-rate       {:>9.2} µs", t * 1e6);
+    let t = time_mean(1_000, || {
+        let _ = model.error_bound_for_psnr(60.0);
+    });
+    println!("invert PSNR           {:>9.2} µs", t * 1e6);
 
-fn trial_and_error_alternative(c: &mut Criterion) {
-    let field = bench_field();
+    println!("\n== trial-and-error alternative ==");
     let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
-    let mut g = c.benchmark_group("tae_single_trial");
-    g.throughput(Throughput::Bytes((field.len() * 4) as u64));
-    g.sample_size(10);
-    g.bench_function("one_compression", |b| b.iter(|| compress(&field, &cfg).unwrap()));
-    g.finish();
+    let t = time_mean(5, || {
+        let _ = compress(&field, &cfg).unwrap();
+    });
+    println!("one real compression  {:>9.3} ms  — ×(trials) per tuning step", t * 1e3);
 }
-
-criterion_group!(benches, model_build, model_estimate, trial_and_error_alternative);
-criterion_main!(benches);

@@ -1,17 +1,26 @@
-//! Criterion micro-benchmarks: compressor throughput per predictor plus
-//! the entropy-coding substrate — backing the paper's "low computational
-//! overhead" claims with wall-clock numbers.
+//! Compressor and codec throughput, including the chunk-parallel scaling
+//! table (1/2/4/8 threads) that backs the parallel pipeline's speedup
+//! claim.
+//!
+//! A plain `main` with wall-clock timing rather than a criterion harness:
+//! the offline build cannot fetch criterion, and throughput trends at
+//! these workload sizes are far coarser than criterion's precision.
+//!
+//! ```sh
+//! cargo bench -p rq-bench --bench throughput              # full (256³ field)
+//! RQM_QUICK=1 cargo bench -p rq-bench --bench throughput  # small, for CI
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rq_compress::{compress, decompress, CompressorConfig};
+use rq_compress::{compress, decompress, decompress_with_threads, CompressorConfig};
 use rq_encoding::HuffmanCodec;
 use rq_grid::{NdArray, Shape};
 use rq_predict::PredictorKind;
 use rq_quant::ErrorBoundMode;
+use std::time::Instant;
 
-fn bench_field() -> NdArray<f32> {
+fn bench_field(side: usize) -> NdArray<f32> {
     let mut state = 0xBE7Cu64;
-    NdArray::from_fn(Shape::d3(48, 48, 48), |ix| {
+    NdArray::from_fn(Shape::d3(side, side, side), |ix| {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
@@ -20,34 +29,90 @@ fn bench_field() -> NdArray<f32> {
     })
 }
 
-fn compressor_throughput(c: &mut Criterion) {
-    let field = bench_field();
-    let bytes = (field.len() * 4) as u64;
-    let mut g = c.benchmark_group("compress");
-    g.throughput(Throughput::Bytes(bytes));
-    g.sample_size(10);
-    for kind in PredictorKind::all() {
-        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(1e-3));
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cfg, |b, cfg| {
-            b.iter(|| compress(&field, cfg).unwrap())
-        });
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
     }
-    g.finish();
-
-    let mut g = c.benchmark_group("decompress");
-    g.throughput(Throughput::Bytes(bytes));
-    g.sample_size(10);
-    for kind in PredictorKind::all() {
-        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(1e-3));
-        let out = compress(&field, &cfg).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &out.bytes, |b, bytes| {
-            b.iter(|| decompress::<f32>(bytes).unwrap())
-        });
-    }
-    g.finish();
+    best
 }
 
-fn huffman_throughput(c: &mut Criterion) {
+fn mb_per_s(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / secs / (1024.0 * 1024.0)
+}
+
+fn serial_throughput(field: &NdArray<f32>, reps: usize) {
+    let bytes = field.len() * 4;
+    println!("\n== serial pipeline ({} MiB field) ==", bytes >> 20);
+    println!("{:<16} {:>12} {:>12}", "predictor", "comp MiB/s", "decomp MiB/s");
+    for kind in PredictorKind::all() {
+        let cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(1e-3));
+        let t_comp = time_best(reps, || {
+            let _ = compress(field, &cfg).unwrap();
+        });
+        let out = compress(field, &cfg).unwrap();
+        let t_dec = time_best(reps, || {
+            let _ = decompress::<f32>(&out.bytes).unwrap();
+        });
+        println!(
+            "{:<16} {:>12.1} {:>12.1}",
+            kind.name(),
+            mb_per_s(bytes, t_comp),
+            mb_per_s(bytes, t_dec)
+        );
+    }
+}
+
+fn parallel_scaling(field: &NdArray<f32>, reps: usize) {
+    let bytes = field.len() * 4;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\n== chunk-parallel scaling ({} MiB field, interpolation, abs 1e-3, {} core(s)) ==",
+        bytes >> 20,
+        cores
+    );
+    if cores < 4 {
+        println!(
+            "   note: only {cores} core(s) available — thread counts above that time-slice \
+             one core, so speedups are bounded near 1.0x here"
+        );
+    }
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "threads", "comp MiB/s", "comp spdup", "chunks", "dec MiB/s", "dec spdup"
+    );
+    let base = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1e-3));
+    let mut comp_t1 = 0.0;
+    let mut dec_t1 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = base.auto_chunked().with_threads(threads);
+        let t_comp = time_best(reps, || {
+            let _ = compress(field, &cfg).unwrap();
+        });
+        let (out, rep) = rq_compress::compress_with_report(field, &cfg).unwrap();
+        let t_dec = time_best(reps, || {
+            let _ = decompress_with_threads::<f32>(&out.bytes, threads).unwrap();
+        });
+        if threads == 1 {
+            comp_t1 = t_comp;
+            dec_t1 = t_dec;
+        }
+        println!(
+            "{:>8} {:>12.1} {:>11.2}x {:>10} {:>12.1} {:>9.2}x",
+            threads,
+            mb_per_s(bytes, t_comp),
+            comp_t1 / t_comp,
+            rep.n_chunks,
+            mb_per_s(bytes, t_dec),
+            dec_t1 / t_dec
+        );
+    }
+}
+
+fn huffman_throughput() {
     // Zero-dominated symbol stream like real quantization codes.
     let symbols: Vec<u32> = (0..1_000_000u32)
         .map(|i| {
@@ -67,15 +132,23 @@ fn huffman_throughput(c: &mut Criterion) {
     let codec = HuffmanCodec::from_counts(&counts).unwrap();
     let encoded = codec.encode(&symbols).unwrap();
 
-    let mut g = c.benchmark_group("huffman");
-    g.throughput(Throughput::Elements(symbols.len() as u64));
-    g.sample_size(10);
-    g.bench_function("encode_1M", |b| b.iter(|| codec.encode(&symbols).unwrap()));
-    g.bench_function("decode_1M", |b| {
-        b.iter(|| codec.decode(&encoded, symbols.len()).unwrap())
+    println!("\n== huffman (1M symbols) ==");
+    let t_enc = time_best(5, || {
+        let _ = codec.encode(&symbols).unwrap();
     });
-    g.finish();
+    let t_dec = time_best(5, || {
+        let _ = codec.decode(&encoded, symbols.len()).unwrap();
+    });
+    println!("encode {:>8.1} Msym/s", 1.0 / t_enc);
+    println!("decode {:>8.1} Msym/s", 1.0 / t_dec);
 }
 
-criterion_group!(benches, compressor_throughput, huffman_throughput);
-criterion_main!(benches);
+fn main() {
+    let quick = rq_bench::quick();
+    let side = if quick { 64 } else { 256 };
+    let reps = if quick { 2 } else { 3 };
+    let field = bench_field(side);
+    serial_throughput(&field, reps);
+    parallel_scaling(&field, reps);
+    huffman_throughput();
+}

@@ -68,7 +68,8 @@ fn main() {
         println!("## predictor: {} (RTM-like snapshot)", kind.name());
         let truth = ground_truth(&field, kind, &ebs);
         let mut t = Table::new(&["variant", "bit-rate err (Eq.20)", "PSNR err (Eq.20)"]);
-        let cases: Vec<(&str, Box<dyn Fn(&mut rq_core::ErrorSample)>)> = vec![
+        type SampleTweak = Box<dyn Fn(&mut rq_core::ErrorSample)>;
+        let cases: Vec<(&str, SampleTweak)> = vec![
             ("full model (1% sample)", Box::new(|_s: &mut rq_core::ErrorSample| {})),
             ("no feedback κ", Box::new(|s: &mut rq_core::ErrorSample| s.feedback_kappa = 0.0)),
             ("no quality cascade", Box::new(|s: &mut rq_core::ErrorSample| {

@@ -1,6 +1,6 @@
 //! Ablation/extension: SZ-style (prediction-based) vs ZFP-style
 //! (transform-based) rate-distortion, the comparison behind the paper's
-//! reference [11] (automatic online selection between SZ and ZFP) and its
+//! reference \[11\] (automatic online selection between SZ and ZFP) and its
 //! stated future work (extending the model to transform-based codecs).
 //!
 //! ```sh

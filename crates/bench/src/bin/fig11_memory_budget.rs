@@ -17,7 +17,7 @@ use rq_quant::ErrorBoundMode;
 
 fn main() {
     println!("# Fig. 11 — measured/assigned space ratio, 15 random groups\n");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16_11);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1611);
     let mut sim = RtmSimulator::new([48, 48, 48]);
     // Pre-generate a pool of snapshots (simulator steps forward only).
     let steps: Vec<usize> = (1..=10).map(|i| i * 50).collect();

@@ -78,6 +78,16 @@ impl Args {
             .map(|v| v.parse::<f64>().map_err(|_| format!("--{key}: '{v}' is not a number")))
             .transpose()
     }
+
+    /// Parse an unsigned integer option.
+    pub fn unsigned(&self, key: &str) -> Result<Option<usize>, String> {
+        self.get(key)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--{key}: '{v}' is not a non-negative integer"))
+            })
+            .transpose()
+    }
 }
 
 /// Parse `"64x64x64"` into a [`Shape`].

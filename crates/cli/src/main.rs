@@ -4,11 +4,18 @@
 //! rqm compress   <in.f32> <out.rqc> --shape 64x64x64 --abs 1e-3
 //!                [--predictor interpolation|lorenzo|lorenzo2|regression]
 //!                [--rel 1e-3] [--huffman-only] [--codec sz|zfp]
-//! rqm decompress <in.rqc> <out.f32>
+//!                [--threads N] [--chunk-size ROWS]
+//! rqm decompress <in.rqc> <out.f32> [--threads N]
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
 //!                [--predictor …]           # model-only, no compression
 //! rqm info       <in.rqc>
 //! ```
+//!
+//! `--threads`/`--chunk-size` switch the SZ codec to the chunk-parallel
+//! pipeline (container format v2): the field is split into axis-0 slabs of
+//! `--chunk-size` rows (default: auto-sized to the thread count), chunks
+//! are compressed concurrently, and `decompress` decodes them concurrently
+//! too. Plain `compress` without either flag keeps the serial v1 format.
 //!
 //! Raw inputs are little-endian `f32` streams in row-major order.
 
@@ -39,7 +46,8 @@ usage:
   rqm compress   <in.f32> <out.rqc> --shape NxNxN --abs EB [--rel R]
                  [--predictor interpolation|lorenzo|lorenzo2|regression]
                  [--huffman-only] [--codec sz|zfp]
-  rqm decompress <in.rqc> <out.f32>
+                 [--threads N] [--chunk-size ROWS]
+  rqm decompress <in.rqc> <out.f32> [--threads N]
   rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
   rqm info       <in.rqc>";
 
@@ -78,14 +86,29 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
             if args.flag("huffman-only") {
                 cfg = cfg.huffman_only();
             }
+            let threads = args.unsigned("threads")?;
+            let chunk_rows = args.unsigned("chunk-size")?;
+            if threads.is_some() || chunk_rows.is_some() {
+                cfg = match chunk_rows {
+                    Some(0) => return Err("--chunk-size must be positive".into()),
+                    Some(rows) => cfg.chunked(rows),
+                    None => cfg.auto_chunked(),
+                };
+                cfg = cfg.with_threads(threads.unwrap_or(0));
+            }
             let (out, rep) = compress_with_report(&field, &cfg)
                 .map_err(|e| format!("compression failed: {e}"))?;
             let s = format!(
-                "predictor {}, ratio {:.2}, {:.3} bits/value, p0 {:.3}",
+                "predictor {}, ratio {:.2}, {:.3} bits/value, p0 {:.3}{}",
                 cfg.predictor.name(),
                 out.ratio(),
                 out.bit_rate(),
-                rep.p0()
+                rep.p0(),
+                if rep.n_chunks > 1 {
+                    format!(", {} chunks × {} threads", rep.n_chunks, cfg.resolved_threads())
+                } else {
+                    String::new()
+                }
             );
             (out.bytes, s)
         }
@@ -111,6 +134,9 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     let bytes = io::read_bytes(&input)?;
     let field: NdArray<f32> = if bytes.starts_with(b"RQZF") {
         rq_zfp::zfp_decompress(&bytes).map_err(|e| format!("zfp decompression failed: {e}"))?
+    } else if let Some(threads) = args.unsigned("threads")? {
+        rq_compress::decompress_with_threads(&bytes, threads)
+            .map_err(|e| format!("decompression failed: {e}"))?
     } else {
         decompress(&bytes).map_err(|e| format!("decompression failed: {e}"))?
     };
@@ -163,7 +189,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let h = peek_header(&bytes).map_err(|e| format!("not a compressed container: {e}"))?;
-    println!("{input}: RQMC container, {} bytes", bytes.len());
+    println!("{input}: RQMC container v{}, {} bytes", h.version, bytes.len());
     println!("  shape:      {:?}", h.shape);
     println!("  scalar:     {}", if h.scalar_tag == 0x04 { "f32" } else { "f64" });
     println!("  predictor:  {}", h.predictor.name());
@@ -171,6 +197,20 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("  radius:     {}", h.radius);
     println!("  lossless:   {:?}", h.lossless);
     println!("  log xform:  {}", h.log_transform);
+    let table =
+        rq_compress::chunk_table(&bytes).map_err(|e| format!("bad chunk index: {e}"))?;
+    if h.version >= 2 {
+        println!("  chunks:     {} × {} rows", table.entries.len(), table.chunk_rows);
+        for e in &table.entries {
+            println!(
+                "    rows {:>6}..{:<6} {:>10} bytes at {}",
+                e.start_row,
+                e.start_row + e.rows,
+                e.len,
+                e.offset
+            );
+        }
+    }
     let ratio = (h.shape.len() * if h.scalar_tag == 0x04 { 4 } else { 8 }) as f64
         / bytes.len() as f64;
     println!("  ratio:      {ratio:.2}");
@@ -233,6 +273,58 @@ mod tests {
         for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
             assert!((a - b).abs() <= 1e-3 * 1.001);
         }
+    }
+
+    #[test]
+    fn parallel_compress_decompress_cycle() {
+        let raw = tmp("p.f32");
+        let rqc = tmp("p.rqc");
+        let back = tmp("p.out.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+            "--threads",
+            "2",
+            "--chunk-size",
+            "6",
+        ])
+        .unwrap();
+        let h = peek_header(&io::read_bytes(rqc.to_str().unwrap()).unwrap()).unwrap();
+        assert_eq!(h.version, 2);
+        run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+        run_args(&[
+            "decompress",
+            rqc.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.001);
+        }
+        assert!(
+            run_args(&[
+                "compress",
+                raw.to_str().unwrap(),
+                rqc.to_str().unwrap(),
+                "--shape",
+                "20x30",
+                "--abs",
+                "1e-3",
+                "--chunk-size",
+                "0",
+            ])
+            .is_err(),
+            "zero chunk size must be rejected"
+        );
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! Chunk-parallel compression and decompression (container format v2).
+//!
+//! The field is split into axis-0 slabs ([`rq_grid::slab_chunks`]); each
+//! slab runs the same causal kernel as the serial pipeline
+//! (`encode_stream` in [`crate::pipeline`]) but as an independent stream:
+//! predictor stencils reset at slab boundaries, every slab gets its own
+//! Huffman codebook, payload, verbatim section and side channel. Because
+//! slabs of a row-major array are contiguous, chunking costs no copies on
+//! either side — workers read disjoint input slices and decode into
+//! disjoint output slices.
+//!
+//! The error-bound guarantee is unaffected: the absolute bound is resolved
+//! once against the *whole* field (so value-range-relative bounds match
+//! the serial pipeline bit for bit) and every point is quantized against
+//! that bound inside exactly one chunk.
+//!
+//! Work is distributed round-robin over `threads` scoped workers
+//! (`std::thread::scope` — no dependency, no pool reuse; chunk workloads
+//! are large enough that spawn cost is noise). Round-robin keeps the
+//! assignment deterministic, and chunk sizes are uniform except for the
+//! tail slab, so balance is good without a shared queue.
+//!
+//! Random access: [`decompress_chunk`] decodes a single slab via the v2
+//! chunk index without touching the rest of the container.
+
+use crate::config::{Chunking, CompressorConfig};
+use crate::container::{
+    container_version, read_chunk_blob, read_container_v2_index, write_chunk_blob,
+    write_container_v2, ChunkEntry, CompressError, DecompressError, Header, VERSION_V1,
+    VERSION_V2,
+};
+use crate::pipeline::{
+    decode_stream, encode_stream, resolve_bound, transform_from_header, EncodedStream, Transform,
+};
+use crate::report::{CompressedOutput, CompressionReport};
+use rq_grid::{auto_chunk_rows, slab_chunks, ChunkSpec, NdArray, Scalar, Shape};
+use rq_quant::LinearQuantizer;
+
+/// Minimum elements per auto-sized chunk, so per-chunk codebook/section
+/// overhead stays well under a percent of typical chunk payloads.
+const AUTO_MIN_CHUNK_ELEMS: usize = 1 << 15;
+
+/// Auto mode aims for this many chunks per worker thread, which keeps the
+/// tail of the schedule short without shrinking chunks too far.
+const AUTO_CHUNKS_PER_THREAD: usize = 4;
+
+/// Resolve the configured chunking to a concrete row count per slab.
+fn resolve_chunk_rows(cfg: &CompressorConfig, shape: Shape) -> usize {
+    match cfg.chunking {
+        Chunking::Serial => shape.dim(0),
+        Chunking::Rows(rows) => rows.clamp(1, shape.dim(0)),
+        Chunking::Auto => auto_chunk_rows(
+            shape,
+            cfg.resolved_threads() * AUTO_CHUNKS_PER_THREAD,
+            AUTO_MIN_CHUNK_ELEMS,
+        ),
+    }
+}
+
+/// Run `f` over `items` on up to `threads` scoped workers, round-robin.
+/// Results come back in input order. Errors are propagated (first one in
+/// input order wins).
+fn run_on_workers<I, R, E, F>(items: Vec<I>, threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    I: Send,
+    R: Send,
+    E: Send,
+    F: Fn(I) -> Result<R, E> + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+    let n = items.len();
+    // Hand worker w items w, w+threads, w+2·threads, …
+    let mut per_worker: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        per_worker[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut slots: Vec<Option<Result<R, E>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for batch in per_worker {
+            handles.push(scope.spawn(move || {
+                batch
+                    .into_iter()
+                    .map(|(i, item)| (i, f(item)))
+                    .collect::<Vec<(usize, Result<R, E>)>>()
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("compression worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker covered every item")).collect()
+}
+
+/// Compress `field` into a v2 chunk-indexed container.
+///
+/// Invoked by [`crate::compress`] for any non-serial [`Chunking`]; callable
+/// directly when the caller wants chunked output regardless of `cfg`'s
+/// chunking mode (a `Serial` config is treated as one big chunk).
+pub fn compress_chunked<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+) -> Result<CompressedOutput, CompressError> {
+    compress_chunked_with_report(field, cfg).map(|(out, _)| out)
+}
+
+/// [`compress_chunked`], also returning aggregated per-stage measurements.
+pub fn compress_chunked_with_report<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+) -> Result<(CompressedOutput, CompressionReport), CompressError> {
+    let shape = field.shape();
+    let n = shape.len();
+    let (abs_eb, transform) = resolve_bound(cfg, field.value_range())?;
+    let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
+
+    let chunk_rows = resolve_chunk_rows(cfg, shape);
+    let chunks = slab_chunks(shape, chunk_rows);
+    let data = field.as_slice();
+
+    let encoded: Vec<(ChunkSpec, EncodedStream<T>)> = run_on_workers(
+        chunks,
+        cfg.resolved_threads(),
+        |c: ChunkSpec| -> Result<(ChunkSpec, EncodedStream<T>), CompressError> {
+            let stream = encode_stream(
+                &data[c.offset..c.offset + c.len],
+                c.shape,
+                cfg.predictor,
+                quantizer,
+                transform,
+                cfg.lossless,
+            )?;
+            Ok((c, stream))
+        },
+    )?;
+
+    let header = Header {
+        version: VERSION_V2,
+        scalar_tag: T::TAG,
+        predictor: cfg.predictor,
+        lossless: cfg.lossless,
+        log_transform: transform != Transform::Identity,
+        shape,
+        abs_eb,
+        radius: cfg.radius,
+    };
+
+    // Aggregate the report while serializing the blobs.
+    let mut histogram = vec![0u64; quantizer.alphabet_size() + 1];
+    let mut n_symbols = 0usize;
+    let mut n_escapes = 0usize;
+    let mut n_anchors = 0usize;
+    let mut huffman_bytes = 0usize;
+    let mut encoded_bytes = 0usize;
+    let mut codebook_bytes = 0usize;
+    let mut side_bytes = 0usize;
+    let n_chunks = encoded.len();
+
+    let blobs: Vec<(usize, Vec<u8>)> = encoded
+        .into_iter()
+        .map(|(c, s)| {
+            for (acc, add) in histogram.iter_mut().zip(&s.histogram) {
+                *acc += add;
+            }
+            n_symbols += s.n_symbols;
+            n_escapes += s.n_escapes;
+            n_anchors += s.n_anchors;
+            huffman_bytes += s.huffman_bytes;
+            encoded_bytes += s.payload.len();
+            codebook_bytes += s.codebook.len();
+            side_bytes += s.side.len();
+            let blob = write_chunk_blob::<T>(
+                s.lossless_applied,
+                &s.codebook,
+                &s.payload,
+                &s.verbatim,
+                &s.side,
+            );
+            (c.rows, blob)
+        })
+        .collect();
+
+    let bytes = write_container_v2::<T>(&header, chunk_rows, &blobs);
+    let container_bytes = bytes.len();
+
+    let report = CompressionReport {
+        n_quantized: n_symbols - n_escapes,
+        symbol_histogram: {
+            histogram.truncate(quantizer.alphabet_size()); // drop the escape bin
+            histogram
+        },
+        n_unpredictable: n_escapes,
+        n_anchors,
+        huffman_bytes,
+        encoded_bytes,
+        codebook_bytes,
+        side_bytes,
+        container_bytes,
+        n_elements: n,
+        original_bits: T::BITS,
+        n_chunks,
+    };
+    Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
+}
+
+/// Decode one chunk blob into its output slab.
+fn decode_entry<T: Scalar>(
+    bytes: &[u8],
+    header: &Header,
+    entry: ChunkEntry,
+    chunk_shape: Shape,
+    out: &mut [T],
+) -> Result<(), DecompressError> {
+    let blob = &bytes[entry.offset..entry.offset + entry.len];
+    let (lossless, body) = read_chunk_blob::<T>(blob)?;
+    decode_stream(
+        &body,
+        lossless,
+        chunk_shape,
+        header.predictor,
+        LinearQuantizer::new(header.abs_eb, header.radius),
+        transform_from_header(header),
+        out,
+    )
+}
+
+/// Shape of the slab covered by `entry` within a field of shape `shape`.
+fn entry_shape(shape: Shape, entry: ChunkEntry) -> Shape {
+    let mut dims = [0usize; rq_grid::MAX_DIMS];
+    dims[..shape.ndim()].copy_from_slice(shape.dims());
+    dims[0] = entry.rows;
+    Shape::new(&dims[..shape.ndim()])
+}
+
+/// Decompress any container version with an explicit worker-thread count
+/// (`0` = one per available CPU). v1 containers ignore the thread count
+/// (their single stream is inherently sequential).
+pub fn decompress_with_threads<T: Scalar>(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<NdArray<T>, DecompressError> {
+    if container_version(bytes)? == VERSION_V1 {
+        return crate::pipeline::decompress(bytes);
+    }
+    let idx = read_container_v2_index::<T>(bytes)?;
+    let header = idx.header;
+    let shape = header.shape;
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+    };
+
+    let mut out = vec![T::zero(); shape.len()];
+    // Slabs are contiguous and ordered: split the output buffer into one
+    // disjoint mutable slice per chunk.
+    let mut slabs: Vec<(ChunkEntry, Shape, &mut [T])> = Vec::with_capacity(idx.entries.len());
+    let mut rest: &mut [T] = &mut out;
+    for &entry in &idx.entries {
+        let cshape = entry_shape(shape, entry);
+        let (slab, tail) = rest.split_at_mut(cshape.len());
+        slabs.push((entry, cshape, slab));
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+
+    run_on_workers(slabs, threads, |(entry, cshape, slab)| {
+        decode_entry::<T>(bytes, &header, entry, cshape, slab)
+    })?;
+
+    Ok(NdArray::from_vec(shape, out))
+}
+
+/// Decode a single chunk of a v2 container (random access).
+///
+/// Returns the slab's first axis-0 row and the decoded slab as a
+/// standalone array. For a v1 container only chunk 0 exists (the whole
+/// field).
+pub fn decompress_chunk<T: Scalar>(
+    bytes: &[u8],
+    chunk: usize,
+) -> Result<(usize, NdArray<T>), DecompressError> {
+    if container_version(bytes)? == VERSION_V1 {
+        if chunk != 0 {
+            return Err(DecompressError::ChunkOutOfRange { requested: chunk, available: 1 });
+        }
+        return crate::pipeline::decompress(bytes).map(|a| (0, a));
+    }
+    let idx = read_container_v2_index::<T>(bytes)?;
+    let Some(&entry) = idx.entries.get(chunk) else {
+        return Err(DecompressError::ChunkOutOfRange {
+            requested: chunk,
+            available: idx.entries.len(),
+        });
+    };
+    let cshape = entry_shape(idx.header.shape, entry);
+    let mut out = vec![T::zero(); cshape.len()];
+    decode_entry::<T>(bytes, &idx.header, entry, cshape, &mut out)?;
+    Ok((entry.start_row, NdArray::from_vec(cshape, out)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compress, compress_with_report, decompress};
+    use crate::container::chunk_count;
+    use rq_predict::PredictorKind;
+    use rq_quant::ErrorBoundMode;
+
+    fn wavy(shape: Shape) -> NdArray<f32> {
+        let mut lin = 0u64;
+        NdArray::from_fn(shape, |ix| {
+            let mut v = 0.0f64;
+            for (a, &c) in ix.iter().enumerate() {
+                v += ((c as f64) * 0.11 * (a + 1) as f64).sin() * (10.0 / (a + 1) as f64);
+            }
+            lin += 1;
+            let mut h = lin;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            v += ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.04;
+            v as f32
+        })
+    }
+
+    fn assert_bounded(orig: &NdArray<f32>, recon: &NdArray<f32>, eb: f64) {
+        for (i, (&a, &b)) in orig.as_slice().iter().zip(recon.as_slice()).enumerate() {
+            let err = (a as f64 - b as f64).abs();
+            assert!(err <= eb * (1.0 + 1e-6), "element {i}: |{a} - {b}| = {err} > {eb}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_matches_serial_reconstruction() {
+        // One chunk covering the whole field runs the identical kernel on
+        // identical input: the reconstruction must match the serial
+        // pipeline element for element.
+        let field = wavy(Shape::d3(16, 20, 24));
+        for pred in PredictorKind::all() {
+            let eb = 1e-3;
+            let serial_cfg = CompressorConfig::new(pred, ErrorBoundMode::Abs(eb));
+            let chunked_cfg = serial_cfg.chunked(16).with_threads(2);
+            let serial = decompress::<f32>(&compress(&field, &serial_cfg).unwrap().bytes).unwrap();
+            let out = compress(&field, &chunked_cfg).unwrap();
+            assert_eq!(chunk_count(&out.bytes).unwrap(), 1);
+            let chunked = decompress::<f32>(&out.bytes).unwrap();
+            assert_eq!(
+                serial.as_slice(),
+                chunked.as_slice(),
+                "{}: 1-chunk reconstruction diverged from serial",
+                pred.name()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip_all_predictors() {
+        let field = wavy(Shape::d3(24, 12, 10));
+        for pred in PredictorKind::all() {
+            for rows in [1, 5, 7, 24] {
+                let eb = 1e-2;
+                let cfg = CompressorConfig::new(pred, ErrorBoundMode::Abs(eb))
+                    .chunked(rows)
+                    .with_threads(4);
+                let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+                assert_eq!(rep.n_chunks, 24usize.div_ceil(rows), "{}", pred.name());
+                assert_eq!(chunk_count(&out.bytes).unwrap(), rep.n_chunks);
+                let back = decompress::<f32>(&out.bytes).unwrap();
+                assert_bounded(&field, &back, eb);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_bytes() {
+        // The container must be a pure function of (field, cfg modulo
+        // threads): parallelism is an implementation detail.
+        let field = wavy(Shape::d3(32, 16, 16));
+        let base = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1e-3))
+            .chunked(8);
+        let reference = compress(&field, &base.with_threads(1)).unwrap().bytes;
+        for threads in [2, 3, 8] {
+            let bytes = compress(&field, &base.with_threads(threads)).unwrap().bytes;
+            assert_eq!(reference, bytes, "threads={threads}");
+        }
+        // Parallel decode agrees with single-threaded decode.
+        let a = decompress_with_threads::<f32>(&reference, 1).unwrap();
+        let b = decompress_with_threads::<f32>(&reference, 8).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn auto_chunking_roundtrips() {
+        let field = wavy(Shape::d3(64, 16, 16));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+            .auto_chunked()
+            .with_threads(4);
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert!(rep.n_chunks >= 1);
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_bounded(&field, &back, 1e-3);
+    }
+
+    #[test]
+    fn random_access_chunk_decode() {
+        let field = wavy(Shape::d3(20, 10, 8));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+            .chunked(6)
+            .with_threads(2);
+        let out = compress(&field, &cfg).unwrap();
+        let n_chunks = chunk_count(&out.bytes).unwrap();
+        assert_eq!(n_chunks, 4); // 6+6+6+2 rows
+
+        let full = decompress::<f32>(&out.bytes).unwrap();
+        let row_elems = 10 * 8;
+        for i in 0..n_chunks {
+            let (start_row, slab) = decompress_chunk::<f32>(&out.bytes, i).unwrap();
+            assert_eq!(start_row, i * 6);
+            let expect_rows = if i == 3 { 2 } else { 6 };
+            assert_eq!(slab.shape().dims(), &[expect_rows, 10, 8]);
+            let lo = start_row * row_elems;
+            assert_eq!(slab.as_slice(), &full.as_slice()[lo..lo + slab.len()]);
+        }
+        assert!(matches!(
+            decompress_chunk::<f32>(&out.bytes, n_chunks),
+            Err(DecompressError::ChunkOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn random_access_on_v1_container() {
+        let field = wavy(Shape::d2(12, 12));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        let out = compress(&field, &cfg).unwrap();
+        let (start, slab) = decompress_chunk::<f32>(&out.bytes, 0).unwrap();
+        assert_eq!(start, 0);
+        assert_eq!(slab.shape().dims(), field.shape().dims());
+        assert!(decompress_chunk::<f32>(&out.bytes, 1).is_err());
+    }
+
+    #[test]
+    fn value_range_relative_bound_is_global() {
+        // The bound must resolve against the whole field's range, not a
+        // chunk's: a chunk that only sees a flat region must still use the
+        // global range.
+        let field = NdArray::<f32>::from_fn(Shape::d2(16, 32), |ix| {
+            if ix[0] < 8 {
+                0.0
+            } else {
+                (ix[0] * 32 + ix[1]) as f32
+            }
+        });
+        let rel = 1e-3;
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::ValueRangeRelative(rel))
+            .chunked(4);
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        let abs = rel * field.value_range();
+        assert_bounded(&field, &back, abs);
+        // And the recorded bound matches the serial pipeline's.
+        let serial = compress(&field, &CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::ValueRangeRelative(rel))).unwrap();
+        let hc = crate::container::peek_header(&out.bytes).unwrap();
+        let hs = crate::container::peek_header(&serial.bytes).unwrap();
+        assert_eq!(hc.abs_eb, hs.abs_eb);
+    }
+
+    #[test]
+    fn pointwise_relative_bound_chunked() {
+        let field = NdArray::<f32>::from_fn(Shape::d2(24, 20), |ix| {
+            (1.0 + (ix[0] as f64 * 0.2).sin().abs() * 100.0 + ix[1] as f64) as f32
+        });
+        let ratio = 1e-3;
+        let cfg = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::PointwiseRelative(ratio),
+        )
+        .chunked(5);
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            let rel = ((a - b).abs() as f64) / (a.abs() as f64);
+            assert!(rel <= ratio * (1.0 + 1e-5), "rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn chunked_report_is_self_consistent() {
+        let field = wavy(Shape::d2(60, 60));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(2e-2))
+            .chunked(16);
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert_eq!(rep.n_elements, 60 * 60);
+        assert_eq!(rep.container_bytes, out.bytes.len());
+        assert_eq!(rep.n_quantized + rep.n_unpredictable, rep.n_elements);
+        let hist_total: u64 = rep.symbol_histogram.iter().sum();
+        assert_eq!(hist_total as usize, rep.n_quantized);
+        assert_eq!(rep.n_chunks, 4);
+    }
+
+    #[test]
+    fn chunked_tiny_and_awkward_shapes() {
+        for pred in PredictorKind::all() {
+            for shape in [Shape::d1(1), Shape::d1(7), Shape::d2(1, 3), Shape::d3(3, 1, 2)] {
+                let field = wavy(shape);
+                let cfg = CompressorConfig::new(pred, ErrorBoundMode::Abs(1e-3))
+                    .chunked(2)
+                    .with_threads(3);
+                let out = compress(&field, &cfg).unwrap();
+                let back = decompress::<f32>(&out.bytes).unwrap();
+                assert_eq!(back.shape().dims(), shape.dims());
+                assert_bounded(&field, &back, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_v2_is_error_not_panic() {
+        let field = wavy(Shape::d2(30, 30));
+        let cfg =
+            CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(8);
+        let out = compress(&field, &cfg).unwrap();
+        for cut in [10, out.bytes.len() / 2, out.bytes.len() - 3] {
+            let _ = decompress::<f32>(&out.bytes[..cut]); // must not panic
+        }
+        let mut mangled = out.bytes.clone();
+        let mid = mangled.len() / 2;
+        mangled[mid] ^= 0xff;
+        let _ = decompress::<f32>(&mangled); // must not panic
+        assert!(matches!(
+            decompress_with_threads::<f64>(&out.bytes, 2),
+            Err(DecompressError::ScalarMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn f64_chunked_roundtrip() {
+        let field = NdArray::<f64>::from_fn(Shape::d2(30, 30), |ix| {
+            (ix[0] as f64 * 0.3).cos() * 5.0 + ix[1] as f64 * 0.01
+        });
+        let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1e-6))
+            .chunked(9)
+            .with_threads(2);
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f64>(&out.bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-6 * (1.0 + 1e-9));
+        }
+    }
+}

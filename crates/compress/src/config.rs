@@ -17,6 +17,24 @@ pub enum LosslessStage {
     RleLzss,
 }
 
+/// How the field is partitioned for compression.
+///
+/// Chunked modes split the field into axis-0 slabs, each compressed as an
+/// independent stream (predictor stencils reset at slab boundaries), which
+/// enables multi-threaded compression/decompression and random access to
+/// individual slabs. Chunked output uses container format v2; `Serial`
+/// keeps the original single-stream v1 format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Chunking {
+    /// One causal traversal over the whole field (container v1).
+    Serial,
+    /// Fixed number of axis-0 rows per chunk (container v2).
+    Rows(usize),
+    /// Pick a row count that feeds the worker threads well while keeping
+    /// per-chunk overhead amortized (container v2).
+    Auto,
+}
+
 /// Full configuration of one compression run.
 #[derive(Clone, Copy, Debug)]
 pub struct CompressorConfig {
@@ -28,12 +46,24 @@ pub struct CompressorConfig {
     pub radius: u32,
     /// Optional lossless stage.
     pub lossless: LosslessStage,
+    /// Field partitioning for (parallel) compression.
+    pub chunking: Chunking,
+    /// Worker threads for chunked compression; `0` means one per
+    /// available CPU.
+    pub threads: usize,
 }
 
 impl CompressorConfig {
     /// Config with the default radius and the lossless stage enabled.
     pub fn new(predictor: PredictorKind, bound: ErrorBoundMode) -> Self {
-        CompressorConfig { predictor, bound, radius: DEFAULT_RADIUS, lossless: LosslessStage::RleLzss }
+        CompressorConfig {
+            predictor,
+            bound,
+            radius: DEFAULT_RADIUS,
+            lossless: LosslessStage::RleLzss,
+            chunking: Chunking::Serial,
+            threads: 0,
+        }
     }
 
     /// Disable the optional lossless stage (Huffman only).
@@ -52,6 +82,40 @@ impl CompressorConfig {
     pub fn with_bound(mut self, bound: ErrorBoundMode) -> Self {
         self.bound = bound;
         self
+    }
+
+    /// Compress in axis-0 slabs of `rows` rows each (container v2).
+    ///
+    /// # Panics
+    /// Panics if `rows == 0`.
+    pub fn chunked(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "chunk rows must be positive");
+        self.chunking = Chunking::Rows(rows);
+        self
+    }
+
+    /// Let the pipeline pick a chunk size suited to the thread count
+    /// (container v2).
+    pub fn auto_chunked(mut self) -> Self {
+        self.chunking = Chunking::Auto;
+        self
+    }
+
+    /// Set the worker thread count (`0` = one per available CPU). Only
+    /// chunked configurations use more than one thread.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker thread count after resolving `0` to the machine's
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
     }
 }
 
@@ -75,5 +139,30 @@ mod tests {
             .with_bound(ErrorBoundMode::Abs(2.0));
         assert!(matches!(cfg.bound, ErrorBoundMode::Abs(e) if e == 2.0));
         assert_eq!(cfg.predictor, PredictorKind::Lorenzo);
+    }
+
+    #[test]
+    fn chunking_defaults_to_serial() {
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0));
+        assert_eq!(cfg.chunking, Chunking::Serial);
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn chunking_builders() {
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+            .chunked(16)
+            .with_threads(4);
+        assert_eq!(cfg.chunking, Chunking::Rows(16));
+        assert_eq!(cfg.resolved_threads(), 4);
+        let auto = cfg.auto_chunked();
+        assert_eq!(auto.chunking, Chunking::Auto);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_rows_rejected() {
+        let _ = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0)).chunked(0);
     }
 }

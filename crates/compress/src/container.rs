@@ -1,23 +1,46 @@
-//! On-disk container format for compressed fields.
+//! On-disk container formats for compressed fields.
 //!
-//! Layout (all integers little-endian or LEB128 varints):
+//! Two versions share one header prefix (all integers little-endian or
+//! LEB128 varints):
 //!
 //! ```text
 //! magic    "RQMC" (4 bytes)
-//! version  u8
+//! version  u8   (1 = single-stream, 2 = chunked)
 //! scalar   u8   (Scalar::TAG)
 //! pred     u8   (PredictorKind::tag)
-//! flags    u8   bit0 = lossless stage applied, bit1 = log transform
+//! flags    u8   bit0 = lossless stage applied*, bit1 = log transform
 //! ndim     u8
 //! dims     varint × ndim
 //! eb       f64  absolute error bound actually used (post-resolution)
 //! radius   varint
-//! sections, each varint-length-prefixed:
-//!   codebook | payload | verbatim values | side channel
 //! ```
 //!
-//! "Verbatim values" holds unpredictable escapes and interpolation anchors
-//! in traversal order, stored as raw scalars so they round-trip exactly.
+//! **Version 1** (serial pipeline) continues with four varint-length-
+//! prefixed sections: `codebook | payload | verbatim values | side
+//! channel`. "Verbatim values" holds unpredictable escapes and
+//! interpolation anchors in traversal order, stored as raw scalars so they
+//! round-trip exactly.
+//!
+//! **Version 2** (chunk-parallel pipeline) continues with a chunk index
+//! and then the per-chunk streams back to back:
+//!
+//! ```text
+//! chunk_rows  varint            nominal axis-0 rows per chunk
+//! n_chunks    varint
+//! index       (rows varint, byte_len varint) × n_chunks
+//! blobs       n_chunks × chunk blob
+//! ```
+//!
+//! Each chunk blob is a self-contained v1-style body with its own flag
+//! byte (bit0 = lossless stage applied to *this* chunk's payload):
+//! `chunk_flags u8 | codebook | payload | verbatim | side`. Chunks are
+//! axis-0 slabs in row order; byte offsets follow from the index, so any
+//! chunk can be decoded without touching the others (random access) and
+//! all chunks can be decoded concurrently.
+//!
+//! (*) In v2 the header's lossless flag records the *configuration*; the
+//! authoritative per-chunk decision is each blob's flag byte, since the
+//! stage is only kept where it actually shrank that chunk's payload.
 
 use crate::config::LosslessStage;
 use rq_encoding::varint::{get_uvarint, put_uvarint};
@@ -25,7 +48,10 @@ use rq_grid::{Scalar, Shape, MAX_DIMS};
 use rq_predict::PredictorKind;
 
 pub(crate) const MAGIC: &[u8; 4] = b"RQMC";
-pub(crate) const VERSION: u8 = 1;
+/// Single-stream container (the original format).
+pub(crate) const VERSION_V1: u8 = 1;
+/// Chunk-indexed container (parallel pipeline).
+pub(crate) const VERSION_V2: u8 = 2;
 pub(crate) const FLAG_LOSSLESS: u8 = 0b01;
 pub(crate) const FLAG_LOG: u8 = 0b10;
 
@@ -59,12 +85,15 @@ impl From<rq_encoding::HuffmanError> for CompressError {
 /// Errors produced while decompressing.
 #[derive(Debug)]
 pub enum DecompressError {
-    /// The buffer does not start with the container magic/version.
+    /// The buffer does not start with the container magic or a known
+    /// version.
     NotAContainer,
     /// Scalar type mismatch between the container and the requested type.
     ScalarMismatch { expected: u8, found: u8 },
     /// Structural corruption.
     Corrupt(&'static str),
+    /// A chunk index outside the container's chunk table.
+    ChunkOutOfRange { requested: usize, available: usize },
     /// Huffman decode failure.
     Encoding(rq_encoding::HuffmanError),
 }
@@ -77,6 +106,9 @@ impl std::fmt::Display for DecompressError {
                 write!(f, "scalar tag mismatch: expected {expected:#x}, found {found:#x}")
             }
             DecompressError::Corrupt(what) => write!(f, "corrupt container: {what}"),
+            DecompressError::ChunkOutOfRange { requested, available } => {
+                write!(f, "chunk {requested} out of range (container has {available})")
+            }
             DecompressError::Encoding(e) => write!(f, "huffman decode failed: {e}"),
         }
     }
@@ -90,14 +122,17 @@ impl From<rq_encoding::HuffmanError> for DecompressError {
     }
 }
 
-/// Parsed container header.
+/// Parsed container header (common to both versions).
 #[derive(Debug, Clone)]
 pub struct Header {
+    /// Container format version (1 = serial, 2 = chunked).
+    pub version: u8,
     /// Scalar tag of the stored field.
     pub scalar_tag: u8,
     /// Predictor the stream was produced with.
     pub predictor: PredictorKind,
-    /// Whether the payload went through the optional lossless stage.
+    /// Whether the payload went through the optional lossless stage (in
+    /// v2: whether the stage was enabled; per-chunk flags decide).
     pub lossless: LosslessStage,
     /// Whether data was log-transformed (point-wise relative mode).
     pub log_transform: bool,
@@ -109,19 +144,22 @@ pub struct Header {
     pub radius: u32,
 }
 
-/// Serialize a header followed by the four sections.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn write_container<T: Scalar>(
-    header: &Header,
-    codebook: &[u8],
-    payload: &[u8],
-    verbatim: &[T],
-    side: &[u8],
-) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + codebook.len() + verbatim.len() * T::BYTES + side.len() + 64);
+/// The format version of a container, or an error if it is not one.
+pub(crate) fn container_version(bytes: &[u8]) -> Result<u8, DecompressError> {
+    if bytes.len() < 9 || &bytes[..4] != MAGIC {
+        return Err(DecompressError::NotAContainer);
+    }
+    match bytes[4] {
+        v @ (VERSION_V1 | VERSION_V2) => Ok(v),
+        _ => Err(DecompressError::NotAContainer),
+    }
+}
+
+/// Serialize the shared header prefix.
+fn write_header_prefix(out: &mut Vec<u8>, header: &Header, scalar_tag: u8) {
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    out.push(T::TAG);
+    out.push(header.version);
+    out.push(scalar_tag);
     out.push(header.predictor.tag());
     let mut flags = 0u8;
     if header.lossless == LosslessStage::RleLzss {
@@ -133,42 +171,17 @@ pub(crate) fn write_container<T: Scalar>(
     out.push(flags);
     out.push(header.shape.ndim() as u8);
     for &d in header.shape.dims() {
-        put_uvarint(&mut out, d as u64);
+        put_uvarint(out, d as u64);
     }
     out.extend_from_slice(&header.abs_eb.to_le_bytes());
-    put_uvarint(&mut out, header.radius as u64);
-
-    put_uvarint(&mut out, codebook.len() as u64);
-    out.extend_from_slice(codebook);
-    put_uvarint(&mut out, payload.len() as u64);
-    out.extend_from_slice(payload);
-    put_uvarint(&mut out, verbatim.len() as u64);
-    for &v in verbatim {
-        v.write_le(&mut out);
-    }
-    put_uvarint(&mut out, side.len() as u64);
-    out.extend_from_slice(side);
-    out
+    put_uvarint(out, header.radius as u64);
 }
 
-/// Parsed sections of a container.
-pub(crate) struct Sections<T> {
-    pub header: Header,
-    pub codebook: Vec<u8>,
-    pub payload: Vec<u8>,
-    pub verbatim: Vec<T>,
-    pub side: Vec<u8>,
-}
-
-/// Parse a container produced by [`write_container`].
-pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, DecompressError> {
-    if bytes.len() < 9 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
-        return Err(DecompressError::NotAContainer);
-    }
+/// Parse the shared header prefix; returns the header and the position of
+/// the first byte after it. Does not check the scalar tag.
+fn read_header_prefix(bytes: &[u8]) -> Result<(Header, usize), DecompressError> {
+    let version = container_version(bytes)?;
     let scalar_tag = bytes[5];
-    if scalar_tag != T::TAG {
-        return Err(DecompressError::ScalarMismatch { expected: T::TAG, found: scalar_tag });
-    }
     let predictor = PredictorKind::from_tag(bytes[6])
         .ok_or(DecompressError::Corrupt("unknown predictor tag"))?;
     let flags = bytes[7];
@@ -197,36 +210,11 @@ pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, Dec
     if radius == 0 {
         return Err(DecompressError::Corrupt("zero radius"));
     }
-
-    let take_section = |pos: &mut usize| -> Result<Vec<u8>, DecompressError> {
-        let len =
-            get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("section len"))? as usize;
-        if *pos + len > bytes.len() {
-            return Err(DecompressError::Corrupt("section overruns buffer"));
-        }
-        let s = bytes[*pos..*pos + len].to_vec();
-        *pos += len;
-        Ok(s)
-    };
-
-    let codebook = take_section(&mut pos)?;
-    let payload = take_section(&mut pos)?;
-    let n_verbatim =
-        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("verbatim count"))? as usize;
-    if pos + n_verbatim * T::BYTES > bytes.len() {
-        return Err(DecompressError::Corrupt("verbatim overruns buffer"));
-    }
-    let mut verbatim = Vec::with_capacity(n_verbatim);
-    for _ in 0..n_verbatim {
-        verbatim.push(T::read_le(&bytes[pos..]));
-        pos += T::BYTES;
-    }
-    let side = take_section(&mut pos)?;
-
     let lossless =
         if flags & FLAG_LOSSLESS != 0 { LosslessStage::RleLzss } else { LosslessStage::None };
-    Ok(Sections {
-        header: Header {
+    Ok((
+        Header {
+            version,
             scalar_tag,
             predictor,
             lossless,
@@ -235,62 +223,325 @@ pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, Dec
             abs_eb,
             radius,
         },
-        codebook,
-        payload,
-        verbatim,
-        side,
-    })
+        pos,
+    ))
 }
 
-/// Parse only the header of a container (cheap inspection).
-pub fn peek_header(bytes: &[u8]) -> Result<Header, DecompressError> {
-    // Scalar type does not matter for header fields; parse manually.
-    if bytes.len() < 9 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
-        return Err(DecompressError::NotAContainer);
+/// Append one varint-length-prefixed byte section.
+fn write_byte_section(out: &mut Vec<u8>, section: &[u8]) {
+    put_uvarint(out, section.len() as u64);
+    out.extend_from_slice(section);
+}
+
+/// Read one varint-length-prefixed byte section.
+fn read_byte_section(bytes: &[u8], pos: &mut usize) -> Result<Vec<u8>, DecompressError> {
+    let len = get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("section len"))? as usize;
+    // Checked: a corrupt varint can decode to a length that overflows the
+    // addition, not just one that overruns the buffer.
+    let end = pos
+        .checked_add(len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or(DecompressError::Corrupt("section overruns buffer"))?;
+    let s = bytes[*pos..end].to_vec();
+    *pos = end;
+    Ok(s)
+}
+
+/// The four data sections of one compressed stream (a whole v1 container
+/// body, or one v2 chunk).
+pub(crate) struct SectionsBody<T> {
+    pub codebook: Vec<u8>,
+    pub payload: Vec<u8>,
+    pub verbatim: Vec<T>,
+    pub side: Vec<u8>,
+}
+
+/// Serialize the four sections: `codebook | payload | verbatim | side`.
+fn write_sections_body<T: Scalar>(
+    out: &mut Vec<u8>,
+    codebook: &[u8],
+    payload: &[u8],
+    verbatim: &[T],
+    side: &[u8],
+) {
+    write_byte_section(out, codebook);
+    write_byte_section(out, payload);
+    put_uvarint(out, verbatim.len() as u64);
+    for &v in verbatim {
+        v.write_le(out);
     }
-    let scalar_tag = bytes[5];
-    let predictor = PredictorKind::from_tag(bytes[6])
-        .ok_or(DecompressError::Corrupt("unknown predictor tag"))?;
-    let flags = bytes[7];
-    let ndim = bytes[8] as usize;
-    if ndim == 0 || ndim > MAX_DIMS {
-        return Err(DecompressError::Corrupt("bad ndim"));
+    write_byte_section(out, side);
+}
+
+/// Parse the four sections written by [`write_sections_body`].
+fn read_sections_body<T: Scalar>(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<SectionsBody<T>, DecompressError> {
+    let codebook = read_byte_section(bytes, pos)?;
+    let payload = read_byte_section(bytes, pos)?;
+    let n_verbatim =
+        get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("verbatim count"))? as usize;
+    if n_verbatim
+        .checked_mul(T::BYTES)
+        .and_then(|b| b.checked_add(*pos))
+        .is_none_or(|end| end > bytes.len())
+    {
+        return Err(DecompressError::Corrupt("verbatim overruns buffer"));
     }
-    let mut pos = 9;
-    let mut dims = [0usize; MAX_DIMS];
-    for d in dims.iter_mut().take(ndim) {
-        *d = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("dims"))? as usize;
-        if *d == 0 {
-            return Err(DecompressError::Corrupt("bad dim extent"));
+    let mut verbatim = Vec::with_capacity(n_verbatim);
+    for _ in 0..n_verbatim {
+        verbatim.push(T::read_le(&bytes[*pos..]));
+        *pos += T::BYTES;
+    }
+    let side = read_byte_section(bytes, pos)?;
+    Ok(SectionsBody { codebook, payload, verbatim, side })
+}
+
+// ---------------------------------------------------------------------------
+// Version 1 (single stream)
+// ---------------------------------------------------------------------------
+
+/// Serialize a v1 header followed by the four sections.
+pub(crate) fn write_container<T: Scalar>(
+    header: &Header,
+    codebook: &[u8],
+    payload: &[u8],
+    verbatim: &[T],
+    side: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        payload.len() + codebook.len() + verbatim.len() * T::BYTES + side.len() + 64,
+    );
+    write_header_prefix(&mut out, header, T::TAG);
+    write_sections_body(&mut out, codebook, payload, verbatim, side);
+    out
+}
+
+/// Parsed sections of a v1 container.
+pub(crate) struct Sections<T> {
+    pub header: Header,
+    pub body: SectionsBody<T>,
+}
+
+/// Parse a v1 container produced by [`write_container`].
+pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, DecompressError> {
+    let (header, mut pos) = read_header_prefix(bytes)?;
+    if header.version != VERSION_V1 {
+        return Err(DecompressError::Corrupt("not a v1 container"));
+    }
+    if header.scalar_tag != T::TAG {
+        return Err(DecompressError::ScalarMismatch { expected: T::TAG, found: header.scalar_tag });
+    }
+    let body = read_sections_body::<T>(bytes, &mut pos)?;
+    Ok(Sections { header, body })
+}
+
+// ---------------------------------------------------------------------------
+// Version 2 (chunk index + per-chunk streams)
+// ---------------------------------------------------------------------------
+
+/// Per-chunk flag: the optional lossless stage was applied to this chunk's
+/// payload.
+pub(crate) const CHUNK_FLAG_LOSSLESS: u8 = 0b01;
+
+/// One entry of a v2 chunk index, with its blob located in the container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// First axis-0 row of the slab.
+    pub start_row: usize,
+    /// Axis-0 rows in the slab.
+    pub rows: usize,
+    /// Byte offset of the chunk blob within the container.
+    pub offset: usize,
+    /// Byte length of the chunk blob.
+    pub len: usize,
+}
+
+/// Serialize one chunk's streams as a self-contained blob.
+pub(crate) fn write_chunk_blob<T: Scalar>(
+    lossless_applied: LosslessStage,
+    codebook: &[u8],
+    payload: &[u8],
+    verbatim: &[T],
+    side: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        payload.len() + codebook.len() + verbatim.len() * T::BYTES + side.len() + 16,
+    );
+    out.push(if lossless_applied == LosslessStage::RleLzss { CHUNK_FLAG_LOSSLESS } else { 0 });
+    write_sections_body(&mut out, codebook, payload, verbatim, side);
+    out
+}
+
+/// Parse a chunk blob written by [`write_chunk_blob`].
+pub(crate) fn read_chunk_blob<T: Scalar>(
+    blob: &[u8],
+) -> Result<(LosslessStage, SectionsBody<T>), DecompressError> {
+    if blob.is_empty() {
+        return Err(DecompressError::Corrupt("empty chunk blob"));
+    }
+    let lossless = if blob[0] & CHUNK_FLAG_LOSSLESS != 0 {
+        LosslessStage::RleLzss
+    } else {
+        LosslessStage::None
+    };
+    let mut pos = 1;
+    let body = read_sections_body::<T>(blob, &mut pos)?;
+    if pos != blob.len() {
+        return Err(DecompressError::Corrupt("trailing bytes in chunk blob"));
+    }
+    Ok((lossless, body))
+}
+
+/// Serialize a v2 container: header, chunk index, then the blobs.
+pub(crate) fn write_container_v2<T: Scalar>(
+    header: &Header,
+    chunk_rows: usize,
+    chunks: &[(usize, Vec<u8>)], // (rows, blob) in slab order
+) -> Vec<u8> {
+    let body: usize = chunks.iter().map(|(_, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(body + 16 * chunks.len() + 64);
+    write_header_prefix(&mut out, header, T::TAG);
+    put_uvarint(&mut out, chunk_rows as u64);
+    put_uvarint(&mut out, chunks.len() as u64);
+    for &(rows, ref blob) in chunks {
+        put_uvarint(&mut out, rows as u64);
+        put_uvarint(&mut out, blob.len() as u64);
+    }
+    for (_, blob) in chunks {
+        out.extend_from_slice(blob);
+    }
+    out
+}
+
+/// Parsed header + chunk index of a v2 container (blobs stay in place —
+/// random access slices them out by entry offsets).
+pub(crate) struct V2Index {
+    pub header: Header,
+    /// Nominal axis-0 rows per chunk (last chunk may hold fewer).
+    pub chunk_rows: usize,
+    pub entries: Vec<ChunkEntry>,
+}
+
+/// Parse the header and chunk index of a v2 container.
+pub(crate) fn read_container_v2_index<T: Scalar>(
+    bytes: &[u8],
+) -> Result<V2Index, DecompressError> {
+    let idx = read_v2_index_untyped(bytes)?;
+    if idx.header.scalar_tag != T::TAG {
+        return Err(DecompressError::ScalarMismatch {
+            expected: T::TAG,
+            found: idx.header.scalar_tag,
+        });
+    }
+    Ok(idx)
+}
+
+/// Parse the header and chunk index of a v2 container without checking
+/// the scalar type (inspection use).
+fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
+    let (header, mut pos) = read_header_prefix(bytes)?;
+    if header.version != VERSION_V2 {
+        return Err(DecompressError::Corrupt("not a v2 container"));
+    }
+    let chunk_rows =
+        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))? as usize;
+    if chunk_rows == 0 {
+        return Err(DecompressError::Corrupt("zero chunk rows"));
+    }
+    let n_chunks =
+        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk count"))? as usize;
+    if n_chunks == 0 || n_chunks > header.shape.dim(0) {
+        return Err(DecompressError::Corrupt("bad chunk count"));
+    }
+    let mut raw = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let rows =
+            get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
+        let len =
+            get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
+        raw.push((rows, len));
+    }
+    let mut entries = Vec::with_capacity(n_chunks);
+    let mut start_row = 0usize;
+    let mut offset = pos;
+    for (rows, len) in raw {
+        if rows == 0 {
+            return Err(DecompressError::Corrupt("zero-row chunk"));
         }
+        let end = offset.checked_add(len).ok_or(DecompressError::Corrupt("chunk index"))?;
+        if end > bytes.len() {
+            return Err(DecompressError::Corrupt("chunk overruns buffer"));
+        }
+        entries.push(ChunkEntry { start_row, rows, offset, len });
+        start_row += rows;
+        offset = end;
     }
-    if pos + 8 > bytes.len() {
-        return Err(DecompressError::Corrupt("eb"));
+    if start_row != header.shape.dim(0) {
+        return Err(DecompressError::Corrupt("chunk rows do not tile axis 0"));
     }
-    let abs_eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-    pos += 8;
-    let radius = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("radius"))? as u32;
-    Ok(Header {
-        scalar_tag,
-        predictor,
-        lossless: if flags & FLAG_LOSSLESS != 0 {
-            LosslessStage::RleLzss
-        } else {
-            LosslessStage::None
-        },
-        log_transform: flags & FLAG_LOG != 0,
-        shape: Shape::new(&dims[..ndim]),
-        abs_eb,
-        radius,
-    })
+    Ok(V2Index { header, chunk_rows, entries })
+}
+
+/// Parse only the header of a container (cheap inspection; v1 and v2).
+pub fn peek_header(bytes: &[u8]) -> Result<Header, DecompressError> {
+    read_header_prefix(bytes).map(|(h, _)| h)
+}
+
+/// Number of independently-decodable chunks in a container (1 for v1).
+///
+/// Works for both container versions without decoding any payload.
+pub fn chunk_count(bytes: &[u8]) -> Result<usize, DecompressError> {
+    let (header, mut pos) = read_header_prefix(bytes)?;
+    if header.version == VERSION_V1 {
+        return Ok(1);
+    }
+    let _chunk_rows =
+        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))?;
+    let n = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk count"))? as usize;
+    if n == 0 {
+        return Err(DecompressError::Corrupt("bad chunk count"));
+    }
+    Ok(n)
+}
+
+/// A container's chunk partition, for inspection tools.
+#[derive(Clone, Debug)]
+pub struct ChunkTable {
+    /// Nominal axis-0 rows per chunk (v1: the whole axis).
+    pub chunk_rows: usize,
+    /// One entry per independently-decodable chunk, in slab order. For a
+    /// v1 container this is a single whole-field entry whose `len` spans
+    /// the container body.
+    pub entries: Vec<ChunkEntry>,
+}
+
+/// Read a container's chunk partition (either version, any scalar type).
+pub fn chunk_table(bytes: &[u8]) -> Result<ChunkTable, DecompressError> {
+    let (header, pos) = read_header_prefix(bytes)?;
+    if header.version == VERSION_V1 {
+        return Ok(ChunkTable {
+            chunk_rows: header.shape.dim(0),
+            entries: vec![ChunkEntry {
+                start_row: 0,
+                rows: header.shape.dim(0),
+                offset: pos,
+                len: bytes.len() - pos,
+            }],
+        });
+    }
+    let idx = read_v2_index_untyped(bytes)?;
+    Ok(ChunkTable { chunk_rows: idx.chunk_rows, entries: idx.entries })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample_header() -> Header {
+    fn sample_header(version: u8) -> Header {
         Header {
+            version,
             scalar_tag: <f32 as Scalar>::TAG,
             predictor: PredictorKind::Lorenzo,
             lossless: LosslessStage::RleLzss,
@@ -303,23 +554,24 @@ mod tests {
 
     #[test]
     fn container_roundtrip() {
-        let h = sample_header();
+        let h = sample_header(VERSION_V1);
         let bytes =
             write_container::<f32>(&h, &[1, 2, 3], &[9, 8, 7, 6], &[1.5f32, -2.5], &[0xAB]);
         let s = read_container::<f32>(&bytes).unwrap();
-        assert_eq!(s.codebook, vec![1, 2, 3]);
-        assert_eq!(s.payload, vec![9, 8, 7, 6]);
-        assert_eq!(s.verbatim, vec![1.5f32, -2.5]);
-        assert_eq!(s.side, vec![0xAB]);
+        assert_eq!(s.body.codebook, vec![1, 2, 3]);
+        assert_eq!(s.body.payload, vec![9, 8, 7, 6]);
+        assert_eq!(s.body.verbatim, vec![1.5f32, -2.5]);
+        assert_eq!(s.body.side, vec![0xAB]);
         assert_eq!(s.header.shape.dims(), &[10, 20, 30]);
         assert_eq!(s.header.abs_eb, 1e-4);
         assert_eq!(s.header.predictor, PredictorKind::Lorenzo);
         assert_eq!(s.header.lossless, LosslessStage::RleLzss);
+        assert_eq!(chunk_count(&bytes).unwrap(), 1);
     }
 
     #[test]
     fn scalar_mismatch_detected() {
-        let h = sample_header();
+        let h = sample_header(VERSION_V1);
         let bytes = write_container::<f32>(&h, &[], &[], &[], &[]);
         assert!(matches!(
             read_container::<f64>(&bytes),
@@ -331,23 +583,117 @@ mod tests {
     fn bad_magic_rejected() {
         assert!(matches!(read_container::<f32>(b"NOPE....."), Err(DecompressError::NotAContainer)));
         assert!(matches!(read_container::<f32>(&[]), Err(DecompressError::NotAContainer)));
+        assert!(matches!(peek_header(b"RQMC\x07xxxxxx"), Err(DecompressError::NotAContainer)));
     }
 
     #[test]
     fn truncated_section_rejected() {
-        let h = sample_header();
+        let h = sample_header(VERSION_V1);
         let bytes = write_container::<f32>(&h, &[1, 2, 3], &[9; 100], &[], &[]);
         let r = read_container::<f32>(&bytes[..bytes.len() - 50]);
         assert!(matches!(r, Err(DecompressError::Corrupt(_))));
     }
 
     #[test]
+    fn overflowing_section_length_rejected() {
+        // A section-length varint decoding to ~u64::MAX must not overflow
+        // the bounds arithmetic (it used to panic on `pos + len`).
+        let h = sample_header(VERSION_V1);
+        let good = write_container::<f32>(&h, &[1, 2, 3], &[], &[], &[]);
+        // The codebook section starts right after the fixed header; find
+        // its length varint (value 3, single byte) and replace it with the
+        // 10-byte LEB128 encoding of u64::MAX.
+        let codebook_pos = good.len() - (1 + 3 + 1 + 1 + 1); // len+data, payload len, verbatim count, side len
+        assert_eq!(good[codebook_pos], 3);
+        let mut evil = good[..codebook_pos].to_vec();
+        evil.extend([0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
+        evil.extend(&good[codebook_pos + 1..]);
+        assert!(matches!(
+            read_container::<f32>(&evil),
+            Err(DecompressError::Corrupt(_))
+        ));
+    }
+
+    #[test]
     fn peek_header_matches() {
-        let h = sample_header();
+        let h = sample_header(VERSION_V1);
         let bytes = write_container::<f32>(&h, &[], &[], &[], &[]);
         let p = peek_header(&bytes).unwrap();
+        assert_eq!(p.version, VERSION_V1);
         assert_eq!(p.shape.dims(), h.shape.dims());
         assert_eq!(p.predictor, h.predictor);
         assert_eq!(p.abs_eb, h.abs_eb);
+    }
+
+    #[test]
+    fn v2_roundtrip_index_and_blobs() {
+        let mut h = sample_header(VERSION_V2);
+        h.shape = Shape::d2(10, 4);
+        let blob_a =
+            write_chunk_blob::<f32>(LosslessStage::RleLzss, &[1], &[2, 2], &[0.5f32], &[]);
+        let blob_b = write_chunk_blob::<f32>(LosslessStage::None, &[3], &[4], &[], &[9]);
+        let bytes =
+            write_container_v2::<f32>(&h, 6, &[(6, blob_a.clone()), (4, blob_b.clone())]);
+
+        assert_eq!(peek_header(&bytes).unwrap().version, VERSION_V2);
+        assert_eq!(chunk_count(&bytes).unwrap(), 2);
+
+        let idx = read_container_v2_index::<f32>(&bytes).unwrap();
+        assert_eq!(idx.chunk_rows, 6);
+        assert_eq!(idx.entries.len(), 2);
+        assert_eq!(idx.entries[0].start_row, 0);
+        assert_eq!(idx.entries[0].rows, 6);
+        assert_eq!(idx.entries[1].start_row, 6);
+        assert_eq!(idx.entries[1].rows, 4);
+
+        let e = idx.entries[0];
+        let (ll, body) = read_chunk_blob::<f32>(&bytes[e.offset..e.offset + e.len]).unwrap();
+        assert_eq!(ll, LosslessStage::RleLzss);
+        assert_eq!(body.codebook, vec![1]);
+        assert_eq!(body.payload, vec![2, 2]);
+        assert_eq!(body.verbatim, vec![0.5f32]);
+        let e = idx.entries[1];
+        let (ll, body) = read_chunk_blob::<f32>(&bytes[e.offset..e.offset + e.len]).unwrap();
+        assert_eq!(ll, LosslessStage::None);
+        assert_eq!(body.side, vec![9]);
+    }
+
+    #[test]
+    fn v2_bad_tiling_rejected() {
+        let mut h = sample_header(VERSION_V2);
+        h.shape = Shape::d2(10, 4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        // Rows sum to 8 ≠ 10.
+        let bytes = write_container_v2::<f32>(&h, 6, &[(6, blob.clone()), (2, blob)]);
+        assert!(matches!(
+            read_container_v2_index::<f32>(&bytes),
+            Err(DecompressError::Corrupt("chunk rows do not tile axis 0"))
+        ));
+    }
+
+    #[test]
+    fn v2_truncated_blob_rejected() {
+        let mut h = sample_header(VERSION_V2);
+        h.shape = Shape::d2(10, 4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[1, 2], &[3], &[], &[]);
+        let bytes = write_container_v2::<f32>(&h, 10, &[(10, blob)]);
+        assert!(matches!(
+            read_container_v2_index::<f32>(&bytes[..bytes.len() - 2]),
+            Err(DecompressError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_dispatch() {
+        let v1 = write_container::<f32>(&sample_header(VERSION_V1), &[], &[], &[], &[]);
+        assert_eq!(container_version(&v1).unwrap(), VERSION_V1);
+        let mut h2 = sample_header(VERSION_V2);
+        h2.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let v2 = write_container_v2::<f32>(&h2, 4, &[(4, blob)]);
+        assert_eq!(container_version(&v2).unwrap(), VERSION_V2);
+        // v1 reader refuses v2 bytes (and vice versa) without panicking.
+        assert!(read_container::<f32>(&v2).is_err());
+        assert!(read_container_v2_index::<f32>(&v1).is_err());
     }
 }

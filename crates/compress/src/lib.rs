@@ -23,12 +23,19 @@
 //! }
 //! ```
 
+pub mod chunked;
 pub mod config;
 pub mod container;
 pub mod pipeline;
 pub mod report;
 
-pub use config::{CompressorConfig, LosslessStage};
-pub use container::{CompressError, DecompressError, Header};
+pub use chunked::{
+    compress_chunked, compress_chunked_with_report, decompress_chunk, decompress_with_threads,
+};
+pub use config::{Chunking, CompressorConfig, LosslessStage};
+pub use container::{
+    chunk_count, chunk_table, peek_header, ChunkEntry, ChunkTable, CompressError, DecompressError,
+    Header,
+};
 pub use pipeline::{compress, compress_with_report, decompress};
 pub use report::{CompressedOutput, CompressionReport};

@@ -6,13 +6,25 @@
 //! rounding to the target scalar type — is written back into the traversal
 //! buffer so compressor and decompressor predictions never diverge.
 //!
+//! The causal walk over one stream is factored into `encode_stream` /
+//! `decode_stream`: the **chunk kernel**. The serial pipeline runs the
+//! kernel once over the whole field and writes a v1 container; the
+//! chunk-parallel pipeline (see [`crate::chunked`]) runs it once per
+//! axis-0 slab on worker threads and writes a v2 container with a chunk
+//! index. Because the kernel starts every stream with an empty history,
+//! predictor stencils reset at slab boundaries and each chunk round-trips
+//! independently.
+//!
 //! Point-wise relative bounds are realized by a log transform
-//! (Liang et al. [35]): values are compressed as `ln(v)` under an absolute
+//! (Liang et al. \[35\]): values are compressed as `ln(v)` under an absolute
 //! bound of `ln(1 + ratio)`; non-positive values take the verbatim escape
 //! path since the transform is undefined there.
 
-use crate::config::{CompressorConfig, LosslessStage};
-use crate::container::{read_container, write_container, CompressError, DecompressError, Header};
+use crate::config::{Chunking, CompressorConfig, LosslessStage};
+use crate::container::{
+    container_version, read_container, write_container, CompressError, DecompressError, Header,
+    SectionsBody, VERSION_V1,
+};
 use crate::report::{CompressedOutput, CompressionReport};
 use rq_encoding::{lossless_compress, lossless_decompress, HuffmanCodec};
 use rq_grid::{BlockIter, NdArray, Scalar, Shape, MAX_DIMS};
@@ -28,7 +40,7 @@ const LOG_FLOOR: f64 = -745.0; // ≈ ln(f64::MIN_POSITIVE)
 
 /// Value-domain transform applied before quantization.
 #[derive(Clone, Copy, Debug, PartialEq)]
-enum Transform {
+pub(crate) enum Transform {
     Identity,
     /// `ln(v)`; `ratio` retained for the final bound check.
     Log { ratio: f64 },
@@ -48,6 +60,26 @@ impl Transform {
             }
         }
     }
+}
+
+/// Resolve the user bound against the field's value range: the absolute
+/// quantizer bound plus the value-domain transform.
+pub(crate) fn resolve_bound(
+    cfg: &CompressorConfig,
+    value_range: f64,
+) -> Result<(f64, Transform), CompressError> {
+    let abs_eb = std::panic::catch_unwind(|| cfg.bound.absolute(value_range))
+        .map_err(|_| CompressError::InvalidBound(format!("{:?} on range {value_range}", cfg.bound)))?;
+    let transform = if cfg.bound.needs_log_transform() {
+        let ratio = match cfg.bound {
+            rq_quant::ErrorBoundMode::PointwiseRelative(r) => r,
+            _ => unreachable!(),
+        };
+        Transform::Log { ratio }
+    } else {
+        Transform::Identity
+    };
+    Ok((abs_eb, transform))
 }
 
 /// Shared quantize-and-collect state for the compression passes.
@@ -123,7 +155,9 @@ impl<T: Scalar> QuantEncoder<T> {
     }
 }
 
-/// Decode-side mirror of [`QuantEncoder`].
+/// Decode-side mirror of [`QuantEncoder`], writing into a caller-provided
+/// output slab (so chunked decompression can decode straight into disjoint
+/// slices of the final buffer).
 struct QuantDecoder<'a, T: Scalar> {
     quantizer: LinearQuantizer,
     transform: Transform,
@@ -131,7 +165,7 @@ struct QuantDecoder<'a, T: Scalar> {
     symbols: std::slice::Iter<'a, u32>,
     verbatim: std::slice::Iter<'a, T>,
     /// Output values in the original domain.
-    out: Vec<T>,
+    out: &'a mut [T],
 }
 
 impl<'a, T: Scalar> QuantDecoder<'a, T> {
@@ -260,47 +294,51 @@ fn for_each_in_block(
     }
 }
 
-/// Compress `field` under `cfg`.
-pub fn compress<T: Scalar>(
-    field: &NdArray<T>,
-    cfg: &CompressorConfig,
-) -> Result<CompressedOutput, CompressError> {
-    compress_with_report(field, cfg).map(|(out, _)| out)
+/// One fully-encoded stream (a whole field, or one chunk of it).
+pub(crate) struct EncodedStream<T> {
+    pub codebook: Vec<u8>,
+    /// Entropy-coded payload, after the optional lossless stage.
+    pub payload: Vec<u8>,
+    /// Whether the lossless stage was kept (only when it shrank the
+    /// payload).
+    pub lossless_applied: LosslessStage,
+    pub verbatim: Vec<T>,
+    pub side: Vec<u8>,
+    /// Symbol histogram including the escape bin (last slot).
+    pub histogram: Vec<u64>,
+    pub n_symbols: usize,
+    pub n_escapes: usize,
+    pub n_anchors: usize,
+    /// Payload size before the optional lossless stage.
+    pub huffman_bytes: usize,
 }
 
-/// Compress and return the per-stage measurements alongside the output.
-pub fn compress_with_report<T: Scalar>(
-    field: &NdArray<T>,
-    cfg: &CompressorConfig,
-) -> Result<(CompressedOutput, CompressionReport), CompressError> {
-    let shape = field.shape();
+/// The chunk kernel, encode side: one causal traversal over `orig`
+/// (row-major, laid out as `shape`), producing a self-contained stream.
+///
+/// `orig.len()` must equal `shape.len()`. The stream starts with empty
+/// history, so running the kernel on an axis-0 slab yields exactly the
+/// bytes a standalone field of that slab's shape would produce.
+pub(crate) fn encode_stream<T: Scalar>(
+    orig: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    quantizer: LinearQuantizer,
+    transform: Transform,
+    lossless: LosslessStage,
+) -> Result<EncodedStream<T>, CompressError> {
+    debug_assert_eq!(orig.len(), shape.len());
     let n = shape.len();
-    let value_range = field.value_range();
-    let abs_eb = std::panic::catch_unwind(|| cfg.bound.absolute(value_range))
-        .map_err(|_| CompressError::InvalidBound(format!("{:?} on range {value_range}", cfg.bound)))?;
-    let transform = if cfg.bound.needs_log_transform() {
-        let ratio = match cfg.bound {
-            rq_quant::ErrorBoundMode::PointwiseRelative(r) => r,
-            _ => unreachable!(),
-        };
-        Transform::Log { ratio }
-    } else {
-        Transform::Identity
-    };
-
     // Working-domain originals.
-    let work: Vec<f64> =
-        field.as_slice().iter().map(|&v| transform.forward(v.to_f64())).collect();
-    let orig = field.as_slice();
+    let work: Vec<f64> = orig.iter().map(|&v| transform.forward(v.to_f64())).collect();
 
-    let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
     let mut enc = QuantEncoder::<T>::new(quantizer, transform, n);
     let mut side = Vec::new();
     let mut n_anchors = 0usize;
 
-    match cfg.predictor {
+    match predictor {
         PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => {
-            let order = if cfg.predictor == PredictorKind::Lorenzo { 1 } else { 2 };
+            let order = if predictor == PredictorKind::Lorenzo { 1 } else { 2 };
             traverse_lorenzo(shape, order, |lin, pred| {
                 Ok(enc.encode_point(orig[lin], work[lin], pred))
             })
@@ -337,7 +375,7 @@ pub fn compress_with_report<T: Scalar>(
         (codec.serialize_codebook(), codec.encode(&enc.symbols)?)
     };
     let huffman_bytes = huffman_payload.len();
-    let (payload, lossless_applied) = match cfg.lossless {
+    let (payload, lossless_applied) = match lossless {
         LosslessStage::None => (huffman_payload, LosslessStage::None),
         LosslessStage::RleLzss => {
             let ll = lossless_compress(&huffman_payload);
@@ -349,70 +387,49 @@ pub fn compress_with_report<T: Scalar>(
         }
     };
 
-    let header = Header {
-        scalar_tag: T::TAG,
-        predictor: cfg.predictor,
-        lossless: lossless_applied,
-        log_transform: transform != Transform::Identity,
-        shape,
-        abs_eb,
-        radius: cfg.radius,
-    };
-    let encoded_bytes = payload.len();
-    let bytes = write_container::<T>(&header, &codebook, &payload, &enc.verbatim, &side);
-    let container_bytes = bytes.len();
-
-    let report = CompressionReport {
-        n_quantized: enc.symbols.len() - enc.n_escapes,
-        symbol_histogram: {
-            let mut h = enc.histogram;
-            h.truncate(quantizer.alphabet_size()); // drop the escape bin
-            h
-        },
-        n_unpredictable: enc.n_escapes,
+    Ok(EncodedStream {
+        codebook,
+        payload,
+        lossless_applied,
+        verbatim: enc.verbatim,
+        side,
+        histogram: enc.histogram,
+        n_symbols: enc.symbols.len(),
+        n_escapes: enc.n_escapes,
         n_anchors,
         huffman_bytes,
-        encoded_bytes,
-        codebook_bytes: codebook.len(),
-        side_bytes: side.len(),
-        container_bytes,
-        n_elements: n,
-        original_bits: T::BITS,
-    };
-    Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
+    })
 }
 
-/// Decompress a container produced by [`compress`].
-pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError> {
-    let sections = read_container::<T>(bytes)?;
-    let header = sections.header;
-    let shape = header.shape;
+/// The chunk kernel, decode side: replay one stream into `out`
+/// (`out.len() == shape.len()`).
+pub(crate) fn decode_stream<T: Scalar>(
+    body: &SectionsBody<T>,
+    lossless: LosslessStage,
+    shape: Shape,
+    predictor: PredictorKind,
+    quantizer: LinearQuantizer,
+    transform: Transform,
+    out: &mut [T],
+) -> Result<(), DecompressError> {
+    debug_assert_eq!(out.len(), shape.len());
     let n = shape.len();
 
-    let transform = if header.log_transform {
-        Transform::Log { ratio: f64::NAN } // ratio only needed when encoding
-    } else {
-        Transform::Identity
-    };
-    let quantizer = LinearQuantizer::new(header.abs_eb, header.radius);
-
-    let n_anchors = if header.predictor == PredictorKind::Interpolation {
-        anchors(shape).len()
-    } else {
-        0
-    };
+    let n_anchors =
+        if predictor == PredictorKind::Interpolation { anchors(shape).len() } else { 0 };
     let n_symbols = n - n_anchors;
 
     let symbols: Vec<u32> = if n_symbols == 0 {
         Vec::new()
     } else {
-        let payload = if header.lossless == LosslessStage::RleLzss {
-            lossless_decompress(&sections.payload)
+        let payload: std::borrow::Cow<'_, [u8]> = if lossless == LosslessStage::RleLzss {
+            lossless_decompress(&body.payload)
                 .ok_or(DecompressError::Corrupt("lossless stage"))?
+                .into()
         } else {
-            sections.payload.clone()
+            (&body.payload[..]).into()
         };
-        let (codec, _) = HuffmanCodec::deserialize_codebook(&sections.codebook)?;
+        let (codec, _) = HuffmanCodec::deserialize_codebook(&body.codebook)?;
         codec.decode(&payload, n_symbols)?
     };
 
@@ -421,13 +438,13 @@ pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError
         transform,
         escape_symbol: quantizer.alphabet_size() as u32,
         symbols: symbols.iter(),
-        verbatim: sections.verbatim.iter(),
-        out: vec![T::zero(); n],
+        verbatim: body.verbatim.iter(),
+        out,
     };
 
-    match header.predictor {
+    match predictor {
         PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => {
-            let order = if header.predictor == PredictorKind::Lorenzo { 1 } else { 2 };
+            let order = if predictor == PredictorKind::Lorenzo { 1 } else { 2 };
             traverse_lorenzo(shape, order, |lin, pred| dec.decode_point(lin, pred))?;
         }
         PredictorKind::Interpolation => {
@@ -441,7 +458,7 @@ pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError
             let nd = shape.ndim();
             let mut side_pos = 0usize;
             for block in BlockIter::new(shape, REGRESSION_BLOCK_SIDE) {
-                let (coeffs, used) = BlockCoeffs::read(&sections.side[side_pos..], nd)
+                let (coeffs, used) = BlockCoeffs::read(&body.side[side_pos..], nd)
                     .ok_or(DecompressError::Corrupt("regression side channel"))?;
                 side_pos += used;
                 let mut err = None;
@@ -460,8 +477,114 @@ pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError
             }
         }
     }
+    Ok(())
+}
 
-    Ok(NdArray::from_vec(shape, dec.out))
+/// Build the decode-side transform from header flags.
+pub(crate) fn transform_from_header(header: &Header) -> Transform {
+    if header.log_transform {
+        Transform::Log { ratio: f64::NAN } // ratio only needed when encoding
+    } else {
+        Transform::Identity
+    }
+}
+
+/// Compress `field` under `cfg`.
+///
+/// With the default [`Chunking::Serial`] this produces a v1 container via
+/// one causal traversal. Chunked configurations delegate to the parallel
+/// pipeline and produce a v2 container (see [`crate::chunked`]).
+pub fn compress<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+) -> Result<CompressedOutput, CompressError> {
+    compress_with_report(field, cfg).map(|(out, _)| out)
+}
+
+/// Compress and return the per-stage measurements alongside the output.
+pub fn compress_with_report<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+) -> Result<(CompressedOutput, CompressionReport), CompressError> {
+    if cfg.chunking != Chunking::Serial {
+        return crate::chunked::compress_chunked_with_report(field, cfg);
+    }
+    let shape = field.shape();
+    let n = shape.len();
+    let (abs_eb, transform) = resolve_bound(cfg, field.value_range())?;
+    let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
+
+    let stream =
+        encode_stream(field.as_slice(), shape, cfg.predictor, quantizer, transform, cfg.lossless)?;
+
+    let header = Header {
+        version: VERSION_V1,
+        scalar_tag: T::TAG,
+        predictor: cfg.predictor,
+        lossless: stream.lossless_applied,
+        log_transform: transform != Transform::Identity,
+        shape,
+        abs_eb,
+        radius: cfg.radius,
+    };
+    let bytes = write_container::<T>(
+        &header,
+        &stream.codebook,
+        &stream.payload,
+        &stream.verbatim,
+        &stream.side,
+    );
+    let container_bytes = bytes.len();
+
+    let report = CompressionReport {
+        n_quantized: stream.n_symbols - stream.n_escapes,
+        symbol_histogram: {
+            let mut h = stream.histogram;
+            h.truncate(quantizer.alphabet_size()); // drop the escape bin
+            h
+        },
+        n_unpredictable: stream.n_escapes,
+        n_anchors: stream.n_anchors,
+        huffman_bytes: stream.huffman_bytes,
+        encoded_bytes: stream.payload.len(),
+        codebook_bytes: stream.codebook.len(),
+        side_bytes: stream.side.len(),
+        container_bytes,
+        n_elements: n,
+        original_bits: T::BITS,
+        n_chunks: 1,
+    };
+    Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
+}
+
+/// Decompress a container produced by [`compress`] (either version).
+///
+/// v2 containers are decoded chunk-parallel with one worker per available
+/// CPU; use [`crate::chunked::decompress_with_threads`] to control the
+/// worker count, or [`crate::chunked::decompress_chunk`] for random access
+/// to a single slab.
+pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError> {
+    if container_version(bytes)? != VERSION_V1 {
+        return crate::chunked::decompress_with_threads(bytes, 0);
+    }
+    let sections = read_container::<T>(bytes)?;
+    let header = sections.header;
+    let shape = header.shape;
+
+    let transform = transform_from_header(&header);
+    let quantizer = LinearQuantizer::new(header.abs_eb, header.radius);
+
+    let mut out = vec![T::zero(); shape.len()];
+    decode_stream(
+        &sections.body,
+        header.lossless,
+        shape,
+        header.predictor,
+        quantizer,
+        transform,
+        &mut out,
+    )?;
+    Ok(NdArray::from_vec(shape, out))
 }
 
 #[cfg(test)]
@@ -650,6 +773,7 @@ mod tests {
         assert_eq!(hist_total as usize, rep.n_quantized);
         assert!(rep.p0() > 0.1);
         assert!(rep.encoded_bytes <= rep.huffman_bytes);
+        assert_eq!(rep.n_chunks, 1);
     }
 
     #[test]

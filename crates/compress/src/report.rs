@@ -54,6 +54,8 @@ pub struct CompressionReport {
     pub n_elements: usize,
     /// Bits of the original scalar type.
     pub original_bits: u32,
+    /// Number of independently-coded chunks (1 for the serial pipeline).
+    pub n_chunks: usize,
 }
 
 impl CompressionReport {
@@ -117,6 +119,7 @@ mod tests {
             container_bytes: 20,
             n_elements: 100,
             original_bits: 32,
+            n_chunks: 1,
         };
         assert!((rep.p0() - 0.75).abs() < 1e-12);
     }

@@ -29,6 +29,19 @@
 //! The three use-cases of §IV live in [`usecases`]: best-predictor
 //! selection, fixed-footprint memory compression and in-situ per-partition
 //! error-bound optimization.
+//!
+//! ## Paper-section map
+//!
+//! | Module        | Paper section | Implements                               |
+//! |---------------|---------------|------------------------------------------|
+//! | [`sampling`]  | §III-C1       | 1 % prediction-error sampling pass       |
+//! | [`histogram`] | §III-C2–C4    | quantization-bin histogram estimation    |
+//! | [`ratio`]     | §III-B, Eq. 1–8 | bit-rate / lossless-ratio model        |
+//! | [`quality`]   | §III-D, Eq. 10–15 | PSNR / SSIM / FFT quality model      |
+//! | [`model`]     | §III          | the assembled [`RqModel`]                |
+//! | [`usecases`]  | §IV           | the three model-driven use-cases         |
+
+#![warn(missing_docs)]
 
 pub mod histogram;
 pub mod model;

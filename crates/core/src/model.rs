@@ -17,7 +17,7 @@ const SPARSE_RESIDUAL_BITS: f64 = 0.05;
 
 /// Everything the model predicts for one error bound — the full
 /// ratio-quality picture of the paper, obtained without compressing.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Estimate {
     /// The absolute error bound the estimate is for.
     pub eb: f64,

@@ -17,7 +17,7 @@
 use crate::model::RqModel;
 
 /// The optimized per-partition assignment.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct PartitionPlan {
     /// Chosen error bound per partition.
     pub ebs: Vec<f64>,

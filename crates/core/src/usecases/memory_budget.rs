@@ -12,7 +12,7 @@ use rq_grid::{NdArray, Scalar};
 use rq_quant::ErrorBoundMode;
 
 /// What happened during budgeted compression.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct BudgetOutcome {
     /// The byte budget that had to be respected.
     pub budget_bytes: usize,

@@ -13,6 +13,15 @@
 //! * [`lzss`] — an LZ77-family dictionary coder with hash-chain match
 //!   search; combined with the zero-RLE pass it stands in for Zstandard
 //!   (see DESIGN.md §4 for why this substitution preserves behaviour).
+//!
+//! ## Paper-section map
+//!
+//! | Module      | Paper section | Implements                              |
+//! |-------------|---------------|-----------------------------------------|
+//! | [`huffman`] | §II-B, Eq. 1  | the entropy stage whose bit-rate Eq. 1 predicts |
+//! | [`rle`]     | §III-B, Eq. 4–8 | the zero-run behaviour behind the lossless-ratio model |
+//! | [`lzss`]    | §III-B        | dictionary stage of the Zstandard stand-in |
+//! | [`bitio`], [`varint`] | —   | serialization substrate (container headers, codebooks) |
 
 pub mod bitio;
 pub mod huffman;

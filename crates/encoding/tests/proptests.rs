@@ -1,89 +1,193 @@
-//! Property-based round-trip tests for every coder in the crate: the
+//! Randomized round-trip tests for every coder in the crate: the
 //! invariants that must hold for arbitrary inputs, not just the unit-test
 //! vectors.
+//!
+//! Originally `proptest` properties; rewritten as deterministic seeded
+//! fuzz loops because the offline build cannot fetch proptest. Inputs are
+//! reproducible for a given seed constant.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rq_encoding::lzss::{lzss_compress, lzss_decompress};
 use rq_encoding::rle::{rle_compress, rle_decompress};
 use rq_encoding::varint::{get_uvarint, put_uvarint};
 use rq_encoding::{lossless_compress, lossless_decompress, HuffmanCodec};
 
-proptest! {
-    #[test]
-    fn varint_roundtrip(v in any::<u64>()) {
+/// Deterministic input generator for fuzz-style loops, backed by the
+/// workspace's `rand` shim.
+struct Fuzz(StdRng);
+
+impl Fuzz {
+    fn new(seed: u64) -> Self {
+        Fuzz(StdRng::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let n = self.range(0, max_len + 1);
+        (0..n).map(|_| self.next_u64() as u8).collect()
+    }
+
+    /// Byte vector with long runs and repeated motifs — the inputs RLE and
+    /// LZSS actually see (pure noise never exercises their match paths).
+    fn structured_bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let n = self.range(0, max_len + 1);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.range(0, 3) {
+                0 => {
+                    let b = self.next_u64() as u8;
+                    let run = self.range(1, 40);
+                    out.extend(std::iter::repeat_n(b, run.min(n - out.len())));
+                }
+                1 => {
+                    let take = self.range(1, 30).min(n - out.len());
+                    for _ in 0..take {
+                        let v = self.next_u64() as u8;
+                        out.push(v);
+                    }
+                }
+                _ => {
+                    if out.is_empty() {
+                        out.push(self.next_u64() as u8);
+                    } else {
+                        let start = self.range(0, out.len());
+                        let len = self.range(1, 24).min(out.len() - start).min(n - out.len());
+                        let motif: Vec<u8> = out[start..start + len].to_vec();
+                        out.extend(motif);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+const CASES: usize = 64;
+
+#[test]
+fn varint_roundtrip() {
+    let mut fz = Fuzz::new(0x7A51);
+    let mut values: Vec<u64> = (0..CASES).map(|_| fz.next_u64()).collect();
+    values.extend([0, 1, 127, 128, 16383, 16384, u64::MAX]);
+    for v in values {
         let mut buf = Vec::new();
         put_uvarint(&mut buf, v);
         let mut pos = 0;
-        prop_assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
     }
+}
 
-    #[test]
-    fn rle_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2000), marker in any::<u8>()) {
+#[test]
+fn rle_roundtrip() {
+    let mut fz = Fuzz::new(0x41E1);
+    for case in 0..CASES {
+        let data = fz.structured_bytes(2000);
+        let marker = fz.next_u64() as u8;
         let c = rle_compress(&data, marker);
-        prop_assert_eq!(rle_decompress(&c, marker), Some(data));
+        assert_eq!(rle_decompress(&c, marker), Some(data), "case {case}");
     }
+}
 
-    #[test]
-    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+#[test]
+fn lzss_roundtrip() {
+    let mut fz = Fuzz::new(0x1255);
+    for case in 0..CASES {
+        let data =
+            if case % 2 == 0 { fz.bytes(3000) } else { fz.structured_bytes(3000) };
         let c = lzss_compress(&data);
-        prop_assert_eq!(lzss_decompress(&c), Some(data));
+        assert_eq!(lzss_decompress(&c), Some(data), "case {case}");
     }
+}
 
-    #[test]
-    fn lzss_roundtrip_repetitive(
-        unit in proptest::collection::vec(any::<u8>(), 1..16),
-        reps in 1usize..200,
-    ) {
+#[test]
+fn lzss_roundtrip_repetitive() {
+    let mut fz = Fuzz::new(0x4E9);
+    for case in 0..CASES {
+        let unit = fz.bytes(15);
+        if unit.is_empty() {
+            continue;
+        }
+        let reps = fz.range(1, 200);
         let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
         let c = lzss_compress(&data);
-        prop_assert_eq!(lzss_decompress(&c), Some(data));
+        assert_eq!(lzss_decompress(&c), Some(data), "case {case}");
     }
+}
 
-    #[test]
-    fn lossless_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+#[test]
+fn lossless_roundtrip() {
+    let mut fz = Fuzz::new(0x1055);
+    for case in 0..CASES {
+        let data =
+            if case % 2 == 0 { fz.bytes(4000) } else { fz.structured_bytes(4000) };
         let c = lossless_compress(&data);
-        prop_assert_eq!(lossless_decompress(&c), Some(data));
+        assert_eq!(lossless_decompress(&c), Some(data), "case {case}");
     }
+}
 
-    #[test]
-    fn lossless_decompress_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..500)) {
+#[test]
+fn lossless_decompress_never_panics() {
+    let mut fz = Fuzz::new(0x6A4BA6E);
+    for _ in 0..CASES {
+        let garbage = fz.bytes(500);
         let _ = lossless_decompress(&garbage); // may be None, must not panic
     }
+}
 
-    #[test]
-    fn huffman_roundtrip(
-        symbols in proptest::collection::vec(0u32..64, 1..3000),
-    ) {
+#[test]
+fn huffman_roundtrip() {
+    let mut fz = Fuzz::new(0x40FF);
+    for case in 0..CASES {
+        let n = fz.range(1, 3000);
+        let symbols: Vec<u32> = (0..n).map(|_| fz.range(0, 64) as u32).collect();
         let mut counts = vec![0u64; 64];
         for &s in &symbols {
             counts[s as usize] += 1;
         }
         let codec = HuffmanCodec::from_counts(&counts).unwrap();
         let bytes = codec.encode(&symbols).unwrap();
-        prop_assert_eq!(codec.decode(&bytes, symbols.len()).unwrap(), symbols);
+        assert_eq!(codec.decode(&bytes, symbols.len()).unwrap(), symbols, "case {case}");
     }
+}
 
-    #[test]
-    fn huffman_codebook_roundtrip(
-        counts in proptest::collection::vec(0u64..10_000, 1..300),
-    ) {
-        prop_assume!(counts.iter().any(|&c| c > 0));
+#[test]
+fn huffman_codebook_roundtrip() {
+    let mut fz = Fuzz::new(0xB00C);
+    for case in 0..CASES {
+        let n = fz.range(1, 300);
+        let counts: Vec<u64> = (0..n).map(|_| fz.range(0, 10_000) as u64).collect();
+        if counts.iter().all(|&c| c == 0) {
+            continue;
+        }
         let codec = HuffmanCodec::from_counts(&counts).unwrap();
         let book = codec.serialize_codebook();
         let (codec2, used) = HuffmanCodec::deserialize_codebook(&book).unwrap();
-        prop_assert_eq!(used, book.len());
+        assert_eq!(used, book.len(), "case {case}");
         for s in 0..counts.len() as u32 {
-            prop_assert_eq!(codec.code_len(s), codec2.code_len(s));
+            assert_eq!(codec.code_len(s), codec2.code_len(s), "case {case} symbol {s}");
         }
     }
+}
 
-    #[test]
-    fn huffman_decode_garbage_never_panics(
-        garbage in proptest::collection::vec(any::<u8>(), 1..200),
-        n in 1usize..100,
-    ) {
-        let codec = HuffmanCodec::from_counts(&[10, 5, 3, 1]).unwrap();
+#[test]
+fn huffman_decode_garbage_never_panics() {
+    let mut fz = Fuzz::new(0x6A4B);
+    let codec = HuffmanCodec::from_counts(&[10, 5, 3, 1]).unwrap();
+    for _ in 0..CASES {
+        let garbage = fz.bytes(200);
+        if garbage.is_empty() {
+            continue;
+        }
+        let n = fz.range(1, 100);
         let _ = codec.decode(&garbage, n); // may error, must not panic
     }
 }

@@ -59,8 +59,8 @@ impl BlockIter {
     pub fn new(shape: Shape, side: usize) -> Self {
         assert!(side > 0, "block side must be positive");
         let mut counts = [1usize; MAX_DIMS];
-        for a in 0..shape.ndim() {
-            counts[a] = shape.dim(a).div_ceil(side);
+        for (count, &dim) in counts.iter_mut().zip(shape.dims()) {
+            *count = dim.div_ceil(side);
         }
         BlockIter { shape, side, next: Some([0; MAX_DIMS]), counts }
     }

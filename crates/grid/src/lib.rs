@@ -13,14 +13,26 @@
 //!
 //! The layout is always row-major (C order, last dimension fastest), which
 //! matches the SDRBench binary dumps the paper evaluates on.
+//!
+//! ## Paper-section map
+//!
+//! | Module     | Paper context | Role                                        |
+//! |------------|---------------|---------------------------------------------|
+//! | [`shape`]  | §II-A         | 1–4-D dataset extents of Table I            |
+//! | [`mod@array`] | §II-A      | the dense snapshot fields being compressed  |
+//! | [`blocks`] | §II-B, §III-C | 6^d blocks (regression predictor, sampling) |
+//! | [`chunks`] | §V-F          | axis-0 slabs for the parallel dump pipeline |
+//! | [`stats`]  | §III-C/D      | moments/range/histograms feeding the model  |
 
 pub mod array;
 pub mod blocks;
+pub mod chunks;
 pub mod scalar;
 pub mod shape;
 pub mod stats;
 
 pub use array::NdArray;
 pub use blocks::{BlockIter, BlockSpec};
+pub use chunks::{auto_chunk_rows, slab_chunks, ChunkSpec};
 pub use scalar::Scalar;
 pub use shape::{Shape, MAX_DIMS};

@@ -5,7 +5,7 @@
 //! compression filter on a Lustre file system. This crate reproduces the
 //! pieces of that stack the experiments exercise:
 //!
-//! * [`format`]/[`file`] — a self-describing container with named, chunked,
+//! * [`mod@format`]/[`mod@file`] — a self-describing container with named, chunked,
 //!   filtered datasets (chunks are axis-0 slabs, the common HDF5 layout for
 //!   timestep snapshots),
 //! * [`filter`] — the dynamically-selected filter pipeline: none, or the

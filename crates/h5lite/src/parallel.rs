@@ -11,8 +11,8 @@
 
 use crate::file::H5LiteWriter;
 use crate::filter::Filter;
-use parking_lot::Mutex;
 use rq_grid::{NdArray, Scalar};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The parallel-file-system model.
@@ -104,35 +104,35 @@ impl ParallelDump {
         slab_rows: usize,
     ) -> Result<(Vec<u8>, DumpReport), crate::format::H5Error> {
         assert_eq!(portions.len(), self.ranks, "one portion per rank");
-        let results: Mutex<Vec<Option<(usize, Vec<u8>, Duration)>>> =
+        type RankResult = Option<(usize, Vec<u8>, Duration)>;
+        let results: Mutex<Vec<RankResult>> =
             Mutex::new((0..self.ranks).map(|_| None).collect());
         let err: Mutex<Option<crate::format::H5Error>> = Mutex::new(None);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (rank, portion) in portions.iter().enumerate() {
                 let results = &results;
                 let err = &err;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let t0 = Instant::now();
                     let mut w = H5LiteWriter::new();
                     match w.add_dataset(&format!("rank-{rank}"), portion, slab_rows, filter) {
                         Ok(_) => {
                             let bytes = w.to_bytes();
-                            results.lock()[rank] = Some((rank, bytes, t0.elapsed()));
+                            results.lock().unwrap()[rank] = Some((rank, bytes, t0.elapsed()));
                         }
                         Err(e) => {
-                            *err.lock() = Some(e);
+                            *err.lock().unwrap() = Some(e);
                         }
                     }
                 });
             }
-        })
-        .expect("rank thread panicked");
+        });
 
-        if let Some(e) = err.into_inner() {
+        if let Some(e) = err.into_inner().expect("rank thread panicked") {
             return Err(e);
         }
-        let collected = results.into_inner();
+        let collected = results.into_inner().expect("rank thread panicked");
         let mut comp_time = Duration::ZERO;
         // Gather: concatenate per-rank containers into one archive with a
         // tiny index (rank containers are self-describing).

@@ -1,4 +1,4 @@
-//! Multi-level interpolation predictor (Zhao et al., ICDE'21 [36]).
+//! Multi-level interpolation predictor (Zhao et al., ICDE'21 \[36\]).
 //!
 //! The field is refined level by level. At each level with stride `s` the
 //! lattice of known points has spacing `2s`; one pass per dimension

@@ -14,6 +14,17 @@
 //! All predictions operate on an `f64` working buffer; the compressor
 //! promotes `f32` fields on entry (cost: one extra buffer, benefit: one
 //! code path whose arithmetic matches the model's derivations exactly).
+//!
+//! ## Paper-section map
+//!
+//! | Module         | Paper section | Implements                           |
+//! |----------------|---------------|--------------------------------------|
+//! | [`lorenzo`]    | §II-B, §III-C1 | order-1/2 Lorenzo stencils (and their sampling variant) |
+//! | [`interp`]     | §II-B, §III-C1 | the SZ3 multi-level interpolation traversal |
+//! | [`regression`] | §II-B, §III-C1 | SZ2 block-wise linear regression with coefficient side channel |
+//!
+//! In the chunk-parallel pipeline every chunk starts a fresh traversal, so
+//! each predictor's causal history never crosses an axis-0 slab boundary.
 
 pub mod interp;
 pub mod lorenzo;

@@ -1,4 +1,4 @@
-//! The Lorenzo predictor (Ibarria et al. [41]).
+//! The Lorenzo predictor (Ibarria et al. \[41\]).
 //!
 //! The order-`k` Lorenzo predictor in `d` dimensions extrapolates a point
 //! from its corner neighborhood via the operator identity
@@ -159,7 +159,7 @@ mod tests {
         let a = NdArray::<f64>::from_fn(shape, f);
         let s = LorenzoStencil::new(3, 1);
         for ix in shape.indices() {
-            if ix[..3].iter().any(|&c| c == 0) {
+            if ix[..3].contains(&0) {
                 continue;
             }
             let p = s.predict(a.as_slice(), shape, &ix[..3]);

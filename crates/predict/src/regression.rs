@@ -1,4 +1,4 @@
-//! Block-wise linear regression predictor (Liang et al., SZ2 [33]).
+//! Block-wise linear regression predictor (Liang et al., SZ2 \[33\]).
 //!
 //! The field is partitioned into blocks of side [`REGRESSION_BLOCK_SIDE`]
 //! (6, as in SZ) and a hyperplane `f(x) = b0 + Σ_a b_a · x_a` is fitted to
@@ -33,8 +33,8 @@ impl BlockCoeffs {
     #[inline]
     pub fn predict(&self, local: &[usize]) -> f64 {
         let mut v = self.b0 as f64;
-        for a in 0..self.ndim {
-            v += self.slopes[a] as f64 * local[a] as f64;
+        for (&slope, &coord) in self.slopes[..self.ndim].iter().zip(local) {
+            v += slope as f64 * coord as f64;
         }
         v
     }

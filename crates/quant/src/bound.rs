@@ -4,7 +4,7 @@
 ///
 /// All modes resolve to a point-wise absolute bound before quantization;
 /// the point-wise *relative* mode does so in the logarithmic domain (the
-/// compressor applies a log transform first, per Liang et al. [35], which
+/// compressor applies a log transform first, per Liang et al. \[35\], which
 /// the paper's model handles as "pre-compression transformation").
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ErrorBoundMode {

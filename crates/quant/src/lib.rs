@@ -5,6 +5,13 @@
 //! reconstruction `prediction + code × 2eb` is then guaranteed to be within
 //! `error_bound` of the original value. Codes outside a bounded radius are
 //! rejected and the value stored verbatim (the "unpredictable" escape path).
+//!
+//! ## Paper-section map
+//!
+//! | Module        | Paper section | Implements                               |
+//! |---------------|---------------|------------------------------------------|
+//! | [`bound`]     | §II-B         | abs / value-range-rel / point-wise-rel bounds |
+//! | [`quantizer`] | §II-B, §III-C2 | the linear-scaling quantizer whose bins the model's histogram estimation targets |
 
 pub mod bound;
 pub mod quantizer;

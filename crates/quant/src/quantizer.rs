@@ -106,7 +106,6 @@ impl LinearQuantizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn zero_error_is_zero_code() {
@@ -158,29 +157,47 @@ mod tests {
         assert_eq!(c1 - c0, 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_error_bound_invariant(
-            orig in -1e6f64..1e6,
-            pred_offset in -1e3f64..1e3,
-            eb in 1e-6f64..1e3,
-        ) {
+    /// Seeded fuzz loop (formerly proptest): the reconstruction bound and
+    /// code-radius invariant over random (orig, pred, eb) triples.
+    #[test]
+    fn prop_error_bound_invariant() {
+        let mut s = 0x0E4B_014Fu64;
+        let mut unit = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..512 {
+            let orig = -1e6 + 2e6 * unit();
+            let pred_offset = -1e3 + 2e3 * unit();
+            let eb = 10f64.powf(-6.0 + 9.0 * unit());
             let q = LinearQuantizer::with_default_radius(eb);
             let pred = orig + pred_offset;
             if let Some((code, recon)) = q.quantize_value(orig, pred) {
-                prop_assert!((orig - recon).abs() <= eb * (1.0 + 1e-9));
-                prop_assert!(code.unsigned_abs() <= q.radius());
+                assert!((orig - recon).abs() <= eb * (1.0 + 1e-9));
+                assert!(code.unsigned_abs() <= q.radius());
             }
         }
+    }
 
-        #[test]
-        fn prop_quantize_reconstruct_within_half_bin(
-            err in -1e4f64..1e4,
-            eb in 1e-4f64..1e2,
-        ) {
+    /// Seeded fuzz loop (formerly proptest): quantize → reconstruct stays
+    /// within half a bin of the raw prediction error.
+    #[test]
+    fn prop_quantize_reconstruct_within_half_bin() {
+        let mut s = 0x0A1F_BEE5u64;
+        let mut unit = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..512 {
+            let err = -1e4 + 2e4 * unit();
+            let eb = 10f64.powf(-4.0 + 6.0 * unit());
             let q = LinearQuantizer::with_default_radius(eb);
             if let Some(code) = q.quantize(err) {
-                prop_assert!((q.reconstruct(code) - err).abs() <= eb * (1.0 + 1e-9));
+                assert!((q.reconstruct(code) - err).abs() <= eb * (1.0 + 1e-9));
             }
         }
     }

@@ -1,0 +1,255 @@
+//! Dependency-free stand-in for the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched. Everything the workspace needs from it
+//! is a seedable generator with `gen::<f64>()` and `gen_range(..)`; this
+//! crate provides exactly that surface over a xoshiro256** core seeded via
+//! SplitMix64 (the same construction `rand`'s `SmallRng` family uses).
+//!
+//! It is deliberately **not** statistically interchangeable with the real
+//! `StdRng` (ChaCha12): streams differ, so seeds do not reproduce upstream
+//! sequences. Within this workspace that is fine — seeds only need to make
+//! the synthetic datasets and sampling passes deterministic.
+
+/// Types that can be drawn uniformly from the generator's raw output.
+pub trait Sample {
+    /// Map one 64-bit draw to a sample of `Self`.
+    fn from_u64(x: u64) -> Self;
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn from_u64(x: u64) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    #[inline]
+    fn from_u64(x: u64) -> f32 {
+        (x >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn from_u64(x: u64) -> u64 {
+        x
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn from_u64(x: u64) -> u32 {
+        (x >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn from_u64(x: u64) -> bool {
+        x >> 63 != 0
+    }
+}
+
+/// Types usable as `gen_range(lo..hi)` endpoints.
+pub trait SampleRange: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)`.
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                // Compute the span in i128 so signed ranges wider than the
+                // type's MAX (e.g. i32::MIN..i32::MAX) cannot overflow; any
+                // such span still fits in u64 for all supported types.
+                let span = (hi as i128 - lo as i128) as u64;
+                // Rejection sampling to avoid modulo bias.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let x = rng.next_u64();
+                    if x <= zone {
+                        return (lo as i128 + (x % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + f64::from_u64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleRange for f32 {
+    #[inline]
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + f32::from_u64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// The generator interface (the slice of `rand::Rng` the workspace calls).
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a uniform sample of `T` (for `f64`: uniform in `[0, 1)`).
+    #[inline]
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draw uniformly from the half-open range `lo..hi`.
+    #[inline]
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_in(self, range.start, range.end)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a 64-bit seed (the slice of `rand::SeedableRng` used).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from one `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Drop-in for `rand::rngs::StdRng`: xoshiro256** seeded via SplitMix64.
+    ///
+    /// Deterministic for a given seed; **not** stream-compatible with the
+    /// real `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_int_bounds_and_coverage() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen_range(8.0..48.0);
+            assert!((8.0..48.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_full_width_does_not_overflow() {
+        // Spans wider than the signed type's MAX used to overflow `hi - lo`.
+        let mut r = StdRng::seed_from_u64(3);
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        for _ in 0..1000 {
+            let x = r.gen_range(i32::MIN..i32::MAX);
+            saw_neg |= x < 0;
+            saw_pos |= x > 0;
+        }
+        assert!(saw_neg && saw_pos, "full-width samples should cover both signs");
+        for _ in 0..1000 {
+            let x = r.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&x));
+            let y = r.gen_range(i64::MIN / 2..i64::MAX / 2);
+            assert!((i64::MIN / 2..i64::MAX / 2).contains(&y));
+        }
+    }
+}

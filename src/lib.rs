@@ -54,7 +54,10 @@ pub use rq_h5lite as h5lite;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rq_analysis::{global_ssim, psnr};
-    pub use rq_compress::{compress, compress_with_report, decompress, CompressorConfig};
+    pub use rq_compress::{
+        chunk_count, compress, compress_with_report, decompress, decompress_chunk,
+        decompress_with_threads, Chunking, CompressorConfig,
+    };
     pub use rq_core::usecases::{compress_with_budget, optimize_partitions, PredictorSelector};
     pub use rq_core::{Estimate, RqModel};
     pub use rq_grid::{NdArray, Shape};

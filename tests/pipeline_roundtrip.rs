@@ -80,6 +80,107 @@ fn exafel_4d_roundtrips() {
     check_bound(&field, &back, eb);
 }
 
+// ---------------------------------------------------------------------------
+// Chunk-parallel pipeline (container v2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chunked_roundtrip_matches_serial_at_1_2_n_chunks() {
+    // chunks = 1 must reproduce the serial reconstruction exactly; more
+    // chunks must stay within the bound.
+    let field = rqm::datagen::fields::rtm_snapshot(120);
+    let eb = field.value_range() * 1e-4;
+    let d0 = field.shape().dim(0);
+    for kind in PredictorKind::all() {
+        let serial_cfg = CompressorConfig::new(kind, ErrorBoundMode::Abs(eb));
+        let serial = decompress::<f32>(&compress(&field, &serial_cfg).unwrap().bytes).unwrap();
+        for n_chunks in [1usize, 2, 7] {
+            let rows = d0.div_ceil(n_chunks);
+            let cfg = serial_cfg.chunked(rows).with_threads(4);
+            let out = compress(&field, &cfg).unwrap();
+            assert_eq!(chunk_count(&out.bytes).unwrap(), d0.div_ceil(rows));
+            let back = decompress::<f32>(&out.bytes).unwrap();
+            check_bound(&field, &back, eb);
+            if n_chunks == 1 {
+                assert_eq!(
+                    serial.as_slice(),
+                    back.as_slice(),
+                    "{}: single-chunk reconstruction must equal serial",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chunked_error_bound_holds_across_chunk_boundaries() {
+    // A field with strong axis-0 gradients: boundary rows are the hardest
+    // points for a freshly-reset predictor, so check them explicitly.
+    let field = NdArray::<f32>::from_fn(Shape::d3(31, 10, 10), |ix| {
+        (ix[0] as f32 * 0.9).sin() * 50.0 + ix[1] as f32 + 0.1 * ix[2] as f32
+    });
+    let eb = 1e-3;
+    let rows = 4;
+    let cfg = CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(eb))
+        .chunked(rows)
+        .with_threads(3);
+    let out = compress(&field, &cfg).unwrap();
+    let back = decompress::<f32>(&out.bytes).unwrap();
+    check_bound(&field, &back, eb);
+    // Rows adjacent to every chunk boundary, specifically.
+    let row_elems = 10 * 10;
+    for boundary in (rows..31).step_by(rows) {
+        for lin in (boundary - 1) * row_elems..(boundary + 1) * row_elems {
+            let a = field.as_slice()[lin];
+            let b = back.as_slice()[lin];
+            assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-6),
+                "boundary row pair at axis-0 row {boundary}, element {lin}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_random_access_matches_full_decode() {
+    let field = rqm::datagen::fields::rtm_snapshot(90);
+    let eb = field.value_range() * 1e-3;
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+        .chunked(13)
+        .with_threads(2);
+    let out = compress(&field, &cfg).unwrap();
+    let full = decompress::<f32>(&out.bytes).unwrap();
+    let row_elems: usize = field.shape().dims()[1..].iter().product();
+    for i in 0..chunk_count(&out.bytes).unwrap() {
+        let (start_row, slab) = decompress_chunk::<f32>(&out.bytes, i).unwrap();
+        let lo = start_row * row_elems;
+        assert_eq!(slab.as_slice(), &full.as_slice()[lo..lo + slab.len()]);
+    }
+}
+
+#[test]
+fn v1_container_backward_compat_read() {
+    // A container produced by the original serial (v1) writer, committed
+    // as a fixture: current readers must keep decoding it bit-for-bit.
+    let bytes = include_bytes!("data/golden_v1.rqc");
+    let header = rqm::compress_crate::peek_header(bytes).unwrap();
+    assert_eq!(header.version, 1);
+    assert_eq!(header.shape.dims(), &[8, 6]);
+    assert_eq!(chunk_count(bytes).unwrap(), 1);
+
+    let back = decompress::<f32>(bytes).unwrap();
+    // Same formula the fixture generator used.
+    let field = NdArray::<f32>::from_fn(Shape::d2(8, 6), |ix| {
+        ((ix[0] as f32) * 0.7).sin() * 3.0 + (ix[1] as f32) * 0.25
+    });
+    check_bound(&field, &back, 1e-3);
+    // Random access treats a v1 container as one whole-field chunk.
+    let (start, slab) = decompress_chunk::<f32>(bytes, 0).unwrap();
+    assert_eq!(start, 0);
+    assert_eq!(slab.as_slice(), back.as_slice());
+}
+
 #[test]
 fn model_guided_container_write_hits_quality_target() {
     // The full Fig. 13 loop for one snapshot: model picks eb for a PSNR
