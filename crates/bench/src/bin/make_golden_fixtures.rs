@@ -1,0 +1,61 @@
+//! Regenerate the golden container fixtures under `tests/data/`.
+//!
+//! Fixtures are *committed* archives that backward-compat tests re-read;
+//! run this only when introducing a **new** container generation, never to
+//! "refresh" an existing fixture (that would defeat the test). The field
+//! formulas here must match the expectations in
+//! `tests/pipeline_roundtrip.rs` exactly.
+//!
+//! ```sh
+//! cargo run -p rq-bench --bin make_golden_fixtures -- <out-dir>
+//! ```
+
+use rq_compress::{compress_with_report, ChunkCodecKind, CodecChoice, CompressorConfig};
+use rq_grid::{NdArray, Shape};
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+
+/// The v2.1 fixture field: smooth rows then hash-noise rows, so the auto
+/// scheduler bakes *both* codec tags into the archive.
+///
+/// Deliberately NOT `rq_datagen::fields::mixed_smooth_turbulent`: the
+/// committed fixture's bytes encode *this* formula, so it is frozen here
+/// (and duplicated in the compat test) where shared generators may evolve.
+fn v21_field() -> NdArray<f32> {
+    NdArray::from_fn(Shape::d3(12, 12, 12), |ix| {
+        if ix[0] < 4 {
+            ((ix[0] as f64 * 0.5).sin() * 2.0 + ix[1] as f64 * 0.1 + ix[2] as f64 * 0.01) as f32
+        } else {
+            let mut h = (ix[0] * 4099 + ix[1] * 89 + ix[2]) as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 30.0
+        }
+    })
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/data".into());
+    let field = v21_field();
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+        .chunked(4)
+        .with_codec(CodecChoice::Auto)
+        .with_threads(1);
+    let (out, rep) = compress_with_report(&field, &cfg).expect("compress fixture");
+    assert!(
+        rep.chunk_codecs.contains(&ChunkCodecKind::Sz)
+            && rep.chunk_codecs.contains(&ChunkCodecKind::Zfp),
+        "fixture must contain both codecs, got {:?}",
+        rep.chunk_codecs
+    );
+    let path = format!("{dir}/golden_v21.rqc");
+    std::fs::write(&path, &out.bytes).expect("write fixture");
+    println!(
+        "wrote {path}: {} bytes, chunks {:?}",
+        out.bytes.len(),
+        rep.chunk_codecs
+    );
+}

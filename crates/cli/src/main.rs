@@ -3,7 +3,7 @@
 //! ```text
 //! rqm compress   <in.f32> <out.rqc> --shape 64x64x64 --abs 1e-3
 //!                [--predictor interpolation|lorenzo|lorenzo2|regression]
-//!                [--rel 1e-3] [--huffman-only] [--codec sz|zfp]
+//!                [--rel 1e-3] [--huffman-only] [--codec sz|zfp|auto]
 //!                [--threads N] [--chunk-size ROWS]
 //! rqm decompress <in.rqc> <out.f32> [--threads N]
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
@@ -11,11 +11,18 @@
 //! rqm info       <in.rqc>
 //! ```
 //!
-//! `--threads`/`--chunk-size` switch the SZ codec to the chunk-parallel
-//! pipeline (container format v2): the field is split into axis-0 slabs of
+//! `--threads`/`--chunk-size` switch to the chunk-parallel pipeline
+//! (container format v2): the field is split into axis-0 slabs of
 //! `--chunk-size` rows (default: auto-sized to the thread count), chunks
 //! are compressed concurrently, and `decompress` decodes them concurrently
 //! too. Plain `compress` without either flag keeps the serial v1 format.
+//!
+//! `--codec` selects the per-chunk backend: `sz` (default, the prediction
+//! path), `zfp` (the transform path) or `auto`, which evaluates a sampled
+//! ratio estimate per chunk and picks the cheaper codec. Non-`sz` codecs
+//! write container v2.1, whose chunk index tags every chunk with the
+//! codec that produced it (shown by `rqm info`), and imply auto-chunking
+//! unless `--chunk-size` is given.
 //!
 //! Raw inputs are little-endian `f32` streams in row-major order.
 
@@ -23,7 +30,10 @@ mod args;
 mod io;
 
 use args::Args;
-use rq_compress::{compress_with_report, container::peek_header, decompress, CompressorConfig};
+use rq_compress::{
+    compress_with_report, container::peek_header, decompress, ChunkCodecKind, CodecChoice,
+    CompressorConfig,
+};
 use rq_core::RqModel;
 use rq_grid::NdArray;
 use rq_quant::ErrorBoundMode;
@@ -45,7 +55,7 @@ const USAGE: &str = "\
 usage:
   rqm compress   <in.f32> <out.rqc> --shape NxNxN --abs EB [--rel R]
                  [--predictor interpolation|lorenzo|lorenzo2|regression]
-                 [--huffman-only] [--codec sz|zfp]
+                 [--huffman-only] [--codec sz|zfp|auto]
                  [--threads N] [--chunk-size ROWS]
   rqm decompress <in.rqc> <out.f32> [--threads N]
   rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
@@ -79,53 +89,62 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     let field = io::read_raw_f32(&input, shape)?;
     let bound = bound_from(args)?;
 
-    let codec = args.get("codec").unwrap_or("sz");
-    let (bytes, summary) = match codec {
-        "sz" => {
-            let mut cfg = CompressorConfig::new(args.predictor()?, bound);
-            if args.flag("huffman-only") {
-                cfg = cfg.huffman_only();
-            }
-            let threads = args.unsigned("threads")?;
-            let chunk_rows = args.unsigned("chunk-size")?;
-            if threads.is_some() || chunk_rows.is_some() {
-                cfg = match chunk_rows {
-                    Some(0) => return Err("--chunk-size must be positive".into()),
-                    Some(rows) => cfg.chunked(rows),
-                    None => cfg.auto_chunked(),
-                };
-                cfg = cfg.with_threads(threads.unwrap_or(0));
-            }
-            let (out, rep) = compress_with_report(&field, &cfg)
-                .map_err(|e| format!("compression failed: {e}"))?;
-            let s = format!(
-                "predictor {}, ratio {:.2}, {:.3} bits/value, p0 {:.3}{}",
-                cfg.predictor.name(),
-                out.ratio(),
-                out.bit_rate(),
-                rep.p0(),
-                if rep.n_chunks > 1 {
-                    format!(", {} chunks × {} threads", rep.n_chunks, cfg.resolved_threads())
-                } else {
-                    String::new()
-                }
-            );
-            (out.bytes, s)
-        }
-        "zfp" => {
-            let eb = match bound {
-                ErrorBoundMode::Abs(e) => e,
-                _ => bound.absolute(field.value_range()),
-            };
-            let bytes =
-                rq_zfp::zfp_compress(&field, eb).map_err(|e| format!("zfp failed: {e}"))?;
-            let ratio = (field.len() * 4) as f64 / bytes.len() as f64;
-            (bytes, format!("zfp, ratio {ratio:.2}"))
-        }
-        other => return Err(format!("unknown codec '{other}' (sz|zfp)")),
+    let codec = match args.get("codec").unwrap_or("sz") {
+        "sz" => CodecChoice::Sz,
+        "zfp" => CodecChoice::Zfp,
+        "auto" => CodecChoice::Auto,
+        other => return Err(format!("unknown codec '{other}' (sz|zfp|auto)")),
     };
-    io::write_bytes(&output, &bytes)?;
-    println!("{input} -> {output}: {} -> {} bytes ({summary})", field.len() * 4, bytes.len());
+    let mut cfg = CompressorConfig::new(args.predictor()?, bound).with_codec(codec);
+    if args.flag("huffman-only") {
+        cfg = cfg.huffman_only();
+    }
+    let threads = args.unsigned("threads")?;
+    let chunk_rows = args.unsigned("chunk-size")?;
+    if threads.is_some() || chunk_rows.is_some() {
+        cfg = match chunk_rows {
+            Some(0) => return Err("--chunk-size must be positive".into()),
+            Some(rows) => cfg.chunked(rows),
+            None => cfg.auto_chunked(),
+        };
+        cfg = cfg.with_threads(threads.unwrap_or(0));
+    } else if codec != CodecChoice::Sz {
+        // The adaptive codecs decide per chunk; give them chunks to
+        // decide over even when no explicit chunking was requested. A
+        // fixed chunk-count target (not thread-derived auto sizing) keeps
+        // the output bytes machine-independent.
+        cfg = cfg.chunked(rq_grid::auto_chunk_rows(shape, 16, 1 << 15));
+    }
+    let (out, rep) =
+        compress_with_report(&field, &cfg).map_err(|e| format!("compression failed: {e}"))?;
+    let n_zfp =
+        rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Zfp).count();
+    let codec_note = match codec {
+        CodecChoice::Sz => String::new(),
+        CodecChoice::Zfp => "codec zfp, ".into(),
+        CodecChoice::Auto => {
+            format!("codec auto ({} sz / {n_zfp} zfp), ", rep.n_chunks - n_zfp)
+        }
+    };
+    // Predictor/p0 describe the prediction path; omit them when every
+    // chunk went through the transform codec and they never ran.
+    let predictor_note = if n_zfp < rep.n_chunks {
+        format!("predictor {}, p0 {:.3}, ", cfg.predictor.name(), rep.p0())
+    } else {
+        String::new()
+    };
+    let summary = format!(
+        "{codec_note}{predictor_note}ratio {:.2}, {:.3} bits/value{}",
+        out.ratio(),
+        out.bit_rate(),
+        if rep.n_chunks > 1 {
+            format!(", {} chunks × {} threads", rep.n_chunks, cfg.resolved_threads())
+        } else {
+            String::new()
+        }
+    );
+    io::write_bytes(&output, &out.bytes)?;
+    println!("{input} -> {output}: {} -> {} bytes ({summary})", field.len() * 4, out.bytes.len());
     Ok(())
 }
 
@@ -199,20 +218,26 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("  log xform:  {}", h.log_transform);
     let table =
         rq_compress::chunk_table(&bytes).map_err(|e| format!("bad chunk index: {e}"))?;
+    let scalar_bytes = if h.scalar_tag == 0x04 { 4 } else { 8 };
     if h.version >= 2 {
         println!("  chunks:     {} × {} rows", table.entries.len(), table.chunk_rows);
+        let row_elems: usize = h.shape.dims()[1..].iter().product::<usize>().max(1);
         for e in &table.entries {
+            // Per-chunk ratio from the chunk index: slab raw size over the
+            // blob's compressed size.
+            let chunk_ratio = (e.rows * row_elems * scalar_bytes) as f64 / e.len.max(1) as f64;
             println!(
-                "    rows {:>6}..{:<6} {:>10} bytes at {}",
+                "    rows {:>6}..{:<6} {:>10} bytes at {:<10} {:>5} ratio {:>8.2}",
                 e.start_row,
                 e.start_row + e.rows,
                 e.len,
-                e.offset
+                e.offset,
+                e.codec.name(),
+                chunk_ratio,
             );
         }
     }
-    let ratio = (h.shape.len() * if h.scalar_tag == 0x04 { 4 } else { 8 }) as f64
-        / bytes.len() as f64;
+    let ratio = (h.shape.len() * scalar_bytes) as f64 / bytes.len() as f64;
     println!("  ratio:      {ratio:.2}");
     Ok(())
 }
@@ -350,6 +375,51 @@ mod tests {
         for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
             assert!((a - b).abs() <= 1e-2 * 1.001);
         }
+    }
+
+    #[test]
+    fn auto_codec_cycle() {
+        let raw = tmp("ac.f32");
+        let rqc = tmp("ac.rqc");
+        let back = tmp("ac.out.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+            "--codec",
+            "auto",
+            "--chunk-size",
+            "5",
+        ])
+        .unwrap();
+        let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
+        assert_eq!(peek_header(&bytes).unwrap().version, 3, "auto codec writes v2.1");
+        run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+        run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.001);
+        }
+        assert!(
+            run_args(&[
+                "compress",
+                raw.to_str().unwrap(),
+                rqc.to_str().unwrap(),
+                "--shape",
+                "20x30",
+                "--abs",
+                "1e-3",
+                "--codec",
+                "dct",
+            ])
+            .is_err(),
+            "unknown codec must be rejected"
+        );
     }
 
     #[test]

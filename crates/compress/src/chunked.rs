@@ -23,15 +23,14 @@
 //! Random access: [`decompress_chunk`] decodes a single slab via the v2
 //! chunk index without touching the rest of the container.
 
-use crate::config::{Chunking, CompressorConfig};
+use crate::codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
+use crate::config::{Chunking, CodecChoice, CompressorConfig};
 use crate::container::{
-    container_version, read_chunk_blob, read_container_v2_index, write_chunk_blob,
-    write_container_v2, ChunkEntry, CompressError, DecompressError, Header, VERSION_V1,
-    VERSION_V2,
+    container_version, read_chunk_blob, read_container_v2_index, write_container_v2,
+    write_container_v2_1, ChunkCodecKind, ChunkEntry, CompressError, DecompressError, Header,
+    VERSION_V1, VERSION_V2, VERSION_V2_1,
 };
-use crate::pipeline::{
-    decode_stream, encode_stream, resolve_bound, transform_from_header, EncodedStream, Transform,
-};
+use crate::pipeline::{decode_stream, resolve_bound, transform_from_header, Transform};
 use crate::report::{CompressedOutput, CompressionReport};
 use rq_grid::{auto_chunk_rows, slab_chunks, ChunkSpec, NdArray, Scalar, Shape};
 use rq_quant::LinearQuantizer;
@@ -120,23 +119,22 @@ pub fn compress_chunked_with_report<T: Scalar>(
     let (abs_eb, transform) = resolve_bound(cfg, field.value_range())?;
     let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
 
+    if cfg.codec != CodecChoice::Sz {
+        return compress_adaptive_with_report(field, cfg, abs_eb, transform, quantizer);
+    }
+
     let chunk_rows = resolve_chunk_rows(cfg, shape);
     let chunks = slab_chunks(shape, chunk_rows);
     let data = field.as_slice();
+    let sz = SzChunkCodec::new(cfg.predictor, quantizer, cfg.lossless).with_transform(transform);
 
-    let encoded: Vec<(ChunkSpec, EncodedStream<T>)> = run_on_workers(
+    let encoded: Vec<(usize, Vec<u8>, ChunkStats)> = run_on_workers(
         chunks,
         cfg.resolved_threads(),
-        |c: ChunkSpec| -> Result<(ChunkSpec, EncodedStream<T>), CompressError> {
-            let stream = encode_stream(
-                &data[c.offset..c.offset + c.len],
-                c.shape,
-                cfg.predictor,
-                quantizer,
-                transform,
-                cfg.lossless,
-            )?;
-            Ok((c, stream))
+        |c: ChunkSpec| -> Result<(usize, Vec<u8>, ChunkStats), CompressError> {
+            let (blob, stats) =
+                ChunkCodec::<T>::encode(&sz, &data[c.offset..c.offset + c.len], c.shape)?;
+            Ok((c.rows, blob, stats))
         },
     )?;
 
@@ -151,7 +149,26 @@ pub fn compress_chunked_with_report<T: Scalar>(
         radius: cfg.radius,
     };
 
-    // Aggregate the report while serializing the blobs.
+    let mut blobs = Vec::with_capacity(encoded.len());
+    let mut per_chunk = Vec::with_capacity(encoded.len());
+    for (rows, blob, stats) in encoded {
+        blobs.push((rows, blob));
+        per_chunk.push((ChunkCodecKind::Sz, stats));
+    }
+    let bytes = write_container_v2::<T>(&header, chunk_rows, &blobs);
+    let report = aggregate_report(&quantizer, per_chunk, n, T::BITS, bytes.len());
+    Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
+}
+
+/// Fold per-chunk encoding statistics into one [`CompressionReport`]
+/// (shared by the fixed-SZ and adaptive pipelines).
+fn aggregate_report(
+    quantizer: &LinearQuantizer,
+    per_chunk: Vec<(ChunkCodecKind, ChunkStats)>,
+    n_elements: usize,
+    original_bits: u32,
+    container_bytes: usize,
+) -> CompressionReport {
     let mut histogram = vec![0u64; quantizer.alphabet_size() + 1];
     let mut n_symbols = 0usize;
     let mut n_escapes = 0usize;
@@ -160,36 +177,24 @@ pub fn compress_chunked_with_report<T: Scalar>(
     let mut encoded_bytes = 0usize;
     let mut codebook_bytes = 0usize;
     let mut side_bytes = 0usize;
-    let n_chunks = encoded.len();
-
-    let blobs: Vec<(usize, Vec<u8>)> = encoded
-        .into_iter()
-        .map(|(c, s)| {
-            for (acc, add) in histogram.iter_mut().zip(&s.histogram) {
-                *acc += add;
-            }
-            n_symbols += s.n_symbols;
-            n_escapes += s.n_escapes;
-            n_anchors += s.n_anchors;
-            huffman_bytes += s.huffman_bytes;
-            encoded_bytes += s.payload.len();
-            codebook_bytes += s.codebook.len();
-            side_bytes += s.side.len();
-            let blob = write_chunk_blob::<T>(
-                s.lossless_applied,
-                &s.codebook,
-                &s.payload,
-                &s.verbatim,
-                &s.side,
-            );
-            (c.rows, blob)
-        })
-        .collect();
-
-    let bytes = write_container_v2::<T>(&header, chunk_rows, &blobs);
-    let container_bytes = bytes.len();
-
-    let report = CompressionReport {
+    let mut chunk_codecs = Vec::with_capacity(per_chunk.len());
+    let n_chunks = per_chunk.len();
+    for (codec, stats) in per_chunk {
+        for (acc, add) in histogram.iter_mut().zip(&stats.histogram) {
+            *acc += add;
+        }
+        n_symbols += stats.n_symbols;
+        n_escapes += stats.n_escapes;
+        n_anchors += stats.n_anchors;
+        huffman_bytes += stats.huffman_bytes;
+        encoded_bytes += stats.encoded_bytes;
+        codebook_bytes += stats.codebook_bytes;
+        side_bytes += stats.side_bytes;
+        chunk_codecs.push(codec);
+    }
+    CompressionReport {
+        // ZFP chunks have no symbol stream: the histogram and element
+        // accounting cover the SZ-coded chunks only.
         n_quantized: n_symbols - n_escapes,
         symbol_histogram: {
             histogram.truncate(quantizer.alphabet_size()); // drop the escape bin
@@ -202,14 +207,103 @@ pub fn compress_chunked_with_report<T: Scalar>(
         codebook_bytes,
         side_bytes,
         container_bytes,
-        n_elements: n,
-        original_bits: T::BITS,
+        n_elements,
+        original_bits,
         n_chunks,
+        chunk_codecs,
+    }
+}
+
+/// The adaptive pipeline ([`CodecChoice::Zfp`] / [`CodecChoice::Auto`]):
+/// per chunk, pick a codec (fixed or ratio-driven via
+/// [`crate::scheduler`]), encode through the [`ChunkCodec`] trait, and
+/// write a v2.1 container whose index tags every chunk with its codec.
+fn compress_adaptive_with_report<T: Scalar>(
+    field: &NdArray<T>,
+    cfg: &CompressorConfig,
+    abs_eb: f64,
+    transform: Transform,
+    quantizer: LinearQuantizer,
+) -> Result<(CompressedOutput, CompressionReport), CompressError> {
+    if cfg.codec == CodecChoice::Zfp && transform != Transform::Identity {
+        return Err(CompressError::Unsupported(
+            "point-wise relative bounds need the sz codec (zfp has no log-domain escape path); \
+             use codec sz or auto"
+                .into(),
+        ));
+    }
+    let shape = field.shape();
+    let n = shape.len();
+    let sz =
+        SzChunkCodec::new(cfg.predictor, quantizer, cfg.lossless).with_transform(transform);
+    let zfp = ZfpChunkCodec::new(abs_eb);
+
+    let chunk_rows = resolve_chunk_rows(cfg, shape);
+    let chunks = slab_chunks(shape, chunk_rows);
+    let data = field.as_slice();
+
+    // Decide and encode inside the workers; both steps are deterministic
+    // per chunk, so container bytes stay independent of the thread count.
+    type Encoded = (usize, ChunkCodecKind, Vec<u8>, ChunkStats);
+    let encoded: Vec<Encoded> = run_on_workers(
+        chunks,
+        cfg.resolved_threads(),
+        |c: ChunkSpec| -> Result<Encoded, CompressError> {
+            let slab = &data[c.offset..c.offset + c.len];
+            // `ready` carries the scheduler's probe stream when it already
+            // compressed the whole (small) slab — no second zfp pass then.
+            let (kind, ready) = match cfg.codec {
+                CodecChoice::Sz => unreachable!("handled by the fixed-sz pipeline"),
+                CodecChoice::Zfp => (ChunkCodecKind::Zfp, None),
+                CodecChoice::Auto => {
+                    if transform != Transform::Identity {
+                        // Log-domain configs: zfp is not a candidate.
+                        (ChunkCodecKind::Sz, None)
+                    } else {
+                        let (decision, blob) = crate::scheduler::choose_codec_with_blob(
+                            slab,
+                            c.shape,
+                            cfg.predictor,
+                            abs_eb,
+                            cfg.radius,
+                        );
+                        (decision.codec, blob)
+                    }
+                }
+            };
+            let (blob, stats) = match (kind, ready) {
+                (ChunkCodecKind::Zfp, Some(blob)) => (blob, ChunkStats::default()),
+                (ChunkCodecKind::Sz, _) => ChunkCodec::<T>::encode(&sz, slab, c.shape)?,
+                (ChunkCodecKind::Zfp, None) => ChunkCodec::<T>::encode(&zfp, slab, c.shape)?,
+            };
+            Ok((c.rows, kind, blob, stats))
+        },
+    )?;
+
+    let header = Header {
+        version: VERSION_V2_1,
+        scalar_tag: T::TAG,
+        predictor: cfg.predictor,
+        lossless: cfg.lossless,
+        log_transform: transform != Transform::Identity,
+        shape,
+        abs_eb,
+        radius: cfg.radius,
     };
+
+    let mut blobs = Vec::with_capacity(encoded.len());
+    let mut per_chunk = Vec::with_capacity(encoded.len());
+    for (rows, kind, blob, stats) in encoded {
+        blobs.push((rows, kind, blob));
+        per_chunk.push((kind, stats));
+    }
+    let bytes = write_container_v2_1::<T>(&header, chunk_rows, &blobs);
+    let report = aggregate_report(&quantizer, per_chunk, n, T::BITS, bytes.len());
     Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
 }
 
-/// Decode one chunk blob into its output slab.
+/// Decode one chunk blob into its output slab, dispatching on the chunk's
+/// codec tag.
 fn decode_entry<T: Scalar>(
     bytes: &[u8],
     header: &Header,
@@ -218,16 +312,23 @@ fn decode_entry<T: Scalar>(
     out: &mut [T],
 ) -> Result<(), DecompressError> {
     let blob = &bytes[entry.offset..entry.offset + entry.len];
-    let (lossless, body) = read_chunk_blob::<T>(blob)?;
-    decode_stream(
-        &body,
-        lossless,
-        chunk_shape,
-        header.predictor,
-        LinearQuantizer::new(header.abs_eb, header.radius),
-        transform_from_header(header),
-        out,
-    )
+    match entry.codec {
+        ChunkCodecKind::Sz => {
+            let (lossless, body) = read_chunk_blob::<T>(blob)?;
+            decode_stream(
+                &body,
+                lossless,
+                chunk_shape,
+                header.predictor,
+                LinearQuantizer::new(header.abs_eb, header.radius),
+                transform_from_header(header),
+                out,
+            )
+        }
+        ChunkCodecKind::Zfp => {
+            ChunkCodec::<T>::decode(&ZfpChunkCodec::new(header.abs_eb), blob, chunk_shape, out)
+        }
+    }
 }
 
 /// Shape of the slab covered by `entry` within a field of shape `shape`.
@@ -539,6 +640,145 @@ mod tests {
             decompress_with_threads::<f64>(&out.bytes, 2),
             Err(DecompressError::ScalarMismatch { .. })
         ));
+    }
+
+    /// Axis-0 rows `0..mid` are a smooth low-amplitude wave (SZ's home
+    /// turf); rows `mid..` are high-amplitude hash noise whose prediction
+    /// errors blow past the quantizer's code range at tight bounds, the
+    /// regime where the bit-plane coder wins.
+    fn mixed_field(d0: usize, mid: usize) -> NdArray<f32> {
+        rq_datagen::fields::mixed_smooth_turbulent(Shape::d3(d0, 12, 12), mid, 40.0)
+    }
+
+    #[test]
+    fn auto_codec_splits_mixed_field() {
+        // The acceptance scenario: on a mixed smooth/turbulent field the
+        // scheduler must give at least two chunks different codecs, and
+        // the round-trip must stay inside the bound everywhere.
+        let field = mixed_field(32, 16);
+        let eb = 1e-4;
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+            .chunked(8)
+            .with_codec(CodecChoice::Auto)
+            .with_threads(2);
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert_eq!(rep.n_chunks, 4);
+        let sz = rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Sz).count();
+        let zfp = rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Zfp).count();
+        assert!(
+            sz >= 1 && zfp >= 1,
+            "expected a codec split, got {:?}",
+            rep.chunk_codecs
+        );
+        // Smooth slabs to sz, turbulent slabs to zfp, specifically.
+        assert_eq!(rep.chunk_codecs[0], ChunkCodecKind::Sz);
+        assert_eq!(rep.chunk_codecs[3], ChunkCodecKind::Zfp);
+        // The v2.1 chunk table agrees with the report.
+        let table = crate::container::chunk_table(&out.bytes).unwrap();
+        let tags: Vec<ChunkCodecKind> = table.entries.iter().map(|e| e.codec).collect();
+        assert_eq!(tags, rep.chunk_codecs);
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_bounded(&field, &back, eb);
+    }
+
+    #[test]
+    fn auto_codec_beats_or_matches_both_fixed_choices() {
+        // The point of the scheduler: on the mixed field, adaptive output
+        // should be no larger than either fixed codec (within the index
+        // overhead of a few bytes per chunk).
+        let field = mixed_field(32, 16);
+        let eb = 1e-4;
+        let base = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+            .chunked(8);
+        let auto =
+            compress(&field, &base.with_codec(CodecChoice::Auto)).unwrap().bytes.len();
+        let sz = compress(&field, &base).unwrap().bytes.len();
+        let zfp = compress(&field, &base.with_codec(CodecChoice::Zfp)).unwrap().bytes.len();
+        let slack = 8 * 4; // tag + rounding per chunk
+        assert!(auto <= sz + slack, "auto {auto} vs sz {sz}");
+        assert!(auto <= zfp + slack, "auto {auto} vs zfp {zfp}");
+    }
+
+    #[test]
+    fn fixed_zfp_codec_roundtrips_v2_1() {
+        let field = wavy(Shape::d3(20, 10, 8));
+        let eb = 1e-3;
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+            .chunked(6)
+            .with_codec(CodecChoice::Zfp)
+            .with_threads(3);
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert!(rep.chunk_codecs.iter().all(|&c| c == ChunkCodecKind::Zfp));
+        assert_eq!(crate::container::peek_header(&out.bytes).unwrap().version, 3);
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_bounded(&field, &back, eb);
+        // Random access decodes zfp chunks too.
+        let full = decompress::<f32>(&out.bytes).unwrap();
+        let (start_row, slab) = decompress_chunk::<f32>(&out.bytes, 1).unwrap();
+        assert_eq!(start_row, 6);
+        let lo = 6 * 10 * 8;
+        assert_eq!(slab.as_slice(), &full.as_slice()[lo..lo + slab.len()]);
+    }
+
+    #[test]
+    fn serial_chunking_with_non_sz_codec_is_one_tagged_chunk() {
+        let field = wavy(Shape::d2(30, 30));
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+            .with_codec(CodecChoice::Auto);
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert_eq!(rep.n_chunks, 1);
+        assert_eq!(chunk_count(&out.bytes).unwrap(), 1);
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        assert_bounded(&field, &back, 1e-3);
+    }
+
+    #[test]
+    fn auto_codec_bytes_independent_of_threads() {
+        let field = mixed_field(24, 12);
+        let base = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+            .chunked(6)
+            .with_codec(CodecChoice::Auto);
+        let reference = compress(&field, &base.with_threads(1)).unwrap().bytes;
+        for threads in [2, 4, 8] {
+            let bytes = compress(&field, &base.with_threads(threads)).unwrap().bytes;
+            assert_eq!(reference, bytes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zfp_codec_rejects_pointwise_relative_bound() {
+        let field = NdArray::<f32>::from_fn(Shape::d2(16, 16), |ix| 1.0 + ix[0] as f32);
+        let cfg = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::PointwiseRelative(1e-3),
+        )
+        .chunked(4)
+        .with_codec(CodecChoice::Zfp);
+        assert!(matches!(
+            compress(&field, &cfg),
+            Err(CompressError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn auto_codec_falls_back_to_sz_for_pointwise_relative() {
+        let field = NdArray::<f32>::from_fn(Shape::d2(24, 16), |ix| {
+            (1.0 + (ix[0] as f64 * 0.2).sin().abs() * 100.0 + ix[1] as f64) as f32
+        });
+        let ratio = 1e-3;
+        let cfg = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::PointwiseRelative(ratio),
+        )
+        .chunked(6)
+        .with_codec(CodecChoice::Auto);
+        let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+        assert!(rep.chunk_codecs.iter().all(|&c| c == ChunkCodecKind::Sz));
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            let rel = ((a - b).abs() as f64) / (a.abs() as f64);
+            assert!(rel <= ratio * (1.0 + 1e-5), "rel err {rel}");
+        }
     }
 
     #[test]

@@ -35,6 +35,31 @@ pub enum Chunking {
     Auto,
 }
 
+/// Which codec(s) the pipeline may use per chunk.
+///
+/// The SZ prediction path and the ZFP transform path both honor the same
+/// resolved absolute error bound, so they can be mixed freely within one
+/// container. `Auto` evaluates a sampled ratio estimate per chunk (the
+/// paper's ratio-quality model acting as the compressor's control loop)
+/// and picks the cheaper codec; the winner is recorded in the chunk's
+/// v2.1 codec tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecChoice {
+    /// Always the SZ prediction path (containers v1/v2, as before).
+    Sz,
+    /// Always the ZFP transform path (container v2.1).
+    ///
+    /// Incompatible with point-wise relative bounds: the transform path
+    /// has no escape mechanism for the log-domain trick, so such configs
+    /// fail with an error.
+    Zfp,
+    /// Per-chunk ratio-driven selection between the two (container v2.1).
+    ///
+    /// Under a point-wise relative bound every chunk falls back to SZ
+    /// (the only codec that supports the log transform).
+    Auto,
+}
+
 /// Full configuration of one compression run.
 #[derive(Clone, Copy, Debug)]
 pub struct CompressorConfig {
@@ -51,6 +76,8 @@ pub struct CompressorConfig {
     /// Worker threads for chunked compression; `0` means one per
     /// available CPU.
     pub threads: usize,
+    /// Per-chunk codec policy.
+    pub codec: CodecChoice,
 }
 
 impl CompressorConfig {
@@ -63,6 +90,7 @@ impl CompressorConfig {
             lossless: LosslessStage::RleLzss,
             chunking: Chunking::Serial,
             threads: 0,
+            codec: CodecChoice::Sz,
         }
     }
 
@@ -98,6 +126,15 @@ impl CompressorConfig {
     /// (container v2).
     pub fn auto_chunked(mut self) -> Self {
         self.chunking = Chunking::Auto;
+        self
+    }
+
+    /// Select the per-chunk codec policy (default [`CodecChoice::Sz`]).
+    ///
+    /// Non-SZ policies produce a v2.1 container; with [`Chunking::Serial`]
+    /// the whole field is one tagged chunk.
+    pub fn with_codec(mut self, codec: CodecChoice) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -147,6 +184,15 @@ mod tests {
         assert_eq!(cfg.chunking, Chunking::Serial);
         assert_eq!(cfg.threads, 0);
         assert!(cfg.resolved_threads() >= 1);
+        assert_eq!(cfg.codec, CodecChoice::Sz);
+    }
+
+    #[test]
+    fn codec_builder() {
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+            .with_codec(CodecChoice::Auto);
+        assert_eq!(cfg.codec, CodecChoice::Auto);
+        assert_eq!(cfg.chunking, Chunking::Serial, "codec choice leaves chunking alone");
     }
 
     #[test]

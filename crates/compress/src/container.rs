@@ -1,11 +1,11 @@
 //! On-disk container formats for compressed fields.
 //!
-//! Two versions share one header prefix (all integers little-endian or
+//! Three versions share one header prefix (all integers little-endian or
 //! LEB128 varints):
 //!
 //! ```text
 //! magic    "RQMC" (4 bytes)
-//! version  u8   (1 = single-stream, 2 = chunked)
+//! version  u8   (1 = single-stream, 2 = chunked, 3 = chunked + codec tags)
 //! scalar   u8   (Scalar::TAG)
 //! pred     u8   (PredictorKind::tag)
 //! flags    u8   bit0 = lossless stage applied*, bit1 = log transform
@@ -38,9 +38,23 @@
 //! chunk can be decoded without touching the others (random access) and
 //! all chunks can be decoded concurrently.
 //!
-//! (*) In v2 the header's lossless flag records the *configuration*; the
-//! authoritative per-chunk decision is each blob's flag byte, since the
-//! stage is only kept where it actually shrank that chunk's payload.
+//! **Version 2.1** (version byte 3, adaptive-codec pipeline) is v2 with a
+//! one-byte codec tag appended to every index entry:
+//!
+//! ```text
+//! index       (rows varint, byte_len varint, codec u8) × n_chunks
+//! ```
+//!
+//! The tag records which codec produced the chunk's blob
+//! ([`ChunkCodecKind`]): `0` = the SZ prediction path (blob is the v2
+//! chunk-blob layout above) and `1` = the ZFP transform path (blob is a
+//! complete self-describing `RQZF` stream for the slab's shape). Untagged
+//! v2 containers and v1 containers remain readable — their chunks are all
+//! implicitly SZ.
+//!
+//! (*) In v2/v2.1 the header's lossless flag records the *configuration*;
+//! the authoritative per-chunk decision is each SZ blob's flag byte, since
+//! the stage is only kept where it actually shrank that chunk's payload.
 
 use crate::config::LosslessStage;
 use rq_encoding::varint::{get_uvarint, put_uvarint};
@@ -52,6 +66,8 @@ pub(crate) const MAGIC: &[u8; 4] = b"RQMC";
 pub(crate) const VERSION_V1: u8 = 1;
 /// Chunk-indexed container (parallel pipeline).
 pub(crate) const VERSION_V2: u8 = 2;
+/// Chunk-indexed container with per-chunk codec tags ("v2.1").
+pub(crate) const VERSION_V2_1: u8 = 3;
 pub(crate) const FLAG_LOSSLESS: u8 = 0b01;
 pub(crate) const FLAG_LOG: u8 = 0b10;
 
@@ -61,6 +77,9 @@ pub enum CompressError {
     /// The resolved error bound was invalid (e.g. relative bound on a
     /// constant field).
     InvalidBound(String),
+    /// The configuration combines features that cannot work together
+    /// (e.g. the zfp codec with a point-wise relative bound).
+    Unsupported(String),
     /// Entropy-coding failure (internal invariant violation).
     Encoding(rq_encoding::HuffmanError),
 }
@@ -69,6 +88,7 @@ impl std::fmt::Display for CompressError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompressError::InvalidBound(m) => write!(f, "invalid error bound: {m}"),
+            CompressError::Unsupported(m) => write!(f, "unsupported configuration: {m}"),
             CompressError::Encoding(e) => write!(f, "encoding failed: {e}"),
         }
     }
@@ -125,7 +145,8 @@ impl From<rq_encoding::HuffmanError> for DecompressError {
 /// Parsed container header (common to both versions).
 #[derive(Debug, Clone)]
 pub struct Header {
-    /// Container format version (1 = serial, 2 = chunked).
+    /// Container format version (1 = serial, 2 = chunked, 3 = chunked
+    /// with per-chunk codec tags, aka "v2.1").
     pub version: u8,
     /// Scalar tag of the stored field.
     pub scalar_tag: u8,
@@ -150,8 +171,47 @@ pub(crate) fn container_version(bytes: &[u8]) -> Result<u8, DecompressError> {
         return Err(DecompressError::NotAContainer);
     }
     match bytes[4] {
-        v @ (VERSION_V1 | VERSION_V2) => Ok(v),
+        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1) => Ok(v),
         _ => Err(DecompressError::NotAContainer),
+    }
+}
+
+/// Which codec produced one chunk's blob (the per-chunk tag of container
+/// v2.1; every chunk of a v1/v2 container is implicitly [`Self::Sz`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChunkCodecKind {
+    /// The SZ prediction path: predictor + linear-scaling quantizer +
+    /// Huffman (+ optional lossless stage).
+    Sz,
+    /// The ZFP transform path: block transform + embedded bitplane coder
+    /// (the blob is a self-describing `RQZF` stream).
+    Zfp,
+}
+
+impl ChunkCodecKind {
+    /// Stable one-byte tag stored in v2.1 chunk-index entries.
+    pub fn tag(self) -> u8 {
+        match self {
+            ChunkCodecKind::Sz => 0,
+            ChunkCodecKind::Zfp => 1,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => ChunkCodecKind::Sz,
+            1 => ChunkCodecKind::Zfp,
+            _ => return None,
+        })
+    }
+
+    /// Short name used by `rqm info` and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkCodecKind::Sz => "sz",
+            ChunkCodecKind::Zfp => "zfp",
+        }
     }
 }
 
@@ -191,11 +251,18 @@ fn read_header_prefix(bytes: &[u8]) -> Result<(Header, usize), DecompressError> 
     }
     let mut pos = 9;
     let mut dims = [0usize; MAX_DIMS];
+    let mut n_elements = 1usize;
     for d in dims.iter_mut().take(ndim) {
         *d = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("dims"))? as usize;
         if *d == 0 || *d > (1 << 32) {
             return Err(DecompressError::Corrupt("bad dim extent"));
         }
+        // Corrupt varints can encode extents whose *product* overflows
+        // usize even though each extent passes the per-dim bound; that
+        // would panic inside Shape::len instead of returning an error.
+        n_elements = n_elements
+            .checked_mul(*d)
+            .ok_or(DecompressError::Corrupt("element count overflow"))?;
     }
     let shape = Shape::new(&dims[..ndim]);
     if pos + 8 > bytes.len() {
@@ -345,7 +412,8 @@ pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, Dec
 /// payload.
 pub(crate) const CHUNK_FLAG_LOSSLESS: u8 = 0b01;
 
-/// One entry of a v2 chunk index, with its blob located in the container.
+/// One entry of a v2/v2.1 chunk index, with its blob located in the
+/// container.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChunkEntry {
     /// First axis-0 row of the slab.
@@ -356,6 +424,9 @@ pub struct ChunkEntry {
     pub offset: usize,
     /// Byte length of the chunk blob.
     pub len: usize,
+    /// Codec that produced the blob (always [`ChunkCodecKind::Sz`] for
+    /// v1/v2 containers).
+    pub codec: ChunkCodecKind,
 }
 
 /// Serialize one chunk's streams as a self-contained blob.
@@ -415,8 +486,31 @@ pub(crate) fn write_container_v2<T: Scalar>(
     out
 }
 
-/// Parsed header + chunk index of a v2 container (blobs stay in place —
-/// random access slices them out by entry offsets).
+/// Serialize a v2.1 container: like v2 but every index entry carries the
+/// codec tag of its blob. `header.version` must be [`VERSION_V2_1`].
+pub(crate) fn write_container_v2_1<T: Scalar>(
+    header: &Header,
+    chunk_rows: usize,
+    chunks: &[(usize, ChunkCodecKind, Vec<u8>)], // (rows, codec, blob) in slab order
+) -> Vec<u8> {
+    let body: usize = chunks.iter().map(|(_, _, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(body + 16 * chunks.len() + 64);
+    write_header_prefix(&mut out, header, T::TAG);
+    put_uvarint(&mut out, chunk_rows as u64);
+    put_uvarint(&mut out, chunks.len() as u64);
+    for &(rows, codec, ref blob) in chunks {
+        put_uvarint(&mut out, rows as u64);
+        put_uvarint(&mut out, blob.len() as u64);
+        out.push(codec.tag());
+    }
+    for (_, _, blob) in chunks {
+        out.extend_from_slice(blob);
+    }
+    out
+}
+
+/// Parsed header + chunk index of a v2/v2.1 container (blobs stay in
+/// place — random access slices them out by entry offsets).
 pub(crate) struct V2Index {
     pub header: Header,
     /// Nominal axis-0 rows per chunk (last chunk may hold fewer).
@@ -424,7 +518,7 @@ pub(crate) struct V2Index {
     pub entries: Vec<ChunkEntry>,
 }
 
-/// Parse the header and chunk index of a v2 container.
+/// Parse the header and chunk index of a v2/v2.1 container.
 pub(crate) fn read_container_v2_index<T: Scalar>(
     bytes: &[u8],
 ) -> Result<V2Index, DecompressError> {
@@ -438,13 +532,14 @@ pub(crate) fn read_container_v2_index<T: Scalar>(
     Ok(idx)
 }
 
-/// Parse the header and chunk index of a v2 container without checking
-/// the scalar type (inspection use).
+/// Parse the header and chunk index of a v2/v2.1 container without
+/// checking the scalar type (inspection use).
 fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
     let (header, mut pos) = read_header_prefix(bytes)?;
-    if header.version != VERSION_V2 {
-        return Err(DecompressError::Corrupt("not a v2 container"));
+    if header.version != VERSION_V2 && header.version != VERSION_V2_1 {
+        return Err(DecompressError::Corrupt("not a chunked container"));
     }
+    let tagged = header.version == VERSION_V2_1;
     let chunk_rows =
         get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))? as usize;
     if chunk_rows == 0 {
@@ -461,20 +556,31 @@ fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
             get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
         let len =
             get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
-        raw.push((rows, len));
+        let codec = if tagged {
+            let tag = *bytes.get(pos).ok_or(DecompressError::Corrupt("chunk codec tag"))?;
+            pos += 1;
+            ChunkCodecKind::from_tag(tag)
+                .ok_or(DecompressError::Corrupt("unknown chunk codec tag"))?
+        } else {
+            ChunkCodecKind::Sz
+        };
+        raw.push((rows, len, codec));
     }
     let mut entries = Vec::with_capacity(n_chunks);
     let mut start_row = 0usize;
     let mut offset = pos;
-    for (rows, len) in raw {
-        if rows == 0 {
-            return Err(DecompressError::Corrupt("zero-row chunk"));
+    for (rows, len, codec) in raw {
+        // Corrupt varints can hold anything: every entry must fit inside
+        // what remains of axis 0 (checked subtraction — an unchecked
+        // running sum would overflow before the tiling check below).
+        if rows == 0 || rows > header.shape.dim(0) - start_row {
+            return Err(DecompressError::Corrupt("chunk rows do not tile axis 0"));
         }
         let end = offset.checked_add(len).ok_or(DecompressError::Corrupt("chunk index"))?;
         if end > bytes.len() {
             return Err(DecompressError::Corrupt("chunk overruns buffer"));
         }
-        entries.push(ChunkEntry { start_row, rows, offset, len });
+        entries.push(ChunkEntry { start_row, rows, offset, len, codec });
         start_row += rows;
         offset = end;
     }
@@ -528,6 +634,7 @@ pub fn chunk_table(bytes: &[u8]) -> Result<ChunkTable, DecompressError> {
                 rows: header.shape.dim(0),
                 offset: pos,
                 len: bytes.len() - pos,
+                codec: ChunkCodecKind::Sz,
             }],
         });
     }
@@ -659,12 +766,83 @@ mod tests {
     }
 
     #[test]
+    fn v2_1_roundtrip_with_codec_tags() {
+        let mut h = sample_header(VERSION_V2_1);
+        h.shape = Shape::d2(10, 4);
+        let sz_blob =
+            write_chunk_blob::<f32>(LosslessStage::None, &[1], &[2, 2], &[0.5f32], &[]);
+        let zfp_blob = vec![9u8, 9, 9]; // opaque to the index layer
+        let bytes = write_container_v2_1::<f32>(
+            &h,
+            6,
+            &[
+                (6, ChunkCodecKind::Sz, sz_blob.clone()),
+                (4, ChunkCodecKind::Zfp, zfp_blob.clone()),
+            ],
+        );
+        assert_eq!(container_version(&bytes).unwrap(), VERSION_V2_1);
+        assert_eq!(chunk_count(&bytes).unwrap(), 2);
+        let idx = read_container_v2_index::<f32>(&bytes).unwrap();
+        assert_eq!(idx.entries[0].codec, ChunkCodecKind::Sz);
+        assert_eq!(idx.entries[1].codec, ChunkCodecKind::Zfp);
+        let e = idx.entries[1];
+        assert_eq!(&bytes[e.offset..e.offset + e.len], &zfp_blob[..]);
+        // The untyped inspection path reports the tags too.
+        let table = chunk_table(&bytes).unwrap();
+        assert_eq!(table.entries[0].codec, ChunkCodecKind::Sz);
+        assert_eq!(table.entries[1].codec, ChunkCodecKind::Zfp);
+    }
+
+    #[test]
+    fn v2_1_unknown_codec_tag_rejected() {
+        let mut h = sample_header(VERSION_V2_1);
+        h.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let mut bytes = write_container_v2_1::<f32>(&h, 4, &[(4, ChunkCodecKind::Sz, blob)]);
+        // The codec tag is the last index byte before the blob; find it by
+        // re-parsing and poisoning the byte just before the blob offset.
+        let idx = read_container_v2_index::<f32>(&bytes).unwrap();
+        bytes[idx.entries[0].offset - 1] = 0x7F;
+        assert!(matches!(
+            read_container_v2_index::<f32>(&bytes),
+            Err(DecompressError::Corrupt("unknown chunk codec tag"))
+        ));
+    }
+
+    #[test]
+    fn codec_kind_tag_roundtrip() {
+        for k in [ChunkCodecKind::Sz, ChunkCodecKind::Zfp] {
+            assert_eq!(ChunkCodecKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(ChunkCodecKind::from_tag(2), None);
+    }
+
+    #[test]
     fn v2_bad_tiling_rejected() {
         let mut h = sample_header(VERSION_V2);
         h.shape = Shape::d2(10, 4);
         let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
         // Rows sum to 8 ≠ 10.
         let bytes = write_container_v2::<f32>(&h, 6, &[(6, blob.clone()), (2, blob)]);
+        assert!(matches!(
+            read_container_v2_index::<f32>(&bytes),
+            Err(DecompressError::Corrupt("chunk rows do not tile axis 0"))
+        ));
+    }
+
+    #[test]
+    fn v2_overflowing_row_counts_rejected() {
+        // Two rows varints of 2^63 and 2^63+8: an unchecked running sum
+        // would overflow in debug and wrap to exactly dim(0) in release,
+        // smuggling a 2^63-row slab past the tiling check.
+        let mut h = sample_header(VERSION_V2);
+        h.shape = Shape::d2(8, 4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let bytes = write_container_v2::<f32>(
+            &h,
+            8,
+            &[(1usize << 63, blob.clone()), ((1usize << 63) + 8, blob)],
+        );
         assert!(matches!(
             read_container_v2_index::<f32>(&bytes),
             Err(DecompressError::Corrupt("chunk rows do not tile axis 0"))

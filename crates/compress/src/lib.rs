@@ -24,18 +24,22 @@
 //! ```
 
 pub mod chunked;
+pub mod codec;
 pub mod config;
 pub mod container;
 pub mod pipeline;
 pub mod report;
+pub mod scheduler;
 
 pub use chunked::{
     compress_chunked, compress_chunked_with_report, decompress_chunk, decompress_with_threads,
 };
-pub use config::{Chunking, CompressorConfig, LosslessStage};
+pub use codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
+pub use config::{Chunking, CodecChoice, CompressorConfig, LosslessStage};
 pub use container::{
-    chunk_count, chunk_table, peek_header, ChunkEntry, ChunkTable, CompressError, DecompressError,
-    Header,
+    chunk_count, chunk_table, peek_header, ChunkCodecKind, ChunkEntry, ChunkTable, CompressError,
+    DecompressError, Header,
 };
 pub use pipeline::{compress, compress_with_report, decompress};
 pub use report::{CompressedOutput, CompressionReport};
+pub use scheduler::{choose_codec, CodecDecision};

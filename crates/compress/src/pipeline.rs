@@ -20,13 +20,13 @@
 //! bound of `ln(1 + ratio)`; non-positive values take the verbatim escape
 //! path since the transform is undefined there.
 
-use crate::config::{Chunking, CompressorConfig, LosslessStage};
+use crate::config::{Chunking, CodecChoice, CompressorConfig, LosslessStage};
 use crate::container::{
     container_version, read_container, write_container, CompressError, DecompressError, Header,
     SectionsBody, VERSION_V1,
 };
 use crate::report::{CompressedOutput, CompressionReport};
-use rq_encoding::{lossless_compress, lossless_decompress, HuffmanCodec};
+use rq_encoding::{lossless_compress, lossless_decompress_bounded, HuffmanCodec};
 use rq_grid::{BlockIter, NdArray, Scalar, Shape, MAX_DIMS};
 use rq_predict::interp::{anchors, for_each_stencil};
 use rq_predict::lorenzo::LorenzoStencil;
@@ -423,12 +423,24 @@ pub(crate) fn decode_stream<T: Scalar>(
         Vec::new()
     } else {
         let payload: std::borrow::Cow<'_, [u8]> = if lossless == LosslessStage::RleLzss {
-            lossless_decompress(&body.payload)
+            // A Huffman code is at most 64 bits, so the decoded payload
+            // can never legitimately exceed 8 bytes/symbol — bounding the
+            // lossless stage here keeps corrupt run lengths from forcing
+            // huge allocations.
+            let max_payload = n_symbols.saturating_mul(8).saturating_add(16);
+            lossless_decompress_bounded(&body.payload, max_payload)
                 .ok_or(DecompressError::Corrupt("lossless stage"))?
                 .into()
         } else {
             (&body.payload[..]).into()
         };
+        // Every Huffman code is at least one bit, so a corrupt header
+        // cannot demand more symbols than the payload can hold; checking
+        // here keeps a hostile symbol count from driving a huge upfront
+        // allocation in the decoder.
+        if n_symbols > payload.len().saturating_mul(8) {
+            return Err(DecompressError::Corrupt("symbol count exceeds payload"));
+        }
         let (codec, _) = HuffmanCodec::deserialize_codebook(&body.codebook)?;
         codec.decode(&payload, n_symbols)?
     };
@@ -506,7 +518,10 @@ pub fn compress_with_report<T: Scalar>(
     field: &NdArray<T>,
     cfg: &CompressorConfig,
 ) -> Result<(CompressedOutput, CompressionReport), CompressError> {
-    if cfg.chunking != Chunking::Serial {
+    // Non-SZ codec policies need the chunk-indexed container (the codec
+    // tag lives in the v2.1 chunk index), so they always take the chunked
+    // pipeline — a `Serial` chunking then means one whole-field chunk.
+    if cfg.chunking != Chunking::Serial || cfg.codec != CodecChoice::Sz {
         return crate::chunked::compress_chunked_with_report(field, cfg);
     }
     let shape = field.shape();
@@ -553,6 +568,7 @@ pub fn compress_with_report<T: Scalar>(
         n_elements: n,
         original_bits: T::BITS,
         n_chunks: 1,
+        chunk_codecs: vec![crate::container::ChunkCodecKind::Sz],
     };
     Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
 }

@@ -56,6 +56,12 @@ pub struct CompressionReport {
     pub original_bits: u32,
     /// Number of independently-coded chunks (1 for the serial pipeline).
     pub n_chunks: usize,
+    /// Codec that coded each chunk, in slab order (all
+    /// [`ChunkCodecKind::Sz`](crate::container::ChunkCodecKind::Sz)
+    /// outside the adaptive pipeline). The symbol
+    /// histogram and element accounting above cover SZ-coded chunks only;
+    /// ZFP chunks contribute only container bytes.
+    pub chunk_codecs: Vec<crate::container::ChunkCodecKind>,
 }
 
 impl CompressionReport {
@@ -120,6 +126,7 @@ mod tests {
             n_elements: 100,
             original_bits: 32,
             n_chunks: 1,
+            chunk_codecs: vec![crate::container::ChunkCodecKind::Sz],
         };
         assert!((rep.p0() - 0.75).abs() < 1e-12);
     }

@@ -1,0 +1,292 @@
+//! Ratio-driven per-chunk codec selection.
+//!
+//! The paper's thesis is that a cheap sampled model can predict the
+//! compression ratio *before* compressing, precisely so the system can
+//! choose the best configuration. This module turns that from a passive
+//! report into the compressor's control loop: for every axis-0 slab the
+//! scheduler estimates, from small samples, what the SZ prediction path
+//! and the ZFP transform path would each spend, and hands the slab to the
+//! cheaper codec.
+//!
+//! Two estimators, both deterministic (container bytes must be a pure
+//! function of field and configuration, so no RNG is allowed here):
+//!
+//! * **SZ** — [`rq_predict::sample_prediction_errors`] draws a strided
+//!   sample of original-value prediction errors from the slab, and
+//!   [`rq_predict::PredictionSample::estimate`] converts it to a bit-rate
+//!   via the Eq. 1 entropy of the quantized sample plus escape / anchor /
+//!   side-channel overheads. This is where SZ's weakness is visible ahead
+//!   of time: errors beyond the quantizer's code range escape to verbatim
+//!   scalars, so rough high-amplitude data at tight bounds costs ≈ 32
+//!   bits/value.
+//! * **ZFP** — the transform path has no comparably simple closed form,
+//!   so the scheduler compresses small probe blocks of the slab *for
+//!   real* (the origin corner and the opposite corner, averaged — or the
+//!   whole slab when it fits the budget, in which case the stream is
+//!   reused as the final encoding) and measures bits/value. A few
+//!   thousand elements through the block transform cost microseconds, in
+//!   the same spirit as the paper's 1 % sampling pass.
+//!
+//! The decision rule is simply `min(estimated bits)`, with ties going to
+//! SZ (the configured predictor path).
+
+use crate::container::ChunkCodecKind;
+use rq_grid::{Scalar, Shape, MAX_DIMS};
+use rq_predict::{sample_prediction_errors, PredictorKind};
+
+/// Sample budget for the SZ prediction-error estimate, per chunk.
+const SZ_SAMPLE_POINTS: usize = 2048;
+
+/// Element budget for the ZFP probe block, per chunk.
+const ZFP_SAMPLE_ELEMS: usize = 4096;
+
+/// One chunk's scheduling outcome (also surfaced by the ablation bench).
+#[derive(Clone, Copy, Debug)]
+pub struct CodecDecision {
+    /// The chosen codec.
+    pub codec: ChunkCodecKind,
+    /// Estimated SZ bits/value for the slab.
+    pub sz_bits: f64,
+    /// Estimated ZFP bits/value for the slab.
+    pub zfp_bits: f64,
+}
+
+/// Estimate both codecs on a slab and pick the cheaper one.
+///
+/// `data`/`shape` describe one axis-0 slab; `abs_eb` is the resolved
+/// absolute bound (identity transform — the caller must not invoke the
+/// scheduler for log-transform configs, where ZFP is not a candidate).
+pub fn choose_codec<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    abs_eb: f64,
+    radius: u32,
+) -> CodecDecision {
+    choose_codec_with_blob(data, shape, predictor, abs_eb, radius).0
+}
+
+/// [`choose_codec`], additionally handing back the ZFP stream when the
+/// probe already compressed the *whole* slab (small chunks) and ZFP won —
+/// the pipeline can then reuse it instead of encoding the slab twice.
+pub(crate) fn choose_codec_with_blob<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    abs_eb: f64,
+    radius: u32,
+) -> (CodecDecision, Option<Vec<u8>>) {
+    let sz_bits = estimate_sz_bits(data, shape, predictor, abs_eb, radius);
+    let (zfp_bits, full_blob) = zfp_probe(data, shape, abs_eb);
+    let codec = if zfp_bits < sz_bits { ChunkCodecKind::Zfp } else { ChunkCodecKind::Sz };
+    let blob = if codec == ChunkCodecKind::Zfp { full_blob } else { None };
+    (CodecDecision { codec, sz_bits, zfp_bits }, blob)
+}
+
+/// Sampled Eq. 1 estimate of the SZ path's bits/value on a slab.
+pub fn estimate_sz_bits<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    abs_eb: f64,
+    radius: u32,
+) -> f64 {
+    // The sampler predicts from original values (exactly like the model's
+    // §III-C pass) and promotes scalars to f64 only at the sampled
+    // stencil accesses, so cost is O(sample), not O(slab).
+    let sample = sample_prediction_errors(data, shape, predictor, SZ_SAMPLE_POINTS);
+    sample.estimate(abs_eb, radius, T::BITS).bits_per_value
+}
+
+/// Measured bits/value of the ZFP path on a corner probe block of a slab.
+pub fn estimate_zfp_bits<T: Scalar>(data: &[T], shape: Shape, abs_eb: f64) -> f64 {
+    zfp_probe(data, shape, abs_eb).0
+}
+
+/// Compress probe block(s) and measure bits/value. When the probe covers
+/// the whole slab (no sub-block was cut), the stream is the slab's final
+/// ZFP encoding and is returned for reuse; otherwise two blocks — the
+/// origin corner and the opposite corner — are probed and averaged, so a
+/// slab that is smooth at one end and turbulent at the other is not
+/// judged by its smooth corner alone.
+fn zfp_probe<T: Scalar>(data: &[T], shape: Shape, abs_eb: f64) -> (f64, Option<Vec<u8>>) {
+    let Some(caps) = probe_caps(shape, ZFP_SAMPLE_ELEMS) else {
+        // Whole slab fits the budget: the probe IS the encoding.
+        return match rq_zfp::zfp_compress_slice(data, shape, abs_eb) {
+            Ok(bytes) => (bytes.len() as f64 * 8.0 / shape.len() as f64, Some(bytes)),
+            // An invalid tolerance cannot reach here (resolve_bound
+            // validated it); treat a failure as "never pick zfp".
+            Err(_) => (f64::INFINITY, None),
+        };
+    };
+    let nd = shape.ndim();
+    let mut dims = [0usize; MAX_DIMS];
+    dims[..nd].copy_from_slice(&caps[..nd]);
+    let probe_shape = Shape::new(&dims[..nd]);
+    let mut far = [0usize; MAX_DIMS];
+    for a in 0..nd {
+        far[a] = shape.dim(a) - caps[a];
+    }
+    let mut total_bits = 0.0f64;
+    for origin in [[0usize; MAX_DIMS], far] {
+        let probe = copy_block(data, shape, &origin, &caps);
+        match rq_zfp::zfp_compress_slice(&probe, probe_shape, abs_eb) {
+            Ok(bytes) => total_bits += bytes.len() as f64 * 8.0 / probe_shape.len() as f64,
+            Err(_) => return (f64::INFINITY, None),
+        }
+    }
+    (total_bits / 2.0, None)
+}
+
+/// Per-axis extents of a probe block holding at most ~`budget` elements.
+/// Extents are halved largest-first (never below the ZFP block side of 4)
+/// so the probe keeps the slab's dimensionality and local structure.
+/// Returns `None` when the whole slab already fits the budget.
+fn probe_caps(shape: Shape, budget: usize) -> Option<[usize; MAX_DIMS]> {
+    let nd = shape.ndim();
+    let mut caps = [0usize; MAX_DIMS];
+    caps[..nd].copy_from_slice(shape.dims());
+    loop {
+        let len: usize = caps[..nd].iter().product();
+        if len <= budget {
+            break;
+        }
+        let Some(axis) = (0..nd).filter(|&a| caps[a] > 4).max_by_key(|&a| caps[a]) else {
+            break;
+        };
+        caps[axis] = (caps[axis] / 2).max(4);
+    }
+    if caps[..nd] == shape.dims()[..nd] {
+        None
+    } else {
+        Some(caps)
+    }
+}
+
+/// Copy the rectangular block at `origin` with extents `caps` out of a
+/// row-major slab.
+fn copy_block<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    origin: &[usize; MAX_DIMS],
+    caps: &[usize; MAX_DIMS],
+) -> Vec<T> {
+    let nd = shape.ndim();
+    let strides = shape.strides();
+    let len: usize = caps[..nd].iter().product();
+    let mut out = Vec::with_capacity(len);
+    let mut idx = [0usize; MAX_DIMS];
+    loop {
+        let mut lin = 0usize;
+        for a in 0..nd {
+            lin += (origin[a] + idx[a]) * strides[a];
+        }
+        // Innermost axis is contiguous: copy a whole run at once.
+        out.extend_from_slice(&data[lin..lin + caps[nd - 1]]);
+        let mut axis = nd - 1;
+        loop {
+            if axis == 0 {
+                return out;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < caps[axis] {
+                break;
+            }
+            idx[axis] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_quant::DEFAULT_RADIUS;
+
+    fn smooth(shape: Shape) -> Vec<f32> {
+        let mut out = Vec::with_capacity(shape.len());
+        for ix in shape.indices() {
+            out.push((((ix[0] as f64) * 0.1).sin() * 2.0 + (ix[1] as f64) * 0.01) as f32);
+        }
+        out
+    }
+
+    fn rough(shape: Shape, amp: f32) -> Vec<f32> {
+        let mut s = 0xDEAD_BEEFu64;
+        (0..shape.len())
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) as f32 * amp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn smooth_slab_prefers_sz() {
+        let shape = Shape::d2(32, 48);
+        let d = choose_codec(&smooth(shape), shape, PredictorKind::Lorenzo, 1e-3, DEFAULT_RADIUS);
+        assert_eq!(d.codec, ChunkCodecKind::Sz, "sz {} zfp {}", d.sz_bits, d.zfp_bits);
+        assert!(d.sz_bits < 8.0);
+    }
+
+    #[test]
+    fn escaping_slab_prefers_zfp() {
+        // Noise amplitude far beyond the quantizer range at this bound:
+        // nearly every SZ symbol escapes (~32 bits/value), while the
+        // bitplane coder stays near log2(range / eb).
+        let shape = Shape::d2(32, 48);
+        let data = rough(shape, 50.0);
+        let d = choose_codec(&data, shape, PredictorKind::Lorenzo, 1e-4, 256);
+        assert_eq!(d.codec, ChunkCodecKind::Zfp, "sz {} zfp {}", d.sz_bits, d.zfp_bits);
+        assert!(d.sz_bits > 30.0, "sz estimate should be near verbatim cost");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let shape = Shape::d3(16, 12, 10);
+        let data = rough(shape, 3.0);
+        let a = choose_codec(&data, shape, PredictorKind::Interpolation, 1e-3, DEFAULT_RADIUS);
+        let b = choose_codec(&data, shape, PredictorKind::Interpolation, 1e-3, DEFAULT_RADIUS);
+        assert_eq!(a.codec, b.codec);
+        assert_eq!(a.sz_bits, b.sz_bits);
+        assert_eq!(a.zfp_bits, b.zfp_bits);
+    }
+
+    #[test]
+    fn probe_caps_budget_and_block_copy() {
+        let shape = Shape::d3(64, 64, 64);
+        let data: Vec<f32> = (0..shape.len()).map(|i| i as f32).collect();
+        let caps = probe_caps(shape, 4096).expect("large slab must be cut");
+        assert!(caps[..3].iter().product::<usize>() <= 4096);
+        // Origin-corner copy preserves row-major order.
+        let probe = copy_block(&data, shape, &[0; MAX_DIMS], &caps);
+        assert_eq!(probe[0], 0.0);
+        assert_eq!(probe[1], 1.0);
+        // Far-corner copy starts at the opposite corner's origin.
+        let mut far = [0usize; MAX_DIMS];
+        for a in 0..3 {
+            far[a] = shape.dim(a) - caps[a];
+        }
+        let probe = copy_block(&data, shape, &far, &caps);
+        let strides = shape.strides();
+        let lin0 = far[0] * strides[0] + far[1] * strides[1] + far[2];
+        assert_eq!(probe[0], lin0 as f32);
+        // Small slabs are taken whole (no copy, reusable stream).
+        assert!(probe_caps(Shape::d2(8, 8), 4096).is_none());
+    }
+
+    #[test]
+    fn whole_slab_probe_returns_reusable_blob() {
+        // Chunks at or under the probe budget: the scheduler's zfp probe
+        // IS the final encoding; it must be handed back for reuse and
+        // match a direct compression exactly.
+        let shape = Shape::d2(16, 16);
+        let data = rough(shape, 50.0);
+        let (d, blob) = choose_codec_with_blob(&data, shape, PredictorKind::Lorenzo, 1e-4, 256);
+        assert_eq!(d.codec, ChunkCodecKind::Zfp);
+        let blob = blob.expect("whole-slab probe must be reusable");
+        assert_eq!(blob, rq_zfp::zfp_compress_slice(&data, shape, 1e-4).unwrap());
+    }
+}

@@ -243,6 +243,41 @@ pub fn rtm_snapshot(step: usize) -> NdArray<f32> {
     RtmSimulator::new([64, 64, 64]).snapshot_at(step)
 }
 
+/// Mixed-regime field for adaptive-codec tests and benches: axis-0 rows
+/// `0..smooth_rows` are a low-amplitude smooth wave (the prediction
+/// path's home turf), the remaining rows are avalanche hash noise of
+/// peak-to-peak amplitude `amp` — prediction errors there blow past the
+/// quantizer's escape radius at tight bounds, which is the transform
+/// path's regime. Deterministic, RNG-free (safe for byte-stability
+/// tests).
+pub fn mixed_smooth_turbulent(shape: Shape, smooth_rows: usize, amp: f64) -> NdArray<f32> {
+    NdArray::from_fn(shape, |ix| {
+        if ix[0] < smooth_rows {
+            let smooth: f64 = ix
+                .iter()
+                .enumerate()
+                .map(|(a, &c)| ((c as f64) * 0.2 / (a + 1) as f64).sin() / (a + 1) as f64)
+                .sum();
+            smooth as f32
+        } else {
+            // FNV-style fold of the index, then the murmur3 finalizer for
+            // proper avalanche (locally linear hashes are invisible to
+            // Lorenzo and would defeat the point of the turbulent half).
+            let mut h = ix
+                .iter()
+                .fold(0xcbf2_9ce4_8422_2325u64, |acc, &c| {
+                    acc.wrapping_mul(0x1000_0000_01b3).wrapping_add(c as u64 + 1)
+                });
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            (((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * amp) as f32
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +350,23 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(cesm_ts().as_slice(), cesm_ts().as_slice());
         assert_eq!(nyx_velocity_z().as_slice(), nyx_velocity_z().as_slice());
+    }
+
+    #[test]
+    fn mixed_field_halves_have_distinct_regimes() {
+        let shape = Shape::d3(16, 12, 12);
+        let f = mixed_smooth_turbulent(shape, 8, 40.0);
+        assert_eq!(f.as_slice(), mixed_smooth_turbulent(shape, 8, 40.0).as_slice());
+        let half = 8 * 12 * 12;
+        let spread = |s: &[f32]| {
+            let (lo, hi) = s
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            (hi - lo) as f64
+        };
+        let smooth = spread(&f.as_slice()[..half]);
+        let rough = spread(&f.as_slice()[half..]);
+        assert!(smooth < 4.0, "smooth spread {smooth}");
+        assert!(rough > 30.0, "rough spread {rough}");
     }
 }

@@ -8,8 +8,8 @@
 //! and each pass is only kept when it actually shrank the data — mirroring
 //! the "optional" nature of the stage.
 
-use crate::lzss::{lzss_compress, lzss_decompress};
-use crate::rle::{rle_compress, rle_decompress};
+use crate::lzss::{lzss_compress, lzss_decompress_bounded};
+use crate::rle::{rle_compress, rle_decompress_bounded};
 
 const FLAG_RLE: u8 = 0b01;
 const FLAG_LZSS: u8 = 0b10;
@@ -45,16 +45,32 @@ pub fn lossless_compress(input: &[u8]) -> Vec<u8> {
 
 /// Inverse of [`lossless_compress`]. Returns `None` on malformed input.
 pub fn lossless_decompress(input: &[u8]) -> Option<Vec<u8>> {
+    lossless_decompress_bounded(input, usize::MAX)
+}
+
+/// [`lossless_decompress`] with a caller-supplied output-size limit.
+///
+/// Callers that know how large the decoded stream can legitimately be
+/// (e.g. a Huffman payload bounded by its symbol count) should pass that
+/// bound: corrupt run lengths then fail cleanly *before* allocating,
+/// instead of being caught only by the coders' coarse internal caps.
+pub fn lossless_decompress_bounded(input: &[u8], max_len: usize) -> Option<Vec<u8>> {
     let (&flags, rest) = input.split_first()?;
     if flags & !(FLAG_RLE | FLAG_LZSS) != 0 {
         return None;
     }
     let mut cur = rest.to_vec();
     if flags & FLAG_LZSS != 0 {
-        cur = lzss_decompress(&cur)?;
+        cur = lzss_decompress_bounded(&cur, max_len)?;
     }
     if flags & FLAG_RLE != 0 {
-        cur = rle_decompress(&cur, RLE_MARKER)?;
+        if cur.len() > max_len {
+            return None;
+        }
+        cur = rle_decompress_bounded(&cur, RLE_MARKER, max_len)?;
+    }
+    if cur.len() > max_len {
+        return None;
     }
     Some(cur)
 }

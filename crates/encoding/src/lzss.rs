@@ -94,9 +94,16 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
 
 /// Inverse of [`lzss_compress`]. Returns `None` on malformed input.
 pub fn lzss_decompress(input: &[u8]) -> Option<Vec<u8>> {
+    lzss_decompress_bounded(input, usize::MAX)
+}
+
+/// [`lzss_decompress`] refusing declared output sizes beyond `max_len`
+/// (a coarse 2³⁴-byte cap applies regardless), so corrupt headers fail
+/// before allocating.
+pub fn lzss_decompress_bounded(input: &[u8], max_len: usize) -> Option<Vec<u8>> {
     let mut pos = 0;
     let n = get_uvarint(input, &mut pos)? as usize;
-    if n > (1 << 34) {
+    if n > (1 << 34) || n > max_len {
         return None; // refuse absurd allocations from corrupt headers
     }
     let mut out = Vec::with_capacity(n);

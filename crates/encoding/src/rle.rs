@@ -46,6 +46,16 @@ pub fn rle_compress(input: &[u8], marker: u8) -> Vec<u8> {
 
 /// Inverse of [`rle_compress`]. Returns `None` on malformed input.
 pub fn rle_decompress(input: &[u8], marker: u8) -> Option<Vec<u8>> {
+    rle_decompress_bounded(input, marker, usize::MAX)
+}
+
+/// [`rle_decompress`] refusing to produce more than `max_len` bytes: a
+/// corrupt run-length varint fails cleanly *before* the allocation it
+/// demands. (Even with `max_len == usize::MAX` a coarse 2³⁴-byte cap
+/// applies — callers that know the legitimate decoded size should pass
+/// it.)
+pub fn rle_decompress_bounded(input: &[u8], marker: u8, max_len: usize) -> Option<Vec<u8>> {
+    let cap = (max_len as u64).min(1 << 34);
     let mut out = Vec::with_capacity(input.len() * 2);
     let mut pos = 0;
     while pos < input.len() {
@@ -56,9 +66,15 @@ pub fn rle_decompress(input: &[u8], marker: u8) -> Option<Vec<u8>> {
             if run == 0 {
                 out.push(ESCAPE);
             } else {
+                if run > cap || out.len() as u64 + run > cap {
+                    return None;
+                }
                 out.extend(std::iter::repeat_n(marker, run as usize));
             }
         } else {
+            if out.len() as u64 >= cap {
+                return None;
+            }
             out.push(b);
         }
     }
@@ -113,6 +129,15 @@ mod tests {
         let c = rle_compress(&data, 0);
         assert!(c.len() < 20, "compressed to {} bytes", c.len());
         assert_eq!(rle_decompress(&c, 0).unwrap(), data);
+    }
+
+    #[test]
+    fn absurd_run_length_rejected_not_allocated() {
+        // ESCAPE followed by a varint decoding to ~u64::MAX: must return
+        // None instead of attempting the allocation.
+        let mut evil = vec![ESCAPE];
+        evil.extend([0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]);
+        assert!(rle_decompress(&evil, 0).is_none());
     }
 
     #[test]

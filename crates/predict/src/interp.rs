@@ -43,12 +43,19 @@ impl InterpTarget {
     /// Evaluate the prediction against `buf`.
     #[inline]
     pub fn predict(&self, buf: &[f64]) -> f64 {
+        self.predict_with(|lin| buf[lin])
+    }
+
+    /// [`Self::predict`] with an arbitrary value accessor (see
+    /// [`crate::lorenzo::LorenzoStencil::predict_with`]).
+    #[inline]
+    pub fn predict_with(&self, get: impl Fn(usize) -> f64) -> f64 {
         match self.kind {
             StencilKind::Cubic([a, b, c, d]) => {
-                (-buf[a] + 9.0 * buf[b] + 9.0 * buf[c] - buf[d]) / 16.0
+                (-get(a) + 9.0 * get(b) + 9.0 * get(c) - get(d)) / 16.0
             }
-            StencilKind::Linear([a, b]) => 0.5 * (buf[a] + buf[b]),
-            StencilKind::CopyLeft(a) => buf[a],
+            StencilKind::Linear([a, b]) => 0.5 * (get(a) + get(b)),
+            StencilKind::CopyLeft(a) => get(a),
         }
     }
 }

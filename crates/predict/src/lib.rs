@@ -22,6 +22,7 @@
 //! | [`lorenzo`]    | §II-B, §III-C1 | order-1/2 Lorenzo stencils (and their sampling variant) |
 //! | [`interp`]     | §II-B, §III-C1 | the SZ3 multi-level interpolation traversal |
 //! | [`regression`] | §II-B, §III-C1 | SZ2 block-wise linear regression with coefficient side channel |
+//! | [`sample`]     | §III-C        | deterministic strided error sampling + sampled bit-rate estimate (codec scheduling) |
 //!
 //! In the chunk-parallel pipeline every chunk starts a fresh traversal, so
 //! each predictor's causal history never crosses an axis-0 slab boundary.
@@ -29,6 +30,9 @@
 pub mod interp;
 pub mod lorenzo;
 pub mod regression;
+pub mod sample;
+
+pub use sample::{sample_prediction_errors, PredictionSample, SampledEstimate};
 
 /// Which predictor a pipeline uses. Serialized into container headers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -84,6 +84,20 @@ impl LorenzoStencil {
     /// Neighbors falling outside the array contribute 0.
     #[inline]
     pub fn predict(&self, buf: &[f64], shape: Shape, idx: &[usize]) -> f64 {
+        self.predict_with(shape, idx, |lin| buf[lin])
+    }
+
+    /// [`Self::predict`] with an arbitrary value accessor, so callers can
+    /// predict from non-`f64` buffers (e.g. strided sampling of an `f32`
+    /// slab) without materializing a converted copy — only the stencil's
+    /// own taps are read.
+    #[inline]
+    pub fn predict_with(
+        &self,
+        shape: Shape,
+        idx: &[usize],
+        get: impl Fn(usize) -> f64,
+    ) -> f64 {
         debug_assert_eq!(idx.len(), self.ndim);
         let strides = shape.strides();
         let mut acc = 0.0;
@@ -95,7 +109,7 @@ impl LorenzoStencil {
                 };
                 lin += coord * strides[a];
             }
-            acc += w * buf[lin];
+            acc += w * get(lin);
         }
         acc
     }

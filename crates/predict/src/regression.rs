@@ -71,6 +71,16 @@ impl BlockCoeffs {
 /// Least-squares fit of a hyperplane to the block of `data` described by
 /// `block`. `data` is the full field (row-major, shape `shape`).
 pub fn fit_block(data: &[f64], shape: Shape, block: &BlockSpec) -> BlockCoeffs {
+    fit_block_with(shape, block, |lin| data[lin])
+}
+
+/// [`fit_block`] with an arbitrary value accessor, so callers can fit
+/// blocks of non-`f64` buffers without a converted copy.
+pub fn fit_block_with(
+    shape: Shape,
+    block: &BlockSpec,
+    get: impl Fn(usize) -> f64,
+) -> BlockCoeffs {
     let nd = block.ndim;
     let strides = shape.strides();
     let n = block.len() as f64;
@@ -99,7 +109,7 @@ pub fn fit_block(data: &[f64], shape: Shape, block: &BlockSpec) -> BlockCoeffs {
         for a in 0..nd {
             lin += (block.origin[a] + local[a]) * strides[a];
         }
-        let v = data[lin];
+        let v = get(lin);
         f_sum += v;
         for a in 0..nd {
             cov[a] += (local[a] as f64 - coord_mean[a]) * v;

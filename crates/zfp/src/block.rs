@@ -6,7 +6,7 @@
 //! replicating the last layer (as libzfp does), which keeps the transform
 //! smooth across the pad.
 
-use rq_grid::{NdArray, Scalar, MAX_DIMS};
+use rq_grid::{Scalar, Shape, MAX_DIMS};
 
 /// Fixed-point fractional precision (bits below the block's max exponent).
 pub const Q_BITS: i32 = 40;
@@ -16,8 +16,10 @@ pub const BLOCK_SIDE: usize = 4;
 
 /// Extract the block at `origin` (block-aligned), replicate-padding past
 /// the boundary, as `f64` values in row-major 4^ndim order.
-pub fn extract_padded<T: Scalar>(field: &NdArray<T>, origin: &[usize]) -> Vec<f64> {
-    let shape = field.shape();
+///
+/// Operates on a raw row-major slice so callers can encode sub-slabs of a
+/// larger buffer (the chunk-parallel pipeline) without copying.
+pub fn extract_padded<T: Scalar>(data: &[T], shape: Shape, origin: &[usize]) -> Vec<f64> {
     let nd = shape.ndim();
     let n = BLOCK_SIDE.pow(nd as u32);
     let mut out = Vec::with_capacity(n);
@@ -28,7 +30,7 @@ pub fn extract_padded<T: Scalar>(field: &NdArray<T>, origin: &[usize]) -> Vec<f6
             // Clamp = replicate padding.
             idx[a] = (origin[a] + local[a]).min(shape.dim(a) - 1);
         }
-        out.push(field.get(&idx[..nd]).to_f64());
+        out.push(data[shape.offset(&idx[..nd])].to_f64());
         let mut axis = nd;
         let mut done = false;
         loop {
@@ -52,11 +54,11 @@ pub fn extract_padded<T: Scalar>(field: &NdArray<T>, origin: &[usize]) -> Vec<f6
 
 /// Write a decoded block back, ignoring padded lanes.
 pub fn store_block<T: Scalar>(
-    field: &mut NdArray<T>,
+    data: &mut [T],
+    shape: Shape,
     origin: &[usize],
     values: &[f64],
 ) {
-    let shape = field.shape();
     let nd = shape.ndim();
     let mut local = [0usize; MAX_DIMS];
     let mut idx = [0usize; MAX_DIMS];
@@ -72,7 +74,7 @@ pub fn store_block<T: Scalar>(
             idx[a] = c;
         }
         if in_range {
-            field.set(&idx[..nd], T::from_f64(values[pos]));
+            data[shape.offset(&idx[..nd])] = T::from_f64(values[pos]);
         }
         pos += 1;
         let mut axis = nd;
@@ -189,22 +191,23 @@ mod tests {
     #[test]
     fn extract_and_store_roundtrip_with_padding() {
         // 5x6 field: edge blocks need padding.
-        let field = NdArray::<f32>::from_fn(Shape::d2(5, 6), |ix| (ix[0] * 10 + ix[1]) as f32);
-        let mut out = NdArray::<f32>::zeros(Shape::d2(5, 6));
+        let shape = Shape::d2(5, 6);
+        let field = rq_grid::NdArray::<f32>::from_fn(shape, |ix| (ix[0] * 10 + ix[1]) as f32);
+        let mut out = vec![0f32; shape.len()];
         for b0 in (0..5).step_by(4) {
             for b1 in (0..6).step_by(4) {
-                let vals = extract_padded(&field, &[b0, b1]);
+                let vals = extract_padded(field.as_slice(), shape, &[b0, b1]);
                 assert_eq!(vals.len(), 16);
-                store_block(&mut out, &[b0, b1], &vals);
+                store_block(&mut out, shape, &[b0, b1], &vals);
             }
         }
-        assert_eq!(out.as_slice(), field.as_slice());
+        assert_eq!(&out[..], field.as_slice());
     }
 
     #[test]
     fn padding_replicates_edge() {
-        let field = NdArray::<f32>::from_fn(Shape::d1(5), |ix| ix[0] as f32);
-        let vals = extract_padded(&field, &[4]);
+        let data = [0.0f32, 1.0, 2.0, 3.0, 4.0];
+        let vals = extract_padded(&data, Shape::d1(5), &[4]);
         assert_eq!(vals, vec![4.0, 4.0, 4.0, 4.0]);
     }
 }

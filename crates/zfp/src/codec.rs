@@ -52,10 +52,21 @@ pub fn zfp_compress<T: Scalar>(
     field: &NdArray<T>,
     tolerance: f64,
 ) -> Result<Vec<u8>, ZfpError> {
+    zfp_compress_slice(field.as_slice(), field.shape(), tolerance)
+}
+
+/// [`zfp_compress`] over a raw row-major slice (`data.len()` must equal
+/// `shape.len()`); lets the chunk-parallel pipeline encode sub-slabs of a
+/// larger buffer without copying.
+pub fn zfp_compress_slice<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    tolerance: f64,
+) -> Result<Vec<u8>, ZfpError> {
     if !(tolerance.is_finite() && tolerance > 0.0) {
         return Err(ZfpError::BadTolerance(tolerance));
     }
-    let shape = field.shape();
+    debug_assert_eq!(data.len(), shape.len());
     let nd = shape.ndim();
     let perm = sequency_order(nd);
     let gain_bits = GAIN_BITS_PER_DIM * nd as i32;
@@ -71,7 +82,7 @@ pub fn zfp_compress<T: Scalar>(
 
     let mut w = BitWriter::new();
     for origin in block_origins(shape) {
-        let values = extract_padded(field, &origin[..nd]);
+        let values = extract_padded(data, shape, &origin[..nd]);
         let (e_max, mut ints) = to_fixed_point(&values);
         if e_max == i32::MIN {
             w.put_bit(false); // empty-block flag
@@ -142,25 +153,34 @@ pub fn zfp_compress<T: Scalar>(
     Ok(header)
 }
 
-/// Decompress an RQZF stream.
-pub fn zfp_decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, ZfpError> {
+/// Parsed RQZF stream header: shape plus the payload location.
+struct ZfpHeader {
+    scalar_tag: u8,
+    shape: Shape,
+    payload_start: usize,
+    payload_len: usize,
+}
+
+/// Parse and validate the RQZF header prefix.
+fn parse_header(bytes: &[u8]) -> Result<ZfpHeader, ZfpError> {
     if bytes.len() < 6 || &bytes[..4] != MAGIC {
         return Err(ZfpError::Corrupt("magic"));
     }
-    if bytes[4] != T::TAG {
-        return Err(ZfpError::ScalarMismatch);
-    }
+    let scalar_tag = bytes[4];
     let nd = bytes[5] as usize;
     if nd == 0 || nd > MAX_DIMS {
         return Err(ZfpError::Corrupt("ndim"));
     }
     let mut pos = 6;
     let mut dims = [0usize; MAX_DIMS];
+    let mut len = 1usize;
     for d in dims.iter_mut().take(nd) {
         *d = get_uvarint(bytes, &mut pos).ok_or(ZfpError::Corrupt("dims"))? as usize;
-        if *d == 0 {
-            return Err(ZfpError::Corrupt("zero dim"));
+        if *d == 0 || *d > (1 << 32) {
+            return Err(ZfpError::Corrupt("bad dim extent"));
         }
+        // A corrupt varint can encode extents whose product overflows.
+        len = len.checked_mul(*d).ok_or(ZfpError::Corrupt("element count overflow"))?;
     }
     let shape = Shape::new(&dims[..nd]);
     if pos + 8 > bytes.len() {
@@ -168,15 +188,62 @@ pub fn zfp_decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, ZfpError> {
     }
     let _tolerance = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
     pos += 8;
-    let plen = get_uvarint(bytes, &mut pos).ok_or(ZfpError::Corrupt("payload len"))? as usize;
-    if pos + plen > bytes.len() {
+    let payload_len =
+        get_uvarint(bytes, &mut pos).ok_or(ZfpError::Corrupt("payload len"))? as usize;
+    if pos.checked_add(payload_len).is_none_or(|end| end > bytes.len()) {
         return Err(ZfpError::Corrupt("payload"));
     }
-    let mut r = BitReader::new(&bytes[pos..pos + plen]);
+    Ok(ZfpHeader { scalar_tag, shape, payload_start: pos, payload_len })
+}
+
+/// Decompress an RQZF stream.
+pub fn zfp_decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, ZfpError> {
+    let h = parse_header(bytes)?;
+    if h.scalar_tag != T::TAG {
+        return Err(ZfpError::ScalarMismatch);
+    }
+    let mut out = NdArray::<T>::zeros(h.shape);
+    decode_payload(
+        &bytes[h.payload_start..h.payload_start + h.payload_len],
+        h.shape,
+        out.as_mut_slice(),
+    )?;
+    Ok(out)
+}
+
+/// Decompress an RQZF stream into a caller-provided slice, verifying the
+/// stream describes exactly `shape` (`out.len() == shape.len()`). Lets the
+/// chunk-parallel pipeline decode straight into disjoint slabs of the
+/// output buffer — and, because the expected shape is checked *before*
+/// anything is allocated, a corrupt embedded stream cannot trigger a huge
+/// allocation.
+pub fn zfp_decompress_into<T: Scalar>(
+    bytes: &[u8],
+    shape: Shape,
+    out: &mut [T],
+) -> Result<(), ZfpError> {
+    debug_assert_eq!(out.len(), shape.len());
+    let h = parse_header(bytes)?;
+    if h.scalar_tag != T::TAG {
+        return Err(ZfpError::ScalarMismatch);
+    }
+    if h.shape.dims() != shape.dims() {
+        return Err(ZfpError::Corrupt("shape mismatch"));
+    }
+    decode_payload(&bytes[h.payload_start..h.payload_start + h.payload_len], shape, out)
+}
+
+/// Decode the bitplane payload into `out` (`out.len() == shape.len()`).
+fn decode_payload<T: Scalar>(
+    payload: &[u8],
+    shape: Shape,
+    out: &mut [T],
+) -> Result<(), ZfpError> {
+    let nd = shape.ndim();
+    let mut r = BitReader::new(payload);
 
     let perm = sequency_order(nd);
     let block_len = BLOCK_SIDE.pow(nd as u32);
-    let mut out = NdArray::<T>::zeros(shape);
     for origin in block_origins(shape) {
         let nonempty = r.get_bit().ok_or(ZfpError::Corrupt("block flag"))?;
         if !nonempty {
@@ -242,9 +309,9 @@ pub fn zfp_decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, ZfpError> {
         }
         inv_transform(&mut ints, nd);
         let values = from_fixed_point(e_max, &ints);
-        store_block(&mut out, &origin[..nd], &values);
+        store_block(out, shape, &origin[..nd], &values);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Bits needed to encode an offset in `0..n` (0 when `n == 1`).

@@ -26,4 +26,6 @@ pub mod block;
 pub mod codec;
 pub mod transform;
 
-pub use codec::{zfp_compress, zfp_decompress, ZfpError};
+pub use codec::{
+    zfp_compress, zfp_compress_slice, zfp_decompress, zfp_decompress_into, ZfpError,
+};

@@ -55,8 +55,8 @@ pub use rq_h5lite as h5lite;
 pub mod prelude {
     pub use rq_analysis::{global_ssim, psnr};
     pub use rq_compress::{
-        chunk_count, compress, compress_with_report, decompress, decompress_chunk,
-        decompress_with_threads, Chunking, CompressorConfig,
+        chunk_count, chunk_table, compress, compress_with_report, decompress, decompress_chunk,
+        decompress_with_threads, ChunkCodecKind, Chunking, CodecChoice, CompressorConfig,
     };
     pub use rq_core::usecases::{compress_with_budget, optimize_partitions, PredictorSelector};
     pub use rq_core::{Estimate, RqModel};

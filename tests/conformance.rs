@@ -1,0 +1,205 @@
+//! Error-bound conformance suite.
+//!
+//! The single contract every configuration of this compressor makes is
+//! `max|x − x′| ≤ eb` after a round trip. This suite sweeps the full
+//! configuration cross product — codec (sz, zfp, auto) × error-bound mode
+//! (absolute, value-range-relative, point-wise relative) × three datagen
+//! stand-in fields × chunk counts (1 and N) — and asserts the bound on
+//! every element. Runs as part of `cargo test`; CI runs it in both debug
+//! and release profiles.
+//!
+//! Fields are cropped from the datagen generators so the whole matrix
+//! stays fast enough for debug CI while keeping each generator's
+//! statistical character.
+
+use rqm::prelude::*;
+
+/// The three datagen stand-ins (cropped), chosen for diversity: smooth 2D
+/// climate, vortex + turbulence 3D, heavy-tailed log-normal 3D.
+fn fields() -> Vec<(&'static str, NdArray<f32>)> {
+    vec![
+        (
+            "cesm_ts",
+            rqm::datagen::fields::cesm_ts().extract_block(&[0, 0], &[48, 96]),
+        ),
+        (
+            "hurricane_u",
+            rqm::datagen::fields::hurricane_u().extract_block(&[0, 40, 40], &[20, 32, 32]),
+        ),
+        (
+            "nyx_dark_matter",
+            rqm::datagen::fields::nyx_dark_matter().extract_block(&[0, 0, 0], &[24, 24, 24]),
+        ),
+    ]
+}
+
+/// Chunkings for "1 chunk" and "N chunks" (N > 1 for every test field).
+fn chunkings(d0: usize) -> [usize; 2] {
+    [d0, (d0 / 3).max(1)]
+}
+
+fn max_abs_err(orig: &NdArray<f32>, recon: &NdArray<f32>) -> f64 {
+    orig.as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// One conformance case: compress, decompress, assert the absolute bound.
+fn assert_conforms(
+    name: &str,
+    field: &NdArray<f32>,
+    codec: CodecChoice,
+    bound: ErrorBoundMode,
+    chunk_rows: usize,
+) {
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, bound)
+        .chunked(chunk_rows)
+        .with_codec(codec)
+        .with_threads(2);
+    let out = compress(field, &cfg)
+        .unwrap_or_else(|e| panic!("{name}: compress failed for {codec:?}/{bound:?}: {e}"));
+    let back = decompress::<f32>(&out.bytes)
+        .unwrap_or_else(|e| panic!("{name}: decompress failed for {codec:?}/{bound:?}: {e}"));
+    let abs_eb = bound.absolute(field.value_range());
+    let err = max_abs_err(field, &back);
+    assert!(
+        err <= abs_eb * (1.0 + 1e-6),
+        "{name} {codec:?} {bound:?} rows={chunk_rows}: max err {err:.6e} > eb {abs_eb:.6e}"
+    );
+}
+
+#[test]
+fn absolute_bound_all_codecs_all_fields() {
+    for (name, field) in &fields() {
+        let eb = field.value_range() * 1e-3;
+        for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+            for rows in chunkings(field.shape().dim(0)) {
+                assert_conforms(name, field, codec, ErrorBoundMode::Abs(eb), rows);
+            }
+        }
+    }
+}
+
+#[test]
+fn value_range_relative_bound_all_codecs_all_fields() {
+    for (name, field) in &fields() {
+        for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+            for rows in chunkings(field.shape().dim(0)) {
+                assert_conforms(
+                    name,
+                    field,
+                    codec,
+                    ErrorBoundMode::ValueRangeRelative(1e-4),
+                    rows,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pointwise_relative_bound_sz_and_auto() {
+    // The transform codec cannot realize the log-domain trick; `auto`
+    // must fall back to sz chunks, and pure `zfp` must refuse (checked in
+    // the next test). Point-wise relative data must be positive-friendly,
+    // so shift each field above zero.
+    let ratio = 1e-3;
+    for (name, field) in &fields() {
+        let (lo, _) = field.min_max();
+        let shift = (1.0 - lo).max(0.0) as f32;
+        let shifted = NdArray::from_vec(
+            field.shape(),
+            field.as_slice().iter().map(|&v| v + shift).collect(),
+        );
+        for codec in [CodecChoice::Sz, CodecChoice::Auto] {
+            for rows in chunkings(shifted.shape().dim(0)) {
+                let cfg = CompressorConfig::new(
+                    PredictorKind::Lorenzo,
+                    ErrorBoundMode::PointwiseRelative(ratio),
+                )
+                .chunked(rows)
+                .with_codec(codec)
+                .with_threads(2);
+                let out = compress(&shifted, &cfg).unwrap();
+                let back = decompress::<f32>(&out.bytes).unwrap();
+                for (i, (&a, &b)) in
+                    shifted.as_slice().iter().zip(back.as_slice()).enumerate()
+                {
+                    if a <= 0.0 {
+                        assert_eq!(a, b, "{name}: non-positive values must be exact");
+                    } else {
+                        let rel = ((a - b).abs() as f64) / (a.abs() as f64);
+                        assert!(
+                            rel <= ratio * (1.0 + 1e-5),
+                            "{name} {codec:?} rows={rows} element {i}: rel err {rel:.3e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pointwise_relative_bound_zfp_refuses() {
+    let field = rqm::datagen::fields::cesm_ts().extract_block(&[0, 0], &[16, 32]);
+    let cfg = CompressorConfig::new(
+        PredictorKind::Lorenzo,
+        ErrorBoundMode::PointwiseRelative(1e-3),
+    )
+    .chunked(4)
+    .with_codec(CodecChoice::Zfp);
+    assert!(
+        compress(&field, &cfg).is_err(),
+        "zfp codec must refuse point-wise relative bounds rather than miss them"
+    );
+}
+
+#[test]
+fn conformance_across_predictors_auto_codec() {
+    // The scheduler's sz estimates are predictor-aware; whatever it
+    // picks, the bound must hold for every predictor family.
+    let field = rqm::datagen::fields::hurricane_u().extract_block(&[0, 48, 48], &[12, 24, 24]);
+    let eb = field.value_range() * 1e-4;
+    for pred in PredictorKind::all() {
+        let cfg = CompressorConfig::new(pred, ErrorBoundMode::Abs(eb))
+            .chunked(4)
+            .with_codec(CodecChoice::Auto)
+            .with_threads(2);
+        let out = compress(&field, &cfg).unwrap();
+        let back = decompress::<f32>(&out.bytes).unwrap();
+        let err = max_abs_err(&field, &back);
+        assert!(
+            err <= eb * (1.0 + 1e-6),
+            "{}: max err {err:.6e} > eb {eb:.6e}",
+            pred.name()
+        );
+    }
+}
+
+#[test]
+fn auto_codec_selects_different_codecs_on_mixed_field() {
+    // Acceptance criterion: on a mixed smooth/turbulent field, `auto`
+    // must give at least two chunks different codecs while staying inside
+    // the bound everywhere.
+    let field =
+        rqm::datagen::fields::mixed_smooth_turbulent(Shape::d3(32, 16, 16), 16, 40.0);
+    let eb = 1e-4;
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+        .chunked(8)
+        .with_codec(CodecChoice::Auto)
+        .with_threads(2);
+    let (out, rep) = compress_with_report(&field, &cfg).unwrap();
+    let n_sz = rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Sz).count();
+    let n_zfp = rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Zfp).count();
+    assert!(
+        n_sz >= 1 && n_zfp >= 1,
+        "expected both codecs on the mixed field, got {:?}",
+        rep.chunk_codecs
+    );
+    let back = decompress::<f32>(&out.bytes).unwrap();
+    let err = max_abs_err(&field, &back);
+    assert!(err <= eb * (1.0 + 1e-6), "max err {err:.6e} > eb {eb:.6e}");
+}

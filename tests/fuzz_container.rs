@@ -1,0 +1,194 @@
+//! Seeded-fuzz corruption tests for the container parser.
+//!
+//! Valid v1, v2 and v2.1 archives are mutated — random single/multi byte
+//! flips and truncations at random offsets — and fed to the decoder. The
+//! invariants:
+//!
+//! * the decoder must **never panic** (these tests run the mutated input
+//!   in-process, so any panic fails the test);
+//! * every **truncation** must return `Err` — all sections and chunk
+//!   blobs are length-prefixed, so a shorter buffer is always detectable;
+//! * a byte **flip** must either return `Err` or decode to a field of the
+//!   header's shape (without checksums a flip inside an entropy payload
+//!   can decode "successfully" to wrong data, so `Ok` is not itself a
+//!   failure — but an `Ok` with inconsistent structure would be).
+//!
+//! Mutations use a fixed xorshift stream, so failures reproduce exactly.
+//! A small shape cap guards the one legitimate hazard: a flipped header
+//! can describe an enormous (but structurally valid) field, and a fuzz
+//! loop should not be at the mercy of such an allocation.
+
+use rqm::prelude::*;
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A mixed field whose `auto` compression genuinely contains both sz and
+/// zfp chunks, so v2.1 fuzzing covers both blob parsers.
+fn mixed_field() -> NdArray<f32> {
+    rqm::datagen::fields::mixed_smooth_turbulent(Shape::d3(16, 10, 10), 8, 30.0)
+}
+
+/// The three archive generations under test.
+fn valid_archives() -> Vec<(&'static str, Vec<u8>)> {
+    let field = mixed_field();
+    let v1 = compress(
+        &field,
+        &CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)),
+    )
+    .unwrap()
+    .bytes;
+    let v2 = compress(
+        &field,
+        &CompressorConfig::new(PredictorKind::Interpolation, ErrorBoundMode::Abs(1e-3))
+            .chunked(5),
+    )
+    .unwrap()
+    .bytes;
+    let v21 = compress(
+        &field,
+        &CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+            .chunked(4)
+            .with_codec(CodecChoice::Auto),
+    )
+    .unwrap()
+    .bytes;
+    // The v2.1 fixture must exercise both blob decoders.
+    let codecs: Vec<ChunkCodecKind> =
+        chunk_table(&v21).unwrap().entries.iter().map(|e| e.codec).collect();
+    assert!(codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Zfp));
+    vec![("v1", v1), ("v2", v2), ("v2.1", v21)]
+}
+
+/// Decode a possibly-corrupt buffer, skipping only absurd decompressed
+/// sizes a flipped header might demand (a fuzz-loop resource guard, not a
+/// decoder requirement).
+fn try_decode(bytes: &[u8]) -> Option<Result<NdArray<f32>, String>> {
+    const MAX_FUZZ_ELEMS: usize = 1 << 22;
+    match rqm::compress_crate::peek_header(bytes) {
+        Err(e) => return Some(Err(e.to_string())),
+        Ok(h) if h.shape.len() > MAX_FUZZ_ELEMS => return None,
+        Ok(_) => {}
+    }
+    Some(decompress::<f32>(bytes).map_err(|e| e.to_string()))
+}
+
+#[test]
+fn random_byte_flips_never_panic() {
+    let mut rng = Rng(0x5EED_0001);
+    for (name, bytes) in &valid_archives() {
+        for case in 0..400 {
+            let mut mutated = bytes.clone();
+            // 1–4 byte flips per case, anywhere in the archive.
+            for _ in 0..(1 + rng.below(4)) {
+                let pos = rng.below(mutated.len());
+                let bit = rng.below(8);
+                mutated[pos] ^= 1 << bit;
+            }
+            if let Some(Ok(decoded)) = try_decode(&mutated) {
+                // Undetected corruption must still produce a structurally
+                // consistent result.
+                if let Ok(h) = rqm::compress_crate::peek_header(&mutated) {
+                    assert_eq!(
+                        decoded.len(),
+                        h.shape.len(),
+                        "{name} case {case}: Ok result inconsistent with header"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_overwrites_never_panic() {
+    // Whole-byte garbage (not just single-bit flips) hits varint
+    // continuation bits and tag bytes harder.
+    let mut rng = Rng(0x5EED_0002);
+    for (_name, bytes) in &valid_archives() {
+        for _case in 0..300 {
+            let mut mutated = bytes.clone();
+            let start = rng.below(mutated.len());
+            let span = 1 + rng.below(8).min(mutated.len() - start - 1);
+            for b in &mut mutated[start..start + span] {
+                *b = rng.next() as u8;
+            }
+            let _ = try_decode(&mutated);
+        }
+    }
+}
+
+#[test]
+fn truncations_always_error() {
+    let mut rng = Rng(0x5EED_0003);
+    for (name, bytes) in &valid_archives() {
+        // Every short prefix length is an error; sample densely plus the
+        // boundary cases.
+        for case in 0..300 {
+            let cut = match case {
+                0 => 0,
+                1 => 1,
+                2 => bytes.len() - 1,
+                _ => rng.below(bytes.len()),
+            };
+            if let Some(Ok(_)) = try_decode(&bytes[..cut]) {
+                panic!("{name}: truncation to {cut} bytes decoded Ok");
+            }
+        }
+    }
+}
+
+#[test]
+fn flips_in_header_and_index_error_or_stay_consistent() {
+    // Concentrate mutations on the first 64 bytes (header + chunk index),
+    // where parsing logic, not entropy decoding, is on trial.
+    let mut rng = Rng(0x5EED_0004);
+    for (name, bytes) in &valid_archives() {
+        let zone = bytes.len().min(64);
+        for case in 0..500 {
+            let mut mutated = bytes.clone();
+            let pos = rng.below(zone);
+            mutated[pos] ^= 1 << rng.below(8);
+            if let Some(Ok(decoded)) = try_decode(&mutated) {
+                if let Ok(h) = rqm::compress_crate::peek_header(&mutated) {
+                    assert_eq!(
+                        decoded.len(),
+                        h.shape.len(),
+                        "{name} case {case} at byte {pos}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_then_extended_garbage_errors() {
+    // A truncated archive padded back to length with garbage: the section
+    // lengths parse but the content is junk — must error or decode
+    // consistently, never panic.
+    let mut rng = Rng(0x5EED_0005);
+    for (_name, bytes) in &valid_archives() {
+        for _case in 0..100 {
+            let cut = 9 + rng.below(bytes.len() - 9);
+            let mut mutated = bytes[..cut].to_vec();
+            while mutated.len() < bytes.len() {
+                mutated.push(rng.next() as u8);
+            }
+            let _ = try_decode(&mutated);
+        }
+    }
+}

@@ -182,6 +182,68 @@ fn v1_container_backward_compat_read() {
 }
 
 #[test]
+fn golden_v21_fixture_backward_compat() {
+    // A mixed-codec v2.1 container produced by the adaptive pipeline,
+    // committed as a fixture (regenerated only by
+    // `cargo run -p rq-bench --bin make_golden_fixtures` when a *new*
+    // container generation is introduced): current readers must keep
+    // decoding it, tags and all.
+    let bytes = include_bytes!("data/golden_v21.rqc");
+    let header = rqm::compress_crate::peek_header(bytes).unwrap();
+    assert_eq!(header.version, 3, "v2.1 uses version byte 3");
+    assert_eq!(header.shape.dims(), &[12, 12, 12]);
+    assert_eq!(chunk_count(bytes).unwrap(), 3);
+
+    // The per-chunk codec tags the scheduler recorded at fixture time.
+    let table = chunk_table(bytes).unwrap();
+    let codecs: Vec<ChunkCodecKind> = table.entries.iter().map(|e| e.codec).collect();
+    assert_eq!(
+        codecs,
+        vec![ChunkCodecKind::Sz, ChunkCodecKind::Zfp, ChunkCodecKind::Zfp],
+        "fixture mixes both codecs"
+    );
+
+    // Same formula the fixture generator used.
+    let field = NdArray::<f32>::from_fn(Shape::d3(12, 12, 12), |ix| {
+        if ix[0] < 4 {
+            ((ix[0] as f64 * 0.5).sin() * 2.0 + ix[1] as f64 * 0.1 + ix[2] as f64 * 0.01) as f32
+        } else {
+            let mut h = (ix[0] * 4099 + ix[1] * 89 + ix[2]) as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 30.0
+        }
+    });
+    let back = decompress::<f32>(bytes).unwrap();
+    check_bound(&field, &back, 1e-4);
+
+    // Random access decodes the tagged chunks individually.
+    let full = back.as_slice();
+    for (i, entry) in table.entries.iter().enumerate() {
+        let (start_row, slab) = decompress_chunk::<f32>(bytes, i).unwrap();
+        assert_eq!(start_row, entry.start_row);
+        let lo = start_row * 12 * 12;
+        assert_eq!(slab.as_slice(), &full[lo..lo + slab.len()]);
+    }
+
+    // And the previous generation stays readable alongside it: re-read
+    // the v1 fixture through the same current code paths.
+    let v1 = include_bytes!("data/golden_v1.rqc");
+    let h1 = rqm::compress_crate::peek_header(v1).unwrap();
+    assert_eq!(h1.version, 1);
+    let v1_table = chunk_table(v1).unwrap();
+    assert_eq!(v1_table.entries.len(), 1);
+    assert_eq!(v1_table.entries[0].codec, ChunkCodecKind::Sz, "v1 chunks are implicitly sz");
+    let v1_field = NdArray::<f32>::from_fn(Shape::d2(8, 6), |ix| {
+        ((ix[0] as f32) * 0.7).sin() * 3.0 + (ix[1] as f32) * 0.25
+    });
+    check_bound(&v1_field, &decompress::<f32>(v1).unwrap(), 1e-3);
+}
+
+#[test]
 fn model_guided_container_write_hits_quality_target() {
     // The full Fig. 13 loop for one snapshot: model picks eb for a PSNR
     // floor, compression goes through the container, measured PSNR
