@@ -1,0 +1,173 @@
+//! Streaming vs in-memory compression: wall time and peak RSS at
+//! 1/2/4/8 worker threads.
+//!
+//! The streaming session's contract is that peak memory scales with
+//! `O(slab × threads)`, not `O(field + archive)`. This bench measures it
+//! directly: a raw `f32` field is staged to disk, then compressed twice
+//! per thread count — once through the buffer-in/buffer-out one-shot API
+//! (read whole field, compress, write archive) and once through
+//! `ArchiveWriter` fed file slabs — recording wall time and the process
+//! peak-RSS high-water mark (`VmHWM` from `/proc/self/status`, reset via
+//! `/proc/self/clear_refs` between runs where the kernel allows it).
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin streaming_vs_inmemory
+//! ```
+//!
+//! Expected shape of the result: in-memory peak RSS grows with the field
+//! (~field + archive + decode scratch), streaming peak RSS stays near the
+//! slab batch size regardless of field size, at equal output bytes.
+
+use rq_bench::{f, Table};
+use rq_compress::{compress, ArchiveWriter, CompressorConfig};
+use rq_grid::{NdArray, Shape, MAX_DIMS};
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+use std::io::{Read, Write};
+use std::time::Instant;
+
+/// Peak resident set size (`VmHWM`) in bytes, if the platform exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Reset the peak-RSS counter ("5" clears the HWM counters). Returns
+/// whether the reset took, so monotone readings can be flagged.
+fn reset_peak_rss() -> bool {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open("/proc/self/clear_refs")
+        .and_then(|mut f| f.write_all(b"5"))
+        .is_ok()
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let quick = rq_bench::quick();
+    let shape = if quick { Shape::d3(96, 64, 64) } else { Shape::d3(256, 128, 128) };
+    let chunk_rows = 8;
+    let eb = 1e-3;
+
+    // Stage the input as a raw file so both paths do real file I/O.
+    let dir = std::env::temp_dir().join("rqm_stream_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let raw_path = dir.join("field.f32");
+    let field = NdArray::<f32>::from_fn(shape, |ix| {
+        let mut v = 0.0f64;
+        for (a, &c) in ix.iter().enumerate() {
+            v += ((c as f64) * 0.07 * (a + 1) as f64).sin() * (4.0 / (a + 1) as f64);
+        }
+        v as f32
+    });
+    {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&raw_path).unwrap());
+        for &v in field.as_slice() {
+            out.write_all(&v.to_le_bytes()).unwrap();
+        }
+    }
+    let raw_bytes = (field.len() * 4) as u64;
+    drop(field); // the in-memory path re-reads the file, like the CLI
+    let row_elems: usize = shape.dims()[1..].iter().product();
+
+    let resettable = reset_peak_rss();
+    println!(
+        "# Streaming vs in-memory compression — field {:?} ({:.0} MiB raw), {}-row chunks",
+        shape.dims(),
+        mib(raw_bytes),
+        chunk_rows
+    );
+    if !resettable {
+        println!("(VmHWM reset unavailable: peak-RSS readings are monotone upper bounds)");
+    }
+    println!();
+
+    let mut t = Table::new(&[
+        "threads",
+        "mode",
+        "wall(ms)",
+        "out bytes",
+        "peakRSS(MiB)",
+    ]);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+            .chunked(chunk_rows)
+            .with_threads(threads);
+
+        // --- streaming first (lower footprint), fresh HWM window ---
+        reset_peak_rss();
+        let rss0 = peak_rss_bytes().unwrap_or(0);
+        let t0 = Instant::now();
+        let out_path = dir.join(format!("stream_{threads}.rqc"));
+        let sink = std::io::BufWriter::new(std::fs::File::create(&out_path).unwrap());
+        let mut writer = ArchiveWriter::<f32, _>::create(sink, shape, &cfg).unwrap();
+        let batch_rows = chunk_rows * threads;
+        let mut src = std::io::BufReader::new(std::fs::File::open(&raw_path).unwrap());
+        let mut row = 0usize;
+        let mut buf = vec![0u8; batch_rows * row_elems * 4];
+        while row < shape.dim(0) {
+            let rows = batch_rows.min(shape.dim(0) - row);
+            let take = &mut buf[..rows * row_elems * 4];
+            src.read_exact(take).unwrap();
+            let values: Vec<f32> = take
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let mut dims = [0usize; MAX_DIMS];
+            dims[..shape.ndim()].copy_from_slice(shape.dims());
+            dims[0] = rows;
+            writer
+                .write_slab(&NdArray::from_vec(Shape::new(&dims[..shape.ndim()]), values))
+                .unwrap();
+            row += rows;
+        }
+        let finished = writer.finalize().unwrap();
+        let stream_wall = t0.elapsed();
+        let stream_rss = peak_rss_bytes().unwrap_or(0).max(rss0);
+        let stream_bytes = finished.bytes_written;
+        t.row(&[
+            threads.to_string(),
+            "streaming".into(),
+            f(stream_wall.as_secs_f64() * 1e3, 1),
+            stream_bytes.to_string(),
+            f(mib(stream_rss), 1),
+        ]);
+
+        // --- in-memory one-shot ---
+        reset_peak_rss();
+        let rss0 = peak_rss_bytes().unwrap_or(0);
+        let t0 = Instant::now();
+        let bytes = std::fs::read(&raw_path).unwrap();
+        let values: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        drop(bytes);
+        let input = NdArray::from_vec(shape, values);
+        let out = compress(&input, &cfg).unwrap();
+        std::fs::write(dir.join(format!("inmem_{threads}.rqc")), &out.bytes).unwrap();
+        let inmem_wall = t0.elapsed();
+        let inmem_rss = peak_rss_bytes().unwrap_or(0).max(rss0);
+        t.row(&[
+            threads.to_string(),
+            "in-memory".into(),
+            f(inmem_wall.as_secs_f64() * 1e3, 1),
+            out.bytes.len().to_string(),
+            f(mib(inmem_rss), 1),
+        ]);
+        drop(input);
+        drop(out);
+    }
+    t.print();
+    println!(
+        "\nReading: \"streaming\" holds {chunk_rows}×threads rows of input plus per-worker\n\
+         state; \"in-memory\" holds the whole field plus the whole archive. Output bytes\n\
+         differ only by index placement (v2.2 trailer vs v2 inline index)."
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,6 +1,7 @@
-//! Raw little-endian f32 file I/O.
+//! Raw little-endian f32 file I/O, whole-file and streaming.
 
 use rq_grid::{NdArray, Shape};
+use std::io::Read;
 
 /// Read a raw little-endian `f32` file into a field of the given shape.
 pub fn read_raw_f32(path: &str, shape: Shape) -> Result<NdArray<f32>, String> {
@@ -32,6 +33,42 @@ pub fn write_raw_f32(path: &str, field: &NdArray<f32>) -> Result<(), String> {
 /// Read a whole file.
 pub fn read_bytes(path: &str) -> Result<Vec<u8>, String> {
     std::fs::read(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Open a raw `f32` input for streaming and check its size against the
+/// declared shape. Returns the open file.
+pub fn open_raw_f32(path: &str, shape: Shape) -> Result<std::fs::File, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let len = f.metadata().map_err(|e| format!("{path}: {e}"))?.len();
+    let expect = shape.len() as u64 * 4;
+    if len != expect {
+        return Err(format!(
+            "{path}: {len} bytes but shape {:?} needs {expect}",
+            shape.dims()
+        ));
+    }
+    Ok(f)
+}
+
+/// Read the next `shape.len()` little-endian `f32` values from a stream
+/// as one axis-0 slab.
+pub fn read_f32_slab(r: &mut impl Read, shape: Shape) -> Result<NdArray<f32>, String> {
+    let mut bytes = vec![0u8; shape.len() * 4];
+    r.read_exact(&mut bytes).map_err(|e| format!("short read: {e}"))?;
+    let values: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(NdArray::from_vec(shape, values))
+}
+
+/// Append a slice of `f32` values to a stream as little-endian bytes.
+pub fn write_f32_values(w: &mut impl std::io::Write, values: &[f32]) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&bytes).map_err(|e| format!("write failed: {e}"))
 }
 
 /// Write a whole file.

@@ -8,21 +8,31 @@
 //! rqm decompress <in.rqc> <out.f32> [--threads N]
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
 //!                [--predictor …]           # model-only, no compression
-//! rqm info       <in.rqc>
+//! rqm info       <in.rqc> [--json]
 //! ```
 //!
-//! `--threads`/`--chunk-size` switch to the chunk-parallel pipeline
-//! (container format v2): the field is split into axis-0 slabs of
-//! `--chunk-size` rows (default: auto-sized to the thread count), chunks
-//! are compressed concurrently, and `decompress` decodes them concurrently
-//! too. Plain `compress` without either flag keeps the serial v1 format.
+//! `--threads`/`--chunk-size` switch to the **streaming** chunk-parallel
+//! pipeline (container format v2.2): the input file is read in axis-0
+//! slabs of `--chunk-size` rows (default: auto-sized to the thread
+//! count), each slab is compressed concurrently through the
+//! `rq_compress::ArchiveWriter` session, and blobs go straight to the
+//! output file with the chunk index in a trailer — peak memory stays at a
+//! few slabs no matter how large the field is. Plain `compress` without
+//! either flag keeps the serial in-memory v1 format.
+//!
+//! `decompress` without `--threads` streams too: chunks are decoded one
+//! at a time through `rq_compress::ArchiveReader` and written out as they
+//! complete. With `--threads N` it loads the archive and decodes chunks
+//! concurrently (faster, at in-memory cost).
 //!
 //! `--codec` selects the per-chunk backend: `sz` (default, the prediction
 //! path), `zfp` (the transform path) or `auto`, which evaluates a sampled
-//! ratio estimate per chunk and picks the cheaper codec. Non-`sz` codecs
-//! write container v2.1, whose chunk index tags every chunk with the
-//! codec that produced it (shown by `rqm info`), and imply auto-chunking
-//! unless `--chunk-size` is given.
+//! ratio estimate per chunk and picks the cheaper codec. The chunk index
+//! tags every chunk with the codec that produced it (shown by `rqm
+//! info`); non-`sz` codecs imply chunking even without `--chunk-size`.
+//!
+//! `rqm info --json` emits the header and the per-chunk table
+//! (offset/bytes/codec/ratio per chunk) as machine-readable JSON.
 //!
 //! Raw inputs are little-endian `f32` streams in row-major order.
 
@@ -31,12 +41,13 @@ mod io;
 
 use args::Args;
 use rq_compress::{
-    compress_with_report, container::peek_header, decompress, ChunkCodecKind, CodecChoice,
-    CompressorConfig,
+    compress_with_report, decompress_with_threads, ArchiveReader, ArchiveWriter, ChunkCodecKind,
+    CodecChoice, CompressionReport, CompressorConfig, Header,
 };
 use rq_core::RqModel;
-use rq_grid::NdArray;
+use rq_grid::{NdArray, Shape, MAX_DIMS};
 use rq_quant::ErrorBoundMode;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -59,7 +70,7 @@ usage:
                  [--threads N] [--chunk-size ROWS]
   rqm decompress <in.rqc> <out.f32> [--threads N]
   rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
-  rqm info       <in.rqc>";
+  rqm info       <in.rqc> [--json]";
 
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -83,10 +94,107 @@ fn bound_from(args: &Args) -> Result<ErrorBoundMode, String> {
     }
 }
 
+/// Shape of an axis-0 slab of `rows` rows cut from a field of `shape`.
+fn slab_shape(shape: Shape, rows: usize) -> Shape {
+    let mut dims = [0usize; MAX_DIMS];
+    dims[..shape.ndim()].copy_from_slice(shape.dims());
+    dims[0] = rows;
+    Shape::new(&dims[..shape.ndim()])
+}
+
+/// One bounded-memory pass over a raw `f32` file: the value range
+/// (max − min, NaNs ignored), for resolving `--rel` without loading the
+/// field.
+fn stream_value_range(input: &str, shape: Shape) -> Result<f64, String> {
+    let mut src = std::io::BufReader::new(io::open_raw_f32(input, shape)?);
+    let mut remaining = shape.len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut buf = vec![0u8; 4 << 20];
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 4);
+        let chunk = &mut buf[..take * 4];
+        src.read_exact(chunk).map_err(|e| format!("{input}: {e}"))?;
+        for quad in chunk.chunks_exact(4) {
+            let v = f32::from_le_bytes(quad.try_into().unwrap()) as f64;
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        remaining -= take;
+    }
+    if lo > hi {
+        return Err(format!("{input}: all values are NaN"));
+    }
+    Ok(hi - lo)
+}
+
+/// Streaming compression: read the input in slabs, feed the archive
+/// writer, never hold more than a few slabs in memory.
+fn stream_compress(
+    input: &str,
+    output: &str,
+    shape: Shape,
+    mut cfg: CompressorConfig,
+) -> Result<CompressionReport, String> {
+    // A value-range-relative bound needs the global range before the
+    // first slab; one cheap streaming pass resolves it to an absolute
+    // bound (identical to what the in-memory pipeline would compute).
+    if let ErrorBoundMode::ValueRangeRelative(r) = cfg.bound {
+        cfg = cfg.with_bound(ErrorBoundMode::Abs(r * stream_value_range(input, shape)?));
+    }
+    let mut src = std::io::BufReader::new(io::open_raw_f32(input, shape)?);
+    // Blobs stream into a temp file renamed into place at the end, so a
+    // failed run cannot clobber an existing archive with a trailer-less
+    // (unreadable) partial one.
+    let tmp = format!("{output}.rqm-partial");
+    let result = (|| -> Result<CompressionReport, String> {
+        let sink = std::io::BufWriter::new(
+            std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?,
+        );
+        let mut writer = ArchiveWriter::<f32, _>::create(sink, shape, &cfg)
+            .map_err(|e| format!("compression failed: {e}"))?;
+        // Feed one batch of chunks per read: enough rows to occupy every
+        // worker thread, and the upper bound on resident input data.
+        let d0 = shape.dim(0);
+        let batch_rows = writer
+            .chunk_rows()
+            .saturating_mul(cfg.resolved_threads())
+            .clamp(writer.chunk_rows(), d0);
+        let mut row = 0usize;
+        while row < d0 {
+            let rows = batch_rows.min(d0 - row);
+            let slab = io::read_f32_slab(&mut src, slab_shape(shape, rows))
+                .map_err(|e| format!("{input}: {e}"))?;
+            writer.write_slab(&slab).map_err(|e| format!("compression failed: {e}"))?;
+            row += rows;
+        }
+        let finished = writer.finalize().map_err(|e| format!("compression failed: {e}"))?;
+        finished
+            .sink
+            .into_inner()
+            .map_err(|e| format!("{tmp}: {e}"))?
+            .sync_all()
+            .map_err(|e| format!("{tmp}: {e}"))?;
+        Ok(finished.report)
+    })();
+    match result {
+        Ok(report) => {
+            std::fs::rename(&tmp, output).map_err(|e| format!("{output}: {e}"))?;
+            Ok(report)
+        }
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
 fn cmd_compress(args: &Args) -> Result<(), String> {
     let [_, input, output] = positional::<3>(args)?;
     let shape = args.shape()?;
-    let field = io::read_raw_f32(&input, shape)?;
     let bound = bound_from(args)?;
 
     let codec = match args.get("codec").unwrap_or("sz") {
@@ -101,6 +209,7 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     }
     let threads = args.unsigned("threads")?;
     let chunk_rows = args.unsigned("chunk-size")?;
+    let chunked = threads.is_some() || chunk_rows.is_some() || codec != CodecChoice::Sz;
     if threads.is_some() || chunk_rows.is_some() {
         cfg = match chunk_rows {
             Some(0) => return Err("--chunk-size must be positive".into()),
@@ -108,15 +217,27 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
             None => cfg.auto_chunked(),
         };
         cfg = cfg.with_threads(threads.unwrap_or(0));
-    } else if codec != CodecChoice::Sz {
+    } else if chunked {
         // The adaptive codecs decide per chunk; give them chunks to
         // decide over even when no explicit chunking was requested. A
         // fixed chunk-count target (not thread-derived auto sizing) keeps
         // the output bytes machine-independent.
         cfg = cfg.chunked(rq_grid::auto_chunk_rows(shape, 16, 1 << 15));
     }
-    let (out, rep) =
-        compress_with_report(&field, &cfg).map_err(|e| format!("compression failed: {e}"))?;
+
+    let rep = if chunked {
+        // Chunked: stream slabs through the writer session (container
+        // v2.2) — peak RSS is a few slabs, not the field.
+        stream_compress(&input, &output, shape, cfg)?
+    } else {
+        // Serial v1: the single causal traversal needs the whole field.
+        let field = io::read_raw_f32(&input, shape)?;
+        let (out, rep) =
+            compress_with_report(&field, &cfg).map_err(|e| format!("compression failed: {e}"))?;
+        io::write_bytes(&output, &out.bytes)?;
+        rep
+    };
+
     let n_zfp =
         rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Zfp).count();
     let codec_note = match codec {
@@ -135,37 +256,81 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     };
     let summary = format!(
         "{codec_note}{predictor_note}ratio {:.2}, {:.3} bits/value{}",
-        out.ratio(),
-        out.bit_rate(),
+        rep.overall_ratio(),
+        rep.overall_bit_rate(),
         if rep.n_chunks > 1 {
             format!(", {} chunks × {} threads", rep.n_chunks, cfg.resolved_threads())
         } else {
             String::new()
         }
     );
-    io::write_bytes(&output, &out.bytes)?;
-    println!("{input} -> {output}: {} -> {} bytes ({summary})", field.len() * 4, out.bytes.len());
+    println!(
+        "{input} -> {output}: {} -> {} bytes ({summary})",
+        shape.len() * 4,
+        rep.container_bytes
+    );
     Ok(())
 }
 
 fn cmd_decompress(args: &Args) -> Result<(), String> {
     let [_, input, output] = positional::<3>(args)?;
-    let bytes = io::read_bytes(&input)?;
-    let field: NdArray<f32> = if bytes.starts_with(b"RQZF") {
-        rq_zfp::zfp_decompress(&bytes).map_err(|e| format!("zfp decompression failed: {e}"))?
-    } else if let Some(threads) = args.unsigned("threads")? {
-        rq_compress::decompress_with_threads(&bytes, threads)
-            .map_err(|e| format!("decompression failed: {e}"))?
-    } else {
-        decompress(&bytes).map_err(|e| format!("decompression failed: {e}"))?
-    };
-    io::write_raw_f32(&output, &field)?;
-    println!(
-        "{input} -> {output}: {:?}, {} values",
-        field.shape(),
-        field.len()
-    );
-    Ok(())
+    let mut src = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
+    let mut magic = [0u8; 4];
+    let sniffed = src.read(&mut magic).map_err(|e| format!("{input}: {e}"))?;
+    if sniffed == 4 && &magic == b"RQZF" {
+        // Standalone transform-codec stream: whole-buffer decode.
+        let bytes = io::read_bytes(&input)?;
+        let field: NdArray<f32> = rq_zfp::zfp_decompress(&bytes)
+            .map_err(|e| format!("zfp decompression failed: {e}"))?;
+        io::write_raw_f32(&output, &field)?;
+        println!("{input} -> {output}: {:?}, {} values", field.shape(), field.len());
+        return Ok(());
+    }
+    if let Some(threads) = args.unsigned("threads")? {
+        // Explicit thread count: in-memory chunk-parallel decode.
+        let bytes = io::read_bytes(&input)?;
+        let field: NdArray<f32> = decompress_with_threads(&bytes, threads)
+            .map_err(|e| format!("decompression failed: {e}"))?;
+        io::write_raw_f32(&output, &field)?;
+        println!("{input} -> {output}: {:?}, {} values", field.shape(), field.len());
+        return Ok(());
+    }
+    // Default: streaming decode — one chunk resident at a time, rows
+    // written out as each chunk completes. Rows stream into a temp file
+    // that is renamed into place only after every chunk decoded, so a
+    // corrupt archive can neither clobber an existing output nor leave a
+    // silently truncated one.
+    src.seek(SeekFrom::Start(0)).map_err(|e| format!("{input}: {e}"))?;
+    let mut reader =
+        ArchiveReader::open(src).map_err(|e| format!("decompression failed: {e}"))?;
+    let shape = reader.header().shape;
+    let tmp = format!("{output}.rqm-partial");
+    let result = (|| -> Result<usize, String> {
+        let mut sink = std::io::BufWriter::new(
+            std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?,
+        );
+        let mut values = 0usize;
+        for chunk in 0..reader.n_chunks() {
+            let (_, slab) = reader
+                .read_chunk::<f32>(chunk)
+                .map_err(|e| format!("decompression failed: {e}"))?;
+            io::write_f32_values(&mut sink, slab.as_slice())?;
+            values += slab.len();
+        }
+        sink.flush().map_err(|e| format!("{tmp}: {e}"))?;
+        Ok(values)
+    })();
+    match result {
+        Ok(values) => {
+            std::fs::rename(&tmp, &output).map_err(|e| format!("{output}: {e}"))?;
+            println!("{input} -> {output}: {shape:?}, {values} values");
+            Ok(())
+        }
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
 }
 
 fn cmd_estimate(args: &Args) -> Result<(), String> {
@@ -200,15 +365,117 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human name of a container version byte ("2.1" for byte 3, …).
+fn version_name(version: u8) -> &'static str {
+    match version {
+        1 => "1",
+        2 => "2",
+        3 => "2.1",
+        _ => "2.2",
+    }
+}
+
+/// Emit the header + chunk table as machine-readable JSON (hand-rolled,
+/// no dependencies — the structure is flat enough that a serializer
+/// would be overkill).
+fn print_info_json(
+    input: &str,
+    total_bytes: u64,
+    h: &Header,
+    table: &rq_compress::ChunkTable,
+) {
+    let scalar_bytes = if h.scalar_tag == 0x04 { 4 } else { 8 };
+    let row_elems: usize = h.shape.dims()[1..].iter().product::<usize>().max(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"file\": \"{}\",\n", json_escape(input)));
+    out.push_str("  \"format\": \"rqmc\",\n");
+    out.push_str(&format!("  \"version\": \"{}\",\n", version_name(h.version)));
+    out.push_str(&format!("  \"version_byte\": {},\n", h.version));
+    out.push_str(&format!("  \"bytes\": {total_bytes},\n"));
+    let dims: Vec<String> = h.shape.dims().iter().map(|d| d.to_string()).collect();
+    out.push_str(&format!("  \"shape\": [{}],\n", dims.join(", ")));
+    out.push_str(&format!(
+        "  \"scalar\": \"{}\",\n",
+        if h.scalar_tag == 0x04 { "f32" } else { "f64" }
+    ));
+    out.push_str(&format!("  \"predictor\": \"{}\",\n", h.predictor.name()));
+    out.push_str(&format!("  \"abs_bound\": {:e},\n", h.abs_eb));
+    out.push_str(&format!("  \"radius\": {},\n", h.radius));
+    out.push_str(&format!(
+        "  \"lossless\": {},\n",
+        h.lossless != rq_compress::LosslessStage::None
+    ));
+    out.push_str(&format!("  \"log_transform\": {},\n", h.log_transform));
+    let ratio = (h.shape.len() * scalar_bytes) as f64 / (total_bytes as f64).max(1.0);
+    out.push_str(&format!("  \"ratio\": {ratio:.4},\n"));
+    out.push_str(&format!("  \"chunk_rows\": {},\n", table.chunk_rows));
+    out.push_str("  \"chunks\": [\n");
+    for (i, e) in table.entries.iter().enumerate() {
+        let chunk_ratio = (e.rows * row_elems * scalar_bytes) as f64 / e.len.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"index\": {i}, \"start_row\": {}, \"rows\": {}, \"offset\": {}, \
+             \"bytes\": {}, \"codec\": \"{}\", \"ratio\": {chunk_ratio:.4}}}{}\n",
+            e.start_row,
+            e.rows,
+            e.offset,
+            e.len,
+            e.codec.name(),
+            if i + 1 < table.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}
+
 fn cmd_info(args: &Args) -> Result<(), String> {
     let [_, input] = positional::<2>(args)?;
-    let bytes = io::read_bytes(&input)?;
-    if bytes.starts_with(b"RQZF") {
-        println!("{input}: RQZF transform-codec stream, {} bytes", bytes.len());
+    let json = args.flag("json");
+    let mut src = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
+    let total_bytes = src.metadata().map_err(|e| format!("{input}: {e}"))?.len();
+    let mut magic = [0u8; 4];
+    let sniffed = src.read(&mut magic).map_err(|e| format!("{input}: {e}"))?;
+    if sniffed == 4 && &magic == b"RQZF" {
+        if json {
+            println!(
+                "{{\n  \"file\": \"{}\",\n  \"format\": \"rqzf\",\n  \"bytes\": {total_bytes}\n}}",
+                json_escape(&input)
+            );
+        } else {
+            println!("{input}: RQZF transform-codec stream, {total_bytes} bytes");
+        }
         return Ok(());
     }
-    let h = peek_header(&bytes).map_err(|e| format!("not a compressed container: {e}"))?;
-    println!("{input}: RQMC container v{}, {} bytes", h.version, bytes.len());
+    // The reader parses only the header and chunk index — `info` never
+    // loads the payload, however large the archive.
+    src.seek(SeekFrom::Start(0)).map_err(|e| format!("{input}: {e}"))?;
+    let reader =
+        ArchiveReader::open(src).map_err(|e| format!("not a compressed container: {e}"))?;
+    let h = reader.header().clone();
+    let table = reader.chunk_table();
+    if json {
+        print_info_json(&input, total_bytes, &h, &table);
+        return Ok(());
+    }
+    println!("{input}: RQMC container v{} ({}), {total_bytes} bytes",
+        version_name(h.version), h.version);
     println!("  shape:      {:?}", h.shape);
     println!("  scalar:     {}", if h.scalar_tag == 0x04 { "f32" } else { "f64" });
     println!("  predictor:  {}", h.predictor.name());
@@ -216,8 +483,6 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("  radius:     {}", h.radius);
     println!("  lossless:   {:?}", h.lossless);
     println!("  log xform:  {}", h.log_transform);
-    let table =
-        rq_compress::chunk_table(&bytes).map_err(|e| format!("bad chunk index: {e}"))?;
     let scalar_bytes = if h.scalar_tag == 0x04 { 4 } else { 8 };
     if h.version >= 2 {
         println!("  chunks:     {} × {} rows", table.entries.len(), table.chunk_rows);
@@ -237,7 +502,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
             );
         }
     }
-    let ratio = (h.shape.len() * scalar_bytes) as f64 / bytes.len() as f64;
+    let ratio = (h.shape.len() * scalar_bytes) as f64 / (total_bytes as f64).max(1.0);
     println!("  ratio:      {ratio:.2}");
     Ok(())
 }
@@ -257,7 +522,7 @@ fn positional<const N: usize>(args: &Args) -> Result<[String; N], String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rq_grid::Shape;
+    use rq_compress::peek_header;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("rqm_cli_tests");
@@ -320,9 +585,12 @@ mod tests {
             "6",
         ])
         .unwrap();
+        // Chunked CLI compression streams through the writer session:
+        // container v2.2 (version byte 4, trailer index).
         let h = peek_header(&io::read_bytes(rqc.to_str().unwrap()).unwrap()).unwrap();
-        assert_eq!(h.version, 2);
+        assert_eq!(h.version, 4);
         run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+        run_args(&["info", rqc.to_str().unwrap(), "--json"]).unwrap();
         run_args(&[
             "decompress",
             rqc.to_str().unwrap(),
@@ -398,7 +666,7 @@ mod tests {
         ])
         .unwrap();
         let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
-        assert_eq!(peek_header(&bytes).unwrap().version, 3, "auto codec writes v2.1");
+        assert_eq!(peek_header(&bytes).unwrap().version, 4, "chunked CLI writes v2.2");
         run_args(&["info", rqc.to_str().unwrap()]).unwrap();
         run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
         let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
@@ -423,6 +691,38 @@ mod tests {
     }
 
     #[test]
+    fn rel_bound_streams_with_prepass() {
+        // --rel on the chunked (streaming) path: the CLI resolves the
+        // bound with a min/max pre-pass; the result must match the
+        // in-memory pipeline's resolution and hold element-wise.
+        let raw = tmp("r.f32");
+        let rqc = tmp("r.rqc");
+        let back = tmp("r.out.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--rel",
+            "1e-3",
+            "--chunk-size",
+            "7",
+        ])
+        .unwrap();
+        let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
+        let h = peek_header(&bytes).unwrap();
+        let range = f.value_range();
+        assert!((h.abs_eb - 1e-3 * range).abs() <= 1e-12 * range);
+        run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() as f64 <= h.abs_eb * 1.001);
+        }
+    }
+
+    #[test]
     fn estimate_and_info_run() {
         let raw = tmp("e.f32");
         let rqc = tmp("e.rqc");
@@ -441,6 +741,48 @@ mod tests {
         ])
         .unwrap();
         run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn failed_decompress_leaves_existing_output_intact() {
+        // A corrupt archive must neither clobber an existing output file
+        // nor leave a partial one behind.
+        let raw = tmp("nc.f32");
+        let rqc = tmp("nc.rqc");
+        let out = tmp("nc.out.f32");
+        write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+            "--chunk-size",
+            "6",
+        ])
+        .unwrap();
+        // Corrupt a blob byte (keep header + trailer parseable so the
+        // failure happens mid-decode, after some chunks succeeded).
+        let mut bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
+        let table = rq_compress::chunk_table(&bytes).unwrap();
+        let last = table.entries.last().unwrap();
+        bytes[last.offset + last.len / 2] ^= 0xff;
+        bytes[last.offset + last.len / 2 + 1] ^= 0xff;
+        io::write_bytes(rqc.to_str().unwrap(), &bytes).unwrap();
+        std::fs::write(&out, b"precious").unwrap();
+        let r = run_args(&["decompress", rqc.to_str().unwrap(), out.to_str().unwrap()]);
+        if r.is_err() {
+            assert_eq!(std::fs::read(&out).unwrap(), b"precious", "output clobbered");
+            assert!(
+                !std::path::Path::new(&format!("{}.rqm-partial", out.display())).exists(),
+                "partial temp file left behind"
+            );
+        }
+        // (A flip inside an entropy payload can decode "successfully" to
+        // wrong data — that case is allowed; the guarantee under test is
+        // only about the failure path.)
     }
 
     #[test]

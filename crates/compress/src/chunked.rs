@@ -23,16 +23,17 @@
 //! Random access: [`decompress_chunk`] decodes a single slab via the v2
 //! chunk index without touching the rest of the container.
 
-use crate::codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
+use crate::codec::{ChunkCodec, ChunkStats, ZfpChunkCodec};
 use crate::config::{Chunking, CodecChoice, CompressorConfig};
 use crate::container::{
     container_version, read_chunk_blob, read_container_v2_index, write_container_v2,
     write_container_v2_1, ChunkCodecKind, ChunkEntry, CompressError, DecompressError, Header,
     VERSION_V1, VERSION_V2, VERSION_V2_1,
 };
-use crate::pipeline::{decode_stream, resolve_bound, transform_from_header, Transform};
+use crate::pipeline::{decode_stream, resolve_bound, transform_from_header};
 use crate::report::{CompressedOutput, CompressionReport};
-use rq_grid::{auto_chunk_rows, slab_chunks, ChunkSpec, NdArray, Scalar, Shape};
+use crate::stream::SlabEncoder;
+use rq_grid::{auto_chunk_rows, slab_chunks, NdArray, Scalar, Shape};
 use rq_quant::LinearQuantizer;
 
 /// Minimum elements per auto-sized chunk, so per-chunk codebook/section
@@ -44,7 +45,7 @@ const AUTO_MIN_CHUNK_ELEMS: usize = 1 << 15;
 const AUTO_CHUNKS_PER_THREAD: usize = 4;
 
 /// Resolve the configured chunking to a concrete row count per slab.
-fn resolve_chunk_rows(cfg: &CompressorConfig, shape: Shape) -> usize {
+pub(crate) fn resolve_chunk_rows(cfg: &CompressorConfig, shape: Shape) -> usize {
     match cfg.chunking {
         Chunking::Serial => shape.dim(0),
         Chunking::Rows(rows) => rows.clamp(1, shape.dim(0)),
@@ -59,7 +60,7 @@ fn resolve_chunk_rows(cfg: &CompressorConfig, shape: Shape) -> usize {
 /// Run `f` over `items` on up to `threads` scoped workers, round-robin.
 /// Results come back in input order. Errors are propagated (first one in
 /// input order wins).
-fn run_on_workers<I, R, E, F>(items: Vec<I>, threads: usize, f: F) -> Result<Vec<R>, E>
+pub(crate) fn run_on_workers<I, R, E, F>(items: Vec<I>, threads: usize, f: F) -> Result<Vec<R>, E>
 where
     I: Send,
     R: Send,
@@ -110,59 +111,61 @@ pub fn compress_chunked<T: Scalar>(
 }
 
 /// [`compress_chunked`], also returning aggregated per-stage measurements.
+///
+/// A thin wrapper over the streaming session's encode core
+/// ([`crate::stream`]): the field is cut into chunks, encoded on the
+/// worker pool by the shared `SlabEncoder`, and assembled into an
+/// index-first v2 (fixed-SZ configs, byte-identical to earlier releases)
+/// or v2.1 (adaptive codecs) container.
 pub fn compress_chunked_with_report<T: Scalar>(
     field: &NdArray<T>,
     cfg: &CompressorConfig,
 ) -> Result<(CompressedOutput, CompressionReport), CompressError> {
+    cfg.validate().map_err(CompressError::InvalidConfig)?;
     let shape = field.shape();
     let n = shape.len();
     let (abs_eb, transform) = resolve_bound(cfg, field.value_range())?;
-    let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
-
-    if cfg.codec != CodecChoice::Sz {
-        return compress_adaptive_with_report(field, cfg, abs_eb, transform, quantizer);
-    }
+    let enc = SlabEncoder::from_cfg(cfg, abs_eb, transform)?;
 
     let chunk_rows = resolve_chunk_rows(cfg, shape);
     let chunks = slab_chunks(shape, chunk_rows);
-    let data = field.as_slice();
-    let sz = SzChunkCodec::new(cfg.predictor, quantizer, cfg.lossless).with_transform(transform);
+    let encoded = enc.encode_chunks(field.as_slice(), chunks)?;
 
-    let encoded: Vec<(usize, Vec<u8>, ChunkStats)> = run_on_workers(
-        chunks,
-        cfg.resolved_threads(),
-        |c: ChunkSpec| -> Result<(usize, Vec<u8>, ChunkStats), CompressError> {
-            let (blob, stats) =
-                ChunkCodec::<T>::encode(&sz, &data[c.offset..c.offset + c.len], c.shape)?;
-            Ok((c.rows, blob, stats))
-        },
-    )?;
-
+    let version = if cfg.codec == CodecChoice::Sz { VERSION_V2 } else { VERSION_V2_1 };
     let header = Header {
-        version: VERSION_V2,
+        version,
         scalar_tag: T::TAG,
         predictor: cfg.predictor,
         lossless: cfg.lossless,
-        log_transform: transform != Transform::Identity,
+        log_transform: enc.transform != crate::pipeline::Transform::Identity,
         shape,
         abs_eb,
         radius: cfg.radius,
     };
 
-    let mut blobs = Vec::with_capacity(encoded.len());
     let mut per_chunk = Vec::with_capacity(encoded.len());
-    for (rows, blob, stats) in encoded {
-        blobs.push((rows, blob));
-        per_chunk.push((ChunkCodecKind::Sz, stats));
-    }
-    let bytes = write_container_v2::<T>(&header, chunk_rows, &blobs);
-    let report = aggregate_report(&quantizer, per_chunk, n, T::BITS, bytes.len());
+    let bytes = if version == VERSION_V2 {
+        let mut blobs = Vec::with_capacity(encoded.len());
+        for ec in encoded {
+            blobs.push((ec.rows, ec.blob));
+            per_chunk.push((ChunkCodecKind::Sz, ec.stats));
+        }
+        write_container_v2::<T>(&header, chunk_rows, &blobs)
+    } else {
+        let mut blobs = Vec::with_capacity(encoded.len());
+        for ec in encoded {
+            blobs.push((ec.rows, ec.codec, ec.blob));
+            per_chunk.push((ec.codec, ec.stats));
+        }
+        write_container_v2_1::<T>(&header, chunk_rows, &blobs)
+    };
+    let report = aggregate_report(&enc.quantizer, per_chunk, n, T::BITS, bytes.len());
     Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
 }
 
 /// Fold per-chunk encoding statistics into one [`CompressionReport`]
-/// (shared by the fixed-SZ and adaptive pipelines).
-fn aggregate_report(
+/// (shared by the one-shot chunked pipeline and the streaming writer).
+pub(crate) fn aggregate_report(
     quantizer: &LinearQuantizer,
     per_chunk: Vec<(ChunkCodecKind, ChunkStats)>,
     n_elements: usize,
@@ -214,105 +217,17 @@ fn aggregate_report(
     }
 }
 
-/// The adaptive pipeline ([`CodecChoice::Zfp`] / [`CodecChoice::Auto`]):
-/// per chunk, pick a codec (fixed or ratio-driven via
-/// [`crate::scheduler`]), encode through the [`ChunkCodec`] trait, and
-/// write a v2.1 container whose index tags every chunk with its codec.
-fn compress_adaptive_with_report<T: Scalar>(
-    field: &NdArray<T>,
-    cfg: &CompressorConfig,
-    abs_eb: f64,
-    transform: Transform,
-    quantizer: LinearQuantizer,
-) -> Result<(CompressedOutput, CompressionReport), CompressError> {
-    if cfg.codec == CodecChoice::Zfp && transform != Transform::Identity {
-        return Err(CompressError::Unsupported(
-            "point-wise relative bounds need the sz codec (zfp has no log-domain escape path); \
-             use codec sz or auto"
-                .into(),
-        ));
-    }
-    let shape = field.shape();
-    let n = shape.len();
-    let sz =
-        SzChunkCodec::new(cfg.predictor, quantizer, cfg.lossless).with_transform(transform);
-    let zfp = ZfpChunkCodec::new(abs_eb);
-
-    let chunk_rows = resolve_chunk_rows(cfg, shape);
-    let chunks = slab_chunks(shape, chunk_rows);
-    let data = field.as_slice();
-
-    // Decide and encode inside the workers; both steps are deterministic
-    // per chunk, so container bytes stay independent of the thread count.
-    type Encoded = (usize, ChunkCodecKind, Vec<u8>, ChunkStats);
-    let encoded: Vec<Encoded> = run_on_workers(
-        chunks,
-        cfg.resolved_threads(),
-        |c: ChunkSpec| -> Result<Encoded, CompressError> {
-            let slab = &data[c.offset..c.offset + c.len];
-            // `ready` carries the scheduler's probe stream when it already
-            // compressed the whole (small) slab — no second zfp pass then.
-            let (kind, ready) = match cfg.codec {
-                CodecChoice::Sz => unreachable!("handled by the fixed-sz pipeline"),
-                CodecChoice::Zfp => (ChunkCodecKind::Zfp, None),
-                CodecChoice::Auto => {
-                    if transform != Transform::Identity {
-                        // Log-domain configs: zfp is not a candidate.
-                        (ChunkCodecKind::Sz, None)
-                    } else {
-                        let (decision, blob) = crate::scheduler::choose_codec_with_blob(
-                            slab,
-                            c.shape,
-                            cfg.predictor,
-                            abs_eb,
-                            cfg.radius,
-                        );
-                        (decision.codec, blob)
-                    }
-                }
-            };
-            let (blob, stats) = match (kind, ready) {
-                (ChunkCodecKind::Zfp, Some(blob)) => (blob, ChunkStats::default()),
-                (ChunkCodecKind::Sz, _) => ChunkCodec::<T>::encode(&sz, slab, c.shape)?,
-                (ChunkCodecKind::Zfp, None) => ChunkCodec::<T>::encode(&zfp, slab, c.shape)?,
-            };
-            Ok((c.rows, kind, blob, stats))
-        },
-    )?;
-
-    let header = Header {
-        version: VERSION_V2_1,
-        scalar_tag: T::TAG,
-        predictor: cfg.predictor,
-        lossless: cfg.lossless,
-        log_transform: transform != Transform::Identity,
-        shape,
-        abs_eb,
-        radius: cfg.radius,
-    };
-
-    let mut blobs = Vec::with_capacity(encoded.len());
-    let mut per_chunk = Vec::with_capacity(encoded.len());
-    for (rows, kind, blob, stats) in encoded {
-        blobs.push((rows, kind, blob));
-        per_chunk.push((kind, stats));
-    }
-    let bytes = write_container_v2_1::<T>(&header, chunk_rows, &blobs);
-    let report = aggregate_report(&quantizer, per_chunk, n, T::BITS, bytes.len());
-    Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
-}
-
 /// Decode one chunk blob into its output slab, dispatching on the chunk's
-/// codec tag.
-fn decode_entry<T: Scalar>(
-    bytes: &[u8],
+/// codec tag. Shared by the in-memory decompressors and the streaming
+/// [`crate::ArchiveReader`].
+pub(crate) fn decode_chunk_blob<T: Scalar>(
+    blob: &[u8],
     header: &Header,
-    entry: ChunkEntry,
+    codec: ChunkCodecKind,
     chunk_shape: Shape,
     out: &mut [T],
 ) -> Result<(), DecompressError> {
-    let blob = &bytes[entry.offset..entry.offset + entry.len];
-    match entry.codec {
+    match codec {
         ChunkCodecKind::Sz => {
             let (lossless, body) = read_chunk_blob::<T>(blob)?;
             decode_stream(
@@ -331,8 +246,26 @@ fn decode_entry<T: Scalar>(
     }
 }
 
+/// Decode one located chunk of an in-memory container into its output
+/// slab.
+fn decode_entry<T: Scalar>(
+    bytes: &[u8],
+    header: &Header,
+    entry: ChunkEntry,
+    chunk_shape: Shape,
+    out: &mut [T],
+) -> Result<(), DecompressError> {
+    decode_chunk_blob(
+        &bytes[entry.offset..entry.offset + entry.len],
+        header,
+        entry.codec,
+        chunk_shape,
+        out,
+    )
+}
+
 /// Shape of the slab covered by `entry` within a field of shape `shape`.
-fn entry_shape(shape: Shape, entry: ChunkEntry) -> Shape {
+pub(crate) fn entry_shape(shape: Shape, entry: ChunkEntry) -> Shape {
     let mut dims = [0usize; rq_grid::MAX_DIMS];
     dims[..shape.ndim()].copy_from_slice(shape.dims());
     dims[0] = entry.rows;
@@ -621,6 +554,25 @@ mod tests {
                 assert_bounded(&field, &back, 1e-3);
             }
         }
+    }
+
+    #[test]
+    fn zero_chunk_rows_is_error_not_panic() {
+        // `chunked(0)` panics in the builder, but a literal
+        // `Chunking::Rows(0)` bypasses it — the pipeline must return
+        // InvalidConfig instead of panicking inside the chunker.
+        let field = wavy(Shape::d2(8, 8));
+        let mut cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+        cfg.chunking = Chunking::Rows(0);
+        assert!(matches!(
+            compress(&field, &cfg),
+            Err(CompressError::InvalidConfig(_))
+        ));
+        cfg.codec = CodecChoice::Auto;
+        assert!(matches!(
+            compress(&field, &cfg),
+            Err(CompressError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -154,6 +154,20 @@ impl CompressorConfig {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }
     }
+
+    /// Check for structurally invalid states the builders normally
+    /// prevent but a literal construction can smuggle in (most notably
+    /// `Chunking::Rows(0)`, which bypasses the [`Self::chunked`] assert).
+    ///
+    /// Compression entry points call this and surface failures as
+    /// [`CompressError::InvalidConfig`](crate::CompressError::InvalidConfig)
+    /// instead of panicking deep inside the chunker.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunking == Chunking::Rows(0) {
+            return Err("chunk rows must be positive (got Chunking::Rows(0))".into());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

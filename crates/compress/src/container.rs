@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! magic    "RQMC" (4 bytes)
-//! version  u8   (1 = single-stream, 2 = chunked, 3 = chunked + codec tags)
+//! version  u8   (1 = single-stream, 2 = chunked, 3 = chunked + codec
+//!               tags, 4 = streaming trailer index)
 //! scalar   u8   (Scalar::TAG)
 //! pred     u8   (PredictorKind::tag)
 //! flags    u8   bit0 = lossless stage applied*, bit1 = log transform
@@ -52,9 +53,29 @@
 //! v2 containers and v1 containers remain readable — their chunks are all
 //! implicitly SZ.
 //!
-//! (*) In v2/v2.1 the header's lossless flag records the *configuration*;
-//! the authoritative per-chunk decision is each SZ blob's flag byte, since
-//! the stage is only kept where it actually shrank that chunk's payload.
+//! **Version 2.2** (version byte 4, streaming sessions) moves the chunk
+//! index *behind* the blobs so a writer never has to buffer the archive:
+//!
+//! ```text
+//! blobs        n_chunks × chunk blob (immediately after the header)
+//! trailer      chunk_rows varint
+//!              n_chunks   varint
+//!              (rows varint, byte_len varint, codec u8) × n_chunks
+//! trailer_len  u64 LE — byte length of the trailer above
+//! magic        "RQIX" (4 bytes)
+//! ```
+//!
+//! A reader seeks to the last 12 bytes, validates the `RQIX` magic, jumps
+//! back `trailer_len` bytes to parse the index, and then has exactly the
+//! same random-access chunk table as v2.1 — blob offsets accumulate
+//! forward from the end of the header. Chunk blobs themselves are
+//! byte-identical to their v2/v2.1 counterparts. See `docs/FORMAT.md` for
+//! the full byte-layout specification of all four generations.
+//!
+//! (*) In v2/v2.1/v2.2 the header's lossless flag records the
+//! *configuration*; the authoritative per-chunk decision is each SZ blob's
+//! flag byte, since the stage is only kept where it actually shrank that
+//! chunk's payload.
 
 use crate::config::LosslessStage;
 use rq_encoding::varint::{get_uvarint, put_uvarint};
@@ -68,6 +89,12 @@ pub(crate) const VERSION_V1: u8 = 1;
 pub(crate) const VERSION_V2: u8 = 2;
 /// Chunk-indexed container with per-chunk codec tags ("v2.1").
 pub(crate) const VERSION_V2_1: u8 = 3;
+/// Streaming container with a trailer chunk index ("v2.2").
+pub(crate) const VERSION_V2_2: u8 = 4;
+/// Magic closing a v2.2 trailer (the last four bytes of the archive).
+pub(crate) const TRAILER_MAGIC: &[u8; 4] = b"RQIX";
+/// Fixed bytes after a v2.2 trailer body: u64 LE trailer length + magic.
+pub(crate) const TRAILER_SUFFIX_LEN: usize = 8 + 4;
 pub(crate) const FLAG_LOSSLESS: u8 = 0b01;
 pub(crate) const FLAG_LOG: u8 = 0b10;
 
@@ -80,8 +107,14 @@ pub enum CompressError {
     /// The configuration combines features that cannot work together
     /// (e.g. the zfp codec with a point-wise relative bound).
     Unsupported(String),
+    /// The configuration itself is malformed (e.g. zero chunk rows
+    /// constructed without the builder, or a slab that does not tile the
+    /// declared shape).
+    InvalidConfig(String),
     /// Entropy-coding failure (internal invariant violation).
     Encoding(rq_encoding::HuffmanError),
+    /// The output stream failed (streaming writer only).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for CompressError {
@@ -89,7 +122,9 @@ impl std::fmt::Display for CompressError {
         match self {
             CompressError::InvalidBound(m) => write!(f, "invalid error bound: {m}"),
             CompressError::Unsupported(m) => write!(f, "unsupported configuration: {m}"),
+            CompressError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             CompressError::Encoding(e) => write!(f, "encoding failed: {e}"),
+            CompressError::Io(e) => write!(f, "output stream failed: {e}"),
         }
     }
 }
@@ -99,6 +134,12 @@ impl std::error::Error for CompressError {}
 impl From<rq_encoding::HuffmanError> for CompressError {
     fn from(e: rq_encoding::HuffmanError) -> Self {
         CompressError::Encoding(e)
+    }
+}
+
+impl From<std::io::Error> for CompressError {
+    fn from(e: std::io::Error) -> Self {
+        CompressError::Io(e)
     }
 }
 
@@ -114,8 +155,12 @@ pub enum DecompressError {
     Corrupt(&'static str),
     /// A chunk index outside the container's chunk table.
     ChunkOutOfRange { requested: usize, available: usize },
+    /// A row range outside the field's axis-0 extent.
+    RowsOutOfRange { requested_end: usize, rows: usize },
     /// Huffman decode failure.
     Encoding(rq_encoding::HuffmanError),
+    /// The input stream failed (streaming reader only).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for DecompressError {
@@ -129,12 +174,22 @@ impl std::fmt::Display for DecompressError {
             DecompressError::ChunkOutOfRange { requested, available } => {
                 write!(f, "chunk {requested} out of range (container has {available})")
             }
+            DecompressError::RowsOutOfRange { requested_end, rows } => {
+                write!(f, "row range ends at {requested_end} but the field has {rows} rows")
+            }
             DecompressError::Encoding(e) => write!(f, "huffman decode failed: {e}"),
+            DecompressError::Io(e) => write!(f, "input stream failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for DecompressError {}
+
+impl From<std::io::Error> for DecompressError {
+    fn from(e: std::io::Error) -> Self {
+        DecompressError::Io(e)
+    }
+}
 
 impl From<rq_encoding::HuffmanError> for DecompressError {
     fn from(e: rq_encoding::HuffmanError) -> Self {
@@ -171,7 +226,7 @@ pub(crate) fn container_version(bytes: &[u8]) -> Result<u8, DecompressError> {
         return Err(DecompressError::NotAContainer);
     }
     match bytes[4] {
-        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1) => Ok(v),
+        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1 | VERSION_V2_2) => Ok(v),
         _ => Err(DecompressError::NotAContainer),
     }
 }
@@ -216,7 +271,7 @@ impl ChunkCodecKind {
 }
 
 /// Serialize the shared header prefix.
-fn write_header_prefix(out: &mut Vec<u8>, header: &Header, scalar_tag: u8) {
+pub(crate) fn write_header_prefix(out: &mut Vec<u8>, header: &Header, scalar_tag: u8) {
     out.extend_from_slice(MAGIC);
     out.push(header.version);
     out.push(scalar_tag);
@@ -239,7 +294,7 @@ fn write_header_prefix(out: &mut Vec<u8>, header: &Header, scalar_tag: u8) {
 
 /// Parse the shared header prefix; returns the header and the position of
 /// the first byte after it. Does not check the scalar tag.
-fn read_header_prefix(bytes: &[u8]) -> Result<(Header, usize), DecompressError> {
+pub(crate) fn read_header_prefix(bytes: &[u8]) -> Result<(Header, usize), DecompressError> {
     let version = container_version(bytes)?;
     let scalar_tag = bytes[5];
     let predictor = PredictorKind::from_tag(bytes[6])
@@ -341,7 +396,7 @@ fn write_sections_body<T: Scalar>(
 }
 
 /// Parse the four sections written by [`write_sections_body`].
-fn read_sections_body<T: Scalar>(
+pub(crate) fn read_sections_body<T: Scalar>(
     bytes: &[u8],
     pos: &mut usize,
 ) -> Result<SectionsBody<T>, DecompressError> {
@@ -509,7 +564,29 @@ pub(crate) fn write_container_v2_1<T: Scalar>(
     out
 }
 
-/// Parsed header + chunk index of a v2/v2.1 container (blobs stay in
+/// Serialize a whole v2.2 container in memory: header, blobs, trailer.
+/// The streaming writer produces the identical byte sequence
+/// incrementally; this convenience exists for container-level tests.
+/// `header.version` must be [`VERSION_V2_2`].
+#[cfg(test)]
+pub(crate) fn write_container_v2_2<T: Scalar>(
+    header: &Header,
+    chunk_rows: usize,
+    chunks: &[(usize, ChunkCodecKind, Vec<u8>)], // (rows, codec, blob) in slab order
+) -> Vec<u8> {
+    let body: usize = chunks.iter().map(|(_, _, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(body + 16 * chunks.len() + 64);
+    write_header_prefix(&mut out, header, T::TAG);
+    for (_, _, blob) in chunks {
+        out.extend_from_slice(blob);
+    }
+    let triples: Vec<(usize, ChunkCodecKind, usize)> =
+        chunks.iter().map(|&(rows, codec, ref blob)| (rows, codec, blob.len())).collect();
+    write_trailer(&mut out, chunk_rows, &triples);
+    out
+}
+
+/// Parsed header + chunk index of a v2/v2.1/v2.2 container (blobs stay in
 /// place — random access slices them out by entry offsets).
 pub(crate) struct V2Index {
     pub header: Header,
@@ -532,33 +609,42 @@ pub(crate) fn read_container_v2_index<T: Scalar>(
     Ok(idx)
 }
 
-/// Parse the header and chunk index of a v2/v2.1 container without
-/// checking the scalar type (inspection use).
-fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
-    let (header, mut pos) = read_header_prefix(bytes)?;
-    if header.version != VERSION_V2 && header.version != VERSION_V2_1 {
-        return Err(DecompressError::Corrupt("not a chunked container"));
-    }
-    let tagged = header.version == VERSION_V2_1;
+/// Raw `(rows, byte_len, codec)` triples of a chunk index, before
+/// validation against the header.
+pub(crate) type RawIndexEntries = Vec<(usize, usize, ChunkCodecKind)>;
+
+/// Parse `chunk_rows`, `n_chunks` and the raw `(rows, len, codec)` triples
+/// of a chunk index out of `bytes` starting at `*pos`. Shared by the
+/// inline v2/v2.1 index, the v2.2 trailer and the streaming reader.
+pub(crate) fn parse_index_body(
+    bytes: &[u8],
+    pos: &mut usize,
+    tagged: bool,
+    max_chunks: usize,
+) -> Result<(usize, RawIndexEntries), DecompressError> {
     let chunk_rows =
-        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))? as usize;
+        get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("chunk rows"))? as usize;
     if chunk_rows == 0 {
         return Err(DecompressError::Corrupt("zero chunk rows"));
     }
     let n_chunks =
-        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk count"))? as usize;
-    if n_chunks == 0 || n_chunks > header.shape.dim(0) {
+        get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("chunk count"))? as usize;
+    if n_chunks == 0 || n_chunks > max_chunks {
         return Err(DecompressError::Corrupt("bad chunk count"));
     }
-    let mut raw = Vec::with_capacity(n_chunks);
+    // Capacity only up to what the buffer could physically hold (≥ 2
+    // bytes per entry): a crafted count must not drive a huge upfront
+    // allocation — the parse loop below fails on truncation regardless.
+    let mut raw =
+        Vec::with_capacity(n_chunks.min(bytes.len().saturating_sub(*pos) / 2));
     for _ in 0..n_chunks {
         let rows =
-            get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
+            get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
         let len =
-            get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
+            get_uvarint(bytes, pos).ok_or(DecompressError::Corrupt("chunk index"))? as usize;
         let codec = if tagged {
-            let tag = *bytes.get(pos).ok_or(DecompressError::Corrupt("chunk codec tag"))?;
-            pos += 1;
+            let tag = *bytes.get(*pos).ok_or(DecompressError::Corrupt("chunk codec tag"))?;
+            *pos += 1;
             ChunkCodecKind::from_tag(tag)
                 .ok_or(DecompressError::Corrupt("unknown chunk codec tag"))?
         } else {
@@ -566,9 +652,19 @@ fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
         };
         raw.push((rows, len, codec));
     }
-    let mut entries = Vec::with_capacity(n_chunks);
+    Ok((chunk_rows, raw))
+}
+
+/// Validate raw index triples against the header and the byte region the
+/// blobs live in (`offset..region_end`), producing located entries.
+pub(crate) fn entries_from_raw(
+    header: &Header,
+    mut offset: usize,
+    raw: RawIndexEntries,
+    region_end: usize,
+) -> Result<Vec<ChunkEntry>, DecompressError> {
+    let mut entries = Vec::with_capacity(raw.len());
     let mut start_row = 0usize;
-    let mut offset = pos;
     for (rows, len, codec) in raw {
         // Corrupt varints can hold anything: every entry must fit inside
         // what remains of axis 0 (checked subtraction — an unchecked
@@ -577,7 +673,7 @@ fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
             return Err(DecompressError::Corrupt("chunk rows do not tile axis 0"));
         }
         let end = offset.checked_add(len).ok_or(DecompressError::Corrupt("chunk index"))?;
-        if end > bytes.len() {
+        if end > region_end {
             return Err(DecompressError::Corrupt("chunk overruns buffer"));
         }
         entries.push(ChunkEntry { start_row, rows, offset, len, codec });
@@ -587,7 +683,107 @@ fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
     if start_row != header.shape.dim(0) {
         return Err(DecompressError::Corrupt("chunk rows do not tile axis 0"));
     }
-    Ok(V2Index { header, chunk_rows, entries })
+    Ok(entries)
+}
+
+/// Locate a v2.2 trailer from the archive's last 12 bytes. `suffix` is
+/// those bytes; returns `(trailer_start, trailer_len)` measured in the
+/// whole archive. Shared by the slice parser and the streaming reader.
+pub(crate) fn trailer_bounds(
+    total_len: u64,
+    header_end: u64,
+    suffix: &[u8],
+) -> Result<(u64, u64), DecompressError> {
+    if suffix.len() != TRAILER_SUFFIX_LEN || total_len < header_end + TRAILER_SUFFIX_LEN as u64 {
+        return Err(DecompressError::Corrupt("truncated v2.2 trailer"));
+    }
+    if &suffix[8..] != TRAILER_MAGIC {
+        return Err(DecompressError::Corrupt("missing v2.2 trailer magic"));
+    }
+    let trailer_len = u64::from_le_bytes(suffix[..8].try_into().unwrap());
+    let suffix_start = total_len - TRAILER_SUFFIX_LEN as u64;
+    let trailer_start = suffix_start
+        .checked_sub(trailer_len)
+        .filter(|&s| s >= header_end)
+        .ok_or(DecompressError::Corrupt("v2.2 trailer length overruns archive"))?;
+    Ok((trailer_start, trailer_len))
+}
+
+/// Parse and validate a located v2.2 trailer body (`trailer` is the
+/// region `trailer_start..trailer_start+len`, suffix excluded): the
+/// index body must fill it exactly, and the resulting blob extents must
+/// tile `header_end..trailer_start` exactly. Returns
+/// `(chunk_rows, entries)`. The single implementation behind both the
+/// slice parser and the streaming [`crate::ArchiveReader`], so the two
+/// can never drift apart on what counts as a valid trailer.
+pub(crate) fn parse_v2_2_trailer(
+    header: &Header,
+    header_end: usize,
+    trailer: &[u8],
+    trailer_start: usize,
+) -> Result<(usize, Vec<ChunkEntry>), DecompressError> {
+    let mut tpos = 0usize;
+    let (chunk_rows, raw) = parse_index_body(trailer, &mut tpos, true, header.shape.dim(0))?;
+    if tpos != trailer.len() {
+        return Err(DecompressError::Corrupt("trailing bytes in v2.2 trailer"));
+    }
+    let entries = entries_from_raw(header, header_end, raw, trailer_start)?;
+    // v2.2 blobs must tile the header→trailer region exactly; a gap
+    // means the index lengths disagree with what was written.
+    let blob_end = entries.last().map(|e| e.offset + e.len).unwrap_or(header_end);
+    if blob_end != trailer_start {
+        return Err(DecompressError::Corrupt("v2.2 blobs do not reach the trailer"));
+    }
+    Ok((chunk_rows, entries))
+}
+
+/// Serialize a v2.2 trailer (index body + length suffix + magic) for the
+/// given `(rows, codec, blob_len)` triples in slab order.
+pub(crate) fn write_trailer(
+    out: &mut Vec<u8>,
+    chunk_rows: usize,
+    chunks: &[(usize, ChunkCodecKind, usize)],
+) {
+    let body_start = out.len();
+    put_uvarint(out, chunk_rows as u64);
+    put_uvarint(out, chunks.len() as u64);
+    for &(rows, codec, len) in chunks {
+        put_uvarint(out, rows as u64);
+        put_uvarint(out, len as u64);
+        out.push(codec.tag());
+    }
+    let body_len = (out.len() - body_start) as u64;
+    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+}
+
+/// Parse the header and chunk index of a v2/v2.1/v2.2 container without
+/// checking the scalar type (inspection use).
+fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
+    let (header, mut pos) = read_header_prefix(bytes)?;
+    match header.version {
+        VERSION_V2 | VERSION_V2_1 => {
+            let tagged = header.version == VERSION_V2_1;
+            let (chunk_rows, raw) =
+                parse_index_body(bytes, &mut pos, tagged, header.shape.dim(0))?;
+            let entries = entries_from_raw(&header, pos, raw, bytes.len())?;
+            Ok(V2Index { header, chunk_rows, entries })
+        }
+        VERSION_V2_2 => {
+            let suffix_at = bytes
+                .len()
+                .checked_sub(TRAILER_SUFFIX_LEN)
+                .filter(|&s| s >= pos)
+                .ok_or(DecompressError::Corrupt("truncated v2.2 trailer"))?;
+            let (tstart, tlen) =
+                trailer_bounds(bytes.len() as u64, pos as u64, &bytes[suffix_at..])?;
+            let (tstart, tlen) = (tstart as usize, tlen as usize);
+            let (chunk_rows, entries) =
+                parse_v2_2_trailer(&header, pos, &bytes[tstart..tstart + tlen], tstart)?;
+            Ok(V2Index { header, chunk_rows, entries })
+        }
+        _ => Err(DecompressError::Corrupt("not a chunked container")),
+    }
 }
 
 /// Parse only the header of a container (cheap inspection; v1 and v2).
@@ -600,16 +796,22 @@ pub fn peek_header(bytes: &[u8]) -> Result<Header, DecompressError> {
 /// Works for both container versions without decoding any payload.
 pub fn chunk_count(bytes: &[u8]) -> Result<usize, DecompressError> {
     let (header, mut pos) = read_header_prefix(bytes)?;
-    if header.version == VERSION_V1 {
-        return Ok(1);
+    match header.version {
+        VERSION_V1 => Ok(1),
+        // The v2.2 index lives in the trailer; the full parse is still
+        // cheap (no payload is decoded).
+        VERSION_V2_2 => read_v2_index_untyped(bytes).map(|i| i.entries.len()),
+        _ => {
+            let _chunk_rows =
+                get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))?;
+            let n = get_uvarint(bytes, &mut pos)
+                .ok_or(DecompressError::Corrupt("chunk count"))? as usize;
+            if n == 0 {
+                return Err(DecompressError::Corrupt("bad chunk count"));
+            }
+            Ok(n)
+        }
     }
-    let _chunk_rows =
-        get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))?;
-    let n = get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk count"))? as usize;
-    if n == 0 {
-        return Err(DecompressError::Corrupt("bad chunk count"));
-    }
-    Ok(n)
 }
 
 /// A container's chunk partition, for inspection tools.
@@ -859,6 +1061,110 @@ mod tests {
             read_container_v2_index::<f32>(&bytes[..bytes.len() - 2]),
             Err(DecompressError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn v2_2_roundtrip_trailer_index() {
+        let mut h = sample_header(VERSION_V2_2);
+        h.shape = Shape::d2(10, 4);
+        let sz_blob =
+            write_chunk_blob::<f32>(LosslessStage::None, &[1], &[2, 2], &[0.5f32], &[]);
+        let zfp_blob = vec![7u8, 7, 7, 7];
+        let bytes = write_container_v2_2::<f32>(
+            &h,
+            6,
+            &[
+                (6, ChunkCodecKind::Sz, sz_blob.clone()),
+                (4, ChunkCodecKind::Zfp, zfp_blob.clone()),
+            ],
+        );
+        assert_eq!(container_version(&bytes).unwrap(), VERSION_V2_2);
+        assert_eq!(&bytes[bytes.len() - 4..], TRAILER_MAGIC);
+        assert_eq!(chunk_count(&bytes).unwrap(), 2);
+        let idx = read_container_v2_index::<f32>(&bytes).unwrap();
+        assert_eq!(idx.chunk_rows, 6);
+        assert_eq!(idx.entries.len(), 2);
+        assert_eq!(idx.entries[0].codec, ChunkCodecKind::Sz);
+        assert_eq!(idx.entries[1].codec, ChunkCodecKind::Zfp);
+        assert_eq!(idx.entries[1].start_row, 6);
+        let e = idx.entries[1];
+        assert_eq!(&bytes[e.offset..e.offset + e.len], &zfp_blob[..]);
+        // Blobs start immediately after the header (no inline index).
+        let (_, header_end) = read_header_prefix(&bytes).unwrap();
+        assert_eq!(idx.entries[0].offset, header_end);
+        // The untyped inspection path sees the same table.
+        let table = chunk_table(&bytes).unwrap();
+        assert_eq!(table.entries.len(), 2);
+        assert_eq!(table.entries[1].codec, ChunkCodecKind::Zfp);
+    }
+
+    #[test]
+    fn v2_2_truncated_trailer_rejected() {
+        let mut h = sample_header(VERSION_V2_2);
+        h.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let bytes = write_container_v2_2::<f32>(&h, 4, &[(4, ChunkCodecKind::Sz, blob)]);
+        for cut in 1..TRAILER_SUFFIX_LEN + 3 {
+            assert!(
+                read_container_v2_index::<f32>(&bytes[..bytes.len() - cut]).is_err(),
+                "cut {cut} bytes off the trailer must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_2_bad_trailer_length_rejected() {
+        let mut h = sample_header(VERSION_V2_2);
+        h.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let good = write_container_v2_2::<f32>(&h, 4, &[(4, ChunkCodecKind::Sz, blob)]);
+        // Trailer length pointing past the start of the archive.
+        let mut evil = good.clone();
+        let at = evil.len() - TRAILER_SUFFIX_LEN;
+        evil[at..at + 8].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(matches!(
+            read_container_v2_index::<f32>(&evil),
+            Err(DecompressError::Corrupt("v2.2 trailer length overruns archive"))
+        ));
+        // Wrong closing magic.
+        let mut evil = good.clone();
+        let n = evil.len();
+        evil[n - 1] ^= 0xff;
+        assert!(matches!(
+            read_container_v2_index::<f32>(&evil),
+            Err(DecompressError::Corrupt("missing v2.2 trailer magic"))
+        ));
+        // Trailer length one byte short: the index body no longer parses
+        // cleanly or the blobs no longer reach the trailer.
+        let mut evil = good;
+        let at = evil.len() - TRAILER_SUFFIX_LEN;
+        let tlen = u64::from_le_bytes(evil[at..at + 8].try_into().unwrap());
+        evil[at..at + 8].copy_from_slice(&(tlen - 1).to_le_bytes());
+        assert!(read_container_v2_index::<f32>(&evil).is_err());
+    }
+
+    #[test]
+    fn v2_2_overrunning_blob_length_rejected() {
+        // An index length that would put a blob on top of the trailer.
+        let mut h = sample_header(VERSION_V2_2);
+        h.shape = Shape::d2(10, 4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[1], &[2], &[], &[]);
+        let short = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        // Claim the first blob is longer than it is: entries overlap the
+        // second blob and the total no longer reaches the trailer cleanly.
+        let mut out = Vec::new();
+        write_header_prefix(&mut out, &h, <f32 as Scalar>::TAG);
+        out.extend_from_slice(&blob);
+        out.extend_from_slice(&short);
+        write_trailer(
+            &mut out,
+            6,
+            &[
+                (6, ChunkCodecKind::Sz, blob.len() + short.len() + 50),
+                (4, ChunkCodecKind::Sz, short.len()),
+            ],
+        );
+        assert!(read_container_v2_index::<f32>(&out).is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod container;
 pub mod pipeline;
 pub mod report;
 pub mod scheduler;
+pub mod stream;
 
 pub use chunked::{
     compress_chunked, compress_chunked_with_report, decompress_chunk, decompress_with_threads,
@@ -43,3 +44,4 @@ pub use container::{
 pub use pipeline::{compress, compress_with_report, decompress};
 pub use report::{CompressedOutput, CompressionReport};
 pub use scheduler::{choose_codec, CodecDecision};
+pub use stream::{ArchiveReader, ArchiveWriter, FinishedArchive, ReadStats};

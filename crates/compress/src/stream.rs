@@ -1,0 +1,933 @@
+//! Streaming archive sessions over `std::io` streams.
+//!
+//! The one-shot API ([`crate::compress`] / [`crate::decompress`]) is
+//! buffer-in/buffer-out: peak memory is on the order of the uncompressed
+//! field *plus* the archive. This module provides the session form of the
+//! same pipeline, designed for fields larger than RAM:
+//!
+//! * [`ArchiveWriter`] accepts axis-0 slabs incrementally, runs the
+//!   per-chunk codec scheduler (including [`CodecChoice::Auto`]) on each
+//!   slab as it arrives using the worker pool, and writes container
+//!   **v2.2** — chunk blobs first, chunk index in a trailer — so nothing
+//!   but the small index and at most a slab's worth of carry-over rows is
+//!   ever buffered. The sink only needs [`Write`]; archives can stream
+//!   into a pipe.
+//! * [`ArchiveReader`] parses the header and chunk index lazily from any
+//!   [`Read`]` + `[`Seek`] source (all four container generations) and
+//!   decodes on demand: [`ArchiveReader::read_all`],
+//!   [`ArchiveReader::read_chunk`], and [`ArchiveReader::read_rows`],
+//!   which touches only the chunks intersecting the requested row range
+//!   (verifiable through [`ArchiveReader::stats`]).
+//!
+//! The per-chunk encode core (`SlabEncoder`, crate-internal) is shared
+//! with the one-shot chunked pipeline, so a v2.2 archive's chunk blobs
+//! are byte-identical to the blobs a v2/v2.1 container would hold for the
+//! same chunk partition, and the one-shot functions are thin wrappers
+//! over the same machinery.
+//!
+//! ```
+//! use rq_compress::{ArchiveReader, ArchiveWriter, CompressorConfig};
+//! use rq_grid::{NdArray, Shape};
+//! use rq_predict::PredictorKind;
+//! use rq_quant::ErrorBoundMode;
+//!
+//! let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+//!     .chunked(8);
+//! // Write four 8-row slabs of a 32×16 field into an in-memory sink
+//! // (any `Write` works the same way — a `File`, a socket, a pipe).
+//! let mut writer = ArchiveWriter::<f32, _>::create(Vec::new(), Shape::d2(32, 16), &cfg).unwrap();
+//! for slab_idx in 0..4 {
+//!     let slab = NdArray::<f32>::from_fn(Shape::d2(8, 16), |ix| {
+//!         (((slab_idx * 8 + ix[0]) as f32) * 0.2).sin() + ix[1] as f32 * 0.01
+//!     });
+//!     writer.write_slab(&slab).unwrap();
+//! }
+//! let finished = writer.finalize().unwrap();
+//!
+//! // Random-access region read: only intersecting chunks are decoded.
+//! let mut reader = ArchiveReader::open(std::io::Cursor::new(finished.sink)).unwrap();
+//! let rows = reader.read_rows::<f32>(10..22).unwrap();
+//! assert_eq!(rows.shape().dims(), &[12, 16]);
+//! assert_eq!(reader.stats().chunks_decoded, 2); // rows 10..22 span chunks 1 and 2
+//! ```
+
+use crate::chunked::{aggregate_report, decode_chunk_blob, entry_shape, run_on_workers};
+use crate::codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
+use crate::config::{CodecChoice, CompressorConfig, LosslessStage};
+use crate::container::{
+    entries_from_raw, parse_index_body, parse_v2_2_trailer, read_sections_body, trailer_bounds,
+    write_header_prefix, write_trailer, ChunkCodecKind, ChunkEntry, ChunkTable, CompressError,
+    DecompressError, Header, TRAILER_SUFFIX_LEN, VERSION_V1, VERSION_V2_2,
+};
+use crate::pipeline::{decode_stream, resolve_bound, transform_from_header, Transform};
+use crate::report::CompressionReport;
+use rq_encoding::varint::get_uvarint;
+use rq_grid::{slab_chunks, ChunkSpec, NdArray, Scalar, Shape, MAX_DIMS};
+use rq_predict::PredictorKind;
+use rq_quant::{ErrorBoundMode, LinearQuantizer};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Shared per-chunk encode core
+// ---------------------------------------------------------------------------
+
+/// One encoded chunk produced by [`SlabEncoder::encode_chunks`].
+pub(crate) struct EncodedChunk {
+    pub rows: usize,
+    pub codec: ChunkCodecKind,
+    pub blob: Vec<u8>,
+    pub stats: ChunkStats,
+}
+
+/// The per-chunk encode core shared by the one-shot chunked pipeline and
+/// the streaming [`ArchiveWriter`]: codec policy resolution (fixed sz,
+/// fixed zfp, or the ratio-driven scheduler) plus the worker pool.
+///
+/// Encoding is a pure function of `(chunk data, chunk shape)` and this
+/// struct's configuration, so container bytes are independent of both the
+/// worker-thread count and of how rows were batched into `write_slab`
+/// calls.
+pub(crate) struct SlabEncoder {
+    pub predictor: PredictorKind,
+    pub quantizer: LinearQuantizer,
+    pub abs_eb: f64,
+    pub transform: Transform,
+    pub lossless: LosslessStage,
+    pub codec: CodecChoice,
+    pub radius: u32,
+    pub threads: usize,
+}
+
+impl SlabEncoder {
+    /// Build the encoder from a config and the resolved bound/transform.
+    pub fn from_cfg(
+        cfg: &CompressorConfig,
+        abs_eb: f64,
+        transform: Transform,
+    ) -> Result<SlabEncoder, CompressError> {
+        if cfg.codec == CodecChoice::Zfp && transform != Transform::Identity {
+            return Err(CompressError::Unsupported(
+                "point-wise relative bounds need the sz codec (zfp has no log-domain escape \
+                 path); use codec sz or auto"
+                    .into(),
+            ));
+        }
+        Ok(SlabEncoder {
+            predictor: cfg.predictor,
+            quantizer: LinearQuantizer::new(abs_eb, cfg.radius),
+            abs_eb,
+            transform,
+            lossless: cfg.lossless,
+            codec: cfg.codec,
+            radius: cfg.radius,
+            threads: cfg.resolved_threads(),
+        })
+    }
+
+    /// Encode a batch of chunks of `data` concurrently on the worker
+    /// pool. Results come back in chunk order.
+    pub fn encode_chunks<T: Scalar>(
+        &self,
+        data: &[T],
+        chunks: Vec<ChunkSpec>,
+    ) -> Result<Vec<EncodedChunk>, CompressError> {
+        let sz = SzChunkCodec::new(self.predictor, self.quantizer, self.lossless)
+            .with_transform(self.transform);
+        let zfp = ZfpChunkCodec::new(self.abs_eb);
+        run_on_workers(chunks, self.threads, |c: ChunkSpec| -> Result<EncodedChunk, CompressError> {
+            let slab = &data[c.offset..c.offset + c.len];
+            // `ready` carries the scheduler's probe stream when it already
+            // compressed the whole (small) slab — no second zfp pass then.
+            let (kind, ready) = match self.codec {
+                CodecChoice::Sz => (ChunkCodecKind::Sz, None),
+                CodecChoice::Zfp => (ChunkCodecKind::Zfp, None),
+                CodecChoice::Auto => {
+                    if self.transform != Transform::Identity {
+                        // Log-domain configs: zfp is not a candidate.
+                        (ChunkCodecKind::Sz, None)
+                    } else {
+                        let (decision, blob) = crate::scheduler::choose_codec_with_blob(
+                            slab,
+                            c.shape,
+                            self.predictor,
+                            self.abs_eb,
+                            self.radius,
+                        );
+                        (decision.codec, blob)
+                    }
+                }
+            };
+            let (blob, stats) = match (kind, ready) {
+                (ChunkCodecKind::Zfp, Some(blob)) => (blob, ChunkStats::default()),
+                (ChunkCodecKind::Sz, _) => ChunkCodec::<T>::encode(&sz, slab, c.shape)?,
+                (ChunkCodecKind::Zfp, None) => ChunkCodec::<T>::encode(&zfp, slab, c.shape)?,
+            };
+            Ok(EncodedChunk { rows: c.rows, codec: kind, blob, stats })
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ArchiveWriter
+// ---------------------------------------------------------------------------
+
+/// A finalized streaming archive: the sink handed back, plus the final
+/// compression report and total archive size.
+pub struct FinishedArchive<W> {
+    /// The sink passed to [`ArchiveWriter::create`], flushed, positioned
+    /// after the last trailer byte.
+    pub sink: W,
+    /// Aggregated per-stage measurements, as the one-shot
+    /// [`crate::compress_with_report`] would return them.
+    pub report: CompressionReport,
+    /// Total archive bytes written (header + blobs + trailer).
+    pub bytes_written: u64,
+}
+
+/// Incremental compression session writing container v2.2 to any
+/// [`Write`] sink with bounded memory.
+///
+/// Created with the full field [`Shape`] up front (the header is written
+/// immediately); axis-0 slabs then arrive through
+/// [`ArchiveWriter::write_slab`] in row order, are cut into
+/// `cfg.chunking` chunks, compressed on the worker pool, and their blobs
+/// appended to the sink right away. [`ArchiveWriter::finalize`] flushes
+/// the final partial chunk and appends the trailer chunk index.
+///
+/// Peak memory is `O(slab + chunk_rows)` elements of carry-over plus the
+/// per-thread encoder state — independent of the field and archive sizes.
+///
+/// Two configuration limits follow from single-pass operation:
+///
+/// * [`ErrorBoundMode::ValueRangeRelative`] needs the whole field's value
+///   range before the first slab can be quantized, so `create` rejects it
+///   with [`CompressError::InvalidConfig`]; resolve it to an absolute
+///   bound first (one streaming min/max pass) or use the one-shot API.
+/// * [`Chunking::Serial`](crate::Chunking::Serial) degenerates to one
+///   whole-field chunk, which forces the writer to buffer every row until
+///   `finalize` — legal, but it defeats the point; chunk the config.
+///
+/// See the [module docs](self) for a complete write/read example.
+pub struct ArchiveWriter<T: Scalar, W: Write> {
+    sink: W,
+    shape: Shape,
+    row_elems: usize,
+    chunk_rows: usize,
+    enc: SlabEncoder,
+    /// Carry-over rows not yet forming a complete chunk.
+    buf: Vec<T>,
+    /// Rows already encoded and written.
+    rows_done: usize,
+    /// Chunk index accumulated for the trailer: (rows, codec, blob len).
+    index: Vec<(usize, ChunkCodecKind, usize)>,
+    per_chunk: Vec<(ChunkCodecKind, ChunkStats)>,
+    bytes_written: u64,
+}
+
+impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
+    /// Open a session: validate `cfg`, resolve the bound, and write the
+    /// container header to `sink`.
+    ///
+    /// Fails with [`CompressError::InvalidConfig`] for configurations a
+    /// single pass cannot honor (see the type docs) and for structurally
+    /// invalid configs such as a literal `Chunking::Rows(0)`.
+    pub fn create(sink: W, shape: Shape, cfg: &CompressorConfig) -> Result<Self, CompressError> {
+        cfg.validate().map_err(CompressError::InvalidConfig)?;
+        if matches!(cfg.bound, ErrorBoundMode::ValueRangeRelative(_)) {
+            return Err(CompressError::InvalidConfig(
+                "a value-range-relative bound needs the whole field's range before the first \
+                 slab; resolve it to ErrorBoundMode::Abs first or use the one-shot compress"
+                    .into(),
+            ));
+        }
+        // The bound is range-independent here (checked above), so the
+        // range argument is never read.
+        let (abs_eb, transform) = resolve_bound(cfg, f64::NAN)?;
+        Self::create_resolved(sink, shape, cfg, abs_eb, transform)
+    }
+
+    /// `create` with the bound already resolved (crate-internal: lets the
+    /// CLI resolve a value-range-relative bound via its own streaming
+    /// min/max pass and still use the session).
+    pub(crate) fn create_resolved(
+        mut sink: W,
+        shape: Shape,
+        cfg: &CompressorConfig,
+        abs_eb: f64,
+        transform: Transform,
+    ) -> Result<Self, CompressError> {
+        let enc = SlabEncoder::from_cfg(cfg, abs_eb, transform)?;
+        let chunk_rows = crate::chunked::resolve_chunk_rows(cfg, shape);
+        let header = Header {
+            version: VERSION_V2_2,
+            scalar_tag: T::TAG,
+            predictor: cfg.predictor,
+            lossless: cfg.lossless,
+            log_transform: transform != Transform::Identity,
+            shape,
+            abs_eb,
+            radius: cfg.radius,
+        };
+        let mut head = Vec::with_capacity(96);
+        write_header_prefix(&mut head, &header, T::TAG);
+        sink.write_all(&head)?;
+        Ok(ArchiveWriter {
+            sink,
+            shape,
+            row_elems: shape.dims()[1..].iter().product::<usize>().max(1),
+            chunk_rows,
+            enc,
+            buf: Vec::new(),
+            rows_done: 0,
+            index: Vec::new(),
+            per_chunk: Vec::new(),
+            bytes_written: head.len() as u64,
+        })
+    }
+
+    /// Rows buffered but not yet encoded.
+    fn buffered_rows(&self) -> usize {
+        self.buf.len() / self.row_elems
+    }
+
+    /// Nominal axis-0 rows per chunk this session resolved to.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Archive bytes written so far (header + finished chunk blobs).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Append the next axis-0 slab (rows `rows_so_far..rows_so_far+k`).
+    ///
+    /// The slab's trailing dimensions must match the field shape given to
+    /// [`Self::create`]; its axis-0 extent is free — slab boundaries need
+    /// not align with chunk boundaries, the writer carries partial chunks
+    /// over. Feeding slabs of several `chunk_rows` at once keeps the
+    /// worker pool busy.
+    pub fn write_slab(&mut self, slab: &NdArray<T>) -> Result<(), CompressError> {
+        let s = slab.shape();
+        if s.ndim() != self.shape.ndim() || s.dims()[1..] != self.shape.dims()[1..] {
+            return Err(CompressError::InvalidConfig(format!(
+                "slab shape {:?} does not match the field's trailing dims {:?}",
+                s.dims(),
+                self.shape.dims()
+            )));
+        }
+        let total = self.rows_done + self.buffered_rows() + s.dim(0);
+        if total > self.shape.dim(0) {
+            return Err(CompressError::InvalidConfig(format!(
+                "slabs cover {total} rows but the field has {}",
+                self.shape.dim(0)
+            )));
+        }
+        self.buf.extend_from_slice(slab.as_slice());
+        let complete = self.buffered_rows() / self.chunk_rows * self.chunk_rows;
+        if complete > 0 {
+            self.encode_rows(complete)?;
+        }
+        Ok(())
+    }
+
+    /// Encode the first `rows` buffered rows as chunks and write them.
+    fn encode_rows(&mut self, rows: usize) -> Result<(), CompressError> {
+        let elems = rows * self.row_elems;
+        let mut dims = [0usize; MAX_DIMS];
+        dims[..self.shape.ndim()].copy_from_slice(self.shape.dims());
+        dims[0] = rows;
+        let batch_shape = Shape::new(&dims[..self.shape.ndim()]);
+        let chunks = slab_chunks(batch_shape, self.chunk_rows);
+        let encoded = self.enc.encode_chunks(&self.buf[..elems], chunks)?;
+        for ec in encoded {
+            self.sink.write_all(&ec.blob)?;
+            self.bytes_written += ec.blob.len() as u64;
+            self.rows_done += ec.rows;
+            self.index.push((ec.rows, ec.codec, ec.blob.len()));
+            self.per_chunk.push((ec.codec, ec.stats));
+        }
+        self.buf.drain(..elems);
+        Ok(())
+    }
+
+    /// Flush the final partial chunk, write the trailer index, flush the
+    /// sink, and hand it back with the aggregated report.
+    ///
+    /// Fails with [`CompressError::InvalidConfig`] if the slabs written
+    /// do not cover the field's axis-0 extent exactly. Dropping the
+    /// writer without calling `finalize` leaves the sink without a
+    /// trailer — an unreadable archive.
+    pub fn finalize(mut self) -> Result<FinishedArchive<W>, CompressError> {
+        let rem = self.buffered_rows();
+        if rem > 0 {
+            self.encode_rows(rem)?;
+        }
+        if self.rows_done != self.shape.dim(0) {
+            return Err(CompressError::InvalidConfig(format!(
+                "slabs cover {} of the field's {} rows",
+                self.rows_done,
+                self.shape.dim(0)
+            )));
+        }
+        let mut trailer = Vec::new();
+        write_trailer(&mut trailer, self.chunk_rows, &self.index);
+        self.sink.write_all(&trailer)?;
+        self.sink.flush()?;
+        self.bytes_written += trailer.len() as u64;
+        let report = aggregate_report(
+            &self.enc.quantizer,
+            self.per_chunk,
+            self.shape.len(),
+            T::BITS,
+            self.bytes_written as usize,
+        );
+        Ok(FinishedArchive { sink: self.sink, report, bytes_written: self.bytes_written })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ArchiveReader
+// ---------------------------------------------------------------------------
+
+/// Decode-side counters of one [`ArchiveReader`] session, for verifying
+/// that region reads touch only the chunks they must.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Chunks in the archive's index.
+    pub chunks_total: usize,
+    /// Chunk blobs decoded so far (a chunk decoded twice counts twice).
+    pub chunks_decoded: u64,
+    /// Compressed blob bytes fetched from the source so far.
+    pub blob_bytes_read: u64,
+}
+
+/// Upper bound on the serialized header prefix: fixed bytes + 4 dims of
+/// ≤ 10 varint bytes + the f64 bound + the radius varint, with slack.
+const HEADER_READ_BYTES: usize = 96;
+
+/// Random-access decompression session over any [`Read`]` + `[`Seek`]
+/// source, for all container generations (v1, v2, v2.1, v2.2).
+///
+/// [`Self::open`] reads only the header and chunk index (for v2.2, via
+/// the trailer at the end of the source); payload bytes are fetched and
+/// decoded on demand by [`Self::read_all`], [`Self::read_chunk`] and
+/// [`Self::read_rows`] — the latter decodes exactly the chunks whose row
+/// ranges intersect the request, which [`Self::stats`] makes observable.
+///
+/// See the [module docs](self) for a complete write/read example.
+pub struct ArchiveReader<R: Read + Seek> {
+    src: R,
+    header: Header,
+    chunk_rows: usize,
+    entries: Vec<ChunkEntry>,
+    stats: ReadStats,
+}
+
+/// Seek to `at` and read exactly `len` bytes.
+fn read_span<R: Read + Seek>(src: &mut R, at: u64, len: usize) -> Result<Vec<u8>, DecompressError> {
+    src.seek(SeekFrom::Start(at))?;
+    let mut buf = vec![0u8; len];
+    src.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+impl<R: Read + Seek> ArchiveReader<R> {
+    /// Open an archive: parse the header and locate every chunk, without
+    /// reading any payload.
+    pub fn open(mut src: R) -> Result<Self, DecompressError> {
+        let total_len = src.seek(SeekFrom::End(0))?;
+        let head = read_span(&mut src, 0, HEADER_READ_BYTES.min(total_len as usize))?;
+        let (header, header_end) = crate::container::read_header_prefix(&head)?;
+        let d0 = header.shape.dim(0);
+        let (chunk_rows, entries) = match header.version {
+            VERSION_V1 => (
+                d0,
+                vec![ChunkEntry {
+                    start_row: 0,
+                    rows: d0,
+                    offset: header_end,
+                    len: (total_len as usize)
+                        .checked_sub(header_end)
+                        .ok_or(DecompressError::Corrupt("container shorter than header"))?,
+                    codec: ChunkCodecKind::Sz,
+                }],
+            ),
+            VERSION_V2_2 => {
+                if total_len < (header_end + TRAILER_SUFFIX_LEN) as u64 {
+                    return Err(DecompressError::Corrupt("truncated v2.2 trailer"));
+                }
+                let suffix = read_span(
+                    &mut src,
+                    total_len - TRAILER_SUFFIX_LEN as u64,
+                    TRAILER_SUFFIX_LEN,
+                )?;
+                let (tstart, tlen) = trailer_bounds(total_len, header_end as u64, &suffix)?;
+                let trailer = read_span(&mut src, tstart, tlen as usize)?;
+                parse_v2_2_trailer(&header, header_end, &trailer, tstart as usize)?
+            }
+            // v2 / v2.1: the index sits between header and blobs. Its
+            // byte length is only known after parsing, so size the read
+            // from the chunk count: first the two leading varints, then
+            // at most 21 bytes per entry.
+            _ => {
+                let tagged = header.version != crate::container::VERSION_V2;
+                let after = (total_len as usize).saturating_sub(header_end);
+                let lead = read_span(&mut src, header_end as u64, after.min(20))?;
+                let mut p = 0usize;
+                let _chunk_rows =
+                    get_uvarint(&lead, &mut p).ok_or(DecompressError::Corrupt("chunk rows"))?;
+                let n = get_uvarint(&lead, &mut p)
+                    .ok_or(DecompressError::Corrupt("chunk count"))? as usize;
+                if n == 0 || n > d0 {
+                    return Err(DecompressError::Corrupt("bad chunk count"));
+                }
+                let index_max = 20 + n * 21;
+                let buf = read_span(&mut src, header_end as u64, after.min(index_max))?;
+                let mut p = 0usize;
+                let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, d0)?;
+                let entries =
+                    entries_from_raw(&header, header_end + p, raw, total_len as usize)?;
+                (chunk_rows, entries)
+            }
+        };
+        let chunks_total = entries.len();
+        Ok(ArchiveReader {
+            src,
+            header,
+            chunk_rows,
+            entries,
+            stats: ReadStats { chunks_total, ..ReadStats::default() },
+        })
+    }
+
+    /// The archive's parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Nominal axis-0 rows per chunk (the last chunk may hold fewer).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of independently-decodable chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The located chunk entries, in slab order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// The chunk partition in [`ChunkTable`] form (as
+    /// [`crate::chunk_table`] returns for in-memory archives).
+    pub fn chunk_table(&self) -> ChunkTable {
+        ChunkTable { chunk_rows: self.chunk_rows, entries: self.entries.clone() }
+    }
+
+    /// Decode counters accumulated since [`Self::open`].
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    fn check_scalar<T: Scalar>(&self) -> Result<(), DecompressError> {
+        if self.header.scalar_tag != T::TAG {
+            return Err(DecompressError::ScalarMismatch {
+                expected: T::TAG,
+                found: self.header.scalar_tag,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetch and decode one chunk blob into `out` (`out.len()` must equal
+    /// the chunk's element count).
+    fn decode_entry_into<T: Scalar>(
+        &mut self,
+        entry: ChunkEntry,
+        cshape: Shape,
+        out: &mut [T],
+    ) -> Result<(), DecompressError> {
+        let blob = read_span(&mut self.src, entry.offset as u64, entry.len)?;
+        if self.header.version == VERSION_V1 {
+            // The v1 "chunk" is the whole container body: four sections
+            // with no per-chunk flag byte; the header's lossless flag is
+            // authoritative.
+            let mut pos = 0usize;
+            let body = read_sections_body::<T>(&blob, &mut pos)?;
+            decode_stream(
+                &body,
+                self.header.lossless,
+                cshape,
+                self.header.predictor,
+                LinearQuantizer::new(self.header.abs_eb, self.header.radius),
+                transform_from_header(&self.header),
+                out,
+            )?;
+        } else {
+            decode_chunk_blob(&blob, &self.header, entry.codec, cshape, out)?;
+        }
+        self.stats.chunks_decoded += 1;
+        self.stats.blob_bytes_read += entry.len as u64;
+        Ok(())
+    }
+
+    /// Decode a single chunk (random access). Returns the slab's first
+    /// axis-0 row and the decoded slab as a standalone array.
+    pub fn read_chunk<T: Scalar>(
+        &mut self,
+        chunk: usize,
+    ) -> Result<(usize, NdArray<T>), DecompressError> {
+        self.check_scalar::<T>()?;
+        let Some(&entry) = self.entries.get(chunk) else {
+            return Err(DecompressError::ChunkOutOfRange {
+                requested: chunk,
+                available: self.entries.len(),
+            });
+        };
+        let cshape = entry_shape(self.header.shape, entry);
+        let mut out = vec![T::zero(); cshape.len()];
+        self.decode_entry_into(entry, cshape, &mut out)?;
+        Ok((entry.start_row, NdArray::from_vec(cshape, out)))
+    }
+
+    /// Decode the axis-0 row range `rows` (non-empty, within the field),
+    /// touching only the chunks that intersect it.
+    ///
+    /// Returns an array of shape `[rows.len(), dims[1..]]` whose elements
+    /// equal the corresponding rows of a full decompression exactly.
+    pub fn read_rows<T: Scalar>(
+        &mut self,
+        rows: Range<usize>,
+    ) -> Result<NdArray<T>, DecompressError> {
+        self.check_scalar::<T>()?;
+        let d0 = self.header.shape.dim(0);
+        if rows.start >= rows.end || rows.end > d0 {
+            return Err(DecompressError::RowsOutOfRange { requested_end: rows.end, rows: d0 });
+        }
+        let shape = self.header.shape;
+        let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+        let out_rows = rows.end - rows.start;
+        let mut out = vec![T::zero(); out_rows * row_elems];
+        for i in 0..self.entries.len() {
+            let entry = self.entries[i];
+            let e_start = entry.start_row;
+            let e_end = e_start + entry.rows;
+            if e_end <= rows.start || e_start >= rows.end {
+                continue;
+            }
+            let cshape = entry_shape(shape, entry);
+            if e_start >= rows.start && e_end <= rows.end {
+                // Chunk fully inside the range: decode straight into the
+                // output, no intermediate slab.
+                let dst = &mut out
+                    [(e_start - rows.start) * row_elems..(e_end - rows.start) * row_elems];
+                self.decode_entry_into(entry, cshape, dst)?;
+            } else {
+                // Boundary chunk: decode to a scratch slab, copy the
+                // intersecting rows.
+                let lo = rows.start.max(e_start);
+                let hi = rows.end.min(e_end);
+                let mut tmp = vec![T::zero(); cshape.len()];
+                self.decode_entry_into(entry, cshape, &mut tmp)?;
+                out[(lo - rows.start) * row_elems..(hi - rows.start) * row_elems]
+                    .copy_from_slice(&tmp[(lo - e_start) * row_elems..(hi - e_start) * row_elems]);
+            }
+        }
+        let mut dims = [0usize; MAX_DIMS];
+        dims[..shape.ndim()].copy_from_slice(shape.dims());
+        dims[0] = out_rows;
+        Ok(NdArray::from_vec(Shape::new(&dims[..shape.ndim()]), out))
+    }
+
+    /// Decode the whole field, chunk by chunk (memory: the output plus
+    /// one compressed blob at a time).
+    pub fn read_all<T: Scalar>(&mut self) -> Result<NdArray<T>, DecompressError> {
+        self.check_scalar::<T>()?;
+        let shape = self.header.shape;
+        let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+        let mut out = vec![T::zero(); shape.len()];
+        for i in 0..self.entries.len() {
+            let entry = self.entries[i];
+            let cshape = entry_shape(shape, entry);
+            let dst = &mut out
+                [entry.start_row * row_elems..(entry.start_row + entry.rows) * row_elems];
+            self.decode_entry_into(entry, cshape, dst)?;
+        }
+        Ok(NdArray::from_vec(shape, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunked::decompress_with_threads;
+    use crate::container::{chunk_table, peek_header};
+    use crate::pipeline::{compress, decompress};
+    use std::io::Cursor;
+
+    fn wavy(shape: Shape) -> NdArray<f32> {
+        let mut lin = 0u64;
+        NdArray::from_fn(shape, |ix| {
+            let mut v = 0.0f64;
+            for (a, &c) in ix.iter().enumerate() {
+                v += ((c as f64) * 0.13 * (a + 1) as f64).sin() * (8.0 / (a + 1) as f64);
+            }
+            lin += 1;
+            let mut h = lin;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            v += ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.05;
+            v as f32
+        })
+    }
+
+    fn cfg() -> CompressorConfig {
+        CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+            .chunked(6)
+            .with_threads(2)
+    }
+
+    /// Stream `field` through a writer in `slab_rows`-row slabs.
+    fn stream_archive(field: &NdArray<f32>, cfg: &CompressorConfig, slab_rows: usize) -> Vec<u8> {
+        let shape = field.shape();
+        let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+        let mut w = ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), shape, cfg).unwrap();
+        let mut row = 0;
+        while row < shape.dim(0) {
+            let rows = slab_rows.min(shape.dim(0) - row);
+            let mut dims = [0usize; MAX_DIMS];
+            dims[..shape.ndim()].copy_from_slice(shape.dims());
+            dims[0] = rows;
+            let slab = NdArray::from_vec(
+                Shape::new(&dims[..shape.ndim()]),
+                field.as_slice()[row * row_elems..(row + rows) * row_elems].to_vec(),
+            );
+            w.write_slab(&slab).unwrap();
+            row += rows;
+        }
+        w.finalize().unwrap().sink
+    }
+
+    #[test]
+    fn writer_bytes_independent_of_slab_batching() {
+        // The archive must be a pure function of (field, cfg): feeding
+        // rows in different slab sizes — aligned or not with chunk
+        // boundaries — must produce identical bytes.
+        let field = wavy(Shape::d3(25, 8, 6));
+        let reference = stream_archive(&field, &cfg(), 25);
+        for slab_rows in [1, 4, 6, 7, 13] {
+            let bytes = stream_archive(&field, &cfg(), slab_rows);
+            assert_eq!(bytes, reference, "slab_rows={slab_rows}");
+        }
+        assert_eq!(peek_header(&reference).unwrap().version, 4);
+    }
+
+    #[test]
+    fn v2_2_decodes_via_in_memory_paths() {
+        // The buffer-based decompressor and chunk inspection handle v2.2.
+        let field = wavy(Shape::d3(20, 10, 8));
+        let bytes = stream_archive(&field, &cfg(), 20);
+        let back = decompress::<f32>(&bytes).unwrap();
+        for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.001);
+        }
+        let back2 = decompress_with_threads::<f32>(&bytes, 3).unwrap();
+        assert_eq!(back.as_slice(), back2.as_slice());
+        assert_eq!(chunk_table(&bytes).unwrap().entries.len(), 4);
+    }
+
+    #[test]
+    fn v2_2_chunks_byte_identical_to_v2() {
+        // Same field, same chunking: each v2.2 blob must equal its v2
+        // counterpart — the formats differ only in where the index lives.
+        let field = wavy(Shape::d3(20, 10, 8));
+        let streamed = stream_archive(&field, &cfg(), 5);
+        let one_shot = compress(&field, &cfg()).unwrap().bytes;
+        assert_eq!(peek_header(&one_shot).unwrap().version, 2);
+        let t_stream = chunk_table(&streamed).unwrap();
+        let t_one = chunk_table(&one_shot).unwrap();
+        assert_eq!(t_stream.entries.len(), t_one.entries.len());
+        for (a, b) in t_stream.entries.iter().zip(&t_one.entries) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(
+                &streamed[a.offset..a.offset + a.len],
+                &one_shot[b.offset..b.offset + b.len],
+                "chunk at row {} diverged",
+                a.start_row
+            );
+        }
+    }
+
+    #[test]
+    fn reader_reads_all_chunks_and_rows() {
+        let field = wavy(Shape::d3(23, 6, 5));
+        let bytes = stream_archive(&field, &cfg(), 9);
+        let full = decompress::<f32>(&bytes).unwrap();
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        assert_eq!(r.n_chunks(), 4); // 6+6+6+5
+        let all = r.read_all::<f32>().unwrap();
+        assert_eq!(all.as_slice(), full.as_slice());
+        let (start, slab) = r.read_chunk::<f32>(2).unwrap();
+        assert_eq!(start, 12);
+        assert_eq!(slab.as_slice(), &full.as_slice()[12 * 30..18 * 30]);
+        assert!(matches!(
+            r.read_chunk::<f32>(4),
+            Err(DecompressError::ChunkOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn read_rows_decodes_only_intersecting_chunks() {
+        let field = wavy(Shape::d2(30, 12));
+        let bytes = stream_archive(&field, &cfg(), 30); // chunks of 6 rows
+        let full = decompress::<f32>(&bytes).unwrap();
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        // Rows 7..11 live entirely inside chunk 1 (rows 6..12).
+        let part = r.read_rows::<f32>(7..11).unwrap();
+        assert_eq!(part.shape().dims(), &[4, 12]);
+        assert_eq!(part.as_slice(), &full.as_slice()[7 * 12..11 * 12]);
+        assert_eq!(r.stats().chunks_decoded, 1, "one intersecting chunk");
+        // Rows 5..19 intersect chunks 0, 1, 2, 3.
+        let part = r.read_rows::<f32>(5..19).unwrap();
+        assert_eq!(part.as_slice(), &full.as_slice()[5 * 12..19 * 12]);
+        assert_eq!(r.stats().chunks_decoded, 1 + 4);
+        // Out-of-range and empty requests are errors.
+        assert!(matches!(
+            r.read_rows::<f32>(0..31),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            r.read_rows::<f32>(3..3),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_handles_all_container_generations() {
+        let field = wavy(Shape::d2(24, 10));
+        let archives = [
+            ("v1", compress(&field, &CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))).unwrap().bytes),
+            ("v2", compress(&field, &cfg()).unwrap().bytes),
+            (
+                "v2.1",
+                compress(&field, &cfg().with_codec(CodecChoice::Auto)).unwrap().bytes,
+            ),
+            ("v2.2", stream_archive(&field, &cfg(), 7)),
+        ];
+        for (name, bytes) in archives {
+            let full = decompress::<f32>(&bytes).unwrap();
+            let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+            let all = r.read_all::<f32>().unwrap();
+            assert_eq!(all.as_slice(), full.as_slice(), "{name}: read_all");
+            let part = r.read_rows::<f32>(9..17).unwrap();
+            assert_eq!(
+                part.as_slice(),
+                &full.as_slice()[9 * 10..17 * 10],
+                "{name}: read_rows"
+            );
+        }
+    }
+
+    #[test]
+    fn writer_rejects_unresolvable_and_invalid_configs() {
+        let shape = Shape::d2(16, 4);
+        let rel = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::ValueRangeRelative(1e-3),
+        )
+        .chunked(4);
+        assert!(matches!(
+            ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), shape, &rel),
+            Err(CompressError::InvalidConfig(_))
+        ));
+        let mut zero_rows = cfg();
+        zero_rows.chunking = crate::Chunking::Rows(0);
+        assert!(matches!(
+            ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), shape, &zero_rows),
+            Err(CompressError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn writer_rejects_mismatched_and_excess_slabs() {
+        let mut w =
+            ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), Shape::d2(8, 4), &cfg()).unwrap();
+        // Wrong trailing dims.
+        assert!(matches!(
+            w.write_slab(&NdArray::<f32>::zeros(Shape::d2(2, 5))),
+            Err(CompressError::InvalidConfig(_))
+        ));
+        // Too many rows.
+        assert!(matches!(
+            w.write_slab(&NdArray::<f32>::zeros(Shape::d2(9, 4))),
+            Err(CompressError::InvalidConfig(_))
+        ));
+        // Short coverage fails at finalize.
+        w.write_slab(&NdArray::<f32>::zeros(Shape::d2(4, 4))).unwrap();
+        assert!(matches!(w.finalize(), Err(CompressError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn auto_codec_streaming_roundtrip() {
+        // The scheduler runs per chunk inside the writer exactly as in
+        // the one-shot adaptive pipeline.
+        let field = rq_datagen::fields::mixed_smooth_turbulent(Shape::d3(24, 10, 10), 12, 40.0);
+        let c = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+            .chunked(6)
+            .with_codec(CodecChoice::Auto)
+            .with_threads(2);
+        let bytes = stream_archive(&field, &c, 8);
+        let table = chunk_table(&bytes).unwrap();
+        let kinds: Vec<ChunkCodecKind> = table.entries.iter().map(|e| e.codec).collect();
+        assert!(kinds.contains(&ChunkCodecKind::Sz) && kinds.contains(&ChunkCodecKind::Zfp));
+        // Identical chunk bytes to the one-shot v2.1 container.
+        let one_shot = compress(&field, &c).unwrap().bytes;
+        let t_one = chunk_table(&one_shot).unwrap();
+        for (a, b) in table.entries.iter().zip(&t_one.entries) {
+            assert_eq!(a.codec, b.codec);
+            assert_eq!(
+                &bytes[a.offset..a.offset + a.len],
+                &one_shot[b.offset..b.offset + b.len]
+            );
+        }
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let all = r.read_all::<f32>().unwrap();
+        for (&x, &y) in field.as_slice().iter().zip(all.as_slice()) {
+            assert!((x - y).abs() <= 1e-4 * 1.001);
+        }
+    }
+
+    #[test]
+    fn reader_scalar_mismatch_detected() {
+        let field = wavy(Shape::d2(12, 6));
+        let bytes = stream_archive(&field, &cfg(), 12);
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        assert!(matches!(
+            r.read_all::<f64>(),
+            Err(DecompressError::ScalarMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn finished_archive_report_matches_one_shot() {
+        let field = wavy(Shape::d3(20, 8, 8));
+        let shape = field.shape();
+        let mut w = ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), shape, &cfg()).unwrap();
+        w.write_slab(&field).unwrap();
+        let fin = w.finalize().unwrap();
+        assert_eq!(fin.bytes_written as usize, fin.sink.len());
+        let (_, rep) = crate::pipeline::compress_with_report(&field, &cfg()).unwrap();
+        assert_eq!(fin.report.n_chunks, rep.n_chunks);
+        assert_eq!(fin.report.n_quantized, rep.n_quantized);
+        assert_eq!(fin.report.n_unpredictable, rep.n_unpredictable);
+        assert_eq!(fin.report.huffman_bytes, rep.huffman_bytes);
+        assert_eq!(fin.report.symbol_histogram, rep.symbol_histogram);
+        // Container size differs only by index placement/encoding.
+        assert_eq!(fin.report.n_elements, rep.n_elements);
+    }
+}

@@ -44,18 +44,13 @@ impl H5LiteWriter {
             return Err(H5Error::Filter(format!("duplicate dataset name {name}")));
         }
         let shape = field.shape();
-        let n0 = shape.dim(0);
         let mut chunks = Vec::new();
         let mut stored = 0usize;
-        let mut row = 0usize;
-        while row < n0 {
-            let rows = slab_rows.min(n0 - row);
-            let chunk = slab(field, row, rows);
+        for chunk in slab_iter(field, slab_rows) {
             let bytes = filter.encode(&chunk)?;
             stored += bytes.len();
-            chunks.push((rows, bytes.len()));
+            chunks.push((chunk.shape().dim(0), bytes.len()));
             self.payload.extend_from_slice(&bytes);
-            row += rows;
         }
         self.datasets.push(DatasetMeta {
             name: name.to_string(),
@@ -101,6 +96,28 @@ fn slab<T: Scalar>(field: &NdArray<T>, row0: usize, rows: usize) -> NdArray<T> {
     let sub = Shape::new(&dims[..shape.ndim()]);
     let start = row0 * row_elems;
     NdArray::from_vec(sub, field.as_slice()[start..start + rows * row_elems].to_vec())
+}
+
+/// Iterate a field as axis-0 slabs of `slab_rows` rows each (the last
+/// slab takes the remainder) — the natural feed for a chunked dataset
+/// write or for `rq_compress`'s streaming `ArchiveWriter::write_slab`.
+///
+/// Each item is an owned standalone array of shape `[rows, dims[1..]]`,
+/// produced lazily: only one slab's copy is alive per iteration, so a
+/// consumer that streams slabs out keeps peak memory at one slab.
+///
+/// # Panics
+/// Panics if `slab_rows == 0`.
+pub fn slab_iter<T: Scalar>(
+    field: &NdArray<T>,
+    slab_rows: usize,
+) -> impl Iterator<Item = NdArray<T>> + '_ {
+    assert!(slab_rows > 0, "slab_rows must be positive");
+    let n0 = field.shape().dim(0);
+    (0..n0.div_ceil(slab_rows)).map(move |i| {
+        let row0 = i * slab_rows;
+        slab(field, row0, slab_rows.min(n0 - row0))
+    })
 }
 
 /// Reads containers produced by [`H5LiteWriter`].
@@ -284,6 +301,22 @@ mod tests {
         let r = H5LiteReader::open(&path).unwrap();
         assert_eq!(r.read_dataset::<f32>("d").unwrap().as_slice(), f.as_slice());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slab_iter_tiles_the_field() {
+        let f = field(0.0); // 20×16×16
+        let slabs: Vec<_> = slab_iter(&f, 7).collect();
+        assert_eq!(slabs.len(), 3);
+        assert_eq!(slabs[0].shape().dims(), &[7, 16, 16]);
+        assert_eq!(slabs[2].shape().dims(), &[6, 16, 16]);
+        let mut glued: Vec<f32> = Vec::new();
+        for s in &slabs {
+            glued.extend_from_slice(s.as_slice());
+        }
+        assert_eq!(glued, f.as_slice());
+        // One oversized slab covers the whole field.
+        assert_eq!(slab_iter(&f, 100).count(), 1);
     }
 
     #[test]

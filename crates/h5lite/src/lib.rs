@@ -19,7 +19,7 @@ pub mod filter;
 pub mod format;
 pub mod parallel;
 
-pub use file::{H5LiteReader, H5LiteWriter};
+pub use file::{slab_iter, H5LiteReader, H5LiteWriter};
 pub use filter::Filter;
 pub use format::{DatasetMeta, H5Error};
 pub use parallel::{DumpReport, IoModel, ParallelDump};

@@ -88,9 +88,6 @@ pub fn zfp_compress_slice<T: Scalar>(
             w.put_bit(false); // empty-block flag
             continue;
         }
-        w.put_bit(true);
-        // Biased exponent in 12 bits covers f64's range.
-        w.put_bits((e_max + 1100) as u64, 12);
         fwd_transform(&mut ints, nd);
         let coeffs: Vec<i64> = perm.iter().map(|&i| ints[i]).collect();
 
@@ -101,7 +98,20 @@ pub fn zfp_compress_slice<T: Scalar>(
         // 2^k_min · 2^gain ≤ tol_fixed.
         let tol_log = (tolerance.log2() + (Q_BITS - e_max) as f64).floor() as i32;
         let k_min = (tol_log - gain_bits).max(0);
-        let top = top.max(k_min); // ensure a valid (possibly empty) range
+        if k_min > top {
+            // Every coefficient lies below the tolerance floor: zeroing
+            // the block keeps the (gain-amplified) truncation error under
+            // the bound, exactly like an all-zero input block. This case
+            // is real — tiny-but-nonzero data under a loose tolerance —
+            // and must not reach the plane writer: 7-bit fields cannot
+            // hold a k_min that can exceed 1000 for denormal-range blocks
+            // (writing it truncated used to corrupt the stream).
+            w.put_bit(false);
+            continue;
+        }
+        w.put_bit(true);
+        // Biased exponent in 12 bits covers f64's range.
+        w.put_bits((e_max + 1100) as u64, 12);
         w.put_bits(top as u64, 7);
         w.put_bits(k_min as u64, 7);
 
@@ -427,6 +437,35 @@ mod tests {
         }
         assert!(zfp_decompress::<f64>(&bytes).is_err(), "scalar mismatch");
         assert!(zfp_decompress::<f32>(b"NOTZ").is_err());
+    }
+
+    #[test]
+    fn negligible_blocks_truncate_to_zero_within_bound() {
+        // Tiny-but-nonzero values far below the tolerance: the plane
+        // range degenerates (k_min > top) and the block must be coded as
+        // empty — this used to write a truncated 7-bit k_min and produce
+        // a stream the decoder rejects as "plane range".
+        for (amp, tol) in [(1e-20f64, 1e-4f64), (1e-300, 1e-3), (1e-9, 1.0)] {
+            let f = NdArray::<f32>::from_fn(Shape::d3(9, 9, 9), |ix| {
+                (amp * (1.0 + (ix[0] + ix[1] + ix[2]) as f64 * 0.01)) as f32
+            });
+            let bytes = zfp_compress(&f, tol).unwrap();
+            let back = zfp_decompress::<f32>(&bytes).unwrap();
+            check_bound(&f, &back, tol);
+        }
+        // A field mixing quiescent and live blocks (the RTM snapshot
+        // pattern that exposed the bug).
+        let f = NdArray::<f32>::from_fn(Shape::d2(32, 32), |ix| {
+            if ix[0] < 16 {
+                1e-18
+            } else {
+                ((ix[0] * 32 + ix[1]) as f32 * 0.37).sin() * 5.0
+            }
+        });
+        let tol = 1e-3;
+        let bytes = zfp_compress(&f, tol).unwrap();
+        let back = zfp_decompress::<f32>(&bytes).unwrap();
+        check_bound(&f, &back, tol);
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub mod prelude {
     pub use rq_analysis::{global_ssim, psnr};
     pub use rq_compress::{
         chunk_count, chunk_table, compress, compress_with_report, decompress, decompress_chunk,
-        decompress_with_threads, ChunkCodecKind, Chunking, CodecChoice, CompressorConfig,
+        decompress_with_threads, ArchiveReader, ArchiveWriter, ChunkCodecKind, Chunking,
+        CodecChoice, CompressorConfig,
     };
     pub use rq_core::usecases::{compress_with_budget, optimize_partitions, PredictorSelector};
     pub use rq_core::{Estimate, RqModel};

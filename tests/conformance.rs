@@ -8,11 +8,19 @@
 //! every element. Runs as part of `cargo test`; CI runs it in both debug
 //! and release profiles.
 //!
+//! A second, property-style family covers the random-access contract of
+//! the streaming reader: for every container generation (v1, v2, v2.1,
+//! v2.2) and both scalar types, `ArchiveReader::read_rows(r)` must equal
+//! the matching rows of a full `decompress` *exactly* for randomly drawn
+//! row ranges, while decoding only the chunks that intersect `r`.
+//!
 //! Fields are cropped from the datagen generators so the whole matrix
 //! stays fast enough for debug CI while keeping each generator's
 //! statistical character.
 
+use rqm::compress_crate::{ArchiveWriter, DecompressError};
 use rqm::prelude::*;
+use std::io::Cursor;
 
 /// The three datagen stand-ins (cropped), chosen for diversity: smooth 2D
 /// climate, vortex + turbulence 3D, heavy-tailed log-normal 3D.
@@ -176,6 +184,160 @@ fn conformance_across_predictors_auto_codec() {
             "{}: max err {err:.6e} > eb {eb:.6e}",
             pred.name()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random-access region reads: ArchiveReader::read_rows vs full decompress
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* stream for drawing row ranges.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A deterministic mixed-texture field of any scalar type: smooth waves
+/// plus hash noise, so sz and zfp both appear under `CodecChoice::Auto`.
+fn textured<T: rqm::grid::Scalar>(shape: Shape) -> NdArray<T> {
+    let mut lin = 0u64;
+    NdArray::from_fn(shape, |ix| {
+        let mut v = 0.0f64;
+        for (a, &c) in ix.iter().enumerate() {
+            v += ((c as f64) * 0.21 * (a + 1) as f64).sin() * (6.0 / (a + 1) as f64);
+        }
+        lin += 1;
+        let mut h = lin;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        // Rough second half along axis 0, like the mixed datagen field.
+        let amp = if ix[0] * 2 >= 16 { 30.0 } else { 0.02 };
+        v += ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * amp;
+        T::from_f64(v)
+    })
+}
+
+/// Build one archive of each container generation for `field`.
+fn archives_of_all_generations<T: rqm::grid::Scalar>(
+    field: &NdArray<T>,
+    eb: f64,
+) -> Vec<(&'static str, Vec<u8>)> {
+    let serial = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb));
+    let chunked = serial.chunked(5).with_threads(2);
+    let auto = chunked.with_codec(CodecChoice::Auto);
+    let v1 = rqm::compress_crate::compress(field, &serial).unwrap().bytes;
+    let v2 = rqm::compress_crate::compress(field, &chunked).unwrap().bytes;
+    let v21 = rqm::compress_crate::compress(field, &auto).unwrap().bytes;
+    // v2.2 through the streaming writer, slabs misaligned with chunks.
+    let mut w = ArchiveWriter::<T, Vec<u8>>::create(Vec::new(), field.shape(), &auto).unwrap();
+    let row_elems: usize = field.shape().dims()[1..].iter().product::<usize>().max(1);
+    let d0 = field.shape().dim(0);
+    let mut row = 0usize;
+    while row < d0 {
+        let rows = 7.min(d0 - row);
+        let mut dims = [0usize; rqm::grid::MAX_DIMS];
+        dims[..field.shape().ndim()].copy_from_slice(field.shape().dims());
+        dims[0] = rows;
+        let slab = NdArray::from_vec(
+            Shape::new(&dims[..field.shape().ndim()]),
+            field.as_slice()[row * row_elems..(row + rows) * row_elems].to_vec(),
+        );
+        w.write_slab(&slab).unwrap();
+        row += rows;
+    }
+    let v22 = w.finalize().unwrap().sink;
+    assert_eq!(rqm::compress_crate::peek_header(&v22).unwrap().version, 4);
+    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22)]
+}
+
+/// The property itself, generic over the scalar type.
+fn assert_read_rows_matches_decompress<T: rqm::grid::Scalar + PartialEq>(seed: u64) {
+    let shape = Shape::d3(16, 6, 5);
+    let field = textured::<T>(shape);
+    let eb = 1e-3;
+    let mut rng = Rng(seed);
+    for (name, bytes) in archives_of_all_generations(&field, eb) {
+        let full = rqm::compress_crate::decompress::<T>(&bytes).unwrap();
+        let mut reader =
+            rqm::compress_crate::ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let table = reader.chunk_table();
+        let row_elems: usize = shape.dims()[1..].iter().product();
+        for case in 0..25 {
+            let start = rng.below(shape.dim(0));
+            let end = start + 1 + rng.below(shape.dim(0) - start);
+            let before = reader.stats().chunks_decoded;
+            let part = reader.read_rows::<T>(start..end).unwrap();
+            assert_eq!(part.shape().dims()[0], end - start, "{name} case {case}");
+            assert!(
+                part.as_slice() == &full.as_slice()[start * row_elems..end * row_elems],
+                "{name} case {case}: rows {start}..{end} diverged from full decompress"
+            );
+            // Only intersecting chunks may have been decoded.
+            let intersecting = table
+                .entries
+                .iter()
+                .filter(|e| e.start_row < end && e.start_row + e.rows > start)
+                .count();
+            assert_eq!(
+                (reader.stats().chunks_decoded - before) as usize,
+                intersecting,
+                "{name} case {case}: rows {start}..{end} decoded the wrong chunk set"
+            );
+        }
+        // Degenerate requests error cleanly.
+        assert!(matches!(
+            reader.read_rows::<T>(0..shape.dim(0) + 1),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            reader.read_rows::<T>(2..2),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+    }
+}
+
+#[test]
+fn read_rows_matches_decompress_f32_all_generations() {
+    assert_read_rows_matches_decompress::<f32>(0x5EED_1001);
+}
+
+#[test]
+fn read_rows_matches_decompress_f64_all_generations() {
+    assert_read_rows_matches_decompress::<f64>(0x5EED_1002);
+}
+
+#[test]
+fn conformance_f64_chunked_all_codecs() {
+    // The original sweep is f32-only; cover f64 through the same
+    // contract for both fixed codecs and the scheduler.
+    let field = textured::<f64>(Shape::d3(18, 8, 6));
+    let eb = 1e-5;
+    for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+        for rows in [18, 5] {
+            let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb))
+                .chunked(rows)
+                .with_codec(codec)
+                .with_threads(2);
+            let out = rqm::compress_crate::compress(&field, &cfg).unwrap();
+            let back = rqm::compress_crate::decompress::<f64>(&out.bytes).unwrap();
+            for (i, (&a, &b)) in field.as_slice().iter().zip(back.as_slice()).enumerate() {
+                assert!(
+                    (a - b).abs() <= eb * (1.0 + 1e-9),
+                    "{codec:?} rows={rows} element {i}: |{a} - {b}| > {eb}"
+                );
+            }
+        }
     }
 }
 

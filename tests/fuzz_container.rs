@@ -1,8 +1,11 @@
 //! Seeded-fuzz corruption tests for the container parser.
 //!
-//! Valid v1, v2 and v2.1 archives are mutated — random single/multi byte
-//! flips and truncations at random offsets — and fed to the decoder. The
-//! invariants:
+//! Valid v1, v2, v2.1 and v2.2 archives are mutated — random single/multi
+//! byte flips and truncations at random offsets — and fed to the decoder.
+//! The v2.2 trailer (index behind the blobs, length-suffixed) also gets
+//! targeted corruptions: truncated trailers, trailer lengths pointing
+//! outside the archive, and index extents overrunning the blob region.
+//! The invariants:
 //!
 //! * the decoder must **never panic** (these tests run the mutated input
 //!   in-process, so any panic fails the test);
@@ -18,6 +21,7 @@
 //! can describe an enormous (but structurally valid) field, and a fuzz
 //! loop should not be at the mercy of such an allocation.
 
+use rqm::compress_crate::ArchiveWriter;
 use rqm::prelude::*;
 
 /// Deterministic xorshift64* stream.
@@ -70,7 +74,22 @@ fn valid_archives() -> Vec<(&'static str, Vec<u8>)> {
     let codecs: Vec<ChunkCodecKind> =
         chunk_table(&v21).unwrap().entries.iter().map(|e| e.codec).collect();
     assert!(codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Zfp));
-    vec![("v1", v1), ("v2", v2), ("v2.1", v21)]
+    let v22 = streamed_v22(&field);
+    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22)]
+}
+
+/// A v2.2 archive of `field` built through the streaming writer (mixed
+/// codecs, so trailer fuzzing reaches both blob decoders too).
+fn streamed_v22(field: &NdArray<f32>) -> Vec<u8> {
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+        .chunked(4)
+        .with_codec(CodecChoice::Auto)
+        .with_threads(2);
+    let mut w = ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), field.shape(), &cfg).unwrap();
+    w.write_slab(field).unwrap();
+    let bytes = w.finalize().unwrap().sink;
+    assert_eq!(rqm::compress_crate::peek_header(&bytes).unwrap().version, 4);
+    bytes
 }
 
 /// Decode a possibly-corrupt buffer, skipping only absurd decompressed
@@ -170,6 +189,95 @@ fn flips_in_header_and_index_error_or_stay_consistent() {
                         "{name} case {case} at byte {pos}"
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_2_trailer_targeted_corruptions() {
+    let bytes = streamed_v22(&mixed_field());
+    let n = bytes.len();
+
+    // Any truncation eating into the trailer/suffix must error: the
+    // archive is only complete once the closing magic is in place.
+    for cut in 1..40.min(n) {
+        assert!(
+            try_decode(&bytes[..n - cut]).unwrap().is_err(),
+            "trailer truncated by {cut} bytes decoded Ok"
+        );
+    }
+
+    // Trailer length pointing past EOF / before the header / just off by
+    // one: all must error, never panic or mis-slice.
+    for evil_len in [u64::MAX, n as u64, n as u64 - 1, 0, 1] {
+        let mut m = bytes.clone();
+        m[n - 12..n - 4].copy_from_slice(&evil_len.to_le_bytes());
+        assert!(
+            try_decode(&m).unwrap().is_err(),
+            "trailer_len={evil_len} decoded Ok"
+        );
+    }
+
+    // Every single-bit flip inside the trailer region (index body +
+    // length + magic) must error or decode consistently.
+    let tlen = u64::from_le_bytes(bytes[n - 12..n - 4].try_into().unwrap()) as usize;
+    let tstart = n - 12 - tlen;
+    let mut rng = Rng(0x5EED_0022);
+    for case in 0..400 {
+        let mut m = bytes.clone();
+        let pos = tstart + rng.below(n - tstart);
+        m[pos] ^= 1 << rng.below(8);
+        if let Some(Ok(decoded)) = try_decode(&m) {
+            if let Ok(h) = rqm::compress_crate::peek_header(&m) {
+                assert_eq!(
+                    decoded.len(),
+                    h.shape.len(),
+                    "case {case} at byte {pos}: Ok result inconsistent with header"
+                );
+            }
+        }
+    }
+
+    // Index extents overrunning the blob region: chop one byte out of the
+    // blob region while keeping the trailer intact — the chunk lengths no
+    // longer tile the header→trailer span.
+    let mut m = Vec::with_capacity(n - 1);
+    m.extend_from_slice(&bytes[..tstart - 1]);
+    m.extend_from_slice(&bytes[tstart..]);
+    assert!(try_decode(&m).unwrap().is_err(), "blob region shrunk under the index decoded Ok");
+}
+
+#[test]
+fn archive_reader_never_panics_on_mutations() {
+    // The streaming reader (seek/read paths, lazy index) gets the same
+    // hostile inputs as the slice parser.
+    use std::io::Cursor;
+    let mut rng = Rng(0x5EED_0023);
+    for (_name, bytes) in &valid_archives() {
+        for _case in 0..200 {
+            let mut m = bytes.clone();
+            let pos = rng.below(m.len());
+            m[pos] ^= 1 << rng.below(8);
+            if let Ok(h) = rqm::compress_crate::peek_header(&m) {
+                if h.shape.len() > 1 << 22 {
+                    continue; // same allocation guard as try_decode
+                }
+            }
+            if let Ok(mut r) = rqm::compress_crate::ArchiveReader::open(Cursor::new(&m[..])) {
+                let _ = r.read_all::<f32>();
+                let _ = r.read_rows::<f32>(0..1);
+            }
+        }
+        for _case in 0..100 {
+            let cut = rng.below(bytes.len());
+            if let Ok(mut r) =
+                rqm::compress_crate::ArchiveReader::open(Cursor::new(&bytes[..cut]))
+            {
+                assert!(
+                    r.read_all::<f32>().is_err(),
+                    "truncation to {cut} bytes read_all Ok"
+                );
             }
         }
     }
