@@ -51,7 +51,7 @@ fn main() {
     let sizes: Vec<usize> = snapshots.iter().map(|s| s.len()).collect();
 
     let target = 66.0;
-    let plan = optimize_partitions(&models, &sizes, range, target, 48);
+    let plan = optimize_partitions(&models, &sizes, range, target, 48).expect("reachable floor");
     let (uni_eb, _) = uniform_eb_for_target(&models, &sizes, range, target);
 
     let mut t = Table::new(&["timestep", "tuned eb", "uniform eb", "tuned/uniform"]);
@@ -142,7 +142,7 @@ fn main() {
         .collect();
     let sizes2: Vec<usize> = noisy.iter().map(|s| s.len()).collect();
     let target2 = 66.0;
-    let plan2 = optimize_partitions(&models2, &sizes2, range2, target2, 48);
+    let plan2 = optimize_partitions(&models2, &sizes2, range2, target2, 48).expect("reachable floor");
     let (uni_eb2, _) = uniform_eb_for_target(&models2, &sizes2, range2, target2);
     let (tuned_bits2, tuned_psnr2) = measure(&noisy, &plan2.ebs, range2);
     let (uni_bits2, uni_psnr2) = measure(&noisy, &vec![uni_eb2; noisy.len()], range2);

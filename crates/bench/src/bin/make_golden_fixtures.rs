@@ -10,7 +10,10 @@
 //! cargo run -p rq-bench --bin make_golden_fixtures -- <out-dir>
 //! ```
 
-use rq_compress::{compress_with_report, ChunkCodecKind, CodecChoice, CompressorConfig};
+use rq_compress::{
+    chunk_table, compress_with_report, ArchiveWriter, ChunkCodecKind, CodecChoice,
+    CompressorConfig,
+};
 use rq_grid::{NdArray, Shape};
 use rq_predict::PredictorKind;
 use rq_quant::ErrorBoundMode;
@@ -37,6 +40,31 @@ fn v21_field() -> NdArray<f32> {
     })
 }
 
+/// The v2.3 fixture field: smooth rows then hash-noise rows (a distinct
+/// frozen formula — the committed fixture's bytes encode it verbatim, so
+/// it is duplicated in the compat test and must never change).
+fn v23_field() -> NdArray<f32> {
+    NdArray::from_fn(Shape::d3(16, 10, 10), |ix| {
+        if ix[0] < 8 {
+            ((ix[0] as f64 * 0.4).sin() * 1.5 + ix[1] as f64 * 0.08 + ix[2] as f64 * 0.02) as f32
+        } else {
+            let mut h = (ix[0] * 5501 + ix[1] * 101 + ix[2]) as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 25.0
+        }
+    })
+}
+
+/// Per-chunk bounds of the v2.3 fixture (4-row chunks of the 16-row
+/// field): heterogeneous on purpose, loose on the smooth half, tight on
+/// the noisy half, so the fixture pins both the per-chunk quantization
+/// and the mixed codec tags.
+const V23_PLAN: [f64; 4] = [2e-3, 1e-4, 5e-4, 5e-5];
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/data".into());
     let field = v21_field();
@@ -58,4 +86,30 @@ fn main() {
         out.bytes.len(),
         rep.chunk_codecs
     );
+
+    // v2.3: heterogeneous per-chunk bounds through the planned streaming
+    // writer (quality-targeted container generation).
+    let field = v23_field();
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+        .chunked(4)
+        .with_codec(CodecChoice::Auto)
+        .with_threads(1);
+    let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+        Vec::new(),
+        field.shape(),
+        &cfg,
+        V23_PLAN.to_vec(),
+    )
+    .expect("planned session");
+    w.write_slab(&field).expect("write fixture field");
+    let bytes = w.finalize().expect("finalize fixture").sink;
+    let codecs: Vec<ChunkCodecKind> =
+        chunk_table(&bytes).unwrap().entries.iter().map(|e| e.codec).collect();
+    assert!(
+        codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Zfp),
+        "v2.3 fixture must contain both codecs, got {codecs:?}"
+    );
+    let path = format!("{dir}/golden_v23.rqc");
+    std::fs::write(&path, &bytes).expect("write fixture");
+    println!("wrote {path}: {} bytes, chunks {codecs:?}, plan {V23_PLAN:?}", bytes.len());
 }

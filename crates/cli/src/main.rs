@@ -3,13 +3,28 @@
 //! ```text
 //! rqm compress   <in.f32> <out.rqc> --shape 64x64x64 --abs 1e-3
 //!                [--predictor interpolation|lorenzo|lorenzo2|regression]
-//!                [--rel 1e-3] [--huffman-only] [--codec sz|zfp|auto]
+//!                [--rel 1e-3] [--target-psnr DB] [--target-size BYTES]
+//!                [--huffman-only] [--codec sz|zfp|auto]
 //!                [--threads N] [--chunk-size ROWS]
 //! rqm decompress <in.rqc> <out.f32> [--threads N]
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
 //!                [--predictor …]           # model-only, no compression
 //! rqm info       <in.rqc> [--json]
 //! ```
+//!
+//! **Quality-targeted compression** (`--target-psnr` / `--target-size`,
+//! mutually exclusive with `--abs`/`--rel`): instead of a hand-picked
+//! error bound, the user states the goal — a PSNR floor in dB or a size
+//! ceiling in bytes — and the ratio-quality model picks **per-chunk**
+//! error bounds. A streaming pre-pass samples prediction errors per
+//! axis-0 chunk (deterministic strided sampling, no RNG), fits one
+//! `RqModel` per chunk, and runs the §IV-C water-filling planner (PSNR
+//! floor) or the §IV-B budget optimizer (size ceiling). The planned
+//! bounds go through the same streaming session and are recorded in
+//! container **v2.3** (per-chunk `eb` next to the codec tag in the
+//! trailer index — shown by `rqm info`). Quiet chunks get loose bounds,
+//! turbulent chunks tight ones, so the archive is smaller than any single
+//! global bound meeting the same target.
 //!
 //! `--threads`/`--chunk-size` switch to the **streaming** chunk-parallel
 //! pipeline (container format v2.2): the input file is read in axis-0
@@ -65,6 +80,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rqm compress   <in.f32> <out.rqc> --shape NxNxN --abs EB [--rel R]
+                 [--target-psnr DB] [--target-size BYTES]
                  [--predictor interpolation|lorenzo|lorenzo2|regression]
                  [--huffman-only] [--codec sz|zfp|auto]
                  [--threads N] [--chunk-size ROWS]
@@ -85,13 +101,49 @@ fn run(raw: Vec<String>) -> Result<(), String> {
     }
 }
 
-fn bound_from(args: &Args) -> Result<ErrorBoundMode, String> {
-    match (args.float("abs")?, args.float("rel")?) {
-        (Some(eb), None) => Ok(ErrorBoundMode::Abs(eb)),
-        (None, Some(r)) => Ok(ErrorBoundMode::ValueRangeRelative(r)),
-        (Some(_), Some(_)) => Err("--abs and --rel are mutually exclusive".into()),
-        (None, None) => Err("need an error bound: --abs EB or --rel R".into()),
+/// What the user asked the compressor to honor: a hand-picked bound, or a
+/// quality/size target the ratio-quality model turns into per-chunk
+/// bounds.
+enum Goal {
+    /// A fixed error bound (`--abs` / `--rel`).
+    Fixed(ErrorBoundMode),
+    /// A measured-quality floor in dB (`--target-psnr`).
+    Psnr(f64),
+    /// An archive-size ceiling in bytes (`--target-size`).
+    Size(usize),
+}
+
+fn goal_from(args: &Args) -> Result<Goal, String> {
+    let abs = args.float("abs")?;
+    let rel = args.float("rel")?;
+    let psnr = args.float("target-psnr")?;
+    let size = args.unsigned("target-size")?;
+    let given =
+        [abs.is_some(), rel.is_some(), psnr.is_some(), size.is_some()].iter().filter(|&&g| g).count();
+    if given > 1 {
+        return Err(
+            "--abs, --rel, --target-psnr and --target-size are mutually exclusive".into()
+        );
     }
+    if let Some(eb) = abs {
+        return Ok(Goal::Fixed(ErrorBoundMode::Abs(eb)));
+    }
+    if let Some(r) = rel {
+        return Ok(Goal::Fixed(ErrorBoundMode::ValueRangeRelative(r)));
+    }
+    if let Some(t) = psnr {
+        if !t.is_finite() {
+            return Err(format!("--target-psnr: {t} is not a finite dB value"));
+        }
+        return Ok(Goal::Psnr(t));
+    }
+    if let Some(b) = size {
+        if b == 0 {
+            return Err("--target-size must be positive".into());
+        }
+        return Ok(Goal::Size(b));
+    }
+    Err("need an error bound (--abs EB | --rel R) or a target (--target-psnr DB | --target-size BYTES)".into())
 }
 
 /// Shape of an axis-0 slab of `rows` rows cut from a field of `shape`.
@@ -131,19 +183,237 @@ fn stream_value_range(input: &str, shape: Shape) -> Result<f64, String> {
     Ok(hi - lo)
 }
 
+/// Error-sample budget per chunk for the quality-targeted pre-pass
+/// (deterministic strided sampling — a few % of typical chunk sizes, in
+/// the spirit of the paper's 1 % pass).
+const PLAN_SAMPLES_PER_CHUNK: usize = 4096;
+
+/// Candidate error bounds per chunk for the planners' grids.
+const PLAN_GRID_POINTS: usize = 32;
+
+/// Safety margin (dB) added to a `--target-psnr` floor before planning:
+/// a floor must be met by the *measured* quality, not the model estimate,
+/// so the plan aims above the floor by the model's known PSNR-error band.
+/// The interpolation predictor's multi-level reconstruction feedback is
+/// the hardest part of the quality model (its cascade correction is
+/// calibrated, not derived), so it gets the widest band.
+fn psnr_plan_margin(predictor: rq_predict::PredictorKind) -> f64 {
+    match predictor {
+        rq_predict::PredictorKind::Interpolation => 2.5,
+        _ => 1.5,
+    }
+}
+
+/// Safety margin for `--target-size`: plan for 80 % of the budget (the
+/// paper's §IV-B rule), so estimate error cannot overflow the ceiling.
+const SIZE_PLAN_MARGIN: f64 = 0.2;
+
+/// When the round-1 archive overshoots a `--target-psnr` floor by more
+/// than this, a measured-feedback round hands the surplus quality back.
+const PSNR_LOOSEN_THRESHOLD_DB: f64 = 0.75;
+
+/// Where the feedback round aims: just above the user's floor, so model
+/// noise cannot drop the delivered quality below it.
+const PSNR_AIM_GUARD_DB: f64 = 0.35;
+
+/// The outcome of the quality-targeted pre-pass: one bound per chunk plus
+/// the planner's own expectations (echoed so the user can compare the
+/// prediction against the actual archive).
+struct ChunkPlan {
+    ebs: Vec<f64>,
+    est_psnr: f64,
+    est_bytes: f64,
+}
+
+/// Measured feedback from one verification pass over a written archive:
+/// the aggregate PSNR plus the per-chunk `measured / modeled` scales that
+/// anchor the second planning round.
+struct MeasuredRound {
+    psnr: f64,
+    correction: rq_core::usecases::PlanCorrection,
+}
+
+/// Streaming verification pass: decode the archive chunk by chunk,
+/// compare against the raw input, and return the measured aggregate PSNR
+/// plus per-chunk model corrections at the plan's bounds. Peak memory is
+/// one chunk of each.
+fn measure_planned_archive(
+    input: &str,
+    output: &str,
+    shape: Shape,
+    models: &[RqModel],
+    ebs: &[f64],
+    range: f64,
+) -> Result<MeasuredRound, String> {
+    let mut src = std::io::BufReader::new(io::open_raw_f32(input, shape)?);
+    let archive = std::fs::File::open(output).map_err(|e| format!("{output}: {e}"))?;
+    let mut reader =
+        ArchiveReader::open(archive).map_err(|e| format!("verification failed: {e}"))?;
+    let entries = reader.entries().to_vec();
+    let mut measured_sigma2 = Vec::with_capacity(entries.len());
+    let mut measured_bits = Vec::with_capacity(entries.len());
+    let mut sq_total = 0.0f64;
+    let mut n_total = 0usize;
+    for (chunk, entry) in entries.iter().enumerate() {
+        let cshape = slab_shape(shape, entry.rows);
+        let orig = io::read_f32_slab(&mut src, cshape).map_err(|e| format!("{input}: {e}"))?;
+        let (_, recon) = reader
+            .read_chunk::<f32>(chunk)
+            .map_err(|e| format!("verification failed: {e}"))?;
+        let mut sq = 0.0f64;
+        for (&a, &b) in orig.as_slice().iter().zip(recon.as_slice()) {
+            sq += ((a - b) as f64).powi(2);
+        }
+        measured_sigma2.push(sq / orig.len() as f64);
+        measured_bits.push(entry.len as f64 * 8.0 / orig.len() as f64);
+        sq_total += sq;
+        n_total += orig.len();
+    }
+    let mse = sq_total / n_total.max(1) as f64;
+    let psnr = if mse > 0.0 { 20.0 * range.log10() - 10.0 * mse.log10() } else { f64::INFINITY };
+    Ok(MeasuredRound {
+        psnr,
+        correction: rq_core::usecases::PlanCorrection::from_measured(
+            models,
+            ebs,
+            &measured_sigma2,
+            &measured_bits,
+        ),
+    })
+}
+
+/// Per-chunk models from one streaming pre-pass over the raw input: walk
+/// the file chunk by chunk (the exact partition the writer will encode),
+/// fit one deterministic ratio-quality model per chunk, and track the
+/// global value range. Returns `(models, sizes, range)`.
+fn chunk_models(
+    input: &str,
+    shape: Shape,
+    cfg: &CompressorConfig,
+) -> Result<(Vec<RqModel>, Vec<usize>, f64), String> {
+    let chunk_rows = rq_compress::resolved_chunk_rows(cfg, shape);
+    let d0 = shape.dim(0);
+    let mut src = std::io::BufReader::new(io::open_raw_f32(input, shape)?);
+    let mut models: Vec<RqModel> = Vec::with_capacity(d0.div_ceil(chunk_rows));
+    let mut sizes: Vec<usize> = Vec::with_capacity(models.capacity());
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut row = 0usize;
+    while row < d0 {
+        let rows = chunk_rows.min(d0 - row);
+        let cshape = slab_shape(shape, rows);
+        let slab = io::read_f32_slab(&mut src, cshape).map_err(|e| format!("{input}: {e}"))?;
+        for &v in slab.as_slice() {
+            let v = v as f64;
+            if !v.is_nan() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        models.push(RqModel::build_strided(
+            slab.as_slice(),
+            cshape,
+            cfg.predictor,
+            PLAN_SAMPLES_PER_CHUNK,
+        ));
+        sizes.push(slab.len());
+        row += rows;
+    }
+    if lo > hi {
+        return Err(format!("{input}: all values are NaN"));
+    }
+    Ok((models, sizes, hi - lo))
+}
+
+/// Run the §IV planner matching the goal over per-chunk models. Planner
+/// failures surface as [`rq_compress::CompressError::InvalidConfig`].
+/// PSNR-goal planning with an explicit model-space target and optional
+/// measured-feedback correction (the second-round path).
+fn plan_psnr_corrected(
+    models: &[RqModel],
+    sizes: &[usize],
+    range: f64,
+    target_est: f64,
+    correction: Option<&rq_core::usecases::PlanCorrection>,
+) -> Result<ChunkPlan, String> {
+    let n_elements: usize = sizes.iter().sum();
+    rq_core::usecases::optimize_partitions_corrected(
+        models,
+        sizes,
+        range,
+        target_est,
+        PLAN_GRID_POINTS,
+        correction,
+    )
+    .map(|plan| ChunkPlan {
+        est_psnr: plan.est_psnr,
+        est_bytes: plan.est_bit_rate * n_elements as f64 / 8.0,
+        ebs: plan.ebs,
+    })
+    .map_err(|e| {
+        format!(
+            "compression failed: {}",
+            rq_compress::CompressError::InvalidConfig(e.to_string())
+        )
+    })
+}
+
+fn plan_for(
+    models: &[RqModel],
+    sizes: &[usize],
+    range: f64,
+    goal: &Goal,
+    predictor: rq_predict::PredictorKind,
+) -> Result<ChunkPlan, String> {
+    let n_elements: usize = sizes.iter().sum();
+    let plan = match *goal {
+        Goal::Psnr(t) => {
+            return plan_psnr_corrected(models, sizes, range, t + psnr_plan_margin(predictor), None)
+        }
+        Goal::Size(bytes) => rq_core::usecases::plan_budget(
+            models,
+            sizes,
+            range,
+            bytes,
+            SIZE_PLAN_MARGIN,
+            PLAN_GRID_POINTS,
+        ),
+        Goal::Fixed(_) => unreachable!("fixed bounds are not planned"),
+    }
+    .map_err(|e| {
+        // A planner failure is a configuration problem (target unreachable,
+        // budget too small, …): surface it exactly as the compressor's
+        // typed InvalidConfig error.
+        format!(
+            "compression failed: {}",
+            rq_compress::CompressError::InvalidConfig(e.to_string())
+        )
+    })?;
+    Ok(ChunkPlan {
+        ebs: plan.ebs,
+        est_psnr: plan.est_psnr,
+        est_bytes: plan.est_bit_rate * n_elements as f64 / 8.0,
+    })
+}
+
 /// Streaming compression: read the input in slabs, feed the archive
-/// writer, never hold more than a few slabs in memory.
+/// writer, never hold more than a few slabs in memory. With `plan`, the
+/// session runs in quality-targeted mode (one bound per chunk, container
+/// v2.3).
 fn stream_compress(
     input: &str,
     output: &str,
     shape: Shape,
     mut cfg: CompressorConfig,
+    plan: Option<Vec<f64>>,
 ) -> Result<CompressionReport, String> {
     // A value-range-relative bound needs the global range before the
     // first slab; one cheap streaming pass resolves it to an absolute
     // bound (identical to what the in-memory pipeline would compute).
-    if let ErrorBoundMode::ValueRangeRelative(r) = cfg.bound {
-        cfg = cfg.with_bound(ErrorBoundMode::Abs(r * stream_value_range(input, shape)?));
+    // Planned sessions carry explicit absolute bounds instead.
+    if plan.is_none() {
+        if let ErrorBoundMode::ValueRangeRelative(r) = cfg.bound {
+            cfg = cfg.with_bound(ErrorBoundMode::Abs(r * stream_value_range(input, shape)?));
+        }
     }
     let mut src = std::io::BufReader::new(io::open_raw_f32(input, shape)?);
     // Blobs stream into a temp file renamed into place at the end, so a
@@ -154,8 +424,11 @@ fn stream_compress(
         let sink = std::io::BufWriter::new(
             std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?,
         );
-        let mut writer = ArchiveWriter::<f32, _>::create(sink, shape, &cfg)
-            .map_err(|e| format!("compression failed: {e}"))?;
+        let mut writer = match plan {
+            Some(ebs) => ArchiveWriter::<f32, _>::create_planned(sink, shape, &cfg, ebs),
+            None => ArchiveWriter::<f32, _>::create(sink, shape, &cfg),
+        }
+        .map_err(|e| format!("compression failed: {e}"))?;
         // Feed one batch of chunks per read: enough rows to occupy every
         // worker thread, and the upper bound on resident input data.
         let d0 = shape.dim(0);
@@ -195,7 +468,7 @@ fn stream_compress(
 fn cmd_compress(args: &Args) -> Result<(), String> {
     let [_, input, output] = positional::<3>(args)?;
     let shape = args.shape()?;
-    let bound = bound_from(args)?;
+    let goal = goal_from(args)?;
 
     let codec = match args.get("codec").unwrap_or("sz") {
         "sz" => CodecChoice::Sz,
@@ -203,13 +476,21 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         "auto" => CodecChoice::Auto,
         other => return Err(format!("unknown codec '{other}' (sz|zfp|auto)")),
     };
+    // Quality-targeted goals plan absolute per-chunk bounds; the config
+    // bound is a placeholder the planned session never reads.
+    let bound = match goal {
+        Goal::Fixed(b) => b,
+        Goal::Psnr(_) | Goal::Size(_) => ErrorBoundMode::Abs(1.0),
+    };
+    let targeted = !matches!(goal, Goal::Fixed(_));
     let mut cfg = CompressorConfig::new(args.predictor()?, bound).with_codec(codec);
     if args.flag("huffman-only") {
         cfg = cfg.huffman_only();
     }
     let threads = args.unsigned("threads")?;
     let chunk_rows = args.unsigned("chunk-size")?;
-    let chunked = threads.is_some() || chunk_rows.is_some() || codec != CodecChoice::Sz;
+    let chunked =
+        threads.is_some() || chunk_rows.is_some() || codec != CodecChoice::Sz || targeted;
     if threads.is_some() || chunk_rows.is_some() {
         cfg = match chunk_rows {
             Some(0) => return Err("--chunk-size must be positive".into()),
@@ -218,17 +499,125 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         };
         cfg = cfg.with_threads(threads.unwrap_or(0));
     } else if chunked {
-        // The adaptive codecs decide per chunk; give them chunks to
-        // decide over even when no explicit chunking was requested. A
-        // fixed chunk-count target (not thread-derived auto sizing) keeps
-        // the output bytes machine-independent.
+        // The adaptive codecs and the quality planners decide per chunk;
+        // give them chunks to decide over even when no explicit chunking
+        // was requested. A fixed chunk-count target (not thread-derived
+        // auto sizing) keeps the output bytes machine-independent.
+        cfg = cfg.chunked(rq_grid::auto_chunk_rows(shape, 16, 1 << 15));
+    }
+    if targeted && cfg.chunking == rq_compress::Chunking::Auto {
+        // The planner needs the chunk partition before the writer exists;
+        // Auto sizing depends on the thread count, which would make the
+        // plan (and the bytes) machine-dependent.
         cfg = cfg.chunked(rq_grid::auto_chunk_rows(shape, 16, 1 << 15));
     }
 
-    let rep = if chunked {
+    let mut plan_note = String::new();
+    let rep = if targeted {
+        // Pre-pass: per-chunk models → per-chunk bounds (container v2.3).
+        let (models, sizes, range) = chunk_models(&input, shape, &cfg)?;
+        let mut plan = plan_for(&models, &sizes, range, &goal, cfg.predictor)?;
+        let mut rep = stream_compress(&input, &output, shape, cfg, Some(plan.ebs.clone()))?;
+        let mut rounds = 1usize;
+        let mut measured_note = String::new();
+        if let Goal::Size(budget) = goal {
+            if rep.container_bytes > budget {
+                // §IV-B second round: re-plan with a proportionally
+                // lowered target and recompress once (the models are
+                // already built — only the second write pass repeats).
+                let overshoot = rep.container_bytes as f64 / budget as f64;
+                let lowered = ((budget as f64 / overshoot).floor() as usize).max(1);
+                plan = plan_for(&models, &sizes, range, &Goal::Size(lowered), cfg.predictor)?;
+                rep = stream_compress(&input, &output, shape, cfg, Some(plan.ebs.clone()))?;
+                rounds = 2;
+            }
+            if rep.container_bytes > budget {
+                // Even the lowered second round overflowed: a ceiling the
+                // model cannot honor is a hard failure, not a quietly
+                // oversized archive (the output is removed so a failed
+                // run leaves no artifact, matching every other error
+                // path).
+                std::fs::remove_file(&output).ok();
+                return Err(format!(
+                    "compression failed: {}",
+                    rq_compress::CompressError::InvalidConfig(format!(
+                        "archive is {} B after {rounds} round(s), over the --target-size \
+                         ceiling of {budget} B",
+                        rep.container_bytes
+                    ))
+                ));
+            }
+        }
+        if let Goal::Psnr(t) = goal {
+            // §IV-A verification round: measure the delivered quality
+            // (streaming, one chunk resident at a time) and re-plan once
+            // with the per-chunk measured/modeled corrections — either to
+            // rescue a missed floor (rare; the planning margin covers the
+            // model's error band) or to hand back quality the margin
+            // overshot (smaller archive at the same guarantee).
+            let r1 = measure_planned_archive(&input, &output, shape, &models, &plan.ebs, range)?;
+            let mut measured = r1.psnr;
+            if r1.psnr < t {
+                // Tighten: margin + observed deficit + a guard.
+                let target2 =
+                    t + psnr_plan_margin(cfg.predictor) + (t - r1.psnr) + 0.25;
+                plan = plan_psnr_corrected(&models, &sizes, range, target2, Some(&r1.correction))?;
+                rep = stream_compress(&input, &output, shape, cfg, Some(plan.ebs.clone()))?;
+                measured =
+                    measure_planned_archive(&input, &output, shape, &models, &plan.ebs, range)?
+                        .psnr;
+                rounds = 2;
+            } else if r1.psnr > t + PSNR_LOOSEN_THRESHOLD_DB {
+                // Loosen toward the target, keeping a small guard above
+                // it. The attempt goes to a trial file so an undershoot
+                // keeps the round-1 archive without a third encode pass.
+                let plan2 = plan_psnr_corrected(
+                    &models,
+                    &sizes,
+                    range,
+                    t + PSNR_AIM_GUARD_DB,
+                    Some(&r1.correction),
+                )?;
+                let trial = format!("{output}.rqm-round2");
+                let rep2 = stream_compress(&input, &trial, shape, cfg, Some(plan2.ebs.clone()))?;
+                let r2 =
+                    measure_planned_archive(&input, &trial, shape, &models, &plan2.ebs, range)?;
+                if r2.psnr >= t {
+                    std::fs::rename(&trial, &output).map_err(|e| format!("{output}: {e}"))?;
+                    plan = plan2;
+                    rep = rep2;
+                    measured = r2.psnr;
+                } else {
+                    // The corrected loosening undershot: keep round 1.
+                    std::fs::remove_file(&trial).ok();
+                }
+                rounds = 2;
+            }
+            measured_note = format!(", measured {measured:.1} dB");
+        }
+        let (eb_lo, eb_hi) = plan
+            .ebs
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &e| (lo.min(e), hi.max(e)));
+        let rounds_note = if rounds > 1 { ", 2 rounds" } else { "" };
+        let goal_note = match goal {
+            Goal::Psnr(t) => format!(
+                "target {t:.1} dB, planned est {:.1} dB{measured_note}{rounds_note}",
+                plan.est_psnr
+            ),
+            Goal::Size(b) => format!(
+                "target {b} B, planned est {} B ({:.1} dB{rounds_note})",
+                plan.est_bytes.round(),
+                plan.est_psnr
+            ),
+            Goal::Fixed(_) => unreachable!(),
+        };
+        plan_note = format!("{goal_note}, per-chunk eb {eb_lo:.2e}..{eb_hi:.2e}, ");
+        rep
+    } else if chunked {
         // Chunked: stream slabs through the writer session (container
         // v2.2) — peak RSS is a few slabs, not the field.
-        stream_compress(&input, &output, shape, cfg)?
+        stream_compress(&input, &output, shape, cfg, None)?
     } else {
         // Serial v1: the single causal traversal needs the whole field.
         let field = io::read_raw_f32(&input, shape)?;
@@ -255,7 +644,7 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         String::new()
     };
     let summary = format!(
-        "{codec_note}{predictor_note}ratio {:.2}, {:.3} bits/value{}",
+        "{plan_note}{codec_note}{predictor_note}ratio {:.2}, {:.3} bits/value{}",
         rep.overall_ratio(),
         rep.overall_bit_rate(),
         if rep.n_chunks > 1 {
@@ -388,6 +777,7 @@ fn version_name(version: u8) -> &'static str {
         1 => "1",
         2 => "2",
         3 => "2.1",
+        5 => "2.3",
         _ => "2.2",
     }
 }
@@ -432,12 +822,13 @@ fn print_info_json(
         let chunk_ratio = (e.rows * row_elems * scalar_bytes) as f64 / e.len.max(1) as f64;
         out.push_str(&format!(
             "    {{\"index\": {i}, \"start_row\": {}, \"rows\": {}, \"offset\": {}, \
-             \"bytes\": {}, \"codec\": \"{}\", \"ratio\": {chunk_ratio:.4}}}{}\n",
+             \"bytes\": {}, \"codec\": \"{}\", \"eb\": {:e}, \"ratio\": {chunk_ratio:.4}}}{}\n",
             e.start_row,
             e.rows,
             e.offset,
             e.len,
             e.codec.name(),
+            e.eb,
             if i + 1 < table.entries.len() { "," } else { "" }
         ));
     }
@@ -487,12 +878,16 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     if h.version >= 2 {
         println!("  chunks:     {} × {} rows", table.entries.len(), table.chunk_rows);
         let row_elems: usize = h.shape.dims()[1..].iter().product::<usize>().max(1);
+        // Per-chunk bounds only exist in v2.3 archives; elsewhere the
+        // column would repeat the header bound on every line.
+        let planned = h.version == 5;
         for e in &table.entries {
             // Per-chunk ratio from the chunk index: slab raw size over the
             // blob's compressed size.
             let chunk_ratio = (e.rows * row_elems * scalar_bytes) as f64 / e.len.max(1) as f64;
+            let eb_col = if planned { format!(" eb {:>9.3e}", e.eb) } else { String::new() };
             println!(
-                "    rows {:>6}..{:<6} {:>10} bytes at {:<10} {:>5} ratio {:>8.2}",
+                "    rows {:>6}..{:<6} {:>10} bytes at {:<10} {:>5}{eb_col} ratio {:>8.2}",
                 e.start_row,
                 e.start_row + e.rows,
                 e.len,
@@ -720,6 +1115,138 @@ mod tests {
         for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
             assert!((a - b).abs() as f64 <= h.abs_eb * 1.001);
         }
+    }
+
+    /// Measured PSNR between two equal-length f32 fields (range-based, as
+    /// `rq-analysis` defines it; inlined so the CLI crate stays free of a
+    /// dev-dependency on the analysis crate).
+    fn measured_psnr(a: &NdArray<f32>, b: &NdArray<f32>) -> f64 {
+        let range = a.value_range();
+        let mse = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            / a.len() as f64;
+        20.0 * range.log10() - 10.0 * mse.log10()
+    }
+
+    /// A field with quiet and loud axis-0 regions, so per-chunk planning
+    /// has real heterogeneity to exploit.
+    fn write_mixed_field(path: &std::path::Path) -> NdArray<f32> {
+        let f = NdArray::<f32>::from_fn(Shape::d2(40, 30), |ix| {
+            let base = ((ix[0] as f32) * 0.3).sin() + ix[1] as f32 * 0.05;
+            if ix[0] < 20 {
+                base * 0.01
+            } else {
+                let mut h = (ix[0] * 31 + ix[1]) as u64;
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51afd7ed558ccd);
+                h ^= h >> 33;
+                base + ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 4.0
+            }
+        });
+        io::write_raw_f32(path.to_str().unwrap(), &f).unwrap();
+        f
+    }
+
+    #[test]
+    fn target_psnr_cycle_meets_floor() {
+        let raw = tmp("tp.f32");
+        let rqc = tmp("tp.rqc");
+        let back = tmp("tp.out.f32");
+        let f = write_mixed_field(&raw);
+        let target = 55.0;
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "40x30",
+            "--target-psnr",
+            "55",
+            "--chunk-size",
+            "10",
+        ])
+        .unwrap();
+        let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
+        assert_eq!(peek_header(&bytes).unwrap().version, 5, "targeted CLI writes v2.3");
+        // The plan must actually vary across the quiet/loud chunks.
+        let table = rq_compress::chunk_table(&bytes).unwrap();
+        let ebs: Vec<f64> = table.entries.iter().map(|e| e.eb).collect();
+        assert!(ebs.iter().any(|&e| e != ebs[0]), "plan is uniform: {ebs:?}");
+        run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+        run_args(&["info", rqc.to_str().unwrap(), "--json"]).unwrap();
+        run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(40, 30)).unwrap();
+        let psnr = measured_psnr(&f, &g);
+        assert!(psnr >= target - 0.5, "measured {psnr:.2} dB < floor {}", target - 0.5);
+    }
+
+    #[test]
+    fn target_size_cycle_fits_budget() {
+        let raw = tmp("ts.f32");
+        let rqc = tmp("ts.rqc");
+        let back = tmp("ts.out.f32");
+        write_mixed_field(&raw);
+        let budget = 40 * 30 * 4 / 8; // 4 bits/value
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "40x30",
+            "--target-size",
+            &budget.to_string(),
+            "--chunk-size",
+            "10",
+        ])
+        .unwrap();
+        let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
+        assert_eq!(peek_header(&bytes).unwrap().version, 5);
+        assert!(
+            bytes.len() <= budget,
+            "archive {} B over the {budget} B ceiling",
+            bytes.len()
+        );
+        run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn target_flags_are_mutually_exclusive_and_validated() {
+        let raw = tmp("tx.f32");
+        write_mixed_field(&raw);
+        let r = raw.to_str().unwrap();
+        for conflict in [
+            vec!["--abs", "1e-3", "--target-psnr", "60"],
+            vec!["--rel", "1e-3", "--target-size", "100"],
+            vec!["--target-psnr", "60", "--target-size", "100"],
+        ] {
+            let mut v = vec!["compress", r, "/tmp/never.rqc", "--shape", "40x30"];
+            v.extend(conflict.iter());
+            assert!(run_args(&v).is_err(), "{conflict:?} must be rejected");
+        }
+        assert!(
+            run_args(&[
+                "compress", r, "/tmp/never.rqc", "--shape", "40x30", "--target-size", "0"
+            ])
+            .is_err(),
+            "zero budget must be rejected"
+        );
+        // An unreachable target surfaces the planner's typed error as
+        // InvalidConfig, not a panic or a silently lossier archive.
+        let err = run_args(&[
+            "compress",
+            r,
+            "/tmp/never.rqc",
+            "--shape",
+            "40x30",
+            "--target-size",
+            "30",
+        ])
+        .unwrap_err();
+        assert!(err.contains("invalid configuration"), "got: {err}");
     }
 
     #[test]

@@ -44,6 +44,14 @@ const AUTO_MIN_CHUNK_ELEMS: usize = 1 << 15;
 /// tail of the schedule short without shrinking chunks too far.
 const AUTO_CHUNKS_PER_THREAD: usize = 4;
 
+/// The axis-0 rows per chunk that `cfg`'s chunking resolves to for
+/// `shape` — i.e. the chunk partition every pipeline (one-shot, streaming,
+/// planned) will use. Public so quality-targeted callers can run their
+/// per-chunk pre-pass over exactly the partition the writer will encode.
+pub fn resolved_chunk_rows(cfg: &CompressorConfig, shape: Shape) -> usize {
+    resolve_chunk_rows(cfg, shape)
+}
+
 /// Resolve the configured chunking to a concrete row count per slab.
 pub(crate) fn resolve_chunk_rows(cfg: &CompressorConfig, shape: Shape) -> usize {
     match cfg.chunking {
@@ -218,12 +226,15 @@ pub(crate) fn aggregate_report(
 }
 
 /// Decode one chunk blob into its output slab, dispatching on the chunk's
-/// codec tag. Shared by the in-memory decompressors and the streaming
+/// codec tag. `eb` is the chunk's authoritative absolute bound (the
+/// header's bound for pre-v2.3 archives, the per-chunk index entry for
+/// v2.3). Shared by the in-memory decompressors and the streaming
 /// [`crate::ArchiveReader`].
 pub(crate) fn decode_chunk_blob<T: Scalar>(
     blob: &[u8],
     header: &Header,
     codec: ChunkCodecKind,
+    eb: f64,
     chunk_shape: Shape,
     out: &mut [T],
 ) -> Result<(), DecompressError> {
@@ -235,13 +246,13 @@ pub(crate) fn decode_chunk_blob<T: Scalar>(
                 lossless,
                 chunk_shape,
                 header.predictor,
-                LinearQuantizer::new(header.abs_eb, header.radius),
+                LinearQuantizer::new(eb, header.radius),
                 transform_from_header(header),
                 out,
             )
         }
         ChunkCodecKind::Zfp => {
-            ChunkCodec::<T>::decode(&ZfpChunkCodec::new(header.abs_eb), blob, chunk_shape, out)
+            ChunkCodec::<T>::decode(&ZfpChunkCodec::new(eb), blob, chunk_shape, out)
         }
     }
 }
@@ -259,6 +270,7 @@ fn decode_entry<T: Scalar>(
         &bytes[entry.offset..entry.offset + entry.len],
         header,
         entry.codec,
+        entry.eb,
         chunk_shape,
         out,
     )

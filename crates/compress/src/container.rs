@@ -69,8 +69,27 @@
 //! back `trailer_len` bytes to parse the index, and then has exactly the
 //! same random-access chunk table as v2.1 — blob offsets accumulate
 //! forward from the end of the header. Chunk blobs themselves are
-//! byte-identical to their v2/v2.1 counterparts. See `docs/FORMAT.md` for
-//! the full byte-layout specification of all four generations.
+//! byte-identical to their v2/v2.1 counterparts.
+//!
+//! **Version 2.3** (version byte 5, quality-targeted compression) is v2.2
+//! with a per-chunk **absolute error bound** recorded next to the codec
+//! tag in every trailer index entry:
+//!
+//! ```text
+//! trailer      chunk_rows varint
+//!              n_chunks   varint
+//!              (rows varint, byte_len varint, codec u8, eb f64 LE) × n_chunks
+//! ```
+//!
+//! The per-chunk `eb` is authoritative for decoding that chunk (both the
+//! SZ quantizer and the ZFP tolerance); the header's `abs_eb` records the
+//! **maximum** planned bound, i.e. the archive-wide worst-case pointwise
+//! guarantee. Planned archives are produced by the quality/size-targeted
+//! streaming writer (`ArchiveWriter::create_planned`); fixed-bound
+//! configurations keep writing v2.2 byte-identically. Readers must reject
+//! non-finite or non-positive per-chunk bounds as corruption. See
+//! `docs/FORMAT.md` for the full byte-layout specification of all five
+//! generations.
 //!
 //! (*) In v2/v2.1/v2.2 the header's lossless flag records the
 //! *configuration*; the authoritative per-chunk decision is each SZ blob's
@@ -91,6 +110,9 @@ pub(crate) const VERSION_V2: u8 = 2;
 pub(crate) const VERSION_V2_1: u8 = 3;
 /// Streaming container with a trailer chunk index ("v2.2").
 pub(crate) const VERSION_V2_2: u8 = 4;
+/// Streaming container with per-chunk error bounds in the trailer index
+/// ("v2.3", quality-targeted compression).
+pub(crate) const VERSION_V2_3: u8 = 5;
 /// Magic closing a v2.2 trailer (the last four bytes of the archive).
 pub(crate) const TRAILER_MAGIC: &[u8; 4] = b"RQIX";
 /// Fixed bytes after a v2.2 trailer body: u64 LE trailer length + magic.
@@ -226,7 +248,7 @@ pub(crate) fn container_version(bytes: &[u8]) -> Result<u8, DecompressError> {
         return Err(DecompressError::NotAContainer);
     }
     match bytes[4] {
-        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1 | VERSION_V2_2) => Ok(v),
+        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1 | VERSION_V2_2 | VERSION_V2_3) => Ok(v),
         _ => Err(DecompressError::NotAContainer),
     }
 }
@@ -467,9 +489,9 @@ pub(crate) fn read_container<T: Scalar>(bytes: &[u8]) -> Result<Sections<T>, Dec
 /// payload.
 pub(crate) const CHUNK_FLAG_LOSSLESS: u8 = 0b01;
 
-/// One entry of a v2/v2.1 chunk index, with its blob located in the
-/// container.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One entry of a v2/v2.1/v2.2/v2.3 chunk index, with its blob located in
+/// the container.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChunkEntry {
     /// First axis-0 row of the slab.
     pub start_row: usize,
@@ -482,6 +504,10 @@ pub struct ChunkEntry {
     /// Codec that produced the blob (always [`ChunkCodecKind::Sz`] for
     /// v1/v2 containers).
     pub codec: ChunkCodecKind,
+    /// Absolute error bound this chunk was quantized with. Equal to the
+    /// header's `abs_eb` for every generation before v2.3; read from the
+    /// per-chunk index entry (and authoritative for decoding) in v2.3.
+    pub eb: f64,
 }
 
 /// Serialize one chunk's streams as a self-contained blob.
@@ -580,9 +606,34 @@ pub(crate) fn write_container_v2_2<T: Scalar>(
     for (_, _, blob) in chunks {
         out.extend_from_slice(blob);
     }
-    let triples: Vec<(usize, ChunkCodecKind, usize)> =
-        chunks.iter().map(|&(rows, codec, ref blob)| (rows, codec, blob.len())).collect();
-    write_trailer(&mut out, chunk_rows, &triples);
+    let entries: Vec<(usize, ChunkCodecKind, usize, f64)> = chunks
+        .iter()
+        .map(|&(rows, codec, ref blob)| (rows, codec, blob.len(), header.abs_eb))
+        .collect();
+    write_trailer(&mut out, chunk_rows, &entries, false);
+    out
+}
+
+/// Serialize a whole v2.3 container in memory: like
+/// [`write_container_v2_2`] but with a per-chunk error bound in every
+/// trailer entry. `header.version` must be [`VERSION_V2_3`].
+#[cfg(test)]
+pub(crate) fn write_container_v2_3<T: Scalar>(
+    header: &Header,
+    chunk_rows: usize,
+    chunks: &[(usize, ChunkCodecKind, f64, Vec<u8>)], // (rows, codec, eb, blob)
+) -> Vec<u8> {
+    let body: usize = chunks.iter().map(|(_, _, _, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(body + 24 * chunks.len() + 64);
+    write_header_prefix(&mut out, header, T::TAG);
+    for (_, _, _, blob) in chunks {
+        out.extend_from_slice(blob);
+    }
+    let entries: Vec<(usize, ChunkCodecKind, usize, f64)> = chunks
+        .iter()
+        .map(|&(rows, codec, eb, ref blob)| (rows, codec, blob.len(), eb))
+        .collect();
+    write_trailer(&mut out, chunk_rows, &entries, true);
     out
 }
 
@@ -609,17 +660,21 @@ pub(crate) fn read_container_v2_index<T: Scalar>(
     Ok(idx)
 }
 
-/// Raw `(rows, byte_len, codec)` triples of a chunk index, before
-/// validation against the header.
-pub(crate) type RawIndexEntries = Vec<(usize, usize, ChunkCodecKind)>;
+/// Raw `(rows, byte_len, codec, per-chunk eb)` entries of a chunk index,
+/// before validation against the header. The bound is `None` for every
+/// generation before v2.3 (those chunks inherit the header bound).
+pub(crate) type RawIndexEntries = Vec<(usize, usize, ChunkCodecKind, Option<f64>)>;
 
-/// Parse `chunk_rows`, `n_chunks` and the raw `(rows, len, codec)` triples
-/// of a chunk index out of `bytes` starting at `*pos`. Shared by the
-/// inline v2/v2.1 index, the v2.2 trailer and the streaming reader.
+/// Parse `chunk_rows`, `n_chunks` and the raw `(rows, len, codec, eb)`
+/// entries of a chunk index out of `bytes` starting at `*pos`. Shared by
+/// the inline v2/v2.1 index, the v2.2/v2.3 trailer and the streaming
+/// reader. `with_eb` selects the v2.3 entry layout (an f64 bound after the
+/// codec tag); non-finite or non-positive bounds are corruption.
 pub(crate) fn parse_index_body(
     bytes: &[u8],
     pos: &mut usize,
     tagged: bool,
+    with_eb: bool,
     max_chunks: usize,
 ) -> Result<(usize, RawIndexEntries), DecompressError> {
     let chunk_rows =
@@ -650,7 +705,21 @@ pub(crate) fn parse_index_body(
         } else {
             ChunkCodecKind::Sz
         };
-        raw.push((rows, len, codec));
+        let eb = if with_eb {
+            let end = pos
+                .checked_add(8)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(DecompressError::Corrupt("truncated per-chunk error bound"))?;
+            let eb = f64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            *pos = end;
+            if !(eb.is_finite() && eb > 0.0) {
+                return Err(DecompressError::Corrupt("bad per-chunk error bound"));
+            }
+            Some(eb)
+        } else {
+            None
+        };
+        raw.push((rows, len, codec, eb));
     }
     Ok((chunk_rows, raw))
 }
@@ -665,7 +734,7 @@ pub(crate) fn entries_from_raw(
 ) -> Result<Vec<ChunkEntry>, DecompressError> {
     let mut entries = Vec::with_capacity(raw.len());
     let mut start_row = 0usize;
-    for (rows, len, codec) in raw {
+    for (rows, len, codec, eb) in raw {
         // Corrupt varints can hold anything: every entry must fit inside
         // what remains of axis 0 (checked subtraction — an unchecked
         // running sum would overflow before the tiling check below).
@@ -676,7 +745,14 @@ pub(crate) fn entries_from_raw(
         if end > region_end {
             return Err(DecompressError::Corrupt("chunk overruns buffer"));
         }
-        entries.push(ChunkEntry { start_row, rows, offset, len, codec });
+        entries.push(ChunkEntry {
+            start_row,
+            rows,
+            offset,
+            len,
+            codec,
+            eb: eb.unwrap_or(header.abs_eb),
+        });
         start_row += rows;
         offset = end;
     }
@@ -709,10 +785,11 @@ pub(crate) fn trailer_bounds(
     Ok((trailer_start, trailer_len))
 }
 
-/// Parse and validate a located v2.2 trailer body (`trailer` is the
+/// Parse and validate a located v2.2/v2.3 trailer body (`trailer` is the
 /// region `trailer_start..trailer_start+len`, suffix excluded): the
 /// index body must fill it exactly, and the resulting blob extents must
-/// tile `header_end..trailer_start` exactly. Returns
+/// tile `header_end..trailer_start` exactly. The entry layout (with or
+/// without the per-chunk bound) follows `header.version`. Returns
 /// `(chunk_rows, entries)`. The single implementation behind both the
 /// slice parser and the streaming [`crate::ArchiveReader`], so the two
 /// can never drift apart on what counts as a valid trailer.
@@ -723,7 +800,9 @@ pub(crate) fn parse_v2_2_trailer(
     trailer_start: usize,
 ) -> Result<(usize, Vec<ChunkEntry>), DecompressError> {
     let mut tpos = 0usize;
-    let (chunk_rows, raw) = parse_index_body(trailer, &mut tpos, true, header.shape.dim(0))?;
+    let with_eb = header.version == VERSION_V2_3;
+    let (chunk_rows, raw) =
+        parse_index_body(trailer, &mut tpos, true, with_eb, header.shape.dim(0))?;
     if tpos != trailer.len() {
         return Err(DecompressError::Corrupt("trailing bytes in v2.2 trailer"));
     }
@@ -737,20 +816,25 @@ pub(crate) fn parse_v2_2_trailer(
     Ok((chunk_rows, entries))
 }
 
-/// Serialize a v2.2 trailer (index body + length suffix + magic) for the
-/// given `(rows, codec, blob_len)` triples in slab order.
+/// Serialize a v2.2/v2.3 trailer (index body + length suffix + magic) for
+/// the given `(rows, codec, blob_len, eb)` entries in slab order. The
+/// per-chunk bound is written only when `with_eb` is set (v2.3).
 pub(crate) fn write_trailer(
     out: &mut Vec<u8>,
     chunk_rows: usize,
-    chunks: &[(usize, ChunkCodecKind, usize)],
+    chunks: &[(usize, ChunkCodecKind, usize, f64)],
+    with_eb: bool,
 ) {
     let body_start = out.len();
     put_uvarint(out, chunk_rows as u64);
     put_uvarint(out, chunks.len() as u64);
-    for &(rows, codec, len) in chunks {
+    for &(rows, codec, len, eb) in chunks {
         put_uvarint(out, rows as u64);
         put_uvarint(out, len as u64);
         out.push(codec.tag());
+        if with_eb {
+            out.extend_from_slice(&eb.to_le_bytes());
+        }
     }
     let body_len = (out.len() - body_start) as u64;
     out.extend_from_slice(&body_len.to_le_bytes());
@@ -765,11 +849,11 @@ fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
         VERSION_V2 | VERSION_V2_1 => {
             let tagged = header.version == VERSION_V2_1;
             let (chunk_rows, raw) =
-                parse_index_body(bytes, &mut pos, tagged, header.shape.dim(0))?;
+                parse_index_body(bytes, &mut pos, tagged, false, header.shape.dim(0))?;
             let entries = entries_from_raw(&header, pos, raw, bytes.len())?;
             Ok(V2Index { header, chunk_rows, entries })
         }
-        VERSION_V2_2 => {
+        VERSION_V2_2 | VERSION_V2_3 => {
             let suffix_at = bytes
                 .len()
                 .checked_sub(TRAILER_SUFFIX_LEN)
@@ -798,9 +882,9 @@ pub fn chunk_count(bytes: &[u8]) -> Result<usize, DecompressError> {
     let (header, mut pos) = read_header_prefix(bytes)?;
     match header.version {
         VERSION_V1 => Ok(1),
-        // The v2.2 index lives in the trailer; the full parse is still
-        // cheap (no payload is decoded).
-        VERSION_V2_2 => read_v2_index_untyped(bytes).map(|i| i.entries.len()),
+        // The v2.2/v2.3 index lives in the trailer; the full parse is
+        // still cheap (no payload is decoded).
+        VERSION_V2_2 | VERSION_V2_3 => read_v2_index_untyped(bytes).map(|i| i.entries.len()),
         _ => {
             let _chunk_rows =
                 get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))?;
@@ -837,6 +921,7 @@ pub fn chunk_table(bytes: &[u8]) -> Result<ChunkTable, DecompressError> {
                 offset: pos,
                 len: bytes.len() - pos,
                 codec: ChunkCodecKind::Sz,
+                eb: header.abs_eb,
             }],
         });
     }
@@ -1160,11 +1245,84 @@ mod tests {
             &mut out,
             6,
             &[
-                (6, ChunkCodecKind::Sz, blob.len() + short.len() + 50),
-                (4, ChunkCodecKind::Sz, short.len()),
+                (6, ChunkCodecKind::Sz, blob.len() + short.len() + 50, h.abs_eb),
+                (4, ChunkCodecKind::Sz, short.len(), h.abs_eb),
             ],
+            false,
         );
         assert!(read_container_v2_index::<f32>(&out).is_err());
+    }
+
+    #[test]
+    fn v2_3_roundtrip_per_chunk_bounds() {
+        let mut h = sample_header(VERSION_V2_3);
+        h.shape = Shape::d2(10, 4);
+        h.abs_eb = 1e-2; // the max of the planned bounds
+        let sz_blob =
+            write_chunk_blob::<f32>(LosslessStage::None, &[1], &[2, 2], &[0.5f32], &[]);
+        let zfp_blob = vec![7u8, 7, 7, 7];
+        let bytes = write_container_v2_3::<f32>(
+            &h,
+            6,
+            &[
+                (6, ChunkCodecKind::Sz, 1e-2, sz_blob.clone()),
+                (4, ChunkCodecKind::Zfp, 3e-4, zfp_blob.clone()),
+            ],
+        );
+        assert_eq!(container_version(&bytes).unwrap(), VERSION_V2_3);
+        assert_eq!(&bytes[bytes.len() - 4..], TRAILER_MAGIC);
+        assert_eq!(chunk_count(&bytes).unwrap(), 2);
+        let idx = read_container_v2_index::<f32>(&bytes).unwrap();
+        assert_eq!(idx.entries.len(), 2);
+        assert_eq!(idx.entries[0].eb, 1e-2);
+        assert_eq!(idx.entries[1].eb, 3e-4);
+        assert_eq!(idx.entries[1].codec, ChunkCodecKind::Zfp);
+        let e = idx.entries[1];
+        assert_eq!(&bytes[e.offset..e.offset + e.len], &zfp_blob[..]);
+        // The untyped inspection path reports per-chunk bounds too.
+        let table = chunk_table(&bytes).unwrap();
+        assert_eq!(table.entries[0].eb, 1e-2);
+        assert_eq!(table.entries[1].eb, 3e-4);
+        // Pre-v2.3 generations report the header bound for every chunk.
+        let mut h22 = sample_header(VERSION_V2_2);
+        h22.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let v22 = write_container_v2_2::<f32>(&h22, 4, &[(4, ChunkCodecKind::Sz, blob)]);
+        let t22 = chunk_table(&v22).unwrap();
+        assert_eq!(t22.entries[0].eb, h22.abs_eb);
+    }
+
+    #[test]
+    fn v2_3_bad_per_chunk_bounds_rejected() {
+        let mut h = sample_header(VERSION_V2_3);
+        h.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let good =
+            write_container_v2_3::<f32>(&h, 4, &[(4, ChunkCodecKind::Sz, 1e-4, blob)]);
+        let idx = read_container_v2_index::<f32>(&good).unwrap();
+        assert_eq!(idx.entries[0].eb, 1e-4);
+        // The eb lives in the trailer: last entry field before the
+        // 12-byte suffix.
+        let eb_at = good.len() - TRAILER_SUFFIX_LEN - 8;
+        for evil in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1e-4] {
+            let mut m = good.clone();
+            m[eb_at..eb_at + 8].copy_from_slice(&evil.to_le_bytes());
+            assert!(
+                matches!(
+                    read_container_v2_index::<f32>(&m),
+                    Err(DecompressError::Corrupt(_))
+                ),
+                "eb {evil} must be rejected"
+            );
+        }
+        // A v2.3 trailer truncated mid-bound (v2.2-sized entries under a
+        // v2.3 version byte) must be corruption, not a silent fallback.
+        let mut short = Vec::new();
+        write_header_prefix(&mut short, &h, <f32 as Scalar>::TAG);
+        let blob2 = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        short.extend_from_slice(&blob2);
+        write_trailer(&mut short, 4, &[(4, ChunkCodecKind::Sz, blob2.len(), 1e-4)], false);
+        assert!(read_container_v2_index::<f32>(&short).is_err());
     }
 
     #[test]

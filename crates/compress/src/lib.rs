@@ -34,6 +34,7 @@ pub mod stream;
 
 pub use chunked::{
     compress_chunked, compress_chunked_with_report, decompress_chunk, decompress_with_threads,
+    resolved_chunk_rows,
 };
 pub use codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
 pub use config::{Chunking, CodecChoice, CompressorConfig, LosslessStage};

@@ -57,7 +57,7 @@ use crate::config::{CodecChoice, CompressorConfig, LosslessStage};
 use crate::container::{
     entries_from_raw, parse_index_body, parse_v2_2_trailer, read_sections_body, trailer_bounds,
     write_header_prefix, write_trailer, ChunkCodecKind, ChunkEntry, ChunkTable, CompressError,
-    DecompressError, Header, TRAILER_SUFFIX_LEN, VERSION_V1, VERSION_V2_2,
+    DecompressError, Header, TRAILER_SUFFIX_LEN, VERSION_V1, VERSION_V2_2, VERSION_V2_3,
 };
 use crate::pipeline::{decode_stream, resolve_bound, transform_from_header, Transform};
 use crate::report::CompressionReport;
@@ -78,6 +78,9 @@ pub(crate) struct EncodedChunk {
     pub codec: ChunkCodecKind,
     pub blob: Vec<u8>,
     pub stats: ChunkStats,
+    /// Absolute bound this chunk was quantized with (the shared bound, or
+    /// the chunk's planned bound in quality-targeted mode).
+    pub eb: f64,
 }
 
 /// The per-chunk encode core shared by the one-shot chunked pipeline and
@@ -126,16 +129,40 @@ impl SlabEncoder {
     }
 
     /// Encode a batch of chunks of `data` concurrently on the worker
-    /// pool. Results come back in chunk order.
+    /// pool, every chunk under the encoder's shared bound. Results come
+    /// back in chunk order.
     pub fn encode_chunks<T: Scalar>(
         &self,
         data: &[T],
         chunks: Vec<ChunkSpec>,
     ) -> Result<Vec<EncodedChunk>, CompressError> {
-        let sz = SzChunkCodec::new(self.predictor, self.quantizer, self.lossless)
+        let ebs = vec![self.abs_eb; chunks.len()];
+        self.encode_chunks_planned(data, chunks, &ebs)
+    }
+
+    /// [`Self::encode_chunks`] with one absolute bound per chunk (the
+    /// quality-targeted v2.3 path; `ebs.len()` must equal `chunks.len()`).
+    /// Each chunk's quantizer/tolerance — and, under
+    /// [`CodecChoice::Auto`], the scheduler's decision — uses that chunk's
+    /// bound, so blob bytes for a uniform plan equal the fixed-bound path
+    /// exactly.
+    pub fn encode_chunks_planned<T: Scalar>(
+        &self,
+        data: &[T],
+        chunks: Vec<ChunkSpec>,
+        ebs: &[f64],
+    ) -> Result<Vec<EncodedChunk>, CompressError> {
+        debug_assert_eq!(chunks.len(), ebs.len());
+        let items: Vec<(ChunkSpec, f64)> =
+            chunks.into_iter().zip(ebs.iter().copied()).collect();
+        run_on_workers(items, self.threads, |(c, eb)| -> Result<EncodedChunk, CompressError> {
+            let sz = SzChunkCodec::new(
+                self.predictor,
+                LinearQuantizer::new(eb, self.radius),
+                self.lossless,
+            )
             .with_transform(self.transform);
-        let zfp = ZfpChunkCodec::new(self.abs_eb);
-        run_on_workers(chunks, self.threads, |c: ChunkSpec| -> Result<EncodedChunk, CompressError> {
+            let zfp = ZfpChunkCodec::new(eb);
             let slab = &data[c.offset..c.offset + c.len];
             // `ready` carries the scheduler's probe stream when it already
             // compressed the whole (small) slab — no second zfp pass then.
@@ -151,7 +178,7 @@ impl SlabEncoder {
                             slab,
                             c.shape,
                             self.predictor,
-                            self.abs_eb,
+                            eb,
                             self.radius,
                         );
                         (decision.codec, blob)
@@ -163,7 +190,7 @@ impl SlabEncoder {
                 (ChunkCodecKind::Sz, _) => ChunkCodec::<T>::encode(&sz, slab, c.shape)?,
                 (ChunkCodecKind::Zfp, None) => ChunkCodec::<T>::encode(&zfp, slab, c.shape)?,
             };
-            Ok(EncodedChunk { rows: c.rows, codec: kind, blob, stats })
+            Ok(EncodedChunk { rows: c.rows, codec: kind, blob, stats, eb })
         })
     }
 }
@@ -215,12 +242,16 @@ pub struct ArchiveWriter<T: Scalar, W: Write> {
     row_elems: usize,
     chunk_rows: usize,
     enc: SlabEncoder,
+    /// Per-chunk planned bounds (quality-targeted mode ⇒ container v2.3);
+    /// `None` writes v2.2 with the shared bound.
+    plan: Option<Vec<f64>>,
     /// Carry-over rows not yet forming a complete chunk.
     buf: Vec<T>,
     /// Rows already encoded and written.
     rows_done: usize,
-    /// Chunk index accumulated for the trailer: (rows, codec, blob len).
-    index: Vec<(usize, ChunkCodecKind, usize)>,
+    /// Chunk index accumulated for the trailer: (rows, codec, blob len,
+    /// eb).
+    index: Vec<(usize, ChunkCodecKind, usize, f64)>,
     per_chunk: Vec<(ChunkCodecKind, ChunkStats)>,
     bytes_written: u64,
 }
@@ -247,20 +278,83 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
         Self::create_resolved(sink, shape, cfg, abs_eb, transform)
     }
 
+    /// Open a **quality-targeted** session: one absolute error bound per
+    /// axis-0 chunk, producing container v2.3 (the per-chunk bounds are
+    /// recorded next to the codec tags in the trailer index and are
+    /// authoritative for decoding).
+    ///
+    /// `ebs` must hold exactly one finite positive bound per chunk of the
+    /// partition `cfg`'s chunking resolves to for `shape` (see
+    /// [`crate::chunked::resolved_chunk_rows`]); the header's `abs_eb`
+    /// records `max(ebs)` — the archive-wide worst-case pointwise
+    /// guarantee. `cfg.bound` is ignored: planned bounds are always
+    /// absolute, so point-wise relative configs are rejected with
+    /// [`CompressError::InvalidConfig`].
+    pub fn create_planned(
+        sink: W,
+        shape: Shape,
+        cfg: &CompressorConfig,
+        ebs: Vec<f64>,
+    ) -> Result<Self, CompressError> {
+        cfg.validate().map_err(CompressError::InvalidConfig)?;
+        if matches!(cfg.bound, ErrorBoundMode::PointwiseRelative(_)) {
+            return Err(CompressError::InvalidConfig(
+                "per-chunk planned bounds are absolute; a point-wise relative config cannot \
+                 be planned"
+                    .into(),
+            ));
+        }
+        let chunk_rows = crate::chunked::resolve_chunk_rows(cfg, shape);
+        let n_chunks = shape.dim(0).div_ceil(chunk_rows);
+        if ebs.len() != n_chunks {
+            return Err(CompressError::InvalidConfig(format!(
+                "plan has {} bounds but the chunking yields {} chunks ({} rows each over {} \
+                 rows)",
+                ebs.len(),
+                n_chunks,
+                chunk_rows,
+                shape.dim(0)
+            )));
+        }
+        let mut max_eb = 0.0f64;
+        for (i, &eb) in ebs.iter().enumerate() {
+            if !(eb.is_finite() && eb > 0.0) {
+                return Err(CompressError::InvalidBound(format!(
+                    "planned bound for chunk {i} is {eb}"
+                )));
+            }
+            max_eb = max_eb.max(eb);
+        }
+        Self::create_inner(sink, shape, cfg, max_eb, Transform::Identity, Some(ebs))
+    }
+
     /// `create` with the bound already resolved (crate-internal: lets the
     /// CLI resolve a value-range-relative bound via its own streaming
     /// min/max pass and still use the session).
     pub(crate) fn create_resolved(
-        mut sink: W,
+        sink: W,
         shape: Shape,
         cfg: &CompressorConfig,
         abs_eb: f64,
         transform: Transform,
     ) -> Result<Self, CompressError> {
+        Self::create_inner(sink, shape, cfg, abs_eb, transform, None)
+    }
+
+    /// Shared constructor: the presence of a per-chunk plan selects the
+    /// container generation (v2.3 vs v2.2) baked into the header.
+    fn create_inner(
+        mut sink: W,
+        shape: Shape,
+        cfg: &CompressorConfig,
+        abs_eb: f64,
+        transform: Transform,
+        plan: Option<Vec<f64>>,
+    ) -> Result<Self, CompressError> {
         let enc = SlabEncoder::from_cfg(cfg, abs_eb, transform)?;
         let chunk_rows = crate::chunked::resolve_chunk_rows(cfg, shape);
         let header = Header {
-            version: VERSION_V2_2,
+            version: if plan.is_some() { VERSION_V2_3 } else { VERSION_V2_2 },
             scalar_tag: T::TAG,
             predictor: cfg.predictor,
             lossless: cfg.lossless,
@@ -278,6 +372,7 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
             row_elems: shape.dims()[1..].iter().product::<usize>().max(1),
             chunk_rows,
             enc,
+            plan,
             buf: Vec::new(),
             rows_done: 0,
             index: Vec::new(),
@@ -340,12 +435,25 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
         dims[0] = rows;
         let batch_shape = Shape::new(&dims[..self.shape.ndim()]);
         let chunks = slab_chunks(batch_shape, self.chunk_rows);
-        let encoded = self.enc.encode_chunks(&self.buf[..elems], chunks)?;
+        let encoded = match &self.plan {
+            Some(plan) => {
+                // Slabs arrive in row order, so the batch's chunks are the
+                // next `chunks.len()` entries of the whole-field plan.
+                let base = self.index.len();
+                let n = chunks.len();
+                self.enc.encode_chunks_planned(
+                    &self.buf[..elems],
+                    chunks,
+                    &plan[base..base + n],
+                )?
+            }
+            None => self.enc.encode_chunks(&self.buf[..elems], chunks)?,
+        };
         for ec in encoded {
             self.sink.write_all(&ec.blob)?;
             self.bytes_written += ec.blob.len() as u64;
             self.rows_done += ec.rows;
-            self.index.push((ec.rows, ec.codec, ec.blob.len()));
+            self.index.push((ec.rows, ec.codec, ec.blob.len(), ec.eb));
             self.per_chunk.push((ec.codec, ec.stats));
         }
         self.buf.drain(..elems);
@@ -372,7 +480,7 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
             )));
         }
         let mut trailer = Vec::new();
-        write_trailer(&mut trailer, self.chunk_rows, &self.index);
+        write_trailer(&mut trailer, self.chunk_rows, &self.index, self.plan.is_some());
         self.sink.write_all(&trailer)?;
         self.sink.flush()?;
         self.bytes_written += trailer.len() as u64;
@@ -452,9 +560,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
                         .checked_sub(header_end)
                         .ok_or(DecompressError::Corrupt("container shorter than header"))?,
                     codec: ChunkCodecKind::Sz,
+                    eb: header.abs_eb,
                 }],
             ),
-            VERSION_V2_2 => {
+            VERSION_V2_2 | VERSION_V2_3 => {
                 if total_len < (header_end + TRAILER_SUFFIX_LEN) as u64 {
                     return Err(DecompressError::Corrupt("truncated v2.2 trailer"));
                 }
@@ -486,7 +595,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
                 let index_max = 20 + n * 21;
                 let buf = read_span(&mut src, header_end as u64, after.min(index_max))?;
                 let mut p = 0usize;
-                let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, d0)?;
+                let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, false, d0)?;
                 let entries =
                     entries_from_raw(&header, header_end + p, raw, total_len as usize)?;
                 (chunk_rows, entries)
@@ -568,7 +677,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
                 out,
             )?;
         } else {
-            decode_chunk_blob(&blob, &self.header, entry.codec, cshape, out)?;
+            decode_chunk_blob(&blob, &self.header, entry.codec, entry.eb, cshape, out)?;
         }
         self.stats.chunks_decoded += 1;
         self.stats.blob_bytes_read += entry.len as u64;
@@ -900,6 +1009,150 @@ mod tests {
         for (&x, &y) in field.as_slice().iter().zip(all.as_slice()) {
             assert!((x - y).abs() <= 1e-4 * 1.001);
         }
+    }
+
+    #[test]
+    fn planned_writer_roundtrips_per_chunk_bounds() {
+        // Heterogeneous plan: every chunk must honor *its own* bound, the
+        // container must be v2.3, and the index must echo the plan.
+        let field = wavy(Shape::d3(24, 8, 6));
+        let plan = vec![1e-2, 1e-4, 2e-3, 5e-5];
+        let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+            Vec::new(),
+            field.shape(),
+            &cfg(),
+            plan.clone(),
+        )
+        .unwrap();
+        w.write_slab(&field).unwrap();
+        let bytes = w.finalize().unwrap().sink;
+        assert_eq!(peek_header(&bytes).unwrap().version, 5);
+        assert_eq!(peek_header(&bytes).unwrap().abs_eb, 1e-2, "header bound = max(plan)");
+        let table = chunk_table(&bytes).unwrap();
+        let ebs: Vec<f64> = table.entries.iter().map(|e| e.eb).collect();
+        assert_eq!(ebs, plan);
+        // Per-chunk bound conformance through every decode path.
+        let full = decompress::<f32>(&bytes).unwrap();
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let streamed = r.read_all::<f32>().unwrap();
+        assert_eq!(full.as_slice(), streamed.as_slice());
+        let row_elems = 8 * 6;
+        for (entry, &eb) in table.entries.iter().zip(&plan) {
+            let lo = entry.start_row * row_elems;
+            let hi = (entry.start_row + entry.rows) * row_elems;
+            for (a, b) in field.as_slice()[lo..hi].iter().zip(&full.as_slice()[lo..hi]) {
+                assert!(((a - b).abs() as f64) <= eb * (1.0 + 1e-6), "chunk bound {eb}");
+            }
+        }
+        // A tighter chunk really is reconstructed more accurately than a
+        // loose one (the plan is not a no-op).
+        let err_of = |i: usize| -> f64 {
+            let e = table.entries[i];
+            field.as_slice()[e.start_row * row_elems..(e.start_row + e.rows) * row_elems]
+                .iter()
+                .zip(&full.as_slice()[e.start_row * row_elems..(e.start_row + e.rows) * row_elems])
+                .map(|(a, b)| ((a - b).abs()) as f64)
+                .fold(0.0, f64::max)
+        };
+        assert!(err_of(3) <= 5e-5 * 1.000001);
+        assert!(err_of(0) > 5e-5, "loose chunk should actually use its budget");
+    }
+
+    #[test]
+    fn uniform_plan_blobs_match_fixed_bound_v2_2() {
+        // A plan with one bound everywhere must produce chunk blobs
+        // byte-identical to the fixed-bound v2.2 session; only the index
+        // generation differs.
+        let field = wavy(Shape::d3(20, 6, 5));
+        let c = cfg();
+        let fixed = stream_archive(&field, &c, 20);
+        let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+            Vec::new(),
+            field.shape(),
+            &c,
+            vec![1e-3; 4],
+        )
+        .unwrap();
+        w.write_slab(&field).unwrap();
+        let planned = w.finalize().unwrap().sink;
+        assert_eq!(peek_header(&fixed).unwrap().version, 4);
+        assert_eq!(peek_header(&planned).unwrap().version, 5);
+        let tf = chunk_table(&fixed).unwrap();
+        let tp = chunk_table(&planned).unwrap();
+        assert_eq!(tf.entries.len(), tp.entries.len());
+        for (a, b) in tf.entries.iter().zip(&tp.entries) {
+            assert_eq!(a.codec, b.codec);
+            assert_eq!(
+                &fixed[a.offset..a.offset + a.len],
+                &planned[b.offset..b.offset + b.len]
+            );
+        }
+    }
+
+    #[test]
+    fn planned_writer_rejects_bad_plans() {
+        let shape = Shape::d2(16, 4);
+        // Wrong plan length.
+        assert!(matches!(
+            ArchiveWriter::<f32, Vec<u8>>::create_planned(
+                Vec::new(),
+                shape,
+                &cfg(),
+                vec![1e-3; 2]
+            ),
+            Err(CompressError::InvalidConfig(_))
+        ));
+        // Non-finite / non-positive bounds.
+        for bad in [f64::NAN, 0.0, -1.0, f64::INFINITY] {
+            assert!(matches!(
+                ArchiveWriter::<f32, Vec<u8>>::create_planned(
+                    Vec::new(),
+                    shape,
+                    &cfg(),
+                    vec![1e-3, bad, 1e-3]
+                ),
+                Err(CompressError::InvalidBound(_))
+            ));
+        }
+        // Point-wise relative configs cannot be planned.
+        let rel = CompressorConfig::new(
+            PredictorKind::Lorenzo,
+            ErrorBoundMode::PointwiseRelative(1e-3),
+        )
+        .chunked(6);
+        assert!(matches!(
+            ArchiveWriter::<f32, Vec<u8>>::create_planned(Vec::new(), shape, &rel, vec![1e-3; 3]),
+            Err(CompressError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn planned_auto_codec_schedules_per_chunk_bound() {
+        // Under Auto, the scheduler sees each chunk's own bound: the same
+        // turbulent slab flips from zfp (tight bound, everything escapes)
+        // to sz (loose bound) purely by plan.
+        let field = rq_datagen::fields::mixed_smooth_turbulent(Shape::d3(12, 10, 10), 0, 40.0);
+        let c = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+            .chunked(6)
+            .with_codec(CodecChoice::Auto);
+        let archive = |plan: Vec<f64>| {
+            let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+                Vec::new(),
+                field.shape(),
+                &c,
+                plan,
+            )
+            .unwrap();
+            w.write_slab(&field).unwrap();
+            w.finalize().unwrap().sink
+        };
+        let tight = archive(vec![1e-4, 1e-4]);
+        let loose = archive(vec![30.0, 30.0]);
+        let kinds = |b: &[u8]| -> Vec<ChunkCodecKind> {
+            chunk_table(b).unwrap().entries.iter().map(|e| e.codec).collect()
+        };
+        assert!(kinds(&tight).iter().all(|&k| k == ChunkCodecKind::Zfp), "{:?}", kinds(&tight));
+        assert!(kinds(&loose).iter().all(|&k| k == ChunkCodecKind::Sz), "{:?}", kinds(&loose));
     }
 
     #[test]

@@ -72,7 +72,20 @@ impl EstimatedHistogram {
                 escape_mass += w;
                 continue;
             }
-            let err = if fb_scale > 0.0 { err + fb_scale * fb_noise() } else { err };
+            // Feedback noise at a point originates from its neighbors'
+            // reconstruction errors. In code-0-dominated neighborhoods the
+            // residual a neighbor passes on is its own (small) prediction
+            // error, not ±eb, so the dispersion saturates *per point* at a
+            // few times the point's own error magnitude — the local error
+            // scale's cheapest proxy. Without this, quiet sub-threshold
+            // chunks are smeared across bins and the model overestimates
+            // both their rate and their variance by an order of magnitude
+            // (visible in per-chunk quality-targeted planning).
+            let err = if fb_scale > 0.0 {
+                err + fb_scale.min(8.0 * err.abs()) * fb_noise()
+            } else {
+                err
+            };
             let code = (err / bin_width).round();
             if code.abs() > radius as f64 {
                 escape_mass += w;

@@ -88,6 +88,43 @@ impl RqModel {
         }
     }
 
+    /// Deterministic per-chunk model build for quality-targeted
+    /// compression: a strided, RNG-free prediction-error sample
+    /// ([`rq_predict::sample_prediction_errors`]) promoted to a full
+    /// model, plus one exact pass over the slab for its value range and
+    /// variance. Unlike [`Self::build`] the result depends only on
+    /// `(data, shape, predictor, target_samples)` — per-chunk plans (and
+    /// therefore container bytes) must be reproducible.
+    pub fn build_strided<T: Scalar>(
+        data: &[T],
+        shape: rq_grid::Shape,
+        predictor: PredictorKind,
+        target_samples: usize,
+    ) -> Self {
+        let start = Instant::now();
+        let ps = rq_predict::sample_prediction_errors(data, shape, predictor, target_samples);
+        let sample = crate::sampling::ErrorSample::from_prediction_sample(&ps);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in data {
+            let v = v.to_f64();
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let value_range = if lo <= hi { hi - lo } else { 0.0 };
+        let data_variance = Moments::from_slice(data).variance();
+        RqModel {
+            sample,
+            radius: DEFAULT_RADIUS,
+            scalar_bits: T::BITS,
+            value_range,
+            data_variance,
+            build_time: start.elapsed(),
+        }
+    }
+
     /// Build from an existing error sample (for custom sampling setups).
     pub fn from_sample(
         sample: ErrorSample,
@@ -430,6 +467,24 @@ mod tests {
         // the (small) central-bin variance, far below uniform.
         let big = m.estimate(10.0);
         assert!(big.sigma2 < big.sigma2_uniform, "refined must win at high eb");
+    }
+
+    #[test]
+    fn strided_build_is_deterministic_and_tracks_randomized_model() {
+        let f = noisy_field();
+        let a = RqModel::build_strided(f.as_slice(), f.shape(), PredictorKind::Lorenzo, 2048);
+        let b = RqModel::build_strided(f.as_slice(), f.shape(), PredictorKind::Lorenzo, 2048);
+        assert_eq!(a.sample().errors, b.sample().errors, "no RNG anywhere");
+        assert_eq!(a.value_range(), f.value_range());
+        // Same field, same predictor: the strided model must agree with
+        // the randomized one to well within the paper's accuracy band.
+        let r = RqModel::build(&f, PredictorKind::Lorenzo, 0.1, 11);
+        for eb in [1e-3, 1e-2, 1e-1] {
+            let (sa, sr) = (a.estimate(eb), r.estimate(eb));
+            let rel = (sa.bit_rate - sr.bit_rate).abs() / sr.bit_rate.max(1e-9);
+            assert!(rel < 0.25, "eb {eb}: strided {} vs random {}", sa.bit_rate, sr.bit_rate);
+            assert!((sa.psnr - sr.psnr).abs() < 3.0, "eb {eb}: {} vs {}", sa.psnr, sr.psnr);
+        }
     }
 
     #[test]

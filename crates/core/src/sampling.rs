@@ -72,6 +72,57 @@ pub struct ErrorSample {
 }
 
 impl ErrorSample {
+    /// Build from a deterministic strided sample
+    /// ([`rq_predict::sample_prediction_errors`]), filling in the same
+    /// calibrated feedback coefficients [`sample_errors`] would assign.
+    ///
+    /// This is the quality-targeted compression path: the streaming
+    /// pre-pass samples each axis-0 chunk with the RNG-free predictor-layer
+    /// sampler (per-chunk plans must be pure functions of field and
+    /// configuration), then promotes the sample into a full ratio-quality
+    /// model via [`crate::RqModel::from_sample`]. Quiescent exact-zero
+    /// points are moved out of the error list into `sparse_fraction`,
+    /// mirroring the §III-C sparse treatment of the randomized sampler.
+    pub fn from_prediction_sample(ps: &rq_predict::PredictionSample) -> ErrorSample {
+        let n_sampled = ps.errors.len();
+        // The strided sampler keeps sparse zeros inline and only counts
+        // them; drop that many exact zeros from the modelled distribution.
+        let mut to_drop = ps.sparse_count;
+        let errors: Vec<f64> = ps
+            .errors
+            .iter()
+            .copied()
+            .filter(|&e| {
+                if e == 0.0 && to_drop > 0 {
+                    to_drop -= 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        let sparse_fraction =
+            if n_sampled > 0 { ps.sparse_count as f64 / n_sampled as f64 } else { 0.0 };
+        let (feedback_kappa, quality_kappa) = match ps.predictor {
+            PredictorKind::Lorenzo => (lorenzo_feedback_kappa(ps.ndim, 1), 0.0),
+            PredictorKind::Lorenzo2 => (lorenzo_feedback_kappa(ps.ndim, 2), 0.0),
+            PredictorKind::Interpolation => (0.0, INTERP_QUALITY_KAPPA),
+            PredictorKind::Regression => (0.0, 0.0),
+        };
+        let weights = vec![1.0; errors.len()];
+        ErrorSample {
+            errors,
+            weights,
+            predictor: ps.predictor,
+            n_elements: ps.n_elements,
+            verbatim_fraction: ps.verbatim_fraction,
+            side_bits_per_element: ps.side_bits_per_element,
+            feedback_kappa,
+            quality_kappa,
+            sparse_fraction,
+        }
+    }
+
     /// Number of drawn samples.
     pub fn len(&self) -> usize {
         self.errors.len()
@@ -99,6 +150,19 @@ impl ErrorSample {
             / wsum;
         var.sqrt()
     }
+}
+
+/// Quality-side cascade gain of the interpolation predictor's multi-level
+/// feedback (see [`ErrorSample::quality_kappa`]); calibrated against
+/// measured reconstruction-error variances.
+const INTERP_QUALITY_KAPPA: f64 = 0.85;
+
+/// Calibrated against measured Lorenzo histograms: the feedback noise of
+/// a `t`-tap stencil behaves like κ·eb with κ ≈ 0.577·t^¼ (uniform
+/// single-neighbor noise is eb/√3, correlations damp the multi-tap sum
+/// far below the independent √t growth).
+fn lorenzo_feedback_kappa(ndim: usize, order: usize) -> f64 {
+    0.577 * (LorenzoStencil::new(ndim, order).tap_count() as f64).powf(0.25)
 }
 
 /// Draw a prediction-error sample at `rate` (e.g. 0.01 for the paper's 1 %).
@@ -147,11 +211,7 @@ fn sample_lorenzo(
     }
     let sparse_fraction = sparse as f64 / target as f64;
     let weights = vec![1.0; errors.len()];
-    // Calibrated against measured Lorenzo histograms: the feedback noise of
-    // a `t`-tap stencil behaves like κ·eb with κ ≈ 0.577·t^¼ (uniform
-    // single-neighbor noise is eb/√3, correlations damp the multi-tap sum
-    // far below the independent √t growth).
-    let kappa = 0.577 * (stencil.tap_count() as f64).powf(0.25);
+    let kappa = lorenzo_feedback_kappa(shape.ndim(), order);
     ErrorSample {
         errors,
         weights,
@@ -232,7 +292,7 @@ fn sample_interp(work: &[f64], shape: Shape, rate: f64, rng: &mut StdRng) -> Err
         verbatim_fraction: n_anchors as f64 / n as f64,
         side_bits_per_element: 0.0,
         feedback_kappa: 0.0,
-        quality_kappa: 0.85,
+        quality_kappa: INTERP_QUALITY_KAPPA,
         sparse_fraction,
     }
 }

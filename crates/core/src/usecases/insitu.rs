@@ -16,6 +16,74 @@
 
 use crate::model::RqModel;
 
+/// Why a per-partition plan could not be produced.
+///
+/// Historically the planner asserted on malformed inputs and silently
+/// fell back to its tightest grid rungs when the quality floor was
+/// unreachable — inside a compression pipeline both must surface as
+/// errors (`rqm` maps them to `CompressError::InvalidConfig`), never as a
+/// panic or a quietly-missed target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// No partitions were given.
+    NoPartitions,
+    /// `models` and `sizes` have different lengths.
+    MismatchedInputs {
+        /// Number of models given.
+        models: usize,
+        /// Number of sizes given.
+        sizes: usize,
+    },
+    /// Fewer than two candidate grid points per partition.
+    GridTooSmall(usize),
+    /// The target or the data statistics make planning meaningless
+    /// (non-finite target, zero value range, …).
+    InvalidTarget(String),
+    /// The PSNR floor is unreachable even at the tightest candidate
+    /// bounds of every partition.
+    UnreachableTarget {
+        /// The requested aggregate PSNR floor (dB).
+        target_psnr: f64,
+        /// The best aggregate PSNR the candidate grids can deliver (dB).
+        achievable_psnr: f64,
+    },
+    /// The byte budget is below the smallest achievable archive
+    /// (size-targeted planning only).
+    BudgetTooSmall {
+        /// The requested ceiling in bytes.
+        budget_bytes: usize,
+        /// The estimated minimum achievable size in bytes.
+        min_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoPartitions => write!(f, "need at least one partition"),
+            PlanError::MismatchedInputs { models, sizes } => {
+                write!(f, "{models} models but {sizes} partition sizes")
+            }
+            PlanError::GridTooSmall(n) => {
+                write!(f, "need at least 2 grid points per partition, got {n}")
+            }
+            PlanError::InvalidTarget(m) => write!(f, "invalid planning target: {m}"),
+            PlanError::UnreachableTarget { target_psnr, achievable_psnr } => write!(
+                f,
+                "PSNR floor {target_psnr:.2} dB is unreachable: the tightest candidate \
+                 bounds deliver only {achievable_psnr:.2} dB"
+            ),
+            PlanError::BudgetTooSmall { budget_bytes, min_bytes } => write!(
+                f,
+                "size budget {budget_bytes} B is below the estimated minimum archive size \
+                 {min_bytes} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// The optimized per-partition assignment.
 #[derive(Clone, Debug)]
 pub struct PartitionPlan {
@@ -37,18 +105,106 @@ pub struct PartitionPlan {
 /// * `value_range` — range of the combined data (for the PSNR definition);
 /// * `grid_points` — number of candidate bounds per partition (log-spaced).
 ///
-/// # Panics
-/// Panics if inputs are empty or lengths mismatch.
+/// Returns a typed [`PlanError`] on malformed inputs and when the floor
+/// is unreachable even at every partition's tightest candidate bound.
 pub fn optimize_partitions(
     models: &[RqModel],
     sizes: &[usize],
     value_range: f64,
     target_psnr: f64,
     grid_points: usize,
-) -> PartitionPlan {
-    assert!(!models.is_empty(), "need at least one partition");
-    assert_eq!(models.len(), sizes.len(), "models/sizes mismatch");
-    assert!(grid_points >= 2, "need a grid");
+) -> Result<PartitionPlan, PlanError> {
+    optimize_partitions_corrected(models, sizes, value_range, target_psnr, grid_points, None)
+}
+
+/// Per-partition measured-feedback corrections for
+/// [`optimize_partitions_corrected`]: multiplicative factors that anchor
+/// each partition's modeled rate-distortion curve to one real
+/// compression pass (`measured / modeled`, both at the previous round's
+/// bound for that partition).
+#[derive(Clone, Debug)]
+pub struct PlanCorrection {
+    /// Per-partition factor on the modeled error variance.
+    pub sigma_scale: Vec<f64>,
+    /// Per-partition factor on the modeled bit-rate.
+    pub bits_scale: Vec<f64>,
+}
+
+impl PlanCorrection {
+    /// Build the correction from one measured round: per-partition mean
+    /// squared error and compressed bits/value, both observed at the
+    /// round's bounds `ebs`. Ratios are clamped to a sane band so a
+    /// degenerate measurement (e.g. an exactly-zero chunk) cannot blow up
+    /// the next round's optimization. The single definition shared by the
+    /// CLI, the `target_psnr` bench and the model-accuracy suite.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree.
+    pub fn from_measured(
+        models: &[RqModel],
+        ebs: &[f64],
+        measured_sigma2: &[f64],
+        measured_bits: &[f64],
+    ) -> PlanCorrection {
+        assert!(
+            models.len() == ebs.len()
+                && models.len() == measured_sigma2.len()
+                && models.len() == measured_bits.len(),
+            "per-partition inputs must align"
+        );
+        let mut sigma_scale = Vec::with_capacity(models.len());
+        let mut bits_scale = Vec::with_capacity(models.len());
+        for (((m, &eb), &ms), &mb) in
+            models.iter().zip(ebs).zip(measured_sigma2).zip(measured_bits)
+        {
+            let est = m.estimate(eb);
+            sigma_scale.push((ms / est.sigma2.max(1e-300)).clamp(1e-3, 1e3));
+            bits_scale.push((mb / est.bit_rate.max(1e-300)).clamp(1e-3, 1e3));
+        }
+        PlanCorrection { sigma_scale, bits_scale }
+    }
+}
+
+/// [`optimize_partitions`] with an optional per-partition
+/// [`PlanCorrection`] from a previous measured round.
+///
+/// This is the quality-targeted pipeline's second-round hook: after one
+/// compression pass, each chunk's measured error variance and compressed
+/// size are available; the ratios to the model's predictions (at the
+/// round-1 bounds) correct both the aggregate bias and — more
+/// importantly — the *allocation*: a chunk whose variance or rate the
+/// model misestimates would otherwise be traded against the others on
+/// phantom terms forever.
+pub fn optimize_partitions_corrected(
+    models: &[RqModel],
+    sizes: &[usize],
+    value_range: f64,
+    target_psnr: f64,
+    grid_points: usize,
+    correction: Option<&PlanCorrection>,
+) -> Result<PartitionPlan, PlanError> {
+    validate_inputs(models, sizes, grid_points)?;
+    if !target_psnr.is_finite() {
+        return Err(PlanError::InvalidTarget(format!("target PSNR {target_psnr}")));
+    }
+    if !(value_range.is_finite() && value_range > 0.0) {
+        return Err(PlanError::InvalidTarget(format!("value range {value_range}")));
+    }
+    if let Some(c) = correction {
+        for scale in [&c.sigma_scale, &c.bits_scale] {
+            if scale.len() != models.len() {
+                return Err(PlanError::MismatchedInputs {
+                    models: models.len(),
+                    sizes: scale.len(),
+                });
+            }
+            if let Some(&bad) = scale.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
+                return Err(PlanError::InvalidTarget(format!("correction scale {bad}")));
+            }
+        }
+    }
+    let scale_of = |i: usize| correction.map_or(1.0, |c| c.sigma_scale[i]);
+    let bits_of_part = |i: usize| correction.map_or(1.0, |c| c.bits_scale[i]);
     let target_sigma2 = crate::quality::sigma2_for_psnr(value_range, target_psnr);
     let total: f64 = sizes.iter().map(|&s| s as f64).sum();
 
@@ -62,7 +218,8 @@ pub fn optimize_partitions(
     }
     let ladders: Vec<Vec<Point>> = models
         .iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(pi, m)| {
             // Tightest rung: well below the quality budget even if this
             // partition behaved uniformly (eb²/3 ≈ target/30).
             let lo = (m.error_quantile(0.05))
@@ -80,7 +237,11 @@ pub fn optimize_partitions(
                     let t = i as f64 / (grid_points - 1) as f64;
                     let eb = (lo.ln() + t * (hi.ln() - lo.ln())).exp();
                     let est = m.estimate(eb);
-                    Point { eb, bits: est.bit_rate, sigma2: est.sigma2 }
+                    Point {
+                        eb,
+                        bits: est.bit_rate * bits_of_part(pi),
+                        sigma2: est.sigma2 * scale_of(pi),
+                    }
                 })
                 .collect()
         })
@@ -124,8 +285,18 @@ pub fn optimize_partitions(
     }
     let mut level = pick(lam_hi);
     if agg_of(&level) > target_sigma2 {
-        // Fall back to the tightest rungs if even λ_hi is insufficient.
+        // Fall back to the tightest rungs if even λ_hi is insufficient —
+        // and if those still miss the floor, the target is unreachable on
+        // this grid: a typed error, not a silently lossier plan (the old
+        // behavior) or a panic downstream.
         level = vec![0; models.len()];
+        let best = agg_of(&level);
+        if best > target_sigma2 {
+            return Err(PlanError::UnreachableTarget {
+                target_psnr,
+                achievable_psnr: crate::quality::psnr_model(value_range, best),
+            });
+        }
     }
     let mut agg_sigma2 = agg_of(&level);
 
@@ -146,14 +317,14 @@ pub fn optimize_partitions(
             let (mut lo_e, mut hi_e) = (ebs[i], hi_eb);
             for _ in 0..24 {
                 let mid = ((lo_e.ln() + hi_e.ln()) * 0.5).exp();
-                let s2 = m.estimate(mid).sigma2;
+                let s2 = m.estimate(mid).sigma2 * scale_of(i);
                 if (s2 - sigmas[i]).max(0.0) * weight[i] <= budget_left {
                     lo_e = mid;
                 } else {
                     hi_e = mid;
                 }
             }
-            let s2 = m.estimate(lo_e).sigma2;
+            let s2 = m.estimate(lo_e).sigma2 * scale_of(i);
             agg_sigma2 += (s2 - sigmas[i]).max(0.0) * weight[i];
             ebs[i] = lo_e;
             sigmas[i] = s2;
@@ -162,17 +333,36 @@ pub fn optimize_partitions(
 
     let est_bit_rate: f64 = models
         .iter()
+        .enumerate()
         .zip(&ebs)
         .zip(&weight)
-        .map(|((m, &eb), w)| m.estimate(eb).bit_rate * w)
+        .map(|(((i, m), &eb), w)| m.estimate(eb).bit_rate * bits_of_part(i) * w)
         .sum();
     let est_sigma2: f64 = sigmas.iter().zip(&weight).map(|(s, w)| s * w).sum();
-    PartitionPlan {
+    Ok(PartitionPlan {
         ebs,
         est_bit_rate,
         est_sigma2,
         est_psnr: crate::quality::psnr_model(value_range, est_sigma2),
+    })
+}
+
+/// Shared input validation for the partition planners.
+pub(crate) fn validate_inputs(
+    models: &[RqModel],
+    sizes: &[usize],
+    grid_points: usize,
+) -> Result<(), PlanError> {
+    if models.is_empty() {
+        return Err(PlanError::NoPartitions);
     }
+    if models.len() != sizes.len() {
+        return Err(PlanError::MismatchedInputs { models: models.len(), sizes: sizes.len() });
+    }
+    if grid_points < 2 {
+        return Err(PlanError::GridTooSmall(grid_points));
+    }
+    Ok(())
 }
 
 /// Baseline for comparison: the single global error bound meeting the same
@@ -261,9 +451,55 @@ mod tests {
         let (parts, range) = partitions();
         let ms = models(&parts);
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
-        let plan = optimize_partitions(&ms, &sizes, range, 60.0, 24);
+        let plan = optimize_partitions(&ms, &sizes, range, 60.0, 24).unwrap();
         assert!(plan.est_psnr >= 60.0 - 0.5, "psnr {}", plan.est_psnr);
         assert_eq!(plan.ebs.len(), 4);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        let (parts, range) = partitions();
+        let ms = models(&parts);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(
+            optimize_partitions(&[], &[], range, 60.0, 24).unwrap_err(),
+            PlanError::NoPartitions
+        );
+        assert!(matches!(
+            optimize_partitions(&ms, &sizes[..2], range, 60.0, 24),
+            Err(PlanError::MismatchedInputs { models: 4, sizes: 2 })
+        ));
+        assert_eq!(
+            optimize_partitions(&ms, &sizes, range, 60.0, 1).unwrap_err(),
+            PlanError::GridTooSmall(1)
+        );
+        assert!(matches!(
+            optimize_partitions(&ms, &sizes, range, f64::NAN, 24),
+            Err(PlanError::InvalidTarget(_))
+        ));
+        assert!(matches!(
+            optimize_partitions(&ms, &sizes, 0.0, 60.0, 24),
+            Err(PlanError::InvalidTarget(_))
+        ));
+    }
+
+    #[test]
+    fn unreachable_floor_is_a_typed_error() {
+        // An (effectively) infinite-quality floor: no grid point of any
+        // partition can get there, which previously fell back to a
+        // silently lossier plan.
+        let (parts, range) = partitions();
+        let ms = models(&parts);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let err = optimize_partitions(&ms, &sizes, range, 100_000.0, 8).unwrap_err();
+        match err {
+            PlanError::UnreachableTarget { target_psnr, achievable_psnr } => {
+                assert_eq!(target_psnr, 100_000.0);
+                assert!(achievable_psnr.is_finite());
+                assert!(achievable_psnr < 100_000.0);
+            }
+            other => panic!("expected UnreachableTarget, got {other:?}"),
+        }
     }
 
     #[test]
@@ -271,7 +507,7 @@ mod tests {
         let (parts, range) = partitions();
         let ms = models(&parts);
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
-        let plan = optimize_partitions(&ms, &sizes, range, 60.0, 32);
+        let plan = optimize_partitions(&ms, &sizes, range, 60.0, 32).unwrap();
         let (_, uniform) = uniform_eb_for_target(&ms, &sizes, range, 60.0);
         // Same quality target, fewer (or equal) estimated bits. The paper
         // reports +13% ratio; heterogeneous noise should show a clear gap.
@@ -288,7 +524,7 @@ mod tests {
         let (parts, range) = partitions();
         let ms = models(&parts);
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
-        let plan = optimize_partitions(&ms, &sizes, range, 55.0, 32);
+        let plan = optimize_partitions(&ms, &sizes, range, 55.0, 32).unwrap();
         // Partition 3 (noisiest) should not get a *tighter* bound than
         // partition 0 (quietest).
         assert!(

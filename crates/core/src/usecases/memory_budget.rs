@@ -7,9 +7,165 @@
 //! strategy of §IV-B.
 
 use crate::model::RqModel;
+use crate::usecases::insitu::{validate_inputs, PartitionPlan, PlanError};
 use rq_compress::{compress, CompressError, CompressedOutput, CompressorConfig};
 use rq_grid::{NdArray, Scalar};
 use rq_quant::ErrorBoundMode;
+
+/// Optimize per-partition error bounds so the *estimated* total size fits
+/// `budget_bytes` with a safety `margin` (0.2 ⇒ aim at 80 % of the
+/// budget) while minimizing the aggregate (size-weighted) error variance
+/// — the §IV-B fixed-footprint use-case generalized to one bound per
+/// partition, the dual of [`super::insitu::optimize_partitions`].
+///
+/// * `models` — one [`RqModel`] per partition (chunk);
+/// * `sizes` — element count per partition;
+/// * `value_range` — range of the combined data (for the reported PSNR);
+/// * `grid_points` — candidate bounds per partition (log-spaced).
+///
+/// Returns [`PlanError::BudgetTooSmall`] when even the loosest candidate
+/// bounds exceed the margin-adjusted budget.
+pub fn plan_budget(
+    models: &[RqModel],
+    sizes: &[usize],
+    value_range: f64,
+    budget_bytes: usize,
+    margin: f64,
+    grid_points: usize,
+) -> Result<PartitionPlan, PlanError> {
+    validate_inputs(models, sizes, grid_points)?;
+    if budget_bytes == 0 {
+        return Err(PlanError::InvalidTarget("zero byte budget".into()));
+    }
+    if !(0.0..1.0).contains(&margin) {
+        return Err(PlanError::InvalidTarget(format!("margin {margin} outside [0, 1)")));
+    }
+    if !(value_range.is_finite() && value_range > 0.0) {
+        return Err(PlanError::InvalidTarget(format!("value range {value_range}")));
+    }
+    let total: f64 = sizes.iter().map(|&s| s as f64).sum();
+    // The budget as an aggregate bits/value target.
+    let target_bits = budget_bytes as f64 * 8.0 * (1.0 - margin) / total;
+
+    #[derive(Clone, Copy)]
+    struct Point {
+        eb: f64,
+        bits: f64,
+        sigma2: f64,
+    }
+    let ladders: Vec<Vec<Point>> = models
+        .iter()
+        .map(|m| {
+            // Tightest rung: the 5 % error quantile (any tighter and the
+            // rate model saturates toward verbatim cost anyway); loosest:
+            // where the model's rate becomes negligible.
+            let lo = m
+                .error_quantile(0.05)
+                .max(value_range * 1e-12)
+                .max(f64::MIN_POSITIVE);
+            let hi = m.error_bound_for_bit_rate(0.05).max(lo * 4.0);
+            (0..grid_points)
+                .map(|i| {
+                    let t = i as f64 / (grid_points - 1) as f64;
+                    let eb = (lo.ln() + t * (hi.ln() - lo.ln())).exp();
+                    let est = m.estimate(eb);
+                    Point { eb, bits: est.bit_rate, sigma2: est.sigma2 }
+                })
+                .collect()
+        })
+        .collect();
+
+    let weight: Vec<f64> = sizes.iter().map(|&s| s as f64 / total).collect();
+    // Lagrangian rung selection, dual to the in-situ planner: each
+    // partition minimizes `σ² + λ·bits`; bisecting λ finds the highest
+    // quality within the bit budget.
+    let pick = |lambda: f64| -> Vec<usize> {
+        ladders
+            .iter()
+            .map(|ladder| {
+                let mut best = 0usize;
+                let mut best_cost = f64::INFINITY;
+                for (j, p) in ladder.iter().enumerate() {
+                    let cost = p.sigma2 + lambda * p.bits;
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    };
+    let bits_of = |level: &[usize]| -> f64 {
+        level.iter().zip(&ladders).zip(&weight).map(|((&l, lad), w)| lad[l].bits * w).sum()
+    };
+    let (mut lam_lo, mut lam_hi) = (1e-18f64, 1e18f64);
+    for _ in 0..80 {
+        let mid = ((lam_lo.ln() + lam_hi.ln()) * 0.5).exp();
+        if bits_of(&pick(mid)) > target_bits {
+            lam_lo = mid; // too expensive: raise the bit penalty
+        } else {
+            lam_hi = mid;
+        }
+    }
+    let mut level = pick(lam_hi);
+    if bits_of(&level) > target_bits {
+        // Even λ_hi overspends: the loosest rungs are the floor.
+        level = vec![grid_points - 1; models.len()];
+        let min_bits = bits_of(&level);
+        if min_bits > target_bits {
+            return Err(PlanError::BudgetTooSmall {
+                budget_bytes,
+                min_bytes: (min_bits * total / 8.0 / (1.0 - margin)).ceil() as usize,
+            });
+        }
+    }
+
+    // Polish: spend leftover bit budget by tightening each partition's
+    // bound continuously toward its previous (tighter) rung.
+    let mut agg_bits = bits_of(&level);
+    let mut ebs: Vec<f64> = level.iter().zip(&ladders).map(|(&l, lad)| lad[l].eb).collect();
+    let mut bits: Vec<f64> = level.iter().zip(&ladders).map(|(&l, lad)| lad[l].bits).collect();
+    for _round in 0..2 {
+        for (i, m) in models.iter().enumerate() {
+            let budget_left = target_bits - agg_bits;
+            if budget_left <= 0.0 {
+                break;
+            }
+            let lo_eb = if level[i] > 0 { ladders[i][level[i] - 1].eb } else { ebs[i] * 0.5 };
+            // Smallest eb in [lo, cur] whose bit increase fits.
+            let (mut lo_e, mut hi_e) = (lo_eb, ebs[i]);
+            for _ in 0..24 {
+                let mid = ((lo_e.ln() + hi_e.ln()) * 0.5).exp();
+                let b = m.estimate(mid).bit_rate;
+                if (b - bits[i]).max(0.0) * weight[i] <= budget_left {
+                    hi_e = mid;
+                } else {
+                    lo_e = mid;
+                }
+            }
+            let b = m.estimate(hi_e).bit_rate;
+            agg_bits += (b - bits[i]).max(0.0) * weight[i];
+            ebs[i] = hi_e;
+            bits[i] = b;
+        }
+    }
+
+    let est_sigma2: f64 = models
+        .iter()
+        .zip(&ebs)
+        .zip(&weight)
+        .map(|((m, &eb), w)| m.estimate(eb).sigma2 * w)
+        .sum();
+    let est_bit_rate: f64 =
+        models.iter().zip(&ebs).zip(&weight).map(|((m, &eb), w)| m.estimate(eb).bit_rate * w).sum();
+    Ok(PartitionPlan {
+        ebs,
+        est_bit_rate,
+        est_sigma2,
+        est_psnr: crate::quality::psnr_model(value_range, est_sigma2),
+    })
+}
 
 /// What happened during budgeted compression.
 #[derive(Clone, Debug)]
@@ -127,6 +283,58 @@ mod tests {
                 compress_with_budget(&f, &model, cfg, budget, 0.2, true).unwrap();
             assert!(outcome.fits, "{bits} bits/value: utilization {}", outcome.utilization);
         }
+    }
+
+    #[test]
+    fn budget_plan_fits_and_prefers_quiet_partitions() {
+        // Four partitions of increasing noise (as in the insitu tests):
+        // the plan must fit the margin-adjusted budget estimate and give
+        // the noisy partitions the looser bounds.
+        let mut parts = Vec::new();
+        let mut state = 0xBEEFu64;
+        for p in 0..4 {
+            let amp = 0.02 * 4f64.powi(p);
+            parts.push(NdArray::<f32>::from_fn(Shape::d2(64, 64), |ix| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                ((ix[0] as f64 * 0.1).sin() * 3.0 + noise * amp) as f32
+            }));
+        }
+        let range = parts.iter().map(|f| f.value_range()).fold(0.0f64, f64::max);
+        let models: Vec<RqModel> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RqModel::build(p, PredictorKind::Lorenzo, 0.1, 40 + i as u64))
+            .collect();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let n_total: usize = sizes.iter().sum();
+        // 3 bits/value aggregate.
+        let budget = n_total * 3 / 8;
+        let plan = plan_budget(&models, &sizes, range, budget, 0.2, 32).unwrap();
+        let est_bytes = plan.est_bit_rate * n_total as f64 / 8.0;
+        assert!(
+            est_bytes <= budget as f64 * 0.85,
+            "est {est_bytes:.0} B vs budget {budget} B"
+        );
+        // Utilization: the plan should not waste the budget either.
+        assert!(est_bytes >= budget as f64 * 0.25, "est {est_bytes:.0} B");
+        assert!(
+            plan.ebs[3] >= plan.ebs[0],
+            "noisy partition must not get a tighter bound: {:?}",
+            plan.ebs
+        );
+        // And the dual direction: an absurdly small budget is a typed
+        // error, not a silent overflow.
+        assert!(matches!(
+            plan_budget(&models, &sizes, range, 16, 0.2, 32),
+            Err(PlanError::BudgetTooSmall { .. })
+        ));
+        assert!(matches!(
+            plan_budget(&models, &sizes, range, 0, 0.2, 32),
+            Err(PlanError::InvalidTarget(_))
+        ));
     }
 
     #[test]

@@ -4,6 +4,9 @@ pub mod insitu;
 pub mod memory_budget;
 pub mod predictor_select;
 
-pub use insitu::{optimize_partitions, uniform_eb_for_target, PartitionPlan};
-pub use memory_budget::{compress_with_budget, BudgetOutcome};
+pub use insitu::{
+    optimize_partitions, optimize_partitions_corrected, uniform_eb_for_target, PartitionPlan,
+    PlanCorrection, PlanError,
+};
+pub use memory_budget::{compress_with_budget, plan_budget, BudgetOutcome};
 pub use predictor_select::PredictorSelector;

@@ -36,6 +36,8 @@ pub struct PredictionSample {
     pub errors: Vec<f64>,
     /// Predictor the errors were sampled for.
     pub predictor: PredictorKind,
+    /// Dimensionality of the sampled field (stencil geometry).
+    pub ndim: usize,
     /// Number of elements in the sampled field.
     pub n_elements: usize,
     /// Fraction of elements stored verbatim at any error bound
@@ -44,6 +46,11 @@ pub struct PredictionSample {
     /// Side-channel bits per element (regression coefficients; 0 for the
     /// other families).
     pub side_bits_per_element: f64,
+    /// How many of `errors` came from quiescent exactly-zero regions
+    /// (value 0 and error 0). Kept inline so [`Self::estimate`] is
+    /// unchanged; consumers that model sparse runs separately (the
+    /// ratio-quality model's §III-C treatment) can subtract them.
+    pub sparse_count: usize,
 }
 
 /// The sampled ratio estimate for one error bound — the Eq. 1 bit-rate of
@@ -226,19 +233,27 @@ fn sample_lorenzo<T: Scalar>(
     let nd = shape.ndim();
     let get = |lin: usize| data[lin].to_f64();
     let mut errors = Vec::with_capacity(n.div_ceil(stride));
+    let mut sparse = 0usize;
     let mut lin = 0usize;
     while lin < n {
         let idx = shape.unoffset(lin);
         let pred = stencil.predict_with(shape, &idx[..nd], get);
-        errors.push(get(lin) - pred);
+        let v = get(lin);
+        let err = v - pred;
+        if v == 0.0 && err == 0.0 {
+            sparse += 1;
+        }
+        errors.push(err);
         lin += stride;
     }
     PredictionSample {
         errors,
         predictor: if order == 1 { PredictorKind::Lorenzo } else { PredictorKind::Lorenzo2 },
+        ndim: nd,
         n_elements: n,
         verbatim_fraction: 0.0,
         side_bits_per_element: 0.0,
+        sparse_count: sparse,
     }
 }
 
@@ -251,19 +266,27 @@ fn sample_interp<T: Scalar>(data: &[T], shape: Shape, target: usize) -> Predicti
     let stride = ((non_anchor / target).max(1)) | 1;
     let get = |lin: usize| data[lin].to_f64();
     let mut errors = Vec::with_capacity(non_anchor.div_ceil(stride));
+    let mut sparse = 0usize;
     let mut visit = 0usize;
     for_each_stencil(shape, |t| {
         if visit.is_multiple_of(stride) {
-            errors.push(get(t.target) - t.predict_with(get));
+            let v = get(t.target);
+            let err = v - t.predict_with(get);
+            if v == 0.0 && err == 0.0 {
+                sparse += 1;
+            }
+            errors.push(err);
         }
         visit += 1;
     });
     PredictionSample {
         errors,
         predictor: PredictorKind::Interpolation,
+        ndim: shape.ndim(),
         n_elements: n,
         verbatim_fraction: n_anchors as f64 / n as f64,
         side_bits_per_element: 0.0,
+        sparse_count: sparse,
     }
 }
 
@@ -277,6 +300,7 @@ fn sample_regression<T: Scalar>(data: &[T], shape: Shape, target: usize) -> Pred
     let strides = shape.strides();
     let get = |lin: usize| data[lin].to_f64();
     let mut errors = Vec::new();
+    let mut sparse = 0usize;
     for block in blocks.iter().step_by(stride) {
         let coeffs = fit_block_with(shape, block, get);
         let mut local = [0usize; MAX_DIMS];
@@ -285,7 +309,12 @@ fn sample_regression<T: Scalar>(data: &[T], shape: Shape, target: usize) -> Pred
             for a in 0..nd {
                 lin += (block.origin[a] + local[a]) * strides[a];
             }
-            errors.push(get(lin) - coeffs.predict(&local[..nd]));
+            let v = get(lin);
+            let err = v - coeffs.predict(&local[..nd]);
+            if v == 0.0 && err == 0.0 {
+                sparse += 1;
+            }
+            errors.push(err);
             let mut axis = nd;
             let mut done = false;
             loop {
@@ -309,9 +338,11 @@ fn sample_regression<T: Scalar>(data: &[T], shape: Shape, target: usize) -> Pred
     PredictionSample {
         errors,
         predictor: PredictorKind::Regression,
+        ndim: nd,
         n_elements: shape.len(),
         verbatim_fraction: 0.0,
         side_bits_per_element: side_bits / block_elems as f64,
+        sparse_count: sparse,
     }
 }
 

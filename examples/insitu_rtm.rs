@@ -30,7 +30,8 @@ fn main() {
     let sizes: Vec<usize> = snapshots.iter().map(|s| s.len()).collect();
 
     let target_psnr = 70.0;
-    let plan = optimize_partitions(&models, &sizes, value_range, target_psnr, 40);
+    let plan = optimize_partitions(&models, &sizes, value_range, target_psnr, 40)
+        .expect("the PSNR floor is reachable on this series");
     let (uni_eb, uniform) = uniform_eb_for_target(&models, &sizes, value_range, target_psnr);
 
     println!("target aggregate PSNR: {target_psnr} dB");

@@ -59,7 +59,9 @@ pub mod prelude {
         decompress_with_threads, ArchiveReader, ArchiveWriter, ChunkCodecKind, Chunking,
         CodecChoice, CompressorConfig,
     };
-    pub use rq_core::usecases::{compress_with_budget, optimize_partitions, PredictorSelector};
+    pub use rq_core::usecases::{
+        compress_with_budget, optimize_partitions, plan_budget, PlanError, PredictorSelector,
+    };
     pub use rq_core::{Estimate, RqModel};
     pub use rq_grid::{NdArray, Shape};
     pub use rq_predict::PredictorKind;

@@ -1,0 +1,146 @@
+//! Property tests for the `rq-analysis` measurement kernels.
+//!
+//! These metrics are the verification oracle for everything else in the
+//! repository — the model-accuracy suite, the error-bound conformance
+//! suite and the quality-targeted planner all trust them — so they get
+//! direct invariant tests of their own: perfect-reconstruction limits,
+//! shift invariance, and range bounds.
+
+use rqm::analysis::{
+    global_ssim, max_abs_error, mse, nrmse, psnr, spectrum_ratio, windowed_ssim,
+};
+use rqm::prelude::*;
+
+/// Deterministic structured field: smooth waves plus hash noise (both
+/// components matter — a pure wave has degenerate spectra, pure noise has
+/// degenerate SSIM statistics).
+fn field(shape: Shape, noise_amp: f64) -> NdArray<f32> {
+    let mut lin = 0u64;
+    NdArray::from_fn(shape, |ix| {
+        let mut v = 0.0f64;
+        for (a, &c) in ix.iter().enumerate() {
+            v += ((c as f64) * 0.17 * (a + 1) as f64).sin() * (4.0 / (a + 1) as f64);
+        }
+        lin += 1;
+        let mut h = lin;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        v += ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * noise_amp;
+        v as f32
+    })
+}
+
+/// The same field with bounded deterministic distortion of amplitude `amp`.
+fn distort(a: &NdArray<f32>, amp: f32) -> NdArray<f32> {
+    let shape = a.shape();
+    let mut i = 0u64;
+    NdArray::from_vec(
+        shape,
+        a.as_slice()
+            .iter()
+            .map(|&v| {
+                i += 1;
+                let mut h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                h ^= h >> 29;
+                v + ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 2.0 * amp
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn identity_field_is_perfect_quality() {
+    for shape in [Shape::d2(48, 40), Shape::d3(16, 16, 16)] {
+        let a = field(shape, 0.3);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+        assert_eq!(nrmse(&a, &a), 0.0);
+        assert!(psnr(&a, &a).is_infinite(), "identity PSNR must be +inf");
+        assert!((global_ssim(&a, &a) - 1.0).abs() < 1e-12, "identity SSIM = 1");
+        assert!((windowed_ssim(&a, &a, 8) - 1.0).abs() < 1e-12);
+        // Identical fields: every spectrum bin ratio is exactly 1.
+        let ratios = spectrum_ratio(&a, &a);
+        assert!(!ratios.is_empty());
+        for (k, r) in ratios {
+            assert!((r - 1.0).abs() < 1e-12, "bin k={k}: ratio {r}");
+        }
+    }
+}
+
+#[test]
+fn psnr_is_invariant_under_constant_offset() {
+    let a = field(Shape::d2(64, 64), 0.2);
+    let b = distort(&a, 0.05);
+    let reference = psnr(&a, &b);
+    for offset in [1.0f32, -3.5, 250.0] {
+        let shift = |f: &NdArray<f32>| {
+            NdArray::from_vec(
+                f.shape(),
+                f.as_slice().iter().map(|&v| v + offset).collect(),
+            )
+        };
+        let shifted = psnr(&shift(&a), &shift(&b));
+        // The value range and the error field are both offset-invariant;
+        // the tolerance covers f32 rounding of the shifted values only.
+        assert!(
+            (shifted - reference).abs() < 0.1,
+            "offset {offset}: {shifted:.4} vs {reference:.4} dB"
+        );
+    }
+}
+
+#[test]
+fn ssim_bounded_and_monotone_in_distortion() {
+    let a = field(Shape::d2(64, 64), 0.2);
+    let mut prev_w = f64::INFINITY;
+    let mut prev_g = f64::INFINITY;
+    for amp in [0.01f32, 0.05, 0.2, 1.0] {
+        let b = distort(&a, amp);
+        let w = windowed_ssim(&a, &b, 8);
+        let g = global_ssim(&a, &b);
+        assert!(w <= 1.0 + 1e-12, "windowed SSIM {w} exceeds 1");
+        assert!(g <= 1.0 + 1e-12, "global SSIM {g} exceeds 1");
+        assert!(w > 0.0 && g > 0.0);
+        assert!(w <= prev_w + 1e-9, "windowed SSIM must fall with distortion");
+        assert!(g <= prev_g + 1e-9, "global SSIM must fall with distortion");
+        (prev_w, prev_g) = (w, g);
+    }
+}
+
+#[test]
+fn psnr_falls_as_distortion_grows() {
+    let a = field(Shape::d3(24, 16, 16), 0.2);
+    let mut prev = f64::INFINITY;
+    for amp in [0.001f32, 0.01, 0.1] {
+        let p = psnr(&a, &distort(&a, amp));
+        assert!(p < prev, "PSNR must fall: {p} at amp {amp}");
+        assert!(p.is_finite());
+        prev = p;
+    }
+}
+
+#[test]
+fn spectrum_ratio_flags_white_noise_floor() {
+    // Compression-like white noise adds power: ratios must be ≥ ~1 on
+    // average and rise toward the weak high-k bins (the §III-D4 model's
+    // shape), while identical fields stay at exactly 1 (tested above).
+    let a = field(Shape::d3(32, 32, 32), 0.0);
+    let b = distort(&a, 0.05);
+    let ratios = spectrum_ratio(&a, &b);
+    assert!(!ratios.is_empty());
+    let mean: f64 = ratios.iter().map(|&(_, r)| r).sum::<f64>() / ratios.len() as f64;
+    assert!(mean >= 1.0 - 1e-3, "noise must not remove power on average: {mean}");
+}
+
+#[test]
+fn metrics_agree_with_hand_computed_values() {
+    // A 2-element sanity anchor: a = [0, 4], b = [0, 1].
+    let a = NdArray::<f32>::from_vec(Shape::d1(2), vec![0.0, 4.0]);
+    let b = NdArray::<f32>::from_vec(Shape::d1(2), vec![0.0, 1.0]);
+    assert!((mse(&a, &b) - 4.5).abs() < 1e-12); // (0 + 9)/2
+    assert_eq!(max_abs_error(&a, &b), 3.0);
+    // PSNR = 20·log10(range) − 10·log10(mse), range = 4.
+    let expect = 20.0 * 4f64.log10() - 10.0 * 4.5f64.log10();
+    assert!((psnr(&a, &b) - expect).abs() < 1e-9);
+}

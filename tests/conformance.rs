@@ -258,7 +258,17 @@ fn archives_of_all_generations<T: rqm::grid::Scalar>(
     }
     let v22 = w.finalize().unwrap().sink;
     assert_eq!(rqm::compress_crate::peek_header(&v22).unwrap().version, 4);
-    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22)]
+    // v2.3: planned per-chunk bounds (alternating tight/loose around eb).
+    let n_chunks = d0.div_ceil(5);
+    let plan: Vec<f64> =
+        (0..n_chunks).map(|i| if i % 2 == 0 { eb } else { eb / 2.0 }).collect();
+    let mut w =
+        ArchiveWriter::<T, Vec<u8>>::create_planned(Vec::new(), field.shape(), &auto, plan)
+            .unwrap();
+    w.write_slab(field).unwrap();
+    let v23 = w.finalize().unwrap().sink;
+    assert_eq!(rqm::compress_crate::peek_header(&v23).unwrap().version, 5);
+    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22), ("v2.3", v23)]
 }
 
 /// The property itself, generic over the scalar type.
@@ -304,6 +314,58 @@ fn assert_read_rows_matches_decompress<T: rqm::grid::Scalar + PartialEq>(seed: u
             reader.read_rows::<T>(2..2),
             Err(DecompressError::RowsOutOfRange { .. })
         ));
+    }
+}
+
+#[test]
+fn planned_per_chunk_bounds_conform_chunkwise() {
+    // Quality-targeted archives make a *stronger* promise than the global
+    // bound: every chunk honors its own planned bound. Sweep the datagen
+    // fields with a heterogeneous plan and assert the per-chunk max
+    // error, codec by codec.
+    for (name, field) in fields() {
+        let d0 = field.shape().dim(0);
+        let chunk_rows = (d0 / 3).max(1);
+        let n_chunks = d0.div_ceil(chunk_rows);
+        let r = field.value_range();
+        let plan: Vec<f64> = (0..n_chunks)
+            .map(|i| r * if i % 2 == 0 { 1e-3 } else { 2e-5 })
+            .collect();
+        for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+            let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+                .chunked(chunk_rows)
+                .with_codec(codec)
+                .with_threads(2);
+            let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+                Vec::new(),
+                field.shape(),
+                &cfg,
+                plan.clone(),
+            )
+            .unwrap();
+            w.write_slab(&field).unwrap();
+            let bytes = w.finalize().unwrap().sink;
+            let back = rqm::compress_crate::decompress::<f32>(&bytes).unwrap();
+            let row_elems: usize =
+                field.shape().dims()[1..].iter().product::<usize>().max(1);
+            for (entry, &eb) in
+                rqm::compress_crate::chunk_table(&bytes).unwrap().entries.iter().zip(&plan)
+            {
+                let lo = entry.start_row * row_elems;
+                let hi = (entry.start_row + entry.rows) * row_elems;
+                let worst = field.as_slice()[lo..hi]
+                    .iter()
+                    .zip(&back.as_slice()[lo..hi])
+                    .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                    .fold(0.0, f64::max);
+                assert!(
+                    worst <= eb * (1.0 + 1e-6),
+                    "{name} {codec:?} rows {}..{}: max err {worst:.3e} > chunk bound {eb:.3e}",
+                    entry.start_row,
+                    entry.start_row + entry.rows
+                );
+            }
+        }
     }
 }
 

@@ -75,7 +75,32 @@ fn valid_archives() -> Vec<(&'static str, Vec<u8>)> {
         chunk_table(&v21).unwrap().entries.iter().map(|e| e.codec).collect();
     assert!(codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Zfp));
     let v22 = streamed_v22(&field);
-    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22)]
+    let v23 = planned_v23(&field);
+    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22), ("v2.3", v23)]
+}
+
+/// The heterogeneous per-chunk plan behind the v2.3 fuzz archive (16-row
+/// field in 4-row chunks).
+const V23_FUZZ_PLAN: [f64; 4] = [1e-3, 1e-4, 2e-4, 5e-5];
+
+/// A v2.3 archive of `field` built through the planned streaming writer
+/// (per-chunk bounds in the trailer index).
+fn planned_v23(field: &NdArray<f32>) -> Vec<u8> {
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+        .chunked(4)
+        .with_codec(CodecChoice::Auto)
+        .with_threads(2);
+    let mut w = rqm::compress_crate::ArchiveWriter::<f32, Vec<u8>>::create_planned(
+        Vec::new(),
+        field.shape(),
+        &cfg,
+        V23_FUZZ_PLAN.to_vec(),
+    )
+    .unwrap();
+    w.write_slab(field).unwrap();
+    let bytes = w.finalize().unwrap().sink;
+    assert_eq!(rqm::compress_crate::peek_header(&bytes).unwrap().version, 5);
+    bytes
 }
 
 /// A v2.2 archive of `field` built through the streaming writer (mixed
@@ -246,6 +271,89 @@ fn v2_2_trailer_targeted_corruptions() {
     m.extend_from_slice(&bytes[..tstart - 1]);
     m.extend_from_slice(&bytes[tstart..]);
     assert!(try_decode(&m).unwrap().is_err(), "blob region shrunk under the index decoded Ok");
+}
+
+#[test]
+fn v2_3_per_chunk_eb_targeted_corruptions() {
+    // The per-chunk bounds live as raw f64s in the trailer index; every
+    // way of poisoning them — NaN/inf bit patterns, sign flips, zeroing,
+    // truncating an index row — must produce a DecompressError, never a
+    // panic and never a "successful" decode under a garbage bound.
+    let bytes = planned_v23(&mixed_field());
+    let n = bytes.len();
+    let tlen = u64::from_le_bytes(bytes[n - 12..n - 4].try_into().unwrap()) as usize;
+    let tstart = n - 12 - tlen;
+    let trailer = &bytes[tstart..n - 12];
+
+    // Locate each planned bound inside the trailer by its exact f64 LE
+    // byte pattern (the plan values are fixture constants).
+    let eb_offsets: Vec<usize> = V23_FUZZ_PLAN
+        .iter()
+        .map(|eb| {
+            let pat = eb.to_le_bytes();
+            let at = trailer
+                .windows(8)
+                .position(|w| w == pat)
+                .unwrap_or_else(|| panic!("bound {eb} not found in trailer"));
+            tstart + at
+        })
+        .collect();
+
+    for (&off, &eb) in eb_offsets.iter().zip(&V23_FUZZ_PLAN) {
+        for evil in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -eb,
+            f64::from_bits(u64::MAX), // all-ones: a quiet-NaN pattern
+            f64::from_bits(1),        // subnormal ≈ 5e-324: positive but pathological
+        ] {
+            let mut m = bytes.clone();
+            m[off..off + 8].copy_from_slice(&evil.to_le_bytes());
+            let r = try_decode(&m).expect("header stays parseable");
+            if evil.is_finite() && evil > 0.0 {
+                // A subnormal bound is structurally valid; decoding may
+                // succeed or fail, but it must stay consistent and must
+                // not panic (the round-trip under the real bound is
+                // obviously gone — that is the flip-inside-payload case).
+                let _ = r;
+            } else {
+                assert!(
+                    r.is_err(),
+                    "eb at {off} set to {evil}: decoded Ok under a garbage bound"
+                );
+            }
+        }
+    }
+
+    // Truncated index row: drop the last entry's 8-byte bound from the
+    // trailer body (fixing trailer_len so the suffix still parses) — the
+    // index body no longer fills the trailer exactly.
+    let mut m = Vec::with_capacity(n - 8);
+    m.extend_from_slice(&bytes[..n - 12 - 8]);
+    m.extend_from_slice(&((tlen - 8) as u64).to_le_bytes());
+    m.extend_from_slice(b"RQIX");
+    assert!(
+        try_decode(&m).unwrap().is_err(),
+        "index row truncated by one bound decoded Ok"
+    );
+
+    // A v2.3 header over a v2.2-sized (bound-less) trailer: every entry's
+    // parse must fail or mis-tile, never silently default the bounds.
+    let mut m = bytes.clone();
+    // Shrink trailer_len by the 4 bounds (32 bytes) without rewriting the
+    // body: the remaining body cannot parse into 4 complete entries.
+    m[n - 12..n - 4].copy_from_slice(&((tlen - 32) as u64).to_le_bytes());
+    assert!(try_decode(&m).unwrap().is_err());
+
+    // The streaming reader agrees with the slice parser on all of it.
+    use std::io::Cursor;
+    let mut good = rqm::compress_crate::ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+    assert!(good.read_all::<f32>().is_ok());
+    let mut m = bytes.clone();
+    m[eb_offsets[0]..eb_offsets[0] + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    assert!(rqm::compress_crate::ArchiveReader::open(Cursor::new(&m[..])).is_err());
 }
 
 #[test]

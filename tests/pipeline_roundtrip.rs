@@ -244,6 +244,94 @@ fn golden_v21_fixture_backward_compat() {
 }
 
 #[test]
+fn golden_v23_fixture_backward_compat() {
+    // A quality-targeted v2.3 container with heterogeneous per-chunk
+    // bounds and mixed codec tags, produced by the planned streaming
+    // writer and committed as a fixture (regenerated only by
+    // `cargo run -p rq-bench --bin make_golden_fixtures` when a *new*
+    // container generation is introduced).
+    let bytes = include_bytes!("data/golden_v23.rqc");
+    let header = rqm::compress_crate::peek_header(bytes).unwrap();
+    assert_eq!(header.version, 5, "v2.3 uses version byte 5");
+    assert_eq!(header.shape.dims(), &[16, 10, 10]);
+    assert_eq!(chunk_count(bytes).unwrap(), 4);
+    // The header bound is the max of the planned per-chunk bounds.
+    assert_eq!(header.abs_eb, 2e-3);
+
+    // The per-chunk bounds and codec tags recorded at fixture time.
+    let plan = [2e-3, 1e-4, 5e-4, 5e-5];
+    let table = chunk_table(bytes).unwrap();
+    let ebs: Vec<f64> = table.entries.iter().map(|e| e.eb).collect();
+    assert_eq!(ebs, plan);
+    let codecs: Vec<ChunkCodecKind> = table.entries.iter().map(|e| e.codec).collect();
+    assert_eq!(
+        codecs,
+        vec![ChunkCodecKind::Sz, ChunkCodecKind::Sz, ChunkCodecKind::Sz, ChunkCodecKind::Zfp],
+        "fixture mixes both codecs"
+    );
+
+    // Same frozen formula the fixture generator used.
+    let field = NdArray::<f32>::from_fn(Shape::d3(16, 10, 10), |ix| {
+        if ix[0] < 8 {
+            ((ix[0] as f64 * 0.4).sin() * 1.5 + ix[1] as f64 * 0.08 + ix[2] as f64 * 0.02) as f32
+        } else {
+            let mut h = (ix[0] * 5501 + ix[1] * 101 + ix[2]) as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 25.0
+        }
+    });
+    let back = decompress::<f32>(bytes).unwrap();
+    // Every chunk honors *its own* bound (tighter than the header's for
+    // chunks 1..4 — the whole point of the per-chunk index).
+    let row_elems = 10 * 10;
+    for (entry, &eb) in table.entries.iter().zip(&plan) {
+        let lo = entry.start_row * row_elems;
+        let hi = (entry.start_row + entry.rows) * row_elems;
+        for (a, b) in field.as_slice()[lo..hi].iter().zip(&back.as_slice()[lo..hi]) {
+            assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-6),
+                "rows {}..{}: |{a} - {b}| > {eb}",
+                entry.start_row,
+                entry.start_row + entry.rows
+            );
+        }
+    }
+
+    // Random access and the streaming reader agree with the full decode.
+    for (i, entry) in table.entries.iter().enumerate() {
+        let (start_row, slab) = decompress_chunk::<f32>(bytes, i).unwrap();
+        assert_eq!(start_row, entry.start_row);
+        let lo = start_row * row_elems;
+        assert_eq!(slab.as_slice(), &back.as_slice()[lo..lo + slab.len()]);
+    }
+    let mut reader =
+        ArchiveReader::open(std::io::Cursor::new(&bytes[..])).unwrap();
+    assert_eq!(reader.read_all::<f32>().unwrap().as_slice(), back.as_slice());
+
+    // And the earlier generations stay readable byte-for-byte alongside
+    // the new one: both committed fixtures decode through the same code
+    // paths to the same values as ever.
+    let v1 = include_bytes!("data/golden_v1.rqc");
+    let v1_field = NdArray::<f32>::from_fn(Shape::d2(8, 6), |ix| {
+        ((ix[0] as f32) * 0.7).sin() * 3.0 + (ix[1] as f32) * 0.25
+    });
+    check_bound(&v1_field, &decompress::<f32>(v1).unwrap(), 1e-3);
+    let v21 = include_bytes!("data/golden_v21.rqc");
+    assert_eq!(rqm::compress_crate::peek_header(v21).unwrap().version, 3);
+    let v21_back = decompress::<f32>(v21).unwrap();
+    assert_eq!(v21_back.len(), 12 * 12 * 12);
+    // Every v2.1 chunk reports the header bound as its per-chunk bound.
+    let h21 = rqm::compress_crate::peek_header(v21).unwrap();
+    for e in chunk_table(v21).unwrap().entries {
+        assert_eq!(e.eb, h21.abs_eb);
+    }
+}
+
+#[test]
 fn model_guided_container_write_hits_quality_target() {
     // The full Fig. 13 loop for one snapshot: model picks eb for a PSNR
     // floor, compression goes through the container, measured PSNR
