@@ -1,14 +1,22 @@
-//! Streaming vs in-memory compression: wall time and peak RSS at
-//! 1/2/4/8 worker threads.
+//! Streaming vs in-memory compression **and decompression**: wall time
+//! and peak RSS at 1/2/4/8 worker threads.
 //!
-//! The streaming session's contract is that peak memory scales with
-//! `O(slab × threads)`, not `O(field + archive)`. This bench measures it
-//! directly: a raw `f32` field is staged to disk, then compressed twice
-//! per thread count — once through the buffer-in/buffer-out one-shot API
-//! (read whole field, compress, write archive) and once through
-//! `ArchiveWriter` fed file slabs — recording wall time and the process
-//! peak-RSS high-water mark (`VmHWM` from `/proc/self/status`, reset via
-//! `/proc/self/clear_refs` between runs where the kernel allows it).
+//! The streaming sessions' contract is that peak memory scales with
+//! `O(slab × threads)` (write side) / `O(read-ahead window)` (read
+//! side), not `O(field + archive)`. This bench measures it directly: a
+//! raw `f32` field is staged to disk, compressed twice per thread count
+//! — once through the buffer-in/buffer-out one-shot API and once through
+//! `ArchiveWriter` fed file slabs — then decompressed twice per thread
+//! count — once through the in-memory `decompress_with_threads` (whole
+//! archive + whole field resident) and once through the parallel
+//! streaming `ArchiveReader::decompress_to_writer` — recording wall time
+//! and the process peak-RSS high-water mark (`VmHWM` from
+//! `/proc/self/status`, reset via `/proc/self/clear_refs` between runs
+//! where the kernel allows it).
+//!
+//! At full size (no `RQM_QUICK`) with a resettable HWM counter, the
+//! bench **asserts** that streaming decode peak RSS stays below the raw
+//! field size — the bounded-read-ahead contract, checked, not eyeballed.
 //!
 //! ```sh
 //! cargo run --release -p rq-bench --bin streaming_vs_inmemory
@@ -16,37 +24,18 @@
 //!
 //! Expected shape of the result: in-memory peak RSS grows with the field
 //! (~field + archive + decode scratch), streaming peak RSS stays near the
-//! slab batch size regardless of field size, at equal output bytes.
+//! slab batch / read-ahead window regardless of field size, at equal
+//! output bytes.
 
-use rq_bench::{f, Table};
-use rq_compress::{compress, ArchiveWriter, CompressorConfig};
+use rq_bench::{f, mib, peak_rss_bytes, reset_peak_rss, Table};
+use rq_compress::{
+    compress, decompress_with_threads, ArchiveReader, ArchiveWriter, CompressorConfig,
+};
 use rq_grid::{NdArray, Shape, MAX_DIMS};
 use rq_predict::PredictorKind;
 use rq_quant::ErrorBoundMode;
 use std::io::{Read, Write};
 use std::time::Instant;
-
-/// Peak resident set size (`VmHWM`) in bytes, if the platform exposes it.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
-}
-
-/// Reset the peak-RSS counter ("5" clears the HWM counters). Returns
-/// whether the reset took, so monotone readings can be flagged.
-fn reset_peak_rss() -> bool {
-    std::fs::OpenOptions::new()
-        .write(true)
-        .open("/proc/self/clear_refs")
-        .and_then(|mut f| f.write_all(b"5"))
-        .is_ok()
-}
-
-fn mib(bytes: u64) -> f64 {
-    bytes as f64 / (1024.0 * 1024.0)
-}
 
 fn main() {
     let quick = rq_bench::quick();
@@ -167,7 +156,88 @@ fn main() {
     println!(
         "\nReading: \"streaming\" holds {chunk_rows}×threads rows of input plus per-worker\n\
          state; \"in-memory\" holds the whole field plus the whole archive. Output bytes\n\
-         differ only by index placement (v2.2 trailer vs v2 inline index)."
+         differ only by index placement (v2.2 trailer vs v2 inline index).\n"
     );
+
+    // ------------------------------------------------------------------
+    // Decompression: streaming parallel reader vs in-memory decode.
+    // ------------------------------------------------------------------
+    let archive_path = dir.join("stream_1.rqc");
+    let archive_bytes = std::fs::metadata(&archive_path).unwrap().len();
+    println!(
+        "# Streaming vs in-memory decompression — same field, {:.1} MiB archive",
+        mib(archive_bytes)
+    );
+    println!();
+    // Peak-RSS readings here are deltas over each run's post-reset floor
+    // (freed whole-field buffers can leave the heap ratcheted up, and
+    // VmHWM resets only down to *current* RSS, never below); streaming
+    // decodes run before in-memory ones for a clean floor.
+    let mut t = Table::new(&["threads", "mode", "wall(ms)", "values", "ΔRSS(MiB)"]);
+    let mut stream_decode_delta = 0u64;
+    for threads in [1usize, 2, 4, 8] {
+        // --- streaming parallel decode: rows flow to a sink, field
+        //     never resident, window-bounded read-ahead ---
+        reset_peak_rss();
+        let floor = peak_rss_bytes().unwrap_or(0);
+        let t0 = Instant::now();
+        let src = std::io::BufReader::new(std::fs::File::open(&archive_path).unwrap());
+        let mut reader = ArchiveReader::open(src).unwrap().with_threads(threads);
+        let values =
+            reader.decompress_to_writer::<f32, _>(&mut std::io::sink()).unwrap();
+        let wall = t0.elapsed();
+        let delta = peak_rss_bytes().unwrap_or(0).saturating_sub(floor);
+        stream_decode_delta = stream_decode_delta.max(delta);
+        assert_eq!(values, shape.len() as u64);
+        t.row(&[
+            threads.to_string(),
+            "streaming".into(),
+            f(wall.as_secs_f64() * 1e3, 1),
+            values.to_string(),
+            f(mib(delta), 1),
+        ]);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        // --- in-memory decode: whole archive + whole field resident ---
+        reset_peak_rss();
+        let floor = peak_rss_bytes().unwrap_or(0);
+        let t0 = Instant::now();
+        let bytes = std::fs::read(&archive_path).unwrap();
+        let field: NdArray<f32> = decompress_with_threads(&bytes, threads).unwrap();
+        let wall = t0.elapsed();
+        let delta = peak_rss_bytes().unwrap_or(0).saturating_sub(floor);
+        t.row(&[
+            threads.to_string(),
+            "in-memory".into(),
+            f(wall.as_secs_f64() * 1e3, 1),
+            field.len().to_string(),
+            f(mib(delta), 1),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nReading: streaming decode holds a read-ahead window of chunks (blob + slab),\n\
+         in-memory holds the whole archive plus the whole decoded field."
+    );
+
+    // The bounded-RSS contract of `rqm decompress --threads`: each
+    // streaming run's own RSS growth must track the window, not the
+    // field/archive size. Only checkable when the HWM counter resets and
+    // the field dwarfs the process baseline (full-size run).
+    if resettable && !quick {
+        assert!(
+            stream_decode_delta < raw_bytes,
+            "streaming decode grew RSS by {:.1} MiB — not bounded by the read-ahead window \
+             (raw field {:.1} MiB)",
+            mib(stream_decode_delta),
+            mib(raw_bytes)
+        );
+        println!(
+            "\nbounded-RSS assertion passed: streaming decode grew \
+             {:.1} MiB < raw field {:.1} MiB",
+            mib(stream_decode_delta),
+            mib(raw_bytes)
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -98,6 +98,33 @@ impl Table {
     }
 }
 
+/// Peak resident set size (`VmHWM`) in bytes, if the platform exposes
+/// it. Shared by the memory-footprint benches (`streaming_vs_inmemory`,
+/// `decode_scaling`).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Reset the peak-RSS counter (writing "5" to `/proc/self/clear_refs`
+/// clears the HWM counters). Returns whether the reset took, so monotone
+/// readings can be flagged.
+pub fn reset_peak_rss() -> bool {
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open("/proc/self/clear_refs")
+        .and_then(|mut f| f.write_all(b"5"))
+        .is_ok()
+}
+
+/// Bytes as MiB.
+pub fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
 /// Convenience: format a `f64` with the given precision.
 pub fn f(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")

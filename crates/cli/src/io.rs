@@ -62,15 +62,6 @@ pub fn read_f32_slab(r: &mut impl Read, shape: Shape) -> Result<NdArray<f32>, St
     Ok(NdArray::from_vec(shape, values))
 }
 
-/// Append a slice of `f32` values to a stream as little-endian bytes.
-pub fn write_f32_values(w: &mut impl std::io::Write, values: &[f32]) -> Result<(), String> {
-    let mut bytes = Vec::with_capacity(values.len() * 4);
-    for &v in values {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    w.write_all(&bytes).map_err(|e| format!("write failed: {e}"))
-}
-
 /// Write a whole file.
 pub fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), String> {
     std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))

@@ -35,10 +35,12 @@
 //! few slabs no matter how large the field is. Plain `compress` without
 //! either flag keeps the serial in-memory v1 format.
 //!
-//! `decompress` without `--threads` streams too: chunks are decoded one
-//! at a time through `rq_compress::ArchiveReader` and written out as they
-//! complete. With `--threads N` it loads the archive and decodes chunks
-//! concurrently (faster, at in-memory cost).
+//! `decompress` streams for every thread count: rows flow from the
+//! archive to the output through `rq_compress::ArchiveReader`'s bounded
+//! read-ahead window, so peak memory is a few chunks no matter how large
+//! the field is. With `--threads N` chunk *decoding* fans out to N
+//! workers while extents are still read sequentially — the output bytes
+//! are identical at every thread count, only the wall time changes.
 //!
 //! `--codec` selects the per-chunk backend: `sz` (default, the prediction
 //! path), `zfp` (the transform path) or `auto`, which evaluates a sampled
@@ -56,8 +58,8 @@ mod io;
 
 use args::Args;
 use rq_compress::{
-    compress_with_report, decompress_with_threads, ArchiveReader, ArchiveWriter, ChunkCodecKind,
-    CodecChoice, CompressionReport, CompressorConfig, Header,
+    compress_with_report, ArchiveReader, ArchiveWriter, ChunkCodecKind, CodecChoice,
+    CompressionReport, CompressorConfig, Header,
 };
 use rq_core::RqModel;
 use rq_grid::{NdArray, Shape, MAX_DIMS};
@@ -675,44 +677,39 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
         println!("{input} -> {output}: {:?}, {} values", field.shape(), field.len());
         return Ok(());
     }
-    if let Some(threads) = args.unsigned("threads")? {
-        // Explicit thread count: in-memory chunk-parallel decode.
-        let bytes = io::read_bytes(&input)?;
-        let field: NdArray<f32> = decompress_with_threads(&bytes, threads)
-            .map_err(|e| format!("decompression failed: {e}"))?;
-        io::write_raw_f32(&output, &field)?;
-        println!("{input} -> {output}: {:?}, {} values", field.shape(), field.len());
-        return Ok(());
-    }
-    // Default: streaming decode — one chunk resident at a time, rows
-    // written out as each chunk completes. Rows stream into a temp file
-    // that is renamed into place only after every chunk decoded, so a
-    // corrupt archive can neither clobber an existing output nor leave a
-    // silently truncated one.
+    // Streaming decode at every thread count: chunk extents are read
+    // sequentially, decoding fans out to `--threads` workers behind the
+    // reader's bounded read-ahead window, and rows are delivered in
+    // order — peak memory is a window of chunks, never the field. Rows
+    // stream into a temp file that is renamed into place only after
+    // every chunk decoded, so a corrupt archive can neither clobber an
+    // existing output nor leave a silently truncated one.
+    let threads = args.unsigned("threads")?.unwrap_or(1);
     src.seek(SeekFrom::Start(0)).map_err(|e| format!("{input}: {e}"))?;
-    let mut reader =
-        ArchiveReader::open(src).map_err(|e| format!("decompression failed: {e}"))?;
+    let mut reader = ArchiveReader::open(src)
+        .map_err(|e| format!("decompression failed: {e}"))?
+        .with_threads(threads);
     let shape = reader.header().shape;
     let tmp = format!("{output}.rqm-partial");
-    let result = (|| -> Result<usize, String> {
+    let result = (|| -> Result<u64, String> {
         let mut sink = std::io::BufWriter::new(
             std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?,
         );
-        let mut values = 0usize;
-        for chunk in 0..reader.n_chunks() {
-            let (_, slab) = reader
-                .read_chunk::<f32>(chunk)
-                .map_err(|e| format!("decompression failed: {e}"))?;
-            io::write_f32_values(&mut sink, slab.as_slice())?;
-            values += slab.len();
-        }
+        let values = reader
+            .decompress_to_writer::<f32, _>(&mut sink)
+            .map_err(|e| format!("decompression failed: {e}"))?;
         sink.flush().map_err(|e| format!("{tmp}: {e}"))?;
         Ok(values)
     })();
     match result {
         Ok(values) => {
             std::fs::rename(&tmp, &output).map_err(|e| format!("{output}: {e}"))?;
-            println!("{input} -> {output}: {shape:?}, {values} values");
+            let par = if reader.threads() > 1 {
+                format!(", {} decode threads", reader.threads())
+            } else {
+                String::new()
+            };
+            println!("{input} -> {output}: {shape:?}, {values} values{par}");
             Ok(())
         }
         Err(e) => {

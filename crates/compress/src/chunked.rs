@@ -257,6 +257,35 @@ pub(crate) fn decode_chunk_blob<T: Scalar>(
     }
 }
 
+/// Decode one chunk blob into its output slab, handling the v1 special
+/// case (the v1 "chunk" is the whole container body: four sections with no
+/// per-chunk flag byte, the header's lossless flag authoritative). This is
+/// the blob decoder every random-access reader — streaming, concurrent,
+/// parallel — dispatches through.
+pub(crate) fn decode_entry_blob<T: Scalar>(
+    blob: &[u8],
+    header: &Header,
+    entry: ChunkEntry,
+    chunk_shape: Shape,
+    out: &mut [T],
+) -> Result<(), DecompressError> {
+    if header.version == VERSION_V1 {
+        let mut pos = 0usize;
+        let body = crate::container::read_sections_body::<T>(blob, &mut pos)?;
+        decode_stream(
+            &body,
+            header.lossless,
+            chunk_shape,
+            header.predictor,
+            LinearQuantizer::new(header.abs_eb, header.radius),
+            transform_from_header(header),
+            out,
+        )
+    } else {
+        decode_chunk_blob(blob, header, entry.codec, entry.eb, chunk_shape, out)
+    }
+}
+
 /// Decode one located chunk of an in-memory container into its output
 /// slab.
 fn decode_entry<T: Scalar>(

@@ -909,6 +909,92 @@ pub struct ChunkTable {
     pub entries: Vec<ChunkEntry>,
 }
 
+/// Seek to `at` and read exactly `len` bytes.
+pub(crate) fn read_span<R: std::io::Read + std::io::Seek>(
+    src: &mut R,
+    at: u64,
+    len: usize,
+) -> Result<Vec<u8>, DecompressError> {
+    src.seek(std::io::SeekFrom::Start(at))?;
+    let mut buf = vec![0u8; len];
+    src.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Upper bound on the serialized header prefix: fixed bytes + 4 dims of
+/// ≤ 10 varint bytes + the f64 bound + the radius varint, with slack.
+const HEADER_READ_BYTES: usize = 96;
+
+/// The parsed structural layout of an archive on a seekable source: the
+/// header plus every chunk's location, with no payload read.
+pub(crate) struct ArchiveLayout {
+    pub header: Header,
+    pub chunk_rows: usize,
+    pub entries: Vec<ChunkEntry>,
+}
+
+/// Parse the header and chunk index of any container generation from a
+/// seekable source, reading only the header bytes and the index (inline
+/// for v2/v2.1, trailer for v2.2/v2.3). Shared by the streaming
+/// [`crate::ArchiveReader`] and the shareable [`crate::ConcurrentReader`].
+pub(crate) fn read_archive_layout<R: std::io::Read + std::io::Seek>(
+    src: &mut R,
+) -> Result<ArchiveLayout, DecompressError> {
+    let total_len = src.seek(std::io::SeekFrom::End(0))?;
+    let head = read_span(src, 0, HEADER_READ_BYTES.min(total_len as usize))?;
+    let (header, header_end) = read_header_prefix(&head)?;
+    let d0 = header.shape.dim(0);
+    let (chunk_rows, entries) = match header.version {
+        VERSION_V1 => (
+            d0,
+            vec![ChunkEntry {
+                start_row: 0,
+                rows: d0,
+                offset: header_end,
+                len: (total_len as usize)
+                    .checked_sub(header_end)
+                    .ok_or(DecompressError::Corrupt("container shorter than header"))?,
+                codec: ChunkCodecKind::Sz,
+                eb: header.abs_eb,
+            }],
+        ),
+        VERSION_V2_2 | VERSION_V2_3 => {
+            if total_len < (header_end + TRAILER_SUFFIX_LEN) as u64 {
+                return Err(DecompressError::Corrupt("truncated v2.2 trailer"));
+            }
+            let suffix =
+                read_span(src, total_len - TRAILER_SUFFIX_LEN as u64, TRAILER_SUFFIX_LEN)?;
+            let (tstart, tlen) = trailer_bounds(total_len, header_end as u64, &suffix)?;
+            let trailer = read_span(src, tstart, tlen as usize)?;
+            parse_v2_2_trailer(&header, header_end, &trailer, tstart as usize)?
+        }
+        // v2 / v2.1: the index sits between header and blobs. Its byte
+        // length is only known after parsing, so size the read from the
+        // chunk count: first the two leading varints, then at most 21
+        // bytes per entry.
+        _ => {
+            let tagged = header.version != VERSION_V2;
+            let after = (total_len as usize).saturating_sub(header_end);
+            let lead = read_span(src, header_end as u64, after.min(20))?;
+            let mut p = 0usize;
+            let _chunk_rows =
+                get_uvarint(&lead, &mut p).ok_or(DecompressError::Corrupt("chunk rows"))?;
+            let n =
+                get_uvarint(&lead, &mut p).ok_or(DecompressError::Corrupt("chunk count"))? as usize;
+            if n == 0 || n > d0 {
+                return Err(DecompressError::Corrupt("bad chunk count"));
+            }
+            let index_max = 20 + n * 21;
+            let buf = read_span(src, header_end as u64, after.min(index_max))?;
+            let mut p = 0usize;
+            let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, false, d0)?;
+            let entries = entries_from_raw(&header, header_end + p, raw, total_len as usize)?;
+            (chunk_rows, entries)
+        }
+    };
+    Ok(ArchiveLayout { header, chunk_rows, entries })
+}
+
 /// Read a container's chunk partition (either version, any scalar type).
 pub fn chunk_table(bytes: &[u8]) -> Result<ChunkTable, DecompressError> {
     let (header, pos) = read_header_prefix(bytes)?;

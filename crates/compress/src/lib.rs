@@ -45,4 +45,4 @@ pub use container::{
 pub use pipeline::{compress, compress_with_report, decompress};
 pub use report::{CompressedOutput, CompressionReport};
 pub use scheduler::{choose_codec, CodecDecision};
-pub use stream::{ArchiveReader, ArchiveWriter, FinishedArchive, ReadStats};
+pub use stream::{ArchiveReader, ArchiveWriter, ConcurrentReader, FinishedArchive, ReadStats};

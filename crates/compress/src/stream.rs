@@ -13,11 +13,19 @@
 //!   ever buffered. The sink only needs [`Write`]; archives can stream
 //!   into a pipe.
 //! * [`ArchiveReader`] parses the header and chunk index lazily from any
-//!   [`Read`]` + `[`Seek`] source (all four container generations) and
+//!   [`Read`]` + `[`Seek`] source (all five container generations) and
 //!   decodes on demand: [`ArchiveReader::read_all`],
 //!   [`ArchiveReader::read_chunk`], and [`ArchiveReader::read_rows`],
 //!   which touches only the chunks intersecting the requested row range
-//!   (verifiable through [`ArchiveReader::stats`]).
+//!   (verifiable through [`ArchiveReader::stats`]). With
+//!   [`ArchiveReader::with_threads`] decoding fans out to a worker pool
+//!   behind a bounded read-ahead window, and
+//!   [`ArchiveReader::decompress_rows`] /
+//!   [`ArchiveReader::decompress_to_writer`] stream the field out in row
+//!   order without ever holding it resident.
+//! * [`ConcurrentReader`] is the shareable form of the reader: one open
+//!   archive handle, cloneable across threads, serving overlapping
+//!   `read_rows`/`read_chunk` requests with per-request [`ReadStats`].
 //!
 //! The per-chunk encode core (`SlabEncoder`, crate-internal) is shared
 //! with the one-shot chunked pipeline, so a v2.2 archive's chunk blobs
@@ -51,22 +59,23 @@
 //! assert_eq!(reader.stats().chunks_decoded, 2); // rows 10..22 span chunks 1 and 2
 //! ```
 
-use crate::chunked::{aggregate_report, decode_chunk_blob, entry_shape, run_on_workers};
+use crate::chunked::{aggregate_report, decode_entry_blob, entry_shape, run_on_workers};
 use crate::codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
 use crate::config::{CodecChoice, CompressorConfig, LosslessStage};
 use crate::container::{
-    entries_from_raw, parse_index_body, parse_v2_2_trailer, read_sections_body, trailer_bounds,
-    write_header_prefix, write_trailer, ChunkCodecKind, ChunkEntry, ChunkTable, CompressError,
-    DecompressError, Header, TRAILER_SUFFIX_LEN, VERSION_V1, VERSION_V2_2, VERSION_V2_3,
+    read_archive_layout, read_span, write_header_prefix, write_trailer, ChunkCodecKind,
+    ChunkEntry, ChunkTable, CompressError, DecompressError, Header, VERSION_V2_2, VERSION_V2_3,
 };
-use crate::pipeline::{decode_stream, resolve_bound, transform_from_header, Transform};
+use crate::pipeline::{resolve_bound, Transform};
 use crate::report::CompressionReport;
-use rq_encoding::varint::get_uvarint;
 use rq_grid::{slab_chunks, ChunkSpec, NdArray, Scalar, Shape, MAX_DIMS};
 use rq_predict::PredictorKind;
 use rq_quant::{ErrorBoundMode, LinearQuantizer};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, Write};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Shared per-chunk encode core
@@ -511,18 +520,27 @@ pub struct ReadStats {
     pub blob_bytes_read: u64,
 }
 
-/// Upper bound on the serialized header prefix: fixed bytes + 4 dims of
-/// ≤ 10 varint bytes + the f64 bound + the radius varint, with slack.
-const HEADER_READ_BYTES: usize = 96;
-
 /// Random-access decompression session over any [`Read`]` + `[`Seek`]
-/// source, for all container generations (v1, v2, v2.1, v2.2).
+/// source, for all container generations (v1, v2, v2.1, v2.2, v2.3).
 ///
 /// [`Self::open`] reads only the header and chunk index (for v2.2, via
 /// the trailer at the end of the source); payload bytes are fetched and
 /// decoded on demand by [`Self::read_all`], [`Self::read_chunk`] and
 /// [`Self::read_rows`] — the latter decodes exactly the chunks whose row
 /// ranges intersect the request, which [`Self::stats`] makes observable.
+///
+/// # Parallel decode
+///
+/// [`Self::with_threads`] turns on the streaming decode worker pool:
+/// chunk extents are still read **sequentially** off the source (one
+/// seek+read per blob, in offset order), but decoding fans out to scoped
+/// workers behind a bounded read-ahead window
+/// ([`Self::with_read_ahead`]). At most `threads + read_ahead` chunks are
+/// in flight at once, so peak memory stays `O(window × chunk)` no matter
+/// how large the archive is. All decode paths — [`Self::read_all`],
+/// [`Self::read_rows`], [`Self::decompress_rows`] and
+/// [`Self::decompress_to_writer`] — use the pool; results are delivered
+/// in row order and are byte-identical to the single-threaded decode.
 ///
 /// See the [module docs](self) for a complete write/read example.
 pub struct ArchiveReader<R: Read + Seek> {
@@ -531,84 +549,58 @@ pub struct ArchiveReader<R: Read + Seek> {
     chunk_rows: usize,
     entries: Vec<ChunkEntry>,
     stats: ReadStats,
-}
-
-/// Seek to `at` and read exactly `len` bytes.
-fn read_span<R: Read + Seek>(src: &mut R, at: u64, len: usize) -> Result<Vec<u8>, DecompressError> {
-    src.seek(SeekFrom::Start(at))?;
-    let mut buf = vec![0u8; len];
-    src.read_exact(&mut buf)?;
-    Ok(buf)
+    /// Decode worker threads (1 = decode on the calling thread).
+    threads: usize,
+    /// Extra chunks fetched ahead of the decoders (`None` = `threads`).
+    read_ahead: Option<usize>,
 }
 
 impl<R: Read + Seek> ArchiveReader<R> {
     /// Open an archive: parse the header and locate every chunk, without
     /// reading any payload.
     pub fn open(mut src: R) -> Result<Self, DecompressError> {
-        let total_len = src.seek(SeekFrom::End(0))?;
-        let head = read_span(&mut src, 0, HEADER_READ_BYTES.min(total_len as usize))?;
-        let (header, header_end) = crate::container::read_header_prefix(&head)?;
-        let d0 = header.shape.dim(0);
-        let (chunk_rows, entries) = match header.version {
-            VERSION_V1 => (
-                d0,
-                vec![ChunkEntry {
-                    start_row: 0,
-                    rows: d0,
-                    offset: header_end,
-                    len: (total_len as usize)
-                        .checked_sub(header_end)
-                        .ok_or(DecompressError::Corrupt("container shorter than header"))?,
-                    codec: ChunkCodecKind::Sz,
-                    eb: header.abs_eb,
-                }],
-            ),
-            VERSION_V2_2 | VERSION_V2_3 => {
-                if total_len < (header_end + TRAILER_SUFFIX_LEN) as u64 {
-                    return Err(DecompressError::Corrupt("truncated v2.2 trailer"));
-                }
-                let suffix = read_span(
-                    &mut src,
-                    total_len - TRAILER_SUFFIX_LEN as u64,
-                    TRAILER_SUFFIX_LEN,
-                )?;
-                let (tstart, tlen) = trailer_bounds(total_len, header_end as u64, &suffix)?;
-                let trailer = read_span(&mut src, tstart, tlen as usize)?;
-                parse_v2_2_trailer(&header, header_end, &trailer, tstart as usize)?
-            }
-            // v2 / v2.1: the index sits between header and blobs. Its
-            // byte length is only known after parsing, so size the read
-            // from the chunk count: first the two leading varints, then
-            // at most 21 bytes per entry.
-            _ => {
-                let tagged = header.version != crate::container::VERSION_V2;
-                let after = (total_len as usize).saturating_sub(header_end);
-                let lead = read_span(&mut src, header_end as u64, after.min(20))?;
-                let mut p = 0usize;
-                let _chunk_rows =
-                    get_uvarint(&lead, &mut p).ok_or(DecompressError::Corrupt("chunk rows"))?;
-                let n = get_uvarint(&lead, &mut p)
-                    .ok_or(DecompressError::Corrupt("chunk count"))? as usize;
-                if n == 0 || n > d0 {
-                    return Err(DecompressError::Corrupt("bad chunk count"));
-                }
-                let index_max = 20 + n * 21;
-                let buf = read_span(&mut src, header_end as u64, after.min(index_max))?;
-                let mut p = 0usize;
-                let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, false, d0)?;
-                let entries =
-                    entries_from_raw(&header, header_end + p, raw, total_len as usize)?;
-                (chunk_rows, entries)
-            }
-        };
-        let chunks_total = entries.len();
+        let layout = read_archive_layout(&mut src)?;
+        let chunks_total = layout.entries.len();
         Ok(ArchiveReader {
             src,
-            header,
-            chunk_rows,
-            entries,
+            header: layout.header,
+            chunk_rows: layout.chunk_rows,
+            entries: layout.entries,
             stats: ReadStats { chunks_total, ..ReadStats::default() },
+            threads: 1,
+            read_ahead: None,
         })
+    }
+
+    /// Set the decode worker-thread count (`0` = one per available CPU,
+    /// `1` = decode serially on the calling thread). Chunk extents are
+    /// always read sequentially; only decoding is parallel, so decoded
+    /// output is byte-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Bound the read-ahead window: at most `threads + read_ahead` chunks
+    /// (compressed blob + decoded slab) are in flight at once. Defaults
+    /// to `threads`, i.e. a window of `2 × threads` chunks.
+    pub fn with_read_ahead(mut self, read_ahead: usize) -> Self {
+        self.read_ahead = Some(read_ahead);
+        self
+    }
+
+    /// The decode worker-thread count in effect.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Chunks allowed in flight at once (fetch → decode → deliver).
+    fn window(&self) -> usize {
+        self.threads + self.read_ahead.unwrap_or(self.threads)
     }
 
     /// The archive's parsed header.
@@ -643,13 +635,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
     }
 
     fn check_scalar<T: Scalar>(&self) -> Result<(), DecompressError> {
-        if self.header.scalar_tag != T::TAG {
-            return Err(DecompressError::ScalarMismatch {
-                expected: T::TAG,
-                found: self.header.scalar_tag,
-            });
-        }
-        Ok(())
+        check_scalar_tag::<T>(&self.header)
     }
 
     /// Fetch and decode one chunk blob into `out` (`out.len()` must equal
@@ -661,26 +647,9 @@ impl<R: Read + Seek> ArchiveReader<R> {
         out: &mut [T],
     ) -> Result<(), DecompressError> {
         let blob = read_span(&mut self.src, entry.offset as u64, entry.len)?;
-        if self.header.version == VERSION_V1 {
-            // The v1 "chunk" is the whole container body: four sections
-            // with no per-chunk flag byte; the header's lossless flag is
-            // authoritative.
-            let mut pos = 0usize;
-            let body = read_sections_body::<T>(&blob, &mut pos)?;
-            decode_stream(
-                &body,
-                self.header.lossless,
-                cshape,
-                self.header.predictor,
-                LinearQuantizer::new(self.header.abs_eb, self.header.radius),
-                transform_from_header(&self.header),
-                out,
-            )?;
-        } else {
-            decode_chunk_blob(&blob, &self.header, entry.codec, entry.eb, cshape, out)?;
-        }
-        self.stats.chunks_decoded += 1;
         self.stats.blob_bytes_read += entry.len as u64;
+        decode_entry_blob(&blob, &self.header, entry, cshape, out)?;
+        self.stats.chunks_decoded += 1;
         Ok(())
     }
 
@@ -704,7 +673,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
     }
 
     /// Decode the axis-0 row range `rows` (non-empty, within the field),
-    /// touching only the chunks that intersect it.
+    /// touching only the chunks that intersect it, on the decode pool.
     ///
     /// Returns an array of shape `[rows.len(), dims[1..]]` whose elements
     /// equal the corresponding rows of a full decompression exactly.
@@ -718,55 +687,583 @@ impl<R: Read + Seek> ArchiveReader<R> {
             return Err(DecompressError::RowsOutOfRange { requested_end: rows.end, rows: d0 });
         }
         let shape = self.header.shape;
+        let (threads, window) = (self.threads, self.window());
         let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
         let out_rows = rows.end - rows.start;
         let mut out = vec![T::zero(); out_rows * row_elems];
-        for i in 0..self.entries.len() {
-            let entry = self.entries[i];
+        // Chunks tile axis 0 in order, so the intersecting chunks cover
+        // `out` contiguously: hand each one its disjoint output slice.
+        let mut jobs = Vec::new();
+        let mut rest: &mut [T] = &mut out;
+        for &entry in &self.entries {
             let e_start = entry.start_row;
             let e_end = e_start + entry.rows;
             if e_end <= rows.start || e_start >= rows.end {
                 continue;
             }
-            let cshape = entry_shape(shape, entry);
-            if e_start >= rows.start && e_end <= rows.end {
-                // Chunk fully inside the range: decode straight into the
-                // output, no intermediate slab.
-                let dst = &mut out
-                    [(e_start - rows.start) * row_elems..(e_end - rows.start) * row_elems];
-                self.decode_entry_into(entry, cshape, dst)?;
-            } else {
-                // Boundary chunk: decode to a scratch slab, copy the
-                // intersecting rows.
-                let lo = rows.start.max(e_start);
-                let hi = rows.end.min(e_end);
-                let mut tmp = vec![T::zero(); cshape.len()];
-                self.decode_entry_into(entry, cshape, &mut tmp)?;
-                out[(lo - rows.start) * row_elems..(hi - rows.start) * row_elems]
-                    .copy_from_slice(&tmp[(lo - e_start) * row_elems..(hi - e_start) * row_elems]);
-            }
+            let lo = rows.start.max(e_start);
+            let hi = rows.end.min(e_end);
+            let (dst, tail) = rest.split_at_mut((hi - lo) * row_elems);
+            rest = tail;
+            jobs.push(SliceJob {
+                entry,
+                cshape: entry_shape(shape, entry),
+                take: (lo - e_start) * row_elems..(hi - e_start) * row_elems,
+                dst,
+            });
         }
+        run_slice_jobs(&mut self.src, &self.header, jobs, threads, window, &mut self.stats)?;
         let mut dims = [0usize; MAX_DIMS];
         dims[..shape.ndim()].copy_from_slice(shape.dims());
         dims[0] = out_rows;
         Ok(NdArray::from_vec(Shape::new(&dims[..shape.ndim()]), out))
     }
 
-    /// Decode the whole field, chunk by chunk (memory: the output plus
-    /// one compressed blob at a time).
+    /// Decode the whole field on the decode pool (memory: the output plus
+    /// at most a window of compressed blobs).
     pub fn read_all<T: Scalar>(&mut self) -> Result<NdArray<T>, DecompressError> {
         self.check_scalar::<T>()?;
         let shape = self.header.shape;
-        let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
-        let mut out = vec![T::zero(); shape.len()];
-        for i in 0..self.entries.len() {
-            let entry = self.entries[i];
-            let cshape = entry_shape(shape, entry);
-            let dst = &mut out
-                [entry.start_row * row_elems..(entry.start_row + entry.rows) * row_elems];
-            self.decode_entry_into(entry, cshape, dst)?;
+        self.read_rows(0..shape.dim(0)).map(|a| {
+            // Same element count and order; restore the full-field shape.
+            NdArray::from_vec(shape, a.into_vec())
+        })
+    }
+
+    /// Stream the whole field through `emit` as axis-0 slabs in row
+    /// order, decoding chunks on the worker pool behind the bounded
+    /// read-ahead window. Unlike [`Self::read_all`] the field is never
+    /// resident: peak memory is `O(window × chunk)`.
+    ///
+    /// `emit` receives each chunk's decoded elements exactly once, in row
+    /// order; an error from `emit` aborts the decode.
+    pub fn decompress_rows<T: Scalar>(
+        &mut self,
+        mut emit: impl FnMut(&[T]) -> std::io::Result<()>,
+    ) -> Result<(), DecompressError> {
+        self.check_scalar::<T>()?;
+        let shape = self.header.shape;
+        let (threads, window) = (self.threads, self.window());
+        let jobs: Vec<(ChunkEntry, Shape)> =
+            self.entries.iter().map(|&e| (e, entry_shape(shape, e))).collect();
+        run_ordered_jobs::<T, R>(
+            &mut self.src,
+            &self.header,
+            jobs,
+            threads,
+            window,
+            &mut self.stats,
+            &mut |slab| emit(&slab).map_err(DecompressError::Io),
+        )
+    }
+
+    /// Decode the whole field into `sink` as little-endian scalars in row
+    /// order, chunk-parallel with bounded memory (the streaming backend
+    /// of `rqm decompress --threads`). Returns the number of values
+    /// written.
+    pub fn decompress_to_writer<T: Scalar, W: Write>(
+        &mut self,
+        sink: &mut W,
+    ) -> Result<u64, DecompressError> {
+        let mut values = 0u64;
+        let mut buf: Vec<u8> = Vec::new();
+        self.decompress_rows::<T>(|slab| {
+            buf.clear();
+            buf.reserve(slab.len() * T::BYTES);
+            for &v in slab {
+                v.write_le(&mut buf);
+            }
+            values += slab.len() as u64;
+            sink.write_all(&buf)
+        })?;
+        Ok(values)
+    }
+
+    /// Convert this session into a shareable [`ConcurrentReader`] over
+    /// the same source, keeping the already-parsed layout. Accumulated
+    /// [`ReadStats`] carry over as the aggregate baseline.
+    pub fn into_concurrent(self) -> ConcurrentReader<R> {
+        ConcurrentReader {
+            shared: Arc::new(ReaderShared {
+                src: Mutex::new(self.src),
+                header: self.header,
+                chunk_rows: self.chunk_rows,
+                entries: self.entries,
+                chunks_decoded: AtomicU64::new(self.stats.chunks_decoded),
+                blob_bytes_read: AtomicU64::new(self.stats.blob_bytes_read),
+            }),
         }
-        Ok(NdArray::from_vec(shape, out))
+    }
+}
+
+/// Scalar-tag check shared by the streaming and concurrent readers.
+fn check_scalar_tag<T: Scalar>(header: &Header) -> Result<(), DecompressError> {
+    if header.scalar_tag != T::TAG {
+        return Err(DecompressError::ScalarMismatch {
+            expected: T::TAG,
+            found: header.scalar_tag,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parallel streaming decode engine
+// ---------------------------------------------------------------------------
+
+/// One chunk's decode destination in a slice-mode parallel run: the
+/// element range `take` of the decoded chunk lands in `dst` (disjoint
+/// across jobs, so workers write concurrently without coordination).
+struct SliceJob<'o, T> {
+    entry: ChunkEntry,
+    cshape: Shape,
+    take: Range<usize>,
+    dst: &'o mut [T],
+}
+
+/// Decode one fetched blob into its job's destination slice, via scratch
+/// only when the job takes a partial chunk (boundary rows of a region
+/// read).
+fn decode_slice_job<T: Scalar>(
+    header: &Header,
+    blob: &[u8],
+    job: SliceJob<'_, T>,
+) -> Result<(), DecompressError> {
+    let SliceJob { entry, cshape, take, dst } = job;
+    if take.start == 0 && take.end == cshape.len() {
+        decode_entry_blob(blob, header, entry, cshape, dst)
+    } else {
+        let mut tmp = vec![T::zero(); cshape.len()];
+        decode_entry_blob(blob, header, entry, cshape, &mut tmp)?;
+        dst.copy_from_slice(&tmp[take]);
+        Ok(())
+    }
+}
+
+/// Run slice jobs through the decode pool: the calling thread fetches
+/// blobs sequentially (in offset order) and hands them to `threads`
+/// scoped workers, never letting more than `window` fetched-but-undecoded
+/// chunks accumulate. Workers write into their jobs' disjoint output
+/// slices, so no reorder buffer is needed. The first error (in completion
+/// order) aborts the run; remaining queued jobs are drained, never left
+/// hanging.
+fn run_slice_jobs<T: Scalar, R: Read + Seek>(
+    src: &mut R,
+    header: &Header,
+    jobs: Vec<SliceJob<'_, T>>,
+    threads: usize,
+    window: usize,
+    stats: &mut ReadStats,
+) -> Result<(), DecompressError> {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            let blob = read_span(src, job.entry.offset as u64, job.entry.len)?;
+            stats.blob_bytes_read += job.entry.len as u64;
+            decode_slice_job(header, &blob, job)?;
+            stats.chunks_decoded += 1;
+        }
+        return Ok(());
+    }
+    let window = window.max(2);
+    let (work_tx, work_rx) = mpsc::channel::<(SliceJob<'_, T>, Vec<u8>)>();
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = mpsc::channel::<Result<(), DecompressError>>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            let done_tx = done_tx.clone();
+            let work_rx = &work_rx;
+            scope.spawn(move || loop {
+                // Hold the lock only for the dequeue; decode unlocked.
+                let next = {
+                    let rx = work_rx.lock().unwrap_or_else(|p| p.into_inner());
+                    rx.recv()
+                };
+                let Ok((job, blob)) = next else { break };
+                let r = decode_slice_job(header, &blob, job);
+                if done_tx.send(r).is_err() {
+                    break; // the driver bailed out early
+                }
+            });
+        }
+        drop(done_tx);
+        let mut err: Option<DecompressError> = None;
+        let mut in_flight = 0usize;
+        let receive_one =
+            |in_flight: &mut usize, err: &mut Option<DecompressError>, stats: &mut ReadStats| {
+                match done_rx.recv() {
+                    Ok(Ok(())) => stats.chunks_decoded += 1,
+                    Ok(Err(e)) => {
+                        if err.is_none() {
+                            *err = Some(e);
+                        }
+                    }
+                    Err(_) => {
+                        // All workers exited (only possible after the
+                        // work channel closed); nothing more to count.
+                    }
+                }
+                *in_flight -= 1;
+            };
+        for job in jobs {
+            while err.is_none() && in_flight >= window {
+                receive_one(&mut in_flight, &mut err, stats);
+            }
+            if err.is_some() {
+                // First error wins; dispatch nothing further.
+                break;
+            }
+            match read_span(src, job.entry.offset as u64, job.entry.len) {
+                Ok(blob) => {
+                    stats.blob_bytes_read += job.entry.len as u64;
+                    if work_tx.send((job, blob)).is_err() {
+                        break;
+                    }
+                    in_flight += 1;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(work_tx);
+        while in_flight > 0 {
+            receive_one(&mut in_flight, &mut err, stats);
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+/// Run whole-chunk decode jobs through the pool with **in-order
+/// delivery**: workers decode into owned slabs, the calling thread
+/// reorders completions by sequence number and hands each slab to `emit`
+/// in row order. A chunk counts against the `window` from fetch until its
+/// slab is emitted, so out-of-order completions can never pile up more
+/// than a window of decoded slabs.
+fn run_ordered_jobs<T: Scalar, R: Read + Seek>(
+    src: &mut R,
+    header: &Header,
+    jobs: Vec<(ChunkEntry, Shape)>,
+    threads: usize,
+    window: usize,
+    stats: &mut ReadStats,
+    emit: &mut dyn FnMut(Vec<T>) -> Result<(), DecompressError>,
+) -> Result<(), DecompressError> {
+    let decode_owned = |entry: ChunkEntry,
+                        cshape: Shape,
+                        blob: &[u8]|
+     -> Result<Vec<T>, DecompressError> {
+        let mut out = vec![T::zero(); cshape.len()];
+        decode_entry_blob(blob, header, entry, cshape, &mut out)?;
+        Ok(out)
+    };
+    if threads <= 1 || jobs.len() <= 1 {
+        for (entry, cshape) in jobs {
+            let blob = read_span(src, entry.offset as u64, entry.len)?;
+            stats.blob_bytes_read += entry.len as u64;
+            let slab = decode_owned(entry, cshape, &blob)?;
+            stats.chunks_decoded += 1;
+            emit(slab)?;
+        }
+        return Ok(());
+    }
+    let window = window.max(2);
+    let (work_tx, work_rx) = mpsc::channel::<(usize, ChunkEntry, Shape, Vec<u8>)>();
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = mpsc::channel::<(usize, Result<Vec<T>, DecompressError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            let done_tx = done_tx.clone();
+            let work_rx = &work_rx;
+            let decode_owned = &decode_owned;
+            scope.spawn(move || loop {
+                let next = {
+                    let rx = work_rx.lock().unwrap_or_else(|p| p.into_inner());
+                    rx.recv()
+                };
+                let Ok((seq, entry, cshape, blob)) = next else { break };
+                let r = decode_owned(entry, cshape, &blob);
+                if done_tx.send((seq, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(done_tx);
+        let mut err: Option<DecompressError> = None;
+        let mut pending: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+        let mut in_flight = 0usize; // fetched but not yet emitted
+        let mut next_emit = 0usize;
+        // Receive one completion; emit every slab that became
+        // consecutive. Returns false once an error is recorded.
+        let mut receive_one = |in_flight: &mut usize,
+                               err: &mut Option<DecompressError>,
+                               pending: &mut BTreeMap<usize, Vec<T>>,
+                               stats: &mut ReadStats,
+                               emit: &mut dyn FnMut(Vec<T>) -> Result<(), DecompressError>|
+         -> bool {
+            match done_rx.recv() {
+                Ok((seq, Ok(slab))) => {
+                    stats.chunks_decoded += 1;
+                    pending.insert(seq, slab);
+                    while let Some(slab) = pending.remove(&next_emit) {
+                        if let Err(e) = emit(slab) {
+                            *err = Some(e);
+                            return false;
+                        }
+                        next_emit += 1;
+                        *in_flight -= 1;
+                    }
+                    true
+                }
+                Ok((_, Err(e))) => {
+                    if err.is_none() {
+                        *err = Some(e);
+                    }
+                    false
+                }
+                Err(_) => {
+                    if err.is_none() {
+                        *err = Some(DecompressError::Corrupt("decode worker pool shut down"));
+                    }
+                    false
+                }
+            }
+        };
+        'dispatch: for (seq, (entry, cshape)) in jobs.into_iter().enumerate() {
+            while in_flight >= window {
+                if !receive_one(&mut in_flight, &mut err, &mut pending, stats, emit) {
+                    break 'dispatch;
+                }
+            }
+            match read_span(src, entry.offset as u64, entry.len) {
+                Ok(blob) => {
+                    stats.blob_bytes_read += entry.len as u64;
+                    if work_tx.send((seq, entry, cshape, blob)).is_err() {
+                        break;
+                    }
+                    in_flight += 1;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Dropping both channel ends unblocks every worker: queued jobs
+        // may still decode, but their sends fail and the workers exit.
+        drop(work_tx);
+        while err.is_none() && in_flight > 0 {
+            receive_one(&mut in_flight, &mut err, &mut pending, stats, emit);
+        }
+        drop(done_rx);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentReader
+// ---------------------------------------------------------------------------
+
+/// The archive state shared by every [`ConcurrentReader`] handle: the
+/// source behind a mutex (held only while fetching blob bytes — decoding
+/// runs unlocked), the immutable layout, and the aggregate counters.
+struct ReaderShared<R> {
+    src: Mutex<R>,
+    header: Header,
+    chunk_rows: usize,
+    entries: Vec<ChunkEntry>,
+    chunks_decoded: AtomicU64,
+    blob_bytes_read: AtomicU64,
+}
+
+/// A shareable, cloneable decompression handle over **one** open archive
+/// source, for serving many overlapping region reads concurrently.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone reads the same
+/// underlying `R`. Requests lock the source only to fetch a chunk's
+/// compressed bytes; decoding happens outside the lock, so readers on
+/// different threads genuinely overlap. Each request reports its own
+/// [`ReadStats`] (via [`Self::read_rows_with_stats`]), and
+/// [`Self::stats`] aggregates across all clones and requests.
+///
+/// ```
+/// use rq_compress::{ArchiveWriter, CompressorConfig, ConcurrentReader};
+/// use rq_grid::{NdArray, Shape};
+/// use rq_predict::PredictorKind;
+/// use rq_quant::ErrorBoundMode;
+///
+/// let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(8);
+/// let field = NdArray::<f32>::from_fn(Shape::d2(32, 16), |ix| (ix[0] as f32 * 0.2).sin());
+/// let mut w = ArchiveWriter::<f32, _>::create(Vec::new(), field.shape(), &cfg).unwrap();
+/// w.write_slab(&field).unwrap();
+/// let bytes = w.finalize().unwrap().sink;
+///
+/// let reader = ConcurrentReader::open(std::io::Cursor::new(bytes)).unwrap();
+/// std::thread::scope(|s| {
+///     for t in 0..4 {
+///         let r = reader.clone();
+///         // Rows t*6..t*6+10 always straddle a chunk boundary.
+///         s.spawn(move || r.read_rows::<f32>(t * 6..t * 6 + 10).unwrap());
+///     }
+/// });
+/// assert_eq!(reader.stats().chunks_decoded, 4 * 2); // every request decoded 2 chunks
+/// ```
+pub struct ConcurrentReader<R: Read + Seek> {
+    shared: Arc<ReaderShared<R>>,
+}
+
+impl<R: Read + Seek> Clone for ConcurrentReader<R> {
+    fn clone(&self) -> Self {
+        ConcurrentReader { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<R: Read + Seek> ConcurrentReader<R> {
+    /// Open an archive for shared concurrent reading: parse the header
+    /// and chunk index, without reading any payload.
+    pub fn open(mut src: R) -> Result<Self, DecompressError> {
+        let layout = read_archive_layout(&mut src)?;
+        Ok(ConcurrentReader {
+            shared: Arc::new(ReaderShared {
+                src: Mutex::new(src),
+                header: layout.header,
+                chunk_rows: layout.chunk_rows,
+                entries: layout.entries,
+                chunks_decoded: AtomicU64::new(0),
+                blob_bytes_read: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The archive's parsed header.
+    pub fn header(&self) -> &Header {
+        &self.shared.header
+    }
+
+    /// Nominal axis-0 rows per chunk (the last chunk may hold fewer).
+    pub fn chunk_rows(&self) -> usize {
+        self.shared.chunk_rows
+    }
+
+    /// Number of independently-decodable chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.shared.entries.len()
+    }
+
+    /// The located chunk entries, in slab order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.shared.entries
+    }
+
+    /// Aggregate decode counters across every clone and request so far.
+    pub fn stats(&self) -> ReadStats {
+        ReadStats {
+            chunks_total: self.shared.entries.len(),
+            chunks_decoded: self.shared.chunks_decoded.load(Ordering::Relaxed),
+            blob_bytes_read: self.shared.blob_bytes_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetch one chunk's compressed bytes under the source lock, decode
+    /// its job outside the lock (full chunk or boundary crop, via the
+    /// same [`decode_slice_job`] the parallel engine uses), and update
+    /// this request's and the aggregate counters.
+    fn fetch_and_decode<T: Scalar>(
+        &self,
+        job: SliceJob<'_, T>,
+        req: &mut ReadStats,
+    ) -> Result<(), DecompressError> {
+        let entry = job.entry;
+        let blob = {
+            let mut src = self.shared.src.lock().unwrap_or_else(|p| p.into_inner());
+            read_span(&mut *src, entry.offset as u64, entry.len)?
+        };
+        decode_slice_job(&self.shared.header, &blob, job)?;
+        req.chunks_decoded += 1;
+        req.blob_bytes_read += entry.len as u64;
+        self.shared.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+        self.shared.blob_bytes_read.fetch_add(entry.len as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Decode a single chunk (random access). Returns the slab's first
+    /// axis-0 row, the decoded slab, and this request's [`ReadStats`].
+    pub fn read_chunk<T: Scalar>(
+        &self,
+        chunk: usize,
+    ) -> Result<(usize, NdArray<T>, ReadStats), DecompressError> {
+        check_scalar_tag::<T>(&self.shared.header)?;
+        let Some(&entry) = self.shared.entries.get(chunk) else {
+            return Err(DecompressError::ChunkOutOfRange {
+                requested: chunk,
+                available: self.shared.entries.len(),
+            });
+        };
+        let cshape = entry_shape(self.shared.header.shape, entry);
+        let mut out = vec![T::zero(); cshape.len()];
+        let mut req = ReadStats { chunks_total: self.shared.entries.len(), ..Default::default() };
+        let take = 0..cshape.len();
+        self.fetch_and_decode(SliceJob { entry, cshape, take, dst: &mut out }, &mut req)?;
+        Ok((entry.start_row, NdArray::from_vec(cshape, out), req))
+    }
+
+    /// Decode the axis-0 row range `rows`, touching only intersecting
+    /// chunks; see [`Self::read_rows_with_stats`] for the per-request
+    /// counters.
+    pub fn read_rows<T: Scalar>(&self, rows: Range<usize>) -> Result<NdArray<T>, DecompressError> {
+        self.read_rows_with_stats(rows).map(|(a, _)| a)
+    }
+
+    /// [`Self::read_rows`], also returning this request's own
+    /// [`ReadStats`] (chunks decoded and blob bytes fetched by this call
+    /// alone — the aggregate view stays available via [`Self::stats`]).
+    pub fn read_rows_with_stats<T: Scalar>(
+        &self,
+        rows: Range<usize>,
+    ) -> Result<(NdArray<T>, ReadStats), DecompressError> {
+        check_scalar_tag::<T>(&self.shared.header)?;
+        let shape = self.shared.header.shape;
+        let d0 = shape.dim(0);
+        if rows.start >= rows.end || rows.end > d0 {
+            return Err(DecompressError::RowsOutOfRange { requested_end: rows.end, rows: d0 });
+        }
+        let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+        let out_rows = rows.end - rows.start;
+        let mut out = vec![T::zero(); out_rows * row_elems];
+        let mut req = ReadStats { chunks_total: self.shared.entries.len(), ..Default::default() };
+        for &entry in &self.shared.entries {
+            let e_start = entry.start_row;
+            let e_end = e_start + entry.rows;
+            if e_end <= rows.start || e_start >= rows.end {
+                continue;
+            }
+            let lo = rows.start.max(e_start);
+            let hi = rows.end.min(e_end);
+            let job = SliceJob {
+                entry,
+                cshape: entry_shape(shape, entry),
+                take: (lo - e_start) * row_elems..(hi - e_start) * row_elems,
+                dst: &mut out[(lo - rows.start) * row_elems..(hi - rows.start) * row_elems],
+            };
+            self.fetch_and_decode(job, &mut req)?;
+        }
+        let mut dims = [0usize; MAX_DIMS];
+        dims[..shape.ndim()].copy_from_slice(shape.dims());
+        dims[0] = out_rows;
+        Ok((NdArray::from_vec(Shape::new(&dims[..shape.ndim()]), out), req))
+    }
+
+    /// Decode the whole field (one request).
+    pub fn read_all<T: Scalar>(&self) -> Result<NdArray<T>, DecompressError> {
+        let shape = self.shared.header.shape;
+        self.read_rows::<T>(0..shape.dim(0))
+            .map(|a| NdArray::from_vec(shape, a.into_vec()))
     }
 }
 

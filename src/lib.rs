@@ -57,7 +57,7 @@ pub mod prelude {
     pub use rq_compress::{
         chunk_count, chunk_table, compress, compress_with_report, decompress, decompress_chunk,
         decompress_with_threads, ArchiveReader, ArchiveWriter, ChunkCodecKind, Chunking,
-        CodecChoice, CompressorConfig,
+        CodecChoice, CompressorConfig, ConcurrentReader,
     };
     pub use rq_core::usecases::{
         compress_with_budget, optimize_partitions, plan_budget, PlanError, PredictorSelector,

@@ -1,0 +1,313 @@
+//! Differential and concurrency tests for the parallel streaming decode
+//! engine.
+//!
+//! The engine's contract is that thread count, read-ahead window and
+//! delivery mode are implementation details: every decode path —
+//! `read_all`, `read_rows`, `decompress_to_writer` on `ArchiveReader`,
+//! and every request on a shared `ConcurrentReader` — must produce
+//! results byte-identical to the single-threaded serial decode, for
+//! every container generation {v1, v2, v2.1, v2.2, v2.3} × codec
+//! {sz, zfp, auto} × thread count {1, 2, 3, 8} × random row ranges.
+//!
+//! The stress test hammers one `ConcurrentReader` from 8 threads with
+//! randomized overlapping `read_rows`/`read_chunk` requests, checks
+//! every result against a precomputed serial decode, and verifies that
+//! the aggregate `ReadStats` equal the sum of the per-request stats.
+
+use rqm::compress_crate::DecompressError;
+use rqm::prelude::*;
+use std::io::Cursor;
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A field whose smooth half favors sz and whose turbulent half pushes
+/// `auto` to zfp, so adaptive archives genuinely mix codecs.
+fn mixed_field(shape: Shape) -> NdArray<f32> {
+    rqm::datagen::fields::mixed_smooth_turbulent(shape, shape.dim(0) / 2, 30.0)
+}
+
+/// Stream `field` through the v2.2/v2.3 writer (planned ⇒ v2.3).
+fn streamed(field: &NdArray<f32>, cfg: &CompressorConfig, plan: Option<Vec<f64>>) -> Vec<u8> {
+    let mut w = match plan {
+        Some(p) => {
+            ArchiveWriter::<f32, Vec<u8>>::create_planned(Vec::new(), field.shape(), cfg, p)
+                .unwrap()
+        }
+        None => ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), field.shape(), cfg).unwrap(),
+    };
+    w.write_slab(field).unwrap();
+    w.finalize().unwrap().sink
+}
+
+/// Every (generation × codec) archive the decode engine must handle,
+/// with its expected header version byte.
+fn archive_matrix(field: &NdArray<f32>) -> Vec<(String, u8, Vec<u8>)> {
+    let base = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
+    let chunked = base.chunked(5);
+    let plan = |n: usize| -> Vec<f64> {
+        (0..n).map(|i| 1e-3 * (1.0 + i as f64)).collect()
+    };
+    let n_chunks = field.shape().dim(0).div_ceil(5);
+    let mut out: Vec<(String, u8, Vec<u8>)> = Vec::new();
+    // v1: the serial single-stream container (sz only by construction).
+    out.push(("v1/sz".into(), 1, compress(field, &base).unwrap().bytes));
+    // v2: inline untagged index (fixed-sz chunked configs).
+    out.push(("v2/sz".into(), 2, compress(field, &chunked).unwrap().bytes));
+    // v2.1: inline tagged index (fixed-zfp and adaptive configs).
+    for codec in [CodecChoice::Zfp, CodecChoice::Auto] {
+        let cfg = chunked.with_codec(codec);
+        out.push((
+            format!("v2.1/{codec:?}").to_lowercase(),
+            3,
+            compress(field, &cfg).unwrap().bytes,
+        ));
+    }
+    // v2.2: streaming trailer index, all three codec choices.
+    for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+        let cfg = chunked.with_codec(codec);
+        out.push((
+            format!("v2.2/{codec:?}").to_lowercase(),
+            4,
+            streamed(field, &cfg, None),
+        ));
+    }
+    // v2.3: per-chunk bounds in the trailer, all three codec choices.
+    for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+        let cfg = chunked.with_codec(codec);
+        out.push((
+            format!("v2.3/{codec:?}").to_lowercase(),
+            5,
+            streamed(field, &cfg, Some(plan(n_chunks))),
+        ));
+    }
+    out
+}
+
+#[test]
+fn parallel_decode_matches_serial_across_generations() {
+    let field = mixed_field(Shape::d3(23, 8, 6));
+    let row_elems = 8 * 6;
+    let mut rng = Rng(0xDEC0_DE01);
+    for (name, version, bytes) in archive_matrix(&field) {
+        assert_eq!(
+            rqm::compress_crate::peek_header(&bytes).unwrap().version,
+            version,
+            "{name}: fixture has the wrong container generation"
+        );
+        // The serial reference: single-threaded streaming read_all.
+        let mut serial = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let reference = serial.read_all::<f32>().unwrap();
+        assert_eq!(
+            reference.as_slice(),
+            decompress::<f32>(&bytes).unwrap().as_slice(),
+            "{name}: serial streaming decode diverges from the slice decoder"
+        );
+        for threads in [1usize, 2, 3, 8] {
+            let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
+                .unwrap()
+                .with_threads(threads);
+            // Whole-field decode.
+            let all = r.read_all::<f32>().unwrap();
+            assert_eq!(
+                all.as_slice(),
+                reference.as_slice(),
+                "{name} threads={threads}: read_all"
+            );
+            // Random row ranges, including chunk-interior and boundary
+            // straddling ones.
+            let d0 = field.shape().dim(0);
+            for _ in 0..12 {
+                let start = rng.below(d0);
+                let end = start + 1 + rng.below(d0 - start);
+                let part = r.read_rows::<f32>(start..end).unwrap();
+                assert_eq!(
+                    part.as_slice(),
+                    &reference.as_slice()[start * row_elems..end * row_elems],
+                    "{name} threads={threads}: read_rows {start}..{end}"
+                );
+            }
+            // Ordered streaming delivery into a writer.
+            let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
+                .unwrap()
+                .with_threads(threads);
+            let mut sink = Vec::new();
+            let values = r.decompress_to_writer::<f32, _>(&mut sink).unwrap();
+            assert_eq!(values as usize, field.len(), "{name} threads={threads}");
+            let expect: Vec<u8> =
+                reference.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+            assert_eq!(sink, expect, "{name} threads={threads}: decompress_to_writer");
+        }
+    }
+}
+
+#[test]
+fn tiny_read_ahead_window_preserves_order() {
+    // The window can never drop below the worker count (window =
+    // threads + read_ahead), so read_ahead=0 on 8 workers is its
+    // tightest configuration: every in-flight chunk has a worker racing
+    // on it and completions arrive maximally out of order. The in-order
+    // delivery guarantee must hold at every window size regardless.
+    let field = mixed_field(Shape::d3(32, 6, 5));
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+        .chunked(2)
+        .with_codec(CodecChoice::Auto);
+    let bytes = streamed(&field, &cfg, None);
+    let mut serial = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+    let reference = serial.read_all::<f32>().unwrap();
+    for read_ahead in [0usize, 1, 5] {
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
+            .unwrap()
+            .with_threads(8)
+            .with_read_ahead(read_ahead);
+        let mut sink = Vec::new();
+        r.decompress_to_writer::<f32, _>(&mut sink).unwrap();
+        let expect: Vec<u8> =
+            reference.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(sink, expect, "read_ahead={read_ahead}");
+        assert_eq!(r.stats().chunks_decoded, 16);
+    }
+}
+
+#[test]
+fn parallel_reader_stats_count_every_chunk_once() {
+    let field = mixed_field(Shape::d2(24, 10));
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(6);
+    let bytes = streamed(&field, &cfg, None);
+    let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap().with_threads(4);
+    assert_eq!(r.stats().chunks_total, 4);
+    r.read_all::<f32>().unwrap();
+    assert_eq!(r.stats().chunks_decoded, 4);
+    // Rows 7..11 live inside chunk 1: exactly one more decode.
+    r.read_rows::<f32>(7..11).unwrap();
+    assert_eq!(r.stats().chunks_decoded, 5);
+}
+
+#[test]
+fn concurrent_reader_stress() {
+    // 8 threads hammer one shared handle with overlapping randomized
+    // requests; every result is checked against the precomputed serial
+    // decode and the aggregate stats must equal the per-request sums.
+    let field = mixed_field(Shape::d3(40, 8, 5));
+    let row_elems = 8 * 5;
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+        .chunked(4)
+        .with_codec(CodecChoice::Auto);
+    let bytes = streamed(&field, &cfg, None);
+    let reference = decompress::<f32>(&bytes).unwrap();
+    let reader = ConcurrentReader::open(Cursor::new(bytes)).unwrap();
+    let n_chunks = reader.n_chunks();
+    let chunk_rows = reader.chunk_rows();
+    let d0 = field.shape().dim(0);
+
+    let per_thread: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let r = reader.clone();
+            let reference = &reference;
+            handles.push(scope.spawn(move || {
+                let mut rng = Rng(0xC0C0 + t);
+                let mut decoded = 0u64;
+                let mut blob_bytes = 0u64;
+                for _ in 0..150 {
+                    if rng.below(2) == 0 {
+                        let start = rng.below(d0);
+                        let end = start + 1 + rng.below(d0 - start);
+                        let (part, stats) =
+                            r.read_rows_with_stats::<f32>(start..end).unwrap();
+                        assert_eq!(
+                            part.as_slice(),
+                            &reference.as_slice()[start * row_elems..end * row_elems],
+                            "thread {t}: rows {start}..{end}"
+                        );
+                        // The request touched exactly the intersecting
+                        // chunks.
+                        let expect_chunks =
+                            (end.div_ceil(chunk_rows) - start / chunk_rows) as u64;
+                        assert_eq!(stats.chunks_decoded, expect_chunks);
+                        decoded += stats.chunks_decoded;
+                        blob_bytes += stats.blob_bytes_read;
+                    } else {
+                        let chunk = rng.below(n_chunks);
+                        let (start_row, slab, stats) = r.read_chunk::<f32>(chunk).unwrap();
+                        assert_eq!(start_row, chunk * chunk_rows);
+                        let lo = start_row * row_elems;
+                        assert_eq!(
+                            slab.as_slice(),
+                            &reference.as_slice()[lo..lo + slab.len()],
+                            "thread {t}: chunk {chunk}"
+                        );
+                        assert_eq!(stats.chunks_decoded, 1);
+                        decoded += 1;
+                        blob_bytes += stats.blob_bytes_read;
+                    }
+                }
+                (decoded, blob_bytes)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let total_decoded: u64 = per_thread.iter().map(|&(d, _)| d).sum();
+    let total_blob: u64 = per_thread.iter().map(|&(_, b)| b).sum();
+    let agg = reader.stats();
+    assert_eq!(agg.chunks_decoded, total_decoded, "aggregate chunk-decode count");
+    assert_eq!(agg.blob_bytes_read, total_blob, "aggregate blob bytes");
+    assert_eq!(agg.chunks_total, n_chunks);
+    assert!(total_decoded > 0);
+}
+
+#[test]
+fn concurrent_reader_handles_all_generations_and_errors() {
+    let field = mixed_field(Shape::d2(20, 12));
+    for (name, _version, bytes) in archive_matrix(&field) {
+        let reference = decompress::<f32>(&bytes).unwrap();
+        let r = ConcurrentReader::open(Cursor::new(bytes)).unwrap();
+        let all = r.read_all::<f32>().unwrap();
+        assert_eq!(all.as_slice(), reference.as_slice(), "{name}: read_all");
+        let part = r.read_rows::<f32>(3..17).unwrap();
+        assert_eq!(part.as_slice(), &reference.as_slice()[3 * 12..17 * 12], "{name}");
+        // Typed errors, matching the session reader.
+        assert!(matches!(
+            r.read_rows::<f32>(0..21),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            r.read_chunk::<f32>(r.n_chunks()),
+            Err(DecompressError::ChunkOutOfRange { .. })
+        ));
+        assert!(matches!(
+            r.read_all::<f64>(),
+            Err(DecompressError::ScalarMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn into_concurrent_carries_layout_and_stats() {
+    let field = mixed_field(Shape::d2(18, 6));
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(6);
+    let bytes = streamed(&field, &cfg, None);
+    let mut r = ArchiveReader::open(Cursor::new(bytes)).unwrap();
+    let reference = r.read_all::<f32>().unwrap();
+    let decoded_before = r.stats().chunks_decoded;
+    let shared = r.into_concurrent();
+    assert_eq!(shared.stats().chunks_decoded, decoded_before);
+    assert_eq!(shared.n_chunks(), 3);
+    let again = shared.read_all::<f32>().unwrap();
+    assert_eq!(again.as_slice(), reference.as_slice());
+    assert_eq!(shared.stats().chunks_decoded, decoded_before + 3);
+}

@@ -359,11 +359,13 @@ fn v2_3_per_chunk_eb_targeted_corruptions() {
 #[test]
 fn archive_reader_never_panics_on_mutations() {
     // The streaming reader (seek/read paths, lazy index) gets the same
-    // hostile inputs as the slice parser.
+    // hostile inputs as the slice parser — at 1 and 4 decode threads,
+    // so corruption surfacing inside a decode worker propagates as a
+    // typed error through the pool, never as a panic, abort, or hang.
     use std::io::Cursor;
     let mut rng = Rng(0x5EED_0023);
     for (_name, bytes) in &valid_archives() {
-        for _case in 0..200 {
+        for case in 0..200 {
             let mut m = bytes.clone();
             let pos = rng.below(m.len());
             m[pos] ^= 1 << rng.below(8);
@@ -372,21 +374,109 @@ fn archive_reader_never_panics_on_mutations() {
                     continue; // same allocation guard as try_decode
                 }
             }
-            if let Ok(mut r) = rqm::compress_crate::ArchiveReader::open(Cursor::new(&m[..])) {
+            let threads = if case % 2 == 0 { 1 } else { 4 };
+            if let Ok(r) = rqm::compress_crate::ArchiveReader::open(Cursor::new(&m[..])) {
+                let mut r = r.with_threads(threads);
                 let _ = r.read_all::<f32>();
                 let _ = r.read_rows::<f32>(0..1);
+                let _ = r.decompress_to_writer::<f32, _>(&mut std::io::sink());
             }
         }
-        for _case in 0..100 {
+        for case in 0..100 {
             let cut = rng.below(bytes.len());
-            if let Ok(mut r) =
-                rqm::compress_crate::ArchiveReader::open(Cursor::new(&bytes[..cut]))
+            let threads = if case % 2 == 0 { 1 } else { 4 };
+            if let Ok(r) = rqm::compress_crate::ArchiveReader::open(Cursor::new(&bytes[..cut]))
             {
+                let mut r = r.with_threads(threads);
                 assert!(
                     r.read_all::<f32>().is_err(),
-                    "truncation to {cut} bytes read_all Ok"
+                    "truncation to {cut} bytes read_all Ok at {threads} threads"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn parallel_decode_corruptions_error_at_every_thread_count() {
+    // The targeted v2.2/v2.3 corruptions — truncated trailer, index
+    // extents overrunning the blob region, poisoned per-chunk bounds —
+    // through the multi-threaded streaming decode paths. Every case must
+    // produce a typed `DecompressError` at 1 and 4 threads: no panic, no
+    // abort, no hang, and identical accept/reject decisions across
+    // thread counts.
+    use std::io::Cursor;
+    let try_streaming = |bytes: &[u8], threads: usize| -> Result<(), String> {
+        let r = rqm::compress_crate::ArchiveReader::open(Cursor::new(bytes))
+            .map_err(|e| e.to_string())?;
+        let mut r = r.with_threads(threads);
+        r.decompress_to_writer::<f32, _>(&mut std::io::sink())
+            .map(|_| ())
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    };
+
+    for (name, bytes) in [
+        ("v2.2", streamed_v22(&mixed_field())),
+        ("v2.3", planned_v23(&mixed_field())),
+    ] {
+        let n = bytes.len();
+        let tlen = u64::from_le_bytes(bytes[n - 12..n - 4].try_into().unwrap()) as usize;
+        let tstart = n - 12 - tlen;
+        let mut cases: Vec<(String, Vec<u8>)> = Vec::new();
+        // Trailer truncations.
+        for cut in [1usize, 5, 12, 13, tlen + 12] {
+            cases.push((format!("{name} truncated by {cut}"), bytes[..n - cut].to_vec()));
+        }
+        // Trailer length pointing outside the archive.
+        for evil_len in [u64::MAX, n as u64, 0] {
+            let mut m = bytes.clone();
+            m[n - 12..n - 4].copy_from_slice(&evil_len.to_le_bytes());
+            cases.push((format!("{name} trailer_len={evil_len}"), m));
+        }
+        // Blob region shrunk under the index (extents overrun).
+        let mut m = Vec::with_capacity(n - 1);
+        m.extend_from_slice(&bytes[..tstart - 1]);
+        m.extend_from_slice(&bytes[tstart..]);
+        cases.push((format!("{name} blob region shrunk"), m));
+        if name == "v2.3" {
+            // Poisoned per-chunk bound (NaN bit pattern in the index).
+            let pat = V23_FUZZ_PLAN[1].to_le_bytes();
+            let at = bytes[tstart..n - 12]
+                .windows(8)
+                .position(|w| w == pat)
+                .expect("plan bound in trailer")
+                + tstart;
+            let mut m = bytes.clone();
+            m[at..at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+            cases.push((format!("{name} NaN per-chunk eb"), m));
+        }
+        for (case, mutated) in cases {
+            for threads in [1usize, 4] {
+                assert!(
+                    try_streaming(&mutated, threads).is_err(),
+                    "{case}: decoded Ok at {threads} threads"
+                );
+            }
+        }
+        // Payload corruption deep inside a blob: surfaces from a decode
+        // *worker* (not the index parse) and must come back as an error
+        // or a consistent decode, identically at 1 and 4 threads.
+        let mut rng = Rng(0x5EED_0024);
+        for _ in 0..60 {
+            let mut m = bytes.clone();
+            let blob_zone = tstart.saturating_sub(40).max(40);
+            let pos = 40 + rng.below(blob_zone - 40);
+            for b in &mut m[pos..(pos + 4).min(tstart)] {
+                *b = rng.next() as u8;
+            }
+            let serial = try_streaming(&m, 1);
+            let parallel = try_streaming(&m, 4);
+            assert_eq!(
+                serial.is_ok(),
+                parallel.is_ok(),
+                "{name} at byte {pos}: accept/reject differs across thread counts"
+            );
         }
     }
 }
