@@ -10,6 +10,10 @@
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
 //!                [--predictor …]           # model-only, no compression
 //! rqm info       <in.rqc> [--json]
+//! rqm serve      <in.rqc> --addr HOST:PORT [--cache-bytes N] [--threads N]
+//!                [--metrics-every SECS]
+//! rqm read       --addr HOST:PORT [--rows A..B | --chunk I] [--out FILE]
+//!                [--stats]
 //! ```
 //!
 //! **Quality-targeted compression** (`--target-psnr` / `--target-size`,
@@ -51,6 +55,15 @@
 //! `rqm info --json` emits the header and the per-chunk table
 //! (offset/bytes/codec/ratio per chunk) as machine-readable JSON.
 //!
+//! `rqm serve` exposes an archive to remote readers over the
+//! `docs/PROTOCOL.md` TCP protocol: thread-per-connection, with a
+//! `--cache-bytes`-budgeted LRU of decoded chunks and single-flight
+//! coalescing so a hot chunk is decoded once no matter how many clients
+//! ask for it (`--threads` caps concurrent connections;
+//! `--metrics-every` logs a stats line). `rqm read` is the matching
+//! client: fetch a row range or a single chunk into a raw
+//! little-endian file, and `--stats` prints the server's counters.
+//!
 //! Raw inputs are little-endian `f32` streams in row-major order.
 
 mod args;
@@ -64,6 +77,7 @@ use rq_compress::{
 use rq_core::RqModel;
 use rq_grid::{NdArray, Shape, MAX_DIMS};
 use rq_quant::ErrorBoundMode;
+use rq_serve::{Client, ServeConfig, Server};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::process::ExitCode;
 
@@ -88,7 +102,11 @@ usage:
                  [--threads N] [--chunk-size ROWS]
   rqm decompress <in.rqc> <out.f32> [--threads N]
   rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
-  rqm info       <in.rqc> [--json]";
+  rqm info       <in.rqc> [--json]
+  rqm serve      <in.rqc> --addr HOST:PORT [--cache-bytes N] [--threads N]
+                 [--metrics-every SECS]
+  rqm read       --addr HOST:PORT [--rows A..B | --chunk I] [--out FILE]
+                 [--stats]";
 
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -98,6 +116,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "decompress" => cmd_decompress(&args),
         "estimate" => cmd_estimate(&args),
         "info" => cmd_info(&args),
+        "serve" => cmd_serve(&args),
+        "read" => cmd_read(&args),
         "" => Err("no command given".into()),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -899,6 +919,128 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let [_, input] = positional::<2>(args)?;
+    let addr = args.get("addr").ok_or("serve requires --addr HOST:PORT")?.to_string();
+    let cache_bytes = args.unsigned("cache-bytes")?.unwrap_or(256 << 20) as u64;
+    let max_connections = args.unsigned("threads")?.unwrap_or(0);
+    let metrics_every = args
+        .float("metrics-every")?
+        .map(std::time::Duration::from_secs_f64);
+    let cfg = ServeConfig { cache_bytes, metrics_every, max_connections };
+    let server = Server::bind_path(&addr, std::path::Path::new(&input), cfg)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let conns = if max_connections == 0 {
+        "unlimited connections".to_string()
+    } else {
+        format!("up to {max_connections} connections")
+    };
+    println!(
+        "serving {input} on {} ({} MiB chunk cache, {conns})",
+        server.local_addr(),
+        cache_bytes >> 20,
+    );
+    // Daemon mode: serve until the process is killed. The handler
+    // threads do all the work; this thread only keeps `server` alive.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_read(args: &Args) -> Result<(), String> {
+    let [_] = positional::<1>(args)?;
+    let addr = args.get("addr").ok_or("read requires --addr HOST:PORT")?.to_string();
+    let rows = args.get("rows").map(parse_row_range).transpose()?;
+    let chunk = args.unsigned("chunk")?;
+    if rows.is_some() && chunk.is_some() {
+        return Err("--rows and --chunk are mutually exclusive".into());
+    }
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let info = client.info().clone();
+    // The server holds either f32 or f64; fetch with the matching type
+    // and write raw little-endian scalars either way.
+    let fetched: Result<(usize, usize, Vec<u8>), String> = match info.scalar_tag {
+        0x04 => fetch_scalars::<f32>(&mut client, &info, &rows, chunk),
+        0x08 => fetch_scalars::<f64>(&mut client, &info, &rows, chunk),
+        t => Err(format!("archive holds unsupported scalar tag {t:#04x}")),
+    };
+    let (start, nrows, raw) = fetched?;
+    if let Some(out) = args.get("out") {
+        io::write_bytes(out, &raw)?;
+        println!(
+            "{addr} rows {start}..{}: {} bytes -> {out} (shape {:?}, {} chunks)",
+            start + nrows,
+            raw.len(),
+            info.dims,
+            info.n_chunks
+        );
+    } else {
+        println!(
+            "{addr} rows {start}..{}: {} bytes (shape {:?}, {} chunks of {} rows)",
+            start + nrows,
+            raw.len(),
+            info.dims,
+            info.n_chunks,
+            info.chunk_rows
+        );
+    }
+    if args.flag("stats") {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        let lookups = s.cache.hits + s.cache.misses;
+        let hit_pct =
+            if lookups == 0 { 0.0 } else { 100.0 * s.cache.hits as f64 / lookups as f64 };
+        println!(
+            "server: {} requests, {} errors, {} connections, {} bytes out",
+            s.requests, s.errors, s.connections, s.bytes_out
+        );
+        println!(
+            "cache:  {:.1}% hit ({} hits / {} misses), {} coalesced, {} evicted, {} bytes resident (peak {}), {} chunks decoded",
+            hit_pct,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.coalesced_waits,
+            s.cache.evictions,
+            s.cache.bytes_cached,
+            s.cache.bytes_peak,
+            s.chunks_decoded
+        );
+    }
+    Ok(())
+}
+
+/// Fetch the requested rows/chunk as raw little-endian bytes; returns
+/// `(first_row, row_count, bytes)`.
+fn fetch_scalars<T: rq_grid::Scalar>(
+    client: &mut Client,
+    info: &rq_serve::ArchiveInfo,
+    rows: &Option<(usize, usize)>,
+    chunk: Option<usize>,
+) -> Result<(usize, usize, Vec<u8>), String> {
+    let (start, slab) = if let Some(idx) = chunk {
+        client.read_chunk::<T>(idx).map_err(|e| e.to_string())?
+    } else {
+        let (start, end) = rows.unwrap_or((0, info.rows()));
+        (start, client.read_rows::<T>(start..end).map_err(|e| e.to_string())?)
+    };
+    let vals = slab.as_slice();
+    let mut raw = Vec::with_capacity(vals.len() * T::BYTES);
+    for &v in vals {
+        v.write_le(&mut raw);
+    }
+    Ok((start, slab.shape().dim(0), raw))
+}
+
+/// Parse `A..B` into `(A, B)`.
+fn parse_row_range(s: &str) -> Result<(usize, usize), String> {
+    let (a, b) = s.split_once("..").ok_or_else(|| format!("--rows wants A..B, got '{s}'"))?;
+    let a: usize = a.parse().map_err(|_| format!("bad row '{a}'"))?;
+    let b: usize = b.parse().map_err(|_| format!("bad row '{b}'"))?;
+    if a >= b {
+        return Err(format!("--rows range {a}..{b} is empty"));
+    }
+    Ok((a, b))
+}
+
 /// Exactly `N` positional arguments (including the command) or an error.
 fn positional<const N: usize>(args: &Args) -> Result<[String; N], String> {
     if args.positional.len() != N {
@@ -1320,5 +1462,56 @@ mod tests {
             "conflicting bounds"
         );
         assert!(run_args(&["decompress", "/nonexistent/x", "/tmp/y"]).is_err());
+        assert!(run_args(&["serve", "/nonexistent/x", "--addr", "127.0.0.1:0"]).is_err());
+        assert!(run_args(&["read"]).is_err(), "read requires --addr");
+        assert!(
+            run_args(&["read", "--addr", "x", "--rows", "5..3"]).is_err(),
+            "empty row range"
+        );
+    }
+
+    #[test]
+    fn read_fetches_rows_from_a_served_archive() {
+        let raw = tmp("srv.f32");
+        let rqc = tmp("srv.rqc");
+        let fetched = tmp("srv.rows.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+            "--chunk-size",
+            "6",
+        ])
+        .unwrap();
+        // `cmd_serve` blocks forever by design; drive `rqm read` against
+        // a server owned by the test instead.
+        let server =
+            Server::bind_path("127.0.0.1:0", &rqc, ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        run_args(&[
+            "read",
+            "--addr",
+            &addr,
+            "--rows",
+            "3..17",
+            "--out",
+            fetched.to_str().unwrap(),
+            "--stats",
+        ])
+        .unwrap();
+        let got = io::read_raw_f32(fetched.to_str().unwrap(), Shape::d2(14, 30)).unwrap();
+        for (a, b) in got.as_slice().iter().zip(&f.as_slice()[3 * 30..17 * 30]) {
+            assert!((a - b).abs() <= 1e-3 * 1.0001);
+        }
+        // Whole-field fetch (no --rows/--chunk) and single-chunk fetch.
+        run_args(&["read", "--addr", &addr, "--chunk", "1"]).unwrap();
+        run_args(&["read", "--addr", &addr]).unwrap();
+        assert!(run_args(&["read", "--addr", &addr, "--rows", "0..99"]).is_err());
+        server.shutdown();
     }
 }

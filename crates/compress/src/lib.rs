@@ -45,4 +45,7 @@ pub use container::{
 pub use pipeline::{compress, compress_with_report, decompress};
 pub use report::{CompressedOutput, CompressionReport};
 pub use scheduler::{choose_codec, CodecDecision};
-pub use stream::{ArchiveReader, ArchiveWriter, ConcurrentReader, FinishedArchive, ReadStats};
+pub use stream::{
+    assemble_rows, ArchiveReader, ArchiveWriter, ChunkSource, ConcurrentReader, FinishedArchive,
+    ReadStats,
+};

@@ -576,12 +576,25 @@ impl<R: Read + Seek> ArchiveReader<R> {
     /// `1` = decode serially on the calling thread). Chunk extents are
     /// always read sequentially; only decoding is parallel, so decoded
     /// output is byte-identical at every thread count.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = if threads == 0 {
-            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
-        } else {
-            threads
-        };
+    ///
+    /// The pool is clamped to `available_parallelism`: on a machine with
+    /// fewer cores than `threads`, extra workers only add dispatch and
+    /// context-switch overhead (measurably *slower* than serial decode on
+    /// a 1-CPU host) without any more decode bandwidth to use. Pass the
+    /// count through [`Self::with_threads_exact`] to oversubscribe
+    /// deliberately.
+    pub fn with_threads(self, threads: usize) -> Self {
+        let cpus = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        self.with_threads_exact(if threads == 0 { cpus } else { threads.min(cpus) })
+    }
+
+    /// [`Self::with_threads`] without the `available_parallelism` clamp:
+    /// exactly `threads` workers (`0` is treated as `1`), even beyond the
+    /// core count. Decoded bytes are identical either way; this exists so
+    /// tests and benchmarks can exercise the pool's reorder/backpressure
+    /// machinery on machines with few cores.
+    pub fn with_threads_exact(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -1170,6 +1183,20 @@ impl<R: Read + Seek> ConcurrentReader<R> {
         }
     }
 
+    /// The **fetch** stage alone: one chunk's compressed bytes, read
+    /// under the source lock. Decoding always happens outside the lock,
+    /// so concurrent readers overlap on everything but the seek+read.
+    fn fetch_blob(&self, entry: ChunkEntry) -> Result<Vec<u8>, DecompressError> {
+        let mut src = self.shared.src.lock().unwrap_or_else(|p| p.into_inner());
+        read_span(&mut *src, entry.offset as u64, entry.len)
+    }
+
+    /// Bump the aggregate counters for one decoded chunk.
+    fn count_decoded(&self, entry: ChunkEntry) {
+        self.shared.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+        self.shared.blob_bytes_read.fetch_add(entry.len as u64, Ordering::Relaxed);
+    }
+
     /// Fetch one chunk's compressed bytes under the source lock, decode
     /// its job outside the lock (full chunk or boundary crop, via the
     /// same [`decode_slice_job`] the parallel engine uses), and update
@@ -1180,15 +1207,11 @@ impl<R: Read + Seek> ConcurrentReader<R> {
         req: &mut ReadStats,
     ) -> Result<(), DecompressError> {
         let entry = job.entry;
-        let blob = {
-            let mut src = self.shared.src.lock().unwrap_or_else(|p| p.into_inner());
-            read_span(&mut *src, entry.offset as u64, entry.len)?
-        };
+        let blob = self.fetch_blob(entry)?;
         decode_slice_job(&self.shared.header, &blob, job)?;
         req.chunks_decoded += 1;
         req.blob_bytes_read += entry.len as u64;
-        self.shared.chunks_decoded.fetch_add(1, Ordering::Relaxed);
-        self.shared.blob_bytes_read.fetch_add(entry.len as u64, Ordering::Relaxed);
+        self.count_decoded(entry);
         Ok(())
     }
 
@@ -1265,6 +1288,113 @@ impl<R: Read + Seek> ConcurrentReader<R> {
         self.read_rows::<T>(0..shape.dim(0))
             .map(|a| NdArray::from_vec(shape, a.into_vec()))
     }
+}
+
+// ---------------------------------------------------------------------------
+// ChunkSource: the separable fetch+decode stage
+// ---------------------------------------------------------------------------
+
+/// A source of whole decoded chunks of one archive — the **fetch +
+/// decode** stages of serving a read, separated from **delivery** so
+/// middleware can slot between them. A decoded-chunk cache wraps a
+/// `ChunkSource`, is itself one, and everything downstream (row assembly,
+/// a network daemon) is oblivious to whether a chunk came from the codec
+/// or from the cache; see the `rq-serve` crate.
+///
+/// [`ConcurrentReader`] is the canonical implementation: fetch takes the
+/// source lock, decode runs unlocked, and every fetched chunk counts in
+/// the aggregate [`ReadStats`]. [`assemble_rows`] is the matching
+/// delivery stage.
+///
+/// Unlike [`ConcurrentReader::read_rows`] — which decodes boundary chunks
+/// straight into a cropped output slice — a `ChunkSource` always
+/// materializes whole chunks, because whole chunks are the unit a cache
+/// can share between overlapping requests. The [`Arc`] return lets a
+/// caching layer hand the same decoded slab to many concurrent readers
+/// without copying it per request.
+pub trait ChunkSource<T: Scalar>: Send + Sync {
+    /// The archive's parsed header.
+    fn header(&self) -> &Header;
+
+    /// Nominal axis-0 rows per chunk (the last chunk may hold fewer).
+    fn chunk_rows(&self) -> usize;
+
+    /// The located chunk entries, in slab order.
+    fn entries(&self) -> &[ChunkEntry];
+
+    /// Chunk `idx`, fully decoded, in shared ownership.
+    fn fetch_chunk(&self, idx: usize) -> Result<Arc<[T]>, DecompressError>;
+}
+
+impl<T: Scalar, R: Read + Seek + Send> ChunkSource<T> for ConcurrentReader<R> {
+    fn header(&self) -> &Header {
+        &self.shared.header
+    }
+
+    fn chunk_rows(&self) -> usize {
+        self.shared.chunk_rows
+    }
+
+    fn entries(&self) -> &[ChunkEntry] {
+        &self.shared.entries
+    }
+
+    fn fetch_chunk(&self, idx: usize) -> Result<Arc<[T]>, DecompressError> {
+        check_scalar_tag::<T>(&self.shared.header)?;
+        let Some(&entry) = self.shared.entries.get(idx) else {
+            return Err(DecompressError::ChunkOutOfRange {
+                requested: idx,
+                available: self.shared.entries.len(),
+            });
+        };
+        let cshape = entry_shape(self.shared.header.shape, entry);
+        let blob = self.fetch_blob(entry)?;
+        let mut out = vec![T::zero(); cshape.len()];
+        decode_entry_blob(&blob, &self.shared.header, entry, cshape, &mut out)?;
+        self.count_decoded(entry);
+        Ok(out.into())
+    }
+}
+
+/// The **delivery** stage over any [`ChunkSource`]: decode the axis-0 row
+/// range `rows` by fetching every intersecting chunk whole — through
+/// whatever caching or request coalescing the source provides — and
+/// copying the requested rows out.
+///
+/// Returns an array of shape `[rows.len(), dims[1..]]` whose elements
+/// equal the corresponding rows of a full decompression exactly, as
+/// [`ConcurrentReader::read_rows`] does; the two differ only in that this
+/// path materializes whole chunks (the cacheable unit) where `read_rows`
+/// crops boundary chunks during decode.
+pub fn assemble_rows<T: Scalar, S: ChunkSource<T> + ?Sized>(
+    src: &S,
+    rows: Range<usize>,
+) -> Result<NdArray<T>, DecompressError> {
+    check_scalar_tag::<T>(src.header())?;
+    let shape = src.header().shape;
+    let d0 = shape.dim(0);
+    if rows.start >= rows.end || rows.end > d0 {
+        return Err(DecompressError::RowsOutOfRange { requested_end: rows.end, rows: d0 });
+    }
+    let row_elems: usize = shape.dims()[1..].iter().product::<usize>().max(1);
+    let out_rows = rows.end - rows.start;
+    let mut out = vec![T::zero(); out_rows * row_elems];
+    for (idx, &entry) in src.entries().iter().enumerate() {
+        let e_start = entry.start_row;
+        let e_end = e_start + entry.rows;
+        if e_end <= rows.start || e_start >= rows.end {
+            continue;
+        }
+        let lo = rows.start.max(e_start);
+        let hi = rows.end.min(e_end);
+        let chunk = src.fetch_chunk(idx)?;
+        out[(lo - rows.start) * row_elems..(hi - rows.start) * row_elems]
+            .copy_from_slice(&chunk[(lo - e_start) * row_elems..(hi - e_start) * row_elems]);
+    }
+    let mut dims = [0usize; MAX_DIMS];
+    dims[..shape.ndim()].copy_from_slice(shape.dims());
+    dims[0] = out_rows;
+    Ok(NdArray::from_vec(Shape::new(&dims[..shape.ndim()]), out))
 }
 
 #[cfg(test)]
@@ -1650,6 +1780,60 @@ mod tests {
         };
         assert!(kinds(&tight).iter().all(|&k| k == ChunkCodecKind::Zfp), "{:?}", kinds(&tight));
         assert!(kinds(&loose).iter().all(|&k| k == ChunkCodecKind::Sz), "{:?}", kinds(&loose));
+    }
+
+    #[test]
+    fn chunk_source_matches_read_paths() {
+        // The trait view of a ConcurrentReader must deliver the same
+        // bytes as its direct read paths, count decodes in the aggregate
+        // stats, and type out-of-range / scalar errors.
+        let field = wavy(Shape::d2(30, 12));
+        let bytes = stream_archive(&field, &cfg(), 30); // chunks of 6 rows
+        let full = decompress::<f32>(&bytes).unwrap();
+        let reader = ConcurrentReader::open(Cursor::new(bytes)).unwrap();
+        let src: &dyn ChunkSource<f32> = &reader;
+        assert_eq!(src.entries().len(), 5);
+        assert_eq!(src.chunk_rows(), 6);
+        let chunk = src.fetch_chunk(2).unwrap();
+        assert_eq!(&chunk[..], &full.as_slice()[12 * 12..18 * 12]);
+        assert_eq!(reader.stats().chunks_decoded, 1);
+        assert!(matches!(
+            src.fetch_chunk(5),
+            Err(DecompressError::ChunkOutOfRange { requested: 5, available: 5 })
+        ));
+        // Delivery over the trait == the reader's own read_rows, for
+        // interior, boundary-straddling and full-field ranges.
+        for range in [7..11, 3..25, 0..30] {
+            let a = assemble_rows(src, range.clone()).unwrap();
+            let b = reader.read_rows::<f32>(range).unwrap();
+            assert_eq!(a.shape().dims(), b.shape().dims());
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert!(matches!(
+            assemble_rows::<f32, _>(src, 0..31),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            assemble_rows::<f32, _>(src, 4..4),
+            Err(DecompressError::RowsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            assemble_rows::<f64, _>(&reader, 0..4),
+            Err(DecompressError::ScalarMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn with_threads_clamps_to_cores_and_exact_does_not() {
+        let field = wavy(Shape::d2(12, 6));
+        let bytes = stream_archive(&field, &cfg(), 12);
+        let cpus = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        let r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap().with_threads(cpus + 7);
+        assert_eq!(r.threads(), cpus, "with_threads must clamp to the core count");
+        let r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap().with_threads_exact(cpus + 7);
+        assert_eq!(r.threads(), cpus + 7, "with_threads_exact must not clamp");
+        let r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap().with_threads(0);
+        assert_eq!(r.threads(), cpus, "0 = one per core");
     }
 
     #[test]

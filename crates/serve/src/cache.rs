@@ -1,0 +1,261 @@
+//! Byte-budgeted LRU cache of decoded chunks with single-flight
+//! coalescing, layered between the server and a [`ChunkSource`].
+//!
+//! [`ChunkCache`] itself implements [`ChunkSource`], so delivery code
+//! (`assemble_rows`, the request handlers) is oblivious to whether a
+//! chunk came from the cache or was decoded on demand. Two properties
+//! are load-bearing for the server:
+//!
+//! - **Budget**: the sum of cached chunk payload bytes never exceeds
+//!   `cache_bytes`. A chunk larger than the whole budget is served but
+//!   never cached; a budget of zero degrades to pass-through (every
+//!   read decodes) while still coalescing concurrent requests.
+//! - **Single flight**: when N threads miss on the same chunk
+//!   concurrently, exactly one performs the blob fetch + decode; the
+//!   rest block on the flight and share the resulting `Arc<[T]>`. If
+//!   the leader fails, it takes the error and the waiters retry (one
+//!   of them becoming the new leader), so errors are never cached.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use rq_compress::{ChunkEntry, ChunkSource, DecompressError, Header};
+use rq_grid::Scalar;
+
+/// Snapshot of cache counters (all monotonic except `bytes_cached`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the cache without touching the source.
+    pub hits: u64,
+    /// Reads that led this thread to decode (leader decodes).
+    pub misses: u64,
+    /// Reads that blocked on another thread's in-flight decode and
+    /// shared its result.
+    pub coalesced_waits: u64,
+    /// Chunks evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Payload bytes currently held by the cache.
+    pub bytes_cached: u64,
+    /// High-water mark of `bytes_cached`.
+    pub bytes_peak: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced_waits: AtomicU64,
+    evictions: AtomicU64,
+    bytes_cached: AtomicU64,
+    bytes_peak: AtomicU64,
+}
+
+/// Result slot of one in-flight decode.
+enum FlightState<T> {
+    Pending,
+    Done(Arc<[T]>),
+    /// The leader failed; waiters must retry for themselves.
+    Failed,
+}
+
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+/// LRU bookkeeping: `map` holds the payload plus its recency stamp;
+/// `order` maps stamp → chunk index so the least-recently-used entry is
+/// always `order`'s first key. Stamps are unique (monotonic counter).
+struct Lru<T> {
+    map: HashMap<usize, (Arc<[T]>, u64)>,
+    order: BTreeMap<u64, usize>,
+    next_stamp: u64,
+    bytes: u64,
+}
+
+impl<T> Lru<T> {
+    fn new() -> Self {
+        Lru { map: HashMap::new(), order: BTreeMap::new(), next_stamp: 0, bytes: 0 }
+    }
+}
+
+/// A decoded-chunk cache wrapping any [`ChunkSource`]. See the module
+/// docs for the budget and single-flight contracts.
+pub struct ChunkCache<T: Scalar, S> {
+    inner: S,
+    budget: u64,
+    lru: Mutex<Lru<T>>,
+    flights: Mutex<HashMap<usize, Arc<Flight<T>>>>,
+    stats: Counters,
+}
+
+impl<T: Scalar, S: ChunkSource<T>> ChunkCache<T, S> {
+    /// Wrap `inner` with a cache holding at most `budget` payload bytes
+    /// of decoded chunks. `budget == 0` means cache nothing (but still
+    /// coalesce concurrent decodes of the same chunk).
+    pub fn new(inner: S, budget: u64) -> Self {
+        ChunkCache {
+            inner,
+            budget,
+            lru: Mutex::new(Lru::new()),
+            flights: Mutex::new(HashMap::new()),
+            stats: Counters::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Counter snapshot. `bytes_cached` is exact at the moment of the
+    /// call; the monotonic counters are individually consistent.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            coalesced_waits: self.stats.coalesced_waits.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            bytes_cached: self.stats.bytes_cached.load(Ordering::Relaxed),
+            bytes_peak: self.stats.bytes_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Look `idx` up in the cache, refreshing its recency on a hit.
+    fn lookup(&self, idx: usize) -> Option<Arc<[T]>> {
+        let mut lru = self.lru.lock().unwrap_or_else(|p| p.into_inner());
+        let lru = &mut *lru;
+        let (payload, stamp) = lru.map.get_mut(&idx)?;
+        lru.order.remove(stamp);
+        *stamp = lru.next_stamp;
+        lru.order.insert(lru.next_stamp, idx);
+        lru.next_stamp += 1;
+        Some(Arc::clone(payload))
+    }
+
+    /// Insert a freshly decoded chunk, evicting least-recently-used
+    /// entries until the budget holds. Chunks that alone exceed the
+    /// budget are not cached at all.
+    fn insert(&self, idx: usize, payload: &Arc<[T]>) {
+        let size = (payload.len() * T::BYTES) as u64;
+        if size > self.budget {
+            return;
+        }
+        let mut lru = self.lru.lock().unwrap_or_else(|p| p.into_inner());
+        let lru = &mut *lru;
+        if lru.map.contains_key(&idx) {
+            return;
+        }
+        while lru.bytes + size > self.budget {
+            let Some((&stamp, &victim)) = lru.order.iter().next() else { break };
+            lru.order.remove(&stamp);
+            let (gone, _) = lru.map.remove(&victim).expect("order/map out of sync");
+            lru.bytes -= (gone.len() * T::BYTES) as u64;
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        lru.map.insert(idx, (Arc::clone(payload), lru.next_stamp));
+        lru.order.insert(lru.next_stamp, idx);
+        lru.next_stamp += 1;
+        lru.bytes += size;
+        self.stats.bytes_cached.store(lru.bytes, Ordering::Relaxed);
+        self.stats.bytes_peak.fetch_max(lru.bytes, Ordering::Relaxed);
+    }
+
+    /// The miss path: join an existing flight for `idx` or lead a new
+    /// one. Returns `Ok(None)` when the joined leader failed (caller
+    /// retries), `Ok(Some(..))` with the shared payload, or the error
+    /// from our own decode when we led and failed.
+    fn miss(&self, idx: usize) -> Result<Option<Arc<[T]>>, DecompressError> {
+        let flight = {
+            let mut flights = self.flights.lock().unwrap_or_else(|p| p.into_inner());
+            // Re-check the cache under the flights lock: a leader
+            // publishes to the cache *before* retiring its flight, so
+            // missing here and finding no flight can only mean the
+            // chunk truly needs a fresh decode.
+            if let Some(hit) = self.lookup(idx) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(hit));
+            }
+            if let Some(existing) = flights.get(&idx) {
+                Arc::clone(existing) // waiter
+            } else {
+                let flight = Arc::new(Flight {
+                    state: Mutex::new(FlightState::Pending),
+                    cv: Condvar::new(),
+                });
+                flights.insert(idx, Arc::clone(&flight));
+                drop(flights);
+                return self.lead(idx, flight).map(Some); // leader
+            }
+        };
+        let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = flight.cv.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+                FlightState::Done(payload) => {
+                    self.stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(Arc::clone(payload)));
+                }
+                FlightState::Failed => return Ok(None),
+            }
+        }
+    }
+
+    /// Run the decode as the flight leader and publish the outcome.
+    fn lead(&self, idx: usize, flight: Arc<Flight<T>>) -> Result<Arc<[T]>, DecompressError> {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.inner.fetch_chunk(idx);
+        if let Ok(payload) = &outcome {
+            self.insert(idx, payload);
+        }
+        // Publish after the cache insert (see the re-check in `miss`),
+        // then retire the flight so later misses start a new one.
+        {
+            let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+            *state = match &outcome {
+                Ok(payload) => FlightState::Done(Arc::clone(payload)),
+                Err(_) => FlightState::Failed,
+            };
+        }
+        flight.cv.notify_all();
+        let mut flights = self.flights.lock().unwrap_or_else(|p| p.into_inner());
+        flights.remove(&idx);
+        outcome
+    }
+}
+
+impl<T: Scalar, S: ChunkSource<T>> ChunkSource<T> for ChunkCache<T, S> {
+    fn header(&self) -> &Header {
+        self.inner.header()
+    }
+
+    fn chunk_rows(&self) -> usize {
+        self.inner.chunk_rows()
+    }
+
+    fn entries(&self) -> &[ChunkEntry] {
+        self.inner.entries()
+    }
+
+    fn fetch_chunk(&self, idx: usize) -> Result<Arc<[T]>, DecompressError> {
+        loop {
+            if let Some(hit) = self.lookup(idx) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            if let Some(payload) = self.miss(idx)? {
+                return Ok(payload);
+            }
+            // Joined a flight whose leader failed: retry, possibly
+            // becoming the new leader and surfacing our own error.
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Blocking client for the `rqm serve` protocol.
+//!
+//! One [`Client`] owns one connection and issues one request at a time
+//! (the protocol itself is strictly request/response per connection —
+//! concurrency comes from opening more connections, which the
+//! thread-per-connection server is built for).
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
+
+use rq_grid::{NdArray, Scalar, Shape};
+
+use crate::protocol::{
+    encode_request, read_frame, write_frame, ErrorCode, Frame, Request, Take, MAX_RESPONSE_BODY,
+};
+use crate::server::ServeStats;
+
+/// Archive metadata as reported by the `INFO` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchiveInfo {
+    /// Container format version byte.
+    pub container_version: u8,
+    /// Scalar tag of the stored field (`0x04` = f32, `0x08` = f64).
+    pub scalar_tag: u8,
+    /// Field shape.
+    pub dims: Vec<usize>,
+    /// Nominal axis-0 rows per chunk.
+    pub chunk_rows: usize,
+    /// Number of independently-decodable chunks.
+    pub n_chunks: usize,
+    /// Absolute error bound the archive was compressed with.
+    pub abs_eb: f64,
+}
+
+impl ArchiveInfo {
+    /// Elements per axis-0 row.
+    pub fn row_elems(&self) -> usize {
+        self.dims[1..].iter().product::<usize>().max(1)
+    }
+
+    /// Axis-0 extent.
+    pub fn rows(&self) -> usize {
+        self.dims.first().copied().unwrap_or(0)
+    }
+
+    fn parse(payload: &[u8]) -> Result<ArchiveInfo, ClientError> {
+        fn go(payload: &[u8]) -> Result<ArchiveInfo, crate::protocol::WireError> {
+            let mut t = Take(payload);
+            let container_version = t.u8()?;
+            let scalar_tag = t.u8()?;
+            let ndim = t.u8()? as usize;
+            let mut dims = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                dims.push(t.u64()? as usize);
+            }
+            let chunk_rows = t.u64()? as usize;
+            let n_chunks = t.u64()? as usize;
+            let abs_eb = t.f64()?;
+            t.finish()?;
+            Ok(ArchiveInfo { container_version, scalar_tag, dims, chunk_rows, n_chunks, abs_eb })
+        }
+        go(payload).map_err(|_| ClientError::protocol("bad INFO payload"))
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(std::io::Error),
+    /// The server replied with a typed error.
+    Server {
+        /// The typed error code from the status byte.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server's reply violated the protocol (bad id echo, short
+    /// payload, scalar mismatch, unknown status byte).
+    Protocol(String),
+}
+
+impl ClientError {
+    fn protocol(msg: impl Into<String>) -> ClientError {
+        ClientError::Protocol(msg.into())
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{}]: {message}", code.name())
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client. See the module docs for the one-request
+/// -at-a-time model.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    info: ArchiveInfo,
+}
+
+impl Client {
+    /// Connect and fetch the archive's [`ArchiveInfo`] (one `INFO`
+    /// round trip, so a successful connect proves the server speaks the
+    /// protocol).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer,
+            next_id: 1,
+            info: ArchiveInfo {
+                container_version: 0,
+                scalar_tag: 0,
+                dims: Vec::new(),
+                chunk_rows: 0,
+                n_chunks: 0,
+                abs_eb: 0.0,
+            },
+        };
+        let payload = client.round_trip(&Request::Info)?;
+        client.info = ArchiveInfo::parse(&payload)?;
+        Ok(client)
+    }
+
+    /// Metadata fetched at connect time.
+    pub fn info(&self) -> &ArchiveInfo {
+        &self.info
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let payload = self.round_trip(&Request::Ping)?;
+        if payload.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::protocol("PING reply carried a payload"))
+        }
+    }
+
+    /// Server counters snapshot.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        let payload = self.round_trip(&Request::Stats)?;
+        ServeStats::parse(&payload).map_err(|_| ClientError::protocol("bad STATS payload"))
+    }
+
+    /// Decode the axis-0 row range `rows` on the server and return the
+    /// slab.
+    pub fn read_rows<T: Scalar>(&mut self, rows: Range<usize>) -> Result<NdArray<T>, ClientError> {
+        self.check_scalar::<T>()?;
+        let payload = self.round_trip(&Request::rows(rows.clone()))?;
+        let mut t = Take(&payload);
+        let (start, count) = (|| -> Result<_, crate::protocol::WireError> {
+            Ok((t.u64()?, t.u64()?))
+        })()
+        .map_err(|_| ClientError::protocol("short READ_ROWS payload"))?;
+        if start != rows.start as u64 || count != (rows.end - rows.start) as u64 {
+            return Err(ClientError::protocol("READ_ROWS reply for a different range"));
+        }
+        let data = self.parse_scalars::<T>(t.0, count as usize * self.info.row_elems())?;
+        let mut dims = self.info.dims.clone();
+        dims[0] = count as usize;
+        Ok(NdArray::from_vec(Shape::new(&dims), data))
+    }
+
+    /// Decode chunk `idx` on the server; returns the slab's first
+    /// axis-0 row and the slab.
+    pub fn read_chunk<T: Scalar>(
+        &mut self,
+        idx: usize,
+    ) -> Result<(usize, NdArray<T>), ClientError> {
+        self.check_scalar::<T>()?;
+        let payload = self.round_trip(&Request::ReadChunk { idx: idx as u64 })?;
+        let mut t = Take(&payload);
+        let (start_row, rows) = (|| -> Result<_, crate::protocol::WireError> {
+            Ok((t.u64()?, t.u64()?))
+        })()
+        .map_err(|_| ClientError::protocol("short READ_CHUNK payload"))?;
+        let data = self.parse_scalars::<T>(t.0, rows as usize * self.info.row_elems())?;
+        let mut dims = self.info.dims.clone();
+        dims[0] = rows as usize;
+        Ok((start_row as usize, NdArray::from_vec(Shape::new(&dims), data)))
+    }
+
+    fn check_scalar<T: Scalar>(&self) -> Result<(), ClientError> {
+        if self.info.scalar_tag != T::TAG {
+            return Err(ClientError::protocol(format!(
+                "archive holds scalar tag {:#04x}, requested {:#04x}",
+                self.info.scalar_tag,
+                T::TAG
+            )));
+        }
+        Ok(())
+    }
+
+    fn parse_scalars<T: Scalar>(&self, raw: &[u8], expect: usize) -> Result<Vec<T>, ClientError> {
+        if raw.len() != expect * T::BYTES {
+            return Err(ClientError::protocol(format!(
+                "payload holds {} bytes, expected {} scalars",
+                raw.len(),
+                expect
+            )));
+        }
+        Ok(raw.chunks_exact(T::BYTES).map(T::read_le).collect())
+    }
+
+    /// Send one request and read its reply, enforcing the id echo and
+    /// surfacing typed server errors.
+    fn round_trip(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &encode_request(id, req))?;
+        let body = match read_frame(&mut self.reader, MAX_RESPONSE_BODY)? {
+            Frame::Body(body) => body,
+            Frame::Eof => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Frame::Bad(code) => {
+                return Err(ClientError::protocol(format!(
+                    "server reply broke framing: {}",
+                    code.name()
+                )))
+            }
+        };
+        let mut t = Take(&body);
+        let (echo, status) = (|| -> Result<_, crate::protocol::WireError> {
+            Ok((t.u64()?, t.u8()?))
+        })()
+        .map_err(|_| ClientError::protocol("reply too short for id + status"))?;
+        let payload = t.0.to_vec();
+        if status != 0 {
+            let Some(code) = ErrorCode::from_u8(status) else {
+                return Err(ClientError::protocol(format!("unknown status byte {status:#04x}")));
+            };
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        if echo != id {
+            return Err(ClientError::protocol(format!("reply echoed id {echo}, expected {id}")));
+        }
+        Ok(payload)
+    }
+}

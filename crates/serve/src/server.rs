@@ -1,0 +1,523 @@
+//! The archive read daemon: a thread-per-connection TCP server that
+//! answers the `docs/PROTOCOL.md` request set over one shared
+//! [`ChunkCache`]-wrapped [`ConcurrentReader`].
+//!
+//! Layering per request: **fetch** (compressed blob, under the source
+//! lock) → **decode** (outside the lock, deduplicated by the cache's
+//! single flight) → **delivery** (`assemble_rows` copies the decoded
+//! chunks into the response payload). Connections only ever share the
+//! decoded `Arc<[T]>` chunks, so a hot chunk is decoded once no matter
+//! how many clients stream rows out of it.
+
+use std::io::{self, BufReader, Cursor, Read, Seek};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rq_compress::{assemble_rows, ChunkSource, ConcurrentReader, DecompressError};
+use rq_grid::Scalar;
+
+use crate::cache::{CacheStats, ChunkCache};
+use crate::protocol::{
+    encode_err, encode_ok, parse_request, put_f64, put_u64, read_frame, write_frame, ErrorCode,
+    Frame, Request, Take, WireError, MAX_REQUEST_BODY,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Byte budget for the decoded-chunk cache (0 disables caching but
+    /// keeps single-flight coalescing).
+    pub cache_bytes: u64,
+    /// Emit a one-line stats log to stderr this often (`None` = quiet).
+    pub metrics_every: Option<Duration>,
+    /// Cap on concurrently-served connections (0 = unlimited). The
+    /// accept loop holds further connections in the listener backlog
+    /// until a handler thread finishes.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // 256 MiB holds ~64 chunks of a 1M-element f32 field — enough
+        // that a zipfian hot set stays resident; see docs/PROTOCOL.md
+        // for sizing guidance.
+        ServeConfig { cache_bytes: 256 << 20, metrics_every: None, max_connections: 0 }
+    }
+}
+
+/// Snapshot of server counters, as served by the `STATS` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Frames handled (including ones answered with an error).
+    pub requests: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Response bytes written (frame prefix included).
+    pub bytes_out: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Decoded-chunk cache counters.
+    pub cache: CacheStats,
+    /// Chunks decoded by the underlying reader (cache misses that went
+    /// through to a real decode).
+    pub chunks_decoded: u64,
+    /// Compressed bytes fetched from the archive by the reader.
+    pub blob_bytes_read: u64,
+}
+
+impl ServeStats {
+    /// Wire encoding: twelve u64s, little-endian, in field order (see
+    /// `docs/PROTOCOL.md`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 * 8);
+        for v in [
+            self.requests,
+            self.errors,
+            self.bytes_out,
+            self.connections,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.coalesced_waits,
+            self.cache.evictions,
+            self.cache.bytes_cached,
+            self.cache.bytes_peak,
+            self.chunks_decoded,
+            self.blob_bytes_read,
+        ] {
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Inverse of [`ServeStats::encode`].
+    pub fn parse(payload: &[u8]) -> Result<ServeStats, WireError> {
+        let mut t = Take(payload);
+        let stats = ServeStats {
+            requests: t.u64()?,
+            errors: t.u64()?,
+            bytes_out: t.u64()?,
+            connections: t.u64()?,
+            cache: CacheStats {
+                hits: t.u64()?,
+                misses: t.u64()?,
+                coalesced_waits: t.u64()?,
+                evictions: t.u64()?,
+                bytes_cached: t.u64()?,
+                bytes_peak: t.u64()?,
+            },
+            chunks_decoded: t.u64()?,
+            blob_bytes_read: t.u64()?,
+        };
+        t.finish()?;
+        Ok(stats)
+    }
+}
+
+/// The scalar-erased view of one open archive the connection handlers
+/// talk to. There is exactly one implementation, [`Typed`], selected
+/// per the header's scalar tag when the server opens the archive; the
+/// indirection keeps `f32` vs `f64` out of the per-connection code.
+trait WireSource: Send + Sync {
+    /// `INFO` payload, pre-encoded.
+    fn info_payload(&self) -> Vec<u8>;
+    /// Axis-0 extent of the field.
+    fn rows(&self) -> usize;
+    /// Number of chunks in the archive.
+    fn n_chunks(&self) -> usize;
+    /// `READ_ROWS` payload: `start`, `count`, then the decoded scalars.
+    fn read_rows_payload(&self, start: usize, count: usize) -> Result<Vec<u8>, DecompressError>;
+    /// `READ_CHUNK` payload: `start_row`, `rows`, then the chunk slab.
+    fn read_chunk_payload(&self, idx: usize) -> Result<Vec<u8>, DecompressError>;
+    /// Cache counters.
+    fn cache_stats(&self) -> CacheStats;
+    /// Underlying reader counters: `(chunks_decoded, blob_bytes_read)`.
+    fn read_stats(&self) -> (u64, u64);
+}
+
+/// The typed implementation: a cache over a concurrent reader.
+struct Typed<T: Scalar, R: Read + Seek + Send> {
+    cache: ChunkCache<T, ConcurrentReader<R>>,
+}
+
+impl<T: Scalar, R: Read + Seek + Send> WireSource for Typed<T, R> {
+    fn info_payload(&self) -> Vec<u8> {
+        let h = self.cache.header();
+        let mut out = Vec::with_capacity(64);
+        out.push(h.version);
+        out.push(h.scalar_tag);
+        out.push(h.shape.ndim() as u8);
+        for &d in h.shape.dims() {
+            put_u64(&mut out, d as u64);
+        }
+        put_u64(&mut out, self.cache.chunk_rows() as u64);
+        put_u64(&mut out, self.cache.entries().len() as u64);
+        put_f64(&mut out, h.abs_eb);
+        out
+    }
+
+    fn rows(&self) -> usize {
+        self.cache.header().shape.dim(0)
+    }
+
+    fn n_chunks(&self) -> usize {
+        self.cache.entries().len()
+    }
+
+    fn read_rows_payload(&self, start: usize, count: usize) -> Result<Vec<u8>, DecompressError> {
+        let end = start
+            .checked_add(count)
+            .ok_or(DecompressError::RowsOutOfRange { requested_end: usize::MAX, rows: self.rows() })?;
+        let slab = assemble_rows(&self.cache, start..end)?;
+        let vals = slab.as_slice();
+        let mut out = Vec::with_capacity(16 + vals.len() * T::BYTES);
+        put_u64(&mut out, start as u64);
+        put_u64(&mut out, count as u64);
+        for &v in vals {
+            v.write_le(&mut out);
+        }
+        Ok(out)
+    }
+
+    fn read_chunk_payload(&self, idx: usize) -> Result<Vec<u8>, DecompressError> {
+        let Some(&entry) = self.cache.entries().get(idx) else {
+            return Err(DecompressError::ChunkOutOfRange {
+                requested: idx,
+                available: self.n_chunks(),
+            });
+        };
+        let chunk = self.cache.fetch_chunk(idx)?;
+        let mut out = Vec::with_capacity(16 + chunk.len() * T::BYTES);
+        put_u64(&mut out, entry.start_row as u64);
+        put_u64(&mut out, entry.rows as u64);
+        for &v in chunk.iter() {
+            v.write_le(&mut out);
+        }
+        Ok(out)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn read_stats(&self) -> (u64, u64) {
+        let s = self.cache.inner().stats();
+        (s.chunks_decoded, s.blob_bytes_read)
+    }
+}
+
+/// Pick the typed source matching the archive's scalar tag.
+fn open_source<R: Read + Seek + Send + 'static>(
+    src: R,
+    cache_bytes: u64,
+) -> io::Result<Arc<dyn WireSource>> {
+    let reader = ConcurrentReader::open(src)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("open archive: {e}")))?;
+    match reader.header().scalar_tag {
+        t if t == <f32 as Scalar>::TAG => {
+            Ok(Arc::new(Typed::<f32, R> { cache: ChunkCache::new(reader, cache_bytes) }))
+        }
+        t if t == <f64 as Scalar>::TAG => {
+            Ok(Arc::new(Typed::<f64, R> { cache: ChunkCache::new(reader, cache_bytes) }))
+        }
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported scalar tag {t:#04x}"),
+        )),
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_out: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct Inner {
+    source: Arc<dyn WireSource>,
+    counters: Counters,
+    stop: AtomicBool,
+    /// Write halves of live connections, keyed by connection id, so
+    /// shutdown can unblock handler threads stuck in a read.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> ServeStats {
+        let (chunks_decoded, blob_bytes_read) = self.source.read_stats();
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            bytes_out: self.counters.bytes_out.load(Ordering::Relaxed),
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            cache: self.source.cache_stats(),
+            chunks_decoded,
+            blob_bytes_read,
+        }
+    }
+}
+
+/// A running server. Dropping it shuts the listener and every live
+/// connection down and joins all threads.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Serve the archive file at `path`.
+    pub fn bind_path<A: ToSocketAddrs>(addr: A, path: &Path, cfg: ServeConfig) -> io::Result<Server> {
+        let file = std::fs::File::open(path)?;
+        Server::bind_source(addr, open_source(file, cfg.cache_bytes)?, cfg)
+    }
+
+    /// Serve an in-memory archive image (tests, benches).
+    pub fn bind_bytes<A: ToSocketAddrs>(
+        addr: A,
+        bytes: Vec<u8>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        Server::bind_source(addr, open_source(Cursor::new(bytes), cfg.cache_bytes)?, cfg)
+    }
+
+    fn bind_source<A: ToSocketAddrs>(
+        addr: A,
+        source: Arc<dyn WireSource>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            source,
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let max_connections = cfg.max_connections;
+            std::thread::spawn(move || accept_loop(listener, inner, max_connections))
+        };
+        let metrics = cfg.metrics_every.map(|every| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || metrics_loop(inner, every))
+        });
+        Ok(Server { inner, addr, accept: Some(accept), metrics: Some(metrics).flatten() })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot (same numbers the `STATS` request sees).
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats()
+    }
+
+    /// Stop accepting, close live connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock handler threads stuck reading a request.
+        let conns = self.inner.conns.lock().unwrap_or_else(|p| p.into_inner());
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        drop(conns);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>, max_connections: usize) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => break,
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // At the connection cap, park the new socket until a handler
+        // frees up (the client just sees a slow first reply).
+        if max_connections > 0 {
+            loop {
+                handlers.retain(|h| !h.is_finished());
+                if handlers.len() < max_connections || inner.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            let mut conns = inner.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns.insert(conn_id, clone);
+        }
+        let inner_conn = Arc::clone(&inner);
+        handlers.push(std::thread::spawn(move || {
+            serve_connection(stream, &inner_conn);
+            let mut conns = inner_conn.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns.remove(&conn_id);
+        }));
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn metrics_loop(inner: Arc<Inner>, every: Duration) {
+    let tick = Duration::from_millis(50).min(every);
+    let mut elapsed = Duration::ZERO;
+    while !inner.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        elapsed += tick;
+        if elapsed >= every {
+            elapsed = Duration::ZERO;
+            let s = inner.stats();
+            let lookups = s.cache.hits + s.cache.misses;
+            let hit_pct = if lookups == 0 { 0.0 } else { 100.0 * s.cache.hits as f64 / lookups as f64 };
+            eprintln!(
+                "[rqm serve] requests={} errors={} conns={} out={}B cache: hit={:.1}% ({}h/{}m) coalesced={} evicted={} resident={}B decoded={}",
+                s.requests,
+                s.errors,
+                s.connections,
+                s.bytes_out,
+                hit_pct,
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.coalesced_waits,
+                s.cache.evictions,
+                s.cache.bytes_cached,
+                s.chunks_decoded,
+            );
+        }
+    }
+}
+
+/// One connection's request loop. Mid-frame disconnects and write
+/// failures end the loop quietly; framing violations get one typed
+/// error reply before the close; body-level errors keep the connection
+/// alive (the frame boundary is still intact).
+fn serve_connection(stream: TcpStream, inner: &Inner) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut reader, MAX_REQUEST_BODY) {
+            Ok(f) => f,
+            Err(_) => break, // disconnect mid-frame: drop, never panic
+        };
+        let (reply, fatal) = match frame {
+            Frame::Eof => break,
+            Frame::Bad(code) => {
+                (encode_err(0, code, &format!("framing: {}", code.name())), true)
+            }
+            Frame::Body(body) => match parse_request(&body) {
+                Err((id, code)) => {
+                    (encode_err(id, code, &format!("request: {}", code.name())), code.is_fatal())
+                }
+                Ok((id, req)) => (answer(inner, id, &req), false),
+            },
+        };
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error_frame(&reply) {
+            inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.counters.bytes_out.fetch_add(reply.len() as u64, Ordering::Relaxed);
+        if write_frame(&mut writer, &reply).is_err() {
+            break;
+        }
+        if fatal {
+            break;
+        }
+    }
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Status byte of an encoded response frame (`8` prefix + `8` id).
+fn is_error_frame(frame: &[u8]) -> bool {
+    frame.get(16).copied().unwrap_or(0) != 0
+}
+
+fn answer(inner: &Inner, id: u64, req: &Request) -> Vec<u8> {
+    let src = &*inner.source;
+    match *req {
+        Request::Ping => encode_ok(id, &[]),
+        Request::Info => encode_ok(id, &src.info_payload()),
+        Request::Stats => encode_ok(id, &inner.stats().encode()),
+        Request::ReadRows { start, count } => {
+            let rows = src.rows() as u64;
+            if count == 0 || start >= rows || count > rows - start {
+                return encode_err(
+                    id,
+                    ErrorCode::RowsOutOfRange,
+                    &format!("rows {start}..{} out of range (field has {rows})", start.saturating_add(count)),
+                );
+            }
+            match src.read_rows_payload(start as usize, count as usize) {
+                Ok(payload) => encode_ok(id, &payload),
+                Err(e) => encode_decode_err(id, &e),
+            }
+        }
+        Request::ReadChunk { idx } => {
+            if idx >= src.n_chunks() as u64 {
+                return encode_err(
+                    id,
+                    ErrorCode::ChunkOutOfRange,
+                    &format!("chunk {idx} out of range (archive has {})", src.n_chunks()),
+                );
+            }
+            match src.read_chunk_payload(idx as usize) {
+                Ok(payload) => encode_ok(id, &payload),
+                Err(e) => encode_decode_err(id, &e),
+            }
+        }
+    }
+}
+
+/// Map a decode-side failure onto the wire. Range errors keep their
+/// typed codes (they can surface from a race-free re-check inside the
+/// reader); everything else is a `Decode` error.
+fn encode_decode_err(id: u64, e: &DecompressError) -> Vec<u8> {
+    let code = match e {
+        DecompressError::RowsOutOfRange { .. } => ErrorCode::RowsOutOfRange,
+        DecompressError::ChunkOutOfRange { .. } => ErrorCode::ChunkOutOfRange,
+        _ => ErrorCode::Decode,
+    };
+    encode_err(id, code, &e.to_string())
+}

@@ -51,6 +51,9 @@ pub use rq_core as core_model;
 /// HDF5-like chunked container with a parallel writer.
 pub use rq_h5lite as h5lite;
 
+/// Archive read service: TCP daemon, decoded-chunk cache, wire client.
+pub use rq_serve as serve;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use rq_analysis::{global_ssim, psnr};
@@ -66,4 +69,5 @@ pub mod prelude {
     pub use rq_grid::{NdArray, Shape};
     pub use rq_predict::PredictorKind;
     pub use rq_quant::ErrorBoundMode;
+    pub use rq_serve::{Client, ServeConfig, ServeStats, Server};
 }

@@ -119,7 +119,7 @@ fn parallel_decode_matches_serial_across_generations() {
         for threads in [1usize, 2, 3, 8] {
             let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
                 .unwrap()
-                .with_threads(threads);
+                .with_threads_exact(threads);
             // Whole-field decode.
             let all = r.read_all::<f32>().unwrap();
             assert_eq!(
@@ -143,7 +143,7 @@ fn parallel_decode_matches_serial_across_generations() {
             // Ordered streaming delivery into a writer.
             let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
                 .unwrap()
-                .with_threads(threads);
+                .with_threads_exact(threads);
             let mut sink = Vec::new();
             let values = r.decompress_to_writer::<f32, _>(&mut sink).unwrap();
             assert_eq!(values as usize, field.len(), "{name} threads={threads}");
@@ -171,7 +171,7 @@ fn tiny_read_ahead_window_preserves_order() {
     for read_ahead in [0usize, 1, 5] {
         let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
             .unwrap()
-            .with_threads(8)
+            .with_threads_exact(8)
             .with_read_ahead(read_ahead);
         let mut sink = Vec::new();
         r.decompress_to_writer::<f32, _>(&mut sink).unwrap();
@@ -187,7 +187,7 @@ fn parallel_reader_stats_count_every_chunk_once() {
     let field = mixed_field(Shape::d2(24, 10));
     let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(6);
     let bytes = streamed(&field, &cfg, None);
-    let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap().with_threads(4);
+    let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap().with_threads_exact(4);
     assert_eq!(r.stats().chunks_total, 4);
     r.read_all::<f32>().unwrap();
     assert_eq!(r.stats().chunks_decoded, 4);

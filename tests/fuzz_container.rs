@@ -376,7 +376,7 @@ fn archive_reader_never_panics_on_mutations() {
             }
             let threads = if case % 2 == 0 { 1 } else { 4 };
             if let Ok(r) = rqm::compress_crate::ArchiveReader::open(Cursor::new(&m[..])) {
-                let mut r = r.with_threads(threads);
+                let mut r = r.with_threads_exact(threads);
                 let _ = r.read_all::<f32>();
                 let _ = r.read_rows::<f32>(0..1);
                 let _ = r.decompress_to_writer::<f32, _>(&mut std::io::sink());
@@ -387,7 +387,7 @@ fn archive_reader_never_panics_on_mutations() {
             let threads = if case % 2 == 0 { 1 } else { 4 };
             if let Ok(r) = rqm::compress_crate::ArchiveReader::open(Cursor::new(&bytes[..cut]))
             {
-                let mut r = r.with_threads(threads);
+                let mut r = r.with_threads_exact(threads);
                 assert!(
                     r.read_all::<f32>().is_err(),
                     "truncation to {cut} bytes read_all Ok at {threads} threads"
@@ -409,7 +409,7 @@ fn parallel_decode_corruptions_error_at_every_thread_count() {
     let try_streaming = |bytes: &[u8], threads: usize| -> Result<(), String> {
         let r = rqm::compress_crate::ArchiveReader::open(Cursor::new(bytes))
             .map_err(|e| e.to_string())?;
-        let mut r = r.with_threads(threads);
+        let mut r = r.with_threads_exact(threads);
         r.decompress_to_writer::<f32, _>(&mut std::io::sink())
             .map(|_| ())
             .map_err(|e| e.to_string())?;

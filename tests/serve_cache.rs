@@ -1,0 +1,197 @@
+//! Invariant tests for the decoded-chunk cache: exact hit/miss
+//! accounting, the byte budget as a hard ceiling, single-flight decode
+//! coalescing, and byte-identical rereads after eviction.
+
+use rqm::compress_crate::{ChunkSource, ConcurrentReader};
+use rqm::prelude::*;
+use rqm::serve::ChunkCache;
+use std::io::Cursor;
+use std::sync::{Arc, Barrier};
+
+/// 20×30 f32 in 4 chunks of 5 rows; each decoded chunk is
+/// 5 × 30 × 4 = 600 payload bytes.
+const CHUNK_BYTES: u64 = 600;
+
+fn archive() -> Vec<u8> {
+    let field = NdArray::<f32>::from_fn(Shape::d2(20, 30), |ix| {
+        ((ix[0] as f32) * 0.3).sin() + ix[1] as f32 * 0.05
+    });
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(5);
+    compress(&field, &cfg).unwrap().bytes
+}
+
+fn cache(budget: u64) -> ChunkCache<f32, ConcurrentReader<Cursor<Vec<u8>>>> {
+    ChunkCache::new(ConcurrentReader::open(Cursor::new(archive())).unwrap(), budget)
+}
+
+#[test]
+fn exact_hit_miss_accounting_under_a_scripted_sequence() {
+    let cache = cache(u64::MAX);
+    // (chunk, expected hits so far, expected misses so far)
+    let script = [
+        (0usize, 0u64, 1u64), // cold
+        (0, 1, 1),            // hot
+        (1, 1, 2),            // cold
+        (0, 2, 2),            // still hot
+        (1, 3, 2),            // still hot
+        (2, 3, 3),            // cold
+        (3, 3, 4),            // cold
+        (3, 4, 4),            // hot
+        (0, 5, 4),            // unbounded budget: nothing ever evicted
+    ];
+    for (step, &(idx, hits, misses)) in script.iter().enumerate() {
+        cache.fetch_chunk(idx).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (hits, misses), "after step {step} (chunk {idx})");
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.coalesced_waits, 0, "single-threaded script cannot coalesce");
+    }
+    // Every miss was a real decode, every hit was not.
+    assert_eq!(cache.inner().stats().chunks_decoded, 4);
+    assert_eq!(cache.stats().bytes_cached, 4 * CHUNK_BYTES);
+}
+
+#[test]
+fn byte_budget_is_a_hard_ceiling() {
+    // Room for exactly two decoded chunks.
+    let budget = 2 * CHUNK_BYTES;
+    let cache = cache(budget);
+    // Sweep all chunks three times: constant thrash, budget must hold.
+    for _ in 0..3 {
+        for idx in 0..4 {
+            cache.fetch_chunk(idx).unwrap();
+            let s = cache.stats();
+            assert!(s.bytes_cached <= budget, "resident {} over budget {budget}", s.bytes_cached);
+            assert!(s.bytes_peak <= budget, "peak {} over budget {budget}", s.bytes_peak);
+        }
+    }
+    let s = cache.stats();
+    assert!(s.evictions > 0, "a 2-chunk budget must evict during a 4-chunk sweep");
+    assert_eq!(s.bytes_cached, budget);
+    assert_eq!(s.bytes_peak, budget);
+}
+
+#[test]
+fn budget_smaller_than_one_chunk_degrades_to_passthrough() {
+    for budget in [0u64, CHUNK_BYTES - 1] {
+        let cache = cache(budget);
+        cache.fetch_chunk(1).unwrap();
+        cache.fetch_chunk(1).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 0, "budget {budget} cannot cache anything");
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.bytes_cached, 0);
+        assert_eq!(s.bytes_peak, 0);
+        assert_eq!(cache.inner().stats().chunks_decoded, 2);
+    }
+}
+
+#[test]
+fn eight_threads_on_a_cold_chunk_decode_exactly_once() {
+    let cache = Arc::new(cache(u64::MAX));
+    let barrier = Arc::new(Barrier::new(8));
+    let reference = cache.fetch_chunk(0).unwrap(); // warm an unrelated chunk path
+    drop(reference);
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.fetch_chunk(3).unwrap()
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Exactly one decode of chunk 3, no matter how the 8 threads raced.
+    assert_eq!(
+        cache.inner().stats().chunks_decoded,
+        2, // chunk 0 (warmup) + chunk 3 (once)
+        "single-flight must collapse 8 concurrent decodes into 1"
+    );
+    let s = cache.stats();
+    assert_eq!(s.misses, 2, "one leader per cold chunk");
+    assert_eq!(
+        s.hits + s.coalesced_waits,
+        7, // the 7 followers of chunk 3's leader
+        "every non-leader must be a hit or a coalesced wait: {s:?}"
+    );
+    // All 8 threads got the same bytes (indeed the same allocation).
+    for r in &results {
+        assert!(Arc::ptr_eq(r, &results[0]), "followers must share the leader's chunk");
+    }
+}
+
+#[test]
+fn eviction_then_reread_is_byte_identical() {
+    // One-chunk budget: every switch of chunk evicts the previous one.
+    let cache = cache(CHUNK_BYTES);
+    let first = cache.fetch_chunk(0).unwrap().to_vec();
+    cache.fetch_chunk(1).unwrap(); // evicts 0
+    cache.fetch_chunk(2).unwrap(); // evicts 1
+    let again = cache.fetch_chunk(0).unwrap().to_vec(); // decoded afresh
+    assert!(cache.stats().evictions >= 2);
+    assert_eq!(first.len(), again.len());
+    assert!(
+        first.iter().zip(&again).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "re-decoded chunk differs from its first decode"
+    );
+    // And both match the unreached reader's view of the same chunk.
+    let direct: Arc<[f32]> = cache.inner().fetch_chunk(0).unwrap();
+    assert!(first.iter().zip(direct.iter()).all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn server_stats_expose_the_same_invariants_over_the_wire() {
+    // 2-chunk budget behind a real server; hammer all chunks from a few
+    // sequential clients, then check the ServeStats the wire reports.
+    let budget = 2 * CHUNK_BYTES;
+    let cfg = ServeConfig { cache_bytes: budget, ..ServeConfig::default() };
+    let server = Server::bind_bytes("127.0.0.1:0", archive(), cfg).unwrap();
+    for _ in 0..3 {
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for idx in 0..4 {
+            c.read_chunk::<f32>(idx).unwrap();
+        }
+    }
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let s = c.stats().unwrap();
+    assert!(s.cache.bytes_peak <= budget, "wire-reported peak {} over budget", s.cache.bytes_peak);
+    assert!(s.cache.bytes_cached <= budget);
+    assert!(s.cache.evictions > 0);
+    assert_eq!(s.cache.hits + s.cache.misses, 12, "3 sweeps x 4 chunks, all accounted");
+    assert_eq!(s.chunks_decoded, s.cache.misses, "every miss is exactly one decode");
+    assert_eq!(s.errors, 0);
+    // The server-side snapshot agrees with the wire.
+    let local = server.stats();
+    assert_eq!(local.cache.misses, s.cache.misses);
+    assert_eq!(local.chunks_decoded, s.chunks_decoded);
+}
+
+#[test]
+fn eight_clients_on_a_cold_chunk_decode_exactly_once_over_the_wire() {
+    let server =
+        Arc::new(Server::bind_bytes("127.0.0.1:0", archive(), ServeConfig::default()).unwrap());
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(server.local_addr()).unwrap();
+                barrier.wait();
+                c.read_chunk::<f32>(2).unwrap().1
+            })
+        })
+        .collect();
+    let slabs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for s in &slabs[1..] {
+        assert_eq!(s.as_slice(), slabs[0].as_slice());
+    }
+    let s = server.stats();
+    assert_eq!(s.chunks_decoded, 1, "8 barrier-aligned clients must cost exactly 1 decode");
+    assert_eq!(s.cache.misses, 1);
+    assert_eq!(s.cache.hits + s.cache.coalesced_waits, 7);
+}
