@@ -3,18 +3,21 @@
 //!
 //! A synthetic wavefield archive is staged to disk through the streaming
 //! writer, then decoded four ways through
-//! `ArchiveReader::with_threads(n).decompress_to_writer(...)` — the
-//! streaming engine that reads chunk extents sequentially and fans
-//! decode work out behind a bounded read-ahead window. For contrast the
-//! in-memory path (`decompress_with_threads`, whole archive + whole
-//! field resident) runs at the same thread counts.
+//! `ArchiveReader::open_path(..).with_threads(n).decompress_rows(...)` —
+//! the streaming engine that serves chunk extents zero-copy off a
+//! memory-mapped source (pooled seek+read elsewhere), overlaps fetch
+//! with decode, and fans decode work out behind a bounded read-ahead
+//! window. For contrast the in-memory path (`decompress_with_threads`,
+//! whole archive + whole field resident) runs at the same thread counts.
 //!
-//! Every streamed decode is checksummed and must be byte-identical to
-//! the single-threaded decode — thread count is an implementation
-//! detail, never a result change. Wall time, peak RSS (`VmHWM`) and the
-//! speedup versus one thread land in `BENCH_decode.json` in the current
-//! directory (committed at the repository root so the perf trajectory is
-//! tracked across PRs; CI uploads each run's file as an artifact).
+//! Both modes are timed over the same work: open/read the source, decode
+//! every row, and checksum the output *inside* the timed region. Every
+//! decode must hash byte-identical to the single-threaded decode —
+//! thread count is an implementation detail, never a result change.
+//! Wall time, peak RSS (`VmHWM`) and the speedup versus one thread land
+//! in `BENCH_decode.json` in the current directory (committed at the
+//! repository root so the perf trajectory is tracked across PRs; CI
+//! uploads each run's file as an artifact).
 //!
 //! ```sh
 //! cargo run --release -p rq-bench --bin decode_scaling
@@ -24,13 +27,21 @@
 //! roughly linearly until the sequential blob reads or the core count
 //! saturate (≥ 2× at 4 threads), while streaming peak RSS stays at the
 //! read-ahead window regardless of archive size. On a single-core
-//! machine the requested thread counts clamp to one worker
-//! (`with_threads` never oversubscribes `available_parallelism`), so
-//! the speedup sits at ~1× by construction — the JSON records both the
-//! requested and the effective count. Either way the bench **asserts**
-//! that multi-threaded streaming decode never drops below 0.97× the
-//! serial wall time: oversubscription used to cost ~7% on one CPU, and
-//! this gate keeps that regression from coming back.
+//! machine the requested thread counts clamp to one worker (both
+//! `with_threads` and `decompress_with_threads` never oversubscribe
+//! `available_parallelism`), so the speedup sits at ~1× by construction
+//! — the JSON records both the requested and the effective count.
+//! Either way the bench **asserts** three contracts:
+//!
+//! - multi-threaded decode never drops below 0.97× the serial wall time,
+//!   in either mode (oversubscription used to cost ~7% on one CPU);
+//! - single-threaded *streaming* decode stays within 5% of the
+//!   single-threaded in-memory wall time (the zero-copy/overlapped read
+//!   path closed a measured 13% gap; this keeps it closed) — relaxed to
+//!   25% under `RQM_QUICK=1`, where the field is too small for the
+//!   overlap to amortise timer jitter;
+//! - streaming peak-RSS growth stays below the raw field size
+//!   (window-bounded memory; full-size resettable-HWM runs only).
 
 use rq_bench::{f, mib, peak_rss_bytes, reset_peak_rss, Table};
 use rq_compress::{decompress_with_threads, ArchiveReader, ArchiveWriter, CompressorConfig};
@@ -40,8 +51,10 @@ use rq_quant::ErrorBoundMode;
 use std::io::Write;
 use std::time::Instant;
 
-/// FNV-1a over a byte stream, to compare decoded outputs without
-/// holding any of them in memory.
+/// FNV-1a folded over whole `f32` bit patterns (one xor+multiply per
+/// element, not per byte): compares decoded outputs without holding
+/// them in memory, and is cheap enough to sit inside the timed region
+/// of *both* modes so the wall-time comparison covers identical work.
 struct Fnv(u64);
 
 impl Fnv {
@@ -49,9 +62,9 @@ impl Fnv {
         Fnv(0xcbf29ce484222325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
+    fn update(&mut self, vals: &[f32]) {
+        for &v in vals {
+            self.0 ^= v.to_bits() as u64;
             self.0 = self.0.wrapping_mul(0x100000001b3);
         }
     }
@@ -143,57 +156,79 @@ fn main() {
     // All streaming runs happen before any in-memory run: a freed
     // whole-field buffer can leave the heap ratcheted up, and the
     // streaming footprint should be measured on a clean floor.
+    // Each configuration is timed `iters` times and scored on its best
+    // wall time: clock-speed drift over a minute-long bench (thermal
+    // throttle, noisy-neighbour scheduling) is larger than the 3%
+    // regression margin, and min-of-N is the standard way to strip it.
+    let iters = 3;
     let mut runs: Vec<Run> = Vec::new();
+    let mut mapped = false;
     for threads in [1usize, 2, 4, 8] {
         reset_peak_rss();
         let floor = peak_rss_bytes().unwrap_or(0);
-        let t0 = Instant::now();
-        let src = std::io::BufReader::new(std::fs::File::open(&archive_path).unwrap());
-        let mut reader = ArchiveReader::open(src).unwrap().with_threads(threads);
-        let eff_threads = reader.threads();
-        let mut hash = Fnv::new();
-        reader
-            .decompress_rows::<f32>(|slab| {
-                for &v in slab {
-                    hash.update(&v.to_le_bytes());
-                }
-                Ok(())
-            })
-            .unwrap();
+        let mut wall_ms = f64::INFINITY;
+        let mut eff_threads = 1;
+        let mut run_hash = 0u64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let mut reader =
+                ArchiveReader::open_path(&archive_path).unwrap().with_threads(threads);
+            let mut hash = Fnv::new();
+            reader
+                .decompress_rows::<f32>(|slab| {
+                    hash.update(slab);
+                    Ok(())
+                })
+                .unwrap();
+            wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            eff_threads = reader.threads();
+            mapped = reader.is_mapped();
+            run_hash = hash.0;
+            // A full decode is chunk-aligned end to end: every chunk
+            // must decode straight into its delivery slab.
+            assert_eq!(
+                reader.stats().reorder_copies,
+                0,
+                "full streaming decode at {threads} threads took a scratch-copy path"
+            );
+        }
         let peak = peak_rss_bytes().unwrap_or(0);
         runs.push(Run {
             threads,
             eff_threads,
             mode: "streaming",
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
             peak_rss: peak,
             rss_delta: peak.saturating_sub(floor),
-            hash: hash.0,
+            hash: run_hash,
         });
     }
     for threads in [1usize, 2, 4, 8] {
         // --- in-memory decode: whole archive + whole field resident ---
         reset_peak_rss();
         let floor = peak_rss_bytes().unwrap_or(0);
-        let t0 = Instant::now();
-        let bytes = std::fs::read(&archive_path).unwrap();
-        let field: NdArray<f32> = decompress_with_threads(&bytes, threads).unwrap();
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let peak = peak_rss_bytes().unwrap_or(0);
-        let mut hash = Fnv::new();
-        for &v in field.as_slice() {
-            hash.update(&v.to_le_bytes());
+        let mut wall_ms = f64::INFINITY;
+        let mut run_hash = 0u64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let bytes = std::fs::read(&archive_path).unwrap();
+            let field: NdArray<f32> = decompress_with_threads(&bytes, threads).unwrap();
+            let mut hash = Fnv::new();
+            hash.update(field.as_slice());
+            wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            run_hash = hash.0;
         }
+        let peak = peak_rss_bytes().unwrap_or(0);
         runs.push(Run {
             threads,
-            // `decompress_with_threads` honors an explicit count (its
-            // workers block on disjoint slabs, not a shared window).
-            eff_threads: threads,
+            // `decompress_with_threads` clamps to available cores, same
+            // as the streaming reader's pool.
+            eff_threads: threads.min(cpus),
             mode: "in-memory",
             wall_ms,
             peak_rss: peak,
             rss_delta: peak.saturating_sub(floor),
-            hash: hash.0,
+            hash: run_hash,
         });
     }
 
@@ -209,6 +244,10 @@ fn main() {
 
     let serial_ms =
         runs.iter().find(|r| r.mode == "streaming" && r.threads == 1).unwrap().wall_ms;
+    let mem_serial_ms =
+        runs.iter().find(|r| r.mode == "in-memory" && r.threads == 1).unwrap().wall_ms;
+    // Speedups are against the run's own mode at one thread.
+    let base = |r: &Run| if r.mode == "streaming" { serial_ms } else { mem_serial_ms };
     let mut t = Table::new(&[
         "threads", "effective", "mode", "wall(ms)", "speedup", "peakRSS(MiB)", "ΔRSS(MiB)",
     ]);
@@ -218,7 +257,7 @@ fn main() {
             r.eff_threads.to_string(),
             r.mode.into(),
             f(r.wall_ms, 1),
-            f(serial_ms / r.wall_ms, 2),
+            f(base(r) / r.wall_ms, 2),
             f(mib(r.peak_rss), 1),
             f(mib(r.rss_delta), 1),
         ]);
@@ -226,22 +265,38 @@ fn main() {
     t.print();
 
     // Regression gate: asking for more threads must never make the
-    // streaming decode slower than serial. With the worker pool clamped
-    // to `available_parallelism`, a 1-CPU host runs the same serial
-    // path at every requested count, and a multi-core host only adds
-    // workers it can schedule — so anything below ~1× is a real
+    // decode slower than serial, in either mode. With the worker pools
+    // clamped to `available_parallelism`, a 1-CPU host runs the same
+    // serial path at every requested count, and a multi-core host only
+    // adds workers it can schedule — so anything below ~1× is a real
     // regression (lock contention, reorder pressure), not
     // oversubscription noise. 0.97 leaves 3% for timer jitter.
-    for r in runs.iter().filter(|r| r.mode == "streaming" && r.threads > 1) {
-        let speedup = serial_ms / r.wall_ms;
+    for r in runs.iter().filter(|r| r.threads > 1) {
+        let speedup = base(r) / r.wall_ms;
         assert!(
             speedup >= 0.97,
-            "streaming decode at {} requested threads ({} effective) ran at {speedup:.3}x \
+            "{} decode at {} requested threads ({} effective) ran at {speedup:.3}x \
              the serial wall time — multi-threaded decode regressed below serial",
+            r.mode,
             r.threads,
             r.eff_threads,
         );
     }
+
+    // The headline gate for the zero-copy/overlapped read path: serial
+    // streaming decode must stay within 5% of serial in-memory decode.
+    // Before the pooled+mapped+prefetch rework it sat 13% behind
+    // (fresh allocation and a blocking seek+read per chunk, plus a
+    // decode-to-scratch copy per delivery). Quick mode decodes a field
+    // small enough that constant costs (archive open, page-fault warmup)
+    // dominate, so the bar loosens to 25% there.
+    let stream_vs_mem = serial_ms / mem_serial_ms;
+    let gap_limit = if quick { 1.25 } else { 1.05 };
+    assert!(
+        stream_vs_mem <= gap_limit,
+        "serial streaming decode took {stream_vs_mem:.3}x the serial in-memory wall time \
+         (limit {gap_limit}x): the zero-copy overlapped read path has regressed"
+    );
 
     // Bounded-RSS check: each streaming run's own footprint (peak growth
     // over its post-reset floor) must track the read-ahead window, not
@@ -282,7 +337,10 @@ fn main() {
     j.push_str(&format!("  \"chunk_rows\": {chunk_rows},\n"));
     j.push_str(&format!("  \"cpus\": {cpus},\n"));
     j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!("  \"iters\": {iters},\n"));
     j.push_str(&format!("  \"rss_resettable\": {resettable},\n"));
+    j.push_str(&format!("  \"mapped_source\": {mapped},\n"));
+    j.push_str(&format!("  \"streaming_over_inmemory_1t\": {stream_vs_mem:.3},\n"));
     j.push_str(&format!("  \"streaming_rss_bounded\": {rss_bounded},\n"));
     j.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -294,7 +352,7 @@ fn main() {
             r.eff_threads,
             r.mode,
             r.wall_ms,
-            serial_ms / r.wall_ms,
+            base(r) / r.wall_ms,
             r.peak_rss,
             r.rss_delta,
             if i + 1 < runs.len() { "," } else { "" }

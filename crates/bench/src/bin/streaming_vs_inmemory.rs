@@ -181,8 +181,8 @@ fn main() {
         reset_peak_rss();
         let floor = peak_rss_bytes().unwrap_or(0);
         let t0 = Instant::now();
-        let src = std::io::BufReader::new(std::fs::File::open(&archive_path).unwrap());
-        let mut reader = ArchiveReader::open(src).unwrap().with_threads(threads);
+        let mut reader =
+            ArchiveReader::open_path(&archive_path).unwrap().with_threads(threads);
         let values =
             reader.decompress_to_writer::<f32, _>(&mut std::io::sink()).unwrap();
         let wall = t0.elapsed();

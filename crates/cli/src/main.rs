@@ -78,7 +78,7 @@ use rq_core::RqModel;
 use rq_grid::{NdArray, Shape, MAX_DIMS};
 use rq_quant::ErrorBoundMode;
 use rq_serve::{Client, ServeConfig, Server};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -698,15 +698,16 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     // Streaming decode at every thread count: chunk extents are read
-    // sequentially, decoding fans out to `--threads` workers behind the
-    // reader's bounded read-ahead window, and rows are delivered in
+    // sequentially (zero-copy off a memory-mapped source where the
+    // platform allows), decoding fans out to `--threads` workers behind
+    // the reader's bounded read-ahead window, and rows are delivered in
     // order — peak memory is a window of chunks, never the field. Rows
     // stream into a temp file that is renamed into place only after
     // every chunk decoded, so a corrupt archive can neither clobber an
     // existing output nor leave a silently truncated one.
     let threads = args.unsigned("threads")?.unwrap_or(1);
-    src.seek(SeekFrom::Start(0)).map_err(|e| format!("{input}: {e}"))?;
-    let mut reader = ArchiveReader::open(src)
+    drop(src);
+    let mut reader = ArchiveReader::open_path(&input)
         .map_err(|e| format!("decompression failed: {e}"))?
         .with_threads(threads);
     let shape = reader.header().shape;
@@ -873,9 +874,9 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     }
     // The reader parses only the header and chunk index — `info` never
     // loads the payload, however large the archive.
-    src.seek(SeekFrom::Start(0)).map_err(|e| format!("{input}: {e}"))?;
+    drop(src);
     let reader =
-        ArchiveReader::open(src).map_err(|e| format!("not a compressed container: {e}"))?;
+        ArchiveReader::open_path(&input).map_err(|e| format!("not a compressed container: {e}"))?;
     let h = reader.header().clone();
     let table = reader.chunk_table();
     if json {

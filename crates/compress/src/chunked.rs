@@ -316,7 +316,27 @@ pub(crate) fn entry_shape(shape: Shape, entry: ChunkEntry) -> Shape {
 /// Decompress any container version with an explicit worker-thread count
 /// (`0` = one per available CPU). v1 containers ignore the thread count
 /// (their single stream is inherently sequential).
+///
+/// The count is clamped to `available_parallelism` — the same policy as
+/// [`crate::ArchiveReader::with_threads`]: extra workers beyond the core
+/// count only add dispatch and context-switch overhead (measurably
+/// *slower* than serial decode on a 1-CPU host) without any more decode
+/// bandwidth to use. Use [`decompress_with_threads_exact`] to
+/// oversubscribe deliberately.
 pub fn decompress_with_threads<T: Scalar>(
+    bytes: &[u8],
+    threads: usize,
+) -> Result<NdArray<T>, DecompressError> {
+    let cpus = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    decompress_with_threads_exact(bytes, if threads == 0 { cpus } else { threads.min(cpus) })
+}
+
+/// [`decompress_with_threads`] without the `available_parallelism`
+/// clamp: exactly `threads` workers (`0` is treated as `1`), even beyond
+/// the core count. Decoded bytes are identical either way; this exists
+/// so tests can exercise the worker pool's dispatch machinery on
+/// machines with few cores.
+pub fn decompress_with_threads_exact<T: Scalar>(
     bytes: &[u8],
     threads: usize,
 ) -> Result<NdArray<T>, DecompressError> {
@@ -326,11 +346,7 @@ pub fn decompress_with_threads<T: Scalar>(
     let idx = read_container_v2_index::<T>(bytes)?;
     let header = idx.header;
     let shape = header.shape;
-    let threads = if threads > 0 {
-        threads
-    } else {
-        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
-    };
+    let threads = threads.max(1);
 
     let mut out = vec![T::zero(); shape.len()];
     // Slabs are contiguous and ordered: split the output buffer into one
@@ -467,9 +483,10 @@ mod tests {
             let bytes = compress(&field, &base.with_threads(threads)).unwrap().bytes;
             assert_eq!(reference, bytes, "threads={threads}");
         }
-        // Parallel decode agrees with single-threaded decode.
+        // Parallel decode agrees with single-threaded decode (`_exact`
+        // so the pool really runs 8-wide even on a small host).
         let a = decompress_with_threads::<f32>(&reference, 1).unwrap();
-        let b = decompress_with_threads::<f32>(&reference, 8).unwrap();
+        let b = decompress_with_threads_exact::<f32>(&reference, 8).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
     }
 

@@ -921,6 +921,18 @@ pub(crate) fn read_span<R: std::io::Read + std::io::Seek>(
     Ok(buf)
 }
 
+/// [`read_span`] into a caller-provided buffer (typically a recycled pool
+/// buffer): seek to `at` and fill `buf` exactly, with no allocation.
+pub(crate) fn read_span_into<R: std::io::Read + std::io::Seek>(
+    src: &mut R,
+    at: u64,
+    buf: &mut [u8],
+) -> Result<(), DecompressError> {
+    src.seek(std::io::SeekFrom::Start(at))?;
+    src.read_exact(buf)?;
+    Ok(())
+}
+
 /// Upper bound on the serialized header prefix: fixed bytes + 4 dims of
 /// ≤ 10 varint bytes + the f64 bound + the radius varint, with slack.
 const HEADER_READ_BYTES: usize = 96;

@@ -27,6 +27,8 @@ pub mod chunked;
 pub mod codec;
 pub mod config;
 pub mod container;
+mod mmap;
+mod pool;
 pub mod pipeline;
 pub mod report;
 pub mod scheduler;
@@ -34,7 +36,7 @@ pub mod stream;
 
 pub use chunked::{
     compress_chunked, compress_chunked_with_report, decompress_chunk, decompress_with_threads,
-    resolved_chunk_rows,
+    decompress_with_threads_exact, resolved_chunk_rows,
 };
 pub use codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
 pub use config::{Chunking, CodecChoice, CompressorConfig, LosslessStage};

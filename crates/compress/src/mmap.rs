@@ -1,0 +1,199 @@
+//! Read-only memory mapping of archive files, with no libc dependency.
+//!
+//! The streaming decode engines fetch one compressed extent per chunk.
+//! Over a plain `File` that is a `seek` + `read` syscall pair and a copy
+//! into a (pooled) buffer per chunk; over a mapped source it is a bounds
+//! check and a pointer offset — the decoder reads the blob bytes straight
+//! out of the page cache, zero-copy, and the kernel's readahead overlaps
+//! faulting the next extents with decoding the current one.
+//!
+//! The workspace builds offline with no external crates, so the mapping
+//! is made with raw `mmap`/`munmap` syscalls (inline asm) on the
+//! platforms this project actually targets — Linux x86_64 and aarch64 —
+//! and [`SourceMap::map`] simply returns `None` elsewhere, dropping the
+//! readers back to their seek+read fallback. Callers must treat a `None`
+//! as routine, not exceptional.
+//!
+//! Caveat shared with every file mapping: if the file is truncated while
+//! mapped, touching the vanished pages raises `SIGBUS`. Archives are
+//! written via temp-file + rename and never truncated in place, so the
+//! readers accept that (identical to the exposure `mmap`-based tools
+//! like `ripgrep` accept).
+
+use std::fs::File;
+
+/// A read-only, privately-mapped view of an entire file.
+///
+/// `Send + Sync`: the mapping is immutable for its whole lifetime and
+/// the pages are shared freely across decode workers.
+pub(crate) struct SourceMap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the region is PROT_READ and never remapped until Drop, so
+// concurrent reads from any thread are data-race free.
+unsafe impl Send for SourceMap {}
+unsafe impl Sync for SourceMap {}
+
+impl SourceMap {
+    /// Map `file` read-only. Returns `None` when the platform has no
+    /// mmap path, the file is empty, or the kernel refuses the mapping —
+    /// all of which callers treat as "use seek+read".
+    pub fn map(file: &File) -> Option<SourceMap> {
+        let len = file.metadata().ok()?.len();
+        if len == 0 || len > usize::MAX as u64 {
+            return None;
+        }
+        sys::mmap_readonly(file, len as usize).map(|ptr| SourceMap { ptr, len: len as usize })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len describe one live PROT_READ mapping (see map).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for SourceMap {
+    fn drop(&mut self) {
+        sys::munmap(self.ptr, self.len);
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)` via a raw
+    /// syscall; `None` on any kernel error.
+    pub fn mmap_readonly(file: &File, len: usize) -> Option<*const u8> {
+        let fd = file.as_raw_fd();
+        let ret = unsafe { mmap_syscall(len, fd) } as isize;
+        // Errors come back as -errno in the usual -4095..0 window.
+        if (-4095..0).contains(&ret) {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    pub fn munmap(ptr: *const u8, len: usize) {
+        unsafe { munmap_syscall(ptr, len) };
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn mmap_syscall(len: usize, fd: i32) -> usize {
+        let ret: usize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 9usize => ret, // __NR_mmap
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn munmap_syscall(ptr: *const u8, len: usize) {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 11usize => _, // __NR_munmap
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn mmap_syscall(len: usize, fd: i32) -> usize {
+        let ret: usize;
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            in("x8") 222usize, // __NR_mmap
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn munmap_syscall(ptr: *const u8, len: usize) {
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") ptr => _,
+            in("x1") len,
+            in("x8") 215usize, // __NR_munmap
+            options(nostack)
+        );
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    use std::fs::File;
+
+    pub fn mmap_readonly(_file: &File, _len: usize) -> Option<*const u8> {
+        None
+    }
+
+    pub fn munmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_a_real_file_or_falls_back() {
+        let dir = std::env::temp_dir().join("rqm_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("probe_{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let f = File::open(&path).unwrap();
+        match SourceMap::map(&f) {
+            Some(m) => {
+                assert_eq!(m.as_slice(), &payload[..]);
+                // Two maps of the same file coexist.
+                let m2 = SourceMap::map(&File::open(&path).unwrap()).unwrap();
+                assert_eq!(m2.as_slice(), &payload[..]);
+                drop(m);
+                assert_eq!(m2.as_slice().len(), payload.len());
+            }
+            None => {
+                // Non-Linux fallback: must be a clean None, not a panic.
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_not_mapped() {
+        let dir = std::env::temp_dir().join("rqm_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("empty_{}.bin", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        assert!(SourceMap::map(&File::open(&path).unwrap()).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -63,10 +63,12 @@ use crate::chunked::{aggregate_report, decode_entry_blob, entry_shape, run_on_wo
 use crate::codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
 use crate::config::{CodecChoice, CompressorConfig, LosslessStage};
 use crate::container::{
-    read_archive_layout, read_span, write_header_prefix, write_trailer, ChunkCodecKind,
+    read_archive_layout, read_span_into, write_header_prefix, write_trailer, ChunkCodecKind,
     ChunkEntry, ChunkTable, CompressError, DecompressError, Header, VERSION_V2_2, VERSION_V2_3,
 };
+use crate::mmap::SourceMap;
 use crate::pipeline::{resolve_bound, Transform};
+use crate::pool::{BytePool, SlabPool};
 use crate::report::CompressionReport;
 use rq_grid::{slab_chunks, ChunkSpec, NdArray, Scalar, Shape, MAX_DIMS};
 use rq_predict::PredictorKind;
@@ -74,7 +76,7 @@ use rq_quant::{ErrorBoundMode, LinearQuantizer};
 use std::collections::BTreeMap;
 use std::io::{Read, Seek, Write};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 // ---------------------------------------------------------------------------
@@ -518,6 +520,11 @@ pub struct ReadStats {
     pub chunks_decoded: u64,
     /// Compressed blob bytes fetched from the source so far.
     pub blob_bytes_read: u64,
+    /// Chunks decoded into a scratch slab and then copied into place —
+    /// only boundary chunks of a row range that crops them mid-chunk.
+    /// Chunk-aligned reads decode straight into the destination, so this
+    /// stays `0` for them (asserted in the differential tests).
+    pub reorder_copies: u64,
 }
 
 /// Random-access decompression session over any [`Read`]` + `[`Seek`]
@@ -545,6 +552,12 @@ pub struct ReadStats {
 /// See the [module docs](self) for a complete write/read example.
 pub struct ArchiveReader<R: Read + Seek> {
     src: R,
+    /// Memory-mapped view of the source where available (file-backed
+    /// readers opened via [`ArchiveReader::open_path`] on platforms with
+    /// mmap). Chunk fetches become zero-copy windows of the page cache.
+    map: Option<SourceMap>,
+    /// Recycled compressed-blob buffers for unmapped fetches.
+    blob_pool: BytePool,
     header: Header,
     chunk_rows: usize,
     entries: Vec<ChunkEntry>,
@@ -555,6 +568,23 @@ pub struct ArchiveReader<R: Read + Seek> {
     read_ahead: Option<usize>,
 }
 
+impl ArchiveReader<std::fs::File> {
+    /// Open an archive file directly, memory-mapping it when the
+    /// platform allows (Linux): chunk extents are then fetched as
+    /// zero-copy windows of the page cache instead of per-chunk
+    /// seek+read copies, and the kernel's readahead overlaps faulting
+    /// the next extents with decoding the current one. Where no mapping
+    /// is available this silently falls back to the seek+read path —
+    /// decoded bytes are identical either way.
+    pub fn open_path(path: impl AsRef<std::path::Path>) -> Result<Self, DecompressError> {
+        let file = std::fs::File::open(path)?;
+        let map = SourceMap::map(&file);
+        let mut reader = Self::open(file)?;
+        reader.map = map;
+        Ok(reader)
+    }
+}
+
 impl<R: Read + Seek> ArchiveReader<R> {
     /// Open an archive: parse the header and locate every chunk, without
     /// reading any payload.
@@ -563,6 +593,8 @@ impl<R: Read + Seek> ArchiveReader<R> {
         let chunks_total = layout.entries.len();
         Ok(ArchiveReader {
             src,
+            map: None,
+            blob_pool: BytePool::new(),
             header: layout.header,
             chunk_rows: layout.chunk_rows,
             entries: layout.entries,
@@ -570,6 +602,12 @@ impl<R: Read + Seek> ArchiveReader<R> {
             threads: 1,
             read_ahead: None,
         })
+    }
+
+    /// Whether chunk fetches are served zero-copy from a memory-mapped
+    /// source (see [`ArchiveReader::open_path`]).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_some()
     }
 
     /// Set the decode worker-thread count (`0` = one per available CPU,
@@ -659,10 +697,13 @@ impl<R: Read + Seek> ArchiveReader<R> {
         cshape: Shape,
         out: &mut [T],
     ) -> Result<(), DecompressError> {
-        let blob = read_span(&mut self.src, entry.offset as u64, entry.len)?;
-        self.stats.blob_bytes_read += entry.len as u64;
-        decode_entry_blob(&blob, &self.header, entry, cshape, out)?;
-        self.stats.chunks_decoded += 1;
+        let Self { ref mut src, ref map, ref blob_pool, ref header, ref mut stats, .. } = *self;
+        let mut fetcher =
+            Fetcher { src, map: map.as_ref().map(SourceMap::as_slice), pool: blob_pool };
+        let blob = fetcher.fetch(entry)?;
+        stats.blob_bytes_read += entry.len as u64;
+        decode_entry_blob(&blob, header, entry, cshape, out)?;
+        stats.chunks_decoded += 1;
         Ok(())
     }
 
@@ -693,7 +734,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
     pub fn read_rows<T: Scalar>(
         &mut self,
         rows: Range<usize>,
-    ) -> Result<NdArray<T>, DecompressError> {
+    ) -> Result<NdArray<T>, DecompressError>
+    where
+        R: Send,
+    {
         self.check_scalar::<T>()?;
         let d0 = self.header.shape.dim(0);
         if rows.start >= rows.end || rows.end > d0 {
@@ -725,7 +769,16 @@ impl<R: Read + Seek> ArchiveReader<R> {
                 dst,
             });
         }
-        run_slice_jobs(&mut self.src, &self.header, jobs, threads, window, &mut self.stats)?;
+        run_slice_jobs(
+            &mut self.src,
+            self.map.as_ref().map(SourceMap::as_slice),
+            &self.blob_pool,
+            &self.header,
+            jobs,
+            threads,
+            window,
+            &mut self.stats,
+        )?;
         let mut dims = [0usize; MAX_DIMS];
         dims[..shape.ndim()].copy_from_slice(shape.dims());
         dims[0] = out_rows;
@@ -734,7 +787,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
 
     /// Decode the whole field on the decode pool (memory: the output plus
     /// at most a window of compressed blobs).
-    pub fn read_all<T: Scalar>(&mut self) -> Result<NdArray<T>, DecompressError> {
+    pub fn read_all<T: Scalar>(&mut self) -> Result<NdArray<T>, DecompressError>
+    where
+        R: Send,
+    {
         self.check_scalar::<T>()?;
         let shape = self.header.shape;
         self.read_rows(0..shape.dim(0)).map(|a| {
@@ -753,7 +809,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
     pub fn decompress_rows<T: Scalar>(
         &mut self,
         mut emit: impl FnMut(&[T]) -> std::io::Result<()>,
-    ) -> Result<(), DecompressError> {
+    ) -> Result<(), DecompressError>
+    where
+        R: Send,
+    {
         self.check_scalar::<T>()?;
         let shape = self.header.shape;
         let (threads, window) = (self.threads, self.window());
@@ -761,12 +820,14 @@ impl<R: Read + Seek> ArchiveReader<R> {
             self.entries.iter().map(|&e| (e, entry_shape(shape, e))).collect();
         run_ordered_jobs::<T, R>(
             &mut self.src,
+            self.map.as_ref().map(SourceMap::as_slice),
+            &self.blob_pool,
             &self.header,
             jobs,
             threads,
             window,
             &mut self.stats,
-            &mut |slab| emit(&slab).map_err(DecompressError::Io),
+            &mut |slab| emit(slab).map_err(DecompressError::Io),
         )
     }
 
@@ -777,7 +838,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
     pub fn decompress_to_writer<T: Scalar, W: Write>(
         &mut self,
         sink: &mut W,
-    ) -> Result<u64, DecompressError> {
+    ) -> Result<u64, DecompressError>
+    where
+        R: Send,
+    {
         let mut values = 0u64;
         let mut buf: Vec<u8> = Vec::new();
         self.decompress_rows::<T>(|slab| {
@@ -799,11 +863,14 @@ impl<R: Read + Seek> ArchiveReader<R> {
         ConcurrentReader {
             shared: Arc::new(ReaderShared {
                 src: Mutex::new(self.src),
+                map: self.map,
+                blob_pool: self.blob_pool,
                 header: self.header,
                 chunk_rows: self.chunk_rows,
                 entries: self.entries,
                 chunks_decoded: AtomicU64::new(self.stats.chunks_decoded),
                 blob_bytes_read: AtomicU64::new(self.stats.blob_bytes_read),
+                reorder_copies: AtomicU64::new(self.stats.reorder_copies),
             }),
         }
     }
@@ -834,57 +901,175 @@ struct SliceJob<'o, T> {
     dst: &'o mut [T],
 }
 
-/// Decode one fetched blob into its job's destination slice, via scratch
-/// only when the job takes a partial chunk (boundary rows of a region
-/// read).
+/// One fetched chunk extent: either a recycled pool buffer (returned to
+/// its pool on drop) or a zero-copy window of the memory-mapped source.
+/// Either way the decode stage sees plain `&[u8]` via `Deref`.
+enum Blob<'e> {
+    Pooled(Vec<u8>, &'e BytePool),
+    Mapped(&'e [u8]),
+}
+
+impl std::ops::Deref for Blob<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Blob::Pooled(buf, _) => buf,
+            Blob::Mapped(bytes) => bytes,
+        }
+    }
+}
+
+impl Drop for Blob<'_> {
+    fn drop(&mut self) {
+        if let Blob::Pooled(buf, pool) = self {
+            pool.put(std::mem::take(buf));
+        }
+    }
+}
+
+/// The fetch stage of one decode run: the seekable source, the optional
+/// mapped view of it, and the pool backing unmapped reads.
+struct Fetcher<'e, R> {
+    src: &'e mut R,
+    map: Option<&'e [u8]>,
+    pool: &'e BytePool,
+}
+
+impl<'e, R: Read + Seek> Fetcher<'e, R> {
+    /// One chunk's compressed bytes: a bounds-checked window of the map
+    /// (zero-copy, no syscall) or a pooled buffer filled by seek+read.
+    fn fetch(&mut self, entry: ChunkEntry) -> Result<Blob<'e>, DecompressError> {
+        if let Some(mapped) = self.map {
+            return entry
+                .offset
+                .checked_add(entry.len)
+                .and_then(|end| mapped.get(entry.offset..end))
+                .map(Blob::Mapped)
+                .ok_or(DecompressError::Corrupt("chunk extent beyond mapped source"));
+        }
+        let mut buf = self.pool.get(entry.len);
+        match read_span_into(self.src, entry.offset as u64, &mut buf) {
+            Ok(()) => Ok(Blob::Pooled(buf, self.pool)),
+            Err(e) => {
+                self.pool.put(buf);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Decode one fetched blob into its job's destination slice. Decodes
+/// in place when the job takes the whole chunk; only a partial take
+/// (boundary rows of a region read) goes through a scratch slab and a
+/// copy. Returns whether the scratch copy happened, so callers can count
+/// [`ReadStats::reorder_copies`].
 fn decode_slice_job<T: Scalar>(
     header: &Header,
     blob: &[u8],
     job: SliceJob<'_, T>,
-) -> Result<(), DecompressError> {
+    scratch: &SlabPool<T>,
+) -> Result<bool, DecompressError> {
     let SliceJob { entry, cshape, take, dst } = job;
     if take.start == 0 && take.end == cshape.len() {
-        decode_entry_blob(blob, header, entry, cshape, dst)
+        decode_entry_blob(blob, header, entry, cshape, dst)?;
+        Ok(false)
     } else {
-        let mut tmp = vec![T::zero(); cshape.len()];
-        decode_entry_blob(blob, header, entry, cshape, &mut tmp)?;
-        dst.copy_from_slice(&tmp[take]);
-        Ok(())
+        let mut tmp = scratch.get(cshape.len());
+        let decoded = decode_entry_blob(blob, header, entry, cshape, &mut tmp);
+        if decoded.is_ok() {
+            dst.copy_from_slice(&tmp[take]);
+        }
+        scratch.put(tmp);
+        decoded.map(|()| true)
     }
 }
 
-/// Run slice jobs through the decode pool: the calling thread fetches
-/// blobs sequentially (in offset order) and hands them to `threads`
-/// scoped workers, never letting more than `window` fetched-but-undecoded
-/// chunks accumulate. Workers write into their jobs' disjoint output
-/// slices, so no reorder buffer is needed. The first error (in completion
-/// order) aborts the run; remaining queued jobs are drained, never left
-/// hanging.
-fn run_slice_jobs<T: Scalar, R: Read + Seek>(
+/// Run slice jobs through the decode pool. The calling thread fetches
+/// blobs sequentially (in offset order) — zero-copy off the map when one
+/// exists, else into recycled pool buffers — and hands them to `threads`
+/// scoped workers over a bounded channel, so at most `window` fetched
+/// blobs queue ahead of the decoders (plus one in each worker's hands).
+/// With one thread and no map, a dedicated prefetch thread reads ahead
+/// instead, overlapping I/O with the caller's decoding. Workers write
+/// into their jobs' disjoint output slices, so no reorder buffer is
+/// needed. The first error (in completion order) aborts the run;
+/// remaining queued jobs are drained, never left hanging.
+#[allow(clippy::too_many_arguments)]
+fn run_slice_jobs<T: Scalar, R: Read + Seek + Send>(
     src: &mut R,
+    map: Option<&[u8]>,
+    pool: &BytePool,
     header: &Header,
     jobs: Vec<SliceJob<'_, T>>,
     threads: usize,
     window: usize,
     stats: &mut ReadStats,
 ) -> Result<(), DecompressError> {
-    if threads <= 1 || jobs.len() <= 1 {
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    let scratch = SlabPool::<T>::new();
+    let mut fetcher = Fetcher { src, map, pool };
+    // Serial inline decode: a single job never benefits from staging, and
+    // a mapped source needs no prefetch thread at 1 thread — the kernel's
+    // readahead already faults upcoming extents while this one decodes.
+    if jobs.len() <= 1 || (threads <= 1 && map.is_some()) {
         for job in jobs {
-            let blob = read_span(src, job.entry.offset as u64, job.entry.len)?;
-            stats.blob_bytes_read += job.entry.len as u64;
-            decode_slice_job(header, &blob, job)?;
+            let entry = job.entry;
+            let blob = fetcher.fetch(entry)?;
+            stats.blob_bytes_read += entry.len as u64;
+            let copied = decode_slice_job(header, &blob, job, &scratch)?;
             stats.chunks_decoded += 1;
+            stats.reorder_copies += copied as u64;
         }
         return Ok(());
     }
     let window = window.max(2);
-    let (work_tx, work_rx) = mpsc::channel::<(SliceJob<'_, T>, Vec<u8>)>();
+    if threads <= 1 {
+        // Unmapped single-threaded decode of several chunks: a dedicated
+        // fetch thread reads extents ahead (bounded by the window) while
+        // the calling thread decodes, overlapping I/O with decode.
+        return std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::sync_channel::<(SliceJob<'_, T>, Blob<'_>)>(window);
+            let fetch = scope.spawn(move || -> Result<(), DecompressError> {
+                for job in jobs {
+                    let blob = fetcher.fetch(job.entry)?;
+                    if tx.send((job, blob)).is_err() {
+                        break; // the decoder bailed out early
+                    }
+                }
+                Ok(())
+            });
+            let mut result = Ok(());
+            for (job, blob) in rx.iter() {
+                stats.blob_bytes_read += job.entry.len as u64;
+                match decode_slice_job(header, &blob, job, &scratch) {
+                    Ok(copied) => {
+                        stats.chunks_decoded += 1;
+                        stats.reorder_copies += copied as u64;
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            drop(rx); // unblocks the fetch thread if it sits mid-send
+            let fetched = fetch.join().expect("prefetch thread panicked");
+            if result.is_ok() {
+                result = fetched;
+            }
+            result
+        });
+    }
+    let (work_tx, work_rx) = mpsc::sync_channel::<(SliceJob<'_, T>, Blob<'_>)>(window);
     let work_rx = Mutex::new(work_rx);
-    let (done_tx, done_rx) = mpsc::channel::<Result<(), DecompressError>>();
+    let (done_tx, done_rx) = mpsc::channel::<Result<bool, DecompressError>>();
+    let abort = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len()) {
             let done_tx = done_tx.clone();
-            let work_rx = &work_rx;
+            let (work_rx, scratch, abort) = (&work_rx, &scratch, &abort);
             scope.spawn(move || loop {
                 // Hold the lock only for the dequeue; decode unlocked.
                 let next = {
@@ -892,46 +1077,34 @@ fn run_slice_jobs<T: Scalar, R: Read + Seek>(
                     rx.recv()
                 };
                 let Ok((job, blob)) = next else { break };
-                let r = decode_slice_job(header, &blob, job);
+                let r = decode_slice_job(header, &blob, job, scratch);
+                drop(blob); // recycle the buffer before signaling
+                if r.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
                 if done_tx.send(r).is_err() {
                     break; // the driver bailed out early
                 }
             });
         }
         drop(done_tx);
+        // The bounded work channel is the backpressure: `send` blocks
+        // once `window` fetched blobs queue undecoded, so the driver
+        // keeps fetching (overlapping workers' decode) only while the
+        // window has room.
         let mut err: Option<DecompressError> = None;
-        let mut in_flight = 0usize;
-        let receive_one =
-            |in_flight: &mut usize, err: &mut Option<DecompressError>, stats: &mut ReadStats| {
-                match done_rx.recv() {
-                    Ok(Ok(())) => stats.chunks_decoded += 1,
-                    Ok(Err(e)) => {
-                        if err.is_none() {
-                            *err = Some(e);
-                        }
-                    }
-                    Err(_) => {
-                        // All workers exited (only possible after the
-                        // work channel closed); nothing more to count.
-                    }
-                }
-                *in_flight -= 1;
-            };
+        let mut sent = 0usize;
         for job in jobs {
-            while err.is_none() && in_flight >= window {
-                receive_one(&mut in_flight, &mut err, stats);
+            if abort.load(Ordering::Relaxed) {
+                break; // a worker failed; its error is collected below
             }
-            if err.is_some() {
-                // First error wins; dispatch nothing further.
-                break;
-            }
-            match read_span(src, job.entry.offset as u64, job.entry.len) {
+            match fetcher.fetch(job.entry) {
                 Ok(blob) => {
                     stats.blob_bytes_read += job.entry.len as u64;
                     if work_tx.send((job, blob)).is_err() {
                         break;
                     }
-                    in_flight += 1;
+                    sent += 1;
                 }
                 Err(e) => {
                     err = Some(e);
@@ -940,8 +1113,19 @@ fn run_slice_jobs<T: Scalar, R: Read + Seek>(
             }
         }
         drop(work_tx);
-        while in_flight > 0 {
-            receive_one(&mut in_flight, &mut err, stats);
+        for _ in 0..sent {
+            match done_rx.recv() {
+                Ok(Ok(copied)) => {
+                    stats.chunks_decoded += 1;
+                    stats.reorder_copies += copied as u64;
+                }
+                Ok(Err(e)) => {
+                    if err.is_none() {
+                        err = Some(e);
+                    }
+                }
+                Err(_) => break, // all workers exited; nothing more to count
+            }
         }
         match err {
             Some(e) => Err(e),
@@ -951,113 +1135,196 @@ fn run_slice_jobs<T: Scalar, R: Read + Seek>(
 }
 
 /// Run whole-chunk decode jobs through the pool with **in-order
-/// delivery**: workers decode into owned slabs, the calling thread
+/// delivery**: workers decode into recycled slabs, the calling thread
 /// reorders completions by sequence number and hands each slab to `emit`
-/// in row order. A chunk counts against the `window` from fetch until its
+/// in row order (slabs return to the pool right after `emit`, so the
+/// common in-order arrival recycles the same couple of slabs for the
+/// whole run). A chunk counts against the `window` from fetch until its
 /// slab is emitted, so out-of-order completions can never pile up more
-/// than a window of decoded slabs.
-fn run_ordered_jobs<T: Scalar, R: Read + Seek>(
+/// than a window of decoded slabs. With one thread and no map, a
+/// dedicated prefetch thread overlaps extent reads with the caller's
+/// decode+emit instead.
+#[allow(clippy::too_many_arguments)]
+fn run_ordered_jobs<T: Scalar, R: Read + Seek + Send>(
     src: &mut R,
+    map: Option<&[u8]>,
+    pool: &BytePool,
     header: &Header,
     jobs: Vec<(ChunkEntry, Shape)>,
     threads: usize,
     window: usize,
     stats: &mut ReadStats,
-    emit: &mut dyn FnMut(Vec<T>) -> Result<(), DecompressError>,
+    emit: &mut dyn FnMut(&[T]) -> Result<(), DecompressError>,
 ) -> Result<(), DecompressError> {
-    let decode_owned = |entry: ChunkEntry,
-                        cshape: Shape,
-                        blob: &[u8]|
-     -> Result<Vec<T>, DecompressError> {
-        let mut out = vec![T::zero(); cshape.len()];
-        decode_entry_blob(blob, header, entry, cshape, &mut out)?;
-        Ok(out)
-    };
-    if threads <= 1 || jobs.len() <= 1 {
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    let slabs = SlabPool::<T>::new();
+    let mut fetcher = Fetcher { src, map, pool };
+    // Serial inline decode; see run_slice_jobs for the map rationale.
+    if jobs.len() <= 1 || (threads <= 1 && map.is_some()) {
         for (entry, cshape) in jobs {
-            let blob = read_span(src, entry.offset as u64, entry.len)?;
+            let blob = fetcher.fetch(entry)?;
             stats.blob_bytes_read += entry.len as u64;
-            let slab = decode_owned(entry, cshape, &blob)?;
-            stats.chunks_decoded += 1;
-            emit(slab)?;
+            let mut slab = slabs.get(cshape.len());
+            let decoded = decode_entry_blob(&blob, header, entry, cshape, &mut slab);
+            drop(blob);
+            let delivered = decoded.and_then(|()| {
+                stats.chunks_decoded += 1;
+                emit(&slab)
+            });
+            slabs.put(slab);
+            delivered?;
         }
         return Ok(());
     }
     let window = window.max(2);
-    let (work_tx, work_rx) = mpsc::channel::<(usize, ChunkEntry, Shape, Vec<u8>)>();
+    if threads <= 1 {
+        // Unmapped single-threaded streaming: prefetch thread reads
+        // ahead, the caller decodes and emits in arrival order (which is
+        // row order — one fetcher, one decoder).
+        return std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::sync_channel::<(ChunkEntry, Shape, Blob<'_>)>(window);
+            let fetch = scope.spawn(move || -> Result<(), DecompressError> {
+                for (entry, cshape) in jobs {
+                    let blob = fetcher.fetch(entry)?;
+                    if tx.send((entry, cshape, blob)).is_err() {
+                        break; // the decoder bailed out early
+                    }
+                }
+                Ok(())
+            });
+            let mut result = Ok(());
+            for (entry, cshape, blob) in rx.iter() {
+                stats.blob_bytes_read += entry.len as u64;
+                let mut slab = slabs.get(cshape.len());
+                let decoded = decode_entry_blob(&blob, header, entry, cshape, &mut slab);
+                drop(blob);
+                let delivered = decoded.and_then(|()| {
+                    stats.chunks_decoded += 1;
+                    emit(&slab)
+                });
+                slabs.put(slab);
+                if let Err(e) = delivered {
+                    result = Err(e);
+                    break;
+                }
+            }
+            drop(rx); // unblocks the fetch thread if it sits mid-send
+            let fetched = fetch.join().expect("prefetch thread panicked");
+            if result.is_ok() {
+                result = fetched;
+            }
+            result
+        });
+    }
+    let (work_tx, work_rx) = mpsc::sync_channel::<(usize, ChunkEntry, Shape, Blob<'_>)>(window);
     let work_rx = Mutex::new(work_rx);
     let (done_tx, done_rx) = mpsc::channel::<(usize, Result<Vec<T>, DecompressError>)>();
+    let abort = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len()) {
             let done_tx = done_tx.clone();
-            let work_rx = &work_rx;
-            let decode_owned = &decode_owned;
+            let (work_rx, slabs, abort) = (&work_rx, &slabs, &abort);
             scope.spawn(move || loop {
                 let next = {
                     let rx = work_rx.lock().unwrap_or_else(|p| p.into_inner());
                     rx.recv()
                 };
                 let Ok((seq, entry, cshape, blob)) = next else { break };
-                let r = decode_owned(entry, cshape, &blob);
+                let mut slab = slabs.get(cshape.len());
+                let decoded = decode_entry_blob(&blob, header, entry, cshape, &mut slab);
+                drop(blob); // recycle the buffer before signaling
+                let r = decoded.map(|()| slab);
+                if r.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
                 if done_tx.send((seq, r)).is_err() {
                     break;
                 }
             });
         }
         drop(done_tx);
-        let mut err: Option<DecompressError> = None;
-        let mut pending: BTreeMap<usize, Vec<T>> = BTreeMap::new();
-        let mut in_flight = 0usize; // fetched but not yet emitted
+        // `sent` jobs dispatched, `done` completions received, `retired`
+        // slabs emitted/recycled/failed. `sent - retired` is the
+        // fetch→emit credit the window bounds; because `retired ≤ done`,
+        // the work channel can never block the driver mid-send.
+        let (mut sent, mut done, mut retired) = (0usize, 0usize, 0usize);
         let mut next_emit = 0usize;
-        // Receive one completion; emit every slab that became
-        // consecutive. Returns false once an error is recorded.
-        let mut receive_one = |in_flight: &mut usize,
-                               err: &mut Option<DecompressError>,
+        let mut pending: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+        let mut err: Option<DecompressError> = None;
+        // Receive one completion; emit (and recycle) every slab that
+        // became consecutive. Returns false if the pool disconnected.
+        let receive_one = |err: &mut Option<DecompressError>,
                                pending: &mut BTreeMap<usize, Vec<T>>,
+                               next_emit: &mut usize,
+                               done: &mut usize,
+                               retired: &mut usize,
                                stats: &mut ReadStats,
-                               emit: &mut dyn FnMut(Vec<T>) -> Result<(), DecompressError>|
+                               emit: &mut dyn FnMut(&[T]) -> Result<(), DecompressError>|
          -> bool {
             match done_rx.recv() {
                 Ok((seq, Ok(slab))) => {
+                    *done += 1;
                     stats.chunks_decoded += 1;
+                    if err.is_some() {
+                        // Already failing: recycle without delivering.
+                        slabs.put(slab);
+                        *retired += 1;
+                        return true;
+                    }
                     pending.insert(seq, slab);
-                    while let Some(slab) = pending.remove(&next_emit) {
-                        if let Err(e) = emit(slab) {
+                    loop {
+                        let key = *next_emit;
+                        let Some(slab) = pending.remove(&key) else { break };
+                        let delivered = emit(&slab);
+                        slabs.put(slab);
+                        *retired += 1;
+                        *next_emit += 1;
+                        if let Err(e) = delivered {
                             *err = Some(e);
-                            return false;
+                            break;
                         }
-                        next_emit += 1;
-                        *in_flight -= 1;
                     }
                     true
                 }
                 Ok((_, Err(e))) => {
+                    *done += 1;
+                    *retired += 1;
                     if err.is_none() {
                         *err = Some(e);
                     }
-                    false
+                    true
                 }
-                Err(_) => {
-                    if err.is_none() {
-                        *err = Some(DecompressError::Corrupt("decode worker pool shut down"));
-                    }
-                    false
-                }
+                // All workers exited; only reachable once every
+                // dispatched job's completion was already received.
+                Err(_) => false,
             }
         };
         'dispatch: for (seq, (entry, cshape)) in jobs.into_iter().enumerate() {
-            while in_flight >= window {
-                if !receive_one(&mut in_flight, &mut err, &mut pending, stats, emit) {
+            while err.is_none() && sent - retired >= window {
+                if !receive_one(
+                    &mut err,
+                    &mut pending,
+                    &mut next_emit,
+                    &mut done,
+                    &mut retired,
+                    stats,
+                    emit,
+                ) {
                     break 'dispatch;
                 }
             }
-            match read_span(src, entry.offset as u64, entry.len) {
+            if err.is_some() || abort.load(Ordering::Relaxed) {
+                break;
+            }
+            match fetcher.fetch(entry) {
                 Ok(blob) => {
                     stats.blob_bytes_read += entry.len as u64;
                     if work_tx.send((seq, entry, cshape, blob)).is_err() {
                         break;
                     }
-                    in_flight += 1;
+                    sent += 1;
                 }
                 Err(e) => {
                     err = Some(e);
@@ -1065,13 +1332,23 @@ fn run_ordered_jobs<T: Scalar, R: Read + Seek>(
                 }
             }
         }
-        // Dropping both channel ends unblocks every worker: queued jobs
-        // may still decode, but their sends fail and the workers exit.
+        // Closing the work channel lets every worker drain and exit;
+        // their remaining completions are collected (and recycled or
+        // emitted) here.
         drop(work_tx);
-        while err.is_none() && in_flight > 0 {
-            receive_one(&mut in_flight, &mut err, &mut pending, stats, emit);
+        while done < sent {
+            if !receive_one(
+                &mut err,
+                &mut pending,
+                &mut next_emit,
+                &mut done,
+                &mut retired,
+                stats,
+                emit,
+            ) {
+                break;
+            }
         }
-        drop(done_rx);
         match err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -1088,11 +1365,19 @@ fn run_ordered_jobs<T: Scalar, R: Read + Seek>(
 /// runs unlocked), the immutable layout, and the aggregate counters.
 struct ReaderShared<R> {
     src: Mutex<R>,
+    /// Mapped view of the source where available: fetches through it
+    /// take **no lock at all** — concurrent requests don't serialize
+    /// even on the fetch stage.
+    map: Option<SourceMap>,
+    /// Recycled blob buffers; checked out *before* taking the source
+    /// lock so the critical section is exactly one seek+read.
+    blob_pool: BytePool,
     header: Header,
     chunk_rows: usize,
     entries: Vec<ChunkEntry>,
     chunks_decoded: AtomicU64,
     blob_bytes_read: AtomicU64,
+    reorder_copies: AtomicU64,
 }
 
 /// A shareable, cloneable decompression handle over **one** open archive
@@ -1137,6 +1422,17 @@ impl<R: Read + Seek> Clone for ConcurrentReader<R> {
     }
 }
 
+impl ConcurrentReader<std::fs::File> {
+    /// Open an archive file for shared reading, memory-mapping it when
+    /// the platform allows (Linux). Mapped fetches take **no lock at
+    /// all** — concurrent requests stop serializing even on the fetch
+    /// stage — and fall back to the pooled seek+read path (identical
+    /// results) where no mapping is available.
+    pub fn open_path(path: impl AsRef<std::path::Path>) -> Result<Self, DecompressError> {
+        ArchiveReader::open_path(path).map(ArchiveReader::into_concurrent)
+    }
+}
+
 impl<R: Read + Seek> ConcurrentReader<R> {
     /// Open an archive for shared concurrent reading: parse the header
     /// and chunk index, without reading any payload.
@@ -1145,13 +1441,22 @@ impl<R: Read + Seek> ConcurrentReader<R> {
         Ok(ConcurrentReader {
             shared: Arc::new(ReaderShared {
                 src: Mutex::new(src),
+                map: None,
+                blob_pool: BytePool::new(),
                 header: layout.header,
                 chunk_rows: layout.chunk_rows,
                 entries: layout.entries,
                 chunks_decoded: AtomicU64::new(0),
                 blob_bytes_read: AtomicU64::new(0),
+                reorder_copies: AtomicU64::new(0),
             }),
         })
+    }
+
+    /// Whether chunk fetches are served zero-copy (and lock-free) from a
+    /// memory-mapped source (see [`ConcurrentReader::open_path`]).
+    pub fn is_mapped(&self) -> bool {
+        self.shared.map.is_some()
     }
 
     /// The archive's parsed header.
@@ -1180,38 +1485,63 @@ impl<R: Read + Seek> ConcurrentReader<R> {
             chunks_total: self.shared.entries.len(),
             chunks_decoded: self.shared.chunks_decoded.load(Ordering::Relaxed),
             blob_bytes_read: self.shared.blob_bytes_read.load(Ordering::Relaxed),
+            reorder_copies: self.shared.reorder_copies.load(Ordering::Relaxed),
         }
     }
 
-    /// The **fetch** stage alone: one chunk's compressed bytes, read
-    /// under the source lock. Decoding always happens outside the lock,
-    /// so concurrent readers overlap on everything but the seek+read.
-    fn fetch_blob(&self, entry: ChunkEntry) -> Result<Vec<u8>, DecompressError> {
-        let mut src = self.shared.src.lock().unwrap_or_else(|p| p.into_inner());
-        read_span(&mut *src, entry.offset as u64, entry.len)
+    /// The **fetch** stage alone: one chunk's compressed bytes. Over a
+    /// mapped source this takes no lock — it is a bounds-checked window
+    /// of the shared mapping. Otherwise a recycled buffer is checked out
+    /// of the pool *before* locking, so the critical section is exactly
+    /// one seek+read; decoding always happens outside the lock either
+    /// way, so concurrent readers overlap on everything but that read.
+    fn fetch_blob(&self, entry: ChunkEntry) -> Result<Blob<'_>, DecompressError> {
+        if let Some(map) = &self.shared.map {
+            return entry
+                .offset
+                .checked_add(entry.len)
+                .and_then(|end| map.as_slice().get(entry.offset..end))
+                .map(Blob::Mapped)
+                .ok_or(DecompressError::Corrupt("chunk extent beyond mapped source"));
+        }
+        let mut buf = self.shared.blob_pool.get(entry.len);
+        let read = {
+            let mut src = self.shared.src.lock().unwrap_or_else(|p| p.into_inner());
+            read_span_into(&mut *src, entry.offset as u64, &mut buf)
+        };
+        match read {
+            Ok(()) => Ok(Blob::Pooled(buf, &self.shared.blob_pool)),
+            Err(e) => {
+                self.shared.blob_pool.put(buf);
+                Err(e)
+            }
+        }
     }
 
     /// Bump the aggregate counters for one decoded chunk.
-    fn count_decoded(&self, entry: ChunkEntry) {
+    fn count_decoded(&self, entry: ChunkEntry, reordered: bool) {
         self.shared.chunks_decoded.fetch_add(1, Ordering::Relaxed);
         self.shared.blob_bytes_read.fetch_add(entry.len as u64, Ordering::Relaxed);
+        self.shared.reorder_copies.fetch_add(reordered as u64, Ordering::Relaxed);
     }
 
-    /// Fetch one chunk's compressed bytes under the source lock, decode
-    /// its job outside the lock (full chunk or boundary crop, via the
-    /// same [`decode_slice_job`] the parallel engine uses), and update
-    /// this request's and the aggregate counters.
+    /// Fetch one chunk's compressed bytes (see [`Self::fetch_blob`]),
+    /// decode its job outside the lock (full chunk or boundary crop, via
+    /// the same [`decode_slice_job`] the parallel engine uses), and
+    /// update this request's and the aggregate counters.
     fn fetch_and_decode<T: Scalar>(
         &self,
         job: SliceJob<'_, T>,
+        scratch: &SlabPool<T>,
         req: &mut ReadStats,
     ) -> Result<(), DecompressError> {
         let entry = job.entry;
         let blob = self.fetch_blob(entry)?;
-        decode_slice_job(&self.shared.header, &blob, job)?;
+        let copied = decode_slice_job(&self.shared.header, &blob, job, scratch)?;
         req.chunks_decoded += 1;
         req.blob_bytes_read += entry.len as u64;
-        self.count_decoded(entry);
+        req.reorder_copies += copied as u64;
+        self.count_decoded(entry, copied);
         Ok(())
     }
 
@@ -1232,7 +1562,8 @@ impl<R: Read + Seek> ConcurrentReader<R> {
         let mut out = vec![T::zero(); cshape.len()];
         let mut req = ReadStats { chunks_total: self.shared.entries.len(), ..Default::default() };
         let take = 0..cshape.len();
-        self.fetch_and_decode(SliceJob { entry, cshape, take, dst: &mut out }, &mut req)?;
+        let scratch = SlabPool::new();
+        self.fetch_and_decode(SliceJob { entry, cshape, take, dst: &mut out }, &scratch, &mut req)?;
         Ok((entry.start_row, NdArray::from_vec(cshape, out), req))
     }
 
@@ -1260,6 +1591,9 @@ impl<R: Read + Seek> ConcurrentReader<R> {
         let out_rows = rows.end - rows.start;
         let mut out = vec![T::zero(); out_rows * row_elems];
         let mut req = ReadStats { chunks_total: self.shared.entries.len(), ..Default::default() };
+        // One scratch pool per request: a range crops at most its two
+        // boundary chunks, and they share the same recycled slab.
+        let scratch = SlabPool::new();
         for &entry in &self.shared.entries {
             let e_start = entry.start_row;
             let e_end = e_start + entry.rows;
@@ -1274,7 +1608,7 @@ impl<R: Read + Seek> ConcurrentReader<R> {
                 take: (lo - e_start) * row_elems..(hi - e_start) * row_elems,
                 dst: &mut out[(lo - rows.start) * row_elems..(hi - rows.start) * row_elems],
             };
-            self.fetch_and_decode(job, &mut req)?;
+            self.fetch_and_decode(job, &scratch, &mut req)?;
         }
         let mut dims = [0usize; MAX_DIMS];
         dims[..shape.ndim()].copy_from_slice(shape.dims());
@@ -1349,9 +1683,11 @@ impl<T: Scalar, R: Read + Seek + Send> ChunkSource<T> for ConcurrentReader<R> {
         };
         let cshape = entry_shape(self.shared.header.shape, entry);
         let blob = self.fetch_blob(entry)?;
+        // The decoded slab's ownership leaves through the `Arc`, so it
+        // cannot come from a pool — only the blob buffer recycles here.
         let mut out = vec![T::zero(); cshape.len()];
         decode_entry_blob(&blob, &self.shared.header, entry, cshape, &mut out)?;
-        self.count_decoded(entry);
+        self.count_decoded(entry, false);
         Ok(out.into())
     }
 }
@@ -1400,7 +1736,7 @@ pub fn assemble_rows<T: Scalar, S: ChunkSource<T> + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chunked::decompress_with_threads;
+    use crate::chunked::decompress_with_threads_exact;
     use crate::container::{chunk_table, peek_header};
     use crate::pipeline::{compress, decompress};
     use std::io::Cursor;
@@ -1472,7 +1808,7 @@ mod tests {
         for (&a, &b) in field.as_slice().iter().zip(back.as_slice()) {
             assert!((a - b).abs() <= 1e-3 * 1.001);
         }
-        let back2 = decompress_with_threads::<f32>(&bytes, 3).unwrap();
+        let back2 = decompress_with_threads_exact::<f32>(&bytes, 3).unwrap();
         assert_eq!(back.as_slice(), back2.as_slice());
         assert_eq!(chunk_table(&bytes).unwrap().entries.len(), 4);
     }
@@ -1845,6 +2181,120 @@ mod tests {
             r.read_all::<f64>(),
             Err(DecompressError::ScalarMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn poisoned_scratch_slab_is_fully_overwritten() {
+        // The pools hand back dirty buffers by contract; a partial-take
+        // decode through a garbage-seeded scratch pool must still yield
+        // exactly the reference rows.
+        let field = wavy(Shape::d3(18, 10, 8));
+        let bytes = stream_archive(&field, &cfg(), 18);
+        let mut r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let header = r.header().clone();
+        let entry = r.entries()[1];
+        let cshape = entry_shape(header.shape, entry);
+        let row_elems: usize = header.shape.dims()[1..].iter().product();
+        // Reference: rows 1.. of chunk 1 via the normal read path.
+        let want =
+            r.read_rows::<f32>(entry.start_row + 1..entry.start_row + entry.rows).unwrap();
+
+        let scratch = SlabPool::<f32>::new();
+        scratch.seed(vec![vec![f32::NAN; cshape.len()], vec![7.5e30; 3]]);
+        let take = row_elems..cshape.len();
+        let mut dst = vec![f32::NAN; take.end - take.start];
+        let blob = &bytes[entry.offset..entry.offset + entry.len];
+        let copied =
+            decode_slice_job(&header, blob, SliceJob { entry, cshape, take, dst: &mut dst }, &scratch)
+                .unwrap();
+        assert!(copied, "a partial take must go through scratch");
+        assert_eq!(&dst[..], want.as_slice());
+        assert!(dst.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zfp_zero_blocks_overwrite_dirty_slabs() {
+        // An all-zero field makes the zfp encoder emit empty blocks; the
+        // decoder must store explicit zeros rather than assume a zeroed
+        // destination, or recycled slabs would leak garbage.
+        let field = NdArray::<f32>::from_fn(Shape::d3(12, 8, 8), |_| 0.0);
+        let zcfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+            .chunked(6)
+            .with_codec(CodecChoice::Zfp);
+        let bytes = stream_archive(&field, &zcfg, 12);
+        let r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let header = r.header().clone();
+        let entry = r.entries()[0];
+        let cshape = entry_shape(header.shape, entry);
+        let row_elems: usize = header.shape.dims()[1..].iter().product();
+        let scratch = SlabPool::<f32>::new();
+        scratch.seed(vec![vec![123.0f32; cshape.len()]]);
+        let take = row_elems..cshape.len();
+        let mut dst = vec![123.0f32; take.end - take.start];
+        let blob = &bytes[entry.offset..entry.offset + entry.len];
+        decode_slice_job(&header, blob, SliceJob { entry, cshape, take, dst: &mut dst }, &scratch)
+            .unwrap();
+        assert!(dst.iter().all(|&v| v == 0.0), "dirty slab leaked through zfp zero blocks");
+    }
+
+    #[test]
+    fn repeated_reads_recycle_buffers_byte_identically() {
+        // Later reads run on recycled (dirty) blob buffers and scratch
+        // slabs — natural poisoning across calls — and must match the
+        // first read exactly; aligned reads must never reorder-copy.
+        let field = wavy(Shape::d3(24, 10, 8));
+        let bytes = stream_archive(&field, &cfg(), 24);
+        for threads in [1usize, 2] {
+            let mut r = ArchiveReader::open(Cursor::new(&bytes[..]))
+                .unwrap()
+                .with_threads_exact(threads);
+            let first = r.read_rows::<f32>(0..24).unwrap();
+            for _ in 0..3 {
+                let again = r.read_rows::<f32>(0..24).unwrap();
+                assert_eq!(first.as_slice(), again.as_slice(), "threads={threads}");
+            }
+            assert_eq!(r.stats().reorder_copies, 0, "aligned reads must decode in place");
+            // Cropping rows 3..15 cuts chunks 0 and 2 mid-chunk.
+            let _ = r.read_rows::<f32>(3..15).unwrap();
+            assert_eq!(r.stats().reorder_copies, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn open_path_mapped_reader_matches_in_memory() {
+        let field = wavy(Shape::d3(24, 10, 8));
+        let bytes = stream_archive(&field, &cfg(), 24);
+        let dir = std::env::temp_dir().join("rqm_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("mapped_{}.rqm", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut want_r = ArchiveReader::open(Cursor::new(&bytes[..])).unwrap();
+        let want = want_r.read_all::<f32>().unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let mut r = ArchiveReader::open_path(&path).unwrap().with_threads_exact(threads);
+            if cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))
+            {
+                assert!(r.is_mapped(), "expected an mmap-backed reader on Linux");
+            }
+            assert_eq!(want.as_slice(), r.read_all::<f32>().unwrap().as_slice());
+            // Ordered streaming over the same mapped source.
+            let mut streamed: Vec<f32> = Vec::new();
+            let mut r = ArchiveReader::open_path(&path).unwrap().with_threads_exact(threads);
+            r.decompress_rows::<f32>(|slab| {
+                streamed.extend_from_slice(slab);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(want.as_slice(), &streamed[..], "ordered threads={threads}");
+        }
+
+        // Concurrent mapped reader: fetches take no lock, bytes agree.
+        let cr = ConcurrentReader::open_path(&path).unwrap();
+        assert_eq!(want.as_slice(), cr.read_all::<f32>().unwrap().as_slice());
+        assert_eq!(cr.stats().reorder_copies, 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -211,11 +211,9 @@ impl<T: Scalar, R: Read + Seek + Send> WireSource for Typed<T, R> {
 
 /// Pick the typed source matching the archive's scalar tag.
 fn open_source<R: Read + Seek + Send + 'static>(
-    src: R,
+    reader: ConcurrentReader<R>,
     cache_bytes: u64,
 ) -> io::Result<Arc<dyn WireSource>> {
-    let reader = ConcurrentReader::open(src)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("open archive: {e}")))?;
     match reader.header().scalar_tag {
         t if t == <f32 as Scalar>::TAG => {
             Ok(Arc::new(Typed::<f32, R> { cache: ChunkCache::new(reader, cache_bytes) }))
@@ -273,10 +271,13 @@ pub struct Server {
 }
 
 impl Server {
-    /// Serve the archive file at `path`.
+    /// Serve the archive file at `path`, memory-mapped where the
+    /// platform allows: cache fills then fetch compressed extents
+    /// zero-copy and lock-free instead of serializing on a seek+read.
     pub fn bind_path<A: ToSocketAddrs>(addr: A, path: &Path, cfg: ServeConfig) -> io::Result<Server> {
-        let file = std::fs::File::open(path)?;
-        Server::bind_source(addr, open_source(file, cfg.cache_bytes)?, cfg)
+        let reader = ConcurrentReader::open_path(path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("open archive: {e}")))?;
+        Server::bind_source(addr, open_source(reader, cfg.cache_bytes)?, cfg)
     }
 
     /// Serve an in-memory archive image (tests, benches).
@@ -285,7 +286,9 @@ impl Server {
         bytes: Vec<u8>,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
-        Server::bind_source(addr, open_source(Cursor::new(bytes), cfg.cache_bytes)?, cfg)
+        let reader = ConcurrentReader::open(Cursor::new(bytes))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("open archive: {e}")))?;
+        Server::bind_source(addr, open_source(reader, cfg.cache_bytes)?, cfg)
     }
 
     fn bind_source<A: ToSocketAddrs>(

@@ -254,10 +254,15 @@ fn decode_payload<T: Scalar>(
 
     let perm = sequency_order(nd);
     let block_len = BLOCK_SIDE.pow(nd as u32);
+    let zeros = vec![0f64; block_len];
     for origin in block_origins(shape) {
         let nonempty = r.get_bit().ok_or(ZfpError::Corrupt("block flag"))?;
         if !nonempty {
-            continue; // zeros already in place
+            // Store explicit zeros: `out` may be a recycled (dirty)
+            // buffer, so the decoder must overwrite every element rather
+            // than rely on a pre-zeroed destination.
+            store_block(out, shape, &origin[..nd], &zeros);
+            continue;
         }
         let e_max = r.get_bits(12).ok_or(ZfpError::Corrupt("e_max"))? as i32 - 1100;
         let top = r.get_bits(7).ok_or(ZfpError::Corrupt("top"))? as i32;
