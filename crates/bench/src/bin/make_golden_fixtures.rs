@@ -10,6 +10,7 @@
 //! cargo run -p rq-bench --bin make_golden_fixtures -- <out-dir>
 //! ```
 
+use rq_catalog::CatalogWriter;
 use rq_compress::{
     chunk_table, compress_with_report, ArchiveWriter, ChunkCodecKind, CodecChoice,
     CompressorConfig,
@@ -65,6 +66,26 @@ fn v23_field() -> NdArray<f32> {
 /// and the mixed codec tags.
 const V23_PLAN: [f64; 4] = [2e-3, 1e-4, 5e-4, 5e-5];
 
+/// The catalog-v1 fixture's f32 dataset: a smooth field drifting slowly
+/// with the step index, so delta segments are genuinely smaller than
+/// keyframes (frozen here and duplicated in the compat test — the
+/// committed bytes encode *this* formula; never change it).
+fn cat1_wave_step(t: usize) -> NdArray<f32> {
+    NdArray::from_fn(Shape::d3(8, 10, 10), |ix| {
+        ((ix[0] as f64 * 0.3 + t as f64 * 0.05).sin() * 1.5
+            + ix[1] as f64 * 0.08
+            + ix[2] as f64 * 0.013
+            + t as f64 * 0.02) as f32
+    })
+}
+
+/// The catalog-v1 fixture's f64 dataset (frozen, see [`cat1_wave_step`]).
+fn cat1_energy_step(t: usize) -> NdArray<f64> {
+    NdArray::from_fn(Shape::d2(12, 9), |ix| {
+        (ix[0] as f64 * 0.22 + t as f64 * 0.11).cos() * 0.8 + ix[1] as f64 * 0.05
+    })
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/data".into());
     let field = v21_field();
@@ -112,4 +133,27 @@ fn main() {
     let path = format!("{dir}/golden_v23.rqc");
     std::fs::write(&path, &bytes).expect("write fixture");
     println!("wrote {path}: {} bytes, chunks {codecs:?}, plan {V23_PLAN:?}", bytes.len());
+
+    // Catalog v1: two datasets (f32 + f64), delta chains with distinct
+    // keyframe cadences, chunked segments — every layout feature of the
+    // RQCAT generation in one committed file.
+    let mut w = CatalogWriter::create(Vec::new()).expect("catalog preamble");
+    let wave: Vec<NdArray<f32>> = (0..5).map(cat1_wave_step).collect();
+    let wave_cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+        .chunked(4)
+        .with_threads(1);
+    w.write_dataset("wave", &wave_cfg, 2, &wave).expect("wave dataset");
+    let energy: Vec<NdArray<f64>> = (0..3).map(cat1_energy_step).collect();
+    let energy_cfg =
+        CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-6)).with_threads(1);
+    w.write_dataset("energy", &energy_cfg, 3, &energy).expect("energy dataset");
+    let fin = w.finalize().expect("finalize catalog");
+    let path = format!("{dir}/golden_cat1.rqc");
+    std::fs::write(&path, &fin.sink).expect("write fixture");
+    println!(
+        "wrote {path}: {} bytes, {} datasets / {} steps",
+        fin.sink.len(),
+        fin.index.datasets.len(),
+        fin.index.total_steps()
+    );
 }

@@ -1,0 +1,192 @@
+//! Temporal-delta catalog benchmark: compression-ratio win of residual
+//! coding over independent per-step archives, and the random-access cost
+//! of the delta chain, recorded to `BENCH_catalog.json`.
+//!
+//! A seeded RTM wavefield sequence (the slowly-evolving workload the
+//! catalog exists for) is packed twice under the **same absolute bound**
+//! — once with `keyframe_every = 1` (every step a self-contained
+//! archive: the independent baseline) and once with temporal-delta
+//! residual coding — and the two reconstructions' measured PSNR is
+//! reported next to the byte counts, so the ratio comparison is at
+//! matched quality, not matched knobs.
+//!
+//! Two contracts are **asserted**, not just recorded:
+//!
+//! - **Delta ≥ 1.3× independent**: the temporal-delta catalog must be at
+//!   least 1.3× smaller than the independent-step catalog on the RTM
+//!   sequence, or the predictor is not earning its place.
+//! - **Bounds hold**: every step of both catalogs stays within the
+//!   absolute bound element-wise.
+//!
+//! The cadence sweep then measures time-to-random-step at
+//! `keyframe_every` ∈ {1, 4, 16}: a delta chain makes random reads pay
+//! for up to `K - 1` extra residual decodes, and the sweep records that
+//! price next to the bytes each cadence saves.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin temporal_ratio [-- --quick]
+//! ```
+
+use rq_bench::{f, Table};
+use rq_catalog::{CatalogReader, CatalogWriter};
+use rq_compress::CompressorConfig;
+use rq_grid::NdArray;
+use rq_predict::PredictorKind;
+use rq_quant::ErrorBoundMode;
+use std::io::Write;
+use std::time::Instant;
+
+/// Deterministic xorshift64* stream for the random-step picks.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Pack `steps` into an in-memory catalog at the given keyframe cadence.
+fn pack(steps: &[NdArray<f32>], cfg: &CompressorConfig, keyframe_every: usize) -> Vec<u8> {
+    let mut w = CatalogWriter::create(Vec::new()).unwrap();
+    w.write_dataset("wave", cfg, keyframe_every, steps).unwrap();
+    w.finalize().unwrap().sink
+}
+
+/// Measured range-based PSNR of a catalog's reconstruction against the
+/// original steps, plus the worst element-wise error.
+fn measure(bytes: &[u8], steps: &[NdArray<f32>]) -> (f64, f64) {
+    let mut r = CatalogReader::open(std::io::Cursor::new(bytes)).unwrap();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut sq = 0.0f64;
+    let mut worst = 0.0f64;
+    let mut n = 0usize;
+    for (t, truth) in steps.iter().enumerate() {
+        let recon = r.read_step::<f32>("wave", t).unwrap();
+        for (&a, &b) in truth.as_slice().iter().zip(recon.as_slice()) {
+            let (a, b) = (a as f64, b as f64);
+            lo = lo.min(a);
+            hi = hi.max(a);
+            sq += (a - b) * (a - b);
+            worst = worst.max((a - b).abs());
+        }
+        n += truth.len();
+    }
+    let mse = sq / n as f64;
+    let psnr =
+        if mse > 0.0 { 20.0 * (hi - lo).log10() - 10.0 * mse.log10() } else { f64::INFINITY };
+    (psnr, worst)
+}
+
+/// Mean wall time (µs) of `n_reads` pseudo-random `read_step` calls.
+fn random_step_us(bytes: &[u8], n_steps: usize, n_reads: usize, seed: u64) -> f64 {
+    let mut r = CatalogReader::open(std::io::Cursor::new(bytes)).unwrap();
+    let mut rng = Rng(seed | 1);
+    let picks: Vec<usize> = (0..n_reads).map(|_| rng.below(n_steps)).collect();
+    let t0 = Instant::now();
+    for &t in &picks {
+        std::hint::black_box(r.read_step::<f32>("wave", t).unwrap());
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / n_reads as f64
+}
+
+fn main() {
+    let quick = rq_bench::quick() || std::env::args().any(|a| a == "--quick");
+    let (dims, n_steps, n_reads) =
+        if quick { ([16usize, 16, 16], 16usize, 24usize) } else { ([32, 32, 32], 32, 64) };
+    let eb = 1e-4f64;
+    let steps = rq_datagen::rtm_steps(0xBEC4, n_steps, dims);
+    let raw_bytes = n_steps * steps[0].len() * 4;
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(eb));
+
+    println!(
+        "# temporal-delta catalog — RTM {dims:?} × {n_steps} steps, abs bound {eb:.0e}, \
+         raw {raw_bytes} B"
+    );
+    println!();
+
+    // ---- delta vs independent at the same bound ----
+    let independent = pack(&steps, &cfg, 1);
+    let delta = pack(&steps, &cfg, 4);
+    let (ind_psnr, ind_worst) = measure(&independent, &steps);
+    let (del_psnr, del_worst) = measure(&delta, &steps);
+    assert!(
+        ind_worst <= eb && del_worst <= eb,
+        "bound violated: independent worst {ind_worst:.3e}, delta worst {del_worst:.3e} > {eb:.0e}"
+    );
+    let win = independent.len() as f64 / delta.len() as f64;
+    println!(
+        "independent (K=1): {} B, {ind_psnr:.1} dB    temporal-delta (K=4): {} B, \
+         {del_psnr:.1} dB    delta win {win:.2}x",
+        independent.len(),
+        delta.len(),
+    );
+    assert!(
+        win >= 1.3,
+        "temporal-delta catalog ({} B) is only {win:.2}x smaller than independent steps \
+         ({} B); residual coding must buy >= 1.3x on the RTM sequence",
+        delta.len(),
+        independent.len()
+    );
+    println!();
+
+    // ---- cadence sweep: bytes saved vs random-access price ----
+    let cadences = [1usize, 4, 16];
+    let mut rows: Vec<(usize, usize, f64, f64)> = Vec::new();
+    for &k in &cadences {
+        let bytes = pack(&steps, &cfg, k);
+        let (psnr, worst) = measure(&bytes, &steps);
+        assert!(worst <= eb, "cadence {k}: worst error {worst:.3e} > {eb:.0e}");
+        let us = random_step_us(&bytes, n_steps, n_reads, 0x5EED ^ k as u64);
+        rows.push((k, bytes.len(), psnr, us));
+    }
+    let mut t = Table::new(&["keyframe_every", "bytes", "ratio", "PSNR(dB)", "rand step(µs)"]);
+    for &(k, b, psnr, us) in &rows {
+        t.row(&[
+            k.to_string(),
+            b.to_string(),
+            f(raw_bytes as f64 / b as f64, 2),
+            f(psnr, 1),
+            f(us, 0),
+        ]);
+    }
+    t.print();
+
+    // Hand-rolled JSON (the workspace has no serde): the temporal
+    // compression trajectory across PRs.
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"temporal_ratio\",\n");
+    j.push_str(&format!("  \"field\": {dims:?},\n"));
+    j.push_str(&format!("  \"n_steps\": {n_steps},\n"));
+    j.push_str(&format!("  \"abs_bound\": {eb:e},\n"));
+    j.push_str(&format!("  \"raw_bytes\": {raw_bytes},\n"));
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!(
+        "  \"independent_bytes\": {}, \"independent_psnr_db\": {ind_psnr:.2},\n",
+        independent.len()
+    ));
+    j.push_str(&format!(
+        "  \"delta_bytes\": {}, \"delta_psnr_db\": {del_psnr:.2},\n",
+        delta.len()
+    ));
+    j.push_str(&format!("  \"delta_win\": {win:.3},\n"));
+    j.push_str("  \"cadences\": [\n");
+    for (i, &(k, b, psnr, us)) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"keyframe_every\": {k}, \"bytes\": {b}, \"ratio\": {:.3}, \
+             \"psnr_db\": {psnr:.2}, \"random_step_us\": {us:.1}}}{}\n",
+            raw_bytes as f64 / b as f64,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    let mut out = std::fs::File::create("BENCH_catalog.json").unwrap();
+    out.write_all(j.as_bytes()).unwrap();
+    println!("\nwrote BENCH_catalog.json ({} cadences)", rows.len());
+}

@@ -1,0 +1,46 @@
+//! The keyframe/delta arithmetic every code path shares.
+//!
+//! Reconstruction of a delta step is `T(recon_prev + residual)`,
+//! element-wise in `f64`. The writer's encoder mirror, the sequential
+//! [`CatalogReader`](crate::CatalogReader) and the concurrent
+//! [`DatasetReader`](crate::DatasetReader) (which backs `rq-serve`) all
+//! call the same two functions below, so a step decodes to byte-identical
+//! values no matter which path produced it.
+
+use rq_grid::Scalar;
+
+/// Residual `x - prev`, element-wise in `f64`, rounded back to `T`.
+pub(crate) fn residual<T: Scalar>(x: &[T], prev: &[T]) -> Vec<T> {
+    debug_assert_eq!(x.len(), prev.len());
+    x.iter().zip(prev).map(|(x, p)| T::from_f64(x.to_f64() - p.to_f64())).collect()
+}
+
+/// Reconstruction `prev + resid`, element-wise in `f64`, rounded back to
+/// `T`.
+pub(crate) fn add_residual<T: Scalar>(prev: &[T], resid: &[T]) -> Vec<T> {
+    debug_assert_eq!(prev.len(), resid.len());
+    prev.iter().zip(resid).map(|(p, r)| T::from_f64(p.to_f64() + r.to_f64())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_then_add_is_identity_for_f64() {
+        let prev = vec![1.0f64, -2.5, 1e300, 0.0];
+        let x = vec![1.5f64, -2.0, 1e300, -4.0];
+        let r = residual(&x, &prev);
+        assert_eq!(add_residual(&prev, &r), x);
+    }
+
+    #[test]
+    fn f32_roundtrip_error_is_sub_ulp() {
+        let prev: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin() * 20.0).collect();
+        let x: Vec<f32> = prev.iter().map(|v| v + 0.01).collect();
+        let r = residual(&x, &prev);
+        for (a, b) in add_residual(&prev, &r).iter().zip(&x) {
+            assert!((a - b).abs() <= b.abs() * 1e-6 + 1e-6);
+        }
+    }
+}

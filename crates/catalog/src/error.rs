@@ -1,0 +1,92 @@
+//! Typed failures of the catalog layer.
+
+use rq_compress::{CompressError, DecompressError};
+
+/// Everything that can go wrong writing or reading an `RQCAT` container.
+///
+/// Malformed input is always surfaced as a typed error — the parser never
+/// panics, whatever the bytes (see `tests/fuzz_container.rs`).
+#[derive(Debug)]
+pub enum CatalogError {
+    /// The bytes are not an `RQCAT` container or its structure is damaged.
+    Corrupt(&'static str),
+    /// The container declares a catalog generation this build cannot read.
+    UnsupportedVersion(u8),
+    /// A writer-side argument or configuration is invalid.
+    InvalidConfig(&'static str),
+    /// No dataset of that name in the catalog.
+    DatasetNotFound(String),
+    /// A step index at or past the dataset's step count.
+    StepOutOfRange {
+        /// Requested step.
+        step: usize,
+        /// Steps in the dataset.
+        n_steps: usize,
+    },
+    /// The requested scalar type differs from the stored dataset's.
+    ScalarMismatch {
+        /// Scalar tag recorded in the catalog index.
+        expected: u8,
+        /// Scalar tag of the requested type.
+        found: u8,
+    },
+    /// An embedded archive segment failed to encode.
+    Compress(CompressError),
+    /// An embedded archive segment failed to decode.
+    Decompress(DecompressError),
+    /// The underlying stream failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Corrupt(what) => write!(f, "corrupt catalog: {what}"),
+            CatalogError::UnsupportedVersion(v) => {
+                write!(f, "unsupported catalog version {v}")
+            }
+            CatalogError::InvalidConfig(what) => write!(f, "invalid catalog config: {what}"),
+            CatalogError::DatasetNotFound(name) => {
+                write!(f, "no dataset named {name:?} in the catalog")
+            }
+            CatalogError::StepOutOfRange { step, n_steps } => {
+                write!(f, "step {step} out of range (dataset has {n_steps} steps)")
+            }
+            CatalogError::ScalarMismatch { expected, found } => {
+                write!(f, "scalar tag mismatch: dataset stores {expected:#x}, requested {found:#x}")
+            }
+            CatalogError::Compress(e) => write!(f, "segment encode failed: {e}"),
+            CatalogError::Decompress(e) => write!(f, "segment decode failed: {e}"),
+            CatalogError::Io(e) => write!(f, "catalog stream failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Compress(e) => Some(e),
+            CatalogError::Decompress(e) => Some(e),
+            CatalogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompressError> for CatalogError {
+    fn from(e: CompressError) -> Self {
+        CatalogError::Compress(e)
+    }
+}
+
+impl From<DecompressError> for CatalogError {
+    fn from(e: DecompressError) -> Self {
+        CatalogError::Decompress(e)
+    }
+}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}

@@ -1,0 +1,161 @@
+//! Sequential catalog reader.
+
+use crate::delta::add_residual;
+use crate::error::CatalogError;
+use crate::format::{
+    parse_trailer, CatalogIndex, DatasetEntry, CATALOG_MAGIC, CATALOG_VERSION, PREAMBLE_LEN,
+    TRAILER_MAGIC, TRAILER_SUFFIX_LEN,
+};
+use crate::subrange::SubRange;
+use rq_compress::{decompress, ArchiveReader};
+use rq_grid::{NdArray, Scalar};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+
+/// Lazy-index reader over any `Read + Seek` source.
+///
+/// Opening parses only the trailer index; segment bytes are touched when
+/// a step is actually read. Any `(dataset, step)` segment can be opened
+/// as a perfectly ordinary single-field archive via
+/// [`CatalogReader::open_step`] — a catalog is archives all the way down.
+pub struct CatalogReader<R: Read + Seek> {
+    src: R,
+    index: CatalogIndex,
+}
+
+impl CatalogReader<File> {
+    /// Open a catalog file.
+    pub fn open_path(path: impl AsRef<std::path::Path>) -> Result<Self, CatalogError> {
+        Self::open(File::open(path)?)
+    }
+}
+
+impl<R: Read + Seek> CatalogReader<R> {
+    /// Validate the preamble, locate and parse the trailer index.
+    pub fn open(mut src: R) -> Result<Self, CatalogError> {
+        let file_len = src.seek(SeekFrom::End(0))?;
+        if file_len < (PREAMBLE_LEN + TRAILER_SUFFIX_LEN) as u64 {
+            return Err(CatalogError::Corrupt("file too short for a catalog"));
+        }
+
+        src.seek(SeekFrom::Start(0))?;
+        let mut preamble = [0u8; PREAMBLE_LEN];
+        src.read_exact(&mut preamble)?;
+        if &preamble[..5] != CATALOG_MAGIC {
+            return Err(CatalogError::Corrupt("bad catalog magic"));
+        }
+        if preamble[5] != CATALOG_VERSION {
+            return Err(CatalogError::UnsupportedVersion(preamble[5]));
+        }
+
+        src.seek(SeekFrom::Start(file_len - TRAILER_SUFFIX_LEN as u64))?;
+        let mut suffix = [0u8; TRAILER_SUFFIX_LEN];
+        src.read_exact(&mut suffix)?;
+        if &suffix[8..] != TRAILER_MAGIC {
+            return Err(CatalogError::Corrupt("bad trailer magic"));
+        }
+        let body_len = u64::from_le_bytes(suffix[..8].try_into().unwrap());
+        let max_body = file_len - (PREAMBLE_LEN + TRAILER_SUFFIX_LEN) as u64;
+        if body_len > max_body {
+            return Err(CatalogError::Corrupt("trailer length exceeds the file"));
+        }
+        let data_end = file_len - TRAILER_SUFFIX_LEN as u64 - body_len;
+
+        src.seek(SeekFrom::Start(data_end))?;
+        let mut body = vec![0u8; body_len as usize];
+        src.read_exact(&mut body)?;
+        let index = parse_trailer(&body, data_end)?;
+        Ok(CatalogReader { src, index })
+    }
+
+    /// The parsed catalog index.
+    pub fn index(&self) -> &CatalogIndex {
+        &self.index
+    }
+
+    /// Datasets in write order.
+    pub fn datasets(&self) -> &[DatasetEntry] {
+        &self.index.datasets
+    }
+
+    /// Look up a dataset by name.
+    pub fn dataset(&self, name: &str) -> Result<&DatasetEntry, CatalogError> {
+        let i = self
+            .index
+            .find(name)
+            .ok_or_else(|| CatalogError::DatasetNotFound(name.to_string()))?;
+        Ok(&self.index.datasets[i])
+    }
+
+    fn step_entry(
+        &self,
+        name: &str,
+        step: usize,
+    ) -> Result<crate::format::StepEntry, CatalogError> {
+        let d = self.dataset(name)?;
+        d.steps
+            .get(step)
+            .copied()
+            .ok_or(CatalogError::StepOutOfRange { step, n_steps: d.steps.len() })
+    }
+
+    /// Raw bytes of one step's embedded archive segment.
+    pub fn read_segment(&mut self, name: &str, step: usize) -> Result<Vec<u8>, CatalogError> {
+        let s = self.step_entry(name, step)?;
+        self.src.seek(SeekFrom::Start(s.offset))?;
+        let mut bytes = vec![0u8; s.len as usize];
+        self.src.read_exact(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Open one step's segment as a normal single-field archive.
+    ///
+    /// For delta steps the archive holds the *residual* stream, not the
+    /// field; use [`CatalogReader::read_step`] for reconstructed values.
+    pub fn open_step(
+        &mut self,
+        name: &str,
+        step: usize,
+    ) -> Result<ArchiveReader<SubRange<&mut R>>, CatalogError> {
+        let s = self.step_entry(name, step)?;
+        let sub = SubRange::new(&mut self.src, s.offset, s.len)?;
+        Ok(ArchiveReader::open(sub)?)
+    }
+
+    /// Decode the reconstructed field of `(dataset, step)`.
+    ///
+    /// Walks back to the nearest keyframe and applies the delta chain —
+    /// at most one keyframe plus `keyframe_every - 1` residual decodes.
+    pub fn read_step<T: Scalar>(
+        &mut self,
+        name: &str,
+        step: usize,
+    ) -> Result<NdArray<T>, CatalogError> {
+        let d = self.dataset(name)?;
+        if step >= d.steps.len() {
+            return Err(CatalogError::StepOutOfRange { step, n_steps: d.steps.len() });
+        }
+        if d.scalar_tag != T::TAG {
+            return Err(CatalogError::ScalarMismatch { expected: d.scalar_tag, found: T::TAG });
+        }
+        let shape = d.shape;
+        let kf = d
+            .keyframe_before(step)
+            .ok_or(CatalogError::Corrupt("no keyframe at or before the step"))?;
+
+        let bytes = self.read_segment(name, kf)?;
+        let mut recon = decompress::<T>(&bytes)?.into_vec();
+        if recon.len() != shape.len() {
+            return Err(CatalogError::Corrupt("segment shape differs from the index"));
+        }
+        for t in kf + 1..=step {
+            let bytes = self.read_segment(name, t)?;
+            let resid = decompress::<T>(&bytes)?;
+            if resid.len() != shape.len() {
+                return Err(CatalogError::Corrupt("segment shape differs from the index"));
+            }
+            recon = add_residual(&recon, resid.as_slice());
+        }
+        Ok(NdArray::from_vec(shape, recon))
+    }
+}

@@ -1,0 +1,106 @@
+//! A `Read + Seek` window over a byte range of another stream.
+
+use std::io::{self, Read, Seek, SeekFrom};
+
+/// Presents bytes `[start, start + len)` of an inner stream as a
+/// standalone `Read + Seek` source whose position 0 is `start`.
+///
+/// This is how an embedded archive segment of a catalog becomes "a normal
+/// archive" for [`rq_compress::ArchiveReader`] /
+/// [`rq_compress::ConcurrentReader`]: the segment's window is carved out
+/// and the archive reader never learns it lives inside a bigger file.
+///
+/// All reads and seeks must go through the window (the constructor seeks
+/// the inner stream to `start`); sharing the inner stream concurrently
+/// through other handles is fine, sharing the *same* handle is not.
+pub struct SubRange<S> {
+    inner: S,
+    start: u64,
+    len: u64,
+    /// Window-relative cursor; inner cursor is `start + pos`.
+    pos: u64,
+}
+
+impl<S: Seek> SubRange<S> {
+    /// Open a window of `len` bytes at absolute offset `start`.
+    pub fn new(mut inner: S, start: u64, len: u64) -> io::Result<Self> {
+        inner.seek(SeekFrom::Start(start))?;
+        Ok(SubRange { inner, start, len, pos: 0 })
+    }
+
+    /// Window length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Consume the window, returning the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Read + Seek> Read for SubRange<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remain = self.len.saturating_sub(self.pos);
+        if remain == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        let n = (buf.len() as u64).min(remain) as usize;
+        let got = self.inner.read(&mut buf[..n])?;
+        self.pos += got as u64;
+        Ok(got)
+    }
+}
+
+impl<S: Seek> Seek for SubRange<S> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let target = match pos {
+            SeekFrom::Start(p) => p as i128,
+            SeekFrom::End(off) => self.len as i128 + off as i128,
+            SeekFrom::Current(off) => self.pos as i128 + off as i128,
+        };
+        if target < 0 || target > u64::MAX as i128 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seek before start of sub-range",
+            ));
+        }
+        // Seeking past the end is legal (like a file); reads there hit EOF.
+        let target = target as u64;
+        self.inner.seek(SeekFrom::Start(self.start + target))?;
+        self.pos = target;
+        Ok(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_are_clamped_to_the_window() {
+        let data: Vec<u8> = (0u8..100).collect();
+        let mut sr = SubRange::new(Cursor::new(data), 10, 20).unwrap();
+        let mut buf = [0u8; 64];
+        let n = sr.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], &(10u8..30).collect::<Vec<_>>()[..]);
+        assert_eq!(sr.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn seek_is_window_relative() {
+        let data: Vec<u8> = (0u8..100).collect();
+        let mut sr = SubRange::new(Cursor::new(data), 10, 20).unwrap();
+        assert_eq!(sr.seek(SeekFrom::End(-4)).unwrap(), 16);
+        let mut buf = [0u8; 8];
+        let n = sr.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], &[26, 27, 28, 29]);
+        assert!(sr.seek(SeekFrom::Current(-100)).is_err());
+    }
+}

@@ -60,14 +60,17 @@ impl Args {
         parse_shape(raw)
     }
 
-    /// Parse `--predictor lorenzo|lorenzo2|interpolation|regression`
-    /// (default interpolation).
+    /// Parse `--predictor lorenzo|lorenzo2|interpolation|regression|
+    /// temporal-delta` (default interpolation). `temporal-delta` marks
+    /// residual streams inside `rqm pack` catalogs; on a single field it
+    /// traverses like order-1 Lorenzo.
     pub fn predictor(&self) -> Result<PredictorKind, String> {
         match self.get("predictor").unwrap_or("interpolation") {
             "lorenzo" => Ok(PredictorKind::Lorenzo),
             "lorenzo2" => Ok(PredictorKind::Lorenzo2),
             "interpolation" | "interp" => Ok(PredictorKind::Interpolation),
             "regression" => Ok(PredictorKind::Regression),
+            "temporal-delta" | "temporal" => Ok(PredictorKind::TemporalDelta),
             other => Err(format!("unknown predictor '{other}'")),
         }
     }

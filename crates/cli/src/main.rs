@@ -10,10 +10,16 @@
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
 //!                [--predictor …]           # model-only, no compression
 //! rqm info       <in.rqc> [--json]
+//! rqm pack       <out.rqc> --steps N --shape D0xD1xD2 --abs EB
+//!                [--datasets a,b,c] [--keyframe-every K] [--seed S]
+//!                [--predictor P] [--chunk-size ROWS]
+//!                [--input raw.f32 [--dataset NAME]]
+//! rqm unpack     <in.rqc> <outdir> [--dataset NAME] [--step T]
+//! rqm catalog    <in.rqc> [--json]
 //! rqm serve      <in.rqc> --addr HOST:PORT [--cache-bytes N] [--threads N]
 //!                [--metrics-every SECS]
 //! rqm read       --addr HOST:PORT [--rows A..B | --chunk I] [--out FILE]
-//!                [--stats]
+//!                [--stats] [--list] [--dataset NAME [--step T]]
 //! ```
 //!
 //! **Quality-targeted compression** (`--target-psnr` / `--target-size`,
@@ -64,20 +70,37 @@
 //! client: fetch a row range or a single chunk into a raw
 //! little-endian file, and `--stats` prints the server's counters.
 //!
+//! **Temporal catalogs** (`pack` / `unpack` / `catalog`): a whole
+//! simulation — N named datasets, each a sequence of time steps — goes
+//! into one `RQCAT` container. Steps are stored as embedded single-field
+//! archives; every `--keyframe-every`-th step is self-contained and the
+//! steps between code *residuals* against the reconstruction of the
+//! previous step (the temporal-delta predictor), so slowly-evolving
+//! fields cost a fraction of independent archives while every step still
+//! honors the dataset's absolute bound. Without `--input`, `pack` pulls
+//! its steps from the seeded RTM wavefield generator (one independent
+//! physics perturbation per dataset name); with `--input` it packs a raw
+//! little-endian f32 file holding `--steps` concatenated fields. `rqm
+//! info`, `rqm serve` and `rqm read` all recognize catalogs: `info`
+//! summarizes the index, `serve` answers the protocol-v2
+//! `LIST_DATASETS`/`READ_STEP_ROWS` requests over it, and `read --list`
+//! / `--dataset NAME --step T` are the matching client sides.
+//!
 //! Raw inputs are little-endian `f32` streams in row-major order.
 
 mod args;
 mod io;
 
 use args::Args;
+use rq_catalog::{is_catalog_magic, CatalogIndex, CatalogReader, CatalogWriter};
 use rq_compress::{
-    compress_with_report, ArchiveReader, ArchiveWriter, ChunkCodecKind, CodecChoice,
-    CompressionReport, CompressorConfig, Header,
+    compress_with_report, generation_name, ArchiveReader, ArchiveWriter, ChunkCodecKind,
+    CodecChoice, CompressionReport, CompressorConfig, Header,
 };
 use rq_core::RqModel;
 use rq_grid::{NdArray, Shape, MAX_DIMS};
 use rq_quant::ErrorBoundMode;
-use rq_serve::{Client, ServeConfig, Server};
+use rq_serve::{Client, DatasetInfo, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
@@ -103,10 +126,16 @@ usage:
   rqm decompress <in.rqc> <out.f32> [--threads N]
   rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
   rqm info       <in.rqc> [--json]
+  rqm pack       <out.rqc> --steps N --shape D0xD1xD2 --abs EB
+                 [--datasets a,b,c] [--keyframe-every K] [--seed S]
+                 [--predictor P] [--chunk-size ROWS]
+                 [--input raw.f32 [--dataset NAME]]
+  rqm unpack     <in.rqc> <outdir> [--dataset NAME] [--step T]
+  rqm catalog    <in.rqc> [--json]
   rqm serve      <in.rqc> --addr HOST:PORT [--cache-bytes N] [--threads N]
                  [--metrics-every SECS]
   rqm read       --addr HOST:PORT [--rows A..B | --chunk I] [--out FILE]
-                 [--stats]";
+                 [--stats] [--list] [--dataset NAME [--step T]]";
 
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -116,6 +145,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "decompress" => cmd_decompress(&args),
         "estimate" => cmd_estimate(&args),
         "info" => cmd_info(&args),
+        "pack" => cmd_pack(&args),
+        "unpack" => cmd_unpack(&args),
+        "catalog" => cmd_catalog(&args),
         "serve" => cmd_serve(&args),
         "read" => cmd_read(&args),
         "" => Err("no command given".into()),
@@ -686,9 +718,15 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
 fn cmd_decompress(args: &Args) -> Result<(), String> {
     let [_, input, output] = positional::<3>(args)?;
     let mut src = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
-    let mut magic = [0u8; 4];
+    let mut magic = [0u8; 6];
     let sniffed = src.read(&mut magic).map_err(|e| format!("{input}: {e}"))?;
-    if sniffed == 4 && &magic == b"RQZF" {
+    if sniffed >= 6 && is_catalog_magic(&magic) {
+        return Err(format!(
+            "{input} is an RQCAT temporal catalog, not a single-field archive; \
+             use `rqm unpack`"
+        ));
+    }
+    if sniffed >= 4 && &magic[..4] == b"RQZF" {
         // Standalone transform-codec stream: whole-buffer decode.
         let bytes = io::read_bytes(&input)?;
         let field: NdArray<f32> = rq_zfp::zfp_decompress(&bytes)
@@ -789,17 +827,6 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Human name of a container version byte ("2.1" for byte 3, …).
-fn version_name(version: u8) -> &'static str {
-    match version {
-        1 => "1",
-        2 => "2",
-        3 => "2.1",
-        5 => "2.3",
-        _ => "2.2",
-    }
-}
-
 /// Emit the header + chunk table as machine-readable JSON (hand-rolled,
 /// no dependencies — the structure is flat enough that a serializer
 /// would be overkill).
@@ -815,7 +842,7 @@ fn print_info_json(
     out.push_str("{\n");
     out.push_str(&format!("  \"file\": \"{}\",\n", json_escape(input)));
     out.push_str("  \"format\": \"rqmc\",\n");
-    out.push_str(&format!("  \"version\": \"{}\",\n", version_name(h.version)));
+    out.push_str(&format!("  \"generation\": \"{}\",\n", generation_name(h.version)));
     out.push_str(&format!("  \"version_byte\": {},\n", h.version));
     out.push_str(&format!("  \"bytes\": {total_bytes},\n"));
     let dims: Vec<String> = h.shape.dims().iter().map(|d| d.to_string()).collect();
@@ -859,9 +886,16 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     let json = args.flag("json");
     let mut src = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
     let total_bytes = src.metadata().map_err(|e| format!("{input}: {e}"))?.len();
-    let mut magic = [0u8; 4];
+    let mut magic = [0u8; 6];
     let sniffed = src.read(&mut magic).map_err(|e| format!("{input}: {e}"))?;
-    if sniffed == 4 && &magic == b"RQZF" {
+    if sniffed >= 6 && is_catalog_magic(&magic) {
+        drop(src);
+        let reader = CatalogReader::open_path(&input)
+            .map_err(|e| format!("not a readable catalog: {e}"))?;
+        print_catalog(&input, total_bytes, reader.index(), json);
+        return Ok(());
+    }
+    if sniffed >= 4 && &magic[..4] == b"RQZF" {
         if json {
             println!(
                 "{{\n  \"file\": \"{}\",\n  \"format\": \"rqzf\",\n  \"bytes\": {total_bytes}\n}}",
@@ -884,7 +918,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     println!("{input}: RQMC container v{} ({}), {total_bytes} bytes",
-        version_name(h.version), h.version);
+        generation_name(h.version), h.version);
     println!("  shape:      {:?}", h.shape);
     println!("  scalar:     {}", if h.scalar_tag == 0x04 { "f32" } else { "f64" });
     println!("  predictor:  {}", h.predictor.name());
@@ -917,6 +951,281 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     }
     let ratio = (h.shape.len() * scalar_bytes) as f64 / (total_bytes as f64).max(1.0);
     println!("  ratio:      {ratio:.2}");
+    Ok(())
+}
+
+/// Summarize a catalog index: one block per dataset, with the per-step
+/// segment table and the dataset's overall ratio (raw bytes over segment
+/// bytes — the trailer itself is excluded, it is shared bookkeeping).
+fn print_catalog(input: &str, total_bytes: u64, index: &CatalogIndex, json: bool) {
+    let scalar_name = |tag: u8| if tag == 0x04 { "f32" } else { "f64" };
+    let scalar_bytes = |tag: u8| if tag == 0x04 { 4usize } else { 8 };
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"file\": \"{}\",\n", json_escape(input)));
+        out.push_str("  \"format\": \"rqcat\",\n");
+        out.push_str(&format!("  \"version_byte\": {},\n", rq_catalog::CATALOG_VERSION));
+        out.push_str(&format!("  \"bytes\": {total_bytes},\n"));
+        out.push_str("  \"datasets\": [\n");
+        for (i, d) in index.datasets.iter().enumerate() {
+            let raw = d.steps.len() * d.shape.len() * scalar_bytes(d.scalar_tag);
+            let seg: u64 = d.steps.iter().map(|s| s.len).sum();
+            let dims: Vec<String> = d.shape.dims().iter().map(|x| x.to_string()).collect();
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"scalar\": \"{}\", \"shape\": [{}], \
+                 \"steps\": {}, \"keyframe_every\": {}, \"abs_bound\": {:e}, \
+                 \"segment_bytes\": {seg}, \"ratio\": {:.4}, \"steps_detail\": [\n",
+                json_escape(&d.name),
+                scalar_name(d.scalar_tag),
+                dims.join(", "),
+                d.steps.len(),
+                d.keyframe_every,
+                d.steps[0].eb,
+                raw as f64 / seg.max(1) as f64,
+            ));
+            for (t, s) in d.steps.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"step\": {t}, \"keyframe\": {}, \"offset\": {}, \
+                     \"bytes\": {}, \"codec\": \"{}\", \"eb\": {:e}}}{}\n",
+                    s.keyframe,
+                    s.offset,
+                    s.len,
+                    s.codec.name(),
+                    s.eb,
+                    if t + 1 < d.steps.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 < index.datasets.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+        return;
+    }
+    println!(
+        "{input}: RQCAT catalog v{}, {total_bytes} bytes, {} dataset(s), {} steps",
+        rq_catalog::CATALOG_VERSION,
+        index.datasets.len(),
+        index.total_steps()
+    );
+    for d in &index.datasets {
+        let raw = d.steps.len() * d.shape.len() * scalar_bytes(d.scalar_tag);
+        let seg: u64 = d.steps.iter().map(|s| s.len).sum();
+        println!(
+            "  {}: {} {:?}, {} steps (keyframe every {}), abs bound {:.3e}",
+            d.name,
+            scalar_name(d.scalar_tag),
+            d.shape,
+            d.steps.len(),
+            d.keyframe_every,
+            d.steps[0].eb,
+        );
+        for (t, s) in d.steps.iter().enumerate() {
+            println!(
+                "    step {t:>4} {} {:>10} bytes at {:<10} {}",
+                if s.keyframe { "key  " } else { "delta" },
+                s.len,
+                s.offset,
+                s.codec.name(),
+            );
+        }
+        println!(
+            "    {raw} -> {seg} segment bytes (ratio {:.2})",
+            raw as f64 / seg.max(1) as f64
+        );
+    }
+}
+
+/// Large odd stride between per-dataset seeds, so `pack --datasets a,b,c`
+/// gets three decorrelated RTM perturbations from one `--seed`.
+const PACK_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn cmd_pack(args: &Args) -> Result<(), String> {
+    let [_, output] = positional::<2>(args)?;
+    let shape = args.shape()?;
+    let n_steps = args.unsigned("steps")?.ok_or("pack requires --steps N")?;
+    if n_steps == 0 {
+        return Err("--steps must be positive".into());
+    }
+    let eb = args
+        .float("abs")?
+        .ok_or("pack requires an absolute error bound (--abs EB)")?;
+    let keyframe_every = args.unsigned("keyframe-every")?.unwrap_or(4);
+    if keyframe_every == 0 {
+        return Err("--keyframe-every must be positive".into());
+    }
+    let mut cfg = CompressorConfig::new(args.predictor()?, ErrorBoundMode::Abs(eb));
+    match args.unsigned("chunk-size")? {
+        Some(0) => return Err("--chunk-size must be positive".into()),
+        Some(rows) => cfg = cfg.chunked(rows),
+        None => {}
+    }
+    let input = args.get("input");
+    if input.is_none() {
+        // RTM datagen mode: the wave simulator needs a 3-D grid of at
+        // least 8 points per axis.
+        if shape.ndim() != 3 {
+            return Err("pack without --input simulates an RTM wavefield and needs a \
+                        3-D --shape (use --input for raw data)"
+                .into());
+        }
+        if shape.dims().iter().any(|&d| d < 8) {
+            return Err(format!(
+                "RTM datagen needs every extent >= 8, got {:?}",
+                shape.dims()
+            ));
+        }
+    }
+
+    let tmp = format!("{output}.rqm-partial");
+    let result = (|| -> Result<(u64, usize), String> {
+        let sink = std::io::BufWriter::new(
+            std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?,
+        );
+        let mut w = CatalogWriter::create(sink).map_err(|e| format!("{tmp}: {e}"))?;
+        let mut n_datasets = 0usize;
+        if let Some(inputf) = input {
+            // Raw mode: `--steps` concatenated shape-sized f32 fields.
+            let name = args.get("dataset").unwrap_or("field");
+            let step_shape = shape;
+            let stream_shape = {
+                let mut dims = [0usize; MAX_DIMS];
+                dims[..shape.ndim()].copy_from_slice(shape.dims());
+                dims[0] *= n_steps;
+                Shape::new(&dims[..shape.ndim()])
+            };
+            let mut src =
+                std::io::BufReader::new(io::open_raw_f32(inputf, stream_shape)?);
+            let mut dw = w
+                .begin_dataset::<f32>(name, &cfg, keyframe_every, step_shape)
+                .map_err(|e| format!("pack failed: {e}"))?;
+            for _ in 0..n_steps {
+                let slab = io::read_f32_slab(&mut src, step_shape)
+                    .map_err(|e| format!("{inputf}: {e}"))?;
+                dw.write_step(&slab).map_err(|e| format!("pack failed: {e}"))?;
+            }
+            dw.finish().map_err(|e| format!("pack failed: {e}"))?;
+            n_datasets = 1;
+        } else {
+            let dims = [shape.dim(0), shape.dim(1), shape.dim(2)];
+            let seed = args.unsigned("seed")?.unwrap_or(1) as u64;
+            for (i, name) in args.get("datasets").unwrap_or("pressure").split(',').enumerate() {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err("--datasets contains an empty name".into());
+                }
+                let steps = rq_datagen::rtm_steps(
+                    seed.wrapping_add((i as u64).wrapping_mul(PACK_SEED_STRIDE)),
+                    n_steps,
+                    dims,
+                );
+                let mut dw = w
+                    .begin_dataset::<f32>(name, &cfg, keyframe_every, shape)
+                    .map_err(|e| format!("pack failed: {e}"))?;
+                for s in &steps {
+                    dw.write_step(s).map_err(|e| format!("pack failed: {e}"))?;
+                }
+                dw.finish().map_err(|e| format!("pack failed: {e}"))?;
+                n_datasets += 1;
+            }
+        }
+        let fin = w.finalize().map_err(|e| format!("pack failed: {e}"))?;
+        fin.sink
+            .into_inner()
+            .map_err(|e| format!("{tmp}: {e}"))?
+            .sync_all()
+            .map_err(|e| format!("{tmp}: {e}"))?;
+        Ok((fin.bytes_written, n_datasets))
+    })();
+    match result {
+        Ok((bytes, n_datasets)) => {
+            std::fs::rename(&tmp, &output).map_err(|e| format!("{output}: {e}"))?;
+            let raw = n_datasets * n_steps * shape.len() * 4;
+            println!(
+                "{output}: {n_datasets} dataset(s) × {n_steps} steps (keyframe every \
+                 {keyframe_every}), {raw} -> {bytes} bytes (ratio {:.2})",
+                raw as f64 / bytes.max(1) as f64
+            );
+            Ok(())
+        }
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+fn cmd_unpack(args: &Args) -> Result<(), String> {
+    let [_, input, outdir] = positional::<3>(args)?;
+    let only = args.get("dataset");
+    let step_sel = args.unsigned("step")?;
+    let mut reader =
+        CatalogReader::open_path(&input).map_err(|e| format!("not a readable catalog: {e}"))?;
+    let selected: Vec<(String, u8, usize, Shape)> = reader
+        .datasets()
+        .iter()
+        .filter(|d| only.is_none_or(|n| n == d.name))
+        .map(|d| (d.name.clone(), d.scalar_tag, d.steps.len(), d.shape))
+        .collect();
+    if selected.is_empty() {
+        return Err(format!("{input}: no dataset named '{}'", only.unwrap_or("")));
+    }
+    std::fs::create_dir_all(&outdir).map_err(|e| format!("{outdir}: {e}"))?;
+    for (name, tag, n_steps, shape) in selected {
+        let steps: Vec<usize> = match step_sel {
+            Some(t) if t >= n_steps => {
+                return Err(format!("{name}: step {t} out of range (0..{n_steps})"))
+            }
+            Some(t) => vec![t],
+            None => (0..n_steps).collect(),
+        };
+        let ext = if tag == 0x04 { "f32" } else { "f64" };
+        let file = match step_sel {
+            Some(t) => format!("{outdir}/{name}_t{t}.{ext}"),
+            None => format!("{outdir}/{name}.{ext}"),
+        };
+        let scalar_bytes = if tag == 0x04 { 4 } else { 8 };
+        let mut raw = Vec::with_capacity(steps.len() * shape.len() * scalar_bytes);
+        for &t in &steps {
+            match tag {
+                0x04 => {
+                    let f = reader
+                        .read_step::<f32>(&name, t)
+                        .map_err(|e| format!("{name} step {t}: {e}"))?;
+                    for &v in f.as_slice() {
+                        raw.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                _ => {
+                    let f = reader
+                        .read_step::<f64>(&name, t)
+                        .map_err(|e| format!("{name} step {t}: {e}"))?;
+                    for &v in f.as_slice() {
+                        raw.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        io::write_bytes(&file, &raw)?;
+        println!(
+            "{name}: {} step(s) of {:?} -> {file} ({} bytes)",
+            steps.len(),
+            shape,
+            raw.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_catalog(args: &Args) -> Result<(), String> {
+    let [_, input] = positional::<2>(args)?;
+    let total_bytes = std::fs::metadata(&input).map_err(|e| format!("{input}: {e}"))?.len();
+    let reader =
+        CatalogReader::open_path(&input).map_err(|e| format!("not a readable catalog: {e}"))?;
+    print_catalog(&input, total_bytes, reader.index(), args.flag("json"));
     Ok(())
 }
 
@@ -956,6 +1265,69 @@ fn cmd_read(args: &Args) -> Result<(), String> {
     if rows.is_some() && chunk.is_some() {
         return Err("--rows and --chunk are mutually exclusive".into());
     }
+    if args.flag("list") {
+        // Protocol-v2 dataset listing: every server answers (plain
+        // archives present themselves as one pseudo-dataset).
+        let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+        let datasets = client.list_datasets().map_err(|e| e.to_string())?;
+        println!("{addr}: {} dataset(s)", datasets.len());
+        for d in &datasets {
+            println!(
+                "  [{}] {}: {} {:?}, {} steps (keyframe every {}), {} chunks/step, \
+                 abs bound {:.3e}",
+                d.index,
+                d.name,
+                if d.scalar_tag == 0x04 { "f32" } else { "f64" },
+                d.step_dims,
+                d.n_steps,
+                d.keyframe_every,
+                d.chunks_per_step,
+                d.abs_eb,
+            );
+        }
+        if args.flag("stats") {
+            print_server_stats(&mut client)?;
+        }
+        return Ok(());
+    }
+    if let Some(name) = args.get("dataset") {
+        if chunk.is_some() {
+            return Err("--dataset selects with --step/--rows, not --chunk".into());
+        }
+        let step = args.unsigned("step")?.unwrap_or(0) as u64;
+        let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+        let ds = client
+            .list_datasets()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| format!("{addr}: no dataset named '{name}'"))?;
+        let (start, end) = rows.unwrap_or((0, ds.step_rows()));
+        let raw = match ds.scalar_tag {
+            0x04 => step_scalars::<f32>(&mut client, &ds, step, start..end)?,
+            0x08 => step_scalars::<f64>(&mut client, &ds, step, start..end)?,
+            t => return Err(format!("dataset holds unsupported scalar tag {t:#04x}")),
+        };
+        if let Some(out) = args.get("out") {
+            io::write_bytes(out, &raw)?;
+            println!(
+                "{addr} {name} step {step} rows {start}..{end}: {} bytes -> {out}",
+                raw.len()
+            );
+        } else {
+            println!(
+                "{addr} {name} step {step} rows {start}..{end}: {} bytes (step shape \
+                 {:?}, {} steps)",
+                raw.len(),
+                ds.step_dims,
+                ds.n_steps
+            );
+        }
+        if args.flag("stats") {
+            print_server_stats(&mut client)?;
+        }
+        return Ok(());
+    }
     let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
     let info = client.info().clone();
     // The server holds either f32 or f64; fetch with the matching type
@@ -986,27 +1358,48 @@ fn cmd_read(args: &Args) -> Result<(), String> {
         );
     }
     if args.flag("stats") {
-        let s = client.stats().map_err(|e| e.to_string())?;
-        let lookups = s.cache.hits + s.cache.misses;
-        let hit_pct =
-            if lookups == 0 { 0.0 } else { 100.0 * s.cache.hits as f64 / lookups as f64 };
-        println!(
-            "server: {} requests, {} errors, {} connections, {} bytes out",
-            s.requests, s.errors, s.connections, s.bytes_out
-        );
-        println!(
-            "cache:  {:.1}% hit ({} hits / {} misses), {} coalesced, {} evicted, {} bytes resident (peak {}), {} chunks decoded",
-            hit_pct,
-            s.cache.hits,
-            s.cache.misses,
-            s.cache.coalesced_waits,
-            s.cache.evictions,
-            s.cache.bytes_cached,
-            s.cache.bytes_peak,
-            s.chunks_decoded
-        );
+        print_server_stats(&mut client)?;
     }
     Ok(())
+}
+
+/// Print the server's counters (the `--stats` flag of `rqm read`).
+fn print_server_stats(client: &mut Client) -> Result<(), String> {
+    let s = client.stats().map_err(|e| e.to_string())?;
+    let lookups = s.cache.hits + s.cache.misses;
+    let hit_pct = if lookups == 0 { 0.0 } else { 100.0 * s.cache.hits as f64 / lookups as f64 };
+    println!(
+        "server: {} requests, {} errors, {} connections, {} bytes out",
+        s.requests, s.errors, s.connections, s.bytes_out
+    );
+    println!(
+        "cache:  {:.1}% hit ({} hits / {} misses), {} coalesced, {} evicted, {} bytes resident (peak {}), {} chunks decoded",
+        hit_pct,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.coalesced_waits,
+        s.cache.evictions,
+        s.cache.bytes_cached,
+        s.cache.bytes_peak,
+        s.chunks_decoded
+    );
+    Ok(())
+}
+
+/// Fetch a row range of one step of a served dataset as raw
+/// little-endian bytes.
+fn step_scalars<T: rq_grid::Scalar>(
+    client: &mut Client,
+    ds: &DatasetInfo,
+    step: u64,
+    rows: std::ops::Range<usize>,
+) -> Result<Vec<u8>, String> {
+    let slab = client.read_step_rows::<T>(ds, step, rows).map_err(|e| e.to_string())?;
+    let mut raw = Vec::with_capacity(slab.len() * T::BYTES);
+    for &v in slab.as_slice() {
+        v.write_le(&mut raw);
+    }
+    Ok(raw)
 }
 
 /// Fetch the requested rows/chunk as raw little-endian bytes; returns
@@ -1514,5 +1907,210 @@ mod tests {
         run_args(&["read", "--addr", &addr]).unwrap();
         assert!(run_args(&["read", "--addr", &addr, "--rows", "0..99"]).is_err());
         server.shutdown();
+    }
+
+    /// The acceptance path end to end: `pack` an RTM catalog of 3
+    /// datasets × 8 steps, `unpack` it, and check every step of every
+    /// dataset against a fresh run of the same seeded simulation.
+    #[test]
+    fn pack_unpack_roundtrip_meets_bound_on_every_step() {
+        let cat = tmp("cat.rqc");
+        let outdir = tmp("cat_unpacked");
+        let eb = 1e-3f32;
+        run_args(&[
+            "pack",
+            cat.to_str().unwrap(),
+            "--steps",
+            "8",
+            "--shape",
+            "12x10x8",
+            "--abs",
+            "1e-3",
+            "--datasets",
+            "pressure,vx,vz",
+            "--keyframe-every",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        run_args(&["catalog", cat.to_str().unwrap()]).unwrap();
+        run_args(&["catalog", cat.to_str().unwrap(), "--json"]).unwrap();
+        // `info` sniffs the RQCAT magic and prints the same summary.
+        run_args(&["info", cat.to_str().unwrap()]).unwrap();
+        run_args(&["info", cat.to_str().unwrap(), "--json"]).unwrap();
+        run_args(&["unpack", cat.to_str().unwrap(), outdir.to_str().unwrap()]).unwrap();
+        for (i, name) in ["pressure", "vx", "vz"].iter().enumerate() {
+            let truth = rq_datagen::rtm_steps(
+                7u64.wrapping_add((i as u64).wrapping_mul(PACK_SEED_STRIDE)),
+                8,
+                [12, 10, 8],
+            );
+            let path = outdir.join(format!("{name}.f32"));
+            let got =
+                io::read_raw_f32(path.to_str().unwrap(), Shape::d2(8, 12 * 10 * 8)).unwrap();
+            for (t, step) in truth.iter().enumerate() {
+                let rows = &got.as_slice()[t * step.len()..(t + 1) * step.len()];
+                for (&a, &b) in step.as_slice().iter().zip(rows) {
+                    assert!(
+                        (a - b).abs() <= eb * 1.001,
+                        "{name} step {t}: |{a} - {b}| > {eb}"
+                    );
+                }
+            }
+        }
+        // Single-step single-dataset extraction.
+        run_args(&[
+            "unpack",
+            cat.to_str().unwrap(),
+            outdir.to_str().unwrap(),
+            "--dataset",
+            "vx",
+            "--step",
+            "5",
+        ])
+        .unwrap();
+        assert!(outdir.join("vx_t5.f32").exists());
+        // A catalog is not a single-field archive.
+        assert!(
+            run_args(&["decompress", cat.to_str().unwrap(), "/tmp/never.f32"]).is_err(),
+            "decompress must redirect catalogs to unpack"
+        );
+    }
+
+    #[test]
+    fn pack_from_raw_input_roundtrips() {
+        let raw = tmp("pk.f32");
+        let cat = tmp("pk.rqc");
+        let outdir = tmp("pk_unpacked");
+        // 5 steps of a smooth drifting 2-D field, concatenated raw.
+        let steps: Vec<NdArray<f32>> = (0..5)
+            .map(|t| {
+                NdArray::from_fn(Shape::d2(10, 12), |ix| {
+                    ((ix[0] as f32) * 0.4 + t as f32 * 0.07).sin() + ix[1] as f32 * 0.03
+                })
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for s in &steps {
+            for &v in s.as_slice() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        io::write_bytes(raw.to_str().unwrap(), &bytes).unwrap();
+        run_args(&[
+            "pack",
+            cat.to_str().unwrap(),
+            "--input",
+            raw.to_str().unwrap(),
+            "--dataset",
+            "wave",
+            "--steps",
+            "5",
+            "--shape",
+            "10x12",
+            "--abs",
+            "1e-4",
+            "--keyframe-every",
+            "2",
+        ])
+        .unwrap();
+        run_args(&["unpack", cat.to_str().unwrap(), outdir.to_str().unwrap()]).unwrap();
+        let got = io::read_raw_f32(
+            outdir.join("wave.f32").to_str().unwrap(),
+            Shape::d2(5, 120),
+        )
+        .unwrap();
+        for (t, s) in steps.iter().enumerate() {
+            for (&a, &b) in s.as_slice().iter().zip(&got.as_slice()[t * 120..(t + 1) * 120]) {
+                assert!((a - b).abs() <= 1e-4 * 1.001, "step {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_list_and_dataset_from_a_served_catalog() {
+        let cat = tmp("rsc.rqc");
+        let fetched = tmp("rsc.step.f32");
+        run_args(&[
+            "pack",
+            cat.to_str().unwrap(),
+            "--steps",
+            "4",
+            "--shape",
+            "10x8x8",
+            "--abs",
+            "1e-3",
+            "--datasets",
+            "p,q",
+            "--keyframe-every",
+            "2",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        let server = Server::bind_path("127.0.0.1:0", &cat, ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        run_args(&["read", "--addr", &addr, "--list", "--stats"]).unwrap();
+        run_args(&[
+            "read",
+            "--addr",
+            &addr,
+            "--dataset",
+            "q",
+            "--step",
+            "3",
+            "--rows",
+            "2..7",
+            "--out",
+            fetched.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The served rows must match the local decode of the same step.
+        let mut local = CatalogReader::open_path(cat.to_str().unwrap()).unwrap();
+        let step = local.read_step::<f32>("q", 3).unwrap();
+        let got = io::read_raw_f32(fetched.to_str().unwrap(), Shape::d2(5, 64)).unwrap();
+        for (&a, &b) in got.as_slice().iter().zip(&step.as_slice()[2 * 64..7 * 64]) {
+            assert_eq!(a, b, "served bytes differ from the local decode");
+        }
+        assert!(
+            run_args(&["read", "--addr", &addr, "--dataset", "nosuch"]).is_err(),
+            "unknown dataset must error"
+        );
+        assert!(
+            run_args(&["read", "--addr", &addr, "--dataset", "q", "--step", "9"]).is_err(),
+            "out-of-range step must error"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn pack_error_cases() {
+        let cat = "/tmp/never_pack.rqc";
+        // Zero steps, zero cadence, non-3D RTM shape, sub-8 RTM extents,
+        // missing bound.
+        assert!(run_args(&["pack", cat, "--steps", "0", "--shape", "8x8x8", "--abs", "1e-3"])
+            .is_err());
+        assert!(run_args(&[
+            "pack", cat, "--steps", "4", "--shape", "8x8x8", "--abs", "1e-3",
+            "--keyframe-every", "0"
+        ])
+        .is_err());
+        assert!(
+            run_args(&["pack", cat, "--steps", "4", "--shape", "8x8", "--abs", "1e-3"]).is_err(),
+            "RTM needs 3-D"
+        );
+        assert!(
+            run_args(&["pack", cat, "--steps", "4", "--shape", "8x8x4", "--abs", "1e-3"])
+                .is_err(),
+            "RTM needs extents >= 8"
+        );
+        assert!(run_args(&["pack", cat, "--steps", "4", "--shape", "8x8x8"]).is_err());
+        assert!(
+            !std::path::Path::new(cat).exists() && !std::path::Path::new(&format!("{cat}.rqm-partial")).exists(),
+            "failed pack left files behind"
+        );
+        assert!(run_args(&["unpack", "/nonexistent/x.rqc", "/tmp/never_out"]).is_err());
+        assert!(run_args(&["catalog", "/nonexistent/x.rqc"]).is_err());
     }
 }

@@ -875,6 +875,20 @@ pub fn peek_header(bytes: &[u8]) -> Result<Header, DecompressError> {
     read_header_prefix(bytes).map(|(h, _)| h)
 }
 
+/// Human name of a container generation, from its version byte ("2.1"
+/// for byte 3, …). Unknown bytes — which the parsers reject anyway —
+/// report as "unknown".
+pub fn generation_name(version: u8) -> &'static str {
+    match version {
+        VERSION_V1 => "1",
+        VERSION_V2 => "2",
+        VERSION_V2_1 => "2.1",
+        VERSION_V2_2 => "2.2",
+        VERSION_V2_3 => "2.3",
+        _ => "unknown",
+    }
+}
+
 /// Number of independently-decodable chunks in a container (1 for v1).
 ///
 /// Works for both container versions without decoding any payload.

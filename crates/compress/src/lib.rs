@@ -41,8 +41,8 @@ pub use chunked::{
 pub use codec::{ChunkCodec, ChunkStats, SzChunkCodec, ZfpChunkCodec};
 pub use config::{Chunking, CodecChoice, CompressorConfig, LosslessStage};
 pub use container::{
-    chunk_count, chunk_table, peek_header, ChunkCodecKind, ChunkEntry, ChunkTable, CompressError,
-    DecompressError, Header,
+    chunk_count, chunk_table, generation_name, peek_header, ChunkCodecKind, ChunkEntry, ChunkTable,
+    CompressError, DecompressError, Header,
 };
 pub use pipeline::{compress, compress_with_report, decompress};
 pub use report::{CompressedOutput, CompressionReport};

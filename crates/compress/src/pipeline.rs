@@ -337,8 +337,11 @@ pub(crate) fn encode_stream<T: Scalar>(
     let mut n_anchors = 0usize;
 
     match predictor {
-        PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => {
-            let order = if predictor == PredictorKind::Lorenzo { 1 } else { 2 };
+        // TemporalDelta streams hold residuals against the previous time
+        // step (the catalog layer does the subtraction); within the field
+        // they traverse exactly like order-1 Lorenzo.
+        PredictorKind::Lorenzo | PredictorKind::Lorenzo2 | PredictorKind::TemporalDelta => {
+            let order = if predictor == PredictorKind::Lorenzo2 { 2 } else { 1 };
             traverse_lorenzo(shape, order, |lin, pred| {
                 Ok(enc.encode_point(orig[lin], work[lin], pred))
             })
@@ -455,8 +458,8 @@ pub(crate) fn decode_stream<T: Scalar>(
     };
 
     match predictor {
-        PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => {
-            let order = if predictor == PredictorKind::Lorenzo { 1 } else { 2 };
+        PredictorKind::Lorenzo | PredictorKind::Lorenzo2 | PredictorKind::TemporalDelta => {
+            let order = if predictor == PredictorKind::Lorenzo2 { 2 } else { 1 };
             traverse_lorenzo(shape, order, |lin, pred| dec.decode_point(lin, pred))?;
         }
         PredictorKind::Interpolation => {

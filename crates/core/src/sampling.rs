@@ -104,7 +104,9 @@ impl ErrorSample {
         let sparse_fraction =
             if n_sampled > 0 { ps.sparse_count as f64 / n_sampled as f64 } else { 0.0 };
         let (feedback_kappa, quality_kappa) = match ps.predictor {
-            PredictorKind::Lorenzo => (lorenzo_feedback_kappa(ps.ndim, 1), 0.0),
+            PredictorKind::Lorenzo | PredictorKind::TemporalDelta => {
+                (lorenzo_feedback_kappa(ps.ndim, 1), 0.0)
+            }
             PredictorKind::Lorenzo2 => (lorenzo_feedback_kappa(ps.ndim, 2), 0.0),
             PredictorKind::Interpolation => (0.0, INTERP_QUALITY_KAPPA),
             PredictorKind::Regression => (0.0, 0.0),
@@ -179,7 +181,9 @@ pub fn sample_errors<T: Scalar>(
     let mut rng = StdRng::seed_from_u64(seed);
     let work: Vec<f64> = field.as_slice().iter().map(|v| v.to_f64()).collect();
     match predictor {
-        PredictorKind::Lorenzo => sample_lorenzo(&work, field.shape(), 1, rate, &mut rng),
+        PredictorKind::Lorenzo | PredictorKind::TemporalDelta => {
+            sample_lorenzo(&work, field.shape(), 1, rate, &mut rng)
+        }
         PredictorKind::Lorenzo2 => sample_lorenzo(&work, field.shape(), 2, rate, &mut rng),
         PredictorKind::Interpolation => sample_interp(&work, field.shape(), rate, &mut rng),
         PredictorKind::Regression => sample_regression(&work, field.shape(), rate, &mut rng),

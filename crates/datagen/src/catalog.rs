@@ -41,14 +41,26 @@ pub struct DatasetSpec {
     pub fields: Vec<FieldSpec>,
 }
 
+/// The three Table I RTM snapshots, taken from **one** simulator pass
+/// (steps 150/300/450 of the same solve) instead of three ad-hoc
+/// single-snapshot simulators — byte-identical output, a third of the
+/// solver work when more than one field is generated.
+fn rtm_series() -> &'static [NdArray<f32>; 3] {
+    static SERIES: std::sync::OnceLock<[NdArray<f32>; 3]> = std::sync::OnceLock::new();
+    SERIES.get_or_init(|| {
+        let mut sim = crate::rtm::RtmSimulator::new([64, 64, 64]);
+        [sim.snapshot_at(150), sim.snapshot_at(300), sim.snapshot_at(450)]
+    })
+}
+
 fn rtm_1000() -> NdArray<f32> {
-    fields::rtm_snapshot(150)
+    rtm_series()[0].clone()
 }
 fn rtm_2000() -> NdArray<f32> {
-    fields::rtm_snapshot(300)
+    rtm_series()[1].clone()
 }
 fn rtm_3000() -> NdArray<f32> {
-    fields::rtm_snapshot(450)
+    rtm_series()[2].clone()
 }
 
 /// The full Table I registry: 10 datasets, 17 fields.

@@ -28,4 +28,4 @@ pub mod rng;
 pub mod rtm;
 
 pub use catalog::{all_datasets, DatasetSpec, FieldSpec};
-pub use rtm::RtmSimulator;
+pub use rtm::{rtm_steps, RtmSimulator, RTM_SNAPSHOT_STRIDE, RTM_WARMUP_STEPS};

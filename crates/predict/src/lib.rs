@@ -45,6 +45,15 @@ pub enum PredictorKind {
     Interpolation,
     /// Block-wise linear regression.
     Regression,
+    /// Time-delta coding: the stream holds residuals against the
+    /// *reconstructed* previous time step (computed by the catalog
+    /// layer), traversed spatially with the order-1 Lorenzo stencil.
+    ///
+    /// Within a single field this predictor behaves exactly like
+    /// [`PredictorKind::Lorenzo`]; the tag exists so an archive segment
+    /// self-describes that its values are temporal residuals, not the
+    /// field itself. Only meaningful inside a catalog container.
+    TemporalDelta,
 }
 
 impl PredictorKind {
@@ -55,6 +64,7 @@ impl PredictorKind {
             PredictorKind::Lorenzo2 => 1,
             PredictorKind::Interpolation => 2,
             PredictorKind::Regression => 3,
+            PredictorKind::TemporalDelta => 4,
         }
     }
 
@@ -65,6 +75,7 @@ impl PredictorKind {
             1 => PredictorKind::Lorenzo2,
             2 => PredictorKind::Interpolation,
             3 => PredictorKind::Regression,
+            4 => PredictorKind::TemporalDelta,
             _ => return None,
         })
     }
@@ -76,16 +87,18 @@ impl PredictorKind {
             PredictorKind::Lorenzo2 => "lorenzo2",
             PredictorKind::Interpolation => "interpolation",
             PredictorKind::Regression => "regression",
+            PredictorKind::TemporalDelta => "temporal-delta",
         }
     }
 
     /// All predictor kinds, in tag order.
-    pub fn all() -> [PredictorKind; 4] {
+    pub fn all() -> [PredictorKind; 5] {
         [
             PredictorKind::Lorenzo,
             PredictorKind::Lorenzo2,
             PredictorKind::Interpolation,
             PredictorKind::Regression,
+            PredictorKind::TemporalDelta,
         ]
     }
 
@@ -94,7 +107,9 @@ impl PredictorKind {
     /// predicts from original values so no correction is needed).
     pub fn bin_transfer_c2(self) -> f64 {
         match self {
-            PredictorKind::Lorenzo | PredictorKind::Lorenzo2 => 0.2,
+            // TemporalDelta runs the Lorenzo stencil over the residual
+            // field, so its bin-transfer behavior matches Lorenzo's.
+            PredictorKind::Lorenzo | PredictorKind::Lorenzo2 | PredictorKind::TemporalDelta => 0.2,
             PredictorKind::Interpolation => 0.1,
             PredictorKind::Regression => 0.0,
         }
@@ -117,7 +132,7 @@ mod tests {
     fn names_distinct() {
         let names: std::collections::HashSet<_> =
             PredictorKind::all().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
     }
 
     #[test]

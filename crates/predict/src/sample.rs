@@ -211,7 +211,11 @@ pub fn sample_prediction_errors<T: Scalar>(
     assert_eq!(data.len(), shape.len(), "data length must match shape");
     assert!(target_samples > 0, "target_samples must be positive");
     match predictor {
-        PredictorKind::Lorenzo => sample_lorenzo(data, shape, 1, target_samples),
+        // TemporalDelta traverses its (residual) field with the order-1
+        // Lorenzo stencil, so the same sampler applies.
+        PredictorKind::Lorenzo | PredictorKind::TemporalDelta => {
+            sample_lorenzo(data, shape, 1, target_samples)
+        }
         PredictorKind::Lorenzo2 => sample_lorenzo(data, shape, 2, target_samples),
         PredictorKind::Interpolation => sample_interp(data, shape, target_samples),
         PredictorKind::Regression => sample_regression(data, shape, target_samples),

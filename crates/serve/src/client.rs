@@ -64,6 +64,75 @@ impl ArchiveInfo {
     }
 }
 
+/// One dataset as reported by the `LIST_DATASETS` request (v2).
+///
+/// A single-field archive reports exactly one pseudo-dataset (one step,
+/// keyframe cadence 1) so catalog-aware tooling works against both file
+/// kinds without branching.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetInfo {
+    /// Position in the catalog — the `dataset` operand of
+    /// `READ_STEP_ROWS`.
+    pub index: u32,
+    /// Dataset name.
+    pub name: String,
+    /// Scalar tag (`0x04` = f32, `0x08` = f64).
+    pub scalar_tag: u8,
+    /// Per-step field shape.
+    pub step_dims: Vec<usize>,
+    /// Keyframe cadence the writer used (1 = every step self-contained).
+    pub keyframe_every: u64,
+    /// Time steps in the dataset.
+    pub n_steps: u64,
+    /// Independently-decodable chunks per step.
+    pub chunks_per_step: u64,
+    /// Absolute error bound every step honors.
+    pub abs_eb: f64,
+}
+
+impl DatasetInfo {
+    /// Elements per axis-0 row of one step.
+    pub fn row_elems(&self) -> usize {
+        self.step_dims[1..].iter().product::<usize>().max(1)
+    }
+
+    /// Axis-0 extent of one step.
+    pub fn step_rows(&self) -> usize {
+        self.step_dims.first().copied().unwrap_or(0)
+    }
+
+    fn parse_list(payload: &[u8]) -> Result<Vec<DatasetInfo>, ClientError> {
+        fn go(payload: &[u8]) -> Result<Vec<DatasetInfo>, crate::protocol::WireError> {
+            let mut t = Take(payload);
+            let n = t.u32()?;
+            let mut out = Vec::with_capacity(n as usize);
+            for index in 0..n {
+                let name_len = t.u32()? as usize;
+                let name = String::from_utf8_lossy(t.bytes(name_len)?).into_owned();
+                let scalar_tag = t.u8()?;
+                let ndim = t.u8()? as usize;
+                let mut step_dims = Vec::with_capacity(ndim);
+                for _ in 0..ndim {
+                    step_dims.push(t.u64()? as usize);
+                }
+                out.push(DatasetInfo {
+                    index,
+                    name,
+                    scalar_tag,
+                    step_dims,
+                    keyframe_every: t.u64()?,
+                    n_steps: t.u64()?,
+                    chunks_per_step: t.u64()?,
+                    abs_eb: t.f64()?,
+                });
+            }
+            t.finish()?;
+            Ok(out)
+        }
+        go(payload).map_err(|_| ClientError::protocol("bad LIST_DATASETS payload"))
+    }
+}
+
 /// Client-side failures.
 #[derive(Debug)]
 pub enum ClientError {
@@ -198,6 +267,49 @@ impl Client {
         let mut dims = self.info.dims.clone();
         dims[0] = rows as usize;
         Ok((start_row as usize, NdArray::from_vec(Shape::new(&dims), data)))
+    }
+
+    /// Enumerate the served datasets (one pseudo-dataset for a plain
+    /// archive).
+    pub fn list_datasets(&mut self) -> Result<Vec<DatasetInfo>, ClientError> {
+        let payload = self.round_trip(&Request::ListDatasets)?;
+        DatasetInfo::parse_list(&payload)
+    }
+
+    /// Decode the axis-0 row range `rows` of time step `step` in dataset
+    /// `ds` on the server and return the slab.
+    pub fn read_step_rows<T: Scalar>(
+        &mut self,
+        ds: &DatasetInfo,
+        step: u64,
+        rows: Range<usize>,
+    ) -> Result<NdArray<T>, ClientError> {
+        if ds.scalar_tag != T::TAG {
+            return Err(ClientError::protocol(format!(
+                "dataset {:?} holds scalar tag {:#04x}, requested {:#04x}",
+                ds.name,
+                ds.scalar_tag,
+                T::TAG
+            )));
+        }
+        let payload = self.round_trip(&Request::step_rows(ds.index, step, rows.clone()))?;
+        let mut t = Take(&payload);
+        let (dataset, echo_step, start, count) =
+            (|| -> Result<_, crate::protocol::WireError> {
+                Ok((t.u32()?, t.u64()?, t.u64()?, t.u64()?))
+            })()
+            .map_err(|_| ClientError::protocol("short READ_STEP_ROWS payload"))?;
+        if dataset != ds.index
+            || echo_step != step
+            || start != rows.start as u64
+            || count != (rows.end - rows.start) as u64
+        {
+            return Err(ClientError::protocol("READ_STEP_ROWS reply for a different range"));
+        }
+        let data = self.parse_scalars::<T>(t.0, count as usize * ds.row_elems())?;
+        let mut dims = ds.step_dims.clone();
+        dims[0] = count as usize;
+        Ok(NdArray::from_vec(Shape::new(&dims), data))
     }
 
     fn check_scalar<T: Scalar>(&self) -> Result<(), ClientError> {

@@ -33,6 +33,6 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, ChunkCache};
-pub use client::{ArchiveInfo, Client, ClientError};
+pub use client::{ArchiveInfo, Client, ClientError, DatasetInfo};
 pub use protocol::{ErrorCode, Request};
-pub use server::{ServeConfig, ServeStats, Server};
+pub use server::{ServeConfig, ServeStats, Server, SINGLE_ARCHIVE_DATASET};

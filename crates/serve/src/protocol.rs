@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       3     magic  b"RQS"
-//! 3       1     protocol version (1)
+//! 3       1     protocol version (2)
 //! 4       4     u32 LE body length
 //! 8       n     body
 //! ```
@@ -24,15 +24,19 @@ use std::ops::Range;
 /// Frame magic: the first three bytes of every request and response.
 pub const MAGIC: [u8; 3] = *b"RQS";
 
-/// Protocol version carried in byte 3 of every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in byte 3 of every frame. Version 2 added
+/// the catalog opcodes `LIST_DATASETS` and `READ_STEP_ROWS` (and their
+/// range error codes); v1 peers are refused with `BadVersion` rather
+/// than silently missing datasets.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Fixed frame prefix size: magic + version + body length.
 pub const FRAME_PREFIX: usize = 8;
 
 /// Upper bound on a *request* body. Requests carry at most an id, an
-/// opcode and two u64 operands, so anything bigger is hostile or garbage
-/// and is rejected with [`ErrorCode::Oversized`] before allocation.
+/// opcode and a handful of fixed-width operands, so anything bigger is
+/// hostile or garbage and is rejected with [`ErrorCode::Oversized`]
+/// before allocation.
 pub const MAX_REQUEST_BODY: u32 = 256;
 
 /// Upper bound on a *response* body the client will accept (1 GiB):
@@ -54,6 +58,11 @@ pub enum Op {
     ReadChunk = 0x04,
     /// Server counters snapshot.
     Stats = 0x05,
+    /// Enumerate the catalog's datasets (v2; single archives report one
+    /// pseudo-dataset).
+    ListDatasets = 0x06,
+    /// Decode an axis-0 row range of one `(dataset, step)` (v2).
+    ReadStepRows = 0x07,
 }
 
 /// Typed error codes carried in a response's status byte.
@@ -76,6 +85,10 @@ pub enum ErrorCode {
     ChunkOutOfRange = 0x07,
     /// The archive failed to decode (corrupt container, I/O failure).
     Decode = 0x08,
+    /// Dataset index outside the catalog (v2).
+    DatasetOutOfRange = 0x09,
+    /// Step index outside the dataset's step count (v2).
+    StepOutOfRange = 0x0a,
 }
 
 impl ErrorCode {
@@ -90,6 +103,8 @@ impl ErrorCode {
             0x06 => ErrorCode::RowsOutOfRange,
             0x07 => ErrorCode::ChunkOutOfRange,
             0x08 => ErrorCode::Decode,
+            0x09 => ErrorCode::DatasetOutOfRange,
+            0x0a => ErrorCode::StepOutOfRange,
             _ => return None,
         })
     }
@@ -105,6 +120,8 @@ impl ErrorCode {
             ErrorCode::RowsOutOfRange => "rows-out-of-range",
             ErrorCode::ChunkOutOfRange => "chunk-out-of-range",
             ErrorCode::Decode => "decode",
+            ErrorCode::DatasetOutOfRange => "dataset-out-of-range",
+            ErrorCode::StepOutOfRange => "step-out-of-range",
         }
     }
 
@@ -139,12 +156,35 @@ pub enum Request {
     },
     /// Server counters snapshot.
     Stats,
+    /// Enumerate datasets.
+    ListDatasets,
+    /// Rows `start..start + count` of one `(dataset, step)`.
+    ReadStepRows {
+        /// Dataset index in catalog order.
+        dataset: u32,
+        /// Time step within the dataset.
+        step: u64,
+        /// First axis-0 row of the step.
+        start: u64,
+        /// Number of rows.
+        count: u64,
+    },
 }
 
 impl Request {
     /// Convenience constructor from a row range.
     pub fn rows(r: Range<usize>) -> Request {
         Request::ReadRows { start: r.start as u64, count: (r.end - r.start) as u64 }
+    }
+
+    /// Convenience constructor from a `(dataset, step)` row range.
+    pub fn step_rows(dataset: u32, step: u64, r: Range<usize>) -> Request {
+        Request::ReadStepRows {
+            dataset,
+            step,
+            start: r.start as u64,
+            count: (r.end - r.start) as u64,
+        }
     }
 }
 
@@ -236,6 +276,14 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             put_u64(&mut body, idx);
         }
         Request::Stats => body.push(Op::Stats as u8),
+        Request::ListDatasets => body.push(Op::ListDatasets as u8),
+        Request::ReadStepRows { dataset, step, start, count } => {
+            body.push(Op::ReadStepRows as u8);
+            put_u32(&mut body, dataset);
+            put_u64(&mut body, step);
+            put_u64(&mut body, start);
+            put_u64(&mut body, count);
+        }
     }
     frame(body)
 }
@@ -294,6 +342,14 @@ pub fn parse_request(body: &[u8]) -> Result<(u64, Request), (u64, ErrorCode)> {
             done(id, t, Request::ReadChunk { idx })
         }
         x if x == Op::Stats as u8 => done(id, t, Request::Stats),
+        x if x == Op::ListDatasets as u8 => done(id, t, Request::ListDatasets),
+        x if x == Op::ReadStepRows as u8 => {
+            let dataset = t.u32().map_err(|_| (id, ErrorCode::Malformed))?;
+            let step = t.u64().map_err(|_| (id, ErrorCode::Malformed))?;
+            let start = t.u64().map_err(|_| (id, ErrorCode::Malformed))?;
+            let count = t.u64().map_err(|_| (id, ErrorCode::Malformed))?;
+            done(id, t, Request::ReadStepRows { dataset, step, start, count })
+        }
         _ => Err((id, ErrorCode::UnknownOp)),
     }
 }
@@ -370,6 +426,8 @@ mod tests {
             Request::Stats,
             Request::ReadRows { start: 3, count: 17 },
             Request::ReadChunk { idx: 9 },
+            Request::ListDatasets,
+            Request::ReadStepRows { dataset: 2, step: 5, start: 3, count: 17 },
         ] {
             let f = encode_request(42, &req);
             assert_eq!(&f[..3], &MAGIC);
@@ -448,6 +506,8 @@ mod tests {
             ErrorCode::RowsOutOfRange,
             ErrorCode::ChunkOutOfRange,
             ErrorCode::Decode,
+            ErrorCode::DatasetOutOfRange,
+            ErrorCode::StepOutOfRange,
         ] {
             assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
         }

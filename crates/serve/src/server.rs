@@ -17,13 +17,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use rq_catalog::{is_catalog_magic, CatalogReader, DatasetReader};
 use rq_compress::{assemble_rows, ChunkSource, ConcurrentReader, DecompressError};
 use rq_grid::Scalar;
 
 use crate::cache::{CacheStats, ChunkCache};
 use crate::protocol::{
-    encode_err, encode_ok, parse_request, put_f64, put_u64, read_frame, write_frame, ErrorCode,
-    Frame, Request, Take, WireError, MAX_REQUEST_BODY,
+    encode_err, encode_ok, parse_request, put_f64, put_u32, put_u64, read_frame, write_frame,
+    ErrorCode, Frame, Request, Take, WireError, MAX_REQUEST_BODY,
 };
 
 /// Server tuning knobs.
@@ -117,10 +118,11 @@ impl ServeStats {
     }
 }
 
-/// The scalar-erased view of one open archive the connection handlers
-/// talk to. There is exactly one implementation, [`Typed`], selected
-/// per the header's scalar tag when the server opens the archive; the
-/// indirection keeps `f32` vs `f64` out of the per-connection code.
+/// The scalar-erased view of one open archive or catalog the connection
+/// handlers talk to. Two implementations: [`Typed`] for a single-field
+/// archive (which exposes itself as one pseudo-dataset so v2 clients see
+/// a uniform surface) and [`CatalogSource`] for an `RQCAT` container;
+/// the indirection keeps `f32` vs `f64` out of the per-connection code.
 trait WireSource: Send + Sync {
     /// `INFO` payload, pre-encoded.
     fn info_payload(&self) -> Vec<u8>;
@@ -132,10 +134,50 @@ trait WireSource: Send + Sync {
     fn read_rows_payload(&self, start: usize, count: usize) -> Result<Vec<u8>, DecompressError>;
     /// `READ_CHUNK` payload: `start_row`, `rows`, then the chunk slab.
     fn read_chunk_payload(&self, idx: usize) -> Result<Vec<u8>, DecompressError>;
+    /// Datasets served (1 for a single archive).
+    fn n_datasets(&self) -> usize;
+    /// `(n_steps, step_rows)` of one dataset, `None` out of range.
+    fn dataset_extent(&self, dataset: usize) -> Option<(u64, u64)>;
+    /// `LIST_DATASETS` payload, pre-encoded.
+    fn list_datasets_payload(&self) -> Vec<u8>;
+    /// `READ_STEP_ROWS` payload: echoed operands, then the decoded
+    /// scalars. Operand ranges are pre-checked by [`answer`].
+    fn read_step_rows_payload(
+        &self,
+        dataset: u32,
+        step: u64,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, DecompressError>;
     /// Cache counters.
     fn cache_stats(&self) -> CacheStats;
     /// Underlying reader counters: `(chunks_decoded, blob_bytes_read)`.
     fn read_stats(&self) -> (u64, u64);
+}
+
+/// Append one dataset description to a `LIST_DATASETS` payload.
+#[allow(clippy::too_many_arguments)]
+fn push_dataset_desc(
+    out: &mut Vec<u8>,
+    name: &str,
+    scalar_tag: u8,
+    dims: &[usize],
+    keyframe_every: u64,
+    n_steps: u64,
+    chunks_per_step: u64,
+    eb: f64,
+) {
+    put_u32(out, name.len() as u32);
+    out.extend_from_slice(name.as_bytes());
+    out.push(scalar_tag);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        put_u64(out, d as u64);
+    }
+    put_u64(out, keyframe_every);
+    put_u64(out, n_steps);
+    put_u64(out, chunks_per_step);
+    put_f64(out, eb);
 }
 
 /// The typed implementation: a cache over a concurrent reader.
@@ -199,6 +241,48 @@ impl<T: Scalar, R: Read + Seek + Send> WireSource for Typed<T, R> {
         Ok(out)
     }
 
+    fn n_datasets(&self) -> usize {
+        1
+    }
+
+    fn dataset_extent(&self, dataset: usize) -> Option<(u64, u64)> {
+        (dataset == 0).then(|| (1, self.rows() as u64))
+    }
+
+    fn list_datasets_payload(&self) -> Vec<u8> {
+        let h = self.cache.header();
+        let mut out = Vec::with_capacity(64);
+        put_u32(&mut out, 1);
+        push_dataset_desc(
+            &mut out,
+            SINGLE_ARCHIVE_DATASET,
+            h.scalar_tag,
+            h.shape.dims(),
+            1,
+            1,
+            self.n_chunks() as u64,
+            h.abs_eb,
+        );
+        out
+    }
+
+    fn read_step_rows_payload(
+        &self,
+        dataset: u32,
+        step: u64,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, DecompressError> {
+        // answer() already pinned dataset and step to 0; the whole field
+        // is the single step.
+        let end = start.checked_add(count).ok_or(DecompressError::RowsOutOfRange {
+            requested_end: usize::MAX,
+            rows: self.rows(),
+        })?;
+        let slab = assemble_rows(&self.cache, start..end)?;
+        Ok(step_rows_payload::<T>(dataset, step, start, count, slab.as_slice()))
+    }
+
     fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -207,6 +291,312 @@ impl<T: Scalar, R: Read + Seek + Send> WireSource for Typed<T, R> {
         let s = self.cache.inner().stats();
         (s.chunks_decoded, s.blob_bytes_read)
     }
+}
+
+/// Dataset name a single-field archive reports to v2 clients.
+pub const SINGLE_ARCHIVE_DATASET: &str = "field";
+
+/// The shared `READ_STEP_ROWS` success payload: echoed operands, then
+/// the decoded scalars.
+fn step_rows_payload<T: Scalar>(
+    dataset: u32,
+    step: u64,
+    start: usize,
+    count: usize,
+    vals: &[T],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + vals.len() * T::BYTES);
+    put_u32(&mut out, dataset);
+    put_u64(&mut out, step);
+    put_u64(&mut out, start as u64);
+    put_u64(&mut out, count as u64);
+    for &v in vals {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+/// One catalog dataset behind its own decoded-chunk cache. The cache is
+/// keyed by the [`DatasetReader`]'s flattened chunk index, which encodes
+/// `(step, chunk)` — so a hot `(dataset, step, chunk)` is decoded once
+/// across every connection.
+struct TypedDataset<T: Scalar> {
+    name: String,
+    step_dims: Vec<usize>,
+    keyframe_every: u64,
+    eb: f64,
+    cache: ChunkCache<T, DatasetReader<T>>,
+}
+
+/// Scalar-erased view of one catalog dataset (f32 and f64 datasets mix
+/// freely in one catalog, so the erasure is per dataset).
+trait StepSource: Send + Sync {
+    fn describe(&self, out: &mut Vec<u8>);
+    fn extent(&self) -> (u64, u64);
+    fn flat_info_payload(&self) -> Vec<u8>;
+    fn flat_rows(&self) -> usize;
+    fn flat_n_chunks(&self) -> usize;
+    fn read_rows_payload(&self, start: usize, count: usize) -> Result<Vec<u8>, DecompressError>;
+    fn read_chunk_payload(&self, idx: usize) -> Result<Vec<u8>, DecompressError>;
+    fn read_step_rows_payload(
+        &self,
+        dataset: u32,
+        step: u64,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, DecompressError>;
+    fn cache_stats(&self) -> CacheStats;
+    fn read_stats(&self) -> (u64, u64);
+}
+
+impl<T: Scalar> StepSource for TypedDataset<T> {
+    fn describe(&self, out: &mut Vec<u8>) {
+        push_dataset_desc(
+            out,
+            &self.name,
+            T::TAG,
+            &self.step_dims,
+            self.keyframe_every,
+            self.cache.inner().n_steps() as u64,
+            self.cache.inner().chunks_per_step() as u64,
+            self.eb,
+        );
+    }
+
+    fn extent(&self) -> (u64, u64) {
+        let ds = self.cache.inner();
+        (ds.n_steps() as u64, ds.step_rows() as u64)
+    }
+
+    fn flat_info_payload(&self) -> Vec<u8> {
+        let h = self.cache.header();
+        let mut out = Vec::with_capacity(64);
+        out.push(h.version);
+        out.push(h.scalar_tag);
+        out.push(h.shape.ndim() as u8);
+        for &d in h.shape.dims() {
+            put_u64(&mut out, d as u64);
+        }
+        put_u64(&mut out, self.cache.chunk_rows() as u64);
+        put_u64(&mut out, self.cache.entries().len() as u64);
+        put_f64(&mut out, h.abs_eb);
+        out
+    }
+
+    fn flat_rows(&self) -> usize {
+        self.cache.header().shape.dim(0)
+    }
+
+    fn flat_n_chunks(&self) -> usize {
+        self.cache.entries().len()
+    }
+
+    fn read_rows_payload(&self, start: usize, count: usize) -> Result<Vec<u8>, DecompressError> {
+        let end = start.checked_add(count).ok_or(DecompressError::RowsOutOfRange {
+            requested_end: usize::MAX,
+            rows: self.flat_rows(),
+        })?;
+        let slab = assemble_rows(&self.cache, start..end)?;
+        let vals = slab.as_slice();
+        let mut out = Vec::with_capacity(16 + vals.len() * T::BYTES);
+        put_u64(&mut out, start as u64);
+        put_u64(&mut out, count as u64);
+        for &v in vals {
+            v.write_le(&mut out);
+        }
+        Ok(out)
+    }
+
+    fn read_chunk_payload(&self, idx: usize) -> Result<Vec<u8>, DecompressError> {
+        let Some(&entry) = self.cache.entries().get(idx) else {
+            return Err(DecompressError::ChunkOutOfRange {
+                requested: idx,
+                available: self.flat_n_chunks(),
+            });
+        };
+        let chunk = self.cache.fetch_chunk(idx)?;
+        let mut out = Vec::with_capacity(16 + chunk.len() * T::BYTES);
+        put_u64(&mut out, entry.start_row as u64);
+        put_u64(&mut out, entry.rows as u64);
+        for &v in chunk.iter() {
+            v.write_le(&mut out);
+        }
+        Ok(out)
+    }
+
+    fn read_step_rows_payload(
+        &self,
+        dataset: u32,
+        step: u64,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, DecompressError> {
+        let step_rows = self.cache.inner().step_rows();
+        // Map the step-local range onto the flattened time-major view;
+        // answer() pre-checked it against the step extent.
+        let flat_start = (step as usize)
+            .checked_mul(step_rows)
+            .and_then(|b| b.checked_add(start))
+            .ok_or(DecompressError::RowsOutOfRange {
+                requested_end: usize::MAX,
+                rows: self.flat_rows(),
+            })?;
+        let end = flat_start.checked_add(count).ok_or(DecompressError::RowsOutOfRange {
+            requested_end: usize::MAX,
+            rows: self.flat_rows(),
+        })?;
+        let slab = assemble_rows(&self.cache, flat_start..end)?;
+        Ok(step_rows_payload::<T>(dataset, step, start, count, slab.as_slice()))
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn read_stats(&self) -> (u64, u64) {
+        let s = self.cache.inner().stats();
+        (s.chunks_decoded, s.blob_bytes_read)
+    }
+}
+
+/// A served catalog: one [`StepSource`] per dataset. The v1 request set
+/// (`INFO` / `READ_ROWS` / `READ_CHUNK`) addresses dataset 0's flattened
+/// time-major view, so catalogs stay reachable for step-agnostic tools.
+struct CatalogSource {
+    datasets: Vec<Box<dyn StepSource>>,
+}
+
+impl WireSource for CatalogSource {
+    fn info_payload(&self) -> Vec<u8> {
+        self.datasets[0].flat_info_payload()
+    }
+
+    fn rows(&self) -> usize {
+        self.datasets[0].flat_rows()
+    }
+
+    fn n_chunks(&self) -> usize {
+        self.datasets[0].flat_n_chunks()
+    }
+
+    fn read_rows_payload(&self, start: usize, count: usize) -> Result<Vec<u8>, DecompressError> {
+        self.datasets[0].read_rows_payload(start, count)
+    }
+
+    fn read_chunk_payload(&self, idx: usize) -> Result<Vec<u8>, DecompressError> {
+        self.datasets[0].read_chunk_payload(idx)
+    }
+
+    fn n_datasets(&self) -> usize {
+        self.datasets.len()
+    }
+
+    fn dataset_extent(&self, dataset: usize) -> Option<(u64, u64)> {
+        Some(self.datasets.get(dataset)?.extent())
+    }
+
+    fn list_datasets_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.datasets.len());
+        put_u32(&mut out, self.datasets.len() as u32);
+        for d in &self.datasets {
+            d.describe(&mut out);
+        }
+        out
+    }
+
+    fn read_step_rows_payload(
+        &self,
+        dataset: u32,
+        step: u64,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, DecompressError> {
+        self.datasets[dataset as usize].read_step_rows_payload(dataset, step, start, count)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for d in &self.datasets {
+            let s = d.cache_stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.coalesced_waits += s.coalesced_waits;
+            agg.evictions += s.evictions;
+            agg.bytes_cached += s.bytes_cached;
+            agg.bytes_peak += s.bytes_peak;
+        }
+        agg
+    }
+
+    fn read_stats(&self) -> (u64, u64) {
+        let mut chunks = 0;
+        let mut bytes = 0;
+        for d in &self.datasets {
+            let (c, b) = d.read_stats();
+            chunks += c;
+            bytes += b;
+        }
+        (chunks, bytes)
+    }
+}
+
+/// Open every dataset of the catalog at `path`, splitting the cache
+/// budget evenly across datasets.
+fn open_catalog_source(path: &Path, cache_bytes: u64) -> io::Result<Arc<dyn WireSource>> {
+    let invalid = |e: rq_catalog::CatalogError| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("open catalog: {e}"))
+    };
+    let cat = CatalogReader::open_path(path).map_err(invalid)?;
+    let names: Vec<(String, u8, Vec<usize>, u64, f64)> = cat
+        .datasets()
+        .iter()
+        .map(|d| {
+            (
+                d.name.clone(),
+                d.scalar_tag,
+                d.shape.dims().to_vec(),
+                d.keyframe_every as u64,
+                d.steps[0].eb,
+            )
+        })
+        .collect();
+    drop(cat);
+    if names.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "catalog has no datasets"));
+    }
+    let per_dataset = (cache_bytes / names.len() as u64).max(1);
+    let mut datasets: Vec<Box<dyn StepSource>> = Vec::with_capacity(names.len());
+    for (name, tag, step_dims, keyframe_every, eb) in names {
+        match tag {
+            t if t == <f32 as Scalar>::TAG => {
+                let ds = DatasetReader::<f32>::open_path(path, &name).map_err(invalid)?;
+                datasets.push(Box::new(TypedDataset {
+                    name,
+                    step_dims,
+                    keyframe_every,
+                    eb,
+                    cache: ChunkCache::new(ds, per_dataset),
+                }));
+            }
+            t if t == <f64 as Scalar>::TAG => {
+                let ds = DatasetReader::<f64>::open_path(path, &name).map_err(invalid)?;
+                datasets.push(Box::new(TypedDataset {
+                    name,
+                    step_dims,
+                    keyframe_every,
+                    eb,
+                    cache: ChunkCache::new(ds, per_dataset),
+                }));
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported scalar tag {t:#04x} in dataset {name:?}"),
+                ))
+            }
+        }
+    }
+    Ok(Arc::new(CatalogSource { datasets }))
 }
 
 /// Pick the typed source matching the archive's scalar tag.
@@ -271,10 +661,17 @@ pub struct Server {
 }
 
 impl Server {
-    /// Serve the archive file at `path`, memory-mapped where the
-    /// platform allows: cache fills then fetch compressed extents
-    /// zero-copy and lock-free instead of serializing on a seek+read.
+    /// Serve the file at `path` — a single-field archive (memory-mapped
+    /// where the platform allows: cache fills then fetch compressed
+    /// extents zero-copy and lock-free instead of serializing on a
+    /// seek+read) or, sniffed by magic, an `RQCAT` catalog whose
+    /// datasets all become addressable via the v2 opcodes.
     pub fn bind_path<A: ToSocketAddrs>(addr: A, path: &Path, cfg: ServeConfig) -> io::Result<Server> {
+        let mut head = Vec::with_capacity(6);
+        Read::take(std::fs::File::open(path)?, 6).read_to_end(&mut head)?;
+        if is_catalog_magic(&head) {
+            return Server::bind_source(addr, open_catalog_source(path, cfg.cache_bytes)?, cfg);
+        }
         let reader = ConcurrentReader::open_path(path)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("open archive: {e}")))?;
         Server::bind_source(addr, open_source(reader, cfg.cache_bytes)?, cfg)
@@ -506,6 +903,40 @@ fn answer(inner: &Inner, id: u64, req: &Request) -> Vec<u8> {
                 );
             }
             match src.read_chunk_payload(idx as usize) {
+                Ok(payload) => encode_ok(id, &payload),
+                Err(e) => encode_decode_err(id, &e),
+            }
+        }
+        Request::ListDatasets => encode_ok(id, &src.list_datasets_payload()),
+        Request::ReadStepRows { dataset, step, start, count } => {
+            let Some((n_steps, step_rows)) = src.dataset_extent(dataset as usize) else {
+                return encode_err(
+                    id,
+                    ErrorCode::DatasetOutOfRange,
+                    &format!(
+                        "dataset {dataset} out of range (catalog has {})",
+                        src.n_datasets()
+                    ),
+                );
+            };
+            if step >= n_steps {
+                return encode_err(
+                    id,
+                    ErrorCode::StepOutOfRange,
+                    &format!("step {step} out of range (dataset has {n_steps} steps)"),
+                );
+            }
+            if count == 0 || start >= step_rows || count > step_rows - start {
+                return encode_err(
+                    id,
+                    ErrorCode::RowsOutOfRange,
+                    &format!(
+                        "rows {start}..{} out of range (step has {step_rows})",
+                        start.saturating_add(count)
+                    ),
+                );
+            }
+            match src.read_step_rows_payload(dataset, step, start as usize, count as usize) {
                 Ok(payload) => encode_ok(id, &payload),
                 Err(e) => encode_decode_err(id, &e),
             }

@@ -54,6 +54,9 @@ pub use rq_h5lite as h5lite;
 /// Archive read service: TCP daemon, decoded-chunk cache, wire client.
 pub use rq_serve as serve;
 
+/// Temporal multi-field catalog containers (time-delta coding).
+pub use rq_catalog as catalog;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use rq_analysis::{global_ssim, psnr};
@@ -66,8 +69,9 @@ pub mod prelude {
         compress_with_budget, optimize_partitions, plan_budget, PlanError, PredictorSelector,
     };
     pub use rq_core::{Estimate, RqModel};
+    pub use rq_catalog::{CatalogReader, CatalogWriter, DatasetReader};
     pub use rq_grid::{NdArray, Shape};
     pub use rq_predict::PredictorKind;
     pub use rq_quant::ErrorBoundMode;
-    pub use rq_serve::{Client, ServeConfig, ServeStats, Server};
+    pub use rq_serve::{Client, DatasetInfo, ServeConfig, ServeStats, Server};
 }

@@ -332,6 +332,60 @@ fn golden_v23_fixture_backward_compat() {
 }
 
 #[test]
+fn golden_cat1_fixture_backward_compat() {
+    // An RQCAT v1 catalog — two datasets (f32 + f64), delta chains at
+    // two keyframe cadences, chunked segments — committed as a fixture
+    // (regenerated only by `cargo run -p rq-bench --bin
+    // make_golden_fixtures` when a *new* catalog generation is
+    // introduced): current readers must keep decoding it.
+    let bytes = include_bytes!("data/golden_cat1.rqc");
+    assert!(rqm::catalog::is_catalog_magic(bytes));
+    let mut r = CatalogReader::open(std::io::Cursor::new(&bytes[..])).unwrap();
+
+    // The index recorded at fixture time.
+    let d = r.dataset("wave").unwrap();
+    assert_eq!(d.scalar_tag, 0x04);
+    assert_eq!(d.shape.dims(), &[8, 10, 10]);
+    assert_eq!(d.keyframe_every, 2);
+    let kf: Vec<bool> = d.steps.iter().map(|s| s.keyframe).collect();
+    assert_eq!(kf, [true, false, true, false, true]);
+    assert!(d.steps.iter().all(|s| s.eb == 1e-3));
+    let d = r.dataset("energy").unwrap();
+    assert_eq!(d.scalar_tag, 0x08);
+    assert_eq!(d.shape.dims(), &[12, 9]);
+    assert_eq!(d.keyframe_every, 3);
+    let kf: Vec<bool> = d.steps.iter().map(|s| s.keyframe).collect();
+    assert_eq!(kf, [true, false, false]);
+
+    // Same frozen formulas the fixture generator used; every step of
+    // both datasets must still meet its bound.
+    for t in 0..5 {
+        let truth = NdArray::<f32>::from_fn(Shape::d3(8, 10, 10), |ix| {
+            ((ix[0] as f64 * 0.3 + t as f64 * 0.05).sin() * 1.5
+                + ix[1] as f64 * 0.08
+                + ix[2] as f64 * 0.013
+                + t as f64 * 0.02) as f32
+        });
+        check_bound(&truth, &r.read_step::<f32>("wave", t).unwrap(), 1e-3);
+    }
+    for t in 0..3 {
+        let truth = NdArray::<f64>::from_fn(Shape::d2(12, 9), |ix| {
+            (ix[0] as f64 * 0.22 + t as f64 * 0.11).cos() * 0.8 + ix[1] as f64 * 0.05
+        });
+        let back = r.read_step::<f64>("energy", t).unwrap();
+        for (i, (&a, &b)) in truth.as_slice().iter().zip(back.as_slice()).enumerate() {
+            assert!((a - b).abs() <= 1e-6 * (1.0 + 1e-6), "energy step {t} element {i}");
+        }
+    }
+
+    // A keyframe segment is an ordinary single-field archive: open it
+    // directly and decode it with the plain archive reader.
+    let mut seg = r.open_step("wave", 2).unwrap();
+    let slab = seg.read_all::<f32>().unwrap();
+    assert_eq!(slab.shape().dims(), &[8, 10, 10]);
+}
+
+#[test]
 fn model_guided_container_write_hits_quality_target() {
     // The full Fig. 13 loop for one snapshot: model picks eb for a PSNR
     // floor, compression goes through the container, measured PSNR
