@@ -1,0 +1,433 @@
+//! Per-stage codec kernel throughput: the table-driven / word-at-a-time
+//! fast paths against the frozen scalar reference kernels, recorded to
+//! `BENCH_codec_kernels.json`.
+//!
+//! Every stage the per-core rework touched is timed in isolation —
+//! Huffman encode/decode, zero-RLE, LZSS, quantization, the Lorenzo
+//! prediction traversal — plus the whole chunk pipeline end to end, each
+//! on both kernel paths ([`KernelPath::Fast`] vs
+//! [`KernelPath::Reference`]). Both paths produce byte-identical output
+//! (held by `tests/kernel_differential.rs`); this bench records what the
+//! identity costs, and **asserts** the speedups that justified the
+//! rework:
+//!
+//! - whole-pipeline decode ≥ 3× the recorded ~85 MB/s pre-rework record
+//!   (`BENCH_decode.json` seed history, same box) — full runs only, the
+//!   quick field is too small to amortize per-chunk setup — plus ≥ 2×
+//!   the live reference path, which is machine-stable;
+//! - per-stage ratio gates where the kernel rework actually landed:
+//!   Huffman decode ≥ 2×, Huffman encode ≥ 1.3×, LZSS ≥ 2.5×/3×,
+//!   zero-RLE compress ≥ 1.5×, Lorenzo traversal ≥ 3×;
+//! - a whole-pipeline encode floor of ≥ 1.2× the reference path.
+//!
+//! The encode floor is deliberately not the 2× the decode side carries.
+//! Whole-pipeline encode is bound by a serial dependency chain the
+//! container format freezes: each point's `(value − prediction) / 2eb`
+//! divide, ties-away round, and reconstruction feed the *next* point's
+//! Lorenzo prediction — about 60 cycles per point, ~22 ms for the
+//! 1M-point bench field before the entropy stages run at all — so no
+//! entropy-kernel speedup can push the end-to-end ratio much past ~1.2×.
+//! The decode side has no such chain on its integer half (symbol decode
+//! is independent of reconstruction, which is why fusing them per symbol
+//! works), which is where the 3× target is actually achievable and met.
+//!
+//! ```sh
+//! cargo run --release -p rq-bench --bin codec_kernels            # full
+//! RQM_QUICK=1 cargo run --release -p rq-bench --bin codec_kernels # CI
+//! ```
+
+use rq_bench::{f, Table};
+use rq_compress::kernels::{decode_chunk, encode_chunk, traverse_lorenzo, KernelPath};
+use rq_compress::LosslessStage;
+use rq_encoding::huffman::HuffmanCodec;
+use rq_encoding::reference::{
+    lzss_compress_ref, lzss_decompress_bounded_ref, rle_compress_ref, rle_decompress_bounded_ref,
+};
+use rq_encoding::{lzss, rle};
+use rq_grid::Shape;
+use rq_predict::PredictorKind;
+use rq_quant::LinearQuantizer;
+use std::io::Write;
+use std::time::Instant;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Best-of-N wall time for `work`, in seconds. `work` must return a value
+/// that depends on the computation so nothing is optimized away.
+fn time_best<R>(iters: usize, mut work: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = work();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+/// One stage's measurement: fast and reference MB/s over the same
+/// `bytes` of work.
+struct Stage {
+    name: &'static str,
+    fast_mbps: f64,
+    ref_mbps: f64,
+}
+
+impl Stage {
+    fn speedup(&self) -> f64 {
+        self.fast_mbps / self.ref_mbps
+    }
+}
+
+/// Quantization-shaped symbol stream: zero-code dominated, alphabet 2r+1.
+fn symbol_stream(n: usize, radius: u32) -> Vec<u32> {
+    let centre = radius;
+    let mut st = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|_| {
+            let r = xorshift(&mut st);
+            match r % 100 {
+                0..=69 => centre,
+                70..=79 => centre - 1,
+                80..=89 => centre + 1,
+                90..=93 => centre - 2,
+                94..=97 => centre + 2,
+                _ => ((r / 100) % (2 * radius as u64 + 1)) as u32,
+            }
+        })
+        .collect()
+}
+
+/// Huffman-payload-shaped bytes: long zero runs with literal islands.
+fn rle_input(n: usize) -> Vec<u8> {
+    let mut st = 0x1357_9BDF_2468_ACE0u64;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let r = xorshift(&mut st);
+        out.extend(std::iter::repeat_n(0u8, 16 + (r % 200) as usize));
+        for _ in 0..(r >> 32) % 12 {
+            out.push(xorshift(&mut st) as u8);
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+/// Dictionary-friendly bytes: repeated phrases with noise between.
+fn lzss_input(n: usize) -> Vec<u8> {
+    let mut st = 0x0F1E_2D3C_4B5A_6978u64;
+    let phrases: [&[u8]; 3] = [
+        b"pressure gradient over the western boundary layer ",
+        b"0123456789abcdef",
+        b"the quick brown fox jumps over the lazy dog ",
+    ];
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let r = xorshift(&mut st);
+        out.extend_from_slice(phrases[(r % 3) as usize]);
+        if r.is_multiple_of(5) {
+            out.push(xorshift(&mut st) as u8);
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+/// The synthetic field the whole-pipeline stages compress: smooth waves
+/// plus avalanche noise, the same recipe as the decode_scaling bench.
+fn field(shape: Shape) -> Vec<f32> {
+    let mut out = Vec::with_capacity(shape.len());
+    for (lin, ix) in shape.indices().enumerate() {
+        let mut v = 0.0f64;
+        for (a, &c) in ix.iter().enumerate() {
+            v += ((c as f64) * 0.11 * (a + 1) as f64).sin() * (6.0 / (a + 1) as f64);
+        }
+        let mut h = lin as u64 + 1;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        v += ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.02;
+        out.push(v as f32);
+    }
+    out
+}
+
+fn mbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs
+}
+
+/// Serial whole-pipeline decode throughput the seed's `BENCH_decode.json`
+/// recorded on this box before the kernel rework — the anchor for the
+/// ROADMAP's ≥ 3× decode target.
+const BASELINE_DECODE_MBPS: f64 = 85.0;
+
+fn main() {
+    let quick = rq_bench::quick();
+    let iters = if quick { 3 } else { 7 };
+    let scale = if quick { 1 } else { 4 };
+    let mut stages: Vec<Stage> = Vec::new();
+
+    // --- Huffman ---------------------------------------------------------
+    let radius = 1u32 << 15;
+    let symbols = symbol_stream(400_000 * scale, radius);
+    let sym_bytes = symbols.len() * 4;
+    let mut hist = vec![0u64; 2 * radius as usize + 1];
+    for &s in &symbols {
+        hist[s as usize] += 1;
+    }
+    let codec = HuffmanCodec::from_counts(&hist).unwrap();
+    let (t_fast, payload) = time_best(iters, || codec.encode(&symbols).unwrap());
+    let (t_ref, payload_ref) = time_best(iters, || codec.encode_reference(&symbols).unwrap());
+    assert_eq!(payload, payload_ref, "huffman encode paths diverged");
+    stages.push(Stage {
+        name: "huffman_encode",
+        fast_mbps: mbps(sym_bytes, t_fast),
+        ref_mbps: mbps(sym_bytes, t_ref),
+    });
+    let (t_fast, out) = time_best(iters, || codec.decode(&payload, symbols.len()).unwrap());
+    let (t_ref, out_ref) =
+        time_best(iters, || codec.decode_reference(&payload, symbols.len()).unwrap());
+    assert_eq!(out, out_ref, "huffman decode paths diverged");
+    assert_eq!(out, symbols);
+    stages.push(Stage {
+        name: "huffman_decode",
+        fast_mbps: mbps(sym_bytes, t_fast),
+        ref_mbps: mbps(sym_bytes, t_ref),
+    });
+
+    // --- zero-RLE --------------------------------------------------------
+    let raw = rle_input(2_000_000 * scale);
+    let (t_fast, c) = time_best(iters, || rle::rle_compress(&raw, 0));
+    let (t_ref, c_ref) = time_best(iters, || rle_compress_ref(&raw, 0));
+    assert_eq!(c, c_ref, "rle compress paths diverged");
+    stages.push(Stage {
+        name: "rle_compress",
+        fast_mbps: mbps(raw.len(), t_fast),
+        ref_mbps: mbps(raw.len(), t_ref),
+    });
+    let (t_fast, d) =
+        time_best(iters, || rle::rle_decompress_bounded(&c, 0, raw.len()).unwrap());
+    let (t_ref, d_ref) =
+        time_best(iters, || rle_decompress_bounded_ref(&c, 0, raw.len()).unwrap());
+    assert_eq!(d, d_ref);
+    assert_eq!(d, raw);
+    stages.push(Stage {
+        name: "rle_decompress",
+        fast_mbps: mbps(raw.len(), t_fast),
+        ref_mbps: mbps(raw.len(), t_ref),
+    });
+
+    // --- LZSS ------------------------------------------------------------
+    let raw = lzss_input(1_000_000 * scale);
+    let (t_fast, c) = time_best(iters, || lzss::lzss_compress(&raw));
+    let (t_ref, c_ref) = time_best(iters, || lzss_compress_ref(&raw));
+    assert_eq!(c, c_ref, "lzss compress paths diverged");
+    stages.push(Stage {
+        name: "lzss_compress",
+        fast_mbps: mbps(raw.len(), t_fast),
+        ref_mbps: mbps(raw.len(), t_ref),
+    });
+    let (t_fast, d) =
+        time_best(iters, || lzss::lzss_decompress_bounded(&c, raw.len()).unwrap());
+    let (t_ref, d_ref) =
+        time_best(iters, || lzss_decompress_bounded_ref(&c, raw.len()).unwrap());
+    assert_eq!(d, d_ref);
+    assert_eq!(d, raw);
+    stages.push(Stage {
+        name: "lzss_decompress",
+        fast_mbps: mbps(raw.len(), t_fast),
+        ref_mbps: mbps(raw.len(), t_ref),
+    });
+
+    // --- quantization ----------------------------------------------------
+    // No reference twin (the rework only cached the bin width, proven
+    // rounding-identical in rq-quant); recorded fast-only for the
+    // trajectory, speedup pinned at 1.
+    let q = LinearQuantizer::new(1e-3, radius);
+    let mut st = 0xABCDu64;
+    let errs: Vec<f64> = (0..1_000_000 * scale)
+        .map(|_| (xorshift(&mut st) >> 11) as f64 / (1u64 << 53) as f64 * 0.01 - 0.005)
+        .collect();
+    let err_bytes = errs.len() * 8;
+    let (t_q, acc) = time_best(iters, || {
+        let mut acc = 0i64;
+        for &e in &errs {
+            if let Some(code) = q.quantize(e) {
+                acc += code as i64;
+                acc += q.reconstruct(code).to_bits() as i64 & 0xFF;
+            }
+        }
+        acc
+    });
+    assert_ne!(acc, i64::MIN); // keep the result observable
+    let q_mbps = mbps(err_bytes, t_q);
+    stages.push(Stage { name: "quantize", fast_mbps: q_mbps, ref_mbps: q_mbps });
+
+    // --- Lorenzo traversal ----------------------------------------------
+    let tshape = if quick { Shape::d3(48, 64, 64) } else { Shape::d3(96, 128, 128) };
+    let tbytes = tshape.len() * 8;
+    let visit = |lin: usize, pred: f64| {
+        // A cheap deterministic nudge so the feedback chain is live.
+        Ok(pred + ((lin & 0xFF) as f64 - 128.0) * 1e-6)
+    };
+    let (t_fast, rf) = time_best(iters, || {
+        traverse_lorenzo(tshape, 1, KernelPath::Fast, visit).unwrap()
+    });
+    let (t_ref, rr) = time_best(iters, || {
+        traverse_lorenzo(tshape, 1, KernelPath::Reference, visit).unwrap()
+    });
+    assert_eq!(rf, rr, "lorenzo traversal paths diverged");
+    stages.push(Stage {
+        name: "predict_lorenzo",
+        fast_mbps: mbps(tbytes, t_fast),
+        ref_mbps: mbps(tbytes, t_ref),
+    });
+
+    // --- whole pipeline --------------------------------------------------
+    let shape = if quick { Shape::d3(32, 64, 64) } else { Shape::d3(64, 128, 128) };
+    let data = field(shape);
+    let raw_bytes = shape.len() * std::mem::size_of::<f32>();
+    let eb = 1e-3;
+    let run_encode = |path| {
+        encode_chunk(&data, shape, PredictorKind::Lorenzo, eb, radius, LosslessStage::RleLzss, path)
+            .unwrap()
+    };
+    let (t_fast, blob) = time_best(iters, || run_encode(KernelPath::Fast));
+    let (t_ref, blob_ref) = time_best(iters, || run_encode(KernelPath::Reference));
+    assert_eq!(blob, blob_ref, "pipeline encode paths diverged");
+    let enc = Stage {
+        name: "pipeline_encode",
+        fast_mbps: mbps(raw_bytes, t_fast),
+        ref_mbps: mbps(raw_bytes, t_ref),
+    };
+    let mut out = vec![0f32; shape.len()];
+    let run_decode = |path, out: &mut Vec<f32>| {
+        decode_chunk(&blob, shape, PredictorKind::Lorenzo, eb, radius, path, out).unwrap();
+        out[0].to_bits()
+    };
+    let (t_fast, _) = time_best(iters, || run_decode(KernelPath::Fast, &mut out));
+    let fast_out = out.clone();
+    let (t_ref, _) = time_best(iters, || run_decode(KernelPath::Reference, &mut out));
+    assert_eq!(
+        fast_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "pipeline decode paths diverged"
+    );
+    let dec = Stage {
+        name: "pipeline_decode",
+        fast_mbps: mbps(raw_bytes, t_fast),
+        ref_mbps: mbps(raw_bytes, t_ref),
+    };
+    stages.push(enc);
+    stages.push(dec);
+
+    // --- report ----------------------------------------------------------
+    println!(
+        "# Codec kernel throughput — fast vs reference, serial, {} iters (best-of)",
+        iters
+    );
+    println!();
+    let mut t = Table::new(&["stage", "fast(MB/s)", "reference(MB/s)", "speedup"]);
+    for s in &stages {
+        t.row(&[s.name.into(), f(s.fast_mbps, 1), f(s.ref_mbps, 1), f(s.speedup(), 2)]);
+    }
+    t.print();
+
+    // The speedup gates that justified the kernel rework (see the module
+    // docs for why encode carries a floor, not the decode-side 3×).
+    // Ratio gates use the live reference path: both paths run on the same
+    // core in the same process, so the ratio is stable across machines
+    // while absolute throughput is not. Full-mode thresholds sit ~20-30%
+    // under the measured speedups to absorb timer noise on a busy box;
+    // quick mode (CI smoke: small working sets that flatter the
+    // reference's cache behaviour, best-of-3, varying hardware) keeps
+    // looser floors that still catch a real regression.
+    let gates: [(&str, f64); 8] = if quick {
+        [
+            ("pipeline_decode", 1.8),
+            ("pipeline_encode", 1.15),
+            ("huffman_decode", 1.4),
+            ("huffman_encode", 1.3),
+            ("lzss_compress", 2.5),
+            ("lzss_decompress", 3.0),
+            ("rle_compress", 1.5),
+            ("predict_lorenzo", 3.0),
+        ]
+    } else {
+        [
+            ("pipeline_decode", 2.0),
+            ("pipeline_encode", 1.2),
+            ("huffman_decode", 2.0),
+            ("huffman_encode", 1.3),
+            ("lzss_compress", 2.5),
+            ("lzss_decompress", 3.0),
+            ("rle_compress", 1.5),
+            ("predict_lorenzo", 3.0),
+        ]
+    };
+    for (name, min) in gates {
+        let s = stages.iter().find(|s| s.name == name).unwrap();
+        assert!(
+            s.speedup() >= min,
+            "{name}: fast path is {:.2}x the reference (gate {min}x) — \
+             the kernel rework has regressed",
+            s.speedup()
+        );
+    }
+    // The headline ROADMAP target: ≥ 3× the ~85 MB/s serial decode the
+    // seed's BENCH_decode.json recorded on this box. Absolute, so full
+    // runs only — quick mode's small field under-amortizes setup and CI
+    // hardware varies — and it assumes an otherwise-idle core, the same
+    // condition the 85 MB/s baseline was recorded under (best-of-N cannot
+    // rescue a run that shares its only core with another workload).
+    let dec = stages.iter().find(|s| s.name == "pipeline_decode").unwrap();
+    let decode_vs_baseline = dec.fast_mbps / BASELINE_DECODE_MBPS;
+    if !quick {
+        assert!(
+            decode_vs_baseline >= 3.0,
+            "pipeline_decode: {:.1} MB/s is {:.2}x the recorded {BASELINE_DECODE_MBPS} MB/s \
+             baseline (target 3x)",
+            dec.fast_mbps,
+            decode_vs_baseline
+        );
+    }
+
+    // Hand-rolled JSON (the workspace has no serde).
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"codec_kernels\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!("  \"iters\": {iters},\n"));
+    j.push_str(&format!("  \"pipeline_field\": {:?},\n", shape.dims()));
+    j.push_str(&format!("  \"baseline_decode_mbps\": {BASELINE_DECODE_MBPS},\n"));
+    j.push_str(&format!("  \"decode_vs_baseline\": {decode_vs_baseline:.2},\n"));
+    j.push_str("  \"decode_baseline_gate\": 3.0,\n");
+    j.push_str("  \"ratio_gates\": {");
+    for (i, (name, min)) in gates.iter().enumerate() {
+        j.push_str(&format!("\"{name}\": {min}{}", if i + 1 < gates.len() { ", " } else { "" }));
+    }
+    j.push_str("},\n");
+    j.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"fast_mbps\": {:.1}, \"reference_mbps\": {:.1}, \
+             \"speedup\": {:.2}}}{}\n",
+            s.name,
+            s.fast_mbps,
+            s.ref_mbps,
+            s.speedup(),
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create("BENCH_codec_kernels.json").unwrap();
+    f.write_all(j.as_bytes()).unwrap();
+    println!("\nwrote BENCH_codec_kernels.json ({} stages)", stages.len());
+}

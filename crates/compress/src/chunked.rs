@@ -248,6 +248,7 @@ pub(crate) fn decode_chunk_blob<T: Scalar>(
                 header.predictor,
                 LinearQuantizer::new(eb, header.radius),
                 transform_from_header(header),
+                crate::pipeline::KernelPath::Fast,
                 out,
             )
         }
@@ -279,6 +280,7 @@ pub(crate) fn decode_entry_blob<T: Scalar>(
             header.predictor,
             LinearQuantizer::new(header.abs_eb, header.radius),
             transform_from_header(header),
+            crate::pipeline::KernelPath::Fast,
             out,
         )
     } else {

@@ -18,7 +18,7 @@ use crate::config::LosslessStage;
 use crate::container::{
     read_chunk_blob, write_chunk_blob, ChunkCodecKind, CompressError, DecompressError,
 };
-use crate::pipeline::{decode_stream, encode_stream, Transform};
+use crate::pipeline::{decode_stream, encode_stream, KernelPath, Transform};
 use rq_grid::{Scalar, Shape};
 use rq_predict::PredictorKind;
 use rq_quant::LinearQuantizer;
@@ -78,18 +78,36 @@ pub struct SzChunkCodec {
     pub(crate) transform: Transform,
     /// Optional lossless stage configuration.
     pub lossless: LosslessStage,
+    /// Which kernel implementations to run (production is always
+    /// [`KernelPath::Fast`]; the reference path exists for the
+    /// differential harness and the `codec_kernels` bench).
+    pub(crate) path: KernelPath,
 }
 
 impl SzChunkCodec {
     /// Codec for a resolved absolute bound with the identity transform.
     pub fn new(predictor: PredictorKind, quantizer: LinearQuantizer, lossless: LosslessStage) -> Self {
-        SzChunkCodec { predictor, quantizer, transform: Transform::Identity, lossless }
+        SzChunkCodec {
+            predictor,
+            quantizer,
+            transform: Transform::Identity,
+            lossless,
+            path: KernelPath::Fast,
+        }
     }
 
     /// Same, with an explicit transform (crate-internal: the transform
     /// enum is not public API).
     pub(crate) fn with_transform(mut self, transform: Transform) -> Self {
         self.transform = transform;
+        self
+    }
+
+    /// Same, forcing a kernel path (crate-internal: used by the
+    /// `kernels` test/bench surface; the container bytes are identical
+    /// either way, which is exactly what the differential tests assert).
+    pub(crate) fn with_kernel_path(mut self, path: KernelPath) -> Self {
+        self.path = path;
         self
     }
 }
@@ -107,6 +125,7 @@ impl<T: Scalar> ChunkCodec<T> for SzChunkCodec {
             self.quantizer,
             self.transform,
             self.lossless,
+            self.path,
         )?;
         let blob = write_chunk_blob::<T>(
             stream.lossless_applied,
@@ -142,6 +161,7 @@ impl<T: Scalar> ChunkCodec<T> for SzChunkCodec {
             self.predictor,
             self.quantizer,
             self.transform,
+            self.path,
             out,
         )
     }

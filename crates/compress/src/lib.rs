@@ -27,6 +27,8 @@ pub mod chunked;
 pub mod codec;
 pub mod config;
 pub mod container;
+#[doc(hidden)]
+pub mod kernels;
 mod mmap;
 mod pool;
 pub mod pipeline;

@@ -26,6 +26,7 @@ use crate::container::{
     SectionsBody, VERSION_V1,
 };
 use crate::report::{CompressedOutput, CompressionReport};
+use rq_encoding::reference::{lossless_compress_ref, lossless_decompress_bounded_ref};
 use rq_encoding::{lossless_compress, lossless_decompress_bounded, HuffmanCodec};
 use rq_grid::{BlockIter, NdArray, Scalar, Shape, MAX_DIMS};
 use rq_predict::interp::{anchors, for_each_stencil};
@@ -91,10 +92,15 @@ struct QuantEncoder<T: Scalar> {
     verbatim: Vec<T>,
     histogram: Vec<u64>,
     n_escapes: usize,
+    /// Which quantize kernel drives [`Self::encode_point`]: the fast
+    /// inlined rounder or the pre-rework libm twin. Identical results
+    /// (held by rq-quant's `quantize_matches_reference_kernel`), so only
+    /// the measured cost differs.
+    path: KernelPath,
 }
 
 impl<T: Scalar> QuantEncoder<T> {
-    fn new(quantizer: LinearQuantizer, transform: Transform, n_hint: usize) -> Self {
+    fn new(quantizer: LinearQuantizer, transform: Transform, n_hint: usize, path: KernelPath) -> Self {
         let alphabet = quantizer.alphabet_size() + 1;
         QuantEncoder {
             quantizer,
@@ -104,6 +110,7 @@ impl<T: Scalar> QuantEncoder<T> {
             verbatim: Vec::new(),
             histogram: vec![0u64; alphabet],
             n_escapes: 0,
+            path,
         }
     }
 
@@ -124,13 +131,33 @@ impl<T: Scalar> QuantEncoder<T> {
 
     /// Quantize one point. Returns the working-domain reconstruction that
     /// the decompressor will reproduce bit-for-bit.
+    ///
+    /// The working-domain value is derived here (`transform.forward` is a
+    /// pure function of `original`) rather than read from a precomputed
+    /// slab — the encode hot loop used to stream an extra 8 bytes/point
+    /// through memory for it. The reference kernel path keeps that slab
+    /// (see [`Self::encode_point_with_work`]) so it stays a faithful
+    /// pre-rework cost model.
     #[inline]
-    fn encode_point(&mut self, original: T, work: f64, predicted: f64) -> f64 {
+    fn encode_point(&mut self, original: T, predicted: f64) -> f64 {
+        let work = self.transform.forward(original.to_f64());
+        self.encode_point_with_work(original, work, predicted)
+    }
+
+    /// [`Self::encode_point`] with the working-domain value supplied by
+    /// the caller — the pre-rework loop shape, where every point's
+    /// transform was precomputed into a `Vec<f64>` slab.
+    #[inline]
+    fn encode_point_with_work(&mut self, original: T, work: f64, predicted: f64) -> f64 {
         // Non-positive values cannot live in the log domain.
         if matches!(self.transform, Transform::Log { .. }) && original.to_f64() <= 0.0 {
             return self.escape(original);
         }
-        let Some((code, recon_work)) = self.quantizer.quantize_value(work, predicted) else {
+        let quantized = match self.path {
+            KernelPath::Fast => self.quantizer.quantize_value(work, predicted),
+            KernelPath::Reference => self.quantizer.quantize_value_ref(work, predicted),
+        };
+        let Some((code, recon_work)) = quantized else {
             return self.escape(original);
         };
         let (ok, recon_stored) = match self.transform {
@@ -155,6 +182,33 @@ impl<T: Scalar> QuantEncoder<T> {
     }
 }
 
+/// Where [`QuantDecoder`] pulls its symbol stream from.
+///
+/// The fast kernel path streams symbols straight out of the Huffman
+/// payload as the traversal consumes them, so the entropy decode's
+/// integer work overlaps the reconstruction's serial floating-point
+/// chain (and the whole-stream `Vec<u32>` never exists). The reference
+/// path keeps the pre-rework shape: all symbols decoded upfront, then
+/// drained from the slab. Both yield the same symbols; on corrupt blobs
+/// both reject (the surfaced error may differ — upfront decoding hits a
+/// payload error before the traversal can hit a stream-exhaustion one).
+enum SymbolSource<'a> {
+    Upfront(std::slice::Iter<'a, u32>),
+    Streaming(rq_encoding::huffman::StreamingDecoder<'a>),
+}
+
+impl SymbolSource<'_> {
+    #[inline]
+    fn next(&mut self) -> Result<u32, DecompressError> {
+        match self {
+            SymbolSource::Upfront(it) => {
+                it.next().copied().ok_or(DecompressError::Corrupt("symbol stream exhausted"))
+            }
+            SymbolSource::Streaming(s) => s.next_symbol().map_err(Into::into),
+        }
+    }
+}
+
 /// Decode-side mirror of [`QuantEncoder`], writing into a caller-provided
 /// output slab (so chunked decompression can decode straight into disjoint
 /// slices of the final buffer).
@@ -162,19 +216,29 @@ struct QuantDecoder<'a, T: Scalar> {
     quantizer: LinearQuantizer,
     transform: Transform,
     escape_symbol: u32,
-    symbols: std::slice::Iter<'a, u32>,
+    symbols: SymbolSource<'a>,
     verbatim: std::slice::Iter<'a, T>,
     /// Output values in the original domain.
     out: &'a mut [T],
 }
 
 impl<'a, T: Scalar> QuantDecoder<'a, T> {
+    /// Store into the output slab. `lin` comes from a traversal over
+    /// `shape`, and `decode_stream` asserts `out.len() == shape.len()`.
+    #[inline]
+    fn put(&mut self, lin: usize, v: T) {
+        // SAFETY: `lin < shape.len() == self.out.len()` (hard-asserted at
+        // decode_stream entry; every traversal visits only in-shape
+        // points). Audited, covered by tests/kernel_differential.rs.
+        unsafe { *self.out.get_unchecked_mut(lin) = v };
+    }
+
     fn take_verbatim(&mut self, lin: usize) -> Result<f64, DecompressError> {
         let v = *self
             .verbatim
             .next()
             .ok_or(DecompressError::Corrupt("verbatim stream exhausted"))?;
-        self.out[lin] = v;
+        self.put(lin, v);
         Ok(self.transform.forward(v.to_f64()))
     }
 
@@ -182,14 +246,11 @@ impl<'a, T: Scalar> QuantDecoder<'a, T> {
     /// the working-domain reconstruction for future predictions.
     #[inline]
     fn decode_point(&mut self, lin: usize, predicted: f64) -> Result<f64, DecompressError> {
-        let &sym = self
-            .symbols
-            .next()
-            .ok_or(DecompressError::Corrupt("symbol stream exhausted"))?;
-        if sym == self.escape_symbol {
-            return self.take_verbatim(lin);
-        }
+        let sym = self.symbols.next()?;
         if sym >= self.escape_symbol {
+            if sym == self.escape_symbol {
+                return self.take_verbatim(lin);
+            }
             return Err(DecompressError::Corrupt("symbol out of alphabet"));
         }
         let code = self.quantizer.symbol_to_code(sym);
@@ -197,20 +258,53 @@ impl<'a, T: Scalar> QuantDecoder<'a, T> {
         Ok(match self.transform {
             Transform::Identity => {
                 let t = T::from_f64(recon_work);
-                self.out[lin] = t;
+                self.put(lin, t);
                 t.to_f64()
             }
             Transform::Log { .. } => {
-                self.out[lin] = T::from_f64(recon_work.exp());
+                self.put(lin, T::from_f64(recon_work.exp()));
                 recon_work
             }
         })
     }
 }
 
+/// Which implementations drive the per-point hot loops and the entropy
+/// stages. Production code always runs [`KernelPath::Fast`];
+/// [`KernelPath::Reference`] keeps the pre-rework scalar kernels
+/// reachable so `tests/kernel_differential.rs` can hold the two
+/// byte-identical and the `codec_kernels` bench can measure the speedup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Table-driven / word-at-a-time / row-specialized kernels.
+    Fast,
+    /// The original scalar kernels.
+    Reference,
+}
+
 /// Row-major Lorenzo traversal shared by the compressor and decompressor.
 /// `visit(lin, predicted)` returns the reconstruction to store.
-fn traverse_lorenzo(
+///
+/// The fast path covers order 1 (every production Lorenzo/TemporalDelta
+/// stream); order 2 always takes the generic stencil walk. Both paths
+/// produce **bit-identical** reconstructions — the fast path reorders no
+/// floating-point additions (see [`traverse_lorenzo1_fast`]).
+pub(crate) fn traverse_lorenzo(
+    shape: Shape,
+    order: usize,
+    path: KernelPath,
+    visit: impl FnMut(usize, f64) -> Result<f64, DecompressError>,
+) -> Result<Vec<f64>, DecompressError> {
+    if order == 1 && path == KernelPath::Fast {
+        traverse_lorenzo1_fast(shape, visit)
+    } else {
+        traverse_lorenzo_generic(shape, order, visit)
+    }
+}
+
+/// The generic (reference) traversal: per-point stencil evaluation with
+/// checked neighbor subtraction.
+fn traverse_lorenzo_generic(
     shape: Shape,
     order: usize,
     mut visit: impl FnMut(usize, f64) -> Result<f64, DecompressError>,
@@ -238,6 +332,163 @@ fn traverse_lorenzo(
             idx[axis] = 0;
         }
     }
+}
+
+/// Row-specialized order-1 Lorenzo traversal.
+///
+/// The order-1 stencil's taps, in the exact enumeration order of
+/// [`LorenzoStencil::new`] (axis 0 fastest), are the non-empty subsets of
+/// axes read as binary: first every tap with offset 0 along the
+/// contiguous axis (ascending leading-axis subset mask `m`, weight
+/// `(-1)^(popcount(m)+1)`), then the same subsets with contiguous offset
+/// 1 (pure-x first, each weight negated). That split is what this
+/// function exploits:
+///
+/// * the `dx=0` taps only read *previous rows*, so their partial sums are
+///   hoisted into a per-row `scratch` pass with no feedback dependence —
+///   plain slice loops the compiler unrolls and vectorizes;
+/// * the `dx=1` taps and the serial `visit` feedback run per point.
+///
+/// Floating-point addition order is preserved exactly: `scratch[j]`
+/// accumulates per-subset in ascending mask order (the generic per-point
+/// order), and the per-point tail adds the pure-x and `dx=1` terms in the
+/// same sequence the generic walk would. Weights are ±1, so `w * r`
+/// equals `r`/`-r` exactly and the specialized add/sub loops round
+/// identically. Boundary rows simply drop the subsets whose axes sit at
+/// coordinate 0 — the same taps the generic walk's `checked_sub` skips.
+fn traverse_lorenzo1_fast(
+    shape: Shape,
+    mut visit: impl FnMut(usize, f64) -> Result<f64, DecompressError>,
+) -> Result<Vec<f64>, DecompressError> {
+    let nd = shape.ndim();
+    let n = shape.len();
+    let mut recon = vec![0f64; n];
+    if n == 0 {
+        return Ok(recon);
+    }
+    let w = shape.dim(nd - 1);
+    let strides = shape.strides();
+    let nlead = nd - 1;
+    let nmask = 1usize << nlead;
+    debug_assert!(nmask <= 8, "MAX_DIMS grew past 4: widen the subset tables");
+    // Per leading-axis subset: linear offset and tap weight.
+    let mut off = [0usize; 8];
+    let mut wgt = [0f64; 8];
+    for m in 1..nmask {
+        for (a, &stride) in strides[..nlead].iter().enumerate() {
+            if m & (1 << a) != 0 {
+                off[m] += stride;
+            }
+        }
+        wgt[m] = if m.count_ones() & 1 == 1 { 1.0 } else { -1.0 };
+    }
+    let mut scratch = vec![0f64; w];
+    let mut coord = [0usize; MAX_DIMS];
+    let mut row = 0usize;
+    loop {
+        // Subsets valid on this row: every member axis at coordinate >= 1.
+        // Ascending mask order = the generic tap enumeration order.
+        let mut avail = 0usize;
+        for (a, &c) in coord[..nlead].iter().enumerate() {
+            if c >= 1 {
+                avail |= 1 << a;
+            }
+        }
+        let mut taps = [(0usize, 0f64); 7];
+        let mut ntaps = 0;
+        for m in 1..nmask {
+            if m & !avail == 0 {
+                taps[ntaps] = (off[m], wgt[m]);
+                ntaps += 1;
+            }
+        }
+        let taps = &taps[..ntaps];
+
+        // dx=0 prefix sums for the whole row, one subset at a time (the
+        // per-element addition order this produces is exactly the generic
+        // per-point order). No feedback: these loops vectorize.
+        scratch.fill(0.0);
+        for &(o, wg) in taps {
+            let src = &recon[row - o..row - o + w];
+            if wg == 1.0 {
+                for (d, &s) in scratch.iter_mut().zip(src) {
+                    *d += s;
+                }
+            } else {
+                for (d, &s) in scratch.iter_mut().zip(src) {
+                    *d -= s;
+                }
+            }
+        }
+
+        // Column 0: the dx=1 taps (including pure-x) are all invalid.
+        recon[row] = visit(row, scratch[0])?;
+        // The tap count per row is `2^popcount(avail) - 1` — dispatch to a
+        // monomorphized tail so the per-point tap loop fully unrolls.
+        match ntaps {
+            0 => lorenzo1_row_tail::<0>(&mut recon, row, w, taps, &scratch, &mut visit)?,
+            1 => lorenzo1_row_tail::<1>(&mut recon, row, w, taps, &scratch, &mut visit)?,
+            3 => lorenzo1_row_tail::<3>(&mut recon, row, w, taps, &scratch, &mut visit)?,
+            _ => {
+                debug_assert_eq!(ntaps, 7);
+                lorenzo1_row_tail::<7>(&mut recon, row, w, taps, &scratch, &mut visit)?
+            }
+        }
+
+        row += w;
+        // Odometer over the leading axes, last fastest (row-major order).
+        let mut axis = nlead;
+        loop {
+            if axis == 0 {
+                return Ok(recon);
+            }
+            axis -= 1;
+            coord[axis] += 1;
+            if coord[axis] < shape.dim(axis) {
+                break;
+            }
+            coord[axis] = 0;
+        }
+    }
+}
+
+/// Serial tail of one [`traverse_lorenzo1_fast`] row: the pure-x tap
+/// (weight +1) then the `NT` dx=1 subset taps (each the negated dx=0
+/// weight), in subset order — the feedback part that cannot be hoisted.
+/// `NT` is a compile-time tap count so the loop unrolls with the offsets
+/// held in registers; floating-point order is identical to the dynamic
+/// loop it replaces.
+#[inline(always)]
+fn lorenzo1_row_tail<const NT: usize>(
+    recon: &mut [f64],
+    row: usize,
+    w: usize,
+    taps: &[(usize, f64)],
+    scratch: &[f64],
+    visit: &mut impl FnMut(usize, f64) -> Result<f64, DecompressError>,
+) -> Result<(), DecompressError> {
+    debug_assert_eq!(taps.len(), NT);
+    debug_assert!(scratch.len() >= w);
+    for j in 1..w {
+        let lin = row + j;
+        // SAFETY (audited, covered by tests/kernel_differential.rs):
+        // `j < w <= scratch.len()`; `lin < recon.len()` because the caller
+        // guarantees `row + w <= recon.len()`; every `o` satisfies
+        // `o <= row` (its axes all have coordinate >= 1), so `1 + o <= lin`
+        // and the subtractions cannot wrap; `taps.len() == NT` is asserted.
+        let acc = unsafe {
+            let mut acc = *scratch.get_unchecked(j) + *recon.get_unchecked(lin - 1);
+            for k in 0..NT {
+                let (o, wg) = *taps.get_unchecked(k);
+                acc += -wg * *recon.get_unchecked(lin - 1 - o);
+            }
+            acc
+        };
+        let v = visit(lin, acc)?;
+        // SAFETY: `lin < recon.len()` as above.
+        unsafe { *recon.get_unchecked_mut(lin) = v };
+    }
+    Ok(())
 }
 
 /// Interpolation traversal over non-anchor points. The caller must have
@@ -326,13 +577,12 @@ pub(crate) fn encode_stream<T: Scalar>(
     quantizer: LinearQuantizer,
     transform: Transform,
     lossless: LosslessStage,
+    path: KernelPath,
 ) -> Result<EncodedStream<T>, CompressError> {
     debug_assert_eq!(orig.len(), shape.len());
     let n = shape.len();
-    // Working-domain originals.
-    let work: Vec<f64> = orig.iter().map(|&v| transform.forward(v.to_f64())).collect();
 
-    let mut enc = QuantEncoder::<T>::new(quantizer, transform, n);
+    let mut enc = QuantEncoder::<T>::new(quantizer, transform, n, path);
     let mut side = Vec::new();
     let mut n_anchors = 0usize;
 
@@ -342,9 +592,25 @@ pub(crate) fn encode_stream<T: Scalar>(
         // they traverse exactly like order-1 Lorenzo.
         PredictorKind::Lorenzo | PredictorKind::Lorenzo2 | PredictorKind::TemporalDelta => {
             let order = if predictor == PredictorKind::Lorenzo2 { 2 } else { 1 };
-            traverse_lorenzo(shape, order, |lin, pred| {
-                Ok(enc.encode_point(orig[lin], work[lin], pred))
-            })
+            match path {
+                KernelPath::Fast => traverse_lorenzo(shape, order, path, |lin, pred| {
+                    // SAFETY: the traversal visits each `lin < shape.len()`
+                    // exactly once, and `orig.len() == shape.len()`
+                    // (asserted above); audited, covered by
+                    // tests/kernel_differential.rs.
+                    let o = unsafe { *orig.get_unchecked(lin) };
+                    Ok(enc.encode_point(o, pred))
+                }),
+                KernelPath::Reference => {
+                    // Pre-rework loop shape: the working-domain slab is
+                    // precomputed and streamed back through memory.
+                    let work: Vec<f64> =
+                        orig.iter().map(|&v| transform.forward(v.to_f64())).collect();
+                    traverse_lorenzo(shape, order, path, |lin, pred| {
+                        Ok(enc.encode_point_with_work(orig[lin], work[lin], pred))
+                    })
+                }
+            }
             .expect("compression traversal cannot fail");
         }
         PredictorKind::Interpolation => {
@@ -354,17 +620,20 @@ pub(crate) fn encode_stream<T: Scalar>(
                 recon[a] = enc.store_verbatim(orig[a]);
             }
             traverse_interp_points(shape, &mut recon, |lin, pred| {
-                Ok(enc.encode_point(orig[lin], work[lin], pred))
+                Ok(enc.encode_point(orig[lin], pred))
             })
             .expect("compression traversal cannot fail");
         }
         PredictorKind::Regression => {
+            // The regression fitter is the one consumer that needs the
+            // working-domain originals as a whole slab.
+            let work: Vec<f64> = orig.iter().map(|&v| transform.forward(v.to_f64())).collect();
             for block in BlockIter::new(shape, REGRESSION_BLOCK_SIDE) {
                 let coeffs = fit_block(&work, shape, &block);
                 coeffs.write(&mut side);
                 for_each_in_block(shape, &block, |lin, local| {
                     let pred = coeffs.predict(local);
-                    enc.encode_point(orig[lin], work[lin], pred);
+                    enc.encode_point(orig[lin], pred);
                 });
             }
         }
@@ -375,13 +644,20 @@ pub(crate) fn encode_stream<T: Scalar>(
         (Vec::new(), Vec::new())
     } else {
         let codec = HuffmanCodec::from_counts(&enc.histogram)?;
-        (codec.serialize_codebook(), codec.encode(&enc.symbols)?)
+        let payload = match path {
+            KernelPath::Fast => codec.encode(&enc.symbols)?,
+            KernelPath::Reference => codec.encode_reference(&enc.symbols)?,
+        };
+        (codec.serialize_codebook(), payload)
     };
     let huffman_bytes = huffman_payload.len();
     let (payload, lossless_applied) = match lossless {
         LosslessStage::None => (huffman_payload, LosslessStage::None),
         LosslessStage::RleLzss => {
-            let ll = lossless_compress(&huffman_payload);
+            let ll = match path {
+                KernelPath::Fast => lossless_compress(&huffman_payload),
+                KernelPath::Reference => lossless_compress_ref(&huffman_payload),
+            };
             if ll.len() < huffman_bytes {
                 (ll, LosslessStage::RleLzss)
             } else {
@@ -406,6 +682,7 @@ pub(crate) fn encode_stream<T: Scalar>(
 
 /// The chunk kernel, decode side: replay one stream into `out`
 /// (`out.len() == shape.len()`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn decode_stream<T: Scalar>(
     body: &SectionsBody<T>,
     lossless: LosslessStage,
@@ -413,27 +690,41 @@ pub(crate) fn decode_stream<T: Scalar>(
     predictor: PredictorKind,
     quantizer: LinearQuantizer,
     transform: Transform,
+    path: KernelPath,
     out: &mut [T],
 ) -> Result<(), DecompressError> {
-    debug_assert_eq!(out.len(), shape.len());
+    // Hard assert (not debug): QuantDecoder's unchecked stores rely on
+    // `lin < shape.len() == out.len()` for every traversal-visited `lin`.
+    assert_eq!(out.len(), shape.len(), "decode_stream output slab size mismatch");
     let n = shape.len();
 
     let n_anchors =
         if predictor == PredictorKind::Interpolation { anchors(shape).len() } else { 0 };
     let n_symbols = n - n_anchors;
 
-    let symbols: Vec<u32> = if n_symbols == 0 {
-        Vec::new()
+    // Owned storage the symbol source borrows from; each is initialized
+    // only on the paths that read it.
+    let payload: std::borrow::Cow<'_, [u8]>;
+    let codec: HuffmanCodec;
+    let symbols: Vec<u32>;
+    let source = if n_symbols == 0 {
+        symbols = Vec::new();
+        SymbolSource::Upfront(symbols.iter())
     } else {
-        let payload: std::borrow::Cow<'_, [u8]> = if lossless == LosslessStage::RleLzss {
+        payload = if lossless == LosslessStage::RleLzss {
             // A Huffman code is at most 64 bits, so the decoded payload
             // can never legitimately exceed 8 bytes/symbol — bounding the
             // lossless stage here keeps corrupt run lengths from forcing
             // huge allocations.
             let max_payload = n_symbols.saturating_mul(8).saturating_add(16);
-            lossless_decompress_bounded(&body.payload, max_payload)
-                .ok_or(DecompressError::Corrupt("lossless stage"))?
-                .into()
+            match path {
+                KernelPath::Fast => lossless_decompress_bounded(&body.payload, max_payload),
+                KernelPath::Reference => {
+                    lossless_decompress_bounded_ref(&body.payload, max_payload)
+                }
+            }
+            .ok_or(DecompressError::Corrupt("lossless stage"))?
+            .into()
         } else {
             (&body.payload[..]).into()
         };
@@ -444,15 +735,23 @@ pub(crate) fn decode_stream<T: Scalar>(
         if n_symbols > payload.len().saturating_mul(8) {
             return Err(DecompressError::Corrupt("symbol count exceeds payload"));
         }
-        let (codec, _) = HuffmanCodec::deserialize_codebook(&body.codebook)?;
-        codec.decode(&payload, n_symbols)?
+        codec = HuffmanCodec::deserialize_codebook(&body.codebook)?.0;
+        match path {
+            KernelPath::Fast => {
+                SymbolSource::Streaming(codec.streaming_decoder(&payload, n_symbols))
+            }
+            KernelPath::Reference => {
+                symbols = codec.decode_reference(&payload, n_symbols)?;
+                SymbolSource::Upfront(symbols.iter())
+            }
+        }
     };
 
     let mut dec = QuantDecoder::<T> {
         quantizer,
         transform,
         escape_symbol: quantizer.alphabet_size() as u32,
-        symbols: symbols.iter(),
+        symbols: source,
         verbatim: body.verbatim.iter(),
         out,
     };
@@ -460,7 +759,7 @@ pub(crate) fn decode_stream<T: Scalar>(
     match predictor {
         PredictorKind::Lorenzo | PredictorKind::Lorenzo2 | PredictorKind::TemporalDelta => {
             let order = if predictor == PredictorKind::Lorenzo2 { 2 } else { 1 };
-            traverse_lorenzo(shape, order, |lin, pred| dec.decode_point(lin, pred))?;
+            traverse_lorenzo(shape, order, path, |lin, pred| dec.decode_point(lin, pred))?;
         }
         PredictorKind::Interpolation => {
             let mut recon = vec![0f64; n];
@@ -532,8 +831,15 @@ pub fn compress_with_report<T: Scalar>(
     let (abs_eb, transform) = resolve_bound(cfg, field.value_range())?;
     let quantizer = LinearQuantizer::new(abs_eb, cfg.radius);
 
-    let stream =
-        encode_stream(field.as_slice(), shape, cfg.predictor, quantizer, transform, cfg.lossless)?;
+    let stream = encode_stream(
+        field.as_slice(),
+        shape,
+        cfg.predictor,
+        quantizer,
+        transform,
+        cfg.lossless,
+        KernelPath::Fast,
+    )?;
 
     let header = Header {
         version: VERSION_V1,
@@ -601,6 +907,7 @@ pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<NdArray<T>, DecompressError
         header.predictor,
         quantizer,
         transform,
+        KernelPath::Fast,
         &mut out,
     )?;
     Ok(NdArray::from_vec(shape, out))

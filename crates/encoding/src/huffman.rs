@@ -12,12 +12,19 @@
 //! negligible fraction of a bit per symbol.
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::reference::RefBitReader;
 use crate::varint::{get_uvarint, put_uvarint};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Longest admissible canonical code, in bits.
 pub const MAX_CODE_LEN: u32 = 32;
+
+/// Width of the flat one-shot decode table: every code of at most this
+/// many bits decodes with a single peek + indexed load. Codes longer than
+/// this (rare by construction — they need Fibonacci-grade histogram skew)
+/// fall back to the canonical first-code scan.
+const TABLE_BITS: u32 = 11;
 
 /// Errors surfaced by [`HuffmanCodec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +64,19 @@ pub struct HuffmanCodec {
     first_index: Vec<usize>,
     /// `len_count[l]` = number of codes of exact length l.
     len_count: Vec<usize>,
+    /// Flat decode table, `1 << table_bits` entries indexed by the next
+    /// `table_bits` bits of the stream. Entry = `(code_len << 32) | symbol`;
+    /// `code_len == 0` marks a prefix of a longer-than-table code (decode
+    /// falls back to the canonical scan) or an unassigned prefix (corrupt).
+    table: Vec<u64>,
+    /// Encode acceleration: `(code_len << 32) | code` per symbol, `0` for
+    /// absent symbols — one load (instead of two) in the encode hot loop.
+    /// No collision: `code < 2^len <= 2^32`.
+    enc_table: Vec<u64>,
+    /// Width of `table` in bits: `min(max code length, TABLE_BITS)`.
+    table_bits: u32,
+    /// Longest assigned code length.
+    max_len: u32,
 }
 
 impl HuffmanCodec {
@@ -111,7 +131,44 @@ impl HuffmanCodec {
             code += 1;
             prev_len = len;
         }
-        HuffmanCodec { lengths, codes, sorted_symbols, first_code, first_index, len_count }
+
+        // Flat decode table: every code of length <= table_bits owns the
+        // contiguous run of table slots sharing its prefix. Slot ranges are
+        // clamped to the table (an oversubscribed length set — rejected at
+        // deserialization — could otherwise index past the end).
+        let table_bits = (max_len as u32).clamp(1, TABLE_BITS);
+        let mut table = vec![0u64; 1usize << table_bits];
+        let cap = 1usize << table_bits;
+        for &s in &sorted_symbols {
+            let len = lengths[s as usize];
+            if len <= table_bits {
+                let lo = ((codes[s as usize] << (table_bits - len)) as usize).min(cap);
+                let hi = (((codes[s as usize] + 1) << (table_bits - len)) as usize).min(cap);
+                let entry = ((len as u64) << 32) | s as u64;
+                for e in &mut table[lo..hi] {
+                    *e = entry;
+                }
+            }
+        }
+
+        let enc_table = lengths
+            .iter()
+            .zip(&codes)
+            .map(|(&l, &c)| if l == 0 { 0 } else { ((l as u64) << 32) | c })
+            .collect();
+
+        HuffmanCodec {
+            lengths,
+            codes,
+            sorted_symbols,
+            first_code,
+            first_index,
+            len_count,
+            table,
+            enc_table,
+            table_bits,
+            max_len: max_len as u32,
+        }
     }
 
     /// Number of symbols with a code.
@@ -140,6 +197,124 @@ impl HuffmanCodec {
     pub fn encode(&self, symbols: &[u32]) -> Result<Vec<u8>, HuffmanError> {
         let mut w = BitWriter::new();
         for &s in symbols {
+            let e = self.enc_table.get(s as usize).copied().unwrap_or(0);
+            if e == 0 {
+                return Err(HuffmanError::UnknownSymbol(s));
+            }
+            w.put_bits(e & 0xFFFF_FFFF, (e >> 32) as u32);
+        }
+        Ok(w.finish())
+    }
+
+    /// Decode exactly `n` symbols from `bytes`.
+    ///
+    /// One table hit decodes any code of at most `TABLE_BITS` bits: peek
+    /// `table_bits` bits, load symbol + length from the flat table, commit
+    /// the length. Longer codes (zero-length entries) take the canonical
+    /// first-code fallback walk (`decode_long`).
+    ///
+    /// The hot loop decodes **bursts of symbols per refill**: while at
+    /// least 64 stream bits remain, one refill makes at least 56 bits
+    /// visible, and five table hits consume at most `5 × TABLE_BITS = 55`
+    /// of them — so each burst commits five symbols with the refill, the
+    /// end-of-stream check, and the budget bookkeeping all hoisted out of
+    /// the per-symbol path. The final symbols (and any stream too short
+    /// to guarantee a burst) run the fully checked per-symbol path, which
+    /// keeps accept/reject behavior identical to the reference decoder.
+    pub fn decode(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, HuffmanError> {
+        let mut r = BitReader::new(bytes);
+        let mut out = vec![0u32; n];
+        self.decode_into(&mut r, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode exactly `out.len()` symbols from `r`, continuing wherever a
+    /// previous call left the reader — the shared core of [`Self::decode`]
+    /// and [`StreamingDecoder`]. Chunking a stream across calls yields the
+    /// same symbols and the same per-position errors as one big call: the
+    /// burst/tail split depends only on the reader's remaining bits.
+    fn decode_into(&self, r: &mut BitReader, out: &mut [u32]) -> Result<(), HuffmanError> {
+        let n = out.len();
+        let tb = self.table_bits;
+        debug_assert!(tb <= TABLE_BITS, "5-symbol bursts rely on 5 * tb <= 56");
+        let table = self.table.as_slice();
+        let mut i = 0usize;
+        'bursts: while i + 5 <= n && r.remaining() >= 64 {
+            r.refill(); // >= 56 bits visible: covers all five table hits
+            for _ in 0..5 {
+                // SAFETY: `peek(tb) < 2^tb == table.len()` — `from_lengths`
+                // sizes the table as `1 << table_bits` and `peek` returns
+                // at most `table_bits` bits; `i + 5 <= n == out.len()` is
+                // the burst guard and at most five stores happen per burst
+                // (audited; covered by tests/kernel_differential.rs).
+                let entry = unsafe { *table.get_unchecked(r.peek(tb) as usize) };
+                let len = (entry >> 32) as u32;
+                if len == 0 {
+                    // Longer-than-table code (or corrupt prefix): decode
+                    // this one symbol on the fully checked path.
+                    r.refill();
+                    let s = self.decode_long(r)?;
+                    unsafe { *out.get_unchecked_mut(i) = s };
+                    i += 1;
+                    continue 'bursts;
+                }
+                // In bounds: five hits consume <= 5 * tb = 55 of the
+                // >= 64 remaining bits, each `len <= tb` of >= tb visible.
+                r.consume(len);
+                unsafe { *out.get_unchecked_mut(i) = entry as u32 };
+                i += 1;
+            }
+        }
+        while i < n {
+            r.refill();
+            let entry = self.table[r.peek(tb) as usize];
+            let len = (entry >> 32) as u32;
+            if len != 0 {
+                if !r.try_consume(len) {
+                    return Err(HuffmanError::Corrupt("truncated payload"));
+                }
+                out[i] = entry as u32;
+            } else {
+                out[i] = self.decode_long(r)?;
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Fallback for codes longer than the flat table (and for unassigned
+    /// prefixes of undersubscribed books): the canonical first-code scan,
+    /// restricted to lengths the table cannot resolve. `peek` is
+    /// zero-padded past end-of-stream, so a "match" formed from padding is
+    /// refused by the consume check — reproducing the reference reader's
+    /// truncation error.
+    #[cold]
+    fn decode_long(&self, r: &mut BitReader) -> Result<u32, HuffmanError> {
+        let window = r.peek(self.max_len);
+        for len in self.table_bits + 1..=self.max_len {
+            let count = self.len_count[len as usize];
+            if count == 0 {
+                continue;
+            }
+            let code = window >> (self.max_len - len);
+            let fc = self.first_code[len as usize];
+            if code >= fc && code < fc + count as u64 {
+                if !r.try_consume(len) {
+                    return Err(HuffmanError::Corrupt("truncated payload"));
+                }
+                let fi = self.first_index[len as usize];
+                return Ok(self.sorted_symbols[fi + (code - fc) as usize]);
+            }
+        }
+        Err(HuffmanError::Corrupt("code longer than any in book"))
+    }
+
+    /// Encode with the pre-rework byte-at-a-time bit writer: the reference
+    /// kernel `tests/kernel_differential.rs` holds [`Self::encode`] equal
+    /// to, and the baseline the `codec_kernels` bench measures against.
+    pub fn encode_reference(&self, symbols: &[u32]) -> Result<Vec<u8>, HuffmanError> {
+        let mut w = crate::reference::RefBitWriter::new();
+        for &s in symbols {
             let len = self.code_len(s);
             if len == 0 {
                 return Err(HuffmanError::UnknownSymbol(s));
@@ -149,11 +324,11 @@ impl HuffmanCodec {
         Ok(w.finish())
     }
 
-    /// Decode exactly `n` symbols from `bytes`.
-    pub fn decode(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, HuffmanError> {
-        let mut r = BitReader::new(bytes);
+    /// Decode with the pre-rework bit-at-a-time canonical scan (reference
+    /// kernel, see [`Self::encode_reference`]).
+    pub fn decode_reference(&self, bytes: &[u8], n: usize) -> Result<Vec<u32>, HuffmanError> {
+        let mut r = RefBitReader::new(bytes);
         let mut out = Vec::with_capacity(n);
-        // Degenerate single-symbol alphabet: every code is 1 bit.
         for _ in 0..n {
             let mut code = 0u64;
             let mut len = 0u32;
@@ -229,7 +404,80 @@ impl HuffmanCodec {
         if lengths.iter().all(|&l| l == 0) {
             return Err(HuffmanError::Corrupt("all-zero codebook"));
         }
+        // Kraft inequality: Σ 2^-len <= 1, computed exactly in units of
+        // 2^-MAX_CODE_LEN (no overflow: <= 2^28 terms of <= 2^31 each). An
+        // oversubscribed length set is not a prefix code — canonical code
+        // assignment would overflow the bit width and the flat decode
+        // table's slot ranges would collide — so reject it up front; such
+        // books can only come from corrupt input. Undersubscribed books
+        // (Kraft < 1) stay accepted as before: their unassigned prefixes
+        // surface as a typed decode error only if the payload hits one.
+        let kraft: u64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (MAX_CODE_LEN - l)).sum();
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(HuffmanError::Corrupt("oversubscribed codebook"));
+        }
         Ok((Self::from_lengths(lengths), pos))
+    }
+
+    /// Start handing out `n` symbols of `bytes` through a
+    /// [`StreamingDecoder`] instead of materializing them all upfront.
+    pub fn streaming_decoder<'a>(&'a self, bytes: &'a [u8], n: usize) -> StreamingDecoder<'a> {
+        StreamingDecoder { codec: self, r: BitReader::new(bytes), undecoded: n }
+    }
+}
+
+/// Hands out a payload's symbols in decode order, one table hit per
+/// call — no whole-stream `Vec<u32>`. The chunk decoder fuses this with
+/// its reconstruction traversal: the entropy decode's integer dependency
+/// chain (accumulator → table load → code length → accumulator) and the
+/// traversal's floating-point reconstruction chain are independent, so
+/// interleaving them per symbol lets the core run both concurrently —
+/// the table decode hides in the FP chain's stall slots instead of
+/// running as a separate serial pass over a symbol slab.
+///
+/// Yields exactly the symbol sequence of [`HuffmanCodec::decode`] on the
+/// same payload, and fails on exactly the payloads it rejects (at the
+/// same symbol position — only the point in wall-clock time where the
+/// error surfaces moves). The per-symbol steps are literally the checked
+/// tail loop of [`HuffmanCodec::decode`], whose burst path is held
+/// equivalent to it by construction.
+pub struct StreamingDecoder<'a> {
+    codec: &'a HuffmanCodec,
+    r: BitReader<'a>,
+    /// Symbols of the stream not yet handed out.
+    undecoded: usize,
+}
+
+impl StreamingDecoder<'_> {
+    /// The next symbol of the stream.
+    ///
+    /// # Errors
+    /// Where [`HuffmanCodec::decode`] would fail on this payload: a
+    /// truncated or corrupt code at this symbol's position — or asking
+    /// for more symbols than the stream was opened with.
+    #[inline]
+    pub fn next_symbol(&mut self) -> Result<u32, HuffmanError> {
+        if self.undecoded == 0 {
+            return Err(HuffmanError::Corrupt("symbol stream exhausted"));
+        }
+        self.undecoded -= 1;
+        self.r.refill();
+        // SAFETY: `peek(tb) < 2^tb == table.len()` — `from_lengths` sizes
+        // the table as `1 << table_bits` and `peek` returns at most
+        // `table_bits` bits (audited; covered by the streaming-vs-upfront
+        // equivalence test and tests/kernel_differential.rs).
+        let entry =
+            unsafe { *self.codec.table.get_unchecked(self.r.peek(self.codec.table_bits) as usize) };
+        let len = (entry >> 32) as u32;
+        if len != 0 {
+            if !self.r.try_consume(len) {
+                return Err(HuffmanError::Corrupt("truncated payload"));
+            }
+            Ok(entry as u32)
+        } else {
+            self.codec.decode_long(&mut self.r)
+        }
     }
 }
 
@@ -319,6 +567,59 @@ mod tests {
         assert_eq!(back, symbols);
         // Skewed stream must compress well below 8 bits/symbol.
         assert!((bytes.len() as f64) < symbols.len() as f64);
+    }
+
+    /// The streaming decoder must yield exactly the upfront decoder's
+    /// symbol sequence — across batch boundaries, long codes, and an
+    /// alphabet wide enough to exceed the flat table — and fail on
+    /// exactly the payloads (truncations) the upfront decoder rejects.
+    #[test]
+    fn streaming_decoder_matches_upfront() {
+        let mut st = 0xBEEF_CAFE_0123_4567u64;
+        let mut xs = move || {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            st
+        };
+        // Skewed stream over a big alphabet: short codes dominate, rare
+        // symbols get longer-than-table codes.
+        let alphabet = 1usize << 14;
+        let symbols: Vec<u32> = (0..20_000)
+            .map(|_| match xs() % 100 {
+                0..=84 => 100,
+                85..=94 => 99 + (xs() % 3) as u32,
+                _ => (xs() % alphabet as u64) as u32,
+            })
+            .collect();
+        let codec = HuffmanCodec::from_counts(&histogram(&symbols, alphabet)).unwrap();
+        let bytes = codec.encode(&symbols).unwrap();
+
+        for n in [0usize, 1, 4095, 4096, 4097, 20_000] {
+            let upfront = codec.decode(&bytes, n).unwrap();
+            let mut s = codec.streaming_decoder(&bytes, n);
+            for (i, &want) in upfront.iter().enumerate() {
+                assert_eq!(s.next_symbol().unwrap(), want, "n {n} sym {i}");
+            }
+            // Over-asking past the opened count is refused.
+            assert!(s.next_symbol().is_err(), "n {n}: over-ask succeeded");
+        }
+
+        // Truncations: accept/reject must agree with the upfront decoder
+        // at every cut (the error may just surface later in the drain).
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            let cut_bytes = &bytes[..cut];
+            let upfront_ok = codec.decode(cut_bytes, symbols.len()).is_ok();
+            let mut s = codec.streaming_decoder(cut_bytes, symbols.len());
+            let mut streamed_ok = true;
+            for _ in 0..symbols.len() {
+                if s.next_symbol().is_err() {
+                    streamed_ok = false;
+                    break;
+                }
+            }
+            assert_eq!(streamed_ok, upfront_ok, "cut {cut}");
+        }
     }
 
     #[test]

@@ -22,11 +22,18 @@
 //! | [`rle`]     | §III-B, Eq. 4–8 | the zero-run behaviour behind the lossless-ratio model |
 //! | [`lzss`]    | §III-B        | dictionary stage of the Zstandard stand-in |
 //! | [`bitio`], [`varint`] | —   | serialization substrate (container headers, codebooks) |
+//!
+//! The hot paths (Huffman decode, bit I/O, RLE/LZSS inner loops) are
+//! table-driven / word-at-a-time kernels; the original scalar
+//! implementations live on in [`mod@reference`], and the differential harness
+//! in `tests/kernel_differential.rs` holds the two byte-identical.
 
 pub mod bitio;
+mod bytescan;
 pub mod huffman;
 pub mod lossless;
 pub mod lzss;
+pub mod reference;
 pub mod rle;
 pub mod varint;
 

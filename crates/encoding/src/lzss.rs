@@ -11,6 +11,7 @@
 //!   bytes at distance `offset + 1` (up to 64 KiB window).
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::bytescan::common_prefix;
 use crate::varint::{get_uvarint, put_uvarint};
 
 const WINDOW: usize = 1 << 16;
@@ -40,18 +41,36 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
         let mut best_dist = 0usize;
         if i + MIN_MATCH <= input.len() {
             let h = hash4(&input[i..]);
+            let here = u32::from_le_bytes(input[i..i + MIN_MATCH].try_into().unwrap());
             let mut cand = head[h];
             let mut probes = 0;
+            let limit = (input.len() - i).min(MAX_MATCH);
             while cand != usize::MAX && probes < MAX_CHAIN {
                 let dist = i - cand;
                 if dist > WINDOW {
                     break;
                 }
-                let limit = (input.len() - i).min(MAX_MATCH);
-                let mut l = 0;
-                while l < limit && input[cand + l] == input[i + l] {
-                    l += 1;
+                // Cheap filters that never change which candidate wins
+                // (first-to-improve, same as the scalar loop). Before any
+                // match is found: a candidate that differs inside the
+                // first MIN_MATCH bytes can only yield a sub-MIN_MATCH
+                // prefix, which is emitted as a literal either way — and
+                // recording such a "best" never changes later decisions,
+                // because the one-byte probe below only ever skips
+                // candidates whose prefix ends at or before `best_len`.
+                // Once a match exists: a candidate can only beat
+                // `best_len` if it matches at that offset too.
+                let viable = if best_len == 0 {
+                    u32::from_le_bytes(input[cand..cand + MIN_MATCH].try_into().unwrap()) == here
+                } else {
+                    best_len < limit && input[cand + best_len] == input[i + best_len]
+                };
+                if !viable {
+                    cand = prev[cand];
+                    probes += 1;
+                    continue;
                 }
+                let l = common_prefix(&input[cand..], &input[i..], limit);
                 if l > best_len {
                     best_len = l;
                     best_dist = dist;
@@ -64,9 +83,10 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
             }
         }
         if best_len >= MIN_MATCH {
-            w.put_bit(false);
-            w.put_bits((best_dist - 1) as u64, 16);
-            w.put_bits((best_len - MIN_MATCH) as u64, 8);
+            // One staged append per token: 0 flag + 16-bit offset +
+            // 8-bit length as a single 25-bit value (identical bytes to
+            // the three separate appends of the reference coder).
+            w.put_bits((((best_dist - 1) << 8) | (best_len - MIN_MATCH)) as u64, 25);
             // Insert every covered position into the hash chains.
             let end = i + best_len;
             while i < end {
@@ -78,8 +98,8 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
                 i += 1;
             }
         } else {
-            w.put_bit(true);
-            w.put_bits(input[i] as u64, 8);
+            // 1 flag + literal byte as one 9-bit append.
+            w.put_bits(0x100 | input[i] as u64, 9);
             if i + MIN_MATCH <= input.len() {
                 let h = hash4(&input[i..]);
                 prev[i] = head[h];
@@ -119,10 +139,20 @@ pub fn lzss_decompress_bounded(input: &[u8], max_len: usize) -> Option<Vec<u8>> 
                 return None;
             }
             let start = out.len() - dist;
-            // Byte-by-byte: matches may overlap their own output.
-            for k in 0..len {
-                let b = out[start + k];
-                out.push(b);
+            if dist >= len {
+                // Non-overlapping: one bulk copy.
+                out.extend_from_within(start..start + len);
+            } else if dist == 1 {
+                // Run of one byte (the common overlap case): bulk fill.
+                let b = out[out.len() - 1];
+                out.resize(out.len() + len, b);
+            } else {
+                // General self-overlapping match: byte-by-byte.
+                out.reserve(len);
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
             }
         }
     }

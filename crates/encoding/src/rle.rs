@@ -14,11 +14,16 @@
 //! `escape` is a fixed byte (0xF7); doubling keeps the format
 //! self-delimiting without a bitmap.
 
+use crate::bytescan::{find_byte, find_either, run_end};
 use crate::varint::{get_uvarint, put_uvarint};
 
 const ESCAPE: u8 = 0xF7;
 
 /// Compress `input`, collapsing runs of `marker`.
+///
+/// Runs and literal spans are measured with word-at-a-time scans and
+/// copied in bulk; the emitted bytes are identical to a per-byte loop
+/// (held so by `tests/kernel_differential.rs`).
 pub fn rle_compress(input: &[u8], marker: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     let mut i = 0;
@@ -26,19 +31,19 @@ pub fn rle_compress(input: &[u8], marker: u8) -> Vec<u8> {
         let b = input[i];
         if b == marker {
             let start = i;
-            while i < input.len() && input[i] == marker {
-                i += 1;
-            }
+            i = run_end(input, i, marker);
             out.push(ESCAPE);
             put_uvarint(&mut out, (i - start) as u64);
-        } else {
-            if b == ESCAPE {
-                out.push(ESCAPE);
-                put_uvarint(&mut out, 0); // run of zero markers = literal escape
-            } else {
-                out.push(b);
-            }
+        } else if b == ESCAPE {
+            out.push(ESCAPE);
+            put_uvarint(&mut out, 0); // run of zero markers = literal escape
             i += 1;
+        } else {
+            // Whole literal span (bytes that are neither marker nor
+            // escape) in one copy.
+            let start = i;
+            i = find_either(input, i, marker, ESCAPE);
+            out.extend_from_slice(&input[start..i]);
         }
     }
     out
@@ -59,9 +64,8 @@ pub fn rle_decompress_bounded(input: &[u8], marker: u8, max_len: usize) -> Optio
     let mut out = Vec::with_capacity(input.len() * 2);
     let mut pos = 0;
     while pos < input.len() {
-        let b = input[pos];
-        pos += 1;
-        if b == ESCAPE {
+        if input[pos] == ESCAPE {
+            pos += 1;
             let run = get_uvarint(input, &mut pos)?;
             if run == 0 {
                 out.push(ESCAPE);
@@ -69,13 +73,19 @@ pub fn rle_decompress_bounded(input: &[u8], marker: u8, max_len: usize) -> Optio
                 if run > cap || out.len() as u64 + run > cap {
                     return None;
                 }
-                out.extend(std::iter::repeat_n(marker, run as usize));
+                // Bulk fill instead of per-byte extend.
+                out.resize(out.len() + run as usize, marker);
             }
         } else {
-            if out.len() as u64 >= cap {
+            // Whole literal span up to the next escape in one copy. The
+            // per-byte loop failed on the first byte pushed past `cap`,
+            // i.e. exactly when the span would overflow it.
+            let start = pos;
+            pos = find_byte(input, pos, ESCAPE);
+            if out.len() as u64 + (pos - start) as u64 > cap {
                 return None;
             }
-            out.push(b);
+            out.extend_from_slice(&input[start..pos]);
         }
     }
     Some(out)

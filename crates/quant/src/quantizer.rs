@@ -4,6 +4,45 @@
 /// 2¹⁶ + 1 quantization bins SZ uses by default.
 pub const DEFAULT_RADIUS: u32 = 1 << 15;
 
+/// `f64::round` (round half away from zero) as straight-line integer bit
+/// manipulation.
+///
+/// Bit-identical to the builtin for every input — including negative
+/// zeros, exact `.5` ties, values past 2⁵², and infinities — which the
+/// `round_ties_away_matches_std` test pins across seeded random and
+/// adversarial values. The point of the duplicate: `f64::round` lowers to
+/// a libm call on x86-64 (there is no ties-away rounding mode in SSE), and
+/// that call is the single biggest cost in the quantization hot loop.
+///
+/// Deliberately branch-free below the `exp >= 52` guard: which side of
+/// `|x| < 1` a prediction error lands on is data-dependent noise in the
+/// hot loop, so the small/large cases are merged with arithmetic masks
+/// instead of branches the predictor would keep missing.
+#[inline]
+fn round_ties_away(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    if exp >= 52 {
+        // Already integral (or inf/NaN, both round to themselves). The
+        // only branch: prediction errors this large are escape-rare.
+        return x;
+    }
+    // |x| < 1 rounds to ±0, or to ±1 exactly when |x| >= 0.5 (exp == -1).
+    let sign = bits & 0x8000_0000_0000_0000;
+    let one_if_half = 0x3FF0_0000_0000_0000 & ((exp == -1) as u64).wrapping_neg();
+    let small = sign | one_if_half;
+    // |x| >= 1: add half an ulp-at-the-integer-scale to the magnitude
+    // (the carry ripples into the exponent exactly when rounding crosses
+    // a power of two), then truncate the fraction. When the fraction is
+    // already zero the added half bit lands inside the cleared mask, so
+    // integral values pass through unchanged without a separate test.
+    let sh = exp.max(0) as u32;
+    let frac = 0x000F_FFFF_FFFF_FFFF_u64 >> sh;
+    let large = (bits + (0x0008_0000_0000_0000 >> sh)) & !frac;
+    let small_mask = (exp >> 63) as u64; // all ones iff exp < 0
+    f64::from_bits((small & small_mask) | (large & !small_mask))
+}
+
 /// Linear-scaling quantizer with bin width `2 × eb` (paper §II-B).
 ///
 /// Symbols for the entropy coder are the shifted codes
@@ -12,6 +51,11 @@ pub const DEFAULT_RADIUS: u32 = 1 << 15;
 #[derive(Clone, Copy, Debug)]
 pub struct LinearQuantizer {
     eb: f64,
+    /// Cached bin width `2 × eb`. Exact (doubling never rounds), so
+    /// quantize/reconstruct results are bit-identical to computing
+    /// `2.0 * eb` at every call — it just keeps one multiply out of the
+    /// per-point hot loop.
+    two_eb: f64,
     radius: u32,
 }
 
@@ -23,7 +67,11 @@ impl LinearQuantizer {
     pub fn new(eb: f64, radius: u32) -> Self {
         assert!(eb.is_finite() && eb > 0.0, "invalid error bound {eb}");
         assert!(radius > 0, "radius must be positive");
-        LinearQuantizer { eb, radius }
+        // `code_to_symbol` computes `code + radius as i32`, so radii past
+        // i32::MAX were never representable; pinning the bound here also
+        // guarantees the f64→i32 cast in `quantize_value` is exact.
+        assert!(radius <= i32::MAX as u32, "radius must fit in i32");
+        LinearQuantizer { eb, two_eb: 2.0 * eb, radius }
     }
 
     /// Quantizer with the default radius.
@@ -53,7 +101,7 @@ impl LinearQuantizer {
         if !prediction_error.is_finite() {
             return None;
         }
-        let code = (prediction_error / (2.0 * self.eb)).round();
+        let code = round_ties_away(prediction_error / self.two_eb);
         if code.abs() > self.radius as f64 {
             None
         } else {
@@ -62,9 +110,13 @@ impl LinearQuantizer {
     }
 
     /// Reconstruction offset of a code: `code × 2eb`.
+    ///
+    /// (`code as f64 * 2.0` is exact, so multiplying by the cached
+    /// `two_eb` rounds the same real product once — identical to the
+    /// original `code as f64 * 2.0 * self.eb` evaluation.)
     #[inline]
     pub fn reconstruct(&self, code: i32) -> f64 {
-        code as f64 * 2.0 * self.eb
+        code as f64 * self.two_eb
     }
 
     /// Quantize against an original value and return the reconstructed
@@ -74,10 +126,55 @@ impl LinearQuantizer {
     /// slack absorbs one floating-point rounding).
     #[inline]
     pub fn quantize_value(&self, original: f64, predicted: f64) -> Option<(i32, f64)> {
-        let code = self.quantize(original - predicted)?;
-        let recon = predicted + self.reconstruct(code);
+        let err = original - predicted;
+        if !err.is_finite() {
+            // Must be caught before rounding: a NaN code compares false
+            // against the radius and would otherwise be accepted.
+            return None;
+        }
+        let code = round_ties_away(err / self.two_eb);
+        if code.abs() > self.radius as f64 {
+            return None;
+        }
+        // `code` is integral with |code| <= radius <= i32::MAX, so the i32
+        // cast below is exact and `code as i32 as f64 == code` bit for bit.
+        // Reconstructing from the f64 directly keeps the f64→i32→f64
+        // roundtrip (two cross-domain converts) off the serial dependency
+        // chain that feeds the next point's prediction.
+        let recon = predicted + code * self.two_eb;
         // Guard against cancellation on extreme magnitudes: if the bound is
         // violated after rounding, treat as unpredictable.
+        if (original - recon).abs() > self.eb * (1.0 + 1e-9) {
+            return None;
+        }
+        Some((code as i32, recon))
+    }
+
+    /// The pre-rework quantize kernel: same arithmetic as
+    /// [`Self::quantize`] but rounding through the libm `f64::round` call
+    /// and re-deriving the bin width per call. Bit-identical in result
+    /// (`2.0 * eb` is exact, and `round_ties_away` is proven equal to
+    /// `round`); kept so the reference kernel path and the
+    /// `codec_kernels` bench measure the true pre-rework cost.
+    #[inline]
+    pub fn quantize_ref(&self, prediction_error: f64) -> Option<i32> {
+        if !prediction_error.is_finite() {
+            return None;
+        }
+        let code = (prediction_error / (2.0 * self.eb)).round();
+        if code.abs() > self.radius as f64 {
+            None
+        } else {
+            Some(code as i32)
+        }
+    }
+
+    /// Reference twin of [`Self::quantize_value`], built on
+    /// [`Self::quantize_ref`]. Identical accept/reject and codes.
+    #[inline]
+    pub fn quantize_value_ref(&self, original: f64, predicted: f64) -> Option<(i32, f64)> {
+        let code = self.quantize_ref(original - predicted)?;
+        let recon = predicted + code as f64 * 2.0 * self.eb;
         if (original - recon).abs() > self.eb * (1.0 + 1e-9) {
             return None;
         }
@@ -106,6 +203,94 @@ impl LinearQuantizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The inlined ties-away rounder must match `f64::round` bit for bit:
+    /// adversarial edge values plus a broad seeded sweep over magnitudes.
+    #[test]
+    fn round_ties_away_matches_std() {
+        let edges = [
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            0.49999999999999994,  // largest f64 below 0.5
+            -0.49999999999999994, // (naive trunc(x + 0.5) gets these wrong)
+            0.5000000000000001,
+            4503599627370495.5,  // last half-integer before 2^52
+            -4503599627370495.5,
+            4503599627370496.0,  // 2^52: everything beyond is integral
+            9007199254740992.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e308,
+            -1e-308,
+        ];
+        for &x in &edges {
+            assert_eq!(
+                round_ties_away(x).to_bits(),
+                x.round().to_bits(),
+                "edge value {x:e}"
+            );
+        }
+        assert!(round_ties_away(f64::NAN).is_nan());
+        let mut s = 0xD1B5_4A32_D192_ED03u64;
+        for i in 0..200_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            // Sweep exponents so small, near-integer, and huge magnitudes
+            // all appear; also exercise exact half-integers.
+            let exp = (s % 64) as i32 - 16;
+            let x = ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2f64.powi(exp);
+            assert_eq!(round_ties_away(x).to_bits(), x.round().to_bits(), "random {x:e}");
+            let h = (i as f64) + 0.5;
+            assert_eq!(round_ties_away(h).to_bits(), h.round().to_bits());
+            assert_eq!(round_ties_away(-h).to_bits(), (-h).round().to_bits());
+        }
+    }
+
+    /// The fast quantize kernel and its pre-rework reference twin must
+    /// agree exactly — same accept/reject, same codes, bit-identical
+    /// reconstructions.
+    #[test]
+    fn quantize_matches_reference_kernel() {
+        let mut s = 0x5DEE_CE66_D1CE_5BB5u64;
+        let mut unit = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..100_000 {
+            let orig = -1e5 + 2e5 * unit();
+            let pred = orig + (-1e2 + 2e2 * unit());
+            let eb = 10f64.powf(-7.0 + 10.0 * unit());
+            let q = LinearQuantizer::with_default_radius(eb);
+            assert_eq!(q.quantize(orig - pred), q.quantize_ref(orig - pred));
+            let fast = q.quantize_value(orig, pred);
+            let refr = q.quantize_value_ref(orig, pred);
+            match (fast, refr) {
+                (None, None) => {}
+                (Some((cf, rf)), Some((cr, rr))) => {
+                    assert_eq!(cf, cr);
+                    assert_eq!(rf.to_bits(), rr.to_bits());
+                }
+                other => panic!("fast/reference quantize diverged: {other:?}"),
+            }
+        }
+        let q = LinearQuantizer::new(0.5, 4);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5.0, -5.0] {
+            assert_eq!(q.quantize(bad), q.quantize_ref(bad));
+        }
+    }
 
     #[test]
     fn zero_error_is_zero_code() {

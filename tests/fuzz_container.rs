@@ -651,6 +651,230 @@ fn catalog_dangling_keyframe_refs_error() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Entropy-layer targeted corruption (the table-driven codec kernels)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn huffman_codebook_targeted_corruptions() {
+    use rqm::encoding::huffman::{HuffmanCodec, HuffmanError};
+    use rqm::encoding::varint::put_uvarint;
+
+    // A serialized codebook of the shape real streams produce.
+    let mut hist = vec![0u64; 300];
+    let mut rng = Rng(0x5EED_0B01);
+    for _ in 0..4096 {
+        hist[rng.below(300)] += 1;
+    }
+    let codec = HuffmanCodec::from_counts(&hist).unwrap();
+    let book = codec.serialize_codebook();
+
+    // Every truncation of the codebook must be a typed error.
+    for cut in 0..book.len() {
+        assert!(
+            HuffmanCodec::deserialize_codebook(&book[..cut]).is_err(),
+            "codebook truncated to {cut} bytes parsed Ok"
+        );
+    }
+
+    // Hand-built hostile length tables.
+    let serialize_lengths = |lengths: &[u64]| -> Vec<u8> {
+        let mut out = Vec::new();
+        put_uvarint(&mut out, lengths.len() as u64);
+        for &l in lengths {
+            put_uvarint(&mut out, l);
+            if l == 0 {
+                put_uvarint(&mut out, 1); // run of one zero
+            }
+        }
+        out
+    };
+
+    // Over-long code length (> MAX_CODE_LEN).
+    for evil in [33u64, 64, 255, u64::MAX] {
+        let bytes = serialize_lengths(&[2, evil, 2]);
+        assert_eq!(
+            HuffmanCodec::deserialize_codebook(&bytes).unwrap_err(),
+            HuffmanError::Corrupt("code length too large"),
+            "length {evil}"
+        );
+    }
+
+    // Oversubscribed length sets: canonical code assignment would overflow
+    // and the flat table's slot ranges would collide / index past the end.
+    for evil in [vec![1u64, 1, 1], vec![1, 1, 2], vec![1, 2, 2, 2], vec![11u64; 2100]] {
+        let bytes = serialize_lengths(&evil);
+        assert_eq!(
+            HuffmanCodec::deserialize_codebook(&bytes).unwrap_err(),
+            HuffmanError::Corrupt("oversubscribed codebook"),
+            "lengths {evil:?}"
+        );
+    }
+
+    // A maximum-depth book (lengths 1..=32, Kraft-complete): parses, and
+    // the flat-table decoder with its long-code fallback agrees with the
+    // reference decoder on every payload — valid, truncated, or garbage.
+    let mut deep: Vec<u64> = (1..=31).collect();
+    deep.extend([32u64, 32]);
+    let deep_bytes = serialize_lengths(&deep);
+    let (deep_codec, _) = HuffmanCodec::deserialize_codebook(&deep_bytes).expect("max-depth book");
+    let symbols: Vec<u32> = (0..deep.len() as u32).rev().collect();
+    let payload = deep_codec.encode(&symbols).unwrap();
+    assert_eq!(deep_codec.decode(&payload, symbols.len()).unwrap(), symbols);
+    for cut in 0..payload.len() {
+        assert_eq!(
+            deep_codec.decode(&payload[..cut], symbols.len()).is_ok(),
+            deep_codec.decode_reference(&payload[..cut], symbols.len()).is_ok(),
+            "max-depth payload cut {cut}"
+        );
+    }
+    for case in 0..200 {
+        let garbage: Vec<u8> = (0..rng.below(24)).map(|_| rng.next() as u8).collect();
+        let n = 1 + rng.below(16);
+        let fast = deep_codec.decode(&garbage, n);
+        let reference = deep_codec.decode_reference(&garbage, n);
+        assert_eq!(fast.is_ok(), reference.is_ok(), "case {case}");
+        if let (Ok(a), Ok(b)) = (&fast, &reference) {
+            assert_eq!(a, b, "case {case}");
+        }
+    }
+
+    // Undersubscribed book with a reachable unassigned prefix: lengths
+    // [2, 2, 2] leave prefix 0b11 unmapped; an all-ones payload must be a
+    // typed error on both decoders, never a bogus symbol.
+    let under = serialize_lengths(&[2u64, 2, 2]);
+    let (under_codec, _) = HuffmanCodec::deserialize_codebook(&under).expect("undersubscribed");
+    assert!(under_codec.decode(&[0xFF, 0xFF], 1).is_err());
+    assert!(under_codec.decode_reference(&[0xFF, 0xFF], 1).is_err());
+}
+
+#[test]
+fn rle_runs_at_refill_boundary_decode_identically() {
+    use rqm::encoding::reference::rle_decompress_bounded_ref;
+    use rqm::encoding::rle::rle_decompress_bounded;
+    use rqm::encoding::varint::put_uvarint;
+
+    // Craft RLE streams whose runs end at every offset mod 8 — the
+    // word-at-a-time scanner's load boundary — and whose declared run
+    // lengths land exactly on, one below, and one past the output cap.
+    for lead in 0..16usize {
+        for run in [1u64, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+            for cap_delta in [-1i64, 0, 1] {
+                let mut stream: Vec<u8> = (1..=lead as u8).collect();
+                stream.push(0xF7); // ESCAPE
+                put_uvarint(&mut stream, run);
+                stream.extend_from_slice(&[2, 3, 4]);
+                let cap = (lead as i64 + run as i64 + 3 + cap_delta).max(0) as usize;
+                let fast = rle_decompress_bounded(&stream, 0, cap);
+                let reference = rle_decompress_bounded_ref(&stream, 0, cap);
+                assert_eq!(
+                    fast, reference,
+                    "lead {lead} run {run} cap {cap}: fast and reference disagree"
+                );
+                // And every truncation of the stream.
+                for cut in 0..stream.len() {
+                    assert_eq!(
+                        rle_decompress_bounded(&stream[..cut], 0, cap),
+                        rle_decompress_bounded_ref(&stream[..cut], 0, cap),
+                        "lead {lead} run {run} cap {cap} cut {cut}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symbol_count_exceeding_payload_is_rejected_before_allocation() {
+    use rqm::compress_crate::kernels::{decode_chunk, encode_chunk, KernelPath};
+    use rqm::compress_crate::{DecompressError, LosslessStage};
+
+    // Regression for the decode_stream guard: a blob whose payload holds
+    // far fewer bits than the declared element count demands must be
+    // rejected up front (every Huffman code is >= 1 bit), on both kernel
+    // paths, for both the raw and the lossless-wrapped payload — the
+    // multi-symbol-per-refill decode loop must never be entered with a
+    // symbol budget the payload cannot cover.
+    let small = Shape::d2(4, 4);
+    let data: Vec<f32> = (0..small.len()).map(|i| (i as f32 * 0.3).sin()).collect();
+    for lossless in [LosslessStage::None, LosslessStage::RleLzss] {
+        let blob = encode_chunk(
+            &data,
+            small,
+            PredictorKind::Lorenzo,
+            1e-3,
+            1 << 15,
+            lossless,
+            KernelPath::Fast,
+        )
+        .unwrap();
+        // Same blob, reinterpreted as a 64×64 chunk: 4096 symbols against
+        // a payload of a few dozen bits.
+        let big = Shape::d2(64, 64);
+        let mut out = vec![0f32; big.len()];
+        for path in [KernelPath::Fast, KernelPath::Reference] {
+            let err = decode_chunk(&blob, big, PredictorKind::Lorenzo, 1e-3, 1 << 15, path, &mut out)
+                .expect_err("oversized symbol count decoded Ok");
+            assert!(
+                matches!(
+                    err,
+                    DecompressError::Corrupt("symbol count exceeds payload")
+                        | DecompressError::Corrupt("lossless stage")
+                ),
+                "unexpected error: {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn entropy_region_corruptions_agree_across_thread_counts() {
+    // Byte flips aimed at each chunk blob's first bytes — the flags byte,
+    // the codebook length varint, and the codebook body, i.e. exactly the
+    // input of the flat-table construction — must produce identical
+    // accept/reject decisions at 1 and 4 decode threads, and never panic.
+    use std::io::Cursor;
+    let field = mixed_field();
+    let bytes = compress(
+        &field,
+        &CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3)).chunked(4),
+    )
+    .unwrap()
+    .bytes;
+    let table = chunk_table(&bytes).unwrap();
+    let try_streaming = |bytes: &[u8], threads: usize| -> bool {
+        match rqm::compress_crate::ArchiveReader::open(Cursor::new(bytes)) {
+            Err(_) => false,
+            Ok(r) => r
+                .with_threads_exact(threads)
+                .decompress_to_writer::<f32, _>(&mut std::io::sink())
+                .is_ok(),
+        }
+    };
+    let mut rng = Rng(0x5EED_0B02);
+    for entry in &table.entries {
+        // The first 24 bytes of the blob cover the flags byte and the
+        // codebook section header + start of the zero-RLE'd lengths.
+        let zone = entry.len.min(24);
+        for _ in 0..40 {
+            let mut m = bytes.clone();
+            let pos = entry.offset + rng.below(zone);
+            m[pos] ^= 1 << rng.below(8);
+            let serial = try_streaming(&m, 1);
+            let parallel = try_streaming(&m, 4);
+            assert_eq!(
+                serial, parallel,
+                "blob at {} byte {pos}: accept/reject differs across thread counts",
+                entry.offset
+            );
+            // The in-memory parser agrees with the streaming one.
+            if let Some(r) = try_decode(&m) {
+                assert_eq!(r.is_ok(), serial, "slice vs streaming disagree at byte {pos}");
+            }
+        }
+    }
+}
+
 #[test]
 fn truncated_then_extended_garbage_errors() {
     // A truncated archive padded back to length with garbage: the section
