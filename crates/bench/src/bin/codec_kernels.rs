@@ -36,7 +36,7 @@
 //! RQM_QUICK=1 cargo run --release -p rq-bench --bin codec_kernels # CI
 //! ```
 
-use rq_bench::{f, Table};
+use rq_bench::{f, jf, Table};
 use rq_compress::kernels::{decode_chunk, encode_chunk, traverse_lorenzo, KernelPath};
 use rq_compress::LosslessStage;
 use rq_encoding::huffman::HuffmanCodec;
@@ -407,7 +407,7 @@ fn main() {
     j.push_str(&format!("  \"iters\": {iters},\n"));
     j.push_str(&format!("  \"pipeline_field\": {:?},\n", shape.dims()));
     j.push_str(&format!("  \"baseline_decode_mbps\": {BASELINE_DECODE_MBPS},\n"));
-    j.push_str(&format!("  \"decode_vs_baseline\": {decode_vs_baseline:.2},\n"));
+    j.push_str(&format!("  \"decode_vs_baseline\": {},\n", jf(decode_vs_baseline, 2)));
     j.push_str("  \"decode_baseline_gate\": 3.0,\n");
     j.push_str("  \"ratio_gates\": {");
     for (i, (name, min)) in gates.iter().enumerate() {
@@ -417,12 +417,12 @@ fn main() {
     j.push_str("  \"stages\": [\n");
     for (i, s) in stages.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"fast_mbps\": {:.1}, \"reference_mbps\": {:.1}, \
-             \"speedup\": {:.2}}}{}\n",
+            "    {{\"stage\": \"{}\", \"fast_mbps\": {}, \"reference_mbps\": {}, \
+             \"speedup\": {}}}{}\n",
             s.name,
-            s.fast_mbps,
-            s.ref_mbps,
-            s.speedup(),
+            jf(s.fast_mbps, 1),
+            jf(s.ref_mbps, 1),
+            jf(s.speedup(), 2),
             if i + 1 < stages.len() { "," } else { "" }
         ));
     }

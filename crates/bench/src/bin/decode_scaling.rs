@@ -340,19 +340,19 @@ fn main() {
     j.push_str(&format!("  \"iters\": {iters},\n"));
     j.push_str(&format!("  \"rss_resettable\": {resettable},\n"));
     j.push_str(&format!("  \"mapped_source\": {mapped},\n"));
-    j.push_str(&format!("  \"streaming_over_inmemory_1t\": {stream_vs_mem:.3},\n"));
+    j.push_str(&format!("  \"streaming_over_inmemory_1t\": {},\n", rq_bench::jf(stream_vs_mem, 3)));
     j.push_str(&format!("  \"streaming_rss_bounded\": {rss_bounded},\n"));
     j.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         j.push_str(&format!(
             "    {{\"threads\": {}, \"effective_threads\": {}, \"mode\": \"{}\", \
-             \"wall_ms\": {:.3}, \
-             \"speedup_vs_serial\": {:.3}, \"peak_rss_bytes\": {}, \"rss_delta_bytes\": {}}}{}\n",
+             \"wall_ms\": {}, \
+             \"speedup_vs_serial\": {}, \"peak_rss_bytes\": {}, \"rss_delta_bytes\": {}}}{}\n",
             r.threads,
             r.eff_threads,
             r.mode,
-            r.wall_ms,
-            base(r) / r.wall_ms,
+            rq_bench::jf(r.wall_ms, 3),
+            rq_bench::jf(base(r) / r.wall_ms, 3),
             r.peak_rss,
             r.rss_delta,
             if i + 1 < runs.len() { "," } else { "" }

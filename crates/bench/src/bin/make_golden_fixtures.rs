@@ -86,74 +86,160 @@ fn cat1_energy_step(t: usize) -> NdArray<f64> {
     })
 }
 
+/// The v2.4 fixture field: smooth rows then hash-noise rows (another
+/// distinct frozen formula, duplicated in the compat test — the committed
+/// bytes encode it verbatim; never change it).
+fn v24_field() -> NdArray<f32> {
+    NdArray::from_fn(Shape::d3(16, 10, 10), |ix| {
+        if ix[0] < 8 {
+            ((ix[0] as f64 * 0.35).cos() * 1.2 + ix[1] as f64 * 0.06 + ix[2] as f64 * 0.015)
+                as f32
+        } else {
+            let mut h = (ix[0] * 6007 + ix[1] * 113 + ix[2]) as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 28.0
+        }
+    })
+}
+
+/// Per-chunk bounds of the v2.4 fixture (4-row chunks of the 16-row
+/// field): loose on the smooth half, tight on the noisy half, so the
+/// three-way scheduler bakes a genuine sz/rolz codec split into the
+/// archive.
+const V24_PLAN: [f64; 4] = [1e-3, 5e-5, 2e-4, 1e-4];
+
+/// Write a fixture unless it already exists. Committed fixtures are
+/// frozen: the writer paths behind the old generations have moved on
+/// (the adaptive policies now emit v2.4), so regenerating an existing
+/// file would produce different bytes and defeat the compat test.
+fn write_frozen(path: &str, bytes: &[u8]) -> bool {
+    if std::path::Path::new(path).exists() {
+        println!("{path}: exists, left frozen");
+        return false;
+    }
+    std::fs::write(path, bytes).expect("write fixture");
+    true
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/data".into());
-    let field = v21_field();
-    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
-        .chunked(4)
-        .with_codec(CodecChoice::Auto)
-        .with_threads(1);
-    let (out, rep) = compress_with_report(&field, &cfg).expect("compress fixture");
-    assert!(
-        rep.chunk_codecs.contains(&ChunkCodecKind::Sz)
-            && rep.chunk_codecs.contains(&ChunkCodecKind::Zfp),
-        "fixture must contain both codecs, got {:?}",
-        rep.chunk_codecs
-    );
-    let path = format!("{dir}/golden_v21.rqc");
-    std::fs::write(&path, &out.bytes).expect("write fixture");
-    println!(
-        "wrote {path}: {} bytes, chunks {:?}",
-        out.bytes.len(),
-        rep.chunk_codecs
-    );
 
-    // v2.3: heterogeneous per-chunk bounds through the planned streaming
-    // writer (quality-targeted container generation).
-    let field = v23_field();
-    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
-        .chunked(4)
-        .with_codec(CodecChoice::Auto)
-        .with_threads(1);
-    let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
-        Vec::new(),
-        field.shape(),
-        &cfg,
-        V23_PLAN.to_vec(),
-    )
-    .expect("planned session");
-    w.write_slab(&field).expect("write fixture field");
-    let bytes = w.finalize().expect("finalize fixture").sink;
-    let codecs: Vec<ChunkCodecKind> =
-        chunk_table(&bytes).unwrap().entries.iter().map(|e| e.codec).collect();
-    assert!(
-        codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Zfp),
-        "v2.3 fixture must contain both codecs, got {codecs:?}"
-    );
+    // v2.1 — HISTORICAL: the adaptive policy this section used now emits
+    // v2.4 containers, so the committed bytes can no longer be
+    // reproduced; the section runs only if the fixture is missing and the
+    // asserts then fail loudly rather than writing a wrong-generation
+    // file.
+    let path = format!("{dir}/golden_v21.rqc");
+    if !std::path::Path::new(&path).exists() {
+        let field = v21_field();
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
+            .chunked(4)
+            .with_codec(CodecChoice::Auto)
+            .with_threads(1);
+        let (out, rep) = compress_with_report(&field, &cfg).expect("compress fixture");
+        assert_eq!(
+            rq_compress::peek_header(&out.bytes).unwrap().version,
+            3,
+            "the v2.1 fixture cannot be regenerated: the adaptive policy moved to v2.4"
+        );
+        write_frozen(&path, &out.bytes);
+        println!("wrote {path}: {} bytes, chunks {:?}", out.bytes.len(), rep.chunk_codecs);
+    } else {
+        println!("{path}: exists, left frozen");
+    }
+
+    // v2.3 — HISTORICAL (same caveat as v2.1): heterogeneous per-chunk
+    // bounds through the planned streaming writer.
     let path = format!("{dir}/golden_v23.rqc");
-    std::fs::write(&path, &bytes).expect("write fixture");
-    println!("wrote {path}: {} bytes, chunks {codecs:?}, plan {V23_PLAN:?}", bytes.len());
+    if !std::path::Path::new(&path).exists() {
+        let field = v23_field();
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+            .chunked(4)
+            .with_codec(CodecChoice::Auto)
+            .with_threads(1);
+        let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+            Vec::new(),
+            field.shape(),
+            &cfg,
+            V23_PLAN.to_vec(),
+        )
+        .expect("planned session");
+        w.write_slab(&field).expect("write fixture field");
+        let bytes = w.finalize().expect("finalize fixture").sink;
+        assert_eq!(
+            rq_compress::peek_header(&bytes).unwrap().version,
+            5,
+            "the v2.3 fixture cannot be regenerated: the adaptive policy moved to v2.4"
+        );
+        write_frozen(&path, &bytes);
+    } else {
+        println!("{path}: exists, left frozen");
+    }
+
+    // v2.4: the three-way adaptive generation — per-chunk bounds in the
+    // trailer plus the rolz codec tag; the plan forces a real sz/rolz
+    // split.
+    let path = format!("{dir}/golden_v24.rqc");
+    if !std::path::Path::new(&path).exists() {
+        let field = v24_field();
+        let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+            .chunked(4)
+            .with_codec(CodecChoice::Auto)
+            .with_threads(1);
+        let mut w = ArchiveWriter::<f32, Vec<u8>>::create_planned(
+            Vec::new(),
+            field.shape(),
+            &cfg,
+            V24_PLAN.to_vec(),
+        )
+        .expect("planned session");
+        w.write_slab(&field).expect("write fixture field");
+        let bytes = w.finalize().expect("finalize fixture").sink;
+        assert_eq!(rq_compress::peek_header(&bytes).unwrap().version, 6);
+        let codecs: Vec<ChunkCodecKind> =
+            chunk_table(&bytes).unwrap().entries.iter().map(|e| e.codec).collect();
+        assert!(
+            codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Rolz),
+            "v2.4 fixture must mix sz and rolz chunks, got {codecs:?}"
+        );
+        write_frozen(&path, &bytes);
+        println!(
+            "wrote {path}: {} bytes, chunks {codecs:?}, plan {V24_PLAN:?}",
+            bytes.len()
+        );
+    } else {
+        println!("{path}: exists, left frozen");
+    }
 
     // Catalog v1: two datasets (f32 + f64), delta chains with distinct
     // keyframe cadences, chunked segments — every layout feature of the
     // RQCAT generation in one committed file.
-    let mut w = CatalogWriter::create(Vec::new()).expect("catalog preamble");
-    let wave: Vec<NdArray<f32>> = (0..5).map(cat1_wave_step).collect();
-    let wave_cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
-        .chunked(4)
-        .with_threads(1);
-    w.write_dataset("wave", &wave_cfg, 2, &wave).expect("wave dataset");
-    let energy: Vec<NdArray<f64>> = (0..3).map(cat1_energy_step).collect();
-    let energy_cfg =
-        CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-6)).with_threads(1);
-    w.write_dataset("energy", &energy_cfg, 3, &energy).expect("energy dataset");
-    let fin = w.finalize().expect("finalize catalog");
     let path = format!("{dir}/golden_cat1.rqc");
-    std::fs::write(&path, &fin.sink).expect("write fixture");
-    println!(
-        "wrote {path}: {} bytes, {} datasets / {} steps",
-        fin.sink.len(),
-        fin.index.datasets.len(),
-        fin.index.total_steps()
-    );
+    if !std::path::Path::new(&path).exists() {
+        let mut w = CatalogWriter::create(Vec::new()).expect("catalog preamble");
+        let wave: Vec<NdArray<f32>> = (0..5).map(cat1_wave_step).collect();
+        let wave_cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3))
+            .chunked(4)
+            .with_threads(1);
+        w.write_dataset("wave", &wave_cfg, 2, &wave).expect("wave dataset");
+        let energy: Vec<NdArray<f64>> = (0..3).map(cat1_energy_step).collect();
+        let energy_cfg =
+            CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-6))
+                .with_threads(1);
+        w.write_dataset("energy", &energy_cfg, 3, &energy).expect("energy dataset");
+        let fin = w.finalize().expect("finalize catalog");
+        write_frozen(&path, &fin.sink);
+        println!(
+            "wrote {path}: {} bytes, {} datasets / {} steps",
+            fin.sink.len(),
+            fin.index.datasets.len(),
+            fin.index.total_steps()
+        );
+    } else {
+        println!("{path}: exists, left frozen");
+    }
 }

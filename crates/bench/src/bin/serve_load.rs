@@ -329,8 +329,10 @@ fn main() {
     j.push_str(&format!("  \"cpus\": {cpus},\n"));
     j.push_str(&format!("  \"quick\": {quick},\n"));
     j.push_str(&format!(
-        "  \"cold_mb_per_s\": {cold_mbs:.2},\n  \"warm_mb_per_s\": {warm_mbs:.2},\n  \
-         \"warm_over_cold\": {warm_over_cold:.2},\n"
+        "  \"cold_mb_per_s\": {},\n  \"warm_mb_per_s\": {},\n  \"warm_over_cold\": {},\n",
+        rq_bench::jf(cold_mbs, 2),
+        rq_bench::jf(warm_mbs, 2),
+        rq_bench::jf(warm_over_cold, 2),
     ));
     j.push_str(&format!(
         "  \"single_flight\": {{\"clients\": {sf_clients}, \"decodes\": {}}},\n",
@@ -339,14 +341,14 @@ fn main() {
     j.push_str("  \"levels\": [\n");
     for (i, l) in levels.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
-             \"mb_per_s\": {:.2}, \"cache_hit_pct\": {:.1}}}{}\n",
+            "    {{\"clients\": {}, \"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"mb_per_s\": {}, \"cache_hit_pct\": {}}}{}\n",
             l.clients,
             l.requests,
-            l.p50_us,
-            l.p99_us,
-            l.payload_bytes as f64 / 1e6 / l.wall_s,
-            l.hit_pct,
+            rq_bench::jf(l.p50_us, 1),
+            rq_bench::jf(l.p99_us, 1),
+            rq_bench::jf(l.payload_bytes as f64 / 1e6 / l.wall_s, 2),
+            rq_bench::jf(l.hit_pct, 1),
             if i + 1 < levels.len() { "," } else { "" }
         ));
     }

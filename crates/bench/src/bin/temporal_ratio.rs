@@ -164,24 +164,28 @@ fn main() {
     j.push_str("{\n  \"bench\": \"temporal_ratio\",\n");
     j.push_str(&format!("  \"field\": {dims:?},\n"));
     j.push_str(&format!("  \"n_steps\": {n_steps},\n"));
-    j.push_str(&format!("  \"abs_bound\": {eb:e},\n"));
+    j.push_str(&format!("  \"abs_bound\": {},\n", rq_compress::json_f64(eb)));
     j.push_str(&format!("  \"raw_bytes\": {raw_bytes},\n"));
     j.push_str(&format!("  \"quick\": {quick},\n"));
     j.push_str(&format!(
-        "  \"independent_bytes\": {}, \"independent_psnr_db\": {ind_psnr:.2},\n",
-        independent.len()
+        "  \"independent_bytes\": {}, \"independent_psnr_db\": {},\n",
+        independent.len(),
+        rq_bench::jf(ind_psnr, 2),
     ));
     j.push_str(&format!(
-        "  \"delta_bytes\": {}, \"delta_psnr_db\": {del_psnr:.2},\n",
-        delta.len()
+        "  \"delta_bytes\": {}, \"delta_psnr_db\": {},\n",
+        delta.len(),
+        rq_bench::jf(del_psnr, 2),
     ));
-    j.push_str(&format!("  \"delta_win\": {win:.3},\n"));
+    j.push_str(&format!("  \"delta_win\": {},\n", rq_bench::jf(win, 3)));
     j.push_str("  \"cadences\": [\n");
     for (i, &(k, b, psnr, us)) in rows.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"keyframe_every\": {k}, \"bytes\": {b}, \"ratio\": {:.3}, \
-             \"psnr_db\": {psnr:.2}, \"random_step_us\": {us:.1}}}{}\n",
-            raw_bytes as f64 / b as f64,
+            "    {{\"keyframe_every\": {k}, \"bytes\": {b}, \"ratio\": {}, \
+             \"psnr_db\": {}, \"random_step_us\": {}}}{}\n",
+            rq_bench::jf(raw_bytes as f64 / b as f64, 3),
+            rq_bench::jf(psnr, 2),
+            rq_bench::jf(us, 1),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

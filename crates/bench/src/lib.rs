@@ -12,6 +12,17 @@ pub fn quick() -> bool {
     std::env::var("RQM_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Format a float for the hand-rolled `BENCH_*.json` reports: fixed
+/// `decimals` when finite, and [`rq_compress::json_f64`]'s `null` when
+/// not (a PSNR of a lossless reconstruction is `inf`, which is not JSON).
+pub fn jf(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        rq_compress::json_f64(v)
+    }
+}
+
 /// The paper's accuracy/error statistic (Eq. 20):
 /// `E = 1 − (1 + STD(R/R' − 1))⁻¹` over measured `R` and estimated `R'`.
 /// Returned as the *error rate* in `[0, 1)`; accuracy = 1 − error.

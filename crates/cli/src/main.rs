@@ -4,7 +4,7 @@
 //! rqm compress   <in.f32> <out.rqc> --shape 64x64x64 --abs 1e-3
 //!                [--predictor interpolation|lorenzo|lorenzo2|regression]
 //!                [--rel 1e-3] [--target-psnr DB] [--target-size BYTES]
-//!                [--huffman-only] [--codec sz|zfp|auto]
+//!                [--huffman-only] [--codec sz|zfp|rolz|auto]
 //!                [--threads N] [--chunk-size ROWS]
 //! rqm decompress <in.rqc> <out.f32> [--threads N]
 //! rqm estimate   <in.f32> --shape 64x64x64 [--abs 1e-3] [--rate 0.01]
@@ -53,10 +53,12 @@
 //! are identical at every thread count, only the wall time changes.
 //!
 //! `--codec` selects the per-chunk backend: `sz` (default, the prediction
-//! path), `zfp` (the transform path) or `auto`, which evaluates a sampled
-//! ratio estimate per chunk and picks the cheaper codec. The chunk index
-//! tags every chunk with the codec that produced it (shown by `rqm
-//! info`); non-`sz` codecs imply chunking even without `--chunk-size`.
+//! path), `zfp` (the transform path), `rolz` (the prediction front end
+//! with a reduced-offset-LZ back end over the quantization codes,
+//! container v2.4) or `auto`, which estimates all three per chunk and
+//! picks the cheapest. The chunk index tags every chunk with the codec
+//! that produced it (shown by `rqm info`); non-`sz` codecs imply chunking
+//! even without `--chunk-size`.
 //!
 //! `rqm info --json` emits the header and the per-chunk table
 //! (offset/bytes/codec/ratio per chunk) as machine-readable JSON.
@@ -94,7 +96,7 @@ mod io;
 use args::Args;
 use rq_catalog::{is_catalog_magic, CatalogIndex, CatalogReader, CatalogWriter};
 use rq_compress::{
-    compress_with_report, generation_name, ArchiveReader, ArchiveWriter, ChunkCodecKind,
+    compress_with_report, generation_name, json_f64, ArchiveReader, ArchiveWriter, ChunkCodecKind,
     CodecChoice, CompressionReport, CompressorConfig, Header,
 };
 use rq_core::RqModel;
@@ -121,7 +123,7 @@ usage:
   rqm compress   <in.f32> <out.rqc> --shape NxNxN --abs EB [--rel R]
                  [--target-psnr DB] [--target-size BYTES]
                  [--predictor interpolation|lorenzo|lorenzo2|regression]
-                 [--huffman-only] [--codec sz|zfp|auto]
+                 [--huffman-only] [--codec sz|zfp|rolz|auto]
                  [--threads N] [--chunk-size ROWS]
   rqm decompress <in.rqc> <out.f32> [--threads N]
   rqm estimate   <in.f32> --shape NxNxN [--abs EB] [--rate 0.01] [--predictor P]
@@ -527,8 +529,9 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     let codec = match args.get("codec").unwrap_or("sz") {
         "sz" => CodecChoice::Sz,
         "zfp" => CodecChoice::Zfp,
+        "rolz" => CodecChoice::Rolz,
         "auto" => CodecChoice::Auto,
-        other => return Err(format!("unknown codec '{other}' (sz|zfp|auto)")),
+        other => return Err(format!("unknown codec '{other}' (sz|zfp|rolz|auto)")),
     };
     // Quality-targeted goals plan absolute per-chunk bounds; the config
     // bound is a placeholder the planned session never reads.
@@ -683,11 +686,17 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
 
     let n_zfp =
         rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Zfp).count();
+    let n_rolz =
+        rep.chunk_codecs.iter().filter(|&&c| c == ChunkCodecKind::Rolz).count();
     let codec_note = match codec {
         CodecChoice::Sz => String::new(),
         CodecChoice::Zfp => "codec zfp, ".into(),
+        CodecChoice::Rolz => "codec rolz, ".into(),
         CodecChoice::Auto => {
-            format!("codec auto ({} sz / {n_zfp} zfp), ", rep.n_chunks - n_zfp)
+            format!(
+                "codec auto ({} sz / {n_zfp} zfp / {n_rolz} rolz), ",
+                rep.n_chunks - n_zfp - n_rolz
+            )
         }
     };
     // Predictor/p0 describe the prediction path; omit them when every
@@ -830,12 +839,20 @@ fn json_escape(s: &str) -> String {
 /// Emit the header + chunk table as machine-readable JSON (hand-rolled,
 /// no dependencies — the structure is flat enough that a serializer
 /// would be overkill).
-fn print_info_json(
+fn print_info_json(input: &str, total_bytes: u64, h: &Header, table: &rq_compress::ChunkTable) {
+    println!("{}", info_json_string(input, total_bytes, h, table));
+}
+
+/// Build the `rqm info --json` document. Split from the printing so the
+/// unit tests can parse the exact bytes a user would see — every float
+/// goes through [`json_f64`], so the document stays valid JSON even when
+/// a ratio or bound is non-finite.
+fn info_json_string(
     input: &str,
     total_bytes: u64,
     h: &Header,
     table: &rq_compress::ChunkTable,
-) {
+) -> String {
     let scalar_bytes = if h.scalar_tag == 0x04 { 4 } else { 8 };
     let row_elems: usize = h.shape.dims()[1..].iter().product::<usize>().max(1);
     let mut out = String::new();
@@ -852,7 +869,7 @@ fn print_info_json(
         if h.scalar_tag == 0x04 { "f32" } else { "f64" }
     ));
     out.push_str(&format!("  \"predictor\": \"{}\",\n", h.predictor.name()));
-    out.push_str(&format!("  \"abs_bound\": {:e},\n", h.abs_eb));
+    out.push_str(&format!("  \"abs_bound\": {},\n", json_f64(h.abs_eb)));
     out.push_str(&format!("  \"radius\": {},\n", h.radius));
     out.push_str(&format!(
         "  \"lossless\": {},\n",
@@ -860,25 +877,26 @@ fn print_info_json(
     ));
     out.push_str(&format!("  \"log_transform\": {},\n", h.log_transform));
     let ratio = (h.shape.len() * scalar_bytes) as f64 / (total_bytes as f64).max(1.0);
-    out.push_str(&format!("  \"ratio\": {ratio:.4},\n"));
+    out.push_str(&format!("  \"ratio\": {},\n", json_f64(ratio)));
     out.push_str(&format!("  \"chunk_rows\": {},\n", table.chunk_rows));
     out.push_str("  \"chunks\": [\n");
     for (i, e) in table.entries.iter().enumerate() {
         let chunk_ratio = (e.rows * row_elems * scalar_bytes) as f64 / e.len.max(1) as f64;
         out.push_str(&format!(
             "    {{\"index\": {i}, \"start_row\": {}, \"rows\": {}, \"offset\": {}, \
-             \"bytes\": {}, \"codec\": \"{}\", \"eb\": {:e}, \"ratio\": {chunk_ratio:.4}}}{}\n",
+             \"bytes\": {}, \"codec\": \"{}\", \"eb\": {}, \"ratio\": {}}}{}\n",
             e.start_row,
             e.rows,
             e.offset,
             e.len,
             e.codec.name(),
-            e.eb,
+            json_f64(e.eb),
+            json_f64(chunk_ratio),
             if i + 1 < table.entries.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}");
-    println!("{out}");
+    out
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
@@ -930,9 +948,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     if h.version >= 2 {
         println!("  chunks:     {} × {} rows", table.entries.len(), table.chunk_rows);
         let row_elems: usize = h.shape.dims()[1..].iter().product::<usize>().max(1);
-        // Per-chunk bounds only exist in v2.3 archives; elsewhere the
-        // column would repeat the header bound on every line.
-        let planned = h.version == 5;
+        // Per-chunk bounds only exist in v2.3+ archives (v2.4 keeps the
+        // same trailer layout); elsewhere the column would repeat the
+        // header bound on every line.
+        let planned = h.version >= 5;
         for e in &table.entries {
             // Per-chunk ratio from the chunk index: slab raw size over the
             // blob's compressed size.
@@ -974,25 +993,25 @@ fn print_catalog(input: &str, total_bytes: u64, index: &CatalogIndex, json: bool
             let dims: Vec<String> = d.shape.dims().iter().map(|x| x.to_string()).collect();
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"scalar\": \"{}\", \"shape\": [{}], \
-                 \"steps\": {}, \"keyframe_every\": {}, \"abs_bound\": {:e}, \
-                 \"segment_bytes\": {seg}, \"ratio\": {:.4}, \"steps_detail\": [\n",
+                 \"steps\": {}, \"keyframe_every\": {}, \"abs_bound\": {}, \
+                 \"segment_bytes\": {seg}, \"ratio\": {}, \"steps_detail\": [\n",
                 json_escape(&d.name),
                 scalar_name(d.scalar_tag),
                 dims.join(", "),
                 d.steps.len(),
                 d.keyframe_every,
-                d.steps[0].eb,
-                raw as f64 / seg.max(1) as f64,
+                json_f64(d.steps[0].eb),
+                json_f64(raw as f64 / seg.max(1) as f64),
             ));
             for (t, s) in d.steps.iter().enumerate() {
                 out.push_str(&format!(
                     "      {{\"step\": {t}, \"keyframe\": {}, \"offset\": {}, \
-                     \"bytes\": {}, \"codec\": \"{}\", \"eb\": {:e}}}{}\n",
+                     \"bytes\": {}, \"codec\": \"{}\", \"eb\": {}}}{}\n",
                     s.keyframe,
                     s.offset,
                     s.len,
                     s.codec.name(),
-                    s.eb,
+                    json_f64(s.eb),
                     if t + 1 < d.steps.len() { "," } else { "" }
                 ));
             }
@@ -1574,6 +1593,34 @@ mod tests {
     }
 
     #[test]
+    fn rolz_codec_cycle() {
+        let raw = tmp("rz.f32");
+        let rqc = tmp("rz.rqc");
+        let back = tmp("rz.out.f32");
+        let f = write_field(&raw);
+        run_args(&[
+            "compress",
+            raw.to_str().unwrap(),
+            rqc.to_str().unwrap(),
+            "--shape",
+            "20x30",
+            "--abs",
+            "1e-3",
+            "--codec",
+            "rolz",
+        ])
+        .unwrap();
+        let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
+        assert_eq!(peek_header(&bytes).unwrap().version, 6, "rolz codec writes v2.4");
+        run_args(&["info", rqc.to_str().unwrap()]).unwrap();
+        run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * 1.001);
+        }
+    }
+
+    #[test]
     fn auto_codec_cycle() {
         let raw = tmp("ac.f32");
         let rqc = tmp("ac.rqc");
@@ -1594,7 +1641,7 @@ mod tests {
         ])
         .unwrap();
         let bytes = io::read_bytes(rqc.to_str().unwrap()).unwrap();
-        assert_eq!(peek_header(&bytes).unwrap().version, 4, "chunked CLI writes v2.2");
+        assert_eq!(peek_header(&bytes).unwrap().version, 6, "auto codec writes v2.4");
         run_args(&["info", rqc.to_str().unwrap()]).unwrap();
         run_args(&["decompress", rqc.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
         let g = io::read_raw_f32(back.to_str().unwrap(), Shape::d2(20, 30)).unwrap();
@@ -2112,5 +2159,144 @@ mod tests {
         );
         assert!(run_args(&["unpack", "/nonexistent/x.rqc", "/tmp/never_out"]).is_err());
         assert!(run_args(&["catalog", "/nonexistent/x.rqc"]).is_err());
+    }
+
+    /// Strict minimal JSON value parser: returns the rest of the input on
+    /// success. Rejects `NaN`/`inf` tokens (JSON has no such literals),
+    /// which is the whole point — the hand-rolled writers must never emit
+    /// them.
+    fn json_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        let mut c = s.chars();
+        match c.next().ok_or("unexpected end of input")? {
+            '{' => {
+                let mut s = s[1..].trim_start();
+                if let Some(rest) = s.strip_prefix('}') {
+                    return Ok(rest);
+                }
+                loop {
+                    s = s.trim_start();
+                    if !s.starts_with('"') {
+                        return Err(format!("expected object key at {:?}", &s[..s.len().min(20)]));
+                    }
+                    s = json_value(s)?.trim_start();
+                    s = s.strip_prefix(':').ok_or("expected ':'")?;
+                    s = json_value(s)?.trim_start();
+                    if let Some(rest) = s.strip_prefix(',') {
+                        s = rest;
+                    } else {
+                        return s.strip_prefix('}').ok_or_else(|| "expected '}'".into());
+                    }
+                }
+            }
+            '[' => {
+                let mut s = s[1..].trim_start();
+                if let Some(rest) = s.strip_prefix(']') {
+                    return Ok(rest);
+                }
+                loop {
+                    s = json_value(s)?.trim_start();
+                    if let Some(rest) = s.strip_prefix(',') {
+                        s = rest;
+                    } else {
+                        return s.strip_prefix(']').ok_or_else(|| "expected ']'".into());
+                    }
+                }
+            }
+            '"' => {
+                let mut rest = &s[1..];
+                loop {
+                    let i = rest.find('"').ok_or("unterminated string")?;
+                    // Count the backslashes immediately before the quote.
+                    let esc = rest[..i].chars().rev().take_while(|&c| c == '\\').count();
+                    if esc % 2 == 0 {
+                        return Ok(&rest[i + 1..]);
+                    }
+                    rest = &rest[i + 1..];
+                }
+            }
+            't' => s.strip_prefix("true").ok_or_else(|| "bad literal".into()),
+            'f' => s.strip_prefix("false").ok_or_else(|| "bad literal".into()),
+            'n' => s.strip_prefix("null").ok_or_else(|| "bad literal".into()),
+            '-' | '0'..='9' => {
+                let end = s
+                    .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                    .unwrap_or(s.len());
+                s[..end]
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
+                Ok(&s[end..])
+            }
+            other => Err(format!("unexpected character {other:?}")),
+        }
+    }
+
+    /// Parse a complete JSON document; panic with context on failure.
+    fn assert_valid_json(doc: &str) {
+        let rest = json_value(doc).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{doc}"));
+        assert!(rest.trim().is_empty(), "trailing garbage after JSON value: {rest:?}");
+    }
+
+    #[test]
+    fn info_json_is_valid_for_real_archives() {
+        let raw = tmp("ij.f32");
+        let rqc = tmp("ij.rqc");
+        write_field(&raw);
+        for codec in ["sz", "zfp", "rolz", "auto"] {
+            run_args(&[
+                "compress",
+                raw.to_str().unwrap(),
+                rqc.to_str().unwrap(),
+                "--shape",
+                "20x30",
+                "--abs",
+                "1e-3",
+                "--codec",
+                codec,
+                "--chunk-size",
+                "7",
+            ])
+            .unwrap();
+            let reader = ArchiveReader::open_path(rqc.to_str().unwrap()).unwrap();
+            let total = std::fs::metadata(&rqc).unwrap().len();
+            let doc =
+                info_json_string(rqc.to_str().unwrap(), total, reader.header(), &reader.chunk_table());
+            assert_valid_json(&doc);
+            if codec == "rolz" {
+                assert!(doc.contains("\"codec\": \"rolz\""), "rolz tag missing:\n{doc}");
+                assert!(doc.contains("\"generation\": \"2.4\""), "v2.4 generation missing:\n{doc}");
+            }
+        }
+    }
+
+    #[test]
+    fn info_json_maps_non_finite_floats_to_null() {
+        // A hand-built header/table with poisoned floats: the document
+        // must still parse, with `null` standing in for every bad value.
+        let h = Header {
+            version: 6,
+            scalar_tag: 0x04,
+            predictor: rq_predict::PredictorKind::Lorenzo,
+            lossless: rq_compress::LosslessStage::None,
+            log_transform: false,
+            shape: Shape::d2(4, 4),
+            abs_eb: f64::NAN,
+            radius: 512,
+        };
+        let table = rq_compress::ChunkTable {
+            chunk_rows: 4,
+            entries: vec![rq_compress::ChunkEntry {
+                start_row: 0,
+                rows: 4,
+                offset: 32,
+                len: 10,
+                codec: ChunkCodecKind::Rolz,
+                eb: f64::INFINITY,
+            }],
+        };
+        let doc = info_json_string("x\"y.rqc", 42, &h, &table);
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"abs_bound\": null"), "NaN bound not null:\n{doc}");
+        assert!(doc.contains("\"eb\": null"), "infinite eb not null:\n{doc}");
     }
 }

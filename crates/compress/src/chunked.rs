@@ -27,8 +27,8 @@ use crate::codec::{ChunkCodec, ChunkStats, ZfpChunkCodec};
 use crate::config::{Chunking, CodecChoice, CompressorConfig};
 use crate::container::{
     container_version, read_chunk_blob, read_container_v2_index, write_container_v2,
-    write_container_v2_1, ChunkCodecKind, ChunkEntry, CompressError, DecompressError, Header,
-    VERSION_V1, VERSION_V2, VERSION_V2_1,
+    write_container_v2_1, write_container_v2_4, ChunkCodecKind, ChunkEntry, CompressError,
+    DecompressError, Header, VERSION_V1, VERSION_V2, VERSION_V2_1, VERSION_V2_4,
 };
 use crate::pipeline::{decode_stream, resolve_bound, transform_from_header};
 use crate::report::{CompressedOutput, CompressionReport};
@@ -139,7 +139,13 @@ pub fn compress_chunked_with_report<T: Scalar>(
     let chunks = slab_chunks(shape, chunk_rows);
     let encoded = enc.encode_chunks(field.as_slice(), chunks)?;
 
-    let version = if cfg.codec == CodecChoice::Sz { VERSION_V2 } else { VERSION_V2_1 };
+    // Fixed-SZ and fixed-ZFP configs keep their historical generations
+    // byte for byte; only rolz-capable policies move to v2.4.
+    let version = match cfg.codec {
+        CodecChoice::Sz => VERSION_V2,
+        CodecChoice::Zfp => VERSION_V2_1,
+        CodecChoice::Rolz | CodecChoice::Auto => VERSION_V2_4,
+    };
     let header = Header {
         version,
         scalar_tag: T::TAG,
@@ -152,20 +158,31 @@ pub fn compress_chunked_with_report<T: Scalar>(
     };
 
     let mut per_chunk = Vec::with_capacity(encoded.len());
-    let bytes = if version == VERSION_V2 {
-        let mut blobs = Vec::with_capacity(encoded.len());
-        for ec in encoded {
-            blobs.push((ec.rows, ec.blob));
-            per_chunk.push((ChunkCodecKind::Sz, ec.stats));
+    let bytes = match version {
+        VERSION_V2 => {
+            let mut blobs = Vec::with_capacity(encoded.len());
+            for ec in encoded {
+                blobs.push((ec.rows, ec.blob));
+                per_chunk.push((ChunkCodecKind::Sz, ec.stats));
+            }
+            write_container_v2::<T>(&header, chunk_rows, &blobs)
         }
-        write_container_v2::<T>(&header, chunk_rows, &blobs)
-    } else {
-        let mut blobs = Vec::with_capacity(encoded.len());
-        for ec in encoded {
-            blobs.push((ec.rows, ec.codec, ec.blob));
-            per_chunk.push((ec.codec, ec.stats));
+        VERSION_V2_1 => {
+            let mut blobs = Vec::with_capacity(encoded.len());
+            for ec in encoded {
+                blobs.push((ec.rows, ec.codec, ec.blob));
+                per_chunk.push((ec.codec, ec.stats));
+            }
+            write_container_v2_1::<T>(&header, chunk_rows, &blobs)
         }
-        write_container_v2_1::<T>(&header, chunk_rows, &blobs)
+        _ => {
+            let mut blobs = Vec::with_capacity(encoded.len());
+            for ec in encoded {
+                blobs.push((ec.rows, ec.codec, ec.eb, ec.blob));
+                per_chunk.push((ec.codec, ec.stats));
+            }
+            write_container_v2_4::<T>(&header, chunk_rows, &blobs)
+        }
     };
     let report = aggregate_report(&enc.quantizer, per_chunk, n, T::BITS, bytes.len());
     Ok((CompressedOutput { bytes, n_elements: n, original_bits: T::BITS }, report))
@@ -254,6 +271,14 @@ pub(crate) fn decode_chunk_blob<T: Scalar>(
         }
         ChunkCodecKind::Zfp => {
             ChunkCodec::<T>::decode(&ZfpChunkCodec::new(eb), blob, chunk_shape, out)
+        }
+        ChunkCodecKind::Rolz => {
+            let codec = crate::rolz::RolzChunkCodec::new(
+                header.predictor,
+                LinearQuantizer::new(eb, header.radius),
+            )
+            .with_transform(transform_from_header(header));
+            ChunkCodec::<T>::decode(&codec, blob, chunk_shape, out)
         }
     }
 }

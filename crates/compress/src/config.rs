@@ -37,12 +37,11 @@ pub enum Chunking {
 
 /// Which codec(s) the pipeline may use per chunk.
 ///
-/// The SZ prediction path and the ZFP transform path both honor the same
-/// resolved absolute error bound, so they can be mixed freely within one
-/// container. `Auto` evaluates a sampled ratio estimate per chunk (the
-/// paper's ratio-quality model acting as the compressor's control loop)
-/// and picks the cheaper codec; the winner is recorded in the chunk's
-/// v2.1 codec tag.
+/// All backends honor the same resolved absolute error bound, so they can
+/// be mixed freely within one container. `Auto` evaluates a sampled ratio
+/// estimate per chunk (the paper's ratio-quality model acting as the
+/// compressor's control loop) and picks the cheapest of the three; the
+/// winner is recorded in the chunk's codec tag.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodecChoice {
     /// Always the SZ prediction path (containers v1/v2, as before).
@@ -53,10 +52,16 @@ pub enum CodecChoice {
     /// has no escape mechanism for the log-domain trick, so such configs
     /// fail with an error.
     Zfp,
-    /// Per-chunk ratio-driven selection between the two (container v2.1).
+    /// Always the ROLZ residual path (container v2.4): the SZ quantization
+    /// front end with a reduced-offset-LZ + symbol-ranking + Huffman back
+    /// end ([`crate::RolzChunkCodec`]). Supports the log transform, like
+    /// SZ.
+    Rolz,
+    /// Per-chunk ratio-driven selection among the three (container v2.4).
     ///
     /// Under a point-wise relative bound every chunk falls back to SZ
-    /// (the only codec that supports the log transform).
+    /// (the probe-driven estimates are calibrated for the identity
+    /// transform).
     Auto,
 }
 
@@ -131,8 +136,9 @@ impl CompressorConfig {
 
     /// Select the per-chunk codec policy (default [`CodecChoice::Sz`]).
     ///
-    /// Non-SZ policies produce a v2.1 container; with [`Chunking::Serial`]
-    /// the whole field is one tagged chunk.
+    /// Non-SZ policies produce a tagged-chunk container (v2.1 for ZFP,
+    /// v2.4 for rolz-capable policies); with [`Chunking::Serial`] the
+    /// whole field is one tagged chunk.
     pub fn with_codec(mut self, codec: CodecChoice) -> Self {
         self.codec = codec;
         self

@@ -87,8 +87,17 @@
 //! guarantee. Planned archives are produced by the quality/size-targeted
 //! streaming writer (`ArchiveWriter::create_planned`); fixed-bound
 //! configurations keep writing v2.2 byte-identically. Readers must reject
-//! non-finite or non-positive per-chunk bounds as corruption. See
-//! `docs/FORMAT.md` for the full byte-layout specification of all five
+//! non-finite or non-positive per-chunk bounds as corruption.
+//!
+//! **Version 2.4** (version byte 6, three-way adaptive codec) has exactly
+//! the v2.3 byte layout — trailer index with a per-chunk codec tag *and*
+//! per-chunk error bound — and additionally allows codec tag `2`, the
+//! ROLZ residual path (reduced-offset LZ + symbol ranking + static
+//! Huffman over the quantization-code byte stream). Any configuration
+//! that can emit a ROLZ chunk (`--codec rolz` or `--codec auto`) writes
+//! v2.4; fixed sz/zfp configurations keep their earlier generations
+//! byte-identically. Tag `2` inside any pre-v2.4 container is corruption.
+//! See `docs/FORMAT.md` for the full byte-layout specification of all six
 //! generations.
 //!
 //! (*) In v2/v2.1/v2.2 the header's lossless flag records the
@@ -113,6 +122,9 @@ pub(crate) const VERSION_V2_2: u8 = 4;
 /// Streaming container with per-chunk error bounds in the trailer index
 /// ("v2.3", quality-targeted compression).
 pub(crate) const VERSION_V2_3: u8 = 5;
+/// v2.3 layout with the ROLZ codec tag allowed ("v2.4", three-way
+/// adaptive codec).
+pub(crate) const VERSION_V2_4: u8 = 6;
 /// Magic closing a v2.2 trailer (the last four bytes of the archive).
 pub(crate) const TRAILER_MAGIC: &[u8; 4] = b"RQIX";
 /// Fixed bytes after a v2.2 trailer body: u64 LE trailer length + magic.
@@ -248,7 +260,8 @@ pub(crate) fn container_version(bytes: &[u8]) -> Result<u8, DecompressError> {
         return Err(DecompressError::NotAContainer);
     }
     match bytes[4] {
-        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1 | VERSION_V2_2 | VERSION_V2_3) => Ok(v),
+        v @ (VERSION_V1 | VERSION_V2 | VERSION_V2_1 | VERSION_V2_2 | VERSION_V2_3
+        | VERSION_V2_4) => Ok(v),
         _ => Err(DecompressError::NotAContainer),
     }
 }
@@ -263,6 +276,10 @@ pub enum ChunkCodecKind {
     /// The ZFP transform path: block transform + embedded bitplane coder
     /// (the blob is a self-describing `RQZF` stream).
     Zfp,
+    /// The ROLZ residual path: the SZ quantization-code stream re-coded
+    /// through reduced-offset LZ + symbol ranking + static Huffman.
+    /// Only valid inside v2.4 containers.
+    Rolz,
 }
 
 impl ChunkCodecKind {
@@ -271,6 +288,7 @@ impl ChunkCodecKind {
         match self {
             ChunkCodecKind::Sz => 0,
             ChunkCodecKind::Zfp => 1,
+            ChunkCodecKind::Rolz => 2,
         }
     }
 
@@ -279,6 +297,7 @@ impl ChunkCodecKind {
         Some(match tag {
             0 => ChunkCodecKind::Sz,
             1 => ChunkCodecKind::Zfp,
+            2 => ChunkCodecKind::Rolz,
             _ => return None,
         })
     }
@@ -288,6 +307,7 @@ impl ChunkCodecKind {
         match self {
             ChunkCodecKind::Sz => "sz",
             ChunkCodecKind::Zfp => "zfp",
+            ChunkCodecKind::Rolz => "rolz",
         }
     }
 }
@@ -637,6 +657,30 @@ pub(crate) fn write_container_v2_3<T: Scalar>(
     out
 }
 
+/// Serialize a whole v2.4 container in memory: identical byte layout to
+/// [`write_container_v2_3`] (trailer index, per-chunk codec tag and
+/// bound) but chunks may carry the [`ChunkCodecKind::Rolz`] tag. The
+/// in-memory chunked pipeline writes rolz-capable configurations through
+/// this. `header.version` must be [`VERSION_V2_4`].
+pub(crate) fn write_container_v2_4<T: Scalar>(
+    header: &Header,
+    chunk_rows: usize,
+    chunks: &[(usize, ChunkCodecKind, f64, Vec<u8>)], // (rows, codec, eb, blob)
+) -> Vec<u8> {
+    let body: usize = chunks.iter().map(|(_, _, _, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(body + 24 * chunks.len() + 64);
+    write_header_prefix(&mut out, header, T::TAG);
+    for (_, _, _, blob) in chunks {
+        out.extend_from_slice(blob);
+    }
+    let entries: Vec<(usize, ChunkCodecKind, usize, f64)> = chunks
+        .iter()
+        .map(|&(rows, codec, eb, ref blob)| (rows, codec, blob.len(), eb))
+        .collect();
+    write_trailer(&mut out, chunk_rows, &entries, true);
+    out
+}
+
 /// Parsed header + chunk index of a v2/v2.1/v2.2 container (blobs stay in
 /// place — random access slices them out by entry offsets).
 pub(crate) struct V2Index {
@@ -667,14 +711,16 @@ pub(crate) type RawIndexEntries = Vec<(usize, usize, ChunkCodecKind, Option<f64>
 
 /// Parse `chunk_rows`, `n_chunks` and the raw `(rows, len, codec, eb)`
 /// entries of a chunk index out of `bytes` starting at `*pos`. Shared by
-/// the inline v2/v2.1 index, the v2.2/v2.3 trailer and the streaming
-/// reader. `with_eb` selects the v2.3 entry layout (an f64 bound after the
-/// codec tag); non-finite or non-positive bounds are corruption.
+/// the inline v2/v2.1 index, the v2.2–v2.4 trailer and the streaming
+/// reader. `with_eb` selects the v2.3+ entry layout (an f64 bound after
+/// the codec tag); non-finite or non-positive bounds are corruption.
+/// `rolz_allowed` gates codec tag 2 (legal from v2.4 on only).
 pub(crate) fn parse_index_body(
     bytes: &[u8],
     pos: &mut usize,
     tagged: bool,
     with_eb: bool,
+    rolz_allowed: bool,
     max_chunks: usize,
 ) -> Result<(usize, RawIndexEntries), DecompressError> {
     let chunk_rows =
@@ -700,8 +746,12 @@ pub(crate) fn parse_index_body(
         let codec = if tagged {
             let tag = *bytes.get(*pos).ok_or(DecompressError::Corrupt("chunk codec tag"))?;
             *pos += 1;
-            ChunkCodecKind::from_tag(tag)
-                .ok_or(DecompressError::Corrupt("unknown chunk codec tag"))?
+            let codec = ChunkCodecKind::from_tag(tag)
+                .ok_or(DecompressError::Corrupt("unknown chunk codec tag"))?;
+            if codec == ChunkCodecKind::Rolz && !rolz_allowed {
+                return Err(DecompressError::Corrupt("rolz codec tag in pre-v2.4 container"));
+            }
+            codec
         } else {
             ChunkCodecKind::Sz
         };
@@ -800,9 +850,10 @@ pub(crate) fn parse_v2_2_trailer(
     trailer_start: usize,
 ) -> Result<(usize, Vec<ChunkEntry>), DecompressError> {
     let mut tpos = 0usize;
-    let with_eb = header.version == VERSION_V2_3;
+    let with_eb = matches!(header.version, VERSION_V2_3 | VERSION_V2_4);
+    let rolz_allowed = header.version == VERSION_V2_4;
     let (chunk_rows, raw) =
-        parse_index_body(trailer, &mut tpos, true, with_eb, header.shape.dim(0))?;
+        parse_index_body(trailer, &mut tpos, true, with_eb, rolz_allowed, header.shape.dim(0))?;
     if tpos != trailer.len() {
         return Err(DecompressError::Corrupt("trailing bytes in v2.2 trailer"));
     }
@@ -849,11 +900,11 @@ fn read_v2_index_untyped(bytes: &[u8]) -> Result<V2Index, DecompressError> {
         VERSION_V2 | VERSION_V2_1 => {
             let tagged = header.version == VERSION_V2_1;
             let (chunk_rows, raw) =
-                parse_index_body(bytes, &mut pos, tagged, false, header.shape.dim(0))?;
+                parse_index_body(bytes, &mut pos, tagged, false, false, header.shape.dim(0))?;
             let entries = entries_from_raw(&header, pos, raw, bytes.len())?;
             Ok(V2Index { header, chunk_rows, entries })
         }
-        VERSION_V2_2 | VERSION_V2_3 => {
+        VERSION_V2_2 | VERSION_V2_3 | VERSION_V2_4 => {
             let suffix_at = bytes
                 .len()
                 .checked_sub(TRAILER_SUFFIX_LEN)
@@ -885,6 +936,7 @@ pub fn generation_name(version: u8) -> &'static str {
         VERSION_V2_1 => "2.1",
         VERSION_V2_2 => "2.2",
         VERSION_V2_3 => "2.3",
+        VERSION_V2_4 => "2.4",
         _ => "unknown",
     }
 }
@@ -896,9 +948,11 @@ pub fn chunk_count(bytes: &[u8]) -> Result<usize, DecompressError> {
     let (header, mut pos) = read_header_prefix(bytes)?;
     match header.version {
         VERSION_V1 => Ok(1),
-        // The v2.2/v2.3 index lives in the trailer; the full parse is
+        // The v2.2+ index lives in the trailer; the full parse is
         // still cheap (no payload is decoded).
-        VERSION_V2_2 | VERSION_V2_3 => read_v2_index_untyped(bytes).map(|i| i.entries.len()),
+        VERSION_V2_2 | VERSION_V2_3 | VERSION_V2_4 => {
+            read_v2_index_untyped(bytes).map(|i| i.entries.len())
+        }
         _ => {
             let _chunk_rows =
                 get_uvarint(bytes, &mut pos).ok_or(DecompressError::Corrupt("chunk rows"))?;
@@ -984,7 +1038,7 @@ pub(crate) fn read_archive_layout<R: std::io::Read + std::io::Seek>(
                 eb: header.abs_eb,
             }],
         ),
-        VERSION_V2_2 | VERSION_V2_3 => {
+        VERSION_V2_2 | VERSION_V2_3 | VERSION_V2_4 => {
             if total_len < (header_end + TRAILER_SUFFIX_LEN) as u64 {
                 return Err(DecompressError::Corrupt("truncated v2.2 trailer"));
             }
@@ -1013,7 +1067,7 @@ pub(crate) fn read_archive_layout<R: std::io::Read + std::io::Seek>(
             let index_max = 20 + n * 21;
             let buf = read_span(src, header_end as u64, after.min(index_max))?;
             let mut p = 0usize;
-            let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, false, d0)?;
+            let (chunk_rows, raw) = parse_index_body(&buf, &mut p, tagged, false, false, d0)?;
             let entries = entries_from_raw(&header, header_end + p, raw, total_len as usize)?;
             (chunk_rows, entries)
         }
@@ -1210,10 +1264,65 @@ mod tests {
 
     #[test]
     fn codec_kind_tag_roundtrip() {
-        for k in [ChunkCodecKind::Sz, ChunkCodecKind::Zfp] {
+        for k in [ChunkCodecKind::Sz, ChunkCodecKind::Zfp, ChunkCodecKind::Rolz] {
             assert_eq!(ChunkCodecKind::from_tag(k.tag()), Some(k));
         }
-        assert_eq!(ChunkCodecKind::from_tag(2), None);
+        assert_eq!(ChunkCodecKind::from_tag(3), None);
+    }
+
+    #[test]
+    fn v2_4_roundtrip_rolz_tag() {
+        let mut h = sample_header(VERSION_V2_4);
+        h.shape = Shape::d2(10, 4);
+        let sz_blob =
+            write_chunk_blob::<f32>(LosslessStage::None, &[1], &[2, 2], &[0.5f32], &[]);
+        let rolz_blob = vec![5u8, 5, 5, 5, 5]; // opaque to the index layer
+        let bytes = write_container_v2_4::<f32>(
+            &h,
+            6,
+            &[
+                (6, ChunkCodecKind::Sz, 1e-4, sz_blob.clone()),
+                (4, ChunkCodecKind::Rolz, 3e-5, rolz_blob.clone()),
+            ],
+        );
+        assert_eq!(container_version(&bytes).unwrap(), VERSION_V2_4);
+        assert_eq!(generation_name(bytes[4]), "2.4");
+        assert_eq!(&bytes[bytes.len() - 4..], TRAILER_MAGIC);
+        assert_eq!(chunk_count(&bytes).unwrap(), 2);
+        let idx = read_container_v2_index::<f32>(&bytes).unwrap();
+        assert_eq!(idx.entries[0].codec, ChunkCodecKind::Sz);
+        assert_eq!(idx.entries[1].codec, ChunkCodecKind::Rolz);
+        assert_eq!(idx.entries[0].eb, 1e-4);
+        assert_eq!(idx.entries[1].eb, 3e-5);
+        let e = idx.entries[1];
+        assert_eq!(&bytes[e.offset..e.offset + e.len], &rolz_blob[..]);
+        let table = chunk_table(&bytes).unwrap();
+        assert_eq!(table.entries[1].codec, ChunkCodecKind::Rolz);
+    }
+
+    #[test]
+    fn rolz_tag_rejected_in_pre_v2_4_containers() {
+        // A v2.3 trailer entry tagged rolz is corruption even though the
+        // tag itself is known — the generation predates the codec.
+        let mut h = sample_header(VERSION_V2_3);
+        h.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let v23 =
+            write_container_v2_3::<f32>(&h, 4, &[(4, ChunkCodecKind::Rolz, 1e-4, blob)]);
+        assert!(matches!(
+            read_container_v2_index::<f32>(&v23),
+            Err(DecompressError::Corrupt("rolz codec tag in pre-v2.4 container"))
+        ));
+        // Same for an inline v2.1 index.
+        let mut h21 = sample_header(VERSION_V2_1);
+        h21.shape = Shape::d1(4);
+        let blob = write_chunk_blob::<f32>(LosslessStage::None, &[], &[], &[], &[]);
+        let v21 =
+            write_container_v2_1::<f32>(&h21, 4, &[(4, ChunkCodecKind::Rolz, blob)]);
+        assert!(matches!(
+            read_container_v2_index::<f32>(&v21),
+            Err(DecompressError::Corrupt("rolz codec tag in pre-v2.4 container"))
+        ));
     }
 
     #[test]

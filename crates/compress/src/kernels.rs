@@ -52,6 +52,41 @@ pub fn decode_chunk<T: Scalar>(
     codec.decode(blob, shape, out)
 }
 
+/// Encode one slab to a ROLZ chunk blob on the chosen kernel path.
+///
+/// Identical inputs must produce byte-identical blobs on both paths (the
+/// paths differ in match extension — SWAR vs byte loop — and in the
+/// Huffman coder, all proven output-equal).
+pub fn encode_chunk_rolz<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    eb: f64,
+    radius: u32,
+    path: KernelPath,
+) -> Result<Vec<u8>, CompressError> {
+    let codec = crate::rolz::RolzChunkCodec::new(predictor, LinearQuantizer::new(eb, radius))
+        .with_kernel_path(path);
+    Ok(codec.encode(data, shape)?.0)
+}
+
+/// Decode a ROLZ chunk blob produced by [`encode_chunk_rolz`] on the
+/// chosen kernel path. Both paths must reconstruct bit-identical values
+/// and accept/reject exactly the same blobs.
+pub fn decode_chunk_rolz<T: Scalar>(
+    blob: &[u8],
+    shape: Shape,
+    predictor: PredictorKind,
+    eb: f64,
+    radius: u32,
+    path: KernelPath,
+    out: &mut [T],
+) -> Result<(), DecompressError> {
+    let codec = crate::rolz::RolzChunkCodec::new(predictor, LinearQuantizer::new(eb, radius))
+        .with_kernel_path(path);
+    codec.decode(blob, shape, out)
+}
+
 /// Run one Lorenzo traversal with the caller's visit closure — exposes
 /// the predictor hot loop alone (the fast row-specialized walk vs the
 /// generic stencil walk) to the differential tests and the bench.

@@ -33,6 +33,7 @@ mod mmap;
 mod pool;
 pub mod pipeline;
 pub mod report;
+pub mod rolz;
 pub mod scheduler;
 pub mod stream;
 
@@ -47,7 +48,9 @@ pub use container::{
     CompressError, DecompressError, Header,
 };
 pub use pipeline::{compress, compress_with_report, decompress};
-pub use report::{CompressedOutput, CompressionReport};
+pub use report::{json_f64, CompressedOutput, CompressionReport};
+pub use rolz::RolzChunkCodec;
+pub use scheduler::pick_codec;
 pub use scheduler::{choose_codec, CodecDecision};
 pub use stream::{
     assemble_rows, ArchiveReader, ArchiveWriter, ChunkSource, ConcurrentReader, FinishedArchive,

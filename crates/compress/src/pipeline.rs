@@ -564,21 +564,35 @@ pub(crate) struct EncodedStream<T> {
     pub huffman_bytes: usize,
 }
 
-/// The chunk kernel, encode side: one causal traversal over `orig`
-/// (row-major, laid out as `shape`), producing a self-contained stream.
+/// The traversal half of the encode kernel: symbols, verbatim values,
+/// side channel and histogram, before any entropy stage. Shared by the
+/// SZ path (which Huffman-codes the symbols directly) and the ROLZ codec
+/// (which re-codes the symbol bytes through reduced-offset LZ first).
+pub(crate) struct QuantizedStream<T> {
+    /// Quantization symbols in traversal order (escape bin included).
+    pub symbols: Vec<u32>,
+    pub verbatim: Vec<T>,
+    pub side: Vec<u8>,
+    /// Symbol histogram including the escape bin (last slot).
+    pub histogram: Vec<u64>,
+    pub n_escapes: usize,
+    pub n_anchors: usize,
+}
+
+/// Run the predictor's causal traversal over `orig`, quantizing every
+/// prediction error — the encode kernel minus entropy coding.
 ///
 /// `orig.len()` must equal `shape.len()`. The stream starts with empty
 /// history, so running the kernel on an axis-0 slab yields exactly the
-/// bytes a standalone field of that slab's shape would produce.
-pub(crate) fn encode_stream<T: Scalar>(
+/// symbols a standalone field of that slab's shape would produce.
+pub(crate) fn quantize_stream<T: Scalar>(
     orig: &[T],
     shape: Shape,
     predictor: PredictorKind,
     quantizer: LinearQuantizer,
     transform: Transform,
-    lossless: LosslessStage,
     path: KernelPath,
-) -> Result<EncodedStream<T>, CompressError> {
+) -> QuantizedStream<T> {
     debug_assert_eq!(orig.len(), shape.len());
     let n = shape.len();
 
@@ -639,14 +653,37 @@ pub(crate) fn encode_stream<T: Scalar>(
         }
     }
 
+    QuantizedStream {
+        symbols: enc.symbols,
+        verbatim: enc.verbatim,
+        side,
+        histogram: enc.histogram,
+        n_escapes: enc.n_escapes,
+        n_anchors,
+    }
+}
+
+/// The chunk kernel, encode side: one causal traversal over `orig`
+/// (row-major, laid out as `shape`), producing a self-contained stream.
+pub(crate) fn encode_stream<T: Scalar>(
+    orig: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    quantizer: LinearQuantizer,
+    transform: Transform,
+    lossless: LosslessStage,
+    path: KernelPath,
+) -> Result<EncodedStream<T>, CompressError> {
+    let q = quantize_stream(orig, shape, predictor, quantizer, transform, path);
+
     // Entropy coding.
-    let (codebook, huffman_payload) = if enc.symbols.is_empty() {
+    let (codebook, huffman_payload) = if q.symbols.is_empty() {
         (Vec::new(), Vec::new())
     } else {
-        let codec = HuffmanCodec::from_counts(&enc.histogram)?;
+        let codec = HuffmanCodec::from_counts(&q.histogram)?;
         let payload = match path {
-            KernelPath::Fast => codec.encode(&enc.symbols)?,
-            KernelPath::Reference => codec.encode_reference(&enc.symbols)?,
+            KernelPath::Fast => codec.encode(&q.symbols)?,
+            KernelPath::Reference => codec.encode_reference(&q.symbols)?,
         };
         (codec.serialize_codebook(), payload)
     };
@@ -670,12 +707,12 @@ pub(crate) fn encode_stream<T: Scalar>(
         codebook,
         payload,
         lossless_applied,
-        verbatim: enc.verbatim,
-        side,
-        histogram: enc.histogram,
-        n_symbols: enc.symbols.len(),
-        n_escapes: enc.n_escapes,
-        n_anchors,
+        verbatim: q.verbatim,
+        side: q.side,
+        histogram: q.histogram,
+        n_symbols: q.symbols.len(),
+        n_escapes: q.n_escapes,
+        n_anchors: q.n_anchors,
         huffman_bytes,
     })
 }
@@ -747,7 +784,7 @@ pub(crate) fn decode_stream<T: Scalar>(
         }
     };
 
-    let mut dec = QuantDecoder::<T> {
+    let dec = QuantDecoder::<T> {
         quantizer,
         transform,
         escape_symbol: quantizer.alphabet_size() as u32,
@@ -755,14 +792,27 @@ pub(crate) fn decode_stream<T: Scalar>(
         verbatim: body.verbatim.iter(),
         out,
     };
+    decode_traversal(dec, shape, predictor, &body.side, path)
+}
 
+/// The traversal half of the decode kernel: replay `dec`'s symbol source
+/// through the predictor walk into its output slab. Shared by
+/// [`decode_stream`] and the ROLZ codec (which decodes its symbols
+/// upfront from the ROLZ token stream).
+fn decode_traversal<T: Scalar>(
+    mut dec: QuantDecoder<'_, T>,
+    shape: Shape,
+    predictor: PredictorKind,
+    side: &[u8],
+    path: KernelPath,
+) -> Result<(), DecompressError> {
     match predictor {
         PredictorKind::Lorenzo | PredictorKind::Lorenzo2 | PredictorKind::TemporalDelta => {
             let order = if predictor == PredictorKind::Lorenzo2 { 2 } else { 1 };
             traverse_lorenzo(shape, order, path, |lin, pred| dec.decode_point(lin, pred))?;
         }
         PredictorKind::Interpolation => {
-            let mut recon = vec![0f64; n];
+            let mut recon = vec![0f64; shape.len()];
             for a in anchors(shape) {
                 recon[a] = dec.take_verbatim(a)?;
             }
@@ -772,7 +822,7 @@ pub(crate) fn decode_stream<T: Scalar>(
             let nd = shape.ndim();
             let mut side_pos = 0usize;
             for block in BlockIter::new(shape, REGRESSION_BLOCK_SIDE) {
-                let (coeffs, used) = BlockCoeffs::read(&body.side[side_pos..], nd)
+                let (coeffs, used) = BlockCoeffs::read(&side[side_pos..], nd)
                     .ok_or(DecompressError::Corrupt("regression side channel"))?;
                 side_pos += used;
                 let mut err = None;
@@ -792,6 +842,35 @@ pub(crate) fn decode_stream<T: Scalar>(
         }
     }
     Ok(())
+}
+
+/// Replay an upfront symbol slab through the predictor walk into `out` —
+/// the decode kernel minus the entropy stage ([`quantize_stream`]'s
+/// inverse). The ROLZ codec feeds its recovered symbols through this.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dequantize_stream<T: Scalar>(
+    symbols: &[u32],
+    verbatim: &[T],
+    side: &[u8],
+    shape: Shape,
+    predictor: PredictorKind,
+    quantizer: LinearQuantizer,
+    transform: Transform,
+    path: KernelPath,
+    out: &mut [T],
+) -> Result<(), DecompressError> {
+    // Hard assert (not debug): QuantDecoder's unchecked stores rely on
+    // `lin < shape.len() == out.len()` for every traversal-visited `lin`.
+    assert_eq!(out.len(), shape.len(), "dequantize_stream output slab size mismatch");
+    let dec = QuantDecoder::<T> {
+        quantizer,
+        transform,
+        escape_symbol: quantizer.alphabet_size() as u32,
+        symbols: SymbolSource::Upfront(symbols.iter()),
+        verbatim: verbatim.iter(),
+        out,
+    };
+    decode_traversal(dec, shape, predictor, side, path)
 }
 
 /// Build the decode-side transform from header flags.

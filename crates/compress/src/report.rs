@@ -1,5 +1,36 @@
 //! Compression outcome descriptors.
 
+/// Format a float for a hand-rolled JSON document.
+///
+/// JSON has no NaN/Infinity literals — Rust's `{}` formatting of
+/// non-finite floats (`NaN`, `inf`) silently produces invalid JSON that
+/// strict parsers reject. Every float written by the CLI's `--json`
+/// modes and the bench JSON reports must go through here: non-finite
+/// values become `null`, finite values keep their shortest roundtrip
+/// form.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::json_f64;
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(-0.25), "-0.25");
+        assert_eq!(json_f64(1e300).parse::<f64>().unwrap(), 1e300);
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+    }
+}
+
 /// The compressed bytes plus summary metrics.
 #[derive(Clone, Debug)]
 pub struct CompressedOutput {

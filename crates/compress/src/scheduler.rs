@@ -4,11 +4,11 @@
 //! compression ratio *before* compressing, precisely so the system can
 //! choose the best configuration. This module turns that from a passive
 //! report into the compressor's control loop: for every axis-0 slab the
-//! scheduler estimates, from small samples, what the SZ prediction path
-//! and the ZFP transform path would each spend, and hands the slab to the
-//! cheaper codec.
+//! scheduler estimates, from small samples, what the SZ prediction path,
+//! the ZFP transform path and the ROLZ residual path would each spend,
+//! and hands the slab to the cheapest codec.
 //!
-//! Two estimators, both deterministic (container bytes must be a pure
+//! Three estimators, all deterministic (container bytes must be a pure
 //! function of field and configuration, so no RNG is allowed here):
 //!
 //! * **SZ** — [`rq_predict::sample_prediction_errors`] draws a strided
@@ -21,24 +21,40 @@
 //!   bits/value.
 //! * **ZFP** — the transform path has no comparably simple closed form,
 //!   so the scheduler compresses small probe blocks of the slab *for
-//!   real* (the origin corner and the opposite corner, averaged — or the
-//!   whole slab when it fits the budget, in which case the stream is
-//!   reused as the final encoding) and measures bits/value. A few
-//!   thousand elements through the block transform cost microseconds, in
-//!   the same spirit as the paper's 1 % sampling pass.
+//!   real* and measures bits/value: the origin corner, the slab center
+//!   and the far corner, averaged (corner-only probing judged a slab by
+//!   its edges and missed interior regimes) — or the whole slab when it
+//!   fits the budget, in which case the stream is reused as the final
+//!   encoding. A few thousand elements through the block transform cost
+//!   microseconds, in the same spirit as the paper's 1 % sampling pass.
+//! * **ROLZ** — the dictionary stage's gain depends on repeat structure
+//!   the entropy model cannot see, so the same probe blocks are pushed
+//!   through [`RolzChunkCodec`] for real and measured.
 //!
-//! The decision rule is simply `min(estimated bits)`, with ties going to
-//! SZ (the configured predictor path).
+//! The decision rule is [`pick_codec`]: the finite minimum of the three
+//! estimates, ties preferring SZ then ZFP then ROLZ, and SZ when every
+//! estimate is non-finite. Non-finite estimates lose *explicitly* — the
+//! historical rule compared `zfp_bits < sz_bits`, which silently picked
+//! SZ whenever the SZ estimate was NaN.
 
+use crate::codec::ChunkCodec;
 use crate::container::ChunkCodecKind;
+use crate::rolz::RolzChunkCodec;
 use rq_grid::{Scalar, Shape, MAX_DIMS};
 use rq_predict::{sample_prediction_errors, PredictorKind};
+use rq_quant::LinearQuantizer;
 
 /// Sample budget for the SZ prediction-error estimate, per chunk.
 const SZ_SAMPLE_POINTS: usize = 2048;
 
-/// Element budget for the ZFP probe block, per chunk.
+/// Element budget for one codec's probe of a chunk. Slabs at or under
+/// the budget are probed whole; larger slabs are probed by
+/// [`PROBE_BLOCKS`] blocks sharing the budget.
 const ZFP_SAMPLE_ELEMS: usize = 4096;
+
+/// Probe blocks cut from an over-budget slab: origin corner, center, far
+/// corner.
+const PROBE_BLOCKS: usize = 3;
 
 /// One chunk's scheduling outcome (also surfaced by the ablation bench).
 #[derive(Clone, Copy, Debug)]
@@ -49,13 +65,16 @@ pub struct CodecDecision {
     pub sz_bits: f64,
     /// Estimated ZFP bits/value for the slab.
     pub zfp_bits: f64,
+    /// Estimated ROLZ bits/value for the slab.
+    pub rolz_bits: f64,
 }
 
-/// Estimate both codecs on a slab and pick the cheaper one.
+/// Estimate all three codecs on a slab and pick the cheapest.
 ///
 /// `data`/`shape` describe one axis-0 slab; `abs_eb` is the resolved
 /// absolute bound (identity transform — the caller must not invoke the
-/// scheduler for log-transform configs, where ZFP is not a candidate).
+/// scheduler for log-transform configs, where the estimates are not
+/// calibrated).
 pub fn choose_codec<T: Scalar>(
     data: &[T],
     shape: Shape,
@@ -69,6 +88,8 @@ pub fn choose_codec<T: Scalar>(
 /// [`choose_codec`], additionally handing back the ZFP stream when the
 /// probe already compressed the *whole* slab (small chunks) and ZFP won —
 /// the pipeline can then reuse it instead of encoding the slab twice.
+/// (A winning whole-slab ROLZ probe is *not* reused: re-encoding small
+/// slabs is cheap and keeps the chunk's statistics populated.)
 pub(crate) fn choose_codec_with_blob<T: Scalar>(
     data: &[T],
     shape: Shape,
@@ -78,9 +99,31 @@ pub(crate) fn choose_codec_with_blob<T: Scalar>(
 ) -> (CodecDecision, Option<Vec<u8>>) {
     let sz_bits = estimate_sz_bits(data, shape, predictor, abs_eb, radius);
     let (zfp_bits, full_blob) = zfp_probe(data, shape, abs_eb);
-    let codec = if zfp_bits < sz_bits { ChunkCodecKind::Zfp } else { ChunkCodecKind::Sz };
+    let rolz_bits = estimate_rolz_bits(data, shape, predictor, abs_eb, radius);
+    let codec = pick_codec(sz_bits, zfp_bits, rolz_bits);
     let blob = if codec == ChunkCodecKind::Zfp { full_blob } else { None };
-    (CodecDecision { codec, sz_bits, zfp_bits }, blob)
+    (CodecDecision { codec, sz_bits, zfp_bits, rolz_bits }, blob)
+}
+
+/// Three-way `min(estimated bits)`, safe against non-finite estimates: a
+/// NaN or infinite estimate can never win (it marks a failed or
+/// inapplicable probe), ties keep the earlier codec in (SZ, ZFP, ROLZ)
+/// order, and SZ — the configured predictor path — is the fallback when
+/// every estimate is non-finite.
+pub fn pick_codec(sz_bits: f64, zfp_bits: f64, rolz_bits: f64) -> ChunkCodecKind {
+    let mut best = ChunkCodecKind::Sz;
+    let mut best_bits = f64::INFINITY;
+    for (codec, bits) in [
+        (ChunkCodecKind::Sz, sz_bits),
+        (ChunkCodecKind::Zfp, zfp_bits),
+        (ChunkCodecKind::Rolz, rolz_bits),
+    ] {
+        if bits.is_finite() && bits < best_bits {
+            best = codec;
+            best_bits = bits;
+        }
+    }
+    best
 }
 
 /// Sampled Eq. 1 estimate of the SZ path's bits/value on a slab.
@@ -98,19 +141,46 @@ pub fn estimate_sz_bits<T: Scalar>(
     sample.estimate(abs_eb, radius, T::BITS).bits_per_value
 }
 
-/// Measured bits/value of the ZFP path on a corner probe block of a slab.
+/// Measured bits/value of the ZFP path on probe blocks of a slab.
 pub fn estimate_zfp_bits<T: Scalar>(data: &[T], shape: Shape, abs_eb: f64) -> f64 {
     zfp_probe(data, shape, abs_eb).0
 }
 
-/// Compress probe block(s) and measure bits/value. When the probe covers
-/// the whole slab (no sub-block was cut), the stream is the slab's final
-/// ZFP encoding and is returned for reuse; otherwise two blocks — the
-/// origin corner and the opposite corner — are probed and averaged, so a
-/// slab that is smooth at one end and turbulent at the other is not
-/// judged by its smooth corner alone.
+/// Measured bits/value of the ROLZ path on probe blocks of a slab
+/// (each block quantized, ROLZ-coded and entropy-coded for real — the
+/// dictionary stage's gain has no useful closed form).
+pub fn estimate_rolz_bits<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    predictor: PredictorKind,
+    abs_eb: f64,
+    radius: u32,
+) -> f64 {
+    let codec = RolzChunkCodec::new(predictor, LinearQuantizer::new(abs_eb, radius));
+    let bits_of = |block: &[T], block_shape: Shape| -> f64 {
+        match ChunkCodec::<T>::encode(&codec, block, block_shape) {
+            Ok((blob, _)) => blob.len() as f64 * 8.0 / block_shape.len() as f64,
+            Err(_) => f64::INFINITY,
+        }
+    };
+    let Some(caps) = block_probe_caps(shape) else {
+        return bits_of(data, shape);
+    };
+    let probe_shape = caps_shape(shape, &caps);
+    let mut total_bits = 0.0f64;
+    for origin in probe_origins(shape, &caps) {
+        let probe = copy_block(data, shape, &origin, &caps);
+        total_bits += bits_of(&probe, probe_shape);
+    }
+    total_bits / PROBE_BLOCKS as f64
+}
+
+/// Compress ZFP probe block(s) and measure bits/value. When the probe
+/// covers the whole slab (no sub-block was cut), the stream is the slab's
+/// final ZFP encoding and is returned for reuse; otherwise the
+/// origin / center / far blocks are probed and averaged.
 fn zfp_probe<T: Scalar>(data: &[T], shape: Shape, abs_eb: f64) -> (f64, Option<Vec<u8>>) {
-    let Some(caps) = probe_caps(shape, ZFP_SAMPLE_ELEMS) else {
+    let Some(caps) = block_probe_caps(shape) else {
         // Whole slab fits the budget: the probe IS the encoding.
         return match rq_zfp::zfp_compress_slice(data, shape, abs_eb) {
             Ok(bytes) => (bytes.len() as f64 * 8.0 / shape.len() as f64, Some(bytes)),
@@ -119,23 +189,49 @@ fn zfp_probe<T: Scalar>(data: &[T], shape: Shape, abs_eb: f64) -> (f64, Option<V
             Err(_) => (f64::INFINITY, None),
         };
     };
-    let nd = shape.ndim();
-    let mut dims = [0usize; MAX_DIMS];
-    dims[..nd].copy_from_slice(&caps[..nd]);
-    let probe_shape = Shape::new(&dims[..nd]);
-    let mut far = [0usize; MAX_DIMS];
-    for a in 0..nd {
-        far[a] = shape.dim(a) - caps[a];
-    }
+    let probe_shape = caps_shape(shape, &caps);
     let mut total_bits = 0.0f64;
-    for origin in [[0usize; MAX_DIMS], far] {
+    for origin in probe_origins(shape, &caps) {
         let probe = copy_block(data, shape, &origin, &caps);
         match rq_zfp::zfp_compress_slice(&probe, probe_shape, abs_eb) {
             Ok(bytes) => total_bits += bytes.len() as f64 * 8.0 / probe_shape.len() as f64,
             Err(_) => return (f64::INFINITY, None),
         }
     }
-    (total_bits / 2.0, None)
+    (total_bits / PROBE_BLOCKS as f64, None)
+}
+
+/// The block extents a probe of `shape` uses, or `None` when the whole
+/// slab fits the probe budget (probe it whole). Each of the
+/// [`PROBE_BLOCKS`] blocks gets an equal share of [`ZFP_SAMPLE_ELEMS`].
+fn block_probe_caps(shape: Shape) -> Option<[usize; MAX_DIMS]> {
+    probe_caps(shape, ZFP_SAMPLE_ELEMS)?;
+    // The slab exceeds the full budget, so cutting to a third of it must
+    // succeed too; fall back to whole-slab probing if it somehow cannot
+    // (every axis already at the minimum block side).
+    probe_caps(shape, ZFP_SAMPLE_ELEMS / PROBE_BLOCKS)
+}
+
+/// `caps` as a [`Shape`] with `shape`'s dimensionality.
+fn caps_shape(shape: Shape, caps: &[usize; MAX_DIMS]) -> Shape {
+    let nd = shape.ndim();
+    let mut dims = [0usize; MAX_DIMS];
+    dims[..nd].copy_from_slice(&caps[..nd]);
+    Shape::new(&dims[..nd])
+}
+
+/// Origins of the three probe blocks: origin corner, slab center
+/// (`(dim - cap) / 2` per axis) and far corner. Deterministic, so the
+/// scheduler's decision stays a pure function of the slab.
+fn probe_origins(shape: Shape, caps: &[usize; MAX_DIMS]) -> [[usize; MAX_DIMS]; PROBE_BLOCKS] {
+    let nd = shape.ndim();
+    let mut center = [0usize; MAX_DIMS];
+    let mut far = [0usize; MAX_DIMS];
+    for a in 0..nd {
+        far[a] = shape.dim(a) - caps[a];
+        center[a] = far[a] / 2;
+    }
+    [[0usize; MAX_DIMS], center, far]
 }
 
 /// Per-axis extents of a probe block holding at most ~`budget` elements.
@@ -201,6 +297,7 @@ fn copy_block<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rq_predict::PredictionSample;
     use rq_quant::DEFAULT_RADIUS;
 
     fn smooth(shape: Shape) -> Vec<f32> {
@@ -224,23 +321,40 @@ mod tests {
     }
 
     #[test]
-    fn smooth_slab_prefers_sz() {
+    fn smooth_slab_prefers_prediction_path() {
         let shape = Shape::d2(32, 48);
         let d = choose_codec(&smooth(shape), shape, PredictorKind::Lorenzo, 1e-3, DEFAULT_RADIUS);
-        assert_eq!(d.codec, ChunkCodecKind::Sz, "sz {} zfp {}", d.sz_bits, d.zfp_bits);
+        // SZ and ROLZ share the prediction front end; either may win on
+        // smooth data, but the transform path must not.
+        assert_ne!(d.codec, ChunkCodecKind::Zfp, "sz {} zfp {} rolz {}", d.sz_bits, d.zfp_bits, d.rolz_bits);
         assert!(d.sz_bits < 8.0);
     }
 
     #[test]
     fn escaping_slab_prefers_zfp() {
         // Noise amplitude far beyond the quantizer range at this bound:
-        // nearly every SZ symbol escapes (~32 bits/value), while the
+        // nearly every SZ/ROLZ symbol escapes (~32 bits/value), while the
         // bitplane coder stays near log2(range / eb).
         let shape = Shape::d2(32, 48);
         let data = rough(shape, 50.0);
         let d = choose_codec(&data, shape, PredictorKind::Lorenzo, 1e-4, 256);
-        assert_eq!(d.codec, ChunkCodecKind::Zfp, "sz {} zfp {}", d.sz_bits, d.zfp_bits);
+        assert_eq!(d.codec, ChunkCodecKind::Zfp, "sz {} zfp {} rolz {}", d.sz_bits, d.zfp_bits, d.rolz_bits);
         assert!(d.sz_bits > 30.0, "sz estimate should be near verbatim cost");
+        assert!(d.rolz_bits > d.zfp_bits, "escaping data must not flatter rolz");
+    }
+
+    #[test]
+    fn repetitive_slab_prefers_rolz() {
+        // A strict period-8 texture: prediction residuals repeat exactly,
+        // which the dictionary stage folds into matches while the order-0
+        // entropy model (the SZ estimate) cannot.
+        let shape = Shape::d2(48, 64);
+        let mut data = Vec::with_capacity(shape.len());
+        for ix in shape.indices() {
+            data.push(((ix[0] + 3 * ix[1]) % 8) as f32 * 0.37);
+        }
+        let d = choose_codec(&data, shape, PredictorKind::Lorenzo, 1e-4, DEFAULT_RADIUS);
+        assert_eq!(d.codec, ChunkCodecKind::Rolz, "sz {} zfp {} rolz {}", d.sz_bits, d.zfp_bits, d.rolz_bits);
     }
 
     #[test]
@@ -252,6 +366,53 @@ mod tests {
         assert_eq!(a.codec, b.codec);
         assert_eq!(a.sz_bits, b.sz_bits);
         assert_eq!(a.zfp_bits, b.zfp_bits);
+        assert_eq!(a.rolz_bits, b.rolz_bits);
+    }
+
+    #[test]
+    fn non_finite_estimates_lose_explicitly() {
+        use ChunkCodecKind::*;
+        // The historical rule `zfp_bits < sz_bits` evaluated false when
+        // the SZ estimate was NaN and silently picked SZ; a non-finite
+        // estimate must lose to any finite one.
+        assert_eq!(pick_codec(f64::NAN, 1.0, f64::INFINITY), Zfp);
+        assert_eq!(pick_codec(f64::NAN, 10.0, 2.0), Rolz);
+        assert_eq!(pick_codec(f64::INFINITY, f64::NAN, 2.0), Rolz);
+        assert_eq!(pick_codec(5.0, f64::NAN, f64::NAN), Sz);
+        // All-non-finite falls back to the configured predictor path.
+        assert_eq!(pick_codec(f64::NAN, f64::INFINITY, f64::NAN), Sz);
+        // Ties keep the earlier codec in (sz, zfp, rolz) order.
+        assert_eq!(pick_codec(7.0, 7.0, 7.0), Sz);
+        assert_eq!(pick_codec(8.0, 7.0, 7.0), Zfp);
+        assert_eq!(pick_codec(8.0, 7.5, 7.5), Zfp);
+    }
+
+    #[test]
+    fn degenerate_sample_estimate_is_non_finite_and_loses() {
+        // A hand-built empty sample drives `estimate` through its n == 0
+        // branch, where NaN side-channel bookkeeping poisons the result —
+        // the decision seam must shrug it off rather than pick SZ.
+        let sample = PredictionSample {
+            errors: Vec::new(),
+            predictor: PredictorKind::Regression,
+            ndim: 2,
+            n_elements: 0,
+            verbatim_fraction: 0.0,
+            side_bits_per_element: f64::NAN,
+            sparse_count: 0,
+        };
+        let sz_bits = sample.estimate(1e-3, DEFAULT_RADIUS, 32).bits_per_value;
+        assert!(sz_bits.is_nan());
+        assert_eq!(pick_codec(sz_bits, 4.0, 6.0), ChunkCodecKind::Zfp);
+    }
+
+    #[test]
+    fn all_nan_slab_decides_deterministically() {
+        let shape = Shape::d2(20, 30);
+        let data = vec![f32::NAN; shape.len()];
+        let a = choose_codec(&data, shape, PredictorKind::Lorenzo, 1e-3, DEFAULT_RADIUS);
+        let b = choose_codec(&data, shape, PredictorKind::Lorenzo, 1e-3, DEFAULT_RADIUS);
+        assert_eq!(a.codec, b.codec, "non-finite data must not destabilize the pick");
     }
 
     #[test]
@@ -275,6 +436,73 @@ mod tests {
         assert_eq!(probe[0], lin0 as f32);
         // Small slabs are taken whole (no copy, reusable stream).
         assert!(probe_caps(Shape::d2(8, 8), 4096).is_none());
+    }
+
+    #[test]
+    fn probe_origins_include_the_center() {
+        let shape = Shape::d2(96, 96);
+        let caps = block_probe_caps(shape).expect("slab exceeds the probe budget");
+        let [origin, center, far] = probe_origins(shape, &caps);
+        assert_eq!(origin, [0; MAX_DIMS]);
+        for a in 0..2 {
+            assert_eq!(far[a], shape.dim(a) - caps[a]);
+            assert_eq!(center[a], far[a] / 2);
+            assert!(center[a] > 0 && center[a] < far[a], "center block must be interior");
+        }
+    }
+
+    #[test]
+    fn center_probe_flips_corner_blind_decision() {
+        // Noise confined to two column bands covering both corner probe
+        // blocks, smooth interior covering the center block. A
+        // corner-only ZFP probe (the pre-center rule) prices the whole
+        // slab like its noisy edges, loses to the SZ estimate, and hands
+        // the slab to SZ — even though the smooth interior makes ZFP the
+        // cheapest codec overall. The center block reveals it and the
+        // decision flips.
+        let shape = Shape::d2(96, 96);
+        let caps = block_probe_caps(shape).expect("slab exceeds the probe budget");
+        let [origin, center, far] = probe_origins(shape, &caps);
+        // Smooth interior band wide enough to hold the center block with
+        // margin; everything outside it is high-amplitude noise.
+        let (smooth_lo, smooth_hi) = (30usize, 66usize);
+        assert!(smooth_lo <= center[1] && center[1] + caps[1] <= smooth_hi);
+        assert!(origin[1] + caps[1] <= smooth_lo && far[1] >= smooth_hi);
+        let noise = rough(shape, 60.0);
+        let sm = smooth(shape);
+        let data: Vec<f32> = (0..shape.len())
+            .map(|i| {
+                let c = i % shape.dim(1);
+                if (smooth_lo..smooth_hi).contains(&c) { sm[i] } else { noise[i] }
+            })
+            .collect();
+        let d = choose_codec(&data, shape, PredictorKind::Lorenzo, 1e-4, 256);
+        assert_eq!(
+            d.codec,
+            ChunkCodecKind::Zfp,
+            "sz {} zfp {} rolz {}",
+            d.sz_bits,
+            d.zfp_bits,
+            d.rolz_bits
+        );
+        // Reconstruct the corner-blind estimate: both corner blocks,
+        // averaged — it overshoots the SZ estimate, i.e. the old rule
+        // would have rejected ZFP for this slab.
+        let probe_shape = caps_shape(shape, &caps);
+        let mut corner_bits = 0.0;
+        for o in [origin, far] {
+            let probe = copy_block(&data, shape, &o, &caps);
+            let bytes = rq_zfp::zfp_compress_slice(&probe, probe_shape, 1e-4).unwrap();
+            corner_bits += bytes.len() as f64 * 8.0 / probe_shape.len() as f64;
+        }
+        corner_bits /= 2.0;
+        assert!(
+            corner_bits > d.sz_bits,
+            "corner-blind zfp {} must lose to sz {}",
+            corner_bits,
+            d.sz_bits
+        );
+        assert!(d.zfp_bits < corner_bits, "center block must lower the zfp estimate");
     }
 
     #[test]

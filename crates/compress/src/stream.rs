@@ -65,6 +65,7 @@ use crate::config::{CodecChoice, CompressorConfig, LosslessStage};
 use crate::container::{
     read_archive_layout, read_span_into, write_header_prefix, write_trailer, ChunkCodecKind,
     ChunkEntry, ChunkTable, CompressError, DecompressError, Header, VERSION_V2_2, VERSION_V2_3,
+    VERSION_V2_4,
 };
 use crate::mmap::SourceMap;
 use crate::pipeline::{resolve_bound, Transform};
@@ -174,15 +175,22 @@ impl SlabEncoder {
             )
             .with_transform(self.transform);
             let zfp = ZfpChunkCodec::new(eb);
+            let rolz = crate::rolz::RolzChunkCodec::new(
+                self.predictor,
+                LinearQuantizer::new(eb, self.radius),
+            )
+            .with_transform(self.transform);
             let slab = &data[c.offset..c.offset + c.len];
             // `ready` carries the scheduler's probe stream when it already
             // compressed the whole (small) slab — no second zfp pass then.
             let (kind, ready) = match self.codec {
                 CodecChoice::Sz => (ChunkCodecKind::Sz, None),
                 CodecChoice::Zfp => (ChunkCodecKind::Zfp, None),
+                CodecChoice::Rolz => (ChunkCodecKind::Rolz, None),
                 CodecChoice::Auto => {
                     if self.transform != Transform::Identity {
-                        // Log-domain configs: zfp is not a candidate.
+                        // Log-domain configs: the probes are not
+                        // calibrated, every chunk stays on SZ.
                         (ChunkCodecKind::Sz, None)
                     } else {
                         let (decision, blob) = crate::scheduler::choose_codec_with_blob(
@@ -200,6 +208,7 @@ impl SlabEncoder {
                 (ChunkCodecKind::Zfp, Some(blob)) => (blob, ChunkStats::default()),
                 (ChunkCodecKind::Sz, _) => ChunkCodec::<T>::encode(&sz, slab, c.shape)?,
                 (ChunkCodecKind::Zfp, None) => ChunkCodec::<T>::encode(&zfp, slab, c.shape)?,
+                (ChunkCodecKind::Rolz, _) => ChunkCodec::<T>::encode(&rolz, slab, c.shape)?,
             };
             Ok(EncodedChunk { rows: c.rows, codec: kind, blob, stats, eb })
         })
@@ -253,8 +262,11 @@ pub struct ArchiveWriter<T: Scalar, W: Write> {
     row_elems: usize,
     chunk_rows: usize,
     enc: SlabEncoder,
-    /// Per-chunk planned bounds (quality-targeted mode ⇒ container v2.3);
-    /// `None` writes v2.2 with the shared bound.
+    /// Container generation this session writes (see `create_inner`);
+    /// decides whether the trailer index carries the per-chunk eb column.
+    version: u8,
+    /// Per-chunk planned bounds (quality-targeted mode ⇒ container v2.3+);
+    /// `None` writes the shared bound into every chunk.
     plan: Option<Vec<f64>>,
     /// Carry-over rows not yet forming a complete chunk.
     buf: Vec<T>,
@@ -352,8 +364,11 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
         Self::create_inner(sink, shape, cfg, abs_eb, transform, None)
     }
 
-    /// Shared constructor: the presence of a per-chunk plan selects the
-    /// container generation (v2.3 vs v2.2) baked into the header.
+    /// Shared constructor: the codec policy and the presence of a
+    /// per-chunk plan select the container generation baked into the
+    /// header — rolz-capable policies need v2.4 (tag 2 is illegal in the
+    /// earlier generations), a plan needs at least v2.3 (per-chunk
+    /// bounds), and everything else stays on v2.2 byte for byte.
     fn create_inner(
         mut sink: W,
         shape: Shape,
@@ -364,8 +379,13 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
     ) -> Result<Self, CompressError> {
         let enc = SlabEncoder::from_cfg(cfg, abs_eb, transform)?;
         let chunk_rows = crate::chunked::resolve_chunk_rows(cfg, shape);
+        let version = match cfg.codec {
+            CodecChoice::Rolz | CodecChoice::Auto => VERSION_V2_4,
+            _ if plan.is_some() => VERSION_V2_3,
+            _ => VERSION_V2_2,
+        };
         let header = Header {
-            version: if plan.is_some() { VERSION_V2_3 } else { VERSION_V2_2 },
+            version,
             scalar_tag: T::TAG,
             predictor: cfg.predictor,
             lossless: cfg.lossless,
@@ -383,6 +403,7 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
             row_elems: shape.dims()[1..].iter().product::<usize>().max(1),
             chunk_rows,
             enc,
+            version,
             plan,
             buf: Vec::new(),
             rows_done: 0,
@@ -491,7 +512,8 @@ impl<T: Scalar, W: Write> ArchiveWriter<T, W> {
             )));
         }
         let mut trailer = Vec::new();
-        write_trailer(&mut trailer, self.chunk_rows, &self.index, self.plan.is_some());
+        let with_eb = matches!(self.version, VERSION_V2_3 | VERSION_V2_4);
+        write_trailer(&mut trailer, self.chunk_rows, &self.index, with_eb);
         self.sink.write_all(&trailer)?;
         self.sink.flush()?;
         self.bytes_written += trailer.len() as u64;
@@ -1954,10 +1976,14 @@ mod tests {
             .with_codec(CodecChoice::Auto)
             .with_threads(2);
         let bytes = stream_archive(&field, &c, 8);
+        assert_eq!(peek_header(&bytes).unwrap().version, 6, "adaptive archives are v2.4");
         let table = chunk_table(&bytes).unwrap();
         let kinds: Vec<ChunkCodecKind> = table.entries.iter().map(|e| e.codec).collect();
-        assert!(kinds.contains(&ChunkCodecKind::Sz) && kinds.contains(&ChunkCodecKind::Zfp));
-        // Identical chunk bytes to the one-shot v2.1 container.
+        // The smooth and turbulent halves land on different codecs (which
+        // ones is the scheduler's call — the per-regime winners are pinned
+        // down in the scheduler's own tests).
+        assert!(kinds[..2] != kinds[2..], "mixed regimes should split: {kinds:?}");
+        // Identical chunk bytes to the one-shot v2.4 container.
         let one_shot = compress(&field, &c).unwrap().bytes;
         let t_one = chunk_table(&one_shot).unwrap();
         for (a, b) in table.entries.iter().zip(&t_one.entries) {
@@ -2092,8 +2118,10 @@ mod tests {
     #[test]
     fn planned_auto_codec_schedules_per_chunk_bound() {
         // Under Auto, the scheduler sees each chunk's own bound: the same
-        // turbulent slab flips from zfp (tight bound, everything escapes)
-        // to sz (loose bound) purely by plan.
+        // turbulent slab flips from rolz (tight bound, everything escapes
+        // to verbatim — which the residual coder carries cheapest) to sz
+        // (moderate bound, in-range high-entropy symbols where plain
+        // Huffman beats rolz's token overhead) purely by plan.
         let field = rq_datagen::fields::mixed_smooth_turbulent(Shape::d3(12, 10, 10), 0, 40.0);
         let c = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
             .chunked(6)
@@ -2109,13 +2137,15 @@ mod tests {
             w.write_slab(&field).unwrap();
             w.finalize().unwrap().sink
         };
-        let tight = archive(vec![1e-4, 1e-4]);
-        let loose = archive(vec![30.0, 30.0]);
         let kinds = |b: &[u8]| -> Vec<ChunkCodecKind> {
             chunk_table(b).unwrap().entries.iter().map(|e| e.codec).collect()
         };
-        assert!(kinds(&tight).iter().all(|&k| k == ChunkCodecKind::Zfp), "{:?}", kinds(&tight));
-        assert!(kinds(&loose).iter().all(|&k| k == ChunkCodecKind::Sz), "{:?}", kinds(&loose));
+        // One archive, one slab repeated, two bounds: the codec follows
+        // the chunk's planned bound, not the archive-wide one.
+        let mixed = archive(vec![1e-4, 1.0]);
+        assert_eq!(kinds(&mixed), vec![ChunkCodecKind::Rolz, ChunkCodecKind::Sz]);
+        let tight = archive(vec![1e-4, 1e-4]);
+        assert_eq!(kinds(&tight), vec![ChunkCodecKind::Rolz, ChunkCodecKind::Rolz]);
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub(crate) fn find_either(buf: &[u8], mut i: usize, a: u8, b: u8) -> usize {
 /// Length of the common prefix of `a` and `b`, capped at `limit`.
 /// Requires both slices to hold at least `limit` bytes.
 #[inline]
-pub(crate) fn common_prefix(a: &[u8], b: &[u8], limit: usize) -> usize {
+pub fn common_prefix(a: &[u8], b: &[u8], limit: usize) -> usize {
     let mut l = 0;
     while l + 8 <= limit {
         let x = load(a, l) ^ load(b, l);

@@ -30,6 +30,10 @@
 
 pub mod bitio;
 mod bytescan;
+/// Word-at-a-time byte scanning primitives shared with downstream match
+/// finders (the ROLZ residual coder extends matches through
+/// [`common_prefix`]).
+pub use bytescan::common_prefix;
 pub mod huffman;
 pub mod lossless;
 pub mod lzss;

@@ -6,8 +6,10 @@
 //! `read_all`, `read_rows`, `decompress_to_writer` on `ArchiveReader`,
 //! and every request on a shared `ConcurrentReader` — must produce
 //! results byte-identical to the single-threaded serial decode, for
-//! every container generation {v1, v2, v2.1, v2.2, v2.3} × codec
-//! {sz, zfp, auto} × thread count {1, 2, 3, 8} × random row ranges.
+//! every container generation {v1, v2, v2.1, v2.2, v2.3, v2.4} × codec
+//! {sz, zfp, rolz, auto} × thread count {1, 2, 3, 8} × random row
+//! ranges. (The historical tagged generations use fixed codecs: the
+//! adaptive scheduler now emits v2.4.)
 //!
 //! The stress test hammers one `ConcurrentReader` from 8 threads with
 //! randomized overlapping `read_rows`/`read_chunk` requests, checks
@@ -67,17 +69,15 @@ fn archive_matrix(field: &NdArray<f32>) -> Vec<(String, u8, Vec<u8>)> {
     out.push(("v1/sz".into(), 1, compress(field, &base).unwrap().bytes));
     // v2: inline untagged index (fixed-sz chunked configs).
     out.push(("v2/sz".into(), 2, compress(field, &chunked).unwrap().bytes));
-    // v2.1: inline tagged index (fixed-zfp and adaptive configs).
-    for codec in [CodecChoice::Zfp, CodecChoice::Auto] {
-        let cfg = chunked.with_codec(codec);
-        out.push((
-            format!("v2.1/{codec:?}").to_lowercase(),
-            3,
-            compress(field, &cfg).unwrap().bytes,
-        ));
-    }
-    // v2.2: streaming trailer index, all three codec choices.
-    for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+    // v2.1: inline tagged index (fixed-zfp; adaptive configs now emit
+    // v2.4).
+    out.push((
+        "v2.1/zfp".into(),
+        3,
+        compress(field, &chunked.with_codec(CodecChoice::Zfp)).unwrap().bytes,
+    ));
+    // v2.2: streaming trailer index, both historical fixed codecs.
+    for codec in [CodecChoice::Sz, CodecChoice::Zfp] {
         let cfg = chunked.with_codec(codec);
         out.push((
             format!("v2.2/{codec:?}").to_lowercase(),
@@ -85,8 +85,9 @@ fn archive_matrix(field: &NdArray<f32>) -> Vec<(String, u8, Vec<u8>)> {
             streamed(field, &cfg, None),
         ));
     }
-    // v2.3: per-chunk bounds in the trailer, all three codec choices.
-    for codec in [CodecChoice::Sz, CodecChoice::Zfp, CodecChoice::Auto] {
+    // v2.3: per-chunk bounds in the trailer, both historical fixed
+    // codecs.
+    for codec in [CodecChoice::Sz, CodecChoice::Zfp] {
         let cfg = chunked.with_codec(codec);
         out.push((
             format!("v2.3/{codec:?}").to_lowercase(),
@@ -94,6 +95,29 @@ fn archive_matrix(field: &NdArray<f32>) -> Vec<(String, u8, Vec<u8>)> {
             streamed(field, &cfg, Some(plan(n_chunks))),
         ));
     }
+    // v2.4: the rolz-capable generation — fixed rolz (in-memory and
+    // streamed) plus the three-way adaptive scheduler, with and without
+    // a per-chunk plan.
+    out.push((
+        "v2.4/rolz".into(),
+        6,
+        compress(field, &chunked.with_codec(CodecChoice::Rolz)).unwrap().bytes,
+    ));
+    out.push((
+        "v2.4/auto".into(),
+        6,
+        compress(field, &chunked.with_codec(CodecChoice::Auto)).unwrap().bytes,
+    ));
+    out.push((
+        "v2.4/rolz-streamed".into(),
+        6,
+        streamed(field, &chunked.with_codec(CodecChoice::Rolz), None),
+    ));
+    out.push((
+        "v2.4/auto-planned".into(),
+        6,
+        streamed(field, &chunked.with_codec(CodecChoice::Auto), Some(plan(n_chunks))),
+    ));
     out
 }
 

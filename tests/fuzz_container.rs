@@ -40,13 +40,16 @@ impl Rng {
     }
 }
 
-/// A mixed field whose `auto` compression genuinely contains both sz and
-/// zfp chunks, so v2.1 fuzzing covers both blob parsers.
+/// A mixed field whose adaptive compression genuinely splits codecs
+/// across chunks, so the v2.4 fuzz archives cover every blob parser.
 fn mixed_field() -> NdArray<f32> {
     rqm::datagen::fields::mixed_smooth_turbulent(Shape::d3(16, 10, 10), 8, 30.0)
 }
 
-/// The three archive generations under test.
+/// The archive generations under test. Historical generations are built
+/// with fixed-codec configs (the adaptive policies moved to v2.4); the
+/// v2.4 fixture is the three-way adaptive archive with a real codec
+/// split.
 fn valid_archives() -> Vec<(&'static str, Vec<u8>)> {
     let field = mixed_field();
     let v1 = compress(
@@ -66,21 +69,26 @@ fn valid_archives() -> Vec<(&'static str, Vec<u8>)> {
         &field,
         &CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
             .chunked(4)
-            .with_codec(CodecChoice::Auto),
+            .with_codec(CodecChoice::Zfp),
     )
     .unwrap()
     .bytes;
-    // The v2.1 fixture must exercise both blob decoders.
-    let codecs: Vec<ChunkCodecKind> =
-        chunk_table(&v21).unwrap().entries.iter().map(|e| e.codec).collect();
-    assert!(codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Zfp));
+    assert_eq!(rqm::compress_crate::peek_header(&v21).unwrap().version, 3);
     let v22 = streamed_v22(&field);
     let v23 = planned_v23(&field);
-    vec![("v1", v1), ("v2", v2), ("v2.1", v21), ("v2.2", v22), ("v2.3", v23)]
+    let v24 = planned_v24(&field);
+    vec![
+        ("v1", v1),
+        ("v2", v2),
+        ("v2.1", v21),
+        ("v2.2", v22),
+        ("v2.3", v23),
+        ("v2.4", v24),
+    ]
 }
 
-/// The heterogeneous per-chunk plan behind the v2.3 fuzz archive (16-row
-/// field in 4-row chunks).
+/// The heterogeneous per-chunk plan behind the v2.3/v2.4 fuzz archives
+/// (16-row field in 4-row chunks).
 const V23_FUZZ_PLAN: [f64; 4] = [1e-3, 1e-4, 2e-4, 5e-5];
 
 /// A v2.3 archive of `field` built through the planned streaming writer
@@ -88,7 +96,7 @@ const V23_FUZZ_PLAN: [f64; 4] = [1e-3, 1e-4, 2e-4, 5e-5];
 fn planned_v23(field: &NdArray<f32>) -> Vec<u8> {
     let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
         .chunked(4)
-        .with_codec(CodecChoice::Auto)
+        .with_codec(CodecChoice::Zfp)
         .with_threads(2);
     let mut w = rqm::compress_crate::ArchiveWriter::<f32, Vec<u8>>::create_planned(
         Vec::new(),
@@ -103,12 +111,38 @@ fn planned_v23(field: &NdArray<f32>) -> Vec<u8> {
     bytes
 }
 
-/// A v2.2 archive of `field` built through the streaming writer (mixed
-/// codecs, so trailer fuzzing reaches both blob decoders too).
+/// A v2.4 archive of `field` through the planned streaming writer with
+/// the three-way adaptive codec: the fixture must genuinely mix sz and
+/// rolz chunks so fuzzing reaches the ROLZ blob parser in situ.
+fn planned_v24(field: &NdArray<f32>) -> Vec<u8> {
+    let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1.0))
+        .chunked(4)
+        .with_codec(CodecChoice::Auto)
+        .with_threads(2);
+    let mut w = rqm::compress_crate::ArchiveWriter::<f32, Vec<u8>>::create_planned(
+        Vec::new(),
+        field.shape(),
+        &cfg,
+        V23_FUZZ_PLAN.to_vec(),
+    )
+    .unwrap();
+    w.write_slab(field).unwrap();
+    let bytes = w.finalize().unwrap().sink;
+    assert_eq!(rqm::compress_crate::peek_header(&bytes).unwrap().version, 6);
+    let codecs: Vec<ChunkCodecKind> =
+        chunk_table(&bytes).unwrap().entries.iter().map(|e| e.codec).collect();
+    assert!(
+        codecs.contains(&ChunkCodecKind::Sz) && codecs.contains(&ChunkCodecKind::Rolz),
+        "v2.4 fuzz fixture must mix sz and rolz chunks, got {codecs:?}"
+    );
+    bytes
+}
+
+/// A v2.2 archive of `field` built through the streaming writer.
 fn streamed_v22(field: &NdArray<f32>) -> Vec<u8> {
     let cfg = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-4))
         .chunked(4)
-        .with_codec(CodecChoice::Auto)
+        .with_codec(CodecChoice::Zfp)
         .with_threads(2);
     let mut w = ArchiveWriter::<f32, Vec<u8>>::create(Vec::new(), field.shape(), &cfg).unwrap();
     w.write_slab(field).unwrap();
@@ -423,6 +457,7 @@ fn parallel_decode_corruptions_error_at_every_thread_count() {
     for (name, bytes) in [
         ("v2.2", streamed_v22(&mixed_field())),
         ("v2.3", planned_v23(&mixed_field())),
+        ("v2.4", planned_v24(&mixed_field())),
     ] {
         let n = bytes.len();
         let tlen = u64::from_le_bytes(bytes[n - 12..n - 4].try_into().unwrap()) as usize;
@@ -443,8 +478,9 @@ fn parallel_decode_corruptions_error_at_every_thread_count() {
         m.extend_from_slice(&bytes[..tstart - 1]);
         m.extend_from_slice(&bytes[tstart..]);
         cases.push((format!("{name} blob region shrunk"), m));
-        if name == "v2.3" {
-            // Poisoned per-chunk bound (NaN bit pattern in the index).
+        if name != "v2.2" {
+            // Poisoned per-chunk bound (NaN bit pattern in the index;
+            // v2.3 and v2.4 both carry per-chunk bounds).
             let pat = V23_FUZZ_PLAN[1].to_le_bytes();
             let at = bytes[tstart..n - 12]
                 .windows(8)
@@ -482,6 +518,73 @@ fn parallel_decode_corruptions_error_at_every_thread_count() {
                 serial.is_ok(),
                 parallel.is_ok(),
                 "{name} at byte {pos}: accept/reject differs across thread counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn rolz_blob_mutations_error_identically_at_thread_counts() {
+    // Mutation and truncation loops aimed squarely at the ROLZ chunk
+    // blobs of a v2.4 archive: every hostile input must come back as a
+    // typed `DecompressError` or a consistent decode — never a panic —
+    // and the accept/reject decision must be identical at 1 and 4 decode
+    // threads and on the in-memory slice parser.
+    use std::io::Cursor;
+    let bytes = planned_v24(&mixed_field());
+    let table = chunk_table(&bytes).unwrap();
+    let rolz_entries: Vec<_> = table
+        .entries
+        .iter()
+        .filter(|e| e.codec == ChunkCodecKind::Rolz)
+        .collect();
+    assert!(!rolz_entries.is_empty());
+    let try_streaming = |bytes: &[u8], threads: usize| -> bool {
+        match rqm::compress_crate::ArchiveReader::open(Cursor::new(bytes)) {
+            Err(_) => false,
+            Ok(r) => r
+                .with_threads_exact(threads)
+                .decompress_to_writer::<f32, _>(&mut std::io::sink())
+                .is_ok(),
+        }
+    };
+    let mut rng = Rng(0x5EED_0B03);
+    for entry in &rolz_entries {
+        // Byte flips and whole-byte garbage anywhere inside the blob: the
+        // varint preamble, the token Huffman codebook, the token payload,
+        // the length bytes and the raw-literal section all get hit.
+        for case in 0..120 {
+            let mut m = bytes.clone();
+            let pos = entry.offset + rng.below(entry.len);
+            if case % 2 == 0 {
+                m[pos] ^= 1 << rng.below(8);
+            } else {
+                let span = (1 + rng.below(6)).min(entry.offset + entry.len - pos);
+                for b in &mut m[pos..pos + span] {
+                    *b = rng.next() as u8;
+                }
+            }
+            let serial = try_streaming(&m, 1);
+            let parallel = try_streaming(&m, 4);
+            assert_eq!(
+                serial, parallel,
+                "rolz blob at {} byte {pos}: accept/reject differs across thread counts",
+                entry.offset
+            );
+            if let Some(r) = try_decode(&m) {
+                assert_eq!(r.is_ok(), serial, "slice vs streaming disagree at byte {pos}");
+            }
+        }
+        // Every truncation of the archive that cuts inside this blob must
+        // be rejected (the trailer is gone, so the container is short).
+        for _ in 0..40 {
+            let cut = entry.offset + rng.below(entry.len);
+            if let Some(Ok(_)) = try_decode(&bytes[..cut]) {
+                panic!("truncation inside rolz blob at {cut} decoded Ok");
+            }
+            assert!(
+                !try_streaming(&bytes[..cut], 1) && !try_streaming(&bytes[..cut], 4),
+                "streaming decode of truncation at {cut} succeeded"
             );
         }
     }

@@ -428,6 +428,123 @@ fn chunk_blobs_and_values_match_reference() {
     }
 }
 
+/// ROLZ twin of [`chunk_differential`]: the fast path (SWAR match
+/// extension + streaming Huffman) against the scalar reference (byte-loop
+/// matching + reference Huffman), byte-identical blobs and bit-identical
+/// reconstructions in both decode directions.
+fn rolz_chunk_differential<T: Scalar>(predictor: PredictorKind, shape: Shape, radius: u32) {
+    use rqm::compress_crate::kernels::{decode_chunk_rolz, encode_chunk_rolz};
+    let data: Vec<T> = field(shape);
+    let eb = 1e-3;
+    let blob_fast =
+        encode_chunk_rolz(&data, shape, predictor, eb, radius, KernelPath::Fast).expect("fast");
+    let blob_ref = encode_chunk_rolz(&data, shape, predictor, eb, radius, KernelPath::Reference)
+        .expect("reference");
+    assert_eq!(blob_fast, blob_ref, "rolz {predictor:?} {shape:?} radius {radius}");
+
+    let mut out_fast = vec![T::zero(); shape.len()];
+    let mut out_ref = vec![T::zero(); shape.len()];
+    decode_chunk_rolz(&blob_fast, shape, predictor, eb, radius, KernelPath::Fast, &mut out_fast)
+        .expect("fast decode");
+    decode_chunk_rolz(
+        &blob_fast,
+        shape,
+        predictor,
+        eb,
+        radius,
+        KernelPath::Reference,
+        &mut out_ref,
+    )
+    .expect("reference decode");
+    for (i, (a, b)) in out_fast.iter().zip(&out_ref).enumerate() {
+        assert_eq!(
+            a.to_f64().to_bits(),
+            b.to_f64().to_bits(),
+            "rolz {predictor:?} {shape:?} point {i}"
+        );
+    }
+}
+
+#[test]
+fn rolz_chunk_blobs_and_values_match_reference() {
+    for shape in [Shape::d1(193), Shape::d2(13, 21), Shape::d3(5, 9, 11)] {
+        for predictor in
+            [PredictorKind::Lorenzo, PredictorKind::Lorenzo2, PredictorKind::Interpolation]
+        {
+            for radius in [1 << 15, 8] {
+                rolz_chunk_differential::<f32>(predictor, shape, radius);
+                rolz_chunk_differential::<f64>(predictor, shape, radius);
+            }
+        }
+    }
+}
+
+#[test]
+fn rolz_corrupt_blobs_rejected_identically_on_both_paths() {
+    use rqm::compress_crate::kernels::{decode_chunk_rolz, encode_chunk_rolz};
+    let shape = Shape::d2(13, 21);
+    let data: Vec<f32> = field(shape);
+    let blob =
+        encode_chunk_rolz(&data, shape, PredictorKind::Lorenzo, 1e-3, 1 << 15, KernelPath::Fast)
+            .unwrap();
+    let mut out = vec![0f32; shape.len()];
+    // Every truncation and a sweep of byte corruptions: both kernel
+    // paths must agree on accept/reject (and never panic).
+    for cut in 0..blob.len() {
+        let fast = decode_chunk_rolz(
+            &blob[..cut],
+            shape,
+            PredictorKind::Lorenzo,
+            1e-3,
+            1 << 15,
+            KernelPath::Fast,
+            &mut out,
+        );
+        let reference = decode_chunk_rolz(
+            &blob[..cut],
+            shape,
+            PredictorKind::Lorenzo,
+            1e-3,
+            1 << 15,
+            KernelPath::Reference,
+            &mut out,
+        );
+        assert_eq!(fast.is_ok(), reference.is_ok(), "cut {cut}");
+        assert!(fast.is_err(), "truncation to {cut} bytes decoded Ok");
+    }
+    let mut st = 0x5EED_901E_u64;
+    for case in 0..300 {
+        let mut m = blob.clone();
+        let pos = (xorshift(&mut st) % m.len() as u64) as usize;
+        m[pos] ^= 1 << (xorshift(&mut st) % 8);
+        let fast = decode_chunk_rolz(
+            &m,
+            shape,
+            PredictorKind::Lorenzo,
+            1e-3,
+            1 << 15,
+            KernelPath::Fast,
+            &mut out,
+        );
+        let mut out_ref = vec![0f32; shape.len()];
+        let reference = decode_chunk_rolz(
+            &m,
+            shape,
+            PredictorKind::Lorenzo,
+            1e-3,
+            1 << 15,
+            KernelPath::Reference,
+            &mut out_ref,
+        );
+        assert_eq!(fast.is_ok(), reference.is_ok(), "case {case} at byte {pos}");
+        if fast.is_ok() {
+            for (a, b) in out.iter().zip(&out_ref) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case} at byte {pos}");
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // golden entropy-layer fixtures (pre-rework encoder output, committed)
 // ---------------------------------------------------------------------------

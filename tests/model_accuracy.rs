@@ -211,8 +211,9 @@ fn measured_psnr_tracks_model_across_codecs() {
 /// The §IV-A/C acceptance loop end to end on a mixed RTM field, exactly
 /// the `rqm compress --target-psnr` algorithm: per-chunk deterministic
 /// models → water-filling plan with the CLI's safety margin → planned
-/// v2.3 archive → measured verification → at most one corrected round →
-/// measured PSNR ≥ T − 0.5 dB, within two compression passes.
+/// adaptive archive (v2.4 since the three-way scheduler) → measured
+/// verification → at most one corrected round → measured PSNR ≥
+/// T − 0.5 dB, within two compression passes.
 #[test]
 fn target_psnr_planned_archive_meets_measured_floor() {
     use rqm::compress_crate::{chunk_table, resolved_chunk_rows, ArchiveWriter};
@@ -262,7 +263,7 @@ fn target_psnr_planned_archive_meets_measured_floor() {
         .unwrap();
         w.write_slab(&field).unwrap();
         let bytes = w.finalize().unwrap().sink;
-        assert_eq!(rqm::compress_crate::peek_header(&bytes).unwrap().version, 5);
+        assert_eq!(rqm::compress_crate::peek_header(&bytes).unwrap().version, 6);
         let back = decompress::<f32>(&bytes).unwrap();
         let table = chunk_table(&bytes).unwrap();
         let mut measured_sigma2 = Vec::new();

@@ -332,6 +332,95 @@ fn golden_v23_fixture_backward_compat() {
 }
 
 #[test]
+fn golden_v24_fixture_backward_compat() {
+    // A three-way adaptive v2.4 container — per-chunk bounds in the
+    // trailer index plus ROLZ-coded chunks — produced by the planned
+    // streaming writer and committed as a fixture (regenerated only by
+    // `cargo run -p rq-bench --bin make_golden_fixtures` when a *new*
+    // container generation is introduced).
+    let bytes = include_bytes!("data/golden_v24.rqc");
+    let header = rqm::compress_crate::peek_header(bytes).unwrap();
+    assert_eq!(header.version, 6, "v2.4 uses version byte 6");
+    assert_eq!(header.shape.dims(), &[16, 10, 10]);
+    assert_eq!(chunk_count(bytes).unwrap(), 4);
+    // The header bound is the max of the planned per-chunk bounds.
+    assert_eq!(header.abs_eb, 1e-3);
+
+    // The per-chunk bounds and codec tags recorded at fixture time: the
+    // smooth half went sz, the noisy half rolz.
+    let plan = [1e-3, 5e-5, 2e-4, 1e-4];
+    let table = chunk_table(bytes).unwrap();
+    let ebs: Vec<f64> = table.entries.iter().map(|e| e.eb).collect();
+    assert_eq!(ebs, plan);
+    let codecs: Vec<ChunkCodecKind> = table.entries.iter().map(|e| e.codec).collect();
+    assert_eq!(
+        codecs,
+        vec![ChunkCodecKind::Sz, ChunkCodecKind::Sz, ChunkCodecKind::Rolz, ChunkCodecKind::Rolz],
+        "fixture mixes sz and rolz chunks"
+    );
+
+    // Same frozen formula the fixture generator used.
+    let field = NdArray::<f32>::from_fn(Shape::d3(16, 10, 10), |ix| {
+        if ix[0] < 8 {
+            ((ix[0] as f64 * 0.35).cos() * 1.2 + ix[1] as f64 * 0.06 + ix[2] as f64 * 0.015)
+                as f32
+        } else {
+            let mut h = (ix[0] * 6007 + ix[1] * 113 + ix[2]) as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+            h ^= h >> 33;
+            ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) as f32 * 28.0
+        }
+    });
+    let back = decompress::<f32>(bytes).unwrap();
+    // Every chunk honors *its own* planned bound.
+    let row_elems = 10 * 10;
+    for (entry, &eb) in table.entries.iter().zip(&plan) {
+        let lo = entry.start_row * row_elems;
+        let hi = (entry.start_row + entry.rows) * row_elems;
+        for (a, b) in field.as_slice()[lo..hi].iter().zip(&back.as_slice()[lo..hi]) {
+            assert!(
+                ((a - b).abs() as f64) <= eb * (1.0 + 1e-6),
+                "rows {}..{}: |{a} - {b}| > {eb}",
+                entry.start_row,
+                entry.start_row + entry.rows
+            );
+        }
+    }
+
+    // Random access and the streaming reader agree with the full decode
+    // (the rolz chunks decode individually too).
+    for (i, entry) in table.entries.iter().enumerate() {
+        let (start_row, slab) = decompress_chunk::<f32>(bytes, i).unwrap();
+        assert_eq!(start_row, entry.start_row);
+        let lo = start_row * row_elems;
+        assert_eq!(slab.as_slice(), &back.as_slice()[lo..lo + slab.len()]);
+    }
+    let mut reader = ArchiveReader::open(std::io::Cursor::new(&bytes[..])).unwrap();
+    assert_eq!(reader.read_all::<f32>().unwrap().as_slice(), back.as_slice());
+
+    // Every pre-v2.4 golden fixture stays readable through the same code
+    // paths, byte-for-byte as ever.
+    let v1 = include_bytes!("data/golden_v1.rqc");
+    let v1_field = NdArray::<f32>::from_fn(Shape::d2(8, 6), |ix| {
+        ((ix[0] as f32) * 0.7).sin() * 3.0 + (ix[1] as f32) * 0.25
+    });
+    check_bound(&v1_field, &decompress::<f32>(v1).unwrap(), 1e-3);
+    let v21 = include_bytes!("data/golden_v21.rqc");
+    assert_eq!(rqm::compress_crate::peek_header(v21).unwrap().version, 3);
+    assert_eq!(decompress::<f32>(v21).unwrap().len(), 12 * 12 * 12);
+    let v23 = include_bytes!("data/golden_v23.rqc");
+    assert_eq!(rqm::compress_crate::peek_header(v23).unwrap().version, 5);
+    assert_eq!(decompress::<f32>(v23).unwrap().len(), 16 * 10 * 10);
+    // No pre-v2.4 fixture carries the rolz tag — that combination is a
+    // typed corruption (covered by the container fuzz suite).
+    let t23 = chunk_table(v23).unwrap();
+    assert!(t23.entries.iter().all(|e| e.codec != ChunkCodecKind::Rolz));
+}
+
+#[test]
 fn golden_cat1_fixture_backward_compat() {
     // An RQCAT v1 catalog — two datasets (f32 + f64), delta chains at
     // two keyframe cadences, chunked segments — committed as a fixture

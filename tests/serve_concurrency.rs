@@ -42,16 +42,20 @@ fn streamed(field: &NdArray<f32>, cfg: &CompressorConfig, plan: Option<Vec<f64>>
 }
 
 /// The served generations: v1 (serial container), v2.2 (streaming
-/// trailer index, adaptive codecs) and v2.3 (per-chunk bounds).
+/// trailer index), v2.3 (per-chunk bounds) and v2.4 (three-way adaptive
+/// codecs, including rolz chunks). The historical generations use a
+/// fixed codec: the adaptive policy now emits v2.4 containers.
 fn archive_matrix(field: &NdArray<f32>) -> Vec<(String, u8, Vec<u8>)> {
     let base = CompressorConfig::new(PredictorKind::Lorenzo, ErrorBoundMode::Abs(1e-3));
-    let chunked = base.chunked(5).with_codec(CodecChoice::Auto);
+    let chunked = base.chunked(5).with_codec(CodecChoice::Zfp);
+    let adaptive = base.chunked(5).with_codec(CodecChoice::Auto);
     let n_chunks = field.shape().dim(0).div_ceil(5);
     let plan: Vec<f64> = (0..n_chunks).map(|i| 1e-3 * (1.0 + i as f64)).collect();
     vec![
         ("v1".into(), 1, compress(field, &base).unwrap().bytes),
         ("v2.2".into(), 4, streamed(field, &chunked, None)),
-        ("v2.3".into(), 5, streamed(field, &chunked, Some(plan))),
+        ("v2.3".into(), 5, streamed(field, &chunked, Some(plan.clone()))),
+        ("v2.4".into(), 6, streamed(field, &adaptive, Some(plan))),
     ]
 }
 
